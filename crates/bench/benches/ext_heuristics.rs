@@ -1,0 +1,35 @@
+//! Criterion version of the heuristic-quality extension experiment:
+//! exact vs greedy vs local search on the same SGQ instances.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::sgq_dataset;
+use stgq_core::heuristics::{greedy_sgq, local_search_sgq};
+use stgq_core::{solve_sgq, SelectConfig, SgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let (graph, q) = sgq_dataset();
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("ext_heuristics");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for p in [5usize, 8] {
+        let query = SgqQuery::new(p, 2, 2).unwrap();
+        g.bench_function(format!("exact/p{p}"), |b| {
+            b.iter(|| solve_sgq(&graph, q, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("greedy/p{p}"), |b| {
+            b.iter(|| greedy_sgq(&graph, q, &query, 3).unwrap())
+        });
+        g.bench_function(format!("local_search/p{p}"), |b| {
+            b.iter(|| local_search_sgq(&graph, q, &query, 3, 4).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion version of the thread-scaling extension experiment.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::{sgq_dataset, stgq_dataset};
+use stgq_core::{solve_sgq_parallel, solve_stgq_parallel, SelectConfig, SgqQuery, StgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let (graph, q) = sgq_dataset();
+    let (ds, tq) = stgq_dataset(7);
+    let cfg = SelectConfig::default();
+    let sgq = SgqQuery::new(8, 2, 2).unwrap();
+    let stgq = StgqQuery::new(6, 2, 2, 8).unwrap();
+
+    let mut g = c.benchmark_group("ext_parallel");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+    for threads in [1usize, 2, 4] {
+        g.bench_function(format!("sgq/t{threads}"), |b| {
+            b.iter(|| solve_sgq_parallel(&graph, q, &sgq, &cfg, threads).unwrap())
+        });
+        g.bench_function(format!("stgq/t{threads}"), |b| {
+            b.iter(|| {
+                solve_stgq_parallel(&ds.graph, tq, &ds.calendars, &stgq, &cfg, threads).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

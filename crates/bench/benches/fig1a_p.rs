@@ -1,0 +1,35 @@
+//! Criterion version of Figure 1(a): SGQ engines across activity sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::sgq_dataset;
+use stgq_core::{solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
+use stgq_ip::{solve_sgq_ip, IpStyle};
+use stgq_mip::MipOptions;
+
+fn bench(c: &mut Criterion) {
+    let (graph, q) = sgq_dataset();
+    let cfg = SelectConfig::default();
+    let ip_opts = MipOptions::default();
+
+    let mut g = c.benchmark_group("fig1a");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for p in [3usize, 5, 7] {
+        let query = SgqQuery::new(p, 1, 2).unwrap();
+        g.bench_function(format!("sgselect/p{p}"), |b| {
+            b.iter(|| solve_sgq(&graph, q, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("baseline/p{p}"), |b| {
+            b.iter(|| solve_sgq_exhaustive(&graph, q, &query).unwrap())
+        });
+    }
+    let query = SgqQuery::new(5, 1, 2).unwrap();
+    g.bench_function("ip/p5", |b| {
+        b.iter(|| solve_sgq_ip(&graph, q, &query, IpStyle::Compact, &ip_opts).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

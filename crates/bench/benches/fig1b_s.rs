@@ -1,0 +1,28 @@
+//! Criterion version of Figure 1(b): SGQ engines across social radii.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::sgq_dataset;
+use stgq_core::{solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let (graph, q) = sgq_dataset();
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("fig1b");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for s in [1usize, 2] {
+        let query = SgqQuery::new(4, s, 2).unwrap();
+        g.bench_function(format!("sgselect/s{s}"), |b| {
+            b.iter(|| solve_sgq(&graph, q, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("baseline/s{s}"), |b| {
+            b.iter(|| solve_sgq_exhaustive(&graph, q, &query).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

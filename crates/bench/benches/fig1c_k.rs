@@ -1,0 +1,29 @@
+//! Criterion version of Figure 1(c): SGQ engines across acquaintance
+//! constraints.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::sgq_dataset;
+use stgq_core::{solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let (graph, q) = sgq_dataset();
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("fig1c");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for k in [2usize, 4] {
+        let query = SgqQuery::new(5, 2, k).unwrap();
+        g.bench_function(format!("sgselect/k{k}"), |b| {
+            b.iter(|| solve_sgq(&graph, q, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("baseline/k{k}"), |b| {
+            b.iter(|| solve_sgq_exhaustive(&graph, q, &query).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion version of Figure 1(d): SGQ engines across network sizes.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::coauthor_dataset;
+use stgq_core::{solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let cfg = SelectConfig::default();
+    let query = SgqQuery::new(5, 1, 3).unwrap();
+
+    let mut g = c.benchmark_group("fig1d");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for n in [194usize, 800] {
+        let (graph, q) = coauthor_dataset(n);
+        g.bench_function(format!("sgselect/n{n}"), |b| {
+            b.iter(|| solve_sgq(&graph, q, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("baseline/n{n}"), |b| {
+            b.iter(|| solve_sgq_exhaustive(&graph, q, &query).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion version of Figure 1(e): STGQ engines across activity lengths.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::stgq_dataset;
+use stgq_core::{solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery};
+
+fn bench(c: &mut Criterion) {
+    let (ds, q) = stgq_dataset(7);
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("fig1e");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    for m in [2usize, 6] {
+        let query = StgqQuery::new(4, 2, 2, m).unwrap();
+        g.bench_function(format!("stgselect/m{m}"), |b| {
+            b.iter(|| solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).unwrap())
+        });
+        g.bench_function(format!("baseline/m{m}"), |b| {
+            b.iter(|| {
+                solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion version of Figure 1(g): PCArrange vs STGArrange runtimes
+//! (the figure itself compares k values; `cargo run --bin figures`
+//! regenerates those).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::stgq_dataset;
+use stgq_core::{pc_arrange, stg_arrange, SelectConfig};
+use stgq_graph::Dist;
+
+fn bench(c: &mut Criterion) {
+    let (ds, q) = stgq_dataset(7);
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("fig1g");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.bench_function("pcarrange/p4", |b| {
+        b.iter(|| pc_arrange(&ds.graph, q, &ds.calendars, 4, 1, 4).unwrap())
+    });
+    g.bench_function("stgarrange/p4", |b| {
+        b.iter(|| stg_arrange(&ds.graph, q, &ds.calendars, 4, 1, 4, Dist::MAX, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

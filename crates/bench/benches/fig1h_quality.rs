@@ -1,0 +1,29 @@
+//! Criterion version of Figure 1(h): the full quality sweep at one
+//! activity size (distance comparison; `cargo run --bin figures`
+//! regenerates the figure's distance table).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stgq_bench::figures::stgq_dataset;
+use stgq_core::{pc_arrange, stg_arrange, SelectConfig};
+use stgq_graph::Dist;
+
+fn bench(c: &mut Criterion) {
+    let (ds, q) = stgq_dataset(7);
+    let cfg = SelectConfig::default();
+
+    let mut g = c.benchmark_group("fig1h");
+    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.bench_function("quality_pair/p5", |b| {
+        b.iter(|| {
+            let pc = pc_arrange(&ds.graph, q, &ds.calendars, 5, 1, 4).unwrap();
+            let reference = pc.as_ref().map_or(Dist::MAX, |r| r.total_distance);
+            stg_arrange(&ds.graph, q, &ds.calendars, 5, 1, 4, reference, &cfg).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! cargo run -p stgq-bench --release --bin figures -- [--fast] [fig1a ... | all]
+//! ```
+//!
+//! Prints one table per figure and writes CSVs to `bench_results/`
+//! (override with the `STGQ_BENCH_OUT` environment variable).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stgq_bench::figures::{run_figure, ALL_FIGURES};
+use stgq_bench::Scale;
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Paper;
+    let mut wanted: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--fast" => scale = Scale::Fast,
+            "--help" | "-h" => {
+                eprintln!("usage: figures [--fast] [fig1a fig1b ... | all]");
+                return ExitCode::SUCCESS;
+            }
+            "all" => wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string())),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        wanted.extend(ALL_FIGURES.iter().map(|s| s.to_string()));
+    }
+
+    let out_dir = PathBuf::from(
+        std::env::var("STGQ_BENCH_OUT").unwrap_or_else(|_| "bench_results".to_string()),
+    );
+
+    for id in &wanted {
+        let Some(table) = run_figure(id, scale) else {
+            eprintln!("unknown figure id: {id} (known: {})", ALL_FIGURES.join(", "));
+            return ExitCode::FAILURE;
+        };
+        println!("{table}");
+        if let Err(e) = table.write_csv(&out_dir, &format!("{id}.csv")) {
+            eprintln!("warning: could not write {id}.csv: {e}");
+        }
+    }
+    println!("CSV results in {}", out_dir.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,82 @@
+//! Ablation of the pruning strategies (the design-choice experiment
+//! DESIGN.md calls out; not a figure of the paper, but the paper's §5.2
+//! attributes SGSelect's two-orders-of-magnitude win to "the proposed
+//! access ordering, distance pruning, and acquaintance pruning" — this
+//! table shows each strategy's individual contribution).
+//!
+//! Every variant provably returns the same optimum (see the
+//! `config_invariance` integration tests); only the explored frames and
+//! the wall clock change.
+
+use stgq_core::{solve_sgq, solve_stgq, SelectConfig, SgqQuery, StgqQuery};
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::{sgq_dataset, stgq_dataset};
+
+/// Run the ablation grid.
+pub fn run(scale: Scale) -> Table {
+    let (graph, q) = sgq_dataset();
+    let (ds, tq) = stgq_dataset(7);
+    let p = match scale {
+        Scale::Fast => 5,
+        Scale::Paper => 8,
+    };
+    let sgq = SgqQuery::new(p, 2, 2).expect("valid");
+    let stgq = StgqQuery::new(4, 2, 2, 6).expect("valid");
+
+    let variants: [(&str, SelectConfig); 5] = [
+        ("all prunings", SelectConfig::PAPER_EXAMPLE),
+        ("no distance", SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false)),
+        ("no acquaintance", SelectConfig::PAPER_EXAMPLE.with_acquaintance_pruning(false)),
+        ("no availability", SelectConfig::PAPER_EXAMPLE.with_availability_pruning(false)),
+        ("none", SelectConfig::NO_PRUNING),
+    ];
+
+    let mut t = Table::new(
+        format!("Ablation: pruning strategies (SGQ p={p},s=2,k=2; STGQ p=4,k=2,s=2,m=6)"),
+        &["variant", "SGQ_time", "SGQ_frames", "STGQ_time", "STGQ_frames", "dist"],
+    );
+
+    let mut reference: Option<(Option<u64>, Option<u64>)> = None;
+    for (name, cfg) in variants {
+        let (sg, sg_ns) = median_nanos(scale.reps(), || {
+            solve_sgq(&graph, q, &sgq, &cfg).expect("valid inputs")
+        });
+        let (st, st_ns) = median_nanos(scale.reps(), || {
+            solve_stgq(&ds.graph, tq, &ds.calendars, &stgq, &cfg).expect("valid inputs")
+        });
+        let dists = (
+            sg.solution.as_ref().map(|s| s.total_distance),
+            st.solution.as_ref().map(|s| s.total_distance),
+        );
+        match &reference {
+            None => reference = Some(dists),
+            Some(r) => assert_eq!(*r, dists, "pruning changed the optimum ({name})"),
+        }
+        t.push_row(vec![
+            name.to_string(),
+            fmt_ns(sg_ns),
+            sg.stats.frames.to_string(),
+            fmt_ns(st_ns),
+            st.stats.frames.to_string(),
+            dists.0.map_or("-".into(), |d| d.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_variants_share_the_optimum_and_full_pruning_explores_least() {
+        let t = run(Scale::Fast);
+        assert_eq!(t.rows.len(), 5);
+        let frames = |i: usize| t.rows[i][2].parse::<u64>().unwrap();
+        // Full pruning must explore no more frames than no pruning.
+        assert!(frames(0) <= frames(4));
+    }
+}

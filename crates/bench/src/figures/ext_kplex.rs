@@ -1,0 +1,95 @@
+//! Extension experiment: the k-plex substrate on the initiator's ego net.
+//!
+//! The acquaintance constraint makes every feasible group a `(k+1)`-plex
+//! (Theorem 1 reduces from the k-plex decision problem), so the capacity
+//! of the initiator's neighbourhood to host k-plexes bounds what any
+//! SGQ can return. This sweep runs `stgq-kplex`'s exact maximum k-plex
+//! branch-and-bound and near-maximum maximal enumeration over the s=2
+//! feasible graph of the standard initiator, for the paper's k range.
+//!
+//! Reading: `max_size` is the largest group feasible at acquaintance
+//! parameter `k−1` *ignoring distance*; `#maximal` counts the distinct
+//! near-largest cliques-relaxations the neighbourhood offers.
+
+use stgq_graph::{FeasibleGraph, GraphBuilder, NodeId, SocialGraph};
+use stgq_kplex::{enumerate_maximal_kplexes, is_kplex, max_kplex, EnumerateConfig};
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::sgq_dataset;
+
+/// Materialise the feasible graph (compact indices) as a standalone
+/// `SocialGraph` for the k-plex solvers.
+fn ego_subgraph(fg: &FeasibleGraph) -> SocialGraph {
+    let mut b = GraphBuilder::new(fg.len());
+    for v in 0..fg.len() as u32 {
+        for &u in fg.neighbors(v) {
+            if v < u {
+                b.add_edge(NodeId(v), NodeId(u), fg.edge_weight(v, u))
+                    .expect("feasible graph edges are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let (graph, q) = sgq_dataset();
+    let fg = FeasibleGraph::extract(&graph, q, 2);
+    let ego = ego_subgraph(&fg);
+    let ks: Vec<usize> = match scale {
+        Scale::Fast => vec![1, 2],
+        Scale::Paper => vec![1, 2, 3, 4],
+    };
+
+    let mut t = Table::new(
+        format!(
+            "Extension: k-plex capacity of the initiator's ego net (s=2, |V_F|={}, |E_F|={})",
+            ego.node_count(),
+            ego.edge_count()
+        ),
+        &["k", "max_size", "bb_nodes", "bb_time", "#maximal(>=max-1)", "enum_nodes", "enum_time"],
+    );
+
+    for k in ks {
+        let (max_out, bb_ns) = median_nanos(scale.reps(), || max_kplex(&ego, k));
+        assert!(is_kplex(&ego, &max_out.members, k), "B&B returned a non-k-plex at k={k}");
+        let max_size = max_out.members.len();
+
+        let cfg = EnumerateConfig {
+            min_size: max_size.saturating_sub(1).max(1),
+            max_results: 100_000,
+        };
+        let (enum_out, enum_ns) =
+            median_nanos(scale.reps(), || enumerate_maximal_kplexes(&ego, k, &cfg));
+        assert!(
+            enum_out.sets.iter().any(|s| s.len() == max_size),
+            "enumeration missed a maximum k-plex at k={k}"
+        );
+
+        t.push_row(vec![
+            k.to_string(),
+            max_size.to_string(),
+            max_out.stats.nodes.to_string(),
+            fmt_ns(bb_ns),
+            enum_out.sets.len().to_string(),
+            enum_out.nodes.to_string(),
+            fmt_ns(enum_ns),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_kplex_size_grows_with_k() {
+        let t = run(Scale::Fast);
+        let size = |i: usize| t.rows[i][1].parse::<usize>().unwrap();
+        assert!(size(1) >= size(0), "relaxing k can only grow the maximum");
+    }
+}

@@ -1,0 +1,90 @@
+//! Figure 1(a): SGQ running time vs activity size `p` (k=2, s=1, n=194);
+//! series SGSelect, exhaustive baseline, Integer Programming.
+
+use stgq_core::{
+    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
+};
+use stgq_ip::{solve_sgq_ip, IpStyle};
+use stgq_mip::MipOptions;
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::sgq_dataset;
+
+/// Baselines enumerating more groups than this are skipped ("-").
+const GROUP_BUDGET: u64 = 50_000_000;
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let (graph, q) = sgq_dataset();
+    let ps: Vec<usize> = match scale {
+        Scale::Fast => vec![3, 5, 7],
+        Scale::Paper => (3..=11).collect(),
+    };
+    let cfg = SelectConfig::default();
+    let ip_opts = MipOptions { node_limit: 2_000_000, ..MipOptions::default() };
+
+    let mut t = Table::new(
+        format!(
+            "Figure 1(a): SGQ time vs p (k=2, s=1, n=194, initiator {q}, degree {})",
+            graph.degree(q)
+        ),
+        &["p", "SGSelect", "Baseline", "IP", "dist", "sg_frames", "base_groups", "ip_nodes"],
+    );
+
+    for p in ps {
+        let query = SgqQuery::new(p, 1, 2).expect("valid");
+        let (sg, sg_ns) = median_nanos(scale.reps(), || {
+            solve_sgq(&graph, q, &query, &cfg).expect("valid inputs")
+        });
+        let sg_dist = sg.solution.as_ref().map(|s| s.total_distance);
+
+        let groups = exhaustive_group_count(&graph, q, &query);
+        let (base_cell, base_groups_cell) = if groups <= GROUP_BUDGET {
+            let (base, base_ns) = median_nanos(scale.reps(), || {
+                solve_sgq_exhaustive(&graph, q, &query).expect("valid inputs")
+            });
+            let base_dist = base.solution.as_ref().map(|s| s.total_distance);
+            assert_eq!(sg_dist, base_dist, "SGSelect vs baseline disagree at p={p}");
+            (fmt_ns(base_ns), groups.to_string())
+        } else {
+            ("-".to_string(), format!(">{GROUP_BUDGET}"))
+        };
+
+        let (ip_cell, ip_nodes_cell) =
+            match median_nanos(scale.reps(), || solve_sgq_ip(&graph, q, &query, IpStyle::Compact, &ip_opts))
+            {
+                (Ok(ip), ip_ns) => {
+                    let ip_dist = ip.solution.as_ref().map(|s| s.total_distance);
+                    assert_eq!(sg_dist, ip_dist, "SGSelect vs IP disagree at p={p}");
+                    (fmt_ns(ip_ns), ip.nodes.to_string())
+                }
+                (Err(_), _) => ("-".to_string(), "-".to_string()),
+            };
+
+        t.push_row(vec![
+            p.to_string(),
+            fmt_ns(sg_ns),
+            base_cell,
+            ip_cell,
+            sg_dist.map_or("-".into(), |d| d.to_string()),
+            sg.stats.frames.to_string(),
+            base_groups_cell,
+            ip_nodes_cell,
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_scale_produces_consistent_rows() {
+        let t = run(Scale::Fast);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.headers.len(), 8);
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 1(b): SGQ running time vs social radius `s` (p=4, k=2, n=194);
+//! series SGSelect and exhaustive baseline. Growing `s` inflates the
+//! feasible graph `G_F`, which explodes the baseline's `C(f−1, p−1)` while
+//! SGSelect's pruning keeps pace.
+
+use stgq_core::{
+    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
+};
+use stgq_graph::FeasibleGraph;
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::sgq_dataset;
+
+const GROUP_BUDGET: u64 = 50_000_000;
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let (graph, q) = sgq_dataset();
+    let ss: Vec<usize> = match scale {
+        Scale::Fast => vec![1, 2],
+        Scale::Paper => vec![1, 3, 5],
+    };
+    let cfg = SelectConfig::default();
+
+    let mut t = Table::new(
+        format!("Figure 1(b): SGQ time vs s (p=4, k=2, n=194, initiator {q})"),
+        &["s", "SGSelect", "Baseline", "dist", "feasible_|GF|", "base_groups"],
+    );
+
+    for s in ss {
+        let query = SgqQuery::new(4, s, 2).expect("valid");
+        let f = FeasibleGraph::extract(&graph, q, s).len();
+        let (sg, sg_ns) = median_nanos(scale.reps(), || {
+            solve_sgq(&graph, q, &query, &cfg).expect("valid inputs")
+        });
+        let sg_dist = sg.solution.as_ref().map(|x| x.total_distance);
+
+        let groups = exhaustive_group_count(&graph, q, &query);
+        let base_cell = if groups <= GROUP_BUDGET {
+            let (base, base_ns) = median_nanos(scale.reps(), || {
+                solve_sgq_exhaustive(&graph, q, &query).expect("valid inputs")
+            });
+            assert_eq!(
+                sg_dist,
+                base.solution.as_ref().map(|x| x.total_distance),
+                "engines disagree at s={s}"
+            );
+            fmt_ns(base_ns)
+        } else {
+            "-".to_string()
+        };
+
+        t.push_row(vec![
+            s.to_string(),
+            fmt_ns(sg_ns),
+            base_cell,
+            sg_dist.map_or("-".into(), |d| d.to_string()),
+            f.to_string(),
+            groups.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_graph_grows_with_s() {
+        let t = run(Scale::Fast);
+        let f1: usize = t.rows[0][4].parse().unwrap();
+        let f2: usize = t.rows[1][4].parse().unwrap();
+        assert!(f2 >= f1, "|GF| must not shrink as s grows");
+    }
+}

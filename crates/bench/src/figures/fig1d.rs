@@ -1,0 +1,93 @@
+//! Figure 1(d): SGQ running time vs network size (p=5, k=3, s=1) on the
+//! coauthorship datasets {194, 800, 3200, 12800}; series SGSelect,
+//! baseline, IP. With s=1 the feasible graph is the initiator's ego
+//! network, so the interesting cost is radius extraction over ever-larger
+//! graphs plus the (stable-size) group search.
+
+use stgq_core::{
+    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
+};
+use stgq_ip::{solve_sgq_ip, IpStyle};
+use stgq_mip::MipOptions;
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::coauthor_dataset;
+
+const GROUP_BUDGET: u64 = 50_000_000;
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let sizes: Vec<usize> = match scale {
+        Scale::Fast => vec![194, 800],
+        Scale::Paper => vec![194, 800, 3200, 12800],
+    };
+    let cfg = SelectConfig::default();
+    let ip_opts = MipOptions { node_limit: 2_000_000, ..MipOptions::default() };
+
+    let mut t = Table::new(
+        "Figure 1(d): SGQ time vs network size (p=5, k=3, s=1, coauthorship)",
+        &["n", "SGSelect", "Baseline", "IP", "dist", "initiator_deg"],
+    );
+
+    for n in sizes {
+        let (graph, q) = coauthor_dataset(n);
+        let query = SgqQuery::new(5, 1, 3).expect("valid");
+        let (sg, sg_ns) = median_nanos(scale.reps(), || {
+            solve_sgq(&graph, q, &query, &cfg).expect("valid inputs")
+        });
+        let sg_dist = sg.solution.as_ref().map(|x| x.total_distance);
+
+        let groups = exhaustive_group_count(&graph, q, &query);
+        let base_cell = if groups <= GROUP_BUDGET {
+            let (base, base_ns) = median_nanos(scale.reps(), || {
+                solve_sgq_exhaustive(&graph, q, &query).expect("valid inputs")
+            });
+            assert_eq!(
+                sg_dist,
+                base.solution.as_ref().map(|x| x.total_distance),
+                "engines disagree at n={n}"
+            );
+            fmt_ns(base_ns)
+        } else {
+            "-".to_string()
+        };
+
+        let ip_cell = match median_nanos(scale.reps(), || {
+            solve_sgq_ip(&graph, q, &query, IpStyle::Compact, &ip_opts)
+        }) {
+            (Ok(ip), ip_ns) => {
+                assert_eq!(
+                    sg_dist,
+                    ip.solution.as_ref().map(|x| x.total_distance),
+                    "IP disagrees at n={n}"
+                );
+                fmt_ns(ip_ns)
+            }
+            (Err(_), _) => "-".to_string(),
+        };
+
+        t.push_row(vec![
+            n.to_string(),
+            fmt_ns(sg_ns),
+            base_cell,
+            ip_cell,
+            sg_dist.map_or("-".into(), |d| d.to_string()),
+            graph.degree(q).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_one_row_per_size() {
+        let t = run(Scale::Fast);
+        assert_eq!(t.rows.len(), 2);
+        assert_eq!(t.rows[0][0], "194");
+    }
+}

@@ -1,0 +1,68 @@
+//! Figure 1(e): STGQ running time vs activity length `m` (half-hour
+//! slots), 7-day schedules; series STGSelect and the sequential baseline.
+//! Pivot slots let STGSelect anchor `T/m` searches instead of the
+//! baseline's `T−m+1`, so its advantage grows with `m`.
+
+use stgq_core::{
+    solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery,
+};
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::stgq_dataset;
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let (ds, q) = stgq_dataset(7);
+    let ms: Vec<usize> = match scale {
+        Scale::Fast => vec![2, 6],
+        Scale::Paper => (1..=12).map(|i| 2 * i).collect(),
+    };
+    let cfg = SelectConfig::default();
+
+    let mut t = Table::new(
+        format!(
+            "Figure 1(e): STGQ time vs m (p=4, k=2, s=2, n=194, 7-day schedules, T={})",
+            ds.grid.horizon()
+        ),
+        &["m", "STGSelect", "Baseline", "dist", "period", "pivots", "stg_frames"],
+    );
+
+    for m in ms {
+        let query = StgqQuery::new(4, 2, 2, m).expect("valid");
+        let (fast, fast_ns) = median_nanos(scale.reps(), || {
+            solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).expect("valid inputs")
+        });
+        let (slow, slow_ns) = median_nanos(scale.reps(), || {
+            solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
+                .expect("valid inputs")
+        });
+        let fd = fast.solution.as_ref().map(|s| s.total_distance);
+        let sd = slow.solution.as_ref().map(|s| s.total_distance);
+        assert_eq!(fd, sd, "STGSelect vs sequential baseline disagree at m={m}");
+
+        t.push_row(vec![
+            m.to_string(),
+            fmt_ns(fast_ns),
+            fmt_ns(slow_ns),
+            fd.map_or("-".into(), |d| d.to_string()),
+            fast.solution.as_ref().map_or("-".into(), |s| s.period.to_string()),
+            fast.stats.pivots_processed.to_string(),
+            fast.stats.frames.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pivot_count_shrinks_as_m_grows() {
+        let t = run(Scale::Fast);
+        let pivots = |i: usize| t.rows[i][5].parse::<u64>().unwrap();
+        assert!(pivots(1) <= pivots(0), "fewer pivots for longer activities");
+    }
+}

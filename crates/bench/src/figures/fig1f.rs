@@ -1,0 +1,65 @@
+//! Figure 1(f): STGQ running time vs schedule length in days (m=4);
+//! series STGSelect and the sequential baseline. Longer schedules mean
+//! more slots to cover; both engines grow linearly in T but with slopes
+//! ~1/m apart (pivots vs every window start).
+
+use stgq_core::{
+    solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery,
+};
+
+use crate::table::fmt_ns;
+use crate::{median_nanos, Scale, Table};
+
+use super::stgq_dataset;
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let days_grid: Vec<usize> = match scale {
+        Scale::Fast => vec![1, 3],
+        Scale::Paper => (1..=7).collect(),
+    };
+    let cfg = SelectConfig::default();
+
+    let mut t = Table::new(
+        "Figure 1(f): STGQ time vs schedule length (p=4, k=2, s=2, m=4, n=194)",
+        &["days", "T", "STGSelect", "Baseline", "dist", "pivots"],
+    );
+
+    for days in days_grid {
+        let (ds, q) = stgq_dataset(days);
+        let query = StgqQuery::new(4, 2, 2, 4).expect("valid");
+        let (fast, fast_ns) = median_nanos(scale.reps(), || {
+            solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).expect("valid inputs")
+        });
+        let (slow, slow_ns) = median_nanos(scale.reps(), || {
+            solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
+                .expect("valid inputs")
+        });
+        let fd = fast.solution.as_ref().map(|s| s.total_distance);
+        let sd = slow.solution.as_ref().map(|s| s.total_distance);
+        assert_eq!(fd, sd, "engines disagree at days={days}");
+
+        t.push_row(vec![
+            days.to_string(),
+            ds.grid.horizon().to_string(),
+            fmt_ns(fast_ns),
+            fmt_ns(slow_ns),
+            fd.map_or("-".into(), |d| d.to_string()),
+            fast.stats.pivots_processed.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn horizon_grows_with_days() {
+        let t = run(Scale::Fast);
+        let horizon = |i: usize| t.rows[i][1].parse::<usize>().unwrap();
+        assert_eq!(horizon(0), 48);
+        assert_eq!(horizon(1), 144);
+    }
+}

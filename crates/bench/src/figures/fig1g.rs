@@ -1,0 +1,39 @@
+//! Figure 1(g): relation of `p` and `k` — STGArrange's smallest
+//! sufficient acquaintance parameter vs PCArrange's observed `k_h`.
+//! The paper's claim: STGArrange achieves a much smaller `k` for every
+//! activity size.
+
+use crate::{Scale, Table};
+
+use super::quality::{sweep, DAYS, M, S};
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        format!("Figure 1(g): k vs p (s={S}, m={M}, {DAYS}-day schedules, n=194)"),
+        &["p", "STGArrange_k", "PCArrange_kh"],
+    );
+    for row in sweep(scale) {
+        t.push_row(vec![
+            row.p.to_string(),
+            row.stg.map_or("-".into(), |(k, _)| k.to_string()),
+            row.pc.map_or("-".into(), |(k, _)| k.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stgarrange_k_never_exceeds_pcarrange_kh() {
+        let t = run(Scale::Fast);
+        for row in &t.rows {
+            if let (Ok(stg), Ok(pc)) = (row[1].parse::<usize>(), row[2].parse::<usize>()) {
+                assert!(stg <= pc, "p={}: {stg} > {pc}", row[0]);
+            }
+        }
+    }
+}

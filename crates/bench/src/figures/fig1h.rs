@@ -1,0 +1,38 @@
+//! Figure 1(h): relation of `p` and the total social distance —
+//! STGArrange vs PCArrange. The paper's claim: STGArrange's distance is
+//! no larger (usually strictly smaller) at every activity size.
+
+use crate::{Scale, Table};
+
+use super::quality::{sweep, DAYS, M, S};
+
+/// Run the sweep.
+pub fn run(scale: Scale) -> Table {
+    let mut t = Table::new(
+        format!("Figure 1(h): total distance vs p (s={S}, m={M}, {DAYS}-day schedules, n=194)"),
+        &["p", "STGArrange_dist", "PCArrange_dist"],
+    );
+    for row in sweep(scale) {
+        t.push_row(vec![
+            row.p.to_string(),
+            row.stg.map_or("-".into(), |(_, d)| d.to_string()),
+            row.pc.map_or("-".into(), |(_, d)| d.to_string()),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stgarrange_distance_never_worse() {
+        let t = run(Scale::Fast);
+        for row in &t.rows {
+            if let (Ok(stg), Ok(pc)) = (row[1].parse::<u64>(), row[2].parse::<u64>()) {
+                assert!(stg <= pc, "p={}: {stg} > {pc}", row[0]);
+            }
+        }
+    }
+}

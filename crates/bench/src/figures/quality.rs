@@ -1,0 +1,59 @@
+//! Shared sweep behind Figures 1(g) and 1(h): PCArrange (manual phone
+//! coordination) vs STGArrange (STGSelect probing for the smallest `k` no
+//! worse than PCArrange) across activity sizes.
+
+use stgq_core::{pc_arrange, stg_arrange, SelectConfig};
+use stgq_graph::Dist;
+
+use crate::Scale;
+
+use super::stgq_dataset;
+
+/// Fixed parameters of the quality comparison. `s = 2` gives the
+/// optimizer (and the manual coordinator) the friends-of-friends pool the
+/// paper's scenario implies — with only direct friends there is often a
+/// single feasible group and both methods trivially tie.
+pub(crate) const S: usize = 2;
+pub(crate) const M: usize = 4;
+pub(crate) const DAYS: usize = 7;
+
+/// One activity size's comparison.
+pub(crate) struct QualityRow {
+    pub p: usize,
+    /// PCArrange observed k (`k_h`) and distance; `None` ⇔ PCArrange could
+    /// not gather `p` people.
+    pub pc: Option<(usize, Dist)>,
+    /// STGArrange smallest sufficient k and its distance.
+    pub stg: Option<(usize, Dist)>,
+}
+
+pub(crate) fn sweep(scale: Scale) -> Vec<QualityRow> {
+    let (ds, q) = stgq_dataset(DAYS);
+    let ps: Vec<usize> = match scale {
+        Scale::Fast => vec![3, 5],
+        Scale::Paper => (3..=11).collect(),
+    };
+    let cfg = SelectConfig::default();
+
+    ps.into_iter()
+        .map(|p| {
+            let pc = pc_arrange(&ds.graph, q, &ds.calendars, p, S, M)
+                .expect("valid inputs")
+                .map(|r| (r.observed_k, r.total_distance));
+            let reference = pc.map_or(Dist::MAX, |(_, d)| d);
+            let stg = stg_arrange(&ds.graph, q, &ds.calendars, p, S, M, reference, &cfg)
+                .expect("valid inputs")
+                .map(|r| (r.k, r.solution.total_distance));
+            if let Some((pc_k, pc_d)) = pc {
+                // The PCArrange group itself is STGQ-feasible at k = k_h,
+                // so STGArrange must succeed with k ≤ k_h and distance
+                // ≤ PCArrange's — the paper's headline claim, asserted on
+                // every run.
+                let (stg_k, stg_d) = stg.expect("STGArrange must succeed when PCArrange does");
+                assert!(stg_d <= pc_d, "STGArrange distance must be no worse at p={p}");
+                assert!(stg_k <= pc_k, "STGArrange k must not exceed observed k_h at p={p}");
+            }
+            QualityRow { p, pc, stg }
+        })
+        .collect()
+}

@@ -1,0 +1,137 @@
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A small column-aligned results table with CSV export.
+///
+/// This is what the `figures` binary prints and what EXPERIMENTS.md quotes;
+/// keeping it dependency-free beats pulling a table crate for four methods.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table {
+    /// Title line (figure id + fixed parameters).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of pre-formatted cells; each must match `headers.len()`.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// CSV rendering (headers + rows; commas in cells are not escaped —
+    /// cells are numeric or simple identifiers by construction).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the CSV next to other results, creating the directory.
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(name))?;
+        f.write_all(self.to_csv().as_bytes())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        for (i, h) in self.headers.iter().enumerate() {
+            write!(f, "{:>w$}{}", h, if i + 1 == ncols { "\n" } else { "  " }, w = widths[i])?;
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                write!(
+                    f,
+                    "{:>w$}{}",
+                    cell,
+                    if i + 1 == ncols { "\n" } else { "  " },
+                    w = widths[i]
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Format nanoseconds human-readably (ns/µs/ms/s) for table cells.
+pub fn fmt_ns(ns: u128) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}us", ns as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_and_csv() {
+        let mut t = Table::new("demo", &["p", "time"]);
+        t.push_row(vec!["3".into(), "12ns".into()]);
+        t.push_row(vec!["10".into(), "1.5us".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(t.to_csv(), "p,time\n3,12ns\n10,1.5us\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn ns_formatting_bands() {
+        assert_eq!(fmt_ns(500), "500ns");
+        assert_eq!(fmt_ns(15_000), "15.0us");
+        assert_eq!(fmt_ns(2_500_000_000), "2.50s");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+    }
+
+    #[test]
+    fn csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("stgq_bench_table_test");
+        let mut t = Table::new("demo", &["x"]);
+        t.push_row(vec!["1".into()]);
+        t.write_csv(&dir, "demo.csv").unwrap();
+        let back = std::fs::read_to_string(dir.join("demo.csv")).unwrap();
+        assert_eq!(back, "x\n1\n");
+    }
+}

@@ -1,0 +1,52 @@
+use std::time::Instant;
+
+/// Time one call, returning `(result, elapsed nanoseconds)`.
+pub fn time_nanos<R>(f: impl FnOnce() -> R) -> (R, u128) {
+    let start = Instant::now();
+    let r = f();
+    (r, start.elapsed().as_nanos())
+}
+
+/// Median elapsed nanoseconds over `reps` calls (the paper reports average
+/// running time; median is the robust small-sample analog). The last
+/// call's result is returned so callers can report the solution found.
+pub fn median_nanos<R>(reps: usize, mut f: impl FnMut() -> R) -> (R, u128) {
+    assert!(reps >= 1);
+    let mut times = Vec::with_capacity(reps);
+    let mut last = None;
+    for _ in 0..reps {
+        let (r, ns) = time_nanos(&mut f);
+        times.push(ns);
+        last = Some(r);
+    }
+    times.sort_unstable();
+    (last.expect("reps >= 1"), times[times.len() / 2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_returns_result_and_positive_elapsed() {
+        let (r, ns) = time_nanos(|| (0..1000).sum::<u64>());
+        assert_eq!(r, 499_500);
+        assert!(ns > 0);
+    }
+
+    #[test]
+    fn median_is_middle_element() {
+        let mut calls = 0;
+        let (_, med) = median_nanos(5, || {
+            calls += 1;
+        });
+        assert_eq!(calls, 5);
+        assert!(med > 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_reps_panics() {
+        let _ = median_nanos(0, || ());
+    }
+}

@@ -1,0 +1,137 @@
+//! A lending iterator over `r`-combinations of `0..n`, in lexicographic
+//! order, used by the exhaustive SGQ baseline (the paper's "consider every
+//! possible `p` attendees" comparator). Lending (one shared buffer) keeps
+//! the baseline's cost in *enumeration*, not allocation.
+
+/// Lexicographic `r`-of-`n` index combinations with a reusable buffer.
+pub struct Combinations {
+    indices: Vec<usize>,
+    n: usize,
+    r: usize,
+    state: State,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Fresh,
+    Running,
+    Done,
+}
+
+impl Combinations {
+    /// Combinations of `r` indices drawn from `0..n`.
+    pub fn new(n: usize, r: usize) -> Self {
+        let state = if r > n { State::Done } else { State::Fresh };
+        Combinations { indices: (0..r).collect(), n, r, state }
+    }
+
+    /// Advance to the next combination; returns it as a sorted slice.
+    pub fn next_combo(&mut self) -> Option<&[usize]> {
+        match self.state {
+            State::Done => return None,
+            State::Fresh => {
+                self.state = State::Running;
+                return Some(&self.indices);
+            }
+            State::Running => {}
+        }
+        if self.r == 0 {
+            self.state = State::Done;
+            return None;
+        }
+        // Find the rightmost index that can still move right.
+        let mut i = self.r;
+        loop {
+            if i == 0 {
+                self.state = State::Done;
+                return None;
+            }
+            i -= 1;
+            if self.indices[i] != i + self.n - self.r {
+                break;
+            }
+        }
+        self.indices[i] += 1;
+        for j in i + 1..self.r {
+            self.indices[j] = self.indices[j - 1] + 1;
+        }
+        Some(&self.indices)
+    }
+
+    /// Number of combinations, `C(n, r)`, saturating at `u64::MAX`.
+    pub fn count(n: usize, r: usize) -> u64 {
+        if r > n {
+            return 0;
+        }
+        let r = r.min(n - r);
+        let mut acc: u128 = 1;
+        for i in 0..r {
+            acc = acc * (n - i) as u128 / (i + 1) as u128;
+            if acc > u64::MAX as u128 {
+                return u64::MAX;
+            }
+        }
+        acc as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(n: usize, r: usize) -> Vec<Vec<usize>> {
+        let mut c = Combinations::new(n, r);
+        let mut out = Vec::new();
+        while let Some(combo) = c.next_combo() {
+            out.push(combo.to_vec());
+        }
+        out
+    }
+
+    #[test]
+    fn four_choose_two() {
+        assert_eq!(
+            collect(4, 2),
+            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+        );
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        assert_eq!(collect(3, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(collect(0, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(collect(2, 3), Vec::<Vec<usize>>::new());
+        assert_eq!(collect(3, 3), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn counts_match_enumeration() {
+        for n in 0..8 {
+            for r in 0..=n + 1 {
+                assert_eq!(
+                    Combinations::count(n, r),
+                    collect(n, r).len() as u64,
+                    "C({n},{r})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn big_counts_do_not_overflow() {
+        assert_eq!(Combinations::count(100, 10), 17_310_309_456_440);
+        assert_eq!(Combinations::count(200, 100), u64::MAX, "saturates");
+    }
+
+    #[test]
+    fn combos_are_sorted_and_unique() {
+        let all = collect(6, 3);
+        assert_eq!(all.len(), 20);
+        for c in &all {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut dedup = all.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), all.len());
+    }
+}

@@ -1,0 +1,136 @@
+/// Tuning knobs for the SGSelect/STGSelect access-ordering conditions and
+/// pruning strategies.
+///
+/// The paper leaves the initial exponents as free parameters (Example 2
+/// "assume θ = 2", Example 3 "assume φ = 2") and adapts them during the
+/// search: θ is *reduced* towards 0 when no candidate passes the interior
+/// unfamiliarity condition, and φ is *increased* towards a "predetermined
+/// threshold t" (Algorithm 4) when no candidate passes the temporal
+/// extensibility condition, after which the condition's right-hand side is
+/// treated as 0.
+///
+/// The three `*_pruning` switches exist for **ablation**: disabling a
+/// pruning strategy never changes the optimum (each prunes only provably
+/// useless subtrees — Lemmas 2, 3 and 5), only the work done to find it.
+/// The benchmark harness's ablation table quantifies each strategy's
+/// contribution; production callers should leave them on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SelectConfig {
+    /// Initial θ for the interior unfamiliarity condition
+    /// `U(VS ∪ {v}) ≤ k · (|VS ∪ {v}|/p)^θ`; decays by 1 per relaxation.
+    pub theta0: u32,
+    /// Initial φ (≥ 1) for the temporal extensibility condition
+    /// `X(VS ∪ {u}) ≥ (m−1) · ((p − |VS ∪ {u}|)/p)^φ`; grows by 1 per
+    /// relaxation.
+    pub phi0: u32,
+    /// The paper's threshold `t`: once φ reaches this cap the temporal
+    /// RHS is treated as 0 (i.e. only hard feasibility `X ≥ 0` remains).
+    pub phi_cap: u32,
+    /// Lemma 2: abandon frames that cannot beat the incumbent distance.
+    pub distance_pruning: bool,
+    /// Lemma 3: abandon frames whose remaining candidates lack the
+    /// internal connectivity any feasible completion needs.
+    pub acquaintance_pruning: bool,
+    /// Lemma 5 (STGSelect only): abandon frames whose remaining candidates
+    /// cannot keep any `m`-slot window alive around the pivot.
+    pub availability_pruning: bool,
+    /// Optional *anytime* budget: stop opening new search frames once this
+    /// many have been entered and return the incumbent found so far
+    /// (flagged by [`SearchStats::truncated`](crate::SearchStats)). `None`
+    /// (the default) searches to proven optimality. In the parallel
+    /// solvers the budget applies per worker.
+    pub frame_budget: Option<u64>,
+}
+
+impl SelectConfig {
+    /// The exponents used in the paper's worked examples, all prunings on.
+    pub const PAPER_EXAMPLE: SelectConfig = SelectConfig {
+        theta0: 2,
+        phi0: 2,
+        phi_cap: 8,
+        distance_pruning: true,
+        acquaintance_pruning: true,
+        availability_pruning: true,
+        frame_budget: None,
+    };
+
+    /// Greedy-est ordering: both conditions start fully relaxed. Useful in
+    /// tests to confirm the knobs do not affect optimality.
+    pub const RELAXED: SelectConfig =
+        SelectConfig { theta0: 0, phi0: 1, phi_cap: 1, ..SelectConfig::PAPER_EXAMPLE };
+
+    /// Ablation preset: paper ordering, every pruning strategy off.
+    pub const NO_PRUNING: SelectConfig = SelectConfig {
+        distance_pruning: false,
+        acquaintance_pruning: false,
+        availability_pruning: false,
+        ..SelectConfig::PAPER_EXAMPLE
+    };
+
+    /// Ablation helper: this config with distance pruning toggled.
+    pub const fn with_distance_pruning(self, on: bool) -> Self {
+        SelectConfig { distance_pruning: on, ..self }
+    }
+
+    /// Ablation helper: this config with acquaintance pruning toggled.
+    pub const fn with_acquaintance_pruning(self, on: bool) -> Self {
+        SelectConfig { acquaintance_pruning: on, ..self }
+    }
+
+    /// Ablation helper: this config with availability pruning toggled.
+    pub const fn with_availability_pruning(self, on: bool) -> Self {
+        SelectConfig { availability_pruning: on, ..self }
+    }
+
+    /// Anytime helper: this config with the given frame budget.
+    pub const fn with_frame_budget(self, budget: u64) -> Self {
+        SelectConfig { frame_budget: Some(budget), ..self }
+    }
+
+    /// Clamp to the invariants (`phi0 ≥ 1`, `phi_cap ≥ phi0`).
+    pub fn normalized(self) -> Self {
+        let phi0 = self.phi0.max(1);
+        SelectConfig { phi0, phi_cap: self.phi_cap.max(phi0), ..self }
+    }
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        SelectConfig::PAPER_EXAMPLE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_examples() {
+        let c = SelectConfig::default();
+        assert_eq!(c.theta0, 2);
+        assert_eq!(c.phi0, 2);
+        assert!(c.distance_pruning && c.acquaintance_pruning && c.availability_pruning);
+    }
+
+    #[test]
+    fn normalized_enforces_invariants() {
+        let c = SelectConfig { phi0: 0, phi_cap: 0, ..SelectConfig::default() }.normalized();
+        assert_eq!(c.phi0, 1);
+        assert!(c.phi_cap >= c.phi0);
+        let c2 = SelectConfig { phi0: 5, phi_cap: 2, ..SelectConfig::default() }.normalized();
+        assert_eq!(c2.phi_cap, 5);
+    }
+
+    #[test]
+    fn ablation_presets_and_toggles() {
+        let c = SelectConfig::NO_PRUNING;
+        assert!(!c.distance_pruning && !c.acquaintance_pruning && !c.availability_pruning);
+        assert_eq!(c.theta0, SelectConfig::PAPER_EXAMPLE.theta0);
+
+        let c = SelectConfig::PAPER_EXAMPLE
+            .with_distance_pruning(false)
+            .with_acquaintance_pruning(false)
+            .with_availability_pruning(true);
+        assert!(!c.distance_pruning && !c.acquaintance_pruning && c.availability_pruning);
+    }
+}

@@ -1,0 +1,81 @@
+use std::fmt;
+
+use stgq_graph::NodeId;
+
+/// Errors for malformed queries or inconsistent inputs.
+///
+/// Note that an *infeasible* query (no group satisfies the constraints) is
+/// not an error: engines return `Ok` with `solution == None`, mirroring the
+/// paper's "output Failure" path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// A query parameter was structurally invalid.
+    InvalidQuery {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The initiator id is outside the graph.
+    InitiatorOutOfRange {
+        /// The offending initiator.
+        initiator: NodeId,
+        /// Number of vertices in the graph.
+        node_count: usize,
+    },
+    /// The calendar slice does not cover every vertex.
+    CalendarCountMismatch {
+        /// Calendars supplied.
+        calendars: usize,
+        /// Vertices in the graph.
+        node_count: usize,
+    },
+    /// Calendars disagree on the slot horizon.
+    HorizonMismatch {
+        /// Horizon of calendar 0.
+        expected: usize,
+        /// First disagreeing horizon.
+        found: usize,
+        /// Index of the first disagreeing calendar.
+        index: usize,
+    },
+}
+
+impl QueryError {
+    pub(crate) fn invalid(reason: impl Into<String>) -> Self {
+        QueryError::InvalidQuery { reason: reason.into() }
+    }
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            QueryError::InitiatorOutOfRange { initiator, node_count } => {
+                write!(f, "initiator {initiator} out of range (graph has {node_count} vertices)")
+            }
+            QueryError::CalendarCountMismatch { calendars, node_count } => {
+                write!(f, "{calendars} calendars supplied for {node_count} vertices")
+            }
+            QueryError::HorizonMismatch { expected, found, index } => {
+                write!(f, "calendar {index} has horizon {found}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(QueryError::invalid("p must be positive").to_string().contains("p must"));
+        let e = QueryError::InitiatorOutOfRange { initiator: NodeId(7), node_count: 3 };
+        assert!(e.to_string().contains("v7"));
+        let e = QueryError::CalendarCountMismatch { calendars: 2, node_count: 5 };
+        assert!(e.to_string().contains("2 calendars"));
+        let e = QueryError::HorizonMismatch { expected: 10, found: 8, index: 3 };
+        assert!(e.to_string().contains("calendar 3"));
+    }
+}

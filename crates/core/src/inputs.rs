@@ -1,0 +1,66 @@
+//! Shared input validation for the temporal engines.
+
+use stgq_graph::{NodeId, SocialGraph};
+use stgq_schedule::Calendar;
+
+use crate::QueryError;
+
+/// Check that `calendars` covers every vertex with one uniform horizon and
+/// that the initiator exists; returns the horizon.
+pub(crate) fn check_temporal_inputs(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+) -> Result<usize, QueryError> {
+    if initiator.index() >= graph.node_count() {
+        return Err(QueryError::InitiatorOutOfRange {
+            initiator,
+            node_count: graph.node_count(),
+        });
+    }
+    if calendars.len() != graph.node_count() {
+        return Err(QueryError::CalendarCountMismatch {
+            calendars: calendars.len(),
+            node_count: graph.node_count(),
+        });
+    }
+    let expected = calendars
+        .first()
+        .map(Calendar::horizon)
+        .ok_or_else(|| QueryError::invalid("graph has no vertices"))?;
+    for (index, c) in calendars.iter().enumerate() {
+        if c.horizon() != expected {
+            return Err(QueryError::HorizonMismatch { expected, found: c.horizon(), index });
+        }
+    }
+    Ok(expected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    #[test]
+    fn detects_each_failure_mode() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        let g = b.build();
+        let cals = vec![Calendar::new(4), Calendar::new(4)];
+
+        assert_eq!(check_temporal_inputs(&g, NodeId(0), &cals), Ok(4));
+        assert!(matches!(
+            check_temporal_inputs(&g, NodeId(9), &cals),
+            Err(QueryError::InitiatorOutOfRange { .. })
+        ));
+        assert!(matches!(
+            check_temporal_inputs(&g, NodeId(0), &cals[..1]),
+            Err(QueryError::CalendarCountMismatch { .. })
+        ));
+        let bad = vec![Calendar::new(4), Calendar::new(5)];
+        assert!(matches!(
+            check_temporal_inputs(&g, NodeId(0), &bad),
+            Err(QueryError::HorizonMismatch { index: 1, .. })
+        ));
+    }
+}

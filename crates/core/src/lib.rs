@@ -1,0 +1,89 @@
+//! Query engines for *On Social-Temporal Group Query with Acquaintance
+//! Constraint* (VLDB 2011).
+//!
+//! Two NP-hard queries over a weighted social graph:
+//!
+//! * **SGQ(p, s, k)** — find `p` attendees (initiator included) within `s`
+//!   social hops, minimizing total social distance to the initiator, such
+//!   that each attendee is unacquainted with at most `k` others
+//!   ([`SgqQuery`], solved by [`solve_sgq`]);
+//! * **STGQ(p, s, k, m)** — additionally find `m` consecutive time slots in
+//!   which all attendees are available ([`StgqQuery`], solved by
+//!   [`solve_stgq`]).
+//!
+//! Engines provided:
+//!
+//! | engine | function | paper |
+//! |--------|----------|-------|
+//! | SGSelect | [`solve_sgq`] | §3.2 |
+//! | STGSelect | [`solve_stgq`] | §4.2 |
+//! | parallel SGSelect | [`solve_sgq_parallel`] | extension (§5.2 notes IP used 8 cores) |
+//! | parallel STGSelect | [`solve_stgq_parallel`] | extension |
+//! | SGQ exhaustive baseline | [`solve_sgq_exhaustive`] | §5.2 |
+//! | STGQ sequential baseline | [`solve_stgq_sequential`] | §5.2 |
+//! | PCArrange | [`pc_arrange`] | §5.1 |
+//! | STGArrange | [`stg_arrange`] | §5.1 |
+//!
+//! All engines are exact (the baselines by enumeration, the Select
+//! algorithms by sound pruning — Theorems 2 and 3) and return the same
+//! optimal objective; cross-checking them is the backbone of this crate's
+//! test suite. An independent [`validate`] module re-checks any claimed
+//! solution straight from the problem definitions.
+//!
+//! # Quick start
+//!
+//! ```
+//! use stgq_graph::{GraphBuilder, NodeId};
+//! use stgq_core::{solve_sgq, SelectConfig, SgqQuery};
+//!
+//! // A tiny friend circle around the initiator v0.
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+//! b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+//! b.add_edge(NodeId(0), NodeId(3), 1).unwrap();
+//! let graph = b.build();
+//!
+//! // Three people who all know each other (k = 0), one hop away.
+//! let query = SgqQuery::new(3, 1, 0).unwrap();
+//! let out = solve_sgq(&graph, NodeId(0), &query, &SelectConfig::default()).unwrap();
+//! let sol = out.solution.unwrap();
+//! assert_eq!(sol.members, vec![NodeId(0), NodeId(1), NodeId(2)]);
+//! assert_eq!(sol.total_distance, 5);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod baseline;
+mod combinations;
+mod config;
+mod error;
+pub mod heuristics;
+mod incumbent;
+mod inputs;
+mod manual;
+mod parallel;
+mod query;
+mod result;
+mod sgselect;
+mod stats;
+mod stgselect;
+pub mod validate;
+
+pub use baseline::{
+    exhaustive_group_count, solve_sgq_exhaustive, solve_sgq_exhaustive_on,
+    solve_stgq_sequential, solve_stgq_sequential_on, SgqEngine,
+};
+pub use combinations::Combinations;
+pub use config::SelectConfig;
+pub use error::QueryError;
+pub use manual::{pc_arrange, stg_arrange, PcArrangeResult, StgArrangeResult};
+pub use parallel::{
+    solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel, solve_stgq_parallel_on,
+};
+pub use query::{SgqQuery, StgqQuery};
+pub use result::{SgqOutcome, SgqSolution, StgqOutcome, StgqSolution};
+pub use sgselect::{solve_sgq, solve_sgq_on};
+pub use stats::SearchStats;
+pub use stgselect::{solve_stgq, solve_stgq_on};

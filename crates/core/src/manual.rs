@@ -1,0 +1,246 @@
+//! The solution-quality comparators of §5.1.
+//!
+//! **PCArrange** imitates manual coordination over the phone: the initiator
+//! walks her contact list from socially closest to farthest, inviting the
+//! next person whenever the group so far still shares at least one `m`-slot
+//! window, and skipping anyone whose schedule would destroy the common
+//! window. There is no acquaintance constraint; instead the *observed*
+//! constraint `k_h` (the largest number of strangers any attendee faces) is
+//! reported, which is what Figure 1(g) plots.
+//!
+//! **STGArrange** probes solution quality from the other side: starting at
+//! `k = 0` it raises `k` until STGSelect finds a solution whose total
+//! social distance is no worse than PCArrange's, yielding both a smaller
+//! `k` and a smaller (or equal) distance — Figures 1(g) and 1(h).
+
+use stgq_graph::{Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_schedule::{Calendar, SlotRange};
+
+use crate::inputs::check_temporal_inputs;
+use crate::stgselect::solve_stgq;
+use crate::{QueryError, SelectConfig, StgqQuery, StgqSolution};
+
+/// Outcome of a PCArrange run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PcArrangeResult {
+    /// The arranged group (sorted by original id, initiator included).
+    pub members: Vec<NodeId>,
+    /// Total social distance of the group.
+    pub total_distance: Dist,
+    /// The observed acquaintance parameter `k_h`: the maximum number of
+    /// other attendees any attendee is unacquainted with.
+    pub observed_k: usize,
+    /// The earliest common `m`-slot window of the group.
+    pub period: SlotRange,
+}
+
+/// Imitate manual coordination: greedily invite the closest friends that
+/// keep a common `m`-slot window alive, until `p` people (initiator
+/// included) are gathered. Returns `None` when fewer than `p` can be
+/// gathered.
+pub fn pc_arrange(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    p: usize,
+    s: usize,
+    m: usize,
+) -> Result<Option<PcArrangeResult>, QueryError> {
+    if p == 0 || s == 0 || m == 0 {
+        return Err(QueryError::invalid("p, s and m must all be at least 1"));
+    }
+    check_temporal_inputs(graph, initiator, calendars)?;
+    let fg = FeasibleGraph::extract(graph, initiator, s);
+
+    let mut common = calendars[initiator.index()].clone();
+    if common.windows_of(m).next().is_none() {
+        return Ok(None); // the initiator herself has no m-slot window
+    }
+
+    let mut members: Vec<u32> = vec![0];
+    for &c in fg.candidate_order() {
+        if members.len() == p {
+            break;
+        }
+        let mut tentative = common.clone();
+        tentative
+            .intersect_with(&calendars[fg.origin(c).index()])
+            .expect("horizons validated");
+        if tentative.windows_of(m).next().is_some() {
+            members.push(c);
+            common = tentative;
+        }
+        // else: "sorry, no time that works" — skip this friend.
+    }
+    if members.len() < p {
+        return Ok(None);
+    }
+
+    let total_distance = fg.group_distance(members.iter().copied());
+    let observed_k = members
+        .iter()
+        .map(|&v| {
+            members.iter().filter(|&&u| u != v && !fg.adjacent(u, v)).count()
+        })
+        .max()
+        .unwrap_or(0);
+    let start = common.windows_of(m).next().expect("kept invariant");
+    Ok(Some(PcArrangeResult {
+        members: fg.to_origin_group(members),
+        total_distance,
+        observed_k,
+        period: SlotRange::new(start, start + m - 1),
+    }))
+}
+
+/// Outcome of an STGArrange run: the smallest `k` at which STGSelect is no
+/// worse than the reference distance, and that solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StgArrangeResult {
+    /// The smallest sufficient acquaintance parameter.
+    pub k: usize,
+    /// STGSelect's solution at that `k`.
+    pub solution: StgqSolution,
+}
+
+/// Find the smallest `k ∈ 0..p` whose STGSelect answer has total distance
+/// `≤ reference_distance` (use `Dist::MAX` when PCArrange failed, making
+/// the first feasible `k` win).
+#[allow(clippy::too_many_arguments)] // mirrors the paper's parameter list
+pub fn stg_arrange(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    p: usize,
+    s: usize,
+    m: usize,
+    reference_distance: Dist,
+    cfg: &SelectConfig,
+) -> Result<Option<StgArrangeResult>, QueryError> {
+    for k in 0..p.max(1) {
+        let query = StgqQuery::new(p, s, k, m)?;
+        let out = solve_stgq(graph, initiator, calendars, &query, cfg)?;
+        if let Some(solution) = out.solution {
+            if solution.total_distance <= reference_distance {
+                return Ok(Some(StgArrangeResult { k, solution }));
+            }
+            // A feasible solution at k is optimal for every k' ≥ k only up
+            // to relaxation: larger k admits more groups, so the optimum is
+            // non-increasing in k — keep scanning.
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    /// Example-3 inputs (see stgselect tests).
+    fn inputs() -> (SocialGraph, NodeId, Vec<Calendar>) {
+        let mut b = GraphBuilder::new(9);
+        b.add_edge(NodeId(7), NodeId(2), 17).unwrap();
+        b.add_edge(NodeId(7), NodeId(3), 18).unwrap();
+        b.add_edge(NodeId(7), NodeId(4), 27).unwrap();
+        b.add_edge(NodeId(7), NodeId(6), 23).unwrap();
+        b.add_edge(NodeId(7), NodeId(8), 25).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 14).unwrap();
+        b.add_edge(NodeId(2), NodeId(6), 19).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 29).unwrap();
+        b.add_edge(NodeId(4), NodeId(6), 20).unwrap();
+        let g = b.build();
+        let horizon = 7;
+        let mut cals = vec![Calendar::new(horizon); 9];
+        cals[2] = Calendar::from_slots(horizon, 0..7);
+        cals[3] = Calendar::from_slots(horizon, [1, 2, 4, 5]);
+        cals[4] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 6]);
+        cals[6] = Calendar::from_slots(horizon, [1, 2, 3, 4, 5, 6]);
+        cals[7] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 5]);
+        cals[8] = Calendar::from_slots(horizon, [0, 2, 4, 5]);
+        (g, NodeId(7), cals)
+    }
+
+    #[test]
+    fn pc_arrange_invites_closest_compatible_friends() {
+        let (g, q, cals) = inputs();
+        let res = pc_arrange(&g, q, &cals, 4, 1, 3).unwrap().unwrap();
+        // Greedy by distance: v2 (17) keeps window; v3 (18): common of
+        // {v7,v2,v3} = {1,2} and {4,5} → no 3-run → v3 skipped; v6 (23):
+        // common {1..5} ✓; v8 (25): breaks the window ({2,4,5}) → skipped;
+        // v4 (27): common {1,2,3,4} ✓ → group {v2,v4,v6,v7}.
+        assert_eq!(res.members, vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]);
+        assert_eq!(res.total_distance, 17 + 27 + 23);
+        assert_eq!(res.observed_k, 0, "this particular group is a clique");
+        assert_eq!(res.period, SlotRange::new(1, 3));
+    }
+
+    #[test]
+    fn pc_arrange_fails_when_not_enough_people_fit() {
+        let (g, q, cals) = inputs();
+        let res = pc_arrange(&g, q, &cals, 6, 1, 3).unwrap();
+        assert!(res.is_none(), "only 4 people share a 3-slot window");
+    }
+
+    #[test]
+    fn pc_arrange_reports_observed_k_for_loose_groups() {
+        let (g, q, mut cals) = inputs();
+        // Everyone always free → greedy takes the p−1 closest: v2,v3,v6.
+        for c in &mut cals {
+            *c = Calendar::all_available(7);
+        }
+        let res = pc_arrange(&g, q, &cals, 4, 1, 2).unwrap().unwrap();
+        assert_eq!(res.members, vec![NodeId(2), NodeId(3), NodeId(6), NodeId(7)]);
+        // v3 knows neither v2 nor v6 → k_h = 2.
+        assert_eq!(res.observed_k, 2);
+        assert_eq!(res.total_distance, 17 + 18 + 23);
+    }
+
+    #[test]
+    fn stg_arrange_finds_smaller_k_no_worse_distance() {
+        let (g, q, cals) = inputs();
+        let pc = pc_arrange(&g, q, &cals, 4, 1, 3).unwrap().unwrap();
+        let res = stg_arrange(&g, q, &cals, 4, 1, 3, pc.total_distance, &SelectConfig::default())
+            .unwrap()
+            .unwrap();
+        assert!(res.k <= pc.observed_k.max(1));
+        assert!(res.solution.total_distance <= pc.total_distance);
+        // Here STGSelect finds the same clique already at k = 0.
+        assert_eq!(res.k, 0);
+        assert_eq!(res.solution.total_distance, 67);
+    }
+
+    #[test]
+    fn stg_arrange_with_unreachable_reference_returns_first_feasible() {
+        let (g, q, cals) = inputs();
+        let res = stg_arrange(&g, q, &cals, 4, 1, 3, Dist::MAX, &SelectConfig::default())
+            .unwrap()
+            .unwrap();
+        assert_eq!(res.k, 0);
+    }
+
+    #[test]
+    fn stg_arrange_none_when_totally_infeasible() {
+        let (g, q, mut cals) = inputs();
+        cals[q.index()] = Calendar::new(7); // initiator never free
+        let res = stg_arrange(&g, q, &cals, 4, 1, 3, Dist::MAX, &SelectConfig::default()).unwrap();
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let (g, q, cals) = inputs();
+        assert!(pc_arrange(&g, q, &cals, 0, 1, 3).is_err());
+        assert!(pc_arrange(&g, q, &cals, 4, 0, 3).is_err());
+        assert!(pc_arrange(&g, q, &cals, 4, 1, 0).is_err());
+    }
+
+    #[test]
+    fn pc_arrange_p_one_is_just_the_initiator() {
+        let (g, q, cals) = inputs();
+        let res = pc_arrange(&g, q, &cals, 1, 1, 3).unwrap().unwrap();
+        assert_eq!(res.members, vec![q]);
+        assert_eq!(res.total_distance, 0);
+        assert_eq!(res.observed_k, 0);
+    }
+}

@@ -1,0 +1,471 @@
+//! Parallel variants of SGSelect and STGSelect.
+//!
+//! The paper's evaluation (§5.2) notes that the CPLEX comparator exploited
+//! all 8 cores of the test machine while SGSelect and STGSelect ran
+//! single-threaded. These solvers close that gap without giving up
+//! exactness:
+//!
+//! * **STGQ** parallelises over *pivot time slots* (Lemma 4): pivots are
+//!   independent search roots, so workers claim them from a shared counter
+//!   and publish improvements into one shared incumbent — exactly the
+//!   incumbent-sharing the sequential engine does across its pivot loop,
+//!   just concurrent.
+//! * **SGQ** parallelises over *forced-prefix subtrees*. Every feasible
+//!   group other than `{q}` has an earliest member `u_i` in the access
+//!   order (and, for `p ≥ 3`, an earliest pair `u_i, u_j`), so the search
+//!   space partitions into subtrees "force the prefix, exclude everything
+//!   ordered before it". Depth-1 splitting alone parallelises poorly: the
+//!   access order concentrates nearly all work in the *first* subtree (the
+//!   optimum usually lives there, and later roots are pruned by its
+//!   incumbent). The solver therefore splits the first
+//!   [`PAIR_SPLIT_ROOTS`] roots into their depth-2 pair subtrees and keeps
+//!   depth-1 tasks for the long cheap tail. Each forced prefix is vetted
+//!   with the hard acquaintance check (θ = 0) and Lemma 1 before being
+//!   searched by an ordinary [`Searcher`] sharing the global incumbent.
+//!
+//! Sharing the incumbent is sound in both directions: a racing thread can
+//! only ever read a *stale, larger* bound, which weakens Lemma-2 pruning
+//! but never cuts a subtree containing a better solution. The returned
+//! **objective value is therefore always the sequential optimum**; when
+//! several optimal groups tie, which witness is returned may differ from
+//! the sequential engine (and between runs).
+//!
+//! Before spawning, both solvers **seed the incumbent with a greedy
+//! solution** ([`crate::heuristics`]). The sequential engines get their
+//! first incumbent almost immediately (access ordering finds a feasible
+//! group early, and it prunes everything after it); parallel workers
+//! starting simultaneously would instead all search unpruned. A feasible
+//! seed restores that asymmetry-free: Lemma 2 with a non-optimal bound
+//! never cuts a strictly better solution, so exactness is untouched.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use stgq_graph::{BitSet, FeasibleGraph, NodeId, SocialGraph};
+use stgq_schedule::pivot::pivot_slots;
+use stgq_schedule::Calendar;
+
+use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
+use crate::incumbent::Incumbent;
+use crate::inputs::check_temporal_inputs;
+use crate::sgselect::{Searcher, VaState};
+use crate::stgselect::{prepare_pivot, search_pivot, StBest};
+use crate::{
+    solve_sgq_on, solve_stgq_on, QueryError, SearchStats, SelectConfig, SgqOutcome,
+    SgqQuery, SgqSolution, StgqOutcome, StgqQuery, StgqSolution,
+};
+
+/// Restarts used for the greedy incumbent seed (cheap relative to any
+/// instance worth parallelising).
+const SEED_RESTARTS: usize = 2;
+
+/// How many of the earliest access-order roots are split into depth-2
+/// pair tasks. The work distribution over roots is extremely top-heavy,
+/// so splitting a small prefix is enough; the bound also caps the task
+/// list at `PAIR_SPLIT_ROOTS · f + f` entries regardless of graph size.
+const PAIR_SPLIT_ROOTS: usize = 24;
+
+/// One unit of parallel SGQ work: a forced prefix of the access order.
+#[derive(Clone, Copy)]
+enum RootTask {
+    /// Force `order[i]`; exclude everything before it.
+    Single(usize),
+    /// Force `order[i]` then `order[j]`; exclude everything before `j`
+    /// except `order[i]`.
+    Pair(usize, usize),
+}
+
+/// Resolve a thread-count request: `0` means "all available parallelism".
+fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    }
+}
+
+/// Parallel SGSelect: identical optimum to [`crate::solve_sgq`], searched
+/// by `threads` workers (`0` = all available cores).
+pub fn solve_sgq_parallel(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+    threads: usize,
+) -> Result<SgqOutcome, QueryError> {
+    if initiator.index() >= graph.node_count() {
+        return Err(QueryError::InitiatorOutOfRange {
+            initiator,
+            node_count: graph.node_count(),
+        });
+    }
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    Ok(solve_sgq_parallel_on(&fg, query, cfg, None, threads))
+}
+
+/// As [`solve_sgq_parallel`] on a pre-extracted feasible graph, with an
+/// optional candidate mask (see [`solve_sgq_on`]).
+pub fn solve_sgq_parallel_on(
+    fg: &FeasibleGraph,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+    candidate_mask: Option<&BitSet>,
+    threads: usize,
+) -> SgqOutcome {
+    let threads = effective_threads(threads);
+    let p = query.p();
+    if threads == 1 || p <= 1 {
+        return solve_sgq_on(fg, query, cfg, candidate_mask);
+    }
+
+    let order = fg.candidate_order();
+    let base_va = VaState::init(fg, candidate_mask);
+    let incumbent: Incumbent<Vec<u32>> = Incumbent::new();
+    if let Some(seed) = greedy_sgq_on(fg, query, candidate_mask, SEED_RESTARTS).solution {
+        let compact: Vec<u32> = seed
+            .members
+            .iter()
+            .map(|&v| fg.compact(v).expect("greedy members lie in the feasible graph"))
+            .collect();
+        incumbent.offer(seed.total_distance, || compact);
+    }
+
+    // Vet each root against the hard acquaintance constraint once (the
+    // check only involves VS = {q}, so it is task-independent) and use
+    // Lemma 1 with the root's full suffix — sound to skip on, because a
+    // pair task's effective VA is a subset of the root's.
+    let mut root_ok = vec![false; order.len()];
+    {
+        let mut va = base_va.clone();
+        let mut probe = Searcher::new(fg, p, query.k(), cfg, &incumbent);
+        probe.push(0);
+        for (i, &u) in order.iter().enumerate() {
+            if va.set.contains(u as usize) {
+                let (u_val, a_val) = probe.u_and_a(u, &va);
+                root_ok[i] = probe.hard_feasible(u_val, a_val);
+                va.remove(u, fg);
+            }
+        }
+    }
+
+    // Depth-2 pair tasks for the heavy early roots, depth-1 for the tail.
+    let split = PAIR_SPLIT_ROOTS.min(order.len());
+    let mut tasks: Vec<RootTask> = Vec::new();
+    if p == 2 {
+        // Groups are {q, u_i}: depth-1 covers everything.
+        tasks.extend((0..order.len()).map(RootTask::Single));
+    } else {
+        for (i, ok) in root_ok.iter().enumerate().take(split) {
+            if *ok {
+                tasks.extend((i + 1..order.len()).map(|j| RootTask::Pair(i, j)));
+            }
+        }
+        tasks.extend((split..order.len()).map(RootTask::Single));
+    }
+    let next = AtomicUsize::new(0);
+
+    let mut stats = SearchStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = SearchStats::default();
+                    loop {
+                        let t = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&task) = tasks.get(t) else { return local };
+                        let (i, forced_j) = match task {
+                            RootTask::Single(i) => (i, None),
+                            RootTask::Pair(i, j) => (i, Some(j)),
+                        };
+                        if !root_ok[i] || !base_va.set.contains(order[i] as usize) {
+                            continue;
+                        }
+                        let last_forced = forced_j.unwrap_or(i);
+                        if !base_va.set.contains(order[last_forced] as usize) {
+                            continue;
+                        }
+
+                        // VA: everything ordered after the last forced
+                        // vertex (the forced pair's second member stays in
+                        // until its feasibility check below).
+                        let mut va = base_va.clone();
+                        for (pos, &w) in order[..=last_forced].iter().enumerate() {
+                            if pos != last_forced && va.set.contains(w as usize) {
+                                va.remove(w, fg);
+                            }
+                        }
+                        let forced_members = if forced_j.is_some() { 2 } else { 1 };
+                        if va.len() + forced_members < p {
+                            continue;
+                        }
+
+                        let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
+                        searcher.push(0);
+                        let u_i = order[i];
+                        let mut td = fg.dist(u_i);
+                        if forced_j.is_some() {
+                            // root_ok[i] vouched for u_i against VS = {q}.
+                            searcher.push(u_i);
+                        }
+                        let u_last = order[last_forced];
+                        searcher.stats.candidates_examined += 1;
+                        let (u_val, a_val) = searcher.u_and_a(u_last, &va);
+                        if searcher.hard_feasible(u_val, a_val) {
+                            if forced_j.is_some() {
+                                td += fg.dist(u_last);
+                            }
+                            searcher.push(u_last);
+                            va.remove(u_last, fg);
+                            searcher.stats.vertices_expanded += 1;
+                            if searcher.vs.len() >= p {
+                                searcher.record(td);
+                            } else {
+                                searcher.expand(va, td);
+                            }
+                        }
+                        local.absorb(&searcher.stats);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            stats.absorb(&h.join().expect("SGQ worker never panics"));
+        }
+    });
+
+    let solution = incumbent.into_best().map(|(total_distance, group)| SgqSolution {
+        members: fg.to_origin_group(group),
+        total_distance,
+    });
+    SgqOutcome { solution, stats }
+}
+
+/// Parallel STGSelect: identical optimum to [`crate::solve_stgq`], with
+/// pivot time slots distributed over `threads` workers (`0` = all cores).
+pub fn solve_stgq_parallel(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    threads: usize,
+) -> Result<StgqOutcome, QueryError> {
+    check_temporal_inputs(graph, initiator, calendars)?;
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    Ok(solve_stgq_parallel_on(&fg, calendars, query, cfg, threads))
+}
+
+/// As [`solve_stgq_parallel`] on a pre-extracted feasible graph.
+pub fn solve_stgq_parallel_on(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    threads: usize,
+) -> StgqOutcome {
+    let threads = effective_threads(threads);
+    let p = query.p();
+    if threads == 1 || p <= 1 {
+        return solve_stgq_on(fg, calendars, query, cfg);
+    }
+
+    let cfg = cfg.normalized();
+    let m = query.m();
+    let horizon = calendars.first().map(Calendar::horizon).unwrap_or(0);
+    let pivots: Vec<usize> = pivot_slots(horizon, m).collect();
+
+    let incumbent = Incumbent::new();
+    if let Some(seed) = greedy_stgq_on(fg, calendars, query, SEED_RESTARTS).solution {
+        let group: Vec<u32> = seed
+            .members
+            .iter()
+            .map(|&v| fg.compact(v).expect("greedy members lie in the feasible graph"))
+            .collect();
+        let (period, pivot) = (seed.period, seed.pivot);
+        incumbent.offer(seed.total_distance, || StBest { group, period, pivot });
+    }
+    let next = AtomicUsize::new(0);
+    let mut stats = SearchStats::default();
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = SearchStats::default();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= pivots.len() {
+                            return local;
+                        }
+                        if let Some(job) = prepare_pivot(
+                            fg, calendars, p, m, pivots[i], horizon, &mut local,
+                        ) {
+                            search_pivot(fg, query, &cfg, job, &incumbent, &mut local);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            stats.absorb(&h.join().expect("STGQ worker never panics"));
+        }
+    });
+
+    let solution = incumbent.into_best().map(|(dist, b)| StgqSolution {
+        members: fg.to_origin_group(b.group),
+        total_distance: dist,
+        period: b.period,
+        pivot: b.pivot,
+    });
+    StgqOutcome { solution, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{solve_sgq, solve_stgq};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use stgq_graph::GraphBuilder;
+
+    /// Random weighted graph + calendars for equivalence tests.
+    fn random_instance(
+        seed: u64,
+        n: usize,
+        edge_prob: f64,
+        horizon: usize,
+    ) -> (SocialGraph, Vec<Calendar>) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(edge_prob) {
+                    b.add_edge(
+                        NodeId(u as u32),
+                        NodeId(v as u32),
+                        rng.gen_range(1..=50),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        let graph = b.build();
+        let calendars = (0..n)
+            .map(|_| {
+                let mut c = Calendar::new(horizon);
+                for slot in 0..horizon {
+                    if rng.gen_bool(0.7) {
+                        c.set_available(slot, true);
+                    }
+                }
+                c
+            })
+            .collect();
+        (graph, calendars)
+    }
+
+    #[test]
+    fn sgq_parallel_matches_sequential_on_random_graphs() {
+        let cfg = SelectConfig::default();
+        for seed in 0..8 {
+            let (g, _) = random_instance(seed, 24, 0.3, 1);
+            let query = SgqQuery::new(5, 2, 1).unwrap();
+            let seq = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap();
+            for threads in [2, 4] {
+                let par = solve_sgq_parallel(&g, NodeId(0), &query, &cfg, threads).unwrap();
+                assert_eq!(
+                    par.solution.as_ref().map(|s| s.total_distance),
+                    seq.solution.as_ref().map(|s| s.total_distance),
+                    "seed {seed}, {threads} threads"
+                );
+                if let Some(sol) = &par.solution {
+                    assert!(crate::validate::validate_sgq(&g, NodeId(0), &query, sol).is_ok());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stgq_parallel_matches_sequential_on_random_instances() {
+        let cfg = SelectConfig::default();
+        for seed in 100..106 {
+            let (g, cals) = random_instance(seed, 20, 0.35, 48);
+            let query = StgqQuery::new(4, 2, 1, 4).unwrap();
+            let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
+            for threads in [2, 4] {
+                let par =
+                    solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, threads).unwrap();
+                assert_eq!(
+                    par.solution.as_ref().map(|s| s.total_distance),
+                    seq.solution.as_ref().map(|s| s.total_distance),
+                    "seed {seed}, {threads} threads"
+                );
+                if let Some(sol) = &par.solution {
+                    assert!(
+                        crate::validate::validate_stgq(&g, NodeId(0), &cals, &query, sol)
+                            .is_ok()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_thread_request_delegates_to_sequential() {
+        let (g, cals) = random_instance(7, 16, 0.4, 24);
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let cfg = SelectConfig::default();
+        let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
+        let par = solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, 1).unwrap();
+        assert_eq!(par.solution, seq.solution, "one worker is literally sequential");
+        assert_eq!(par.stats, seq.stats);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let (g, _) = random_instance(11, 16, 0.4, 1);
+        let query = SgqQuery::new(4, 1, 1).unwrap();
+        let cfg = SelectConfig::default();
+        let seq = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap();
+        let par = solve_sgq_parallel(&g, NodeId(0), &query, &cfg, 0).unwrap();
+        assert_eq!(
+            par.solution.map(|s| s.total_distance),
+            seq.solution.map(|s| s.total_distance)
+        );
+    }
+
+    #[test]
+    fn infeasible_instances_return_none_in_parallel() {
+        // A star graph cannot seat 4 people with k = 0 (leaves unacquainted).
+        let mut b = GraphBuilder::new(5);
+        for v in 1..5 {
+            b.add_edge(NodeId(0), NodeId(v), 1).unwrap();
+        }
+        let g = b.build();
+        let query = SgqQuery::new(4, 1, 0).unwrap();
+        let out =
+            solve_sgq_parallel(&g, NodeId(0), &query, &SelectConfig::default(), 4).unwrap();
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn more_threads_than_pivots_is_fine() {
+        let (g, cals) = random_instance(13, 12, 0.5, 12);
+        let query = StgqQuery::new(3, 1, 1, 6).unwrap(); // only 2 pivots
+        let cfg = SelectConfig::default();
+        let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
+        let par = solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, 16).unwrap();
+        assert_eq!(
+            par.solution.map(|s| s.total_distance),
+            seq.solution.map(|s| s.total_distance)
+        );
+    }
+
+    #[test]
+    fn initiator_out_of_range_is_an_error() {
+        let (g, _) = random_instance(3, 8, 0.4, 1);
+        let query = SgqQuery::new(3, 1, 1).unwrap();
+        let err = solve_sgq_parallel(&g, NodeId(99), &query, &SelectConfig::default(), 2)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::InitiatorOutOfRange { .. }));
+    }
+}

@@ -1,0 +1,140 @@
+use crate::QueryError;
+
+/// Parameters of a Social Group Query `SGQ(p, s, k)` (§3.1).
+///
+/// * `p` — activity size, **including** the initiator (`p ≥ 1`);
+/// * `s` — social radius: candidates must be reachable from the initiator by
+///   a path of at most `s` edges (`s ≥ 1`);
+/// * `k` — acquaintance constraint: each attendee may be unacquainted with
+///   at most `k` other attendees.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SgqQuery {
+    p: usize,
+    s: usize,
+    k: usize,
+}
+
+impl SgqQuery {
+    /// Validate and build an SGQ.
+    pub fn new(p: usize, s: usize, k: usize) -> Result<Self, QueryError> {
+        if p == 0 {
+            return Err(QueryError::invalid("activity size p must be at least 1"));
+        }
+        if s == 0 {
+            return Err(QueryError::invalid("social radius s must be at least 1"));
+        }
+        Ok(SgqQuery { p, s, k })
+    }
+
+    /// Activity size (initiator included).
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.p
+    }
+
+    /// Social radius constraint.
+    #[inline]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// Acquaintance constraint.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// A copy with a different acquaintance constraint (used by STGArrange's
+    /// incremental-k sweep).
+    pub fn with_k(&self, k: usize) -> Self {
+        SgqQuery { k, ..*self }
+    }
+}
+
+/// Parameters of a Social-Temporal Group Query `STGQ(p, s, k, m)` (§4.1):
+/// an [`SgqQuery`] plus the activity length `m` in time slots (`m ≥ 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct StgqQuery {
+    social: SgqQuery,
+    m: usize,
+}
+
+impl StgqQuery {
+    /// Validate and build an STGQ.
+    pub fn new(p: usize, s: usize, k: usize, m: usize) -> Result<Self, QueryError> {
+        if m == 0 {
+            return Err(QueryError::invalid("activity length m must be at least 1"));
+        }
+        Ok(StgqQuery { social: SgqQuery::new(p, s, k)?, m })
+    }
+
+    /// The social part of the query.
+    #[inline]
+    pub fn social(&self) -> &SgqQuery {
+        &self.social
+    }
+
+    /// Activity size (initiator included).
+    #[inline]
+    pub fn p(&self) -> usize {
+        self.social.p
+    }
+
+    /// Social radius constraint.
+    #[inline]
+    pub fn s(&self) -> usize {
+        self.social.s
+    }
+
+    /// Acquaintance constraint.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.social.k
+    }
+
+    /// Activity length in slots.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// A copy with a different acquaintance constraint.
+    pub fn with_k(&self, k: usize) -> Self {
+        StgqQuery { social: self.social.with_k(k), m: self.m }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgq_validation() {
+        assert!(SgqQuery::new(0, 1, 0).is_err());
+        assert!(SgqQuery::new(1, 0, 0).is_err());
+        let q = SgqQuery::new(4, 2, 1).unwrap();
+        assert_eq!((q.p(), q.s(), q.k()), (4, 2, 1));
+    }
+
+    #[test]
+    fn stgq_validation() {
+        assert!(StgqQuery::new(4, 1, 0, 0).is_err());
+        assert!(StgqQuery::new(0, 1, 0, 3).is_err());
+        let q = StgqQuery::new(6, 2, 2, 3).unwrap();
+        assert_eq!((q.p(), q.s(), q.k(), q.m()), (6, 2, 2, 3));
+        assert_eq!(q.social().p(), 6);
+    }
+
+    #[test]
+    fn with_k_keeps_other_params() {
+        let q = StgqQuery::new(6, 2, 2, 3).unwrap();
+        let q0 = q.with_k(0);
+        assert_eq!((q0.p(), q0.s(), q0.k(), q0.m()), (6, 2, 0, 3));
+    }
+
+    #[test]
+    fn k_zero_and_large_k_are_valid() {
+        assert!(SgqQuery::new(3, 1, 0).is_ok());
+        assert!(SgqQuery::new(3, 1, 100).is_ok());
+    }
+}

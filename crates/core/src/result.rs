@@ -1,0 +1,72 @@
+use stgq_graph::{Dist, NodeId};
+use stgq_schedule::SlotRange;
+
+use crate::SearchStats;
+
+/// An optimal answer to an SGQ: the group and its objective value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SgqSolution {
+    /// The selected attendees, sorted by original id; always contains the
+    /// initiator and has exactly `p` members.
+    pub members: Vec<NodeId>,
+    /// `Σ_{v ∈ F} d_{v,q}` — the minimized total social distance.
+    pub total_distance: Dist,
+}
+
+/// An optimal answer to an STGQ: group, objective and activity period.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StgqSolution {
+    /// The selected attendees, sorted by original id.
+    pub members: Vec<NodeId>,
+    /// The minimized total social distance.
+    pub total_distance: Dist,
+    /// The chosen activity period: exactly `m` consecutive slots in which
+    /// every member is available.
+    pub period: SlotRange,
+    /// The pivot time slot (Lemma 4) the period was anchored on. For the
+    /// sequential baseline this is derived from the period.
+    pub pivot: usize,
+}
+
+/// Result of an SGQ engine run: the solution (if the query is feasible)
+/// plus the work counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SgqOutcome {
+    /// `None` ⇔ no group satisfies all constraints ("Failure" in the paper).
+    pub solution: Option<SgqSolution>,
+    /// Search-effort counters.
+    pub stats: SearchStats,
+}
+
+/// Result of an STGQ engine run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StgqOutcome {
+    /// `None` ⇔ no (group, period) satisfies all constraints.
+    pub solution: Option<StgqSolution>,
+    /// Search-effort counters (aggregated over pivots/windows).
+    pub stats: SearchStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solutions_are_comparable() {
+        let a = SgqSolution { members: vec![NodeId(0), NodeId(2)], total_distance: 9 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stgq_solution_carries_period() {
+        let s = StgqSolution {
+            members: vec![NodeId(0)],
+            total_distance: 0,
+            period: SlotRange::new(1, 3),
+            pivot: 2,
+        };
+        assert_eq!(s.period.len(), 3);
+        assert!(s.period.contains(s.pivot));
+    }
+}

@@ -1,0 +1,516 @@
+//! Algorithm **SGSelect** (§3.2): exact branch-and-bound for SGQ.
+//!
+//! The search explores the feasible graph `G_F` frame by frame. Each frame
+//! owns the intermediate solution `VS` (shared push/pop stack), a local copy
+//! of the remaining set `VA`, and iterates candidates in ascending social
+//! distance (*access ordering*). A candidate `u` must pass:
+//!
+//! * the **exterior expansibility** condition
+//!   `A(VS ∪ {u}) ≥ p − |VS ∪ {u}|` (Definition 3, Lemma 1) — otherwise `u`
+//!   can never be part of a feasible completion and is dropped from `VA`;
+//! * the **interior unfamiliarity** condition
+//!   `U(VS ∪ {u}) ≤ k · (|VS ∪ {u}|/p)^θ` (Definition 2) — a soft ordering
+//!   condition: failures are retried after θ decays, and only removed at
+//!   `θ = 0` (where the condition degenerates to the hard acquaintance
+//!   constraint `U ≤ k`).
+//!
+//! Frames are abandoned wholesale by **distance pruning** (Lemma 2) and
+//! **acquaintance pruning** (Lemma 3), both evaluated against the frame's
+//! current `(VS, VA)` — each bounds *every* completion of `VS` from `VA`,
+//! so abandoning the frame is sound and Theorem 2's optimality holds.
+
+use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+
+use crate::incumbent::Incumbent;
+use crate::{QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution};
+
+/// Solve an SGQ with SGSelect, returning the optimal group (or `None` when
+/// the query is infeasible) together with search statistics.
+pub fn solve_sgq(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+) -> Result<SgqOutcome, QueryError> {
+    if initiator.index() >= graph.node_count() {
+        return Err(QueryError::InitiatorOutOfRange {
+            initiator,
+            node_count: graph.node_count(),
+        });
+    }
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    Ok(solve_sgq_on(&fg, query, cfg, None))
+}
+
+/// Solve an SGQ on an already-extracted feasible graph.
+///
+/// `candidate_mask`, when given, restricts `VA` to the compact indices it
+/// contains (the initiator's membership is implied). This is the hook the
+/// STGQ engines use: per activity period, only the attendees available
+/// throughout the period are candidates.
+pub fn solve_sgq_on(
+    fg: &FeasibleGraph,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+    candidate_mask: Option<&BitSet>,
+) -> SgqOutcome {
+    let p = query.p();
+    if p == 1 {
+        // The group is just the initiator; every constraint holds trivially.
+        return SgqOutcome {
+            solution: Some(SgqSolution { members: vec![fg.origin(0)], total_distance: 0 }),
+            stats: SearchStats::default(),
+        };
+    }
+
+    let incumbent = Incumbent::new();
+    let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
+    let va = VaState::init(fg, candidate_mask);
+    searcher.push(0);
+    searcher.expand(va, 0);
+    let stats = searcher.stats;
+
+    let solution = incumbent.into_best().map(|(total_distance, group)| SgqSolution {
+        members: fg.to_origin_group(group),
+        total_distance,
+    });
+    SgqOutcome { solution, stats }
+}
+
+/// The remaining-vertex set `VA` with incrementally-maintained inner-degree
+/// counters. Each search frame owns one (cloned on descent), so mutation
+/// never needs undo logic.
+#[derive(Clone)]
+pub(crate) struct VaState {
+    /// Membership of `VA` over compact indices.
+    pub(crate) set: BitSet,
+    /// `|N_v ∩ VA|` for **every** compact vertex `v` (members of `VS` too —
+    /// the exterior expansibility terms need them).
+    pub(crate) cnt_in_a: Vec<u32>,
+    /// `Σ_{v ∈ VA} |N_v ∩ VA|` — the LHS bulk of Lemma 3.
+    pub(crate) total_inner: u64,
+}
+
+impl VaState {
+    /// `VA = V_F − {q}`, optionally intersected with `mask`.
+    pub(crate) fn init(fg: &FeasibleGraph, mask: Option<&BitSet>) -> Self {
+        let f = fg.len();
+        let mut set = BitSet::new(f);
+        for &c in fg.candidate_order() {
+            if mask.is_none_or(|m| m.contains(c as usize)) {
+                set.insert(c as usize);
+            }
+        }
+        let mut cnt_in_a = vec![0u32; f];
+        for v in 0..f as u32 {
+            cnt_in_a[v as usize] = fg.adj(v).intersection_len(&set) as u32;
+        }
+        let total_inner = set.iter().map(|v| cnt_in_a[v] as u64).sum();
+        VaState { set, cnt_in_a, total_inner }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Remove `u` from `VA`, maintaining all counters.
+    pub(crate) fn remove(&mut self, u: u32, fg: &FeasibleGraph) {
+        debug_assert!(self.set.contains(u as usize));
+        self.total_inner -= 2 * u64::from(self.cnt_in_a[u as usize]);
+        self.set.remove(u as usize);
+        for &nb in fg.neighbors(u) {
+            self.cnt_in_a[nb as usize] -= 1;
+        }
+    }
+
+    /// `min_{v ∈ VA} |N_v ∩ VA|` (0 for empty `VA`).
+    pub(crate) fn min_inner_degree(&self) -> u64 {
+        self.set.iter().map(|v| u64::from(self.cnt_in_a[v])).min().unwrap_or(0)
+    }
+}
+
+/// Shared state of one SGSelect run (or of one worker's subtree in the
+/// parallel solver — the incumbent reference is what they share).
+pub(crate) struct Searcher<'a> {
+    fg: &'a FeasibleGraph,
+    p: usize,
+    k: i64,
+    cfg: SelectConfig,
+    /// `VS` as a stack of compact indices; `vs[0]` is the initiator.
+    pub(crate) vs: Vec<u32>,
+    /// `|N_v ∩ VS|` for every compact vertex.
+    cnt_in_s: Vec<u32>,
+    incumbent: &'a Incumbent<Vec<u32>>,
+    pub(crate) stats: SearchStats,
+}
+
+impl<'a> Searcher<'a> {
+    pub(crate) fn new(
+        fg: &'a FeasibleGraph,
+        p: usize,
+        k: usize,
+        cfg: &SelectConfig,
+        incumbent: &'a Incumbent<Vec<u32>>,
+    ) -> Self {
+        Searcher {
+            fg,
+            p,
+            // k ≥ p−1 makes the acquaintance constraint vacuous (a member
+            // has only p−1 co-attendees); clamping keeps the i64 pruning
+            // arithmetic overflow-free for absurdly large k.
+            k: k.min(p - 1) as i64,
+            cfg: *cfg,
+            vs: Vec::with_capacity(p),
+            cnt_in_s: vec![0; fg.len()],
+            incumbent,
+            stats: SearchStats::default(),
+        }
+    }
+
+    pub(crate) fn push(&mut self, u: u32) {
+        for &nb in self.fg.neighbors(u) {
+            self.cnt_in_s[nb as usize] += 1;
+        }
+        self.vs.push(u);
+    }
+
+    fn pop(&mut self, u: u32) {
+        let popped = self.vs.pop();
+        debug_assert_eq!(popped, Some(u));
+        for &nb in self.fg.neighbors(u) {
+            self.cnt_in_s[nb as usize] -= 1;
+        }
+    }
+
+    /// `U(VS ∪ {u})` and `A(VS ∪ {u})` in one pass over `VS`.
+    ///
+    /// With `VS' = VS ∪ {u}` and `VA' = VA − {u}`:
+    /// for `v ∈ VS`: `miss_v = |VS'| − 1 − |N_v ∩ VS'| = |VS| − cnt_s[v] − adj(v,u)`
+    /// and the expansibility term is `(cnt_a[v] − adj(v,u)) + (k − miss_v)`;
+    /// for `u` itself: `miss_u = |VS| − cnt_s[u]`, term `cnt_a[u] + (k − miss_u)`.
+    pub(crate) fn u_and_a(&self, u: u32, va: &VaState) -> (i64, i64) {
+        let vs_len = self.vs.len() as i64;
+        let adj_u = self.fg.adj(u);
+
+        let miss_u = vs_len - i64::from(self.cnt_in_s[u as usize]);
+        let mut u_val = miss_u;
+        let mut a_val = i64::from(va.cnt_in_a[u as usize]) + (self.k - miss_u);
+
+        for &v in &self.vs {
+            let adj_vu = i64::from(adj_u.contains(v as usize));
+            let miss_v = vs_len - i64::from(self.cnt_in_s[v as usize]) - adj_vu;
+            u_val = u_val.max(miss_v);
+            let term = (i64::from(va.cnt_in_a[v as usize]) - adj_vu) + (self.k - miss_v);
+            a_val = a_val.min(term);
+        }
+        (u_val, a_val)
+    }
+
+    /// Hard feasibility of pushing `u` onto the current `VS`: the interior
+    /// unfamiliarity condition at θ = 0 (exactly the acquaintance
+    /// constraint) plus Lemma 1's expansibility requirement. The parallel
+    /// solver uses this to vet each forced root before searching its
+    /// subtree.
+    pub(crate) fn hard_feasible(&self, u_val: i64, a_val: i64) -> bool {
+        u_val <= self.k && a_val >= (self.p - self.vs.len() - 1) as i64
+    }
+
+    /// Interior unfamiliarity condition `U ≤ k · (|VS ∪ {u}|/p)^θ`.
+    /// At θ = 0 this is exactly the hard acquaintance constraint, and it is
+    /// evaluated in integers (no float edge cases on the accept/reject
+    /// boundary that matters for correctness).
+    fn interior_ok(&self, u_val: i64, theta: u32) -> bool {
+        if theta == 0 {
+            return u_val <= self.k;
+        }
+        let ratio = (self.vs.len() + 1) as f64 / self.p as f64;
+        (u_val as f64) <= self.k as f64 * ratio.powi(theta as i32) + 1e-9
+    }
+
+    /// Lemma 2 against the frame's current `(VS, VA)`: true ⇒ no completion
+    /// of `VS` from `VA` beats the incumbent.
+    fn distance_prune(&mut self, td: Dist, min_dist: Dist) -> bool {
+        if !self.cfg.distance_pruning {
+            return false;
+        }
+        let Some(best) = self.incumbent.dist() else { return false };
+        let need = (self.p - self.vs.len()) as u64;
+        let fires = match best.checked_sub(td) {
+            None => true, // td already exceeds the incumbent
+            Some(slack) => slack < need * min_dist,
+        };
+        if fires {
+            self.stats.distance_prunes += 1;
+        }
+        fires
+    }
+
+    /// Lemma 3 against the frame's current `(VS, VA)`: true ⇒ `VA` lacks the
+    /// internal connectivity for any feasible completion.
+    fn acquaintance_prune(&mut self, va: &VaState) -> bool {
+        if !self.cfg.acquaintance_pruning {
+            return false;
+        }
+        let need = (self.p - self.vs.len()) as i64;
+        let rhs = need * (need - 1 - self.k);
+        // The paper's RHS is (p−|VS|)(p−|VS|−k) over vertices extracted from
+        // VA; each extracted vertex must be acquainted with at least
+        // p−|VS|−1−k of the other extracted vertices (its k quota may be
+        // spent inside VS in the worst case is not assumed — the bound
+        // counts only VA-internal edges, hence the −1 for the vertex
+        // itself). We use the safe bound need·(need−1−k): a vertex among
+        // `need` extracted ones has `need−1` others, of which at most k may
+        // be strangers.
+        if rhs <= 0 {
+            return false;
+        }
+        let not_extracted = va.len() as i64 - need;
+        debug_assert!(not_extracted >= 0);
+        let lhs = va.total_inner as i64 - not_extracted * va.min_inner_degree() as i64;
+        let fires = lhs < rhs;
+        if fires {
+            self.stats.acquaintance_prunes += 1;
+        }
+        fires
+    }
+
+    pub(crate) fn record(&mut self, td: Dist) {
+        self.stats.solutions_recorded += 1;
+        let vs = &self.vs;
+        self.incumbent.offer(td, || vs.clone());
+    }
+
+    /// One `ExpandSG` frame (Algorithm 2). `va` is owned by the frame; `td`
+    /// is `Σ_{v ∈ VS} d_{v,q}`.
+    pub(crate) fn expand(&mut self, mut va: VaState, td: Dist) {
+        if let Some(budget) = self.cfg.frame_budget {
+            if self.stats.frames >= budget {
+                self.stats.truncated = true;
+                return;
+            }
+        }
+        self.stats.frames += 1;
+        let order = self.fg.candidate_order();
+        let mut theta = self.cfg.theta0;
+        // Cursor into `order`: vertices before it are "visited" in this
+        // frame. Reset when θ decays, exactly like the pseudo-code's
+        // "mark remaining vertices in VA as unvisited".
+        let mut cursor = 0usize;
+        // Monotone pointer to the minimum-distance member of VA.
+        let mut min_ptr = 0usize;
+
+        loop {
+            if self.vs.len() + va.len() < self.p {
+                return;
+            }
+            while min_ptr < order.len() && !va.set.contains(order[min_ptr] as usize) {
+                min_ptr += 1;
+            }
+            debug_assert!(min_ptr < order.len(), "VA non-empty here");
+            let min_dist = self.fg.dist(order[min_ptr]);
+            if self.distance_prune(td, min_dist) {
+                return;
+            }
+            if self.acquaintance_prune(&va) {
+                return;
+            }
+
+            // Access ordering: next unvisited vertex of VA by distance.
+            while cursor < order.len() && !va.set.contains(order[cursor] as usize) {
+                cursor += 1;
+            }
+            let u = if cursor < order.len() {
+                let u = order[cursor];
+                cursor += 1;
+                u
+            } else if theta > 0 {
+                theta -= 1;
+                cursor = 0;
+                continue;
+            } else {
+                return;
+            };
+            self.stats.candidates_examined += 1;
+
+            let (u_val, a_val) = self.u_and_a(u, &va);
+            if a_val < (self.p - self.vs.len() - 1) as i64 {
+                // Lemma 1: VS ∪ {u} is not expansible — u is useless here.
+                self.stats.exterior_rejections += 1;
+                va.remove(u, self.fg);
+                continue;
+            }
+            if !self.interior_ok(u_val, theta) {
+                self.stats.interior_rejections += 1;
+                if theta == 0 {
+                    // U(VS ∪ {u}) > k: u can never join this VS.
+                    va.remove(u, self.fg);
+                }
+                continue;
+            }
+
+            let new_td = td + self.fg.dist(u);
+            self.push(u);
+            if self.vs.len() == self.p {
+                self.record(new_td);
+                self.pop(u);
+                // Access ordering makes this the cheapest completion of this
+                // frame: any sibling has d ≥ d_u, so stop (pseudo-code BREAK).
+                return;
+            }
+            let mut child = va.clone();
+            child.remove(u, self.fg);
+            self.stats.vertices_expanded += 1;
+            self.expand(child, new_td);
+            self.pop(u);
+            // The branch containing u is fully explored.
+            va.remove(u, self.fg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    /// The Figure-3 graph of the paper's Example 2 (weights as listed in
+    /// Fig. 3(b); candidate-candidate weights are immaterial at s = 1).
+    ///
+    /// Adjacency reconstructed from the worked example:
+    /// v7 (initiator) — v2, v3, v4, v6, v8; v2—v4, v2—v6, v3—v4, v4—v6.
+    pub(crate) fn example2_graph() -> (SocialGraph, NodeId) {
+        // indices: 0 unused spacer? Keep natural ids v2..v8 → 2..8 over 9 slots.
+        let mut b = GraphBuilder::new(9);
+        b.add_edge(NodeId(7), NodeId(2), 17).unwrap();
+        b.add_edge(NodeId(7), NodeId(3), 18).unwrap();
+        b.add_edge(NodeId(7), NodeId(4), 27).unwrap();
+        b.add_edge(NodeId(7), NodeId(6), 23).unwrap();
+        b.add_edge(NodeId(7), NodeId(8), 25).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 14).unwrap();
+        b.add_edge(NodeId(2), NodeId(6), 19).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 29).unwrap();
+        b.add_edge(NodeId(4), NodeId(6), 20).unwrap();
+        (b.build(), NodeId(7))
+    }
+
+    #[test]
+    fn example2_optimal_group() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(4, 1, 1).unwrap();
+        let out = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap();
+        let sol = out.solution.expect("example 2 is feasible");
+        assert_eq!(sol.total_distance, 62, "paper: optimal {{v2,v3,v4,v7}} = 62");
+        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+    }
+
+    #[test]
+    fn example2_with_k_zero_forces_clique() {
+        let (g, q) = example2_graph();
+        // k=0 demands a clique containing v7: {v2,v4,v6,v7}? v2-v4 ✓ v2-v6 ✓
+        // v4-v6 ✓ and v7 adj all ✓ → distance 17+27+23 = 67.
+        let query = SgqQuery::new(4, 1, 0).unwrap();
+        let sol = solve_sgq(&g, q, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .expect("clique exists");
+        assert_eq!(sol.members, vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]);
+        assert_eq!(sol.total_distance, 67);
+    }
+
+    #[test]
+    fn infeasible_when_p_exceeds_reachable() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(8, 1, 7).unwrap(); // only 6 reachable (incl. q)
+        let out = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap();
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn p_one_returns_singleton_initiator() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(1, 1, 0).unwrap();
+        let sol = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution.unwrap();
+        assert_eq!(sol.members, vec![q]);
+        assert_eq!(sol.total_distance, 0);
+    }
+
+    #[test]
+    fn p_two_picks_closest_friend() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(2, 1, 1).unwrap();
+        let sol = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution.unwrap();
+        assert_eq!(sol.members, vec![NodeId(2), NodeId(7)]);
+        assert_eq!(sol.total_distance, 17);
+    }
+
+    #[test]
+    fn initiator_out_of_range_is_an_error() {
+        let (g, _) = example2_graph();
+        let query = SgqQuery::new(2, 1, 1).unwrap();
+        let err = solve_sgq(&g, NodeId(99), &query, &SelectConfig::default()).unwrap_err();
+        assert!(matches!(err, QueryError::InitiatorOutOfRange { .. }));
+    }
+
+    #[test]
+    fn mask_restricts_candidates() {
+        let (g, q) = example2_graph();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let query = SgqQuery::new(2, 1, 1).unwrap();
+        // Mask out v2 (the closest): best becomes v3 at 18.
+        let mut mask = BitSet::full(fg.len());
+        mask.remove(fg.compact(NodeId(2)).unwrap() as usize);
+        let out = solve_sgq_on(&fg, &query, &SelectConfig::default(), Some(&mask));
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.members, vec![NodeId(3), NodeId(7)]);
+        assert_eq!(sol.total_distance, 18);
+    }
+
+    #[test]
+    fn theta_zero_config_still_optimal() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(4, 1, 1).unwrap();
+        let a = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution;
+        let b = solve_sgq(&g, q, &query, &SelectConfig::RELAXED).unwrap().solution;
+        assert_eq!(
+            a.as_ref().map(|s| s.total_distance),
+            b.as_ref().map(|s| s.total_distance),
+            "θ only affects ordering, never the optimum"
+        );
+    }
+
+    #[test]
+    fn stats_reflect_search_effort() {
+        let (g, q) = example2_graph();
+        let query = SgqQuery::new(4, 1, 1).unwrap();
+        let out = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap();
+        assert!(out.stats.frames >= 1);
+        assert!(out.stats.candidates_examined > 0);
+        assert!(out.stats.solutions_recorded >= 1);
+    }
+
+    #[test]
+    fn va_state_counters_stay_consistent() {
+        let (g, q) = example2_graph();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let mut va = VaState::init(&fg, None);
+        let naive_total = |va: &VaState| -> u64 {
+            va.set
+                .iter()
+                .map(|v| fg.adj(v as u32).intersection_len(&va.set) as u64)
+                .sum()
+        };
+        assert_eq!(va.total_inner, naive_total(&va));
+        let members: Vec<u32> = va.set.iter().map(|v| v as u32).collect();
+        for u in members {
+            va.remove(u, &fg);
+            assert_eq!(va.total_inner, naive_total(&va), "after removing {u}");
+            for v in va.set.iter() {
+                assert_eq!(
+                    u64::from(va.cnt_in_a[v]),
+                    fg.adj(v as u32).intersection_len(&va.set) as u64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,91 @@
+/// Counters describing how much work a query engine did.
+///
+/// Every engine (SGSelect, STGSelect, both baselines) fills these in; the
+/// benchmark harness reports them next to wall-clock numbers so the pruning
+/// effectiveness claimed by the paper (§5.2) is directly observable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Search frames entered (`ExpandSG`/`ExpandSTG` invocations), or
+    /// candidate groups enumerated by the exhaustive baseline.
+    pub frames: u64,
+    /// Candidate vertices examined against the ordering conditions.
+    pub candidates_examined: u64,
+    /// Vertices actually moved from `VA` to `VS` (branches descended).
+    pub vertices_expanded: u64,
+    /// Complete feasible groups encountered.
+    pub solutions_recorded: u64,
+    /// Frames abandoned by distance pruning (Lemma 2).
+    pub distance_prunes: u64,
+    /// Frames abandoned by acquaintance pruning (Lemma 3).
+    pub acquaintance_prunes: u64,
+    /// Frames abandoned by availability pruning (Lemma 5).
+    pub availability_prunes: u64,
+    /// Candidates dropped by the exterior expansibility condition.
+    pub exterior_rejections: u64,
+    /// Candidates rejected by the interior unfamiliarity condition.
+    pub interior_rejections: u64,
+    /// Candidates rejected by the temporal extensibility condition.
+    pub temporal_rejections: u64,
+    /// Pivot time slots actually searched (STGSelect only).
+    pub pivots_processed: u64,
+    /// Whether the search stopped at a [`SelectConfig::frame_budget`]
+    /// (anytime mode) instead of running to proven optimality.
+    ///
+    /// [`SelectConfig::frame_budget`]: crate::SelectConfig::frame_budget
+    pub truncated: bool,
+}
+
+impl SearchStats {
+    /// Merge another stats block into this one (used when aggregating
+    /// per-window or per-pivot runs).
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.frames += other.frames;
+        self.candidates_examined += other.candidates_examined;
+        self.vertices_expanded += other.vertices_expanded;
+        self.solutions_recorded += other.solutions_recorded;
+        self.distance_prunes += other.distance_prunes;
+        self.acquaintance_prunes += other.acquaintance_prunes;
+        self.availability_prunes += other.availability_prunes;
+        self.exterior_rejections += other.exterior_rejections;
+        self.interior_rejections += other.interior_rejections;
+        self.temporal_rejections += other.temporal_rejections;
+        self.pivots_processed += other.pivots_processed;
+        self.truncated |= other.truncated;
+    }
+
+    /// Total frames abandoned by any pruning rule.
+    pub fn total_prunes(&self) -> u64 {
+        self.distance_prunes + self.acquaintance_prunes + self.availability_prunes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates_every_field() {
+        let mut a = SearchStats { frames: 1, candidates_examined: 2, ..Default::default() };
+        let b = SearchStats {
+            frames: 10,
+            candidates_examined: 20,
+            vertices_expanded: 30,
+            solutions_recorded: 1,
+            distance_prunes: 2,
+            acquaintance_prunes: 3,
+            availability_prunes: 4,
+            exterior_rejections: 5,
+            interior_rejections: 6,
+            temporal_rejections: 7,
+            pivots_processed: 8,
+            truncated: true,
+        };
+        a.absorb(&b);
+        assert_eq!(a.frames, 11);
+        assert_eq!(a.candidates_examined, 22);
+        assert_eq!(a.vertices_expanded, 30);
+        assert_eq!(a.total_prunes(), 9);
+        assert_eq!(a.pivots_processed, 8);
+        assert!(a.truncated, "truncation is sticky under absorb");
+    }
+}

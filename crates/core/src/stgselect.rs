@@ -1,0 +1,628 @@
+//! Algorithm **STGSelect** (§4.2): exact branch-and-bound for STGQ.
+//!
+//! STGSelect extends SGSelect along the temporal dimension:
+//!
+//! * **Pivot time slots** (Lemma 4): only slots `π ≡ m−1 (mod m)` anchor a
+//!   search, each owning the interval `[π−(m−1), π+(m−1)]`. Any feasible
+//!   `m`-slot period contains exactly one pivot, so covering the pivots
+//!   covers every period — at a fraction of the sequential baseline's cost.
+//! * **Per-pivot feasible graph** (Definition 4): a candidate participates
+//!   at pivot `π` only if it has ≥ `m` consecutive available slots inside
+//!   the interval; since any such run necessarily contains `π`, eligibility
+//!   is "the maximal available run through `π` has length ≥ `m`".
+//! * **Temporal extensibility** (Definition 5): `X(VS) = |TS| − m`, where
+//!   `TS` is the members' common available run through the pivot. `TS` of a
+//!   set is the interval intersection of per-member runs, so the condition
+//!   check is O(1) per candidate.
+//! * **Availability pruning** (Lemma 5): per-slot counts of unavailable
+//!   `VA` members locate the nearest blocked slots `t⁻`/`t⁺` around the
+//!   pivot; `t⁺ − t⁻ ≤ m` kills the frame.
+//!
+//! The best solution is shared **across** pivots: a good early incumbent
+//! strengthens distance pruning at later pivots without affecting
+//! optimality (Theorem 3).
+
+// Parallel per-slot counters are clearer with indexed loops.
+#![allow(clippy::needless_range_loop)]
+
+use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_schedule::pivot::{pivot_interval, pivot_of_window, pivot_slots};
+use stgq_schedule::{Calendar, SlotId, SlotRange};
+
+use crate::incumbent::Incumbent;
+use crate::inputs::check_temporal_inputs;
+use crate::sgselect::VaState;
+use crate::{
+    QueryError, SearchStats, SelectConfig, StgqOutcome, StgqQuery, StgqSolution,
+};
+
+/// Solve an STGQ with STGSelect.
+///
+/// `calendars` is indexed by **original** vertex id and must share one
+/// horizon. Returns the optimal (group, period) or `None` when infeasible.
+pub fn solve_stgq(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+) -> Result<StgqOutcome, QueryError> {
+    check_temporal_inputs(graph, initiator, calendars)?;
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    Ok(solve_stgq_on(&fg, calendars, query, cfg))
+}
+
+/// As [`solve_stgq`] on a pre-extracted feasible graph (radius extraction is
+/// time-independent, so callers sweeping parameters can reuse it).
+pub fn solve_stgq_on(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+) -> StgqOutcome {
+    let cfg = cfg.normalized();
+    let m = query.m();
+    let p = query.p();
+    let horizon = calendars
+        .first()
+        .map(Calendar::horizon)
+        .unwrap_or(0);
+    let mut stats = SearchStats::default();
+
+    let q_cal = &calendars[fg.origin(0).index()];
+    if p == 1 {
+        // The initiator alone: earliest window where she is available.
+        let solution = q_cal.windows_of(m).next().map(|start| StgqSolution {
+            members: vec![fg.origin(0)],
+            total_distance: 0,
+            period: SlotRange::new(start, start + m - 1),
+            pivot: pivot_of_window(start, m),
+        });
+        return StgqOutcome { solution, stats };
+    }
+
+    let incumbent = Incumbent::new();
+    for pivot in pivot_slots(horizon, m) {
+        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut stats)
+        else {
+            continue;
+        };
+        search_pivot(fg, query, &cfg, job, &incumbent, &mut stats);
+    }
+
+    let solution = incumbent.into_best().map(|(dist, b)| StgqSolution {
+        members: fg.to_origin_group(b.group),
+        total_distance: dist,
+        period: b.period,
+        pivot: b.pivot,
+    });
+    StgqOutcome { solution, stats }
+}
+
+/// The incumbent payload: everything about the best solution except its
+/// objective value (which lives in the shared atomic).
+pub(crate) struct StBest {
+    pub(crate) group: Vec<u32>,
+    pub(crate) period: SlotRange,
+    pub(crate) pivot: SlotId,
+}
+
+/// Everything one pivot's search needs, prepared up front so the sequential
+/// loop and the parallel workers share the same setup code.
+pub(crate) struct PivotJob {
+    pub(crate) pivot: SlotId,
+    pub(crate) interval: SlotRange,
+    pub(crate) q_run: SlotRange,
+    /// Maximal available run through the pivot per compact vertex
+    /// (Definition 4), `None` for ineligible vertices.
+    pub(crate) runs: Vec<Option<SlotRange>>,
+    /// Availability bitmap over interval offsets per eligible vertex.
+    pub(crate) avail: Vec<BitSet>,
+    /// `VA` restricted to the pivot-eligible candidates, with the Lemma-5
+    /// per-slot unavailability counters.
+    pub(crate) va: StVaState,
+}
+
+/// Build the per-pivot state (Definition 4 eligibility, availability
+/// bitmaps, Lemma-5 counters). Returns `None` when the pivot cannot host
+/// any feasible solution (initiator ineligible or too few candidates);
+/// `stats.pivots_processed` counts the pivots that pass the initiator
+/// check, as in the sequential engine.
+pub(crate) fn prepare_pivot(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    p: usize,
+    m: usize,
+    pivot: SlotId,
+    horizon: usize,
+    stats: &mut SearchStats,
+) -> Option<PivotJob> {
+    let f = fg.len();
+    let q_cal = &calendars[fg.origin(0).index()];
+    let interval = pivot_interval(pivot, m, horizon);
+    // Definition 4 for the initiator: she must support an m-run too.
+    let q_run = q_cal.run_containing(pivot, interval).filter(|r| r.len() >= m)?;
+    stats.pivots_processed += 1;
+
+    // Per-pivot eligibility (Definition 4) and interval availability.
+    let ilen = interval.len();
+    let mut runs: Vec<Option<SlotRange>> = vec![None; f];
+    let mut avail: Vec<BitSet> = vec![BitSet::new(0); f];
+    runs[0] = Some(q_run);
+    let mut eligible = BitSet::new(f);
+    for &c in fg.candidate_order() {
+        let cal = &calendars[fg.origin(c).index()];
+        let run = cal.run_containing(pivot, interval).filter(|r| r.len() >= m);
+        runs[c as usize] = run;
+        if run.is_some() {
+            eligible.insert(c as usize);
+            let mut bits = BitSet::new(ilen);
+            for (off, slot) in interval.iter().enumerate() {
+                if cal.is_available(slot) {
+                    bits.insert(off);
+                }
+            }
+            avail[c as usize] = bits;
+        }
+    }
+    if eligible.len() + 1 < p {
+        return None;
+    }
+
+    let base = VaState::init(fg, Some(&eligible));
+    let mut unavail = vec![0u32; ilen];
+    for v in eligible.iter() {
+        for off in 0..ilen {
+            if !avail[v].contains(off) {
+                unavail[off] += 1;
+            }
+        }
+    }
+    Some(PivotJob { pivot, interval, q_run, runs, avail, va: StVaState { base, unavail } })
+}
+
+/// Run the STGSelect branch-and-bound for one prepared pivot, recording
+/// improvements into the (possibly shared) incumbent.
+pub(crate) fn search_pivot(
+    fg: &FeasibleGraph,
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    job: PivotJob,
+    incumbent: &Incumbent<StBest>,
+    stats: &mut SearchStats,
+) {
+    let p = query.p();
+    let mut searcher = StSearcher {
+        fg,
+        p,
+        // Clamped as in SGSelect: beyond p−1 the constraint is vacuous.
+        k: query.k().min(p - 1) as i64,
+        m: query.m(),
+        cfg: *cfg,
+        pivot: job.pivot,
+        interval: job.interval,
+        runs: &job.runs,
+        avail: &job.avail,
+        vs: Vec::with_capacity(p),
+        cnt_in_s: vec![0; fg.len()],
+        ts_stack: Vec::with_capacity(p),
+        incumbent,
+        stats,
+    };
+    searcher.push(0, job.q_run);
+    searcher.expand(job.va, 0);
+}
+
+/// `VA` plus the per-slot unavailability counters for Lemma 5.
+#[derive(Clone)]
+pub(crate) struct StVaState {
+    base: VaState,
+    /// For each interval offset: how many `VA` members are unavailable there.
+    unavail: Vec<u32>,
+}
+
+impl StVaState {
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn remove(&mut self, u: u32, fg: &FeasibleGraph, avail_u: &BitSet) {
+        self.base.remove(u, fg);
+        for off in 0..self.unavail.len() {
+            if !avail_u.contains(off) {
+                self.unavail[off] -= 1;
+            }
+        }
+    }
+}
+
+/// One pivot's search state (shares the incumbent across pivots — and, in
+/// the parallel solver, across worker threads).
+struct StSearcher<'a> {
+    fg: &'a FeasibleGraph,
+    p: usize,
+    k: i64,
+    m: usize,
+    cfg: SelectConfig,
+    pivot: SlotId,
+    interval: SlotRange,
+    /// Maximal available run through the pivot, per eligible compact vertex.
+    runs: &'a [Option<SlotRange>],
+    /// Availability bitmap over interval offsets, per eligible vertex.
+    avail: &'a [BitSet],
+    vs: Vec<u32>,
+    cnt_in_s: Vec<u32>,
+    /// `TS` after each push; `last()` is the current common run.
+    ts_stack: Vec<SlotRange>,
+    incumbent: &'a Incumbent<StBest>,
+    stats: &'a mut SearchStats,
+}
+
+impl StSearcher<'_> {
+    fn push(&mut self, u: u32, ts: SlotRange) {
+        for &nb in self.fg.neighbors(u) {
+            self.cnt_in_s[nb as usize] += 1;
+        }
+        self.vs.push(u);
+        self.ts_stack.push(ts);
+    }
+
+    fn pop(&mut self, u: u32) {
+        let popped = self.vs.pop();
+        debug_assert_eq!(popped, Some(u));
+        self.ts_stack.pop();
+        for &nb in self.fg.neighbors(u) {
+            self.cnt_in_s[nb as usize] -= 1;
+        }
+    }
+
+    fn current_ts(&self) -> SlotRange {
+        *self.ts_stack.last().expect("VS always holds the initiator")
+    }
+
+    /// Identical to SGSelect's `u_and_a` (see `sgselect.rs` for derivation).
+    fn u_and_a(&self, u: u32, va: &StVaState) -> (i64, i64) {
+        let vs_len = self.vs.len() as i64;
+        let adj_u = self.fg.adj(u);
+        let miss_u = vs_len - i64::from(self.cnt_in_s[u as usize]);
+        let mut u_val = miss_u;
+        let mut a_val = i64::from(va.base.cnt_in_a[u as usize]) + (self.k - miss_u);
+        for &v in &self.vs {
+            let adj_vu = i64::from(adj_u.contains(v as usize));
+            let miss_v = vs_len - i64::from(self.cnt_in_s[v as usize]) - adj_vu;
+            u_val = u_val.max(miss_v);
+            let term = (i64::from(va.base.cnt_in_a[v as usize]) - adj_vu) + (self.k - miss_v);
+            a_val = a_val.min(term);
+        }
+        (u_val, a_val)
+    }
+
+    fn interior_ok(&self, u_val: i64, theta: u32) -> bool {
+        if theta == 0 {
+            return u_val <= self.k;
+        }
+        let ratio = (self.vs.len() + 1) as f64 / self.p as f64;
+        (u_val as f64) <= self.k as f64 * ratio.powi(theta as i32) + 1e-9
+    }
+
+    /// Temporal extensibility condition:
+    /// `X(VS ∪ {u}) ≥ (m−1) · ((p − |VS ∪ {u}|)/p)^φ`, RHS 0 once φ caps.
+    fn temporal_ok(&self, x: i64, phi: u32) -> bool {
+        if x < 0 {
+            return false;
+        }
+        if phi >= self.cfg.phi_cap {
+            return true;
+        }
+        let ratio = (self.p - (self.vs.len() + 1)) as f64 / self.p as f64;
+        (x as f64) >= (self.m - 1) as f64 * ratio.powi(phi as i32) - 1e-9
+    }
+
+    fn distance_prune(&mut self, td: Dist, min_dist: Dist) -> bool {
+        if !self.cfg.distance_pruning {
+            return false;
+        }
+        let Some(best) = self.incumbent.dist() else { return false };
+        let need = (self.p - self.vs.len()) as u64;
+        let fires = match best.checked_sub(td) {
+            None => true,
+            Some(slack) => slack < need * min_dist,
+        };
+        if fires {
+            self.stats.distance_prunes += 1;
+        }
+        fires
+    }
+
+    fn acquaintance_prune(&mut self, va: &StVaState) -> bool {
+        if !self.cfg.acquaintance_pruning {
+            return false;
+        }
+        let need = (self.p - self.vs.len()) as i64;
+        let rhs = need * (need - 1 - self.k);
+        if rhs <= 0 {
+            return false;
+        }
+        let not_extracted = va.len() as i64 - need;
+        debug_assert!(not_extracted >= 0);
+        let lhs = va.base.total_inner as i64 - not_extracted * va.base.min_inner_degree() as i64;
+        let fires = lhs < rhs;
+        if fires {
+            self.stats.acquaintance_prunes += 1;
+        }
+        fires
+    }
+
+    /// Lemma 5. With `n = |VA| − (p − |VS|) + 1`, a slot where ≥ n members
+    /// of `VA` are unavailable leaves at most `p − |VS| − 1` usable vertices
+    /// — too few — so no feasible period may cross it. If the nearest such
+    /// blocked slots around the pivot (interval edges act blocked) leave a
+    /// gap of ≤ m slots, the frame is dead.
+    fn availability_prune(&mut self, va: &StVaState) -> bool {
+        if !self.cfg.availability_pruning {
+            return false;
+        }
+        let need = self.p - self.vs.len();
+        debug_assert!(va.len() >= need);
+        let n = (va.len() - need + 1) as u32;
+        let pivot_off = self.pivot - self.interval.lo;
+        let len = va.unavail.len();
+
+        let mut t_minus = -1i64; // virtual blocked slot just before the interval
+        for off in (0..pivot_off).rev() {
+            if va.unavail[off] >= n {
+                t_minus = off as i64;
+                break;
+            }
+        }
+        let mut t_plus = len as i64; // virtual blocked slot just after
+        for off in pivot_off + 1..len {
+            if va.unavail[off] >= n {
+                t_plus = off as i64;
+                break;
+            }
+        }
+        let fires = t_plus - t_minus <= self.m as i64;
+        if fires {
+            self.stats.availability_prunes += 1;
+        }
+        fires
+    }
+
+    fn record(&mut self, td: Dist, ts: SlotRange) {
+        self.stats.solutions_recorded += 1;
+        debug_assert!(ts.len() >= self.m);
+        let period = SlotRange::new(ts.lo, ts.lo + self.m - 1);
+        let (vs, pivot) = (&self.vs, self.pivot);
+        self.incumbent.offer(td, || StBest { group: vs.clone(), period, pivot });
+    }
+
+    /// One `ExpandSTG` frame (Algorithm 4).
+    fn expand(&mut self, mut va: StVaState, td: Dist) {
+        if let Some(budget) = self.cfg.frame_budget {
+            if self.stats.frames >= budget {
+                self.stats.truncated = true;
+                return;
+            }
+        }
+        self.stats.frames += 1;
+        let order = self.fg.candidate_order();
+        let mut theta = self.cfg.theta0;
+        let mut phi = self.cfg.phi0;
+        let mut cursor = 0usize;
+        let mut min_ptr = 0usize;
+
+        loop {
+            if self.vs.len() + va.len() < self.p {
+                return;
+            }
+            while min_ptr < order.len() && !va.base.set.contains(order[min_ptr] as usize) {
+                min_ptr += 1;
+            }
+            debug_assert!(min_ptr < order.len());
+            let min_dist = self.fg.dist(order[min_ptr]);
+            if self.distance_prune(td, min_dist) {
+                return;
+            }
+            if self.acquaintance_prune(&va) {
+                return;
+            }
+            if self.availability_prune(&va) {
+                return;
+            }
+
+            while cursor < order.len() && !va.base.set.contains(order[cursor] as usize) {
+                cursor += 1;
+            }
+            let u = if cursor < order.len() {
+                let u = order[cursor];
+                cursor += 1;
+                u
+            } else if theta > 0 {
+                theta -= 1;
+                cursor = 0;
+                continue;
+            } else if phi < self.cfg.phi_cap {
+                phi += 1;
+                cursor = 0;
+                continue;
+            } else {
+                return;
+            };
+            self.stats.candidates_examined += 1;
+
+            let (u_val, a_val) = self.u_and_a(u, &va);
+            if a_val < (self.p - self.vs.len() - 1) as i64 {
+                self.stats.exterior_rejections += 1;
+                let avail_u = &self.avail[u as usize];
+                va.remove(u, self.fg, avail_u);
+                continue;
+            }
+            if !self.interior_ok(u_val, theta) {
+                self.stats.interior_rejections += 1;
+                if theta == 0 {
+                    let avail_u = &self.avail[u as usize];
+                    va.remove(u, self.fg, avail_u);
+                }
+                continue;
+            }
+            // Temporal extensibility. Runs both contain the pivot, so the
+            // intersection is non-empty and contains it too.
+            let run_u = self.runs[u as usize].expect("VA members are eligible");
+            let ts = self.current_ts();
+            let new_ts = SlotRange::new(ts.lo.max(run_u.lo), ts.hi.min(run_u.hi));
+            let x = new_ts.len() as i64 - self.m as i64;
+            if !self.temporal_ok(x, phi) {
+                self.stats.temporal_rejections += 1;
+                if x < 0 {
+                    // Adding u can never leave an m-slot common period.
+                    let avail_u = &self.avail[u as usize];
+                    va.remove(u, self.fg, avail_u);
+                }
+                continue;
+            }
+
+            let new_td = td + self.fg.dist(u);
+            self.push(u, new_ts);
+            if self.vs.len() == self.p {
+                self.record(new_td, new_ts);
+                self.pop(u);
+                let avail_u = &self.avail[u as usize];
+                va.remove(u, self.fg, avail_u);
+                return;
+            }
+            let mut child = va.clone();
+            child.remove(u, self.fg, &self.avail[u as usize]);
+            self.stats.vertices_expanded += 1;
+            self.expand(child, new_td);
+            self.pop(u);
+            let avail_u = &self.avail[u as usize];
+            va.remove(u, self.fg, avail_u);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    /// The paper's Example 3 inputs: the Figure-3 graph plus the Figure-3(c)
+    /// schedules (1-based ts1..ts7 → 0-based 0..6).
+    pub(crate) fn example3_inputs() -> (SocialGraph, NodeId, Vec<Calendar>) {
+        let mut b = GraphBuilder::new(9);
+        b.add_edge(NodeId(7), NodeId(2), 17).unwrap();
+        b.add_edge(NodeId(7), NodeId(3), 18).unwrap();
+        b.add_edge(NodeId(7), NodeId(4), 27).unwrap();
+        b.add_edge(NodeId(7), NodeId(6), 23).unwrap();
+        b.add_edge(NodeId(7), NodeId(8), 25).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 14).unwrap();
+        b.add_edge(NodeId(2), NodeId(6), 19).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 29).unwrap();
+        b.add_edge(NodeId(4), NodeId(6), 20).unwrap();
+        let g = b.build();
+
+        let horizon = 7;
+        let mut cals = vec![Calendar::new(horizon); 9];
+        cals[2] = Calendar::from_slots(horizon, 0..7); // v2: all
+        cals[3] = Calendar::from_slots(horizon, [1, 2, 4, 5]);
+        cals[4] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 6]);
+        cals[6] = Calendar::from_slots(horizon, [1, 2, 3, 4, 5, 6]);
+        cals[7] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 5]);
+        cals[8] = Calendar::from_slots(horizon, [0, 2, 4, 5]);
+        (g, NodeId(7), cals)
+    }
+
+    #[test]
+    fn example3_matches_paper() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let out = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        let sol = out.solution.expect("example 3 is feasible");
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)],
+            "paper: optimal group {{v2,v4,v6,v7}}"
+        );
+        // Paper reports the period [ts2, ts4] (0-based [1, 3]).
+        assert_eq!(sol.period, SlotRange::new(1, 3));
+        assert_eq!(sol.total_distance, 17 + 27 + 23);
+        assert_eq!(sol.pivot, 2, "anchored on pivot ts3");
+    }
+
+    #[test]
+    fn example3_searches_only_true_pivots() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let out = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        // Horizon 7, m=3 → pivot slots {2, 5}; at ts6 (slot 5) the Def-4
+        // filter leaves too few candidates, but the pivot is still visited.
+        assert!(out.stats.pivots_processed <= 2);
+        assert!(out.stats.pivots_processed >= 1);
+    }
+
+    #[test]
+    fn infeasible_when_m_exceeds_common_availability() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 6).unwrap();
+        let out = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn m_one_degenerates_to_single_slot_meetings() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 1).unwrap();
+        let sol = solve_stgq(&g, q, &cals, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .expect("m=1 is easiest");
+        assert_eq!(sol.period.len(), 1);
+        // The socially-optimal group {v2,v3,v4,v7} shares slot ts2 (0-based 1).
+        assert_eq!(sol.total_distance, 62);
+        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+    }
+
+    #[test]
+    fn p_one_returns_earliest_window() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(1, 1, 0, 4).unwrap();
+        let sol = solve_stgq(&g, q, &cals, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(sol.members, vec![q]);
+        assert_eq!(sol.period, SlotRange::new(0, 3));
+    }
+
+    #[test]
+    fn initiator_unavailable_everywhere_is_infeasible() {
+        let (g, q, mut cals) = example3_inputs();
+        cals[q.index()] = Calendar::new(7);
+        let query = StgqQuery::new(2, 1, 1, 2).unwrap();
+        let out = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn calendar_validation_errors() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(2, 1, 1, 2).unwrap();
+        let err =
+            solve_stgq(&g, q, &cals[..3], &query, &SelectConfig::default()).unwrap_err();
+        assert!(matches!(err, QueryError::CalendarCountMismatch { .. }));
+    }
+
+    #[test]
+    fn relaxed_config_finds_same_objective() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let a = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap().solution;
+        let b = solve_stgq(&g, q, &cals, &query, &SelectConfig::RELAXED).unwrap().solution;
+        assert_eq!(
+            a.map(|s| s.total_distance),
+            b.map(|s| s.total_distance),
+            "θ/φ are ordering heuristics, not correctness knobs"
+        );
+    }
+}

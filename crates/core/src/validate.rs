@@ -1,0 +1,318 @@
+//! Independent solution validation.
+//!
+//! Every constraint of the problem definitions (§3.1, §4.1) is re-checked
+//! from the raw inputs — bounded distances are recomputed with the
+//! Definition-1 DP, adjacency is consulted on the original graph, and
+//! availability on the raw calendars. The engines never share code with
+//! this module beyond the graph substrate, so agreement here is meaningful
+//! evidence of correctness. Integration tests validate every solution any
+//! engine produces.
+
+use std::fmt;
+
+use stgq_graph::{bounded_distances, kplex, Dist, NodeId, SocialGraph};
+use stgq_schedule::Calendar;
+
+use crate::{SgqQuery, SgqSolution, StgqQuery, StgqSolution};
+
+/// A specific constraint violation found in a claimed solution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Group size differs from `p`.
+    WrongSize {
+        /// Expected `p`.
+        expected: usize,
+        /// Actual member count.
+        found: usize,
+    },
+    /// The initiator is not in the group.
+    InitiatorMissing,
+    /// A member appears twice.
+    DuplicateMember {
+        /// The duplicated vertex.
+        member: NodeId,
+    },
+    /// A member is not reachable within `s` edges of the initiator.
+    RadiusViolated {
+        /// The offending member.
+        member: NodeId,
+    },
+    /// The claimed total distance does not match the recomputed one.
+    DistanceMismatch {
+        /// Claimed by the engine.
+        claimed: Dist,
+        /// Recomputed via Definition 1.
+        actual: Dist,
+    },
+    /// A member is unacquainted with more than `k` other members.
+    AcquaintanceViolated {
+        /// Observed interior unfamiliarity `U(F)`.
+        unfamiliarity: usize,
+        /// The query's `k`.
+        k: usize,
+    },
+    /// The period is not exactly `m` slots.
+    PeriodLengthWrong {
+        /// Expected `m`.
+        expected: usize,
+        /// Actual period length.
+        found: usize,
+    },
+    /// A member is unavailable during the period.
+    AvailabilityViolated {
+        /// The offending member.
+        member: NodeId,
+        /// The first slot of the period where they are busy.
+        slot: usize,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::WrongSize { expected, found } => {
+                write!(f, "group has {found} members, query asked for {expected}")
+            }
+            Violation::InitiatorMissing => write!(f, "initiator not in the group"),
+            Violation::DuplicateMember { member } => write!(f, "duplicate member {member}"),
+            Violation::RadiusViolated { member } => {
+                write!(f, "{member} is outside the social radius")
+            }
+            Violation::DistanceMismatch { claimed, actual } => {
+                write!(f, "claimed distance {claimed} but recomputed {actual}")
+            }
+            Violation::AcquaintanceViolated { unfamiliarity, k } => {
+                write!(f, "interior unfamiliarity {unfamiliarity} exceeds k = {k}")
+            }
+            Violation::PeriodLengthWrong { expected, found } => {
+                write!(f, "period spans {found} slots, expected {expected}")
+            }
+            Violation::AvailabilityViolated { member, slot } => {
+                write!(f, "{member} is busy in slot {slot} of the period")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Violation {}
+
+fn validate_group_social(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    p: usize,
+    s: usize,
+    k: usize,
+    members: &[NodeId],
+    claimed_distance: Dist,
+) -> Result<(), Violation> {
+    if members.len() != p {
+        return Err(Violation::WrongSize { expected: p, found: members.len() });
+    }
+    if !members.contains(&initiator) {
+        return Err(Violation::InitiatorMissing);
+    }
+    let mut sorted = members.to_vec();
+    sorted.sort_unstable();
+    for w in sorted.windows(2) {
+        if w[0] == w[1] {
+            return Err(Violation::DuplicateMember { member: w[0] });
+        }
+    }
+
+    let dists = bounded_distances(graph, initiator, s);
+    let mut total: Dist = 0;
+    for &v in members {
+        match dists.get(v.index()).copied().flatten() {
+            Some(d) => total += d,
+            None => return Err(Violation::RadiusViolated { member: v }),
+        }
+    }
+    if total != claimed_distance {
+        return Err(Violation::DistanceMismatch { claimed: claimed_distance, actual: total });
+    }
+
+    let unfamiliarity = kplex::interior_unfamiliarity(graph, members);
+    if unfamiliarity > k {
+        return Err(Violation::AcquaintanceViolated { unfamiliarity, k });
+    }
+    Ok(())
+}
+
+/// Check an SGQ solution against every constraint of §3.1.
+pub fn validate_sgq(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    query: &SgqQuery,
+    solution: &SgqSolution,
+) -> Result<(), Violation> {
+    validate_group_social(
+        graph,
+        initiator,
+        query.p(),
+        query.s(),
+        query.k(),
+        &solution.members,
+        solution.total_distance,
+    )
+}
+
+/// Check an STGQ solution against every constraint of §4.1.
+pub fn validate_stgq(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    solution: &StgqSolution,
+) -> Result<(), Violation> {
+    validate_group_social(
+        graph,
+        initiator,
+        query.p(),
+        query.s(),
+        query.k(),
+        &solution.members,
+        solution.total_distance,
+    )?;
+    if solution.period.len() != query.m() {
+        return Err(Violation::PeriodLengthWrong {
+            expected: query.m(),
+            found: solution.period.len(),
+        });
+    }
+    for &v in &solution.members {
+        for slot in solution.period.iter() {
+            if !calendars[v.index()].is_available(slot) {
+                return Err(Violation::AvailabilityViolated { member: v, slot });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+    use stgq_schedule::SlotRange;
+
+    fn tiny() -> (SocialGraph, NodeId) {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 3).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 5).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        // v3 isolated
+        (b.build(), NodeId(0))
+    }
+
+    #[test]
+    fn accepts_a_correct_solution() {
+        let (g, q) = tiny();
+        let query = SgqQuery::new(3, 1, 0).unwrap();
+        let sol = SgqSolution {
+            members: vec![NodeId(0), NodeId(1), NodeId(2)],
+            total_distance: 8,
+        };
+        assert_eq!(validate_sgq(&g, q, &query, &sol), Ok(()));
+    }
+
+    #[test]
+    fn rejects_each_social_violation() {
+        let (g, q) = tiny();
+        let query = SgqQuery::new(3, 1, 0).unwrap();
+
+        let wrong_size = SgqSolution { members: vec![q, NodeId(1)], total_distance: 3 };
+        assert!(matches!(
+            validate_sgq(&g, q, &query, &wrong_size),
+            Err(Violation::WrongSize { .. })
+        ));
+
+        let no_init = SgqSolution {
+            members: vec![NodeId(1), NodeId(2), NodeId(3)],
+            total_distance: 0,
+        };
+        assert!(matches!(
+            validate_sgq(&g, q, &query, &no_init),
+            Err(Violation::InitiatorMissing)
+        ));
+
+        let dup = SgqSolution {
+            members: vec![q, NodeId(1), NodeId(1)],
+            total_distance: 6,
+        };
+        assert!(matches!(
+            validate_sgq(&g, q, &query, &dup),
+            Err(Violation::DuplicateMember { .. })
+        ));
+
+        let out_of_radius = SgqSolution {
+            members: vec![q, NodeId(1), NodeId(3)],
+            total_distance: 3,
+        };
+        assert!(matches!(
+            validate_sgq(&g, q, &query, &out_of_radius),
+            Err(Violation::RadiusViolated { member: NodeId(3) })
+        ));
+
+        let bad_distance = SgqSolution {
+            members: vec![q, NodeId(1), NodeId(2)],
+            total_distance: 9,
+        };
+        assert!(matches!(
+            validate_sgq(&g, q, &query, &bad_distance),
+            Err(Violation::DistanceMismatch { claimed: 9, actual: 8 })
+        ));
+    }
+
+    #[test]
+    fn rejects_acquaintance_violation() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        let g = b.build(); // v1 and v2 are strangers
+        let query = SgqQuery::new(3, 1, 0).unwrap();
+        let sol = SgqSolution {
+            members: vec![NodeId(0), NodeId(1), NodeId(2)],
+            total_distance: 2,
+        };
+        assert!(matches!(
+            validate_sgq(&g, NodeId(0), &query, &sol),
+            Err(Violation::AcquaintanceViolated { unfamiliarity: 1, k: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_temporal_violations() {
+        let (g, q) = tiny();
+        let query = StgqQuery::new(3, 1, 0, 2).unwrap();
+        let mut cals = vec![Calendar::all_available(5); 4];
+        cals[1].set_available(3, false);
+
+        let good = StgqSolution {
+            members: vec![q, NodeId(1), NodeId(2)],
+            total_distance: 8,
+            period: SlotRange::new(0, 1),
+            pivot: 1,
+        };
+        assert_eq!(validate_stgq(&g, q, &cals, &query, &good), Ok(()));
+
+        let wrong_len = StgqSolution { period: SlotRange::new(0, 2), ..good.clone() };
+        assert!(matches!(
+            validate_stgq(&g, q, &cals, &query, &wrong_len),
+            Err(Violation::PeriodLengthWrong { expected: 2, found: 3 })
+        ));
+
+        let busy = StgqSolution { period: SlotRange::new(2, 3), ..good };
+        assert!(matches!(
+            validate_stgq(&g, q, &cals, &query, &busy),
+            Err(Violation::AvailabilityViolated { member: NodeId(1), slot: 3 })
+        ));
+    }
+
+    #[test]
+    fn violation_messages_are_informative() {
+        let v = Violation::DistanceMismatch { claimed: 5, actual: 7 };
+        assert!(v.to_string().contains('5') && v.to_string().contains('7'));
+        let v = Violation::AvailabilityViolated { member: NodeId(2), slot: 4 };
+        assert!(v.to_string().contains("v2"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Barabási–Albert preferential attachment — a reference scale-free model
+//! used in tests and ablations (the coauthor model should beat it on
+//! clustering at matched density).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+use crate::weights::{sample_distance, Tie};
+
+/// Generate a BA graph: each arriving vertex attaches to `m` distinct
+/// existing vertices chosen proportionally to degree. Deterministic in
+/// `seed`. Requires `n > m ≥ 1`.
+pub fn ba_graph(n: usize, m: usize, seed: u64) -> SocialGraph {
+    assert!(m >= 1 && n > m, "need n > m >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Endpoint urn: each edge contributes both endpoints.
+    let mut urn: Vec<u32> = Vec::new();
+
+    // Seed clique on the first m+1 vertices.
+    for i in 0..=(m as u32) {
+        for j in i + 1..=(m as u32) {
+            let tie = if rng.gen_bool(0.5) { Tie::Strong } else { Tie::Weak };
+            b.add_edge(NodeId(i), NodeId(j), sample_distance(&mut rng, tie)).unwrap();
+            urn.push(i);
+            urn.push(j);
+        }
+    }
+
+    for v in (m as u32 + 1)..n as u32 {
+        let mut targets: Vec<u32> = Vec::with_capacity(m);
+        let mut guard = 0;
+        while targets.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = urn[rng.gen_range(0..urn.len())];
+            if t != v && !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            let tie = if rng.gen_bool(0.5) { Tie::Strong } else { Tie::Weak };
+            b.add_edge(NodeId(v), NodeId(t), sample_distance(&mut rng, tie)).unwrap();
+            urn.push(v);
+            urn.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::analysis;
+
+    #[test]
+    fn edge_count_is_deterministic_and_expected() {
+        let g = ba_graph(100, 3, 1);
+        let g2 = ba_graph(100, 3, 1);
+        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        // clique C(4,2)=6 + 96 arrivals × 3.
+        assert_eq!(g.edge_count(), 6 + 96 * 3);
+    }
+
+    #[test]
+    fn produces_hubs() {
+        let g = ba_graph(500, 2, 77);
+        let s = analysis::degree_stats(&g).unwrap();
+        assert!(s.max >= 5 * s.median, "max {} median {}", s.max, s.median);
+        assert!(s.min >= 2);
+    }
+
+    #[test]
+    fn single_component() {
+        let g = ba_graph(200, 2, 5);
+        assert_eq!(analysis::connected_components(&g).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_degenerate_sizes() {
+        let _ = ba_graph(3, 3, 0);
+    }
+}

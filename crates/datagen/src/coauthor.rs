@@ -1,0 +1,156 @@
+//! Affiliation-model coauthorship networks — the analog of the paper's
+//! synthetic dataset "generated from a coauthorship network" \[7\], scaled
+//! from 194 to 12,800 people (Figure 1(d)).
+//!
+//! People join collaborations (papers); each collaboration is a clique.
+//! Authors are drawn from a Pólya urn (once per person initially, plus one
+//! entry per prior collaboration), which yields the heavy-tailed degree
+//! distribution of real coauthorship data, while the clique structure
+//! yields its high clustering. Edge distances decrease with the number of
+//! joint collaborations.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+use crate::weights::{distance_from_interactions, sample_distance, Tie};
+
+/// Parameters of the affiliation model.
+#[derive(Clone, Debug)]
+pub struct CoauthorConfig {
+    /// Number of people.
+    pub n: usize,
+    /// Collaborations per person (the model generates `⌈n·rate⌉` groups).
+    pub collaborations_per_person: f64,
+    /// Smallest collaboration size.
+    pub min_size: usize,
+    /// Largest collaboration size.
+    pub max_size: usize,
+}
+
+impl CoauthorConfig {
+    /// Defaults shaped after coauthorship statistics: ~1.3 papers/person,
+    /// 2–6 authors per paper.
+    pub fn with_n(n: usize) -> Self {
+        CoauthorConfig { n, collaborations_per_person: 1.3, min_size: 2, max_size: 6 }
+    }
+}
+
+/// Generate a coauthorship graph; deterministic in `seed`.
+pub fn coauthor_graph(cfg: &CoauthorConfig, seed: u64) -> SocialGraph {
+    assert!(cfg.n > 1);
+    assert!(cfg.min_size >= 2 && cfg.max_size >= cfg.min_size);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Pólya urn: start with one ticket per person.
+    let mut urn: Vec<u32> = (0..cfg.n as u32).collect();
+    let groups = ((cfg.n as f64) * cfg.collaborations_per_person).ceil() as usize;
+    let mut joint: HashMap<(u32, u32), u32> = HashMap::new();
+    let mut in_any = vec![false; cfg.n];
+
+    let mut members: Vec<u32> = Vec::with_capacity(cfg.max_size);
+    for _ in 0..groups {
+        let size = rng.gen_range(cfg.min_size..=cfg.max_size).min(cfg.n);
+        members.clear();
+        let mut guard = 0;
+        while members.len() < size && guard < 50 * size {
+            guard += 1;
+            let pick = urn[rng.gen_range(0..urn.len())];
+            if !members.contains(&pick) {
+                members.push(pick);
+            }
+        }
+        for &m in &members {
+            urn.push(m);
+            in_any[m as usize] = true;
+        }
+        for i in 0..members.len() {
+            for j in i + 1..members.len() {
+                let key = (members[i].min(members[j]), members[i].max(members[j]));
+                *joint.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+
+    let mut b = GraphBuilder::new(cfg.n);
+    // Deterministic edge order: sort the pair map.
+    let mut pairs: Vec<((u32, u32), u32)> = joint.into_iter().collect();
+    pairs.sort_unstable_by_key(|&(k, _)| k);
+    for ((a, v), count) in pairs {
+        // 4 interactions per joint collaboration plus noise.
+        let freq = 4 * count + rng.gen_range(0..4);
+        b.add_edge(NodeId(a), NodeId(v), distance_from_interactions(freq))
+            .expect("pairs are distinct and in range");
+    }
+    // Attach anyone the urn never produced (rare for small n).
+    for v in 0..cfg.n as u32 {
+        if !in_any[v as usize] {
+            let mut w = rng.gen_range(0..cfg.n as u32);
+            while w == v {
+                w = rng.gen_range(0..cfg.n as u32);
+            }
+            if !b.has_edge(NodeId(v), NodeId(w)) {
+                b.add_edge(NodeId(v), NodeId(w), sample_distance(&mut rng, Tie::Weak))
+                    .expect("distinct pair");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::analysis;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = CoauthorConfig::with_n(150);
+        let a = coauthor_graph(&cfg, 9);
+        let b = coauthor_graph(&cfg, 9);
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn no_isolated_people() {
+        let g = coauthor_graph(&CoauthorConfig::with_n(200), 3);
+        let stats = analysis::degree_stats(&g).unwrap();
+        assert!(stats.min >= 1);
+    }
+
+    #[test]
+    fn heavy_tail_and_clustering() {
+        let g = coauthor_graph(&CoauthorConfig::with_n(800), 21);
+        let stats = analysis::degree_stats(&g).unwrap();
+        // Preferential attachment: the max degree dwarfs the median.
+        assert!(
+            stats.max >= 4 * stats.median.max(1),
+            "expected hubs: max {} median {}",
+            stats.max,
+            stats.median
+        );
+        // Clique-based growth: clustering far above a random graph's.
+        let c = analysis::global_clustering(&g);
+        let dens = analysis::density(&g);
+        assert!(
+            c > 5.0 * dens,
+            "coauthorship clustering {c:.3} should far exceed density {dens:.4}"
+        );
+        assert!(c > 0.15, "absolute clustering too low: {c:.3}");
+    }
+
+    #[test]
+    fn scales_to_figure_1d_sizes() {
+        // 12,800 is the paper's largest size; just check it builds fast and
+        // has sane shape (full scale is exercised by the harness).
+        let g = coauthor_graph(&CoauthorConfig::with_n(3200), 5);
+        assert_eq!(g.node_count(), 3200);
+        let mean = analysis::degree_stats(&g).unwrap().mean;
+        assert!(mean > 2.0 && mean < 30.0, "mean degree {mean}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Erdős–Rényi `G(n, p)` reference model.
+//!
+//! The unstructured null model: every pair is a friendship independently
+//! with probability `p`, weights drawn from the weak-tie interaction
+//! distribution (ER has no community structure to justify strong ties).
+//! Used by tests and the ablation benches as the "no clustering" extreme
+//! against the community and coauthorship generators.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+use crate::weights::{sample_distance, Tie};
+
+/// Generate `G(n, p)` with interaction-derived weights, deterministic in
+/// `seed`.
+///
+/// # Panics
+/// Panics if `edge_prob` is not within `[0, 1]`.
+pub fn er_graph(n: usize, edge_prob: f64, seed: u64) -> SocialGraph {
+    assert!(
+        (0.0..=1.0).contains(&edge_prob),
+        "edge probability must lie in [0, 1], got {edge_prob}"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.gen_bool(edge_prob) {
+                let w = sample_distance(&mut rng, Tie::Weak);
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), w)
+                    .expect("generated pairs are valid");
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::analysis::global_clustering;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = er_graph(40, 0.2, 9);
+        let b = er_graph(40, 0.2, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        let ea: Vec<_> = a.edges().map(|e| (e.a, e.b, e.weight)).collect();
+        let eb: Vec<_> = b.edges().map(|e| (e.a, e.b, e.weight)).collect();
+        assert_eq!(ea, eb);
+    }
+
+    #[test]
+    fn edge_count_tracks_probability() {
+        let n = 60;
+        let pairs = (n * (n - 1) / 2) as f64;
+        let g = er_graph(n, 0.25, 3);
+        let observed = g.edge_count() as f64 / pairs;
+        assert!((observed - 0.25).abs() < 0.05, "observed density {observed:.3}");
+    }
+
+    #[test]
+    fn extremes() {
+        assert_eq!(er_graph(20, 0.0, 1).edge_count(), 0);
+        assert_eq!(er_graph(20, 1.0, 1).edge_count(), 190);
+        assert_eq!(er_graph(0, 0.5, 1).node_count(), 0);
+    }
+
+    #[test]
+    fn clustering_is_near_edge_probability() {
+        // In G(n, p) the expected clustering coefficient is p itself —
+        // the property that makes ER the "no structure" reference.
+        let g = er_graph(120, 0.15, 5);
+        let c = global_clustering(&g);
+        assert!((c - 0.15).abs() < 0.08, "clustering {c:.3} far from 0.15");
+    }
+
+    #[test]
+    #[should_panic(expected = "edge probability")]
+    fn rejects_invalid_probability() {
+        let _ = er_graph(5, 1.5, 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Dataset snapshots: save a generated [`Dataset`] to JSON and load it
+//! back bit-for-bit. This is what makes every experiment exactly
+//! re-runnable (and lets external tools inspect the inputs): the harness
+//! seeds are deterministic, but a snapshot decouples results from the
+//! generator version too.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+use stgq_graph::{GraphData, GraphError};
+use stgq_schedule::{Calendar, ScheduleError, TimeGrid};
+
+use crate::Dataset;
+
+/// Serializable form of a [`Dataset`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DatasetData {
+    /// Edge-list form of the social graph.
+    pub graph: GraphData,
+    /// Availability bitmaps, one per vertex.
+    pub calendars: Vec<Calendar>,
+    /// The slot coordinate system.
+    pub grid: TimeGrid,
+}
+
+/// Errors from snapshot round-trips.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Filesystem or stream failure.
+    Io(std::io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+    /// The graph inside the snapshot fails validation.
+    Graph(GraphError),
+    /// The calendars do not match the grid or the graph.
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::Json(e) => write!(f, "snapshot JSON error: {e}"),
+            SnapshotError::Graph(e) => write!(f, "snapshot graph invalid: {e}"),
+            SnapshotError::Inconsistent(why) => write!(f, "snapshot inconsistent: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+impl From<serde_json::Error> for SnapshotError {
+    fn from(e: serde_json::Error) -> Self {
+        SnapshotError::Json(e)
+    }
+}
+impl From<GraphError> for SnapshotError {
+    fn from(e: GraphError) -> Self {
+        SnapshotError::Graph(e)
+    }
+}
+impl From<ScheduleError> for SnapshotError {
+    fn from(e: ScheduleError) -> Self {
+        SnapshotError::Inconsistent(e.to_string())
+    }
+}
+
+impl DatasetData {
+    /// Snapshot a dataset.
+    pub fn from_dataset(ds: &Dataset) -> Self {
+        DatasetData {
+            graph: GraphData::from_graph(&ds.graph),
+            calendars: ds.calendars.clone(),
+            grid: ds.grid,
+        }
+    }
+
+    /// Rebuild the dataset, re-validating the graph and the calendar/grid
+    /// consistency.
+    pub fn into_dataset(self) -> Result<Dataset, SnapshotError> {
+        let graph = self.graph.into_graph()?;
+        if self.calendars.len() != graph.node_count() {
+            return Err(SnapshotError::Inconsistent(format!(
+                "{} calendars for {} vertices",
+                self.calendars.len(),
+                graph.node_count()
+            )));
+        }
+        for (i, c) in self.calendars.iter().enumerate() {
+            if c.horizon() != self.grid.horizon() {
+                return Err(SnapshotError::Inconsistent(format!(
+                    "calendar {i} horizon {} != grid horizon {}",
+                    c.horizon(),
+                    self.grid.horizon()
+                )));
+            }
+        }
+        Ok(Dataset { graph, calendars: self.calendars, grid: self.grid })
+    }
+}
+
+/// Write a dataset snapshot as pretty JSON.
+pub fn save_dataset(ds: &Dataset, path: &Path) -> Result<(), SnapshotError> {
+    let data = DatasetData::from_dataset(ds);
+    let json = serde_json::to_string(&data)?;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Load a dataset snapshot.
+pub fn load_dataset(path: &Path) -> Result<Dataset, SnapshotError> {
+    let mut json = String::new();
+    std::fs::File::open(path)?.read_to_string(&mut json)?;
+    let data: DatasetData = serde_json::from_str(&json)?;
+    data.into_dataset()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::real_analog_194;
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let ds = real_analog_194(1, 5);
+        let data = DatasetData::from_dataset(&ds);
+        let back = data.clone().into_dataset().unwrap();
+        assert_eq!(back.graph.edges().collect::<Vec<_>>(), ds.graph.edges().collect::<Vec<_>>());
+        assert_eq!(back.calendars, ds.calendars);
+        assert_eq!(back.grid, ds.grid);
+    }
+
+    #[test]
+    fn disk_roundtrip() {
+        let dir = std::env::temp_dir().join("stgq_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.json");
+        let ds = real_analog_194(1, 6);
+        save_dataset(&ds, &path).unwrap();
+        let back = load_dataset(&path).unwrap();
+        assert!(back.check());
+        assert_eq!(back.graph.edge_count(), ds.graph.edge_count());
+    }
+
+    #[test]
+    fn inconsistent_snapshots_are_rejected() {
+        let ds = real_analog_194(1, 7);
+        let mut data = DatasetData::from_dataset(&ds);
+        data.calendars.pop();
+        assert!(matches!(
+            data.clone().into_dataset(),
+            Err(SnapshotError::Inconsistent(_))
+        ));
+        let mut bad_grid = DatasetData::from_dataset(&ds);
+        bad_grid.grid = TimeGrid::half_hour(2).unwrap();
+        assert!(matches!(bad_grid.into_dataset(), Err(SnapshotError::Inconsistent(_))));
+    }
+
+    #[test]
+    fn corrupt_json_is_an_error() {
+        let dir = std::env::temp_dir().join("stgq_snapshot_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(matches!(load_dataset(&path), Err(SnapshotError::Json(_))));
+    }
+}

@@ -1,0 +1,70 @@
+//! One-stop dataset assemblies for the harness, examples and tests.
+
+use stgq_schedule::TimeGrid;
+
+use crate::coauthor::{coauthor_graph, CoauthorConfig};
+use crate::community::{community_graph, CommunityConfig};
+use crate::schedules::{archetype_population, pool_sampled_population};
+use crate::Dataset;
+
+/// The 194-person "real dataset" analog (§5.1): community graph +
+/// archetype calendars over `days` days of half-hour slots.
+pub fn real_analog_194(days: usize, seed: u64) -> Dataset {
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+    let graph = community_graph(&CommunityConfig::paper_194(), seed);
+    let calendars = archetype_population(&grid, graph.node_count(), seed ^ 0x5eed);
+    let ds = Dataset { graph, calendars, grid };
+    debug_assert!(ds.check());
+    ds
+}
+
+/// The synthetic coauthorship dataset of Figure 1(d): `n` people, per-day
+/// schedules sampled from the 194-person pool, exactly as the paper
+/// describes.
+pub fn synthetic_coauthor(n: usize, days: usize, seed: u64) -> Dataset {
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+    let graph = coauthor_graph(&CoauthorConfig::with_n(n), seed);
+    let pool = archetype_population(&grid, 194, seed ^ 0x9001);
+    let calendars = pool_sampled_population(&grid, &pool, n, seed ^ 0xca1e);
+    let ds = Dataset { graph, calendars, grid };
+    debug_assert!(ds.check());
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_analog_shape() {
+        let ds = real_analog_194(7, 1);
+        assert!(ds.check());
+        assert_eq!(ds.graph.node_count(), 194);
+        assert_eq!(ds.grid.horizon(), 336);
+        assert_eq!(ds.calendars.len(), 194);
+    }
+
+    #[test]
+    fn synthetic_sizes_match_figure_1d() {
+        for n in [194usize, 800] {
+            let ds = synthetic_coauthor(n, 1, 2);
+            assert!(ds.check());
+            assert_eq!(ds.graph.node_count(), n);
+        }
+    }
+
+    #[test]
+    fn datasets_are_reproducible() {
+        let a = real_analog_194(2, 77);
+        let b = real_analog_194(2, 77);
+        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_eq!(a.calendars, b.calendars);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = real_analog_194(1, 1);
+        let b = real_analog_194(1, 2);
+        assert_ne!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,258 @@
+//! Calendar generation.
+//!
+//! The paper collected real Google-Calendar schedules from 194 people; the
+//! synthetic population's "schedule of each person in each day is randomly
+//! assigned from the above 194-people real dataset". We generate the base
+//! pool from behavioural **archetypes** at half-hour granularity, then
+//! scale exactly the way the paper does: per-person-per-day sampling from
+//! that pool ([`pool_sampled_population`]).
+//!
+//! Crucially, calendars are built the way real ones are: a contiguous
+//! *awake-and-free* background with busy **events** punched out — not
+//! per-slot coin flips. Real free time is contiguous, which is what makes
+//! long activity windows (the paper benchmarks m up to 24 half-hour slots)
+//! occasionally feasible.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_schedule::{Calendar, SlotRange, TimeGrid};
+
+/// Behavioural schedule archetypes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Archetype {
+    /// 9-to-17:30 work busy on weekdays; evenings and weekends mostly free.
+    Office,
+    /// Scattered class blocks on weekdays; generous free time otherwise.
+    Student,
+    /// Night shifts (20:00–08:00 busy); free mid-day.
+    Shift,
+    /// No fixed structure; a few random events per day.
+    Flexible,
+}
+
+/// All archetypes, for round-robin population mixes.
+pub const ARCHETYPES: [Archetype; 4] =
+    [Archetype::Office, Archetype::Student, Archetype::Shift, Archetype::Flexible];
+
+/// Convert fractional hours to a slot-of-day index, clamped to the day.
+fn hour_slot(grid: &TimeGrid, hour: f64) -> usize {
+    let spd = grid.slots_per_day() as f64;
+    (((hour / 24.0) * spd).round() as usize).min(grid.slots_per_day())
+}
+
+/// Mark `[from_hour, to_hour)` of `day` with the given availability.
+fn paint(cal: &mut Calendar, grid: &TimeGrid, day: usize, from: f64, to: f64, available: bool) {
+    let lo = hour_slot(grid, from);
+    let hi = hour_slot(grid, to);
+    if lo < hi {
+        let base = day * grid.slots_per_day();
+        cal.set_range(SlotRange::new(base + lo, base + hi - 1), available);
+    }
+}
+
+/// Generate one person's calendar for an archetype. Days are weekly:
+/// `day % 7 ∈ {5, 6}` are weekend days.
+pub fn archetype_calendar(rng: &mut SmallRng, archetype: Archetype, grid: &TimeGrid) -> Calendar {
+    let mut cal = Calendar::new(grid.horizon());
+    for day in 0..grid.days() {
+        let weekend = day % 7 >= 5;
+        // Awake-and-free background, then punch busy events out.
+        match archetype {
+            Archetype::Office => {
+                if weekend {
+                    paint(&mut cal, grid, day, 9.0, 23.0, true);
+                    punch_events(&mut cal, rng, grid, day, 9.0, 23.0, 1..=3);
+                } else {
+                    paint(&mut cal, grid, day, 7.0, 23.0, true);
+                    paint(&mut cal, grid, day, 8.5, 17.5, false); // work + commute
+                    punch_events(&mut cal, rng, grid, day, 18.0, 23.0, 0..=2);
+                }
+            }
+            Archetype::Student => {
+                if weekend {
+                    paint(&mut cal, grid, day, 10.0, 24.0, true);
+                    punch_events(&mut cal, rng, grid, day, 10.0, 24.0, 1..=2);
+                } else {
+                    paint(&mut cal, grid, day, 8.0, 23.5, true);
+                    for _ in 0..rng.gen_range(2..=4) {
+                        let start = 8.0 + 0.5 * rng.gen_range(0..=18) as f64;
+                        paint(&mut cal, grid, day, start, start + 1.5, false);
+                    }
+                }
+            }
+            Archetype::Shift => {
+                paint(&mut cal, grid, day, 9.0, 19.0, true);
+                punch_events(&mut cal, rng, grid, day, 9.0, 19.0, 0..=1);
+            }
+            Archetype::Flexible => {
+                paint(&mut cal, grid, day, 8.0, 23.5, true);
+                punch_events(&mut cal, rng, grid, day, 8.0, 23.5, 2..=4);
+            }
+        }
+    }
+    cal
+}
+
+/// Punch `count ∈ range` busy events of 1–3 hours into `[from, to)`.
+fn punch_events(
+    cal: &mut Calendar,
+    rng: &mut SmallRng,
+    grid: &TimeGrid,
+    day: usize,
+    from: f64,
+    to: f64,
+    count: std::ops::RangeInclusive<usize>,
+) {
+    let events = rng.gen_range(count);
+    for _ in 0..events {
+        let len = 0.5 * rng.gen_range(2..=6) as f64; // 1–3 hours
+        if to - from > len {
+            let latest = to - len;
+            let start = from + 0.5 * rng.gen_range(0..=((latest - from) / 0.5) as u32) as f64;
+            paint(cal, grid, day, start, start + len, false);
+        }
+    }
+}
+
+/// A population of `n` calendars with a round-robin archetype mix,
+/// deterministic in `seed`.
+pub fn archetype_population(grid: &TimeGrid, n: usize, seed: u64) -> Vec<Calendar> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| archetype_calendar(&mut rng, ARCHETYPES[i % ARCHETYPES.len()], grid))
+        .collect()
+}
+
+/// Scale schedules the paper's way: each person's **each day** is copied
+/// from a uniformly random (person, day) of the `pool`.
+///
+/// # Panics
+/// Panics if the pool is empty or pool calendars do not align to whole
+/// days of `grid.slots_per_day()` slots.
+pub fn pool_sampled_population(
+    grid: &TimeGrid,
+    pool: &[Calendar],
+    n: usize,
+    seed: u64,
+) -> Vec<Calendar> {
+    assert!(!pool.is_empty(), "pool must be non-empty");
+    let spd = grid.slots_per_day();
+    let pool_days: Vec<usize> = pool
+        .iter()
+        .map(|c| {
+            assert_eq!(c.horizon() % spd, 0, "pool calendars must align to whole days");
+            c.horizon() / spd
+        })
+        .collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let mut cal = Calendar::new(grid.horizon());
+            for day in 0..grid.days() {
+                let who = rng.gen_range(0..pool.len());
+                let src_day = rng.gen_range(0..pool_days[who]);
+                for sod in 0..spd {
+                    if pool[who].is_available(src_day * spd + sod) {
+                        cal.set_available(day * spd + sod, true);
+                    }
+                }
+            }
+            cal
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> TimeGrid {
+        TimeGrid::half_hour(7).unwrap()
+    }
+
+    #[test]
+    fn office_workers_are_busy_at_work_free_in_the_evening() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut evening_free = 0u32;
+        for _ in 0..50 {
+            let c = archetype_calendar(&mut rng, Archetype::Office, &g);
+            // Tuesday 10:00 (slot 20 of day 1): at work, never free.
+            assert!(!c.is_available(48 + 20));
+            // Tuesday 19:00 (slot 38): usually free.
+            if c.is_available(48 + 38) {
+                evening_free += 1;
+            }
+        }
+        assert!(evening_free > 25, "evenings are mostly free: {evening_free}/50");
+    }
+
+    #[test]
+    fn free_time_is_contiguous_enough_for_long_windows() {
+        // Real calendars have long free runs; check weekends regularly
+        // offer 8+ hour (16-slot) runs across a small population.
+        let g = grid();
+        let pop = archetype_population(&g, 40, 9);
+        let weekend = SlotRange::new(5 * 48, 7 * 48 - 1);
+        let long_runs = pop.iter().filter(|c| c.max_run_in(weekend) >= 16).count();
+        assert!(long_runs >= 20, "only {long_runs}/40 have an 8h weekend run");
+    }
+
+    #[test]
+    fn shift_workers_complement_office_workers() {
+        let g = grid();
+        let mut rng = SmallRng::seed_from_u64(4);
+        let c = archetype_calendar(&mut rng, Archetype::Shift, &g);
+        // Never available at 23:00 (slot 46) or 03:00 (slot 6).
+        for day in 0..7 {
+            assert!(!c.is_available(day * 48 + 46));
+            assert!(!c.is_available(day * 48 + 6));
+        }
+        // Frequently available mid-day across the week.
+        let midday: usize = (0..7).filter(|d| c.is_available(d * 48 + 28)).count();
+        assert!(midday >= 3);
+    }
+
+    #[test]
+    fn population_is_deterministic_and_mixed() {
+        let g = grid();
+        let a = archetype_population(&g, 20, 9);
+        let b = archetype_population(&g, 20, 9);
+        assert_eq!(a, b);
+        assert_ne!(a[0], a[1], "different people differ");
+        for c in &a {
+            assert_eq!(c.horizon(), g.horizon());
+            assert!(c.count_available() > 0, "nobody is 100% busy");
+        }
+    }
+
+    #[test]
+    fn pool_sampling_copies_whole_days() {
+        let spd = 4;
+        let pool_grid = TimeGrid::new(2, spd).unwrap();
+        // One pool person, day0 = all free, day1 = all busy.
+        let mut p = Calendar::new(pool_grid.horizon());
+        p.set_range(SlotRange::new(0, spd - 1), true);
+        let pool = vec![p];
+
+        let out_grid = TimeGrid::new(5, spd).unwrap();
+        let pop = pool_sampled_population(&out_grid, &pool, 3, 11);
+        for cal in &pop {
+            for day in 0..5 {
+                let avail: Vec<bool> =
+                    (0..spd).map(|s| cal.is_available(day * spd + s)).collect();
+                assert!(
+                    avail.iter().all(|&x| x) || avail.iter().all(|&x| !x),
+                    "day {day} mixes pool days: {avail:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_pool_panics() {
+        let g = grid();
+        let _ = pool_sampled_population(&g, &[], 3, 0);
+    }
+}

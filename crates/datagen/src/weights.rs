@@ -1,0 +1,88 @@
+//! Interaction-derived social distances.
+//!
+//! The paper derives each edge's social distance from "the interaction
+//! between the two corresponding people, such as the frequency of meeting,
+//! phone calls, and mails" (§5.1, citing [10, 12, 13]). We model the
+//! interaction count per relationship and convert it to a distance with a
+//! decreasing map: frequent contact ⇒ small distance. The constants were
+//! picked so generated distances fall in the 1–60 range of the paper's
+//! worked examples (8–30 for typical friendships).
+
+use rand::Rng;
+use stgq_graph::Dist;
+
+/// Convert an interaction frequency (contacts per observation window) to a
+/// social distance: `max(1, ⌈60 / (1 + freq)⌉)`.
+pub fn distance_from_interactions(freq: u32) -> Dist {
+    let d = 60 / (1 + u64::from(freq));
+    d.max(1)
+}
+
+/// Tie strength classes used by the generators; they only differ in the
+/// interaction-count distribution they draw from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Tie {
+    /// Same community / frequent collaborators.
+    Strong,
+    /// Cross-community acquaintances.
+    Weak,
+}
+
+/// Sample an interaction count for a tie class.
+pub fn sample_interactions(rng: &mut impl Rng, tie: Tie) -> u32 {
+    match tie {
+        // Frequent: 2..40 contacts, skewed low via min of two draws being
+        // avoided (uniform is fine for distance diversity).
+        Tie::Strong => rng.gen_range(2..40),
+        // Rare: 0..6 contacts.
+        Tie::Weak => rng.gen_range(0..6),
+    }
+}
+
+/// Sample a distance directly for a tie class.
+pub fn sample_distance(rng: &mut impl Rng, tie: Tie) -> Dist {
+    distance_from_interactions(sample_interactions(rng, tie))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distance_is_decreasing_in_frequency() {
+        let mut prev = Dist::MAX;
+        for f in 0..100 {
+            let d = distance_from_interactions(f);
+            assert!(d <= prev, "f={f}");
+            assert!(d >= 1);
+            prev = d;
+        }
+        assert_eq!(distance_from_interactions(0), 60);
+        assert_eq!(distance_from_interactions(59), 1);
+    }
+
+    #[test]
+    fn strong_ties_are_closer_on_average() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let avg = |tie, rng: &mut SmallRng| -> f64 {
+            (0..2000).map(|_| sample_distance(rng, tie) as f64).sum::<f64>() / 2000.0
+        };
+        let strong = avg(Tie::Strong, &mut rng);
+        let weak = avg(Tie::Weak, &mut rng);
+        assert!(
+            strong < weak,
+            "strong ties must be closer: strong={strong:.1} weak={weak:.1}"
+        );
+    }
+
+    #[test]
+    fn distances_are_always_positive() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(sample_distance(&mut rng, Tie::Strong) >= 1);
+            assert!(sample_distance(&mut rng, Tie::Weak) >= 1);
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Watts–Strogatz small-world graphs — a reference model with tunable
+//! clustering, used in tests and the scaling example.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+use crate::weights::{sample_distance, Tie};
+
+/// Generate a WS graph: ring lattice where each vertex connects to its `k`
+/// nearest neighbors on each side, each edge rewired with probability
+/// `beta`. Deterministic in `seed`. Requires `n > 2k` and `k ≥ 1`.
+pub fn ws_graph(n: usize, k: usize, beta: f64, seed: u64) -> SocialGraph {
+    assert!(k >= 1 && n > 2 * k, "need n > 2k >= 2");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+
+    for i in 0..n as u32 {
+        for d in 1..=k as u32 {
+            let j = (i + d) % n as u32;
+            let (mut a, mut c) = (i, j);
+            if beta > 0.0 && rng.gen_bool(beta) {
+                // Rewire the far endpoint to a uniform non-duplicate target.
+                let mut guard = 0;
+                loop {
+                    guard += 1;
+                    let t = rng.gen_range(0..n as u32);
+                    if t != i && !b.has_edge(NodeId(i), NodeId(t)) {
+                        c = t;
+                        a = i;
+                        break;
+                    }
+                    if guard > 100 {
+                        break; // keep the lattice edge
+                    }
+                }
+            }
+            if !b.has_edge(NodeId(a), NodeId(c)) {
+                let tie = if rng.gen_bool(0.7) { Tie::Strong } else { Tie::Weak };
+                b.add_edge(NodeId(a), NodeId(c), sample_distance(&mut rng, tie)).unwrap();
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::analysis;
+
+    #[test]
+    fn zero_beta_is_a_lattice() {
+        let g = ws_graph(30, 2, 0.0, 1);
+        assert_eq!(g.edge_count(), 60);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Ring lattices with k=2 are highly clustered.
+        assert!(analysis::global_clustering(&g) > 0.4);
+    }
+
+    #[test]
+    fn rewiring_reduces_clustering() {
+        let lattice = analysis::global_clustering(&ws_graph(200, 3, 0.0, 2));
+        let random = analysis::global_clustering(&ws_graph(200, 3, 1.0, 2));
+        assert!(
+            random < lattice * 0.5,
+            "rewired {random:.3} should be well below lattice {lattice:.3}"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = ws_graph(80, 2, 0.3, 9);
+        let b = ws_graph(80, 2, 0.3, 9);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "n > 2k")]
+    fn rejects_degenerate_sizes() {
+        let _ = ws_graph(4, 2, 0.1, 0);
+    }
+}

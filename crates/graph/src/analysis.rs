@@ -1,0 +1,173 @@
+//! Structural statistics over social graphs.
+//!
+//! Used by the data generators (to assert the synthetic networks have the
+//! degree/clustering shape the paper's datasets have) and by the benchmark
+//! harness (to report workload characteristics next to measured numbers).
+
+use crate::{NodeId, SocialGraph};
+
+/// Summary of a degree distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Arithmetic mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Compute [`DegreeStats`] for a graph. Returns `None` for the empty graph.
+pub fn degree_stats(graph: &SocialGraph) -> Option<DegreeStats> {
+    let n = graph.node_count();
+    if n == 0 {
+        return None;
+    }
+    let mut degs: Vec<usize> = graph.nodes().map(|v| graph.degree(v)).collect();
+    degs.sort_unstable();
+    let sum: usize = degs.iter().sum();
+    Some(DegreeStats {
+        min: degs[0],
+        max: degs[n - 1],
+        mean: sum as f64 / n as f64,
+        median: degs[n / 2],
+    })
+}
+
+/// Connected components via iterative DFS; returns one sorted vector of
+/// vertex ids per component, largest component first.
+pub fn connected_components(graph: &SocialGraph) -> Vec<Vec<NodeId>> {
+    let n = graph.node_count();
+    let mut seen = vec![false; n];
+    let mut components = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if seen[start] {
+            continue;
+        }
+        seen[start] = true;
+        stack.push(start as u32);
+        let mut comp = Vec::new();
+        while let Some(v) = stack.pop() {
+            comp.push(NodeId(v));
+            for &u in graph.neighbors(NodeId(v)) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        comp.sort_unstable();
+        components.push(comp);
+    }
+    components.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    components
+}
+
+/// Global clustering coefficient (transitivity): `3·triangles / open triads`.
+///
+/// Returns 0.0 when the graph has no path of length two. Coauthorship-style
+/// networks (the paper's synthetic source) have high transitivity; random
+/// graphs of the same density do not — the datagen tests rely on this
+/// distinction.
+pub fn global_clustering(graph: &SocialGraph) -> f64 {
+    let mut triangles = 0usize; // each counted 3 times below
+    let mut triads = 0usize;
+    for v in graph.nodes() {
+        let d = graph.degree(v);
+        triads += d * d.saturating_sub(1) / 2;
+        let nbrs = graph.neighbors(v);
+        for (i, &a) in nbrs.iter().enumerate() {
+            for &b in &nbrs[i + 1..] {
+                if graph.has_edge(NodeId(a), NodeId(b)) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triads == 0 {
+        0.0
+    } else {
+        triangles as f64 / triads as f64
+    }
+}
+
+/// Fraction of vertex pairs that are connected by an edge.
+pub fn density(graph: &SocialGraph) -> f64 {
+    let n = graph.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    graph.edge_count() as f64 / (n * (n - 1) / 2) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> SocialGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n.saturating_sub(1) {
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1).unwrap();
+        }
+        b.build()
+    }
+
+    fn complete_graph(n: usize) -> SocialGraph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                b.add_edge(NodeId(i), NodeId(j), 1).unwrap();
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn degree_stats_on_path() {
+        let s = degree_stats(&path_graph(5)).unwrap();
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.median, 2);
+    }
+
+    #[test]
+    fn degree_stats_empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert!(degree_stats(&g).is_none());
+    }
+
+    #[test]
+    fn components_split_correctly() {
+        // Two components: a path of 3 and an edge, plus an isolated vertex.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 1).unwrap();
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.len(), 3);
+        assert_eq!(comps[0], vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(comps[1], vec![NodeId(3), NodeId(4)]);
+        assert_eq!(comps[2], vec![NodeId(5)]);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert_eq!(global_clustering(&path_graph(10)), 0.0);
+        let c = global_clustering(&complete_graph(6));
+        assert!((c - 1.0).abs() < 1e-12, "complete graph transitivity is 1, got {c}");
+    }
+
+    #[test]
+    fn density_extremes() {
+        assert!((density(&complete_graph(5)) - 1.0).abs() < 1e-12);
+        assert_eq!(density(&GraphBuilder::new(1).build()), 0.0);
+        let d = density(&path_graph(5));
+        assert!((d - 4.0 / 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,356 @@
+/// A dense, fixed-capacity bitset over vertex indices `0..capacity`.
+///
+/// `BitSet` backs the hot set operations of the query algorithms: membership
+/// of `VS`/`VA`, neighborhood bitmaps, and intersection counts such as
+/// `|N_v ∩ VA|`. The cardinality is tracked eagerly so `len()` is O(1).
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+    len: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// An empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity, len: 0 }
+    }
+
+    /// A set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = BitSet::new(capacity);
+        for w in &mut s.words {
+            *w = u64::MAX;
+        }
+        s.trim_tail();
+        s.len = capacity;
+        s
+    }
+
+    /// Zero out bits beyond `capacity` in the last word.
+    fn trim_tail(&mut self) {
+        let tail = self.capacity % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Maximum index + 1 this set can hold.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of elements currently in the set. O(1).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Membership test.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity` (debug-level bounds check via slice index).
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        (self.words[i / WORD_BITS] >> (i % WORD_BITS)) & 1 == 1
+    }
+
+    /// Insert `i`; returns `true` if it was newly inserted.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if *w & mask == 0 {
+            *w |= mask;
+            self.len += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove `i`; returns `true` if it was present.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        let w = &mut self.words[i / WORD_BITS];
+        let mask = 1u64 << (i % WORD_BITS);
+        if *w & mask != 0 {
+            *w &= !mask;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove every element.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// `|self ∩ other|` without materialising the intersection.
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether the two sets share at least one element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// In-place intersection: `self ← self ∩ other`.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+        self.recount();
+    }
+
+    /// In-place union: `self ← self ∪ other`.
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+        self.recount();
+    }
+
+    /// In-place difference: `self ← self \ other`.
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+        self.recount();
+    }
+
+    /// A copy of `self` with `i` removed.
+    pub fn clone_without(&self, i: usize) -> BitSet {
+        let mut c = self.clone();
+        c.remove(i);
+        c
+    }
+
+    /// Smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (wi, w) in self.words.iter().enumerate() {
+            if *w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterate elements in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+    }
+
+    /// Recompute the cached cardinality (after bulk word operations).
+    fn recount(&mut self) {
+        self.len = self.words.iter().map(|w| w.count_ones() as usize).sum();
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collect indices into a set sized to the maximum element + 1.
+    fn from_iter<T: IntoIterator<Item = usize>>(iter: T) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<T: IntoIterator<Item = usize>>(&mut self, iter: T) {
+        for i in iter {
+            self.insert(i);
+        }
+    }
+}
+
+/// Ascending iterator over the elements of a [`BitSet`].
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.words[self.word_idx];
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = Iter<'a>;
+    fn into_iter(self) -> Iter<'a> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(64));
+        assert!(s.insert(129));
+        assert!(!s.insert(64));
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(64));
+        assert!(!s.contains(63));
+        assert!(s.remove(64));
+        assert!(!s.remove(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        for cap in [0, 1, 63, 64, 65, 128, 200] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "cap={cap}");
+            assert_eq!(s.iter().count(), cap);
+        }
+    }
+
+    #[test]
+    fn iter_is_ascending() {
+        let s: BitSet = [5usize, 1, 99, 64, 63].into_iter().collect();
+        let v: Vec<usize> = s.iter().collect();
+        assert_eq!(v, vec![1, 5, 63, 64, 99]);
+        assert_eq!(s.first(), Some(1));
+    }
+
+    #[test]
+    fn empty_set_behaviour() {
+        let s = BitSet::new(0);
+        assert!(s.is_empty());
+        assert_eq!(s.first(), None);
+        assert_eq!(s.iter().count(), 0);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: BitSet = [1usize, 2, 3, 64].into_iter().collect();
+        let mut b = BitSet::new(a.capacity());
+        b.extend([2usize, 64, 5]);
+
+        assert_eq!(a.intersection_len(&b), 2);
+        assert!(a.intersects(&b));
+        assert!(!b.is_subset(&a));
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![2, 64]);
+        assert!(i.is_subset(&a));
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.len(), 5);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn clone_without_leaves_original_untouched() {
+        let a: BitSet = [1usize, 2].into_iter().collect();
+        let b = a.clone_without(1);
+        assert!(a.contains(1));
+        assert!(!b.contains(1));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn debug_format_lists_elements() {
+        let s: BitSet = [3usize, 1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1, 3}");
+    }
+
+    proptest! {
+        /// BitSet agrees with a BTreeSet model under a random op sequence.
+        #[test]
+        fn model_equivalence(ops in proptest::collection::vec((0usize..200, proptest::bool::ANY), 0..400)) {
+            let mut bs = BitSet::new(200);
+            let mut model = BTreeSet::new();
+            for (i, ins) in ops {
+                if ins {
+                    prop_assert_eq!(bs.insert(i), model.insert(i));
+                } else {
+                    prop_assert_eq!(bs.remove(i), model.remove(&i));
+                }
+                prop_assert_eq!(bs.len(), model.len());
+            }
+            prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
+            prop_assert_eq!(bs.first(), model.iter().next().copied());
+        }
+
+        /// Intersection count matches the model computation.
+        #[test]
+        fn intersection_matches_model(
+            xs in proptest::collection::btree_set(0usize..150, 0..80),
+            ys in proptest::collection::btree_set(0usize..150, 0..80),
+        ) {
+            let mut a = BitSet::new(150);
+            a.extend(xs.iter().copied());
+            let mut b = BitSet::new(150);
+            b.extend(ys.iter().copied());
+            prop_assert_eq!(a.intersection_len(&b), xs.intersection(&ys).count());
+            prop_assert_eq!(a.intersects(&b), xs.intersection(&ys).next().is_some());
+            prop_assert_eq!(a.is_subset(&b), xs.is_subset(&ys));
+        }
+    }
+}

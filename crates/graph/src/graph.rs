@@ -1,0 +1,257 @@
+use crate::{BitSet, Dist, NodeId};
+
+/// An undirected, weighted social graph in compressed sparse row (CSR) form.
+///
+/// Vertices are candidate attendees; the weight of edge `e_{u,v}` is the
+/// *social distance* between `u` and `v` (smaller = socially closer), exactly
+/// as in §3.1 of the paper. The structure is immutable once built (use
+/// [`GraphBuilder`](crate::GraphBuilder)); all query algorithms treat the
+/// graph as read-only shared state.
+///
+/// Neighbor lists are sorted by vertex index, so `has_edge` is a binary
+/// search and neighbor iteration is cache-friendly.
+#[derive(Clone, Debug)]
+pub struct SocialGraph {
+    /// CSR row offsets, length `n + 1`.
+    offsets: Vec<u32>,
+    /// Flattened, per-vertex-sorted neighbor indices, length `2|E|`.
+    neighbors: Vec<u32>,
+    /// Edge weights parallel to `neighbors`.
+    weights: Vec<Dist>,
+    /// Optional human-readable labels (names), length `n` when present.
+    labels: Option<Vec<String>>,
+}
+
+/// A borrowed view of one undirected edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EdgeRef {
+    /// Lower-indexed endpoint.
+    pub a: NodeId,
+    /// Higher-indexed endpoint.
+    pub b: NodeId,
+    /// Social distance on the edge.
+    pub weight: Dist,
+}
+
+impl SocialGraph {
+    /// Internal constructor used by the builder; inputs are pre-validated
+    /// and `adjacency[v]` must already be sorted by neighbor index.
+    pub(crate) fn from_sorted_adjacency(
+        adjacency: Vec<Vec<(u32, Dist)>>,
+        labels: Option<Vec<String>>,
+    ) -> Self {
+        let n = adjacency.len();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let total: usize = adjacency.iter().map(Vec::len).sum();
+        let mut neighbors = Vec::with_capacity(total);
+        let mut weights = Vec::with_capacity(total);
+        offsets.push(0);
+        for row in &adjacency {
+            for &(u, w) in row {
+                neighbors.push(u);
+                weights.push(w);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        SocialGraph { offsets, neighbors, weights, labels }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let (s, e) = self.row(v);
+        e - s
+    }
+
+    #[inline]
+    fn row(&self, v: NodeId) -> (usize, usize) {
+        (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize)
+    }
+
+    /// Sorted neighbor indices of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[u32] {
+        let (s, e) = self.row(v);
+        &self.neighbors[s..e]
+    }
+
+    /// `(neighbor, weight)` pairs of `v`, sorted by neighbor index.
+    pub fn neighbors_weighted(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Dist)> + '_ {
+        let (s, e) = self.row(v);
+        self.neighbors[s..e].iter().zip(&self.weights[s..e]).map(|(&u, &w)| (NodeId(u), w))
+    }
+
+    /// Whether `u` and `v` are directly acquainted (share an edge).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.neighbors(u).binary_search(&v.0).is_ok()
+    }
+
+    /// Weight of edge `u`-`v`, if present.
+    pub fn edge_weight(&self, u: NodeId, v: NodeId) -> Option<Dist> {
+        let (s, _) = self.row(u);
+        self.neighbors(u)
+            .binary_search(&v.0)
+            .ok()
+            .map(|pos| self.weights[s + pos])
+    }
+
+    /// Iterate every undirected edge exactly once (`a < b`).
+    pub fn edges(&self) -> impl Iterator<Item = EdgeRef> + '_ {
+        self.nodes().flat_map(move |a| {
+            self.neighbors_weighted(a)
+                .filter(move |(b, _)| a.0 < b.0)
+                .map(move |(b, weight)| EdgeRef { a, b, weight })
+        })
+    }
+
+    /// Neighborhood of `v` as a [`BitSet`] over `0..node_count()`.
+    pub fn neighbor_bitset(&self, v: NodeId) -> BitSet {
+        let mut s = BitSet::new(self.node_count());
+        for &u in self.neighbors(v) {
+            s.insert(u as usize);
+        }
+        s
+    }
+
+    /// Human-readable label of `v` (falls back to `v{idx}`).
+    pub fn label(&self, v: NodeId) -> String {
+        match &self.labels {
+            Some(l) => l[v.index()].clone(),
+            None => v.to_string(),
+        }
+    }
+
+    /// Whether the graph carries labels.
+    pub fn has_labels(&self) -> bool {
+        self.labels.is_some()
+    }
+
+    /// Look up a vertex by its label. O(n); intended for examples and tests.
+    pub fn find_by_label(&self, label: &str) -> Option<NodeId> {
+        self.labels
+            .as_ref()?
+            .iter()
+            .position(|l| l == label)
+            .map(NodeId::from_index)
+    }
+
+    /// Total weight of all edges with both endpoints in `group`
+    /// (used by quality metrics in the harness).
+    pub fn induced_weight(&self, group: &[NodeId]) -> Dist {
+        let mut total = 0;
+        for (i, &u) in group.iter().enumerate() {
+            for &v in &group[i + 1..] {
+                if let Some(w) = self.edge_weight(u, v) {
+                    total += w;
+                }
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::GraphBuilder;
+    use crate::NodeId;
+
+    fn triangle_plus_tail() -> crate::SocialGraph {
+        // 0-1 (2), 1-2 (3), 0-2 (7), 2-3 (1)
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 3).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 7).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(2)), 3);
+        assert_eq!(g.degree(NodeId(3)), 1);
+    }
+
+    #[test]
+    fn adjacency_queries() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(1), NodeId(0)));
+        assert!(!g.has_edge(NodeId(0), NodeId(3)));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(2)), Some(7));
+        assert_eq!(g.edge_weight(NodeId(2), NodeId(0)), Some(7));
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(3)), None);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.neighbors(NodeId(2)), &[0, 1, 3]);
+        let nw: Vec<_> = g.neighbors_weighted(NodeId(2)).collect();
+        assert_eq!(nw, vec![(NodeId(0), 7), (NodeId(1), 3), (NodeId(3), 1)]);
+    }
+
+    #[test]
+    fn edges_iterated_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 4);
+        for e in &edges {
+            assert!(e.a.0 < e.b.0);
+        }
+        let total: u64 = edges.iter().map(|e| e.weight).sum();
+        assert_eq!(total, 2 + 3 + 7 + 1);
+    }
+
+    #[test]
+    fn neighbor_bitset_matches_list() {
+        let g = triangle_plus_tail();
+        let bs = g.neighbor_bitset(NodeId(2));
+        assert_eq!(bs.iter().collect::<Vec<_>>(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn induced_weight_sums_internal_edges() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.induced_weight(&[NodeId(0), NodeId(1), NodeId(2)]), 12);
+        assert_eq!(g.induced_weight(&[NodeId(0), NodeId(3)]), 0);
+    }
+
+    #[test]
+    fn labels_roundtrip() {
+        let mut b = GraphBuilder::new(2);
+        b.set_labels(vec!["Ann".into(), "Bob".into()]);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        let g = b.build();
+        assert_eq!(g.label(NodeId(1)), "Bob");
+        assert_eq!(g.find_by_label("Ann"), Some(NodeId(0)));
+        assert_eq!(g.find_by_label("Zed"), None);
+    }
+
+    #[test]
+    fn unlabeled_graph_falls_back_to_index_labels() {
+        let g = triangle_plus_tail();
+        assert!(!g.has_labels());
+        assert_eq!(g.label(NodeId(3)), "v3");
+        assert_eq!(g.find_by_label("v3"), None);
+    }
+}

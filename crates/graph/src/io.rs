@@ -1,0 +1,87 @@
+//! Serialization of graphs as a plain edge-list document.
+//!
+//! [`SocialGraph`] itself is CSR-packed and not directly serialized; instead
+//! [`GraphData`] is a stable, human-inspectable interchange form (node
+//! count, labels, edge list) convertible in both directions. The datagen
+//! crate uses it to snapshot generated datasets so experiments are exactly
+//! reproducible across runs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Dist, GraphBuilder, GraphError, NodeId, SocialGraph};
+
+/// Serializable edge-list form of a [`SocialGraph`].
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GraphData {
+    /// Number of vertices.
+    pub node_count: usize,
+    /// Optional labels, one per vertex.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub labels: Option<Vec<String>>,
+    /// Undirected edges `(a, b, weight)` with `a < b`.
+    pub edges: Vec<(u32, u32, Dist)>,
+}
+
+impl GraphData {
+    /// Snapshot a graph into interchange form.
+    pub fn from_graph(graph: &SocialGraph) -> Self {
+        let labels = graph
+            .has_labels()
+            .then(|| graph.nodes().map(|v| graph.label(v)).collect());
+        GraphData {
+            node_count: graph.node_count(),
+            labels,
+            edges: graph.edges().map(|e| (e.a.0, e.b.0, e.weight)).collect(),
+        }
+    }
+
+    /// Rebuild the packed graph, re-validating every edge.
+    pub fn into_graph(self) -> Result<SocialGraph, GraphError> {
+        let mut b = GraphBuilder::new(self.node_count);
+        if let Some(labels) = self.labels {
+            b.set_labels(labels);
+        }
+        for (u, v, w) in self.edges {
+            b.add_edge(NodeId(u), NodeId(v), w)?;
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SocialGraph {
+        let mut b = GraphBuilder::new(3);
+        b.set_labels(vec!["a".into(), "b".into(), "c".into()]);
+        b.add_edge(NodeId(0), NodeId(2), 7).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 3).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let g = sample();
+        let data = GraphData::from_graph(&g);
+        let g2 = data.clone().into_graph().unwrap();
+        assert_eq!(GraphData::from_graph(&g2), data);
+        assert_eq!(g2.edge_weight(NodeId(0), NodeId(2)), Some(7));
+        assert_eq!(g2.label(NodeId(1)), "b");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let data = GraphData::from_graph(&sample());
+        let json = serde_json::to_string(&data).unwrap();
+        let back: GraphData = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn corrupt_edges_are_rejected_on_rebuild() {
+        let mut data = GraphData::from_graph(&sample());
+        data.edges.push((0, 0, 1));
+        assert!(matches!(data.into_graph(), Err(GraphError::SelfLoop { .. })));
+    }
+}

@@ -1,0 +1,139 @@
+//! Acquaintance-constraint predicates.
+//!
+//! The paper's acquaintance constraint — "each vertex in `F` is allowed to
+//! share no edge with at most `k` other vertices in `F`" — says exactly that
+//! `F` is a *(k+1)-plex* in the classic Seidman–Foster sense (every member
+//! adjacent to at least `|F| − k − 1` others). These helpers implement the
+//! constraint directly on a [`SocialGraph`] or a [`FeasibleGraph`]; they are
+//! the reference predicates used by the solution validator, the exhaustive
+//! baseline and the property tests.
+
+use crate::{FeasibleGraph, NodeId, SocialGraph};
+
+/// Number of members of `group` that `v` (a member) is **not** acquainted
+/// with, i.e. `|F − {v} − N_v|`.
+pub fn non_neighbor_count(graph: &SocialGraph, group: &[NodeId], v: NodeId) -> usize {
+    group
+        .iter()
+        .filter(|&&u| u != v && !graph.has_edge(u, v))
+        .count()
+}
+
+/// The paper's *interior unfamiliarity* `U(F) = max_{v∈F} |F − {v} − N_v|`.
+///
+/// Returns 0 for the empty and singleton groups.
+pub fn interior_unfamiliarity(graph: &SocialGraph, group: &[NodeId]) -> usize {
+    group
+        .iter()
+        .map(|&v| non_neighbor_count(graph, group, v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Whether `group` satisfies the acquaintance constraint with parameter `k`
+/// (equivalently: whether it is a `(k+1)`-plex).
+pub fn satisfies_acquaintance(graph: &SocialGraph, group: &[NodeId], k: usize) -> bool {
+    interior_unfamiliarity(graph, group) <= k
+}
+
+/// As [`interior_unfamiliarity`] but on compact feasible-graph indices.
+pub fn interior_unfamiliarity_compact(fg: &FeasibleGraph, group: &[u32]) -> usize {
+    group
+        .iter()
+        .map(|&v| group.iter().filter(|&&u| u != v && !fg.adjacent(u, v)).count())
+        .max()
+        .unwrap_or(0)
+}
+
+/// As [`satisfies_acquaintance`] on compact feasible-graph indices.
+pub fn satisfies_acquaintance_compact(fg: &FeasibleGraph, group: &[u32], k: usize) -> bool {
+    interior_unfamiliarity_compact(fg, group) <= k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+    use proptest::prelude::*;
+
+    /// K4 minus one edge (0-3 missing).
+    fn near_clique() -> SocialGraph {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn clique_is_zero_plexy() {
+        let g = near_clique();
+        let tri = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(interior_unfamiliarity(&g, &tri), 0);
+        assert!(satisfies_acquaintance(&g, &tri, 0));
+    }
+
+    #[test]
+    fn missing_edge_raises_unfamiliarity() {
+        let g = near_clique();
+        let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(interior_unfamiliarity(&g, &all), 1);
+        assert!(!satisfies_acquaintance(&g, &all, 0));
+        assert!(satisfies_acquaintance(&g, &all, 1));
+    }
+
+    #[test]
+    fn non_neighbor_count_per_vertex() {
+        let g = near_clique();
+        let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert_eq!(non_neighbor_count(&g, &all, NodeId(0)), 1); // misses v3
+        assert_eq!(non_neighbor_count(&g, &all, NodeId(1)), 0);
+        assert_eq!(non_neighbor_count(&g, &all, NodeId(3)), 1); // misses v0
+    }
+
+    #[test]
+    fn degenerate_groups() {
+        let g = near_clique();
+        assert_eq!(interior_unfamiliarity(&g, &[]), 0);
+        assert_eq!(interior_unfamiliarity(&g, &[NodeId(2)]), 0);
+        assert!(satisfies_acquaintance(&g, &[NodeId(2)], 0));
+    }
+
+    #[test]
+    fn compact_variant_agrees() {
+        let g = near_clique();
+        let fg = crate::FeasibleGraph::extract(&g, NodeId(0), 2);
+        let group_orig = [NodeId(0), NodeId(1), NodeId(3)];
+        let group_compact: Vec<u32> =
+            group_orig.iter().map(|&v| fg.compact(v).unwrap()).collect();
+        assert_eq!(
+            interior_unfamiliarity(&g, &group_orig),
+            interior_unfamiliarity_compact(&fg, &group_compact)
+        );
+    }
+
+    proptest! {
+        /// U(F) equals |F|-1 minus the minimum induced degree.
+        #[test]
+        fn unfamiliarity_is_size_minus_min_degree(
+            edges in proptest::collection::vec((0u32..7, 0u32..7), 0..21),
+            members in proptest::collection::btree_set(0u32..7, 1..7),
+        ) {
+            let mut b = GraphBuilder::new(7);
+            for (u, v) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+                }
+            }
+            let g = b.build();
+            let group: Vec<NodeId> = members.iter().map(|&v| NodeId(v)).collect();
+            let min_deg = group.iter().map(|&v| {
+                group.iter().filter(|&&u| u != v && g.has_edge(u, v)).count()
+            }).min().unwrap();
+            prop_assert_eq!(
+                interior_unfamiliarity(&g, &group),
+                group.len() - 1 - min_deg
+            );
+        }
+    }
+}

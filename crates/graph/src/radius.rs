@@ -1,0 +1,289 @@
+use crate::{bounded_distances, BitSet, Dist, NodeId, SocialGraph};
+
+/// The *feasible graph* `G_F` of §3.2.1, re-indexed compactly.
+///
+/// Given the initiator `q` and the social radius constraint `s`, the
+/// feasible graph contains exactly the vertices `v` with finite s-edge
+/// minimum distance `d^s_{v,q}` (Definition 1), with that distance adopted
+/// as the social distance `d_{v,q}`. Every query algorithm then works on
+/// this compact index space:
+///
+/// * compact index `0` is always the initiator (distance 0);
+/// * `candidate_order()` lists the remaining vertices sorted by ascending
+///   social distance (ties by original id), which is SGSelect's access order;
+/// * `adj(i)` is the neighborhood of `i` **within** the feasible graph as a
+///   bitset, so `|N_v ∩ VS|`-style counts are cheap.
+#[derive(Clone, Debug)]
+pub struct FeasibleGraph {
+    /// compact index → original vertex id; `origin[0]` is the initiator.
+    origin: Vec<NodeId>,
+    /// original vertex id → compact index (None if outside the radius).
+    compact_of: Vec<Option<u32>>,
+    /// social distance `d_{v,q}` per compact vertex.
+    dist: Vec<Dist>,
+    /// adjacency bitsets over compact indices.
+    adj: Vec<BitSet>,
+    /// sorted compact adjacency lists (parallel to `adj`).
+    neighbors: Vec<Vec<u32>>,
+    /// edge weights parallel to `neighbors`.
+    weights: Vec<Vec<Dist>>,
+    /// compact candidate indices (excluding 0) sorted by (distance, origin).
+    order: Vec<u32>,
+    /// the social radius used for the extraction.
+    radius: usize,
+}
+
+impl FeasibleGraph {
+    /// Extract the feasible graph of `initiator` under radius `s`.
+    ///
+    /// Runs the Definition-1 DP once, keeps the vertices with finite
+    /// distance, and induces the subgraph on them.
+    pub fn extract(graph: &SocialGraph, initiator: NodeId, s: usize) -> Self {
+        let dists = bounded_distances(graph, initiator, s);
+        let n = graph.node_count();
+
+        let mut origin = Vec::new();
+        let mut compact_of: Vec<Option<u32>> = vec![None; n];
+        // Initiator first, then the rest in original-id order.
+        origin.push(initiator);
+        compact_of[initiator.index()] = Some(0);
+        for v in 0..n {
+            if v != initiator.index() && dists[v].is_some() {
+                compact_of[v] = Some(origin.len() as u32);
+                origin.push(NodeId(v as u32));
+            }
+        }
+
+        let f = origin.len();
+        let dist: Vec<Dist> = origin
+            .iter()
+            .map(|v| dists[v.index()].expect("kept vertices are reachable"))
+            .collect();
+
+        let mut neighbors: Vec<Vec<u32>> = vec![Vec::new(); f];
+        let mut weights: Vec<Vec<Dist>> = vec![Vec::new(); f];
+        let mut adj: Vec<BitSet> = vec![BitSet::new(f); f];
+        for (ci, &ov) in origin.iter().enumerate() {
+            let mut row: Vec<(u32, Dist)> = graph
+                .neighbors_weighted(ov)
+                .filter_map(|(u, w)| compact_of[u.index()].map(|cu| (cu, w)))
+                .collect();
+            row.sort_unstable_by_key(|&(u, _)| u);
+            for &(cu, w) in &row {
+                neighbors[ci].push(cu);
+                weights[ci].push(w);
+                adj[ci].insert(cu as usize);
+            }
+        }
+
+        let mut order: Vec<u32> = (1..f as u32).collect();
+        order.sort_unstable_by_key(|&i| (dist[i as usize], origin[i as usize].0));
+
+        FeasibleGraph { origin, compact_of, dist, adj, neighbors, weights, order, radius: s }
+    }
+
+    /// Number of vertices in the feasible graph (initiator included).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.origin.len()
+    }
+
+    /// Whether the feasible graph holds only the initiator.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.origin.len() <= 1
+    }
+
+    /// The social radius `s` this graph was extracted with.
+    #[inline]
+    pub fn radius(&self) -> usize {
+        self.radius
+    }
+
+    /// Original id of compact vertex `i`.
+    #[inline]
+    pub fn origin(&self, i: u32) -> NodeId {
+        self.origin[i as usize]
+    }
+
+    /// Compact index of original vertex `v`, if it lies within the radius.
+    #[inline]
+    pub fn compact(&self, v: NodeId) -> Option<u32> {
+        self.compact_of.get(v.index()).copied().flatten()
+    }
+
+    /// Social distance `d_{v,q}` of compact vertex `i`.
+    #[inline]
+    pub fn dist(&self, i: u32) -> Dist {
+        self.dist[i as usize]
+    }
+
+    /// Neighborhood of compact vertex `i` within the feasible graph.
+    #[inline]
+    pub fn adj(&self, i: u32) -> &BitSet {
+        &self.adj[i as usize]
+    }
+
+    /// Sorted compact neighbor list of `i`.
+    #[inline]
+    pub fn neighbors(&self, i: u32) -> &[u32] {
+        &self.neighbors[i as usize]
+    }
+
+    /// Whether compact vertices `i` and `j` are acquainted.
+    #[inline]
+    pub fn adjacent(&self, i: u32, j: u32) -> bool {
+        self.adj[i as usize].contains(j as usize)
+    }
+
+    /// Weight of the edge between compact vertices `i` and `j`.
+    ///
+    /// # Panics
+    /// Panics if the edge does not exist (check [`adjacent`](Self::adjacent)
+    /// first).
+    pub fn edge_weight(&self, i: u32, j: u32) -> Dist {
+        let row = &self.neighbors[i as usize];
+        let pos = row.binary_search(&j).expect("edge must exist in the feasible graph");
+        self.weights[i as usize][pos]
+    }
+
+    /// Candidate compact indices (excluding the initiator), ascending by
+    /// `(d_{v,q}, original id)` — SGSelect's global access order.
+    #[inline]
+    pub fn candidate_order(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Map a compact group back to original vertex ids, sorted ascending.
+    pub fn to_origin_group(&self, compact: impl IntoIterator<Item = u32>) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = compact.into_iter().map(|i| self.origin(i)).collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Total social distance of a compact group.
+    pub fn group_distance(&self, compact: impl IntoIterator<Item = u32>) -> Dist {
+        compact.into_iter().map(|i| self.dist(i)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Star around 0 plus a far vertex 4 two hops away, and an isolated 5.
+    ///   0-1 (5), 0-2 (1), 1-2 (1), 2-3 (2), 3-4 (2), [5 isolated]
+    fn sample() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 5).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 2).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn radius_one_keeps_direct_friends_only() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 1);
+        assert_eq!(fg.len(), 3); // 0, 1, 2
+        assert_eq!(fg.origin(0), NodeId(0));
+        assert_eq!(fg.compact(NodeId(3)), None);
+        assert_eq!(fg.compact(NodeId(5)), None);
+        // With one edge allowed, d(1) is the direct heavy edge.
+        let c1 = fg.compact(NodeId(1)).unwrap();
+        assert_eq!(fg.dist(c1), 5);
+    }
+
+    #[test]
+    fn radius_two_improves_distances_via_two_edge_paths() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let c1 = fg.compact(NodeId(1)).unwrap();
+        // 0-2-1 has distance 2 < 5 and uses 2 edges.
+        assert_eq!(fg.dist(c1), 2);
+        let c3 = fg.compact(NodeId(3)).unwrap();
+        assert_eq!(fg.dist(c3), 3);
+        assert_eq!(fg.compact(NodeId(4)), None, "v4 is 3 hops away");
+    }
+
+    #[test]
+    fn isolated_vertex_never_included() {
+        let g = sample();
+        for s in 1..5 {
+            let fg = FeasibleGraph::extract(&g, NodeId(0), s);
+            assert_eq!(fg.compact(NodeId(5)), None);
+        }
+    }
+
+    #[test]
+    fn initiator_is_compact_zero_with_distance_zero() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(2), 1);
+        assert_eq!(fg.origin(0), NodeId(2));
+        assert_eq!(fg.dist(0), 0);
+    }
+
+    #[test]
+    fn candidate_order_sorted_by_distance() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let order = fg.candidate_order();
+        let dists: Vec<_> = order.iter().map(|&i| fg.dist(i)).collect();
+        let mut sorted = dists.clone();
+        sorted.sort_unstable();
+        assert_eq!(dists, sorted);
+        assert!(!order.contains(&0), "initiator not a candidate");
+        assert_eq!(order.len(), fg.len() - 1);
+    }
+
+    #[test]
+    fn induced_adjacency_respects_membership() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 1);
+        let c1 = fg.compact(NodeId(1)).unwrap();
+        let c2 = fg.compact(NodeId(2)).unwrap();
+        assert!(fg.adjacent(c1, c2));
+        assert!(fg.adjacent(0, c2));
+        // v3 is adjacent to v2 in G but excluded from GF at s=1, so c2's
+        // feasible-graph adjacency must not mention it.
+        assert_eq!(fg.neighbors(c2).len(), 2);
+        for &nb in fg.neighbors(c2) {
+            assert!((nb as usize) < fg.len());
+        }
+    }
+
+    #[test]
+    fn adjacency_bitset_and_list_agree() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        for i in 0..fg.len() as u32 {
+            let from_list: Vec<usize> = fg.neighbors(i).iter().map(|&x| x as usize).collect();
+            let from_set: Vec<usize> = fg.adj(i).iter().collect();
+            assert_eq!(from_list, from_set);
+        }
+    }
+
+    #[test]
+    fn edge_weights_preserved_in_compact_space() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let c1 = fg.compact(NodeId(1)).unwrap();
+        let c2 = fg.compact(NodeId(2)).unwrap();
+        assert_eq!(fg.edge_weight(c1, c2), 1);
+        assert_eq!(fg.edge_weight(c2, c1), 1);
+        assert_eq!(fg.edge_weight(0, c1), 5);
+    }
+
+    #[test]
+    fn group_helpers() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let c1 = fg.compact(NodeId(1)).unwrap();
+        let c2 = fg.compact(NodeId(2)).unwrap();
+        assert_eq!(fg.group_distance([0, c1, c2]), 2 + 1);
+        assert_eq!(fg.to_origin_group([c2, 0, c1]), vec![NodeId(0), NodeId(1), NodeId(2)]);
+    }
+}

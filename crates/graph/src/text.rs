@@ -1,0 +1,263 @@
+//! Plain-text edge-list format (DIMACS-flavoured).
+//!
+//! A line-oriented interchange format readable by humans and by the
+//! standard graph tool chains:
+//!
+//! ```text
+//! c any comment
+//! p sgq <node-count> <edge-count>
+//! l <id> <label>
+//! e <u> <v> <weight>
+//! ```
+//!
+//! `p` must come first (after comments); `l` lines are optional but when
+//! present every vertex needs one; `e` lines carry 0-based vertex ids and
+//! positive integer distances. The JSON interchange form lives in
+//! [`crate::GraphData`] (behind the `serde` feature); this module has no
+//! dependencies at all.
+
+use std::fmt::Write as _;
+use std::io::BufRead;
+
+use crate::{Dist, GraphBuilder, GraphError, NodeId, SocialGraph};
+
+/// Errors from [`read_edge_list`].
+#[derive(Debug)]
+pub enum TextFormatError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The parsed edges violated graph invariants.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for TextFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextFormatError::Io(e) => write!(f, "I/O error: {e}"),
+            TextFormatError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+            TextFormatError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextFormatError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TextFormatError::Io(e) => Some(e),
+            TextFormatError::Graph(e) => Some(e),
+            TextFormatError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TextFormatError {
+    fn from(e: std::io::Error) -> Self {
+        TextFormatError::Io(e)
+    }
+}
+
+impl From<GraphError> for TextFormatError {
+    fn from(e: GraphError) -> Self {
+        TextFormatError::Graph(e)
+    }
+}
+
+/// Render a graph as an edge-list document.
+pub fn write_edge_list(graph: &SocialGraph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "c stgq social graph");
+    let _ = writeln!(out, "p sgq {} {}", graph.node_count(), graph.edge_count());
+    if graph.has_labels() {
+        for v in graph.nodes() {
+            let _ = writeln!(out, "l {} {}", v.0, graph.label(v));
+        }
+    }
+    for e in graph.edges() {
+        let _ = writeln!(out, "e {} {} {}", e.a.0, e.b.0, e.weight);
+    }
+    out
+}
+
+/// Parse an edge-list document back into a graph.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<SocialGraph, TextFormatError> {
+    let parse = |line: usize, reason: &str| TextFormatError::Parse {
+        line,
+        reason: reason.to_string(),
+    };
+
+    let mut builder: Option<GraphBuilder> = None;
+    let mut labels: Vec<Option<String>> = Vec::new();
+    let mut declared_edges = 0usize;
+    let mut seen_edges = 0usize;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().expect("non-empty line has a first token");
+        match tag {
+            "p" => {
+                if builder.is_some() {
+                    return Err(parse(lineno, "duplicate problem line"));
+                }
+                if parts.next() != Some("sgq") {
+                    return Err(parse(lineno, "expected `p sgq <n> <m>`"));
+                }
+                let n: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad node count"))?;
+                declared_edges = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad edge count"))?;
+                builder = Some(GraphBuilder::new(n));
+                labels = vec![None; n];
+            }
+            "l" => {
+                let b = builder.as_ref().ok_or_else(|| parse(lineno, "label before `p` line"))?;
+                let id: usize = parts
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| parse(lineno, "bad label id"))?;
+                if id >= b.node_count() {
+                    return Err(parse(lineno, "label id out of range"));
+                }
+                let name = parts.collect::<Vec<_>>().join(" ");
+                if name.is_empty() {
+                    return Err(parse(lineno, "empty label"));
+                }
+                labels[id] = Some(name);
+            }
+            "e" => {
+                let b = builder.as_mut().ok_or_else(|| parse(lineno, "edge before `p` line"))?;
+                let mut field = || -> Result<u64, TextFormatError> {
+                    parts
+                        .next()
+                        .and_then(|t| t.parse().ok())
+                        .ok_or_else(|| parse(lineno, "edge needs `e <u> <v> <w>`"))
+                };
+                let (u, v, w) = (field()?, field()?, field()?);
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), w as Dist)?;
+                seen_edges += 1;
+            }
+            other => {
+                return Err(parse(lineno, &format!("unknown line tag `{other}`")));
+            }
+        }
+    }
+
+    let builder = builder.ok_or_else(|| parse(0, "missing `p sgq <n> <m>` line"))?;
+    if seen_edges != declared_edges {
+        return Err(TextFormatError::Parse {
+            line: 0,
+            reason: format!("problem line declared {declared_edges} edges, found {seen_edges}"),
+        });
+    }
+    let mut builder = builder;
+    if labels.iter().any(Option::is_some) {
+        if let Some(missing) = labels.iter().position(Option::is_none) {
+            return Err(TextFormatError::Parse {
+                line: 0,
+                reason: format!("vertex {missing} has no label but others do"),
+            });
+        }
+        builder.set_labels(labels.into_iter().map(Option::unwrap).collect());
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample() -> SocialGraph {
+        let mut b = GraphBuilder::new(4);
+        b.set_labels(vec!["ann".into(), "bob with space".into(), "cy".into(), "dee".into()]);
+        b.add_edge(NodeId(0), NodeId(1), 7).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 2).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn roundtrip_with_labels() {
+        let g = sample();
+        let text = write_edge_list(&g);
+        let back = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(back.node_count(), 4);
+        assert_eq!(back.edge_count(), 2);
+        assert_eq!(back.edge_weight(NodeId(0), NodeId(1)), Some(7));
+        assert_eq!(back.label(NodeId(1)), "bob with space");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "c hello\n\np sgq 2 1\nc mid\ne 0 1 3\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.edge_weight(NodeId(0), NodeId(1)), Some(3));
+    }
+
+    #[test]
+    fn missing_problem_line_is_an_error() {
+        let err = read_edge_list("e 0 1 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TextFormatError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn edge_count_mismatch_is_an_error() {
+        let err = read_edge_list("p sgq 2 2\ne 0 1 3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("declared 2 edges"));
+    }
+
+    #[test]
+    fn graph_invariants_are_enforced() {
+        let err = read_edge_list("p sgq 2 1\ne 0 0 3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TextFormatError::Graph(GraphError::SelfLoop { .. })));
+        let err = read_edge_list("p sgq 2 1\ne 0 1 0\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TextFormatError::Graph(GraphError::ZeroWeight { .. })));
+    }
+
+    #[test]
+    fn partial_labels_are_rejected() {
+        let err = read_edge_list("p sgq 2 0\nl 0 solo\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("no label"));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Write → read is the identity on structure and weights.
+        #[test]
+        fn roundtrip_random_graphs(
+            edges in proptest::collection::vec((0u32..12, 0u32..12, 1u64..100), 0..40),
+        ) {
+            let mut b = GraphBuilder::new(12);
+            for (u, v, w) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+                }
+            }
+            let g = b.build();
+            let back = read_edge_list(write_edge_list(&g).as_bytes()).unwrap();
+            prop_assert_eq!(back.node_count(), g.node_count());
+            prop_assert_eq!(back.edge_count(), g.edge_count());
+            for e in g.edges() {
+                prop_assert_eq!(back.edge_weight(e.a, e.b), Some(e.weight));
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+use std::fmt;
+
+use stgq_core::QueryError;
+use stgq_mip::MipError;
+
+/// Errors from building or solving the IP formulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IpError {
+    /// The query or its inputs were malformed.
+    Query(QueryError),
+    /// The underlying MIP solver failed (budget exhaustion, bad model).
+    Solver(MipError),
+    /// The solver reported an unbounded model — impossible for a correctly
+    /// built SGQ/STGQ formulation (all variables are bounded), so this
+    /// indicates an internal inconsistency.
+    UnexpectedUnbounded,
+}
+
+impl fmt::Display for IpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IpError::Query(e) => write!(f, "query error: {e}"),
+            IpError::Solver(e) => write!(f, "MIP solver error: {e}"),
+            IpError::UnexpectedUnbounded => {
+                write!(f, "IP model unexpectedly unbounded (internal inconsistency)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IpError::Query(e) => Some(e),
+            IpError::Solver(e) => Some(e),
+            IpError::UnexpectedUnbounded => None,
+        }
+    }
+}
+
+impl From<QueryError> for IpError {
+    fn from(e: QueryError) -> Self {
+        IpError::Query(e)
+    }
+}
+
+impl From<MipError> for IpError {
+    fn from(e: MipError) -> Self {
+        IpError::Solver(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: IpError = MipError::NotANumber.into();
+        assert!(e.to_string().contains("solver"));
+        assert!(IpError::UnexpectedUnbounded.to_string().contains("unbounded"));
+    }
+}

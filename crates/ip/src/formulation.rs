@@ -1,0 +1,280 @@
+//! Model builders for the Appendix-D formulation.
+
+// Model assembly walks parallel id spaces; indexed loops mirror the
+// constraint numbering of Appendix D.
+#![allow(clippy::needless_range_loop)]
+
+use stgq_graph::FeasibleGraph;
+use stgq_mip::{Cmp, LinExpr, Model, VarId};
+use stgq_schedule::Calendar;
+
+use stgq_core::{SgqQuery, StgqQuery};
+
+/// Which formulation to build (see crate docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IpStyle {
+    /// Literal Appendix-D model with per-attendee path variables.
+    Full,
+    /// Equivalent model with precomputed bounded distances.
+    Compact,
+}
+
+/// A built model plus the variable handles needed to read the answer back.
+pub struct IpModel {
+    /// The MIP.
+    pub model: Model,
+    /// `φ_u` per compact vertex (`phi[0]` is the initiator).
+    pub phi: Vec<VarId>,
+    /// `τ_t` per window start `t ∈ 0..=T−m` (empty for SGQ).
+    pub tau: Vec<VarId>,
+}
+
+/// Build the SGQ model on a feasible graph.
+pub fn build_sgq_model(fg: &FeasibleGraph, query: &SgqQuery, style: IpStyle) -> IpModel {
+    let mut b = Builder::new(fg, query.p(), query.k(), style, query.s());
+    b.social_constraints();
+    b.finish()
+}
+
+/// Build the STGQ model: the SGQ model plus constraints (9) and (10).
+///
+/// `calendars` is indexed by **original** vertex id.
+pub fn build_stgq_model(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    style: IpStyle,
+) -> IpModel {
+    let mut b = Builder::new(fg, query.p(), query.k(), style, query.s());
+    b.social_constraints();
+    b.temporal_constraints(calendars, query.m());
+    b.finish()
+}
+
+struct Builder<'a> {
+    fg: &'a FeasibleGraph,
+    p: usize,
+    k: usize,
+    s: usize,
+    style: IpStyle,
+    model: Model,
+    phi: Vec<VarId>,
+    tau: Vec<VarId>,
+}
+
+impl<'a> Builder<'a> {
+    fn new(fg: &'a FeasibleGraph, p: usize, k: usize, style: IpStyle, s: usize) -> Self {
+        let mut model = Model::new();
+        let phi: Vec<VarId> =
+            (0..fg.len()).map(|u| model.add_binary(format!("phi_{u}"))).collect();
+        Builder { fg, p, k, s, style, model, phi, tau: Vec::new() }
+    }
+
+    /// Constraints (1)–(3) plus the objective; constraints (4)–(8) and the
+    /// `δ_u` machinery only in the full style.
+    fn social_constraints(&mut self) {
+        let f = self.fg.len();
+        // (1) Σ φ_u = p
+        let all: Vec<_> = self.phi.iter().map(|&v| (v, 1.0)).collect();
+        self.model.add_constraint(LinExpr::from_terms(all), Cmp::Eq, self.p as f64);
+        // (2) φ_q = 1
+        self.model
+            .add_constraint(LinExpr::from_terms([(self.phi[0], 1.0)]), Cmp::Eq, 1.0);
+        // (3) Σ_{v ∈ N_u} φ_v ≥ (p−1)φ_u − k  ∀u
+        for u in 0..f as u32 {
+            let mut e = LinExpr::new();
+            for &nb in self.fg.neighbors(u) {
+                e.add_term(self.phi[nb as usize], 1.0);
+            }
+            e.add_term(self.phi[u as usize], -((self.p - 1) as f64));
+            self.model.add_constraint(e, Cmp::Ge, -(self.k as f64));
+        }
+
+        match self.style {
+            IpStyle::Compact => {
+                // min Σ d_u φ_u with the Definition-1 distances.
+                let obj: Vec<_> = (0..f)
+                    .map(|u| (self.phi[u], self.fg.dist(u as u32) as f64))
+                    .collect();
+                self.model.set_objective(LinExpr::from_terms(obj));
+            }
+            IpStyle::Full => self.full_path_machinery(),
+        }
+    }
+
+    /// Constraints (4)–(8): per attendee `u ≠ q`, a unit flow from `q` to
+    /// `u` over directed feasible-graph edges selects a path of at most `s`
+    /// edges whose length is `δ_u`; minimizing `Σ δ_u` makes it shortest.
+    fn full_path_machinery(&mut self) {
+        let f = self.fg.len();
+        // Directed edge list over the feasible graph.
+        let mut arcs: Vec<(u32, u32, f64)> = Vec::new();
+        for i in 0..f as u32 {
+            for &j in self.fg.neighbors(i) {
+                let w = edge_weight(self.fg, i, j);
+                arcs.push((i, j, w));
+            }
+        }
+
+        let mut delta = Vec::with_capacity(f);
+        for u in 0..f {
+            delta.push(self.model.add_cont(format!("delta_{u}"), 0.0, f64::INFINITY));
+        }
+        // δ_q = 0 (no path variables exist for q).
+        self.model
+            .add_constraint(LinExpr::from_terms([(delta[0], 1.0)]), Cmp::Eq, 0.0);
+
+        for u in 1..f {
+            // π_{u,i,j} per directed arc.
+            let pi: Vec<VarId> = arcs
+                .iter()
+                .map(|&(i, j, _)| self.model.add_binary(format!("pi_{u}_{i}_{j}")))
+                .collect();
+
+            // (4) Σ_{i ∈ N_q} π_{u,q,i} = φ_u — flow leaves q iff u attends.
+            let mut out_q = LinExpr::new();
+            // (5) Σ_{i ∈ N_u} π_{u,i,u} = φ_u — flow enters u iff u attends.
+            let mut into_u = LinExpr::new();
+            // (6) conservation at every other vertex.
+            let mut net: Vec<LinExpr> = vec![LinExpr::new(); f];
+            // (7) Σ c_ij π_{u,i,j} = δ_u.
+            let mut dist = LinExpr::new();
+            // (8) Σ π_{u,i,j} ≤ s.
+            let mut hops = LinExpr::new();
+
+            for (&(i, j, w), &v) in arcs.iter().zip(&pi) {
+                if i == 0 {
+                    out_q.add_term(v, 1.0);
+                }
+                if j as usize == u {
+                    into_u.add_term(v, 1.0);
+                }
+                net[j as usize].add_term(v, 1.0);
+                net[i as usize].add_term(v, -1.0);
+                dist.add_term(v, w);
+                hops.add_term(v, 1.0);
+            }
+            out_q.add_term(self.phi[u], -1.0);
+            self.model.add_constraint(out_q, Cmp::Eq, 0.0);
+            into_u.add_term(self.phi[u], -1.0);
+            self.model.add_constraint(into_u, Cmp::Eq, 0.0);
+            for (j, e) in net.into_iter().enumerate() {
+                if j != 0 && j != u && !e.terms.is_empty() {
+                    self.model.add_constraint(e, Cmp::Eq, 0.0);
+                }
+            }
+            dist.add_term(delta[u], -1.0);
+            self.model.add_constraint(dist, Cmp::Eq, 0.0);
+            self.model.add_constraint(hops, Cmp::Le, self.s as f64);
+        }
+
+        let obj: Vec<_> = delta.iter().map(|&d| (d, 1.0)).collect();
+        self.model.set_objective(LinExpr::from_terms(obj));
+    }
+
+    /// Constraints (9)–(10): exactly one activity start `τ_t`, and `φ_u`
+    /// excluded whenever `u` is busy somewhere in `[t, t+m−1]`.
+    fn temporal_constraints(&mut self, calendars: &[Calendar], m: usize) {
+        let horizon = calendars
+            .first()
+            .map(Calendar::horizon)
+            .unwrap_or(0);
+        if horizon < m {
+            // No window fits: Σ τ = 1 over zero variables is infeasible,
+            // which is exactly the right answer.
+            self.model.add_constraint(LinExpr::new(), Cmp::Eq, 1.0);
+            return;
+        }
+        let starts = horizon - m + 1;
+        self.tau = (0..starts).map(|t| self.model.add_binary(format!("tau_{t}"))).collect();
+        // (9) Σ τ_t = 1.
+        let all: Vec<_> = self.tau.iter().map(|&v| (v, 1.0)).collect();
+        self.model.add_constraint(LinExpr::from_terms(all), Cmp::Eq, 1.0);
+        // (10) sparse: φ_u + τ_t ≤ 1 when u is busy within the window.
+        for u in 0..self.fg.len() {
+            let cal = &calendars[self.fg.origin(u as u32).index()];
+            for t in 0..starts {
+                if !cal.available_in_window(t, m) {
+                    self.model.add_constraint(
+                        LinExpr::from_terms([(self.phi[u], 1.0), (self.tau[t], 1.0)]),
+                        Cmp::Le,
+                        1.0,
+                    );
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> IpModel {
+        IpModel { model: self.model, phi: self.phi, tau: self.tau }
+    }
+}
+
+/// Weight of the feasible-graph edge `i`–`j` (looked up on the original
+/// graph ids via the compact adjacency; both endpoints are feasible).
+fn edge_weight(fg: &FeasibleGraph, i: u32, j: u32) -> f64 {
+    debug_assert!(fg.adjacent(i, j));
+    fg.edge_weight(i, j) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::{GraphBuilder, NodeId};
+
+    fn fg() -> FeasibleGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 4).unwrap();
+        FeasibleGraph::extract(&b.build(), NodeId(0), 2)
+    }
+
+    #[test]
+    fn compact_model_shape() {
+        let fg = fg();
+        let q = SgqQuery::new(3, 2, 1).unwrap();
+        let ip = build_sgq_model(&fg, &q, IpStyle::Compact);
+        assert_eq!(ip.phi.len(), 4);
+        assert!(ip.tau.is_empty());
+        // vars: 4 binaries; rows: (1) + (2) + 4×(3) = 6.
+        assert_eq!(ip.model.var_count(), 4);
+        assert_eq!(ip.model.constraint_count(), 6);
+    }
+
+    #[test]
+    fn full_model_has_path_variables() {
+        let fg = fg();
+        let q = SgqQuery::new(3, 2, 1).unwrap();
+        let ip = build_sgq_model(&fg, &q, IpStyle::Full);
+        // 4 φ + 4 δ + 3 attendees × 8 directed arcs of π.
+        assert_eq!(ip.model.var_count(), 4 + 4 + 3 * 8);
+        assert!(ip.model.constraint_count() > 10);
+    }
+
+    #[test]
+    fn temporal_rows_are_sparse() {
+        let fg = fg();
+        let q = StgqQuery::new(2, 2, 1, 2).unwrap();
+        let mut cals = vec![Calendar::all_available(4); 4];
+        cals[1].set_available(0, false); // v1 busy in slot 0 only
+        let ip = build_stgq_model(&fg, &cals, &q, IpStyle::Compact);
+        assert_eq!(ip.tau.len(), 3); // starts 0, 1, 2
+        // Base social rows (6) + (9) + one sparse (10) row: v1 busy in
+        // window starting at 0 only.
+        assert_eq!(ip.model.constraint_count(), 6 + 1 + 1);
+    }
+
+    #[test]
+    fn impossible_horizon_yields_contradictory_row() {
+        let fg = fg();
+        let q = StgqQuery::new(2, 2, 1, 9).unwrap();
+        let cals = vec![Calendar::all_available(4); 4];
+        let ip = build_stgq_model(&fg, &cals, &q, IpStyle::Compact);
+        assert!(ip.tau.is_empty());
+        // The builder adds `0 = 1`, making the model infeasible as required.
+        let sol = stgq_mip::solve_mip(&ip.model, &stgq_mip::MipOptions::default()).unwrap();
+        assert_eq!(sol.status, stgq_mip::MipStatus::Infeasible);
+    }
+}

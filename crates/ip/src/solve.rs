@@ -1,0 +1,272 @@
+//! Solving the formulations and mapping answers back to group/period form.
+
+use stgq_graph::{FeasibleGraph, NodeId, SocialGraph};
+use stgq_mip::{solve_mip, MipOptions, MipStatus};
+use stgq_schedule::pivot::pivot_of_window;
+use stgq_schedule::{Calendar, SlotRange};
+
+use stgq_core::{QueryError, SgqQuery, SgqSolution, StgqQuery, StgqSolution};
+
+use crate::formulation::{build_sgq_model, build_stgq_model, IpStyle};
+use crate::IpError;
+
+/// Result of an IP-based SGQ solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IpSgqResult {
+    /// The optimal group, or `None` when the model is infeasible.
+    pub solution: Option<SgqSolution>,
+    /// Branch-and-bound nodes the solver explored.
+    pub nodes: u64,
+}
+
+/// Result of an IP-based STGQ solve.
+#[derive(Clone, Debug, PartialEq)]
+pub struct IpStgqResult {
+    /// The optimal group and period, or `None` when infeasible.
+    pub solution: Option<StgqSolution>,
+    /// Branch-and-bound nodes the solver explored.
+    pub nodes: u64,
+}
+
+/// Solve an SGQ by Integer Programming.
+pub fn solve_sgq_ip(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    query: &SgqQuery,
+    style: IpStyle,
+    opts: &MipOptions,
+) -> Result<IpSgqResult, IpError> {
+    if initiator.index() >= graph.node_count() {
+        return Err(QueryError::InitiatorOutOfRange {
+            initiator,
+            node_count: graph.node_count(),
+        }
+        .into());
+    }
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    if fg.len() < query.p() {
+        return Ok(IpSgqResult { solution: None, nodes: 0 });
+    }
+    let ip = build_sgq_model(&fg, query, style);
+    let sol = solve_mip(&ip.model, opts)?;
+    match sol.status {
+        MipStatus::Infeasible => Ok(IpSgqResult { solution: None, nodes: sol.nodes }),
+        MipStatus::Unbounded => Err(IpError::UnexpectedUnbounded),
+        MipStatus::Optimal => {
+            let group = extract_group(&fg, &ip.phi, &sol.values);
+            let total_distance = fg.group_distance(group.iter().copied());
+            Ok(IpSgqResult {
+                solution: Some(SgqSolution {
+                    members: fg.to_origin_group(group),
+                    total_distance,
+                }),
+                nodes: sol.nodes,
+            })
+        }
+    }
+}
+
+/// Solve an STGQ by Integer Programming.
+pub fn solve_stgq_ip(
+    graph: &SocialGraph,
+    initiator: NodeId,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    style: IpStyle,
+    opts: &MipOptions,
+) -> Result<IpStgqResult, IpError> {
+    if initiator.index() >= graph.node_count() {
+        return Err(QueryError::InitiatorOutOfRange {
+            initiator,
+            node_count: graph.node_count(),
+        }
+        .into());
+    }
+    if calendars.len() != graph.node_count() {
+        return Err(QueryError::CalendarCountMismatch {
+            calendars: calendars.len(),
+            node_count: graph.node_count(),
+        }
+        .into());
+    }
+    let fg = FeasibleGraph::extract(graph, initiator, query.s());
+    if fg.len() < query.p() {
+        return Ok(IpStgqResult { solution: None, nodes: 0 });
+    }
+    let ip = build_stgq_model(&fg, calendars, query, style);
+    let sol = solve_mip(&ip.model, opts)?;
+    match sol.status {
+        MipStatus::Infeasible => Ok(IpStgqResult { solution: None, nodes: sol.nodes }),
+        MipStatus::Unbounded => Err(IpError::UnexpectedUnbounded),
+        MipStatus::Optimal => {
+            let group = extract_group(&fg, &ip.phi, &sol.values);
+            let total_distance = fg.group_distance(group.iter().copied());
+            let start = ip
+                .tau
+                .iter()
+                .position(|&t| sol.values[varidx(t)] > 0.5)
+                .expect("constraint (9) forces exactly one start");
+            let m = query.m();
+            Ok(IpStgqResult {
+                solution: Some(StgqSolution {
+                    members: fg.to_origin_group(group),
+                    total_distance,
+                    period: SlotRange::new(start, start + m - 1),
+                    pivot: pivot_of_window(start, m),
+                }),
+                nodes: sol.nodes,
+            })
+        }
+    }
+}
+
+fn varidx(v: stgq_mip::VarId) -> usize {
+    v.0
+}
+
+fn extract_group(
+    fg: &FeasibleGraph,
+    phi: &[stgq_mip::VarId],
+    values: &[f64],
+) -> Vec<u32> {
+    (0..fg.len() as u32)
+        .filter(|&u| values[varidx(phi[u as usize])] > 0.5)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_core::{solve_sgq, solve_stgq, SelectConfig};
+    use stgq_graph::GraphBuilder;
+
+    /// The paper's Example-2/3 inputs (see stgq-core tests).
+    fn example_inputs() -> (SocialGraph, NodeId, Vec<Calendar>) {
+        let mut b = GraphBuilder::new(9);
+        b.add_edge(NodeId(7), NodeId(2), 17).unwrap();
+        b.add_edge(NodeId(7), NodeId(3), 18).unwrap();
+        b.add_edge(NodeId(7), NodeId(4), 27).unwrap();
+        b.add_edge(NodeId(7), NodeId(6), 23).unwrap();
+        b.add_edge(NodeId(7), NodeId(8), 25).unwrap();
+        b.add_edge(NodeId(2), NodeId(4), 14).unwrap();
+        b.add_edge(NodeId(2), NodeId(6), 19).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 29).unwrap();
+        b.add_edge(NodeId(4), NodeId(6), 20).unwrap();
+        let g = b.build();
+        let horizon = 7;
+        let mut cals = vec![Calendar::new(horizon); 9];
+        cals[2] = Calendar::from_slots(horizon, 0..7);
+        cals[3] = Calendar::from_slots(horizon, [1, 2, 4, 5]);
+        cals[4] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 6]);
+        cals[6] = Calendar::from_slots(horizon, [1, 2, 3, 4, 5, 6]);
+        cals[7] = Calendar::from_slots(horizon, [0, 1, 2, 3, 4, 5]);
+        cals[8] = Calendar::from_slots(horizon, [0, 2, 4, 5]);
+        (g, NodeId(7), cals)
+    }
+
+    #[test]
+    fn compact_ip_matches_sgselect_on_example2() {
+        let (g, q, _) = example_inputs();
+        let query = SgqQuery::new(4, 1, 1).unwrap();
+        let ip = solve_sgq_ip(&g, q, &query, IpStyle::Compact, &MipOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(ip.total_distance, 62);
+        assert_eq!(ip.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+    }
+
+    #[test]
+    fn full_ip_matches_sgselect_on_example2() {
+        let (g, q, _) = example_inputs();
+        for (p, k) in [(2, 1), (3, 1), (4, 1), (4, 0)] {
+            let query = SgqQuery::new(p, 1, k).unwrap();
+            let select = solve_sgq(&g, q, &query, &SelectConfig::default())
+                .unwrap()
+                .solution
+                .map(|s| s.total_distance);
+            let ip = solve_sgq_ip(&g, q, &query, IpStyle::Full, &MipOptions::default())
+                .unwrap()
+                .solution
+                .map(|s| s.total_distance);
+            assert_eq!(select, ip, "p={p} k={k}");
+        }
+    }
+
+    #[test]
+    fn full_ip_respects_radius_budget_at_s2() {
+        // Path 0-1-2 with a heavy direct 0-2: at s=1 only the heavy edge
+        // counts; at s=2 the cheap 2-hop path wins. The IP must agree with
+        // the DP-based engines in both regimes.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 10).unwrap();
+        let g = b.build();
+        for s in [1usize, 2] {
+            let query = SgqQuery::new(3, s, 2).unwrap();
+            let select = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default())
+                .unwrap()
+                .solution
+                .unwrap();
+            let ip = solve_sgq_ip(&g, NodeId(0), &query, IpStyle::Full, &MipOptions::default())
+                .unwrap()
+                .solution
+                .unwrap();
+            assert_eq!(select.total_distance, ip.total_distance, "s={s}");
+        }
+    }
+
+    #[test]
+    fn compact_stgq_ip_matches_stgselect_on_example3() {
+        let (g, q, cals) = example_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let fast = solve_stgq(&g, q, &cals, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(ip.total_distance, fast.total_distance);
+        assert_eq!(ip.members, fast.members);
+        // The IP may pick any optimal window; it must be a valid 3-slot
+        // period for the group.
+        assert_eq!(ip.period.len(), 3);
+        for &v in &ip.members {
+            for slot in ip.period.iter() {
+                assert!(cals[v.index()].is_available(slot));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_queries_return_none() {
+        let (g, q, cals) = example_inputs();
+        // p too large for the radius graph.
+        let query = SgqQuery::new(8, 1, 7).unwrap();
+        let res = solve_sgq_ip(&g, q, &query, IpStyle::Compact, &MipOptions::default()).unwrap();
+        assert!(res.solution.is_none());
+        // m too long for anyone's calendar.
+        let query = StgqQuery::new(4, 1, 1, 6).unwrap();
+        let res =
+            solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default()).unwrap();
+        assert!(res.solution.is_none());
+    }
+
+    #[test]
+    fn input_validation() {
+        let (g, q, cals) = example_inputs();
+        let query = SgqQuery::new(2, 1, 1).unwrap();
+        assert!(matches!(
+            solve_sgq_ip(&g, NodeId(99), &query, IpStyle::Compact, &MipOptions::default()),
+            Err(IpError::Query(QueryError::InitiatorOutOfRange { .. }))
+        ));
+        let tq = StgqQuery::new(2, 1, 1, 2).unwrap();
+        assert!(matches!(
+            solve_stgq_ip(&g, q, &cals[..2], &tq, IpStyle::Compact, &MipOptions::default()),
+            Err(IpError::Query(QueryError::CalendarCountMismatch { .. }))
+        ));
+    }
+}

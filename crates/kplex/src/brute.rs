@@ -1,0 +1,198 @@
+//! Subset-enumeration reference solvers.
+//!
+//! Exponential in the vertex count (capped at 24 vertices), these are the
+//! ground truth the property tests compare the branch-and-bound solvers
+//! against. Masks are `u32` bitmaps over vertex ids.
+
+use stgq_graph::{NodeId, SocialGraph};
+
+/// Hard cap on the vertex count for the brute-force solvers.
+pub const MAX_BRUTE_VERTICES: usize = 24;
+
+fn assert_small(graph: &SocialGraph) {
+    assert!(
+        graph.node_count() <= MAX_BRUTE_VERTICES,
+        "brute-force k-plex solvers are capped at {MAX_BRUTE_VERTICES} vertices"
+    );
+}
+
+/// Adjacency masks: `adj[v]` has bit `u` set iff `u` and `v` share an edge.
+fn adjacency_masks(graph: &SocialGraph) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut adj = vec![0u32; n];
+    for e in graph.edges() {
+        adj[e.a.index()] |= 1 << e.b.index();
+        adj[e.b.index()] |= 1 << e.a.index();
+    }
+    adj
+}
+
+/// Whether the vertex set `mask` is a k-plex, over precomputed masks.
+fn mask_is_kplex(adj: &[u32], mask: u32, k: usize) -> bool {
+    let size = mask.count_ones() as usize;
+    let mut rest = mask;
+    while rest != 0 {
+        let v = rest.trailing_zeros() as usize;
+        rest &= rest - 1;
+        let inside = (adj[v] & mask).count_ones() as usize;
+        // v needs ≥ size − k neighbors inside (v itself contributes 0).
+        if inside + k < size {
+            return false;
+        }
+    }
+    true
+}
+
+fn mask_to_group(mask: u32) -> Vec<NodeId> {
+    let mut out = Vec::with_capacity(mask.count_ones() as usize);
+    let mut rest = mask;
+    while rest != 0 {
+        out.push(NodeId(rest.trailing_zeros()));
+        rest &= rest - 1;
+    }
+    out
+}
+
+/// The size of the maximum k-plex, by checking every subset.
+pub fn max_kplex_size(graph: &SocialGraph, k: usize) -> usize {
+    assert!(k >= 1);
+    assert_small(graph);
+    let n = graph.node_count();
+    let adj = adjacency_masks(graph);
+    let mut best = 0usize;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size > best && mask_is_kplex(&adj, mask, k) {
+            best = size;
+        }
+    }
+    best
+}
+
+/// One maximum k-plex (the lowest-mask witness), by checking every subset.
+pub fn max_kplex_group(graph: &SocialGraph, k: usize) -> Vec<NodeId> {
+    assert!(k >= 1);
+    assert_small(graph);
+    let n = graph.node_count();
+    let adj = adjacency_masks(graph);
+    let mut best_mask = 0u32;
+    for mask in 0u32..(1 << n) {
+        let size = mask.count_ones() as usize;
+        if size > best_mask.count_ones() as usize && mask_is_kplex(&adj, mask, k) {
+            best_mask = mask;
+        }
+    }
+    mask_to_group(best_mask)
+}
+
+/// All **maximal** k-plexes with at least `min_size` vertices, each sorted
+/// ascending, the list sorted lexicographically. Every subset is tested for
+/// the k-plex property and single-vertex extensibility.
+pub fn maximal_kplexes(graph: &SocialGraph, k: usize, min_size: usize) -> Vec<Vec<NodeId>> {
+    assert!(k >= 1);
+    assert_small(graph);
+    let n = graph.node_count();
+    let adj = adjacency_masks(graph);
+    let full: u32 = if n == 32 { u32::MAX } else { (1 << n) - 1 };
+
+    let mut out = Vec::new();
+    for mask in 1u32..=full {
+        if (mask.count_ones() as usize) < min_size || !mask_is_kplex(&adj, mask, k) {
+            continue;
+        }
+        let mut maximal = true;
+        let mut outside = full & !mask;
+        while outside != 0 {
+            let v = outside.trailing_zeros();
+            outside &= outside - 1;
+            if mask_is_kplex(&adj, mask | (1 << v), k) {
+                maximal = false;
+                break;
+            }
+        }
+        if maximal {
+            out.push(mask_to_group(mask));
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Whether some k-plex of exactly `size` vertices exists. Because the
+/// k-plex property is hereditary, this holds iff the maximum is ≥ `size`.
+pub fn kplex_of_size_exists(graph: &SocialGraph, k: usize, size: usize) -> bool {
+    max_kplex_size(graph, k) >= size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    /// Two triangles joined by one edge: 0-1-2 triangle, 3-4-5 triangle, 2-3.
+    fn two_triangles() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn max_clique_of_two_triangles_is_three() {
+        let g = two_triangles();
+        assert_eq!(max_kplex_size(&g, 1), 3);
+        let grp = max_kplex_group(&g, 1);
+        assert_eq!(grp.len(), 3);
+        assert!(crate::is_kplex(&g, &grp, 1));
+    }
+
+    #[test]
+    fn two_plex_cannot_bridge_the_triangles() {
+        let g = two_triangles();
+        // Every 4-subset leaves some vertex with 2 non-neighbors (e.g. in
+        // {0,1,2,3}, v3 is adjacent only to v2), so k = 2 still caps at a
+        // triangle.
+        assert_eq!(max_kplex_size(&g, 2), 3);
+        // k = 3 finally allows a bridge: {0,1,2,3} has max deficiency 2.
+        assert_eq!(max_kplex_size(&g, 3), 4);
+    }
+
+    #[test]
+    fn maximal_cliques_listed_exactly() {
+        let g = two_triangles();
+        let maximal = maximal_kplexes(&g, 1, 2);
+        // Maximal cliques: the two triangles and the bridge edge {2,3}.
+        assert_eq!(
+            maximal,
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(2), NodeId(3)],
+                vec![NodeId(3), NodeId(4), NodeId(5)],
+            ]
+        );
+    }
+
+    #[test]
+    fn min_size_filters_small_maximal_sets() {
+        let g = two_triangles();
+        let maximal = maximal_kplexes(&g, 1, 3);
+        assert_eq!(maximal.len(), 2);
+    }
+
+    #[test]
+    fn empty_graph_has_singleton_maximal_kplexes() {
+        let g = GraphBuilder::new(3).build();
+        assert_eq!(max_kplex_size(&g, 1), 1);
+        let maximal = maximal_kplexes(&g, 1, 1);
+        assert_eq!(maximal.len(), 3);
+    }
+
+    #[test]
+    fn hereditary_size_check() {
+        let g = two_triangles();
+        assert!(kplex_of_size_exists(&g, 1, 3));
+        assert!(!kplex_of_size_exists(&g, 1, 4));
+        assert!(kplex_of_size_exists(&g, 2, 2));
+    }
+}

@@ -1,0 +1,268 @@
+//! Enumeration of all maximal k-plexes.
+//!
+//! Set-enumeration with an excluded set, the k-plex analogue of
+//! Bron–Kerbosch (after the parallel enumeration algorithm of Wu–Pei, the
+//! paper's [21]): each frame carries the current k-plex `S`, the undecided
+//! addable candidates `C` and the excluded-but-addable set `X`. `S` is
+//! reported iff both `C` and `X` are empty — no vertex outside `S` can
+//! extend it. Because the k-plex property is hereditary, members of any
+//! maximal k-plex survive every `addable` filter along its include path,
+//! so each maximal set is generated exactly once.
+
+use stgq_graph::{BitSet, NodeId, SocialGraph};
+
+/// Knobs for [`enumerate_maximal_kplexes`].
+#[derive(Clone, Copy, Debug)]
+pub struct EnumerateConfig {
+    /// Report only maximal k-plexes with at least this many vertices.
+    /// Subtrees that cannot reach it are pruned.
+    pub min_size: usize,
+    /// Stop after this many sets (a guard against exponential output).
+    pub max_results: usize,
+}
+
+impl Default for EnumerateConfig {
+    fn default() -> Self {
+        EnumerateConfig { min_size: 1, max_results: 1_000_000 }
+    }
+}
+
+/// Output of [`enumerate_maximal_kplexes`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaximalKplexes {
+    /// The maximal k-plexes, each sorted ascending; the list sorted
+    /// lexicographically.
+    pub sets: Vec<Vec<NodeId>>,
+    /// Whether enumeration stopped at [`EnumerateConfig::max_results`]
+    /// before exhausting the graph.
+    pub truncated: bool,
+    /// Recursion frames entered.
+    pub nodes: u64,
+}
+
+/// Enumerate every maximal k-plex of `graph` with at least
+/// `cfg.min_size` vertices.
+pub fn enumerate_maximal_kplexes(
+    graph: &SocialGraph,
+    k: usize,
+    cfg: &EnumerateConfig,
+) -> MaximalKplexes {
+    assert!(k >= 1, "k-plex parameter must be at least 1");
+    let n = graph.node_count();
+    let mut e = Enumerator {
+        adj: (0..n).map(|v| graph.neighbor_bitset(NodeId(v as u32))).collect(),
+        k: k as i64,
+        min_size: cfg.min_size,
+        max_results: cfg.max_results,
+        s: Vec::new(),
+        cnt_in_s: vec![0; n],
+        out: Vec::new(),
+        truncated: false,
+        nodes: 0,
+    };
+    if n > 0 {
+        e.expand(BitSet::full(n), BitSet::new(n));
+    } else if cfg.min_size == 0 {
+        e.out.push(Vec::new());
+    }
+    let mut sets = e.out;
+    sets.sort();
+    MaximalKplexes { sets, truncated: e.truncated, nodes: e.nodes }
+}
+
+struct Enumerator {
+    adj: Vec<BitSet>,
+    k: i64,
+    min_size: usize,
+    max_results: usize,
+    s: Vec<u32>,
+    cnt_in_s: Vec<u32>,
+    out: Vec<Vec<NodeId>>,
+    truncated: bool,
+    nodes: u64,
+}
+
+impl Enumerator {
+    /// Deficiency of member `v ∈ S`: `|S − {v} − N_v|` (v itself excluded).
+    fn miss_member(&self, v: u32) -> i64 {
+        self.s.len() as i64 - 1 - i64::from(self.cnt_in_s[v as usize])
+    }
+
+    /// Deficiency `w ∉ S` would have in `S ∪ {w}`: its non-neighbors in `S`.
+    fn miss_candidate(&self, w: u32) -> i64 {
+        self.s.len() as i64 - i64::from(self.cnt_in_s[w as usize])
+    }
+
+    fn push(&mut self, u: u32) {
+        for nb in self.adj[u as usize].iter() {
+            self.cnt_in_s[nb] += 1;
+        }
+        self.s.push(u);
+    }
+
+    fn pop(&mut self, u: u32) {
+        let popped = self.s.pop();
+        debug_assert_eq!(popped, Some(u));
+        for nb in self.adj[u as usize].iter() {
+            self.cnt_in_s[nb] -= 1;
+        }
+    }
+
+    /// Members of `set` still addable to the current `S`.
+    fn filter_addable(&self, set: &BitSet) -> BitSet {
+        let mut out = set.clone();
+        for &v in &self.s {
+            if self.miss_member(v) == self.k - 1 {
+                out.intersect_with(&self.adj[v as usize]);
+            }
+        }
+        let keep: Vec<usize> =
+            out.iter().filter(|&w| self.miss_candidate(w as u32) < self.k).collect();
+        let mut fin = BitSet::new(out.capacity());
+        for w in keep {
+            fin.insert(w);
+        }
+        fin
+    }
+
+    fn record(&mut self) {
+        if self.s.len() < self.min_size {
+            return;
+        }
+        if self.out.len() >= self.max_results {
+            self.truncated = true;
+            return;
+        }
+        let mut set: Vec<NodeId> = self.s.iter().map(|&v| NodeId(v)).collect();
+        set.sort_unstable();
+        self.out.push(set);
+    }
+
+    fn expand(&mut self, mut c: BitSet, mut x: BitSet) {
+        self.nodes += 1;
+        if self.truncated {
+            return;
+        }
+        loop {
+            if self.s.len() + c.len() < self.min_size {
+                return;
+            }
+            let Some(u) = c.first() else {
+                if x.is_empty() {
+                    self.record();
+                }
+                return;
+            };
+            let u = u as u32;
+            c.remove(u as usize);
+
+            // Include branch.
+            self.push(u);
+            let c_child = self.filter_addable(&c);
+            let x_child = self.filter_addable(&x);
+            self.expand(c_child, x_child);
+            self.pop(u);
+
+            // Exclude branch: u joins X and the loop continues.
+            x.insert(u as usize);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+    use stgq_graph::GraphBuilder;
+
+    fn two_triangles() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn maximal_cliques_match_brute() {
+        let g = two_triangles();
+        let out = enumerate_maximal_kplexes(&g, 1, &EnumerateConfig::default());
+        assert_eq!(out.sets, brute::maximal_kplexes(&g, 1, 1));
+        assert!(!out.truncated);
+    }
+
+    #[test]
+    fn maximal_two_plexes_match_brute() {
+        let g = two_triangles();
+        let out = enumerate_maximal_kplexes(&g, 2, &EnumerateConfig::default());
+        assert_eq!(out.sets, brute::maximal_kplexes(&g, 2, 1));
+    }
+
+    #[test]
+    fn min_size_prunes_output_and_search() {
+        let g = two_triangles();
+        let all = enumerate_maximal_kplexes(&g, 1, &EnumerateConfig::default());
+        let big = enumerate_maximal_kplexes(
+            &g,
+            1,
+            &EnumerateConfig { min_size: 3, ..EnumerateConfig::default() },
+        );
+        assert_eq!(big.sets, brute::maximal_kplexes(&g, 1, 3));
+        assert!(big.sets.len() < all.sets.len());
+    }
+
+    #[test]
+    fn result_cap_sets_truncated_flag() {
+        let g = two_triangles();
+        let out = enumerate_maximal_kplexes(
+            &g,
+            1,
+            &EnumerateConfig { max_results: 1, ..EnumerateConfig::default() },
+        );
+        assert_eq!(out.sets.len(), 1);
+        assert!(out.truncated);
+    }
+
+    #[test]
+    fn empty_graph_yields_nothing() {
+        let g = GraphBuilder::new(0).build();
+        let out = enumerate_maximal_kplexes(&g, 1, &EnumerateConfig::default());
+        assert!(out.sets.is_empty());
+    }
+
+    #[test]
+    fn edgeless_graph_yields_singletons() {
+        let g = GraphBuilder::new(3).build();
+        let out = enumerate_maximal_kplexes(&g, 1, &EnumerateConfig::default());
+        assert_eq!(out.sets.len(), 3);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Enumeration matches the brute-force maximal list exactly on
+        /// random graphs up to 10 vertices.
+        #[test]
+        fn enumeration_matches_brute(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+            k in 1usize..4,
+            min_size in 1usize..4,
+        ) {
+            let mut b = GraphBuilder::new(10);
+            for (u, v) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+                }
+            }
+            let g = b.build();
+            let out = enumerate_maximal_kplexes(
+                &g,
+                k,
+                &EnumerateConfig { min_size, ..EnumerateConfig::default() },
+            );
+            prop_assert!(!out.truncated);
+            prop_assert_eq!(out.sets, brute::maximal_kplexes(&g, k, min_size));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! k-plex toolkit for the STGQ reproduction.
+//!
+//! The paper's acquaintance constraint — each attendee unacquainted with at
+//! most `k` others — says the group is a *(k+1)-plex* in the classic
+//! Seidman–Foster sense \[19\]. Its NP-hardness proof (Theorem 1, Appendix
+//! B.1) reduces from the k-plex decision problem, and its related-work
+//! section grounds the constraint in the maximum-k-plex literature
+//! (\[11, 16, 18\]) and maximal-k-plex enumeration (\[21\]). This crate builds
+//! that literature as an independent substrate:
+//!
+//! * [`is_kplex`] / [`deficiency`] — reference predicates in the k-plex
+//!   parameterization (every member adjacent to ≥ `|S| − k` members,
+//!   i.e. at most `k − 1` non-neighbors besides itself);
+//! * [`max_kplex`] — exact maximum k-plex via branch-and-bound with the
+//!   saturation and expansibility bounds of McClosky–Hicks-style solvers;
+//! * [`enumerate_maximal_kplexes`] — all maximal k-plexes (optionally above
+//!   a size floor) via set-enumeration with an excluded set, after Wu–Pei;
+//! * [`reduce_kplex_to_sgq`] — the Theorem-1 construction mapping a k-plex
+//!   decision instance to an SGQ instance, used by the test suite to
+//!   cross-validate the SGQ engines against this crate's solvers;
+//! * [`brute`] — subset-enumeration reference solvers for small graphs,
+//!   the ground truth for the property tests.
+//!
+//! # Conventions
+//!
+//! Throughout this crate `k ≥ 1` follows the **k-plex** convention: a
+//! vertex set `S` is a k-plex iff every `v ∈ S` has at least `|S| − k`
+//! neighbors inside `S`. A 1-plex is a clique. The paper's acquaintance
+//! parameter relates as `k_acquaintance = k − 1`.
+//!
+//! ```
+//! use stgq_graph::{GraphBuilder, NodeId};
+//! use stgq_kplex::{is_kplex, max_kplex};
+//!
+//! // K4 minus one edge: a 2-plex but not a clique.
+//! let mut b = GraphBuilder::new(4);
+//! for (u, v) in [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)] {
+//!     b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+//! }
+//! let g = b.build();
+//! let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+//! assert!(!is_kplex(&g, &all, 1));
+//! assert!(is_kplex(&g, &all, 2));
+//! assert_eq!(max_kplex(&g, 2).members.len(), 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod brute;
+mod enumerate;
+mod max;
+mod reduction;
+mod verify;
+
+pub use enumerate::{enumerate_maximal_kplexes, EnumerateConfig, MaximalKplexes};
+pub use max::{
+    kplex_decision, max_kplex, max_kplex_with_floor, KplexSearchStats, MaxKplexResult,
+};
+pub use reduction::{reduce_kplex_to_sgq, SgqReduction};
+pub use verify::{deficiency, is_kplex, is_maximal_kplex};

@@ -1,0 +1,308 @@
+//! Exact maximum k-plex via branch-and-bound.
+//!
+//! The solver follows the structure of the combinatorial algorithms for
+//! max k-plex the paper cites ([11, 16, 18]): an include/exclude
+//! set-enumeration over *addable* candidates with two sound upper bounds,
+//!
+//! * the trivial bound `|S| + |C|`, and
+//! * a per-member expansibility bound — member `v` can gain at most
+//!   `|C ∩ N_v|` neighbors plus `k − 1 − miss_v` further non-neighbors,
+//!   so no completion exceeds `|S| + min_v (|C ∩ N_v| + k − 1 − miss_v)`
+//!   (the same quantity SGSelect calls exterior expansibility).
+//!
+//! A candidate `w` is *addable* to `S` iff `S ∪ {w}` is a k-plex, i.e.
+//! `miss_w ≤ k − 1` and `w` is adjacent to every *saturated* member
+//! (one with `miss_v = k − 1` already).
+
+use stgq_graph::{BitSet, NodeId, SocialGraph};
+
+/// Work counters for one k-plex search.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct KplexSearchStats {
+    /// Branch-and-bound frames entered.
+    pub nodes: u64,
+    /// Candidates moved into the current set (include branches taken).
+    pub includes: u64,
+    /// Frames cut by the trivial `|S| + |C|` bound.
+    pub size_bound_prunes: u64,
+    /// Frames cut by the per-member expansibility bound.
+    pub expansibility_prunes: u64,
+}
+
+/// Result of a maximum-k-plex search.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MaxKplexResult {
+    /// A maximum k-plex (empty when the graph is empty or the size floor
+    /// was not reached), sorted by vertex id.
+    pub members: Vec<NodeId>,
+    /// Search-effort counters.
+    pub stats: KplexSearchStats,
+}
+
+/// Find a maximum k-plex of `graph` (`k ≥ 1`).
+pub fn max_kplex(graph: &SocialGraph, k: usize) -> MaxKplexResult {
+    max_kplex_with_floor(graph, k, 1)
+}
+
+/// Find a maximum k-plex of size at least `floor`, or report none exists.
+///
+/// The search behaves as if a `floor − 1`-sized incumbent were already
+/// known, so subtrees that cannot reach `floor` are pruned immediately —
+/// the decision form `∃ k-plex of size c` runs much faster than a full
+/// maximum search when the answer is negative.
+pub fn max_kplex_with_floor(graph: &SocialGraph, k: usize, floor: usize) -> MaxKplexResult {
+    assert!(k >= 1, "k-plex parameter must be at least 1");
+    let n = graph.node_count();
+    let mut searcher = Searcher {
+        adj: (0..n).map(|v| graph.neighbor_bitset(NodeId(v as u32))).collect(),
+        k: k as i64,
+        s: Vec::new(),
+        cnt_in_s: vec![0; n],
+        best: Vec::new(),
+        best_len: floor.saturating_sub(1),
+        found: false,
+        stats: KplexSearchStats::default(),
+    };
+    searcher.expand(BitSet::full(n));
+
+    let mut members: Vec<NodeId> = if searcher.found {
+        searcher.best.iter().map(|&v| NodeId(v)).collect()
+    } else {
+        Vec::new()
+    };
+    members.sort_unstable();
+    MaxKplexResult { members, stats: searcher.stats }
+}
+
+/// Decision form: does `graph` contain a k-plex with exactly `size`
+/// vertices? (Equivalently at least `size` — the property is hereditary.)
+pub fn kplex_decision(graph: &SocialGraph, k: usize, size: usize) -> bool {
+    if size == 0 {
+        return true;
+    }
+    max_kplex_with_floor(graph, k, size).members.len() >= size
+}
+
+struct Searcher {
+    adj: Vec<BitSet>,
+    k: i64,
+    s: Vec<u32>,
+    cnt_in_s: Vec<u32>,
+    best: Vec<u32>,
+    best_len: usize,
+    /// Whether `best` holds an actual recorded solution (vs the floor).
+    found: bool,
+    stats: KplexSearchStats,
+}
+
+impl Searcher {
+    /// Deficiency of member `v ∈ S`: `|S − {v} − N_v|` (v itself excluded).
+    fn miss_member(&self, v: u32) -> i64 {
+        self.s.len() as i64 - 1 - i64::from(self.cnt_in_s[v as usize])
+    }
+
+    /// Deficiency `w ∉ S` would have in `S ∪ {w}`: its non-neighbors in `S`.
+    fn miss_candidate(&self, w: u32) -> i64 {
+        self.s.len() as i64 - i64::from(self.cnt_in_s[w as usize])
+    }
+
+    fn push(&mut self, u: u32) {
+        for nb in self.adj[u as usize].iter() {
+            self.cnt_in_s[nb] += 1;
+        }
+        self.s.push(u);
+        self.stats.includes += 1;
+        if self.s.len() > self.best_len {
+            self.best_len = self.s.len();
+            self.best = self.s.clone();
+            self.found = true;
+        }
+    }
+
+    fn pop(&mut self, u: u32) {
+        let popped = self.s.pop();
+        debug_assert_eq!(popped, Some(u));
+        for nb in self.adj[u as usize].iter() {
+            self.cnt_in_s[nb] -= 1;
+        }
+    }
+
+    /// Candidates of `c` addable to the current `S`: `miss_w ≤ k − 1` and
+    /// adjacent to every saturated member.
+    fn filter_addable(&self, c: &BitSet) -> BitSet {
+        let mut out = c.clone();
+        for &v in &self.s {
+            if self.miss_member(v) == self.k - 1 {
+                out.intersect_with(&self.adj[v as usize]);
+            }
+        }
+        let keep: Vec<usize> =
+            out.iter().filter(|&w| self.miss_candidate(w as u32) < self.k).collect();
+        let mut fin = BitSet::new(out.capacity());
+        for w in keep {
+            fin.insert(w);
+        }
+        fin
+    }
+
+    fn expand(&mut self, mut c: BitSet) {
+        self.stats.nodes += 1;
+        loop {
+            if self.s.len() + c.len() <= self.best_len {
+                self.stats.size_bound_prunes += 1;
+                return;
+            }
+            // Expansibility bound over current members.
+            if !self.s.is_empty() {
+                let mut ub = usize::MAX;
+                for &v in &self.s {
+                    let nb_in_c = self.adj[v as usize].intersection_len(&c);
+                    let quota = (self.k - 1 - self.miss_member(v)).max(0) as usize;
+                    ub = ub.min(nb_in_c + quota);
+                }
+                if self.s.len() + ub <= self.best_len {
+                    self.stats.expansibility_prunes += 1;
+                    return;
+                }
+            }
+
+            // Branch on the candidate with the most neighbors in C (a
+            // common degree heuristic; ties to the lowest id for
+            // determinism).
+            let Some(u) = c
+                .iter()
+                .max_by_key(|&w| (self.adj[w].intersection_len(&c), std::cmp::Reverse(w)))
+            else {
+                return;
+            };
+            let u = u as u32;
+
+            // Include branch.
+            c.remove(u as usize);
+            self.push(u);
+            let child = self.filter_addable(&c);
+            self.expand(child);
+            self.pop(u);
+            // Exclude branch: continue the loop with u gone from C.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use proptest::prelude::*;
+    use stgq_graph::GraphBuilder;
+
+    fn two_triangles() -> SocialGraph {
+        let mut b = GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn matches_brute_force_on_fixture() {
+        let g = two_triangles();
+        for k in 1..=4 {
+            let bb = max_kplex(&g, k);
+            assert_eq!(
+                bb.members.len(),
+                brute::max_kplex_size(&g, k),
+                "size mismatch at k={k}"
+            );
+            assert!(crate::is_kplex(&g, &bb.members, k));
+        }
+    }
+
+    #[test]
+    fn floor_prunes_hopeless_searches() {
+        let g = two_triangles();
+        let out = max_kplex_with_floor(&g, 1, 4); // max clique is 3
+        assert!(out.members.is_empty());
+        let full = max_kplex(&g, 1);
+        assert!(
+            out.stats.nodes <= full.stats.nodes,
+            "floor must not expand the search"
+        );
+    }
+
+    #[test]
+    fn decision_form_agrees_with_brute() {
+        let g = two_triangles();
+        for k in 1..=3 {
+            for size in 0..=6 {
+                assert_eq!(
+                    kplex_decision(&g, k, size),
+                    size == 0 || brute::kplex_of_size_exists(&g, k, size),
+                    "k={k} size={size}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        let out = max_kplex(&g, 2);
+        assert!(out.members.is_empty());
+    }
+
+    #[test]
+    fn isolated_vertices_yield_singletons() {
+        let g = GraphBuilder::new(4).build();
+        let out = max_kplex(&g, 1);
+        assert_eq!(out.members.len(), 1);
+    }
+
+    #[test]
+    fn large_k_takes_everything() {
+        let g = two_triangles();
+        // k ≥ n lets any set qualify, so the whole graph is the answer.
+        let out = max_kplex(&g, 6);
+        assert_eq!(out.members.len(), 6);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// B&B size equals brute force on random graphs up to 12 vertices.
+        #[test]
+        fn bb_matches_brute(
+            edges in proptest::collection::vec((0u32..12, 0u32..12), 0..40),
+            k in 1usize..4,
+        ) {
+            let mut b = GraphBuilder::new(12);
+            for (u, v) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+                }
+            }
+            let g = b.build();
+            let bb = max_kplex(&g, k);
+            prop_assert_eq!(bb.members.len(), brute::max_kplex_size(&g, k));
+            prop_assert!(crate::is_kplex(&g, &bb.members, k));
+        }
+
+        /// The returned set is always maximal (nothing addable).
+        #[test]
+        fn bb_result_is_maximal(
+            edges in proptest::collection::vec((0u32..10, 0u32..10), 0..30),
+            k in 1usize..3,
+        ) {
+            let mut b = GraphBuilder::new(10);
+            for (u, v) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+                }
+            }
+            let g = b.build();
+            let bb = max_kplex(&g, k);
+            if !bb.members.is_empty() {
+                prop_assert!(crate::is_maximal_kplex(&g, &bb.members, k));
+            }
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! The Theorem-1 reduction: k-plex decision → SGQ feasibility.
+//!
+//! Appendix B.1 proves SGQ NP-hard by this construction: given a k-plex
+//! instance (graph `G'`, target size `c`), build `G` by adding an initiator
+//! `q` adjacent to every vertex, all edge distances 1. Then
+//! `SGQ(p = c + 1, s = 1, k_acq = k − 1)` on `G` is feasible iff `G'`
+//! contains a k-plex with `c` vertices:
+//!
+//! * `F − {q}` of any feasible SGQ group is a k-plex (removing the
+//!   universally-adjacent `q` cannot raise anyone's deficiency);
+//! * conversely a k-plex of size `c` plus `q` satisfies both the radius
+//!   (all adjacent to `q`) and acquaintance constraints.
+//!
+//! The test suite runs SGSelect on reduced instances and compares against
+//! this crate's independent solvers — a mechanical check of Theorem 1.
+
+use stgq_graph::{GraphBuilder, NodeId, SocialGraph};
+
+/// The SGQ instance produced by [`reduce_kplex_to_sgq`].
+#[derive(Clone, Debug)]
+pub struct SgqReduction {
+    /// The augmented graph: the original vertices plus the initiator,
+    /// which is adjacent to everyone; every edge has distance 1.
+    pub graph: SocialGraph,
+    /// The added initiator (the highest vertex id).
+    pub initiator: NodeId,
+    /// Activity size `p = c + 1`.
+    pub p: usize,
+    /// Social radius constraint `s = 1`.
+    pub s: usize,
+    /// Acquaintance constraint in the paper's parameterization,
+    /// `k_acq = k − 1`.
+    pub k_acq: usize,
+}
+
+/// Build the Theorem-1 SGQ instance deciding "does `graph` have a k-plex
+/// with `c` vertices?" (`k ≥ 1`, `c ≥ 1`).
+pub fn reduce_kplex_to_sgq(graph: &SocialGraph, c: usize, k: usize) -> SgqReduction {
+    assert!(k >= 1, "k-plex parameter must be at least 1");
+    assert!(c >= 1, "target size must be at least 1");
+    let n = graph.node_count();
+    let q = NodeId(n as u32);
+
+    let mut b = GraphBuilder::new(n + 1);
+    for e in graph.edges() {
+        b.add_edge(e.a, e.b, 1).expect("copied edges are valid");
+    }
+    for v in 0..n {
+        b.add_edge(q, NodeId(v as u32), 1).expect("initiator edges are fresh");
+    }
+
+    SgqReduction { graph: b.build(), initiator: q, p: c + 1, s: 1, k_acq: k - 1 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    fn path3() -> SocialGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn construction_shape() {
+        let g = path3();
+        let red = reduce_kplex_to_sgq(&g, 2, 1);
+        assert_eq!(red.graph.node_count(), 4);
+        assert_eq!(red.initiator, NodeId(3));
+        // Original 2 edges plus 3 initiator edges.
+        assert_eq!(red.graph.edge_count(), 5);
+        assert_eq!((red.p, red.s, red.k_acq), (3, 1, 0));
+        for v in 0..3 {
+            assert!(red.graph.has_edge(red.initiator, NodeId(v)));
+            assert_eq!(red.graph.edge_weight(red.initiator, NodeId(v)), Some(1));
+        }
+    }
+
+    #[test]
+    fn all_weights_are_unit() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 99).unwrap();
+        let red = reduce_kplex_to_sgq(&b.build(), 1, 2);
+        assert_eq!(red.graph.edge_weight(NodeId(0), NodeId(1)), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn rejects_k_zero() {
+        let _ = reduce_kplex_to_sgq(&path3(), 2, 0);
+    }
+}

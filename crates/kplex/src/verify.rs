@@ -1,0 +1,104 @@
+//! Reference predicates in the k-plex parameterization.
+
+use stgq_graph::{NodeId, SocialGraph};
+
+/// Number of members of `set` that `v` (assumed a member) is **not**
+/// adjacent to, excluding `v` itself. A set is a k-plex iff every member's
+/// deficiency is at most `k − 1`.
+pub fn deficiency(graph: &SocialGraph, set: &[NodeId], v: NodeId) -> usize {
+    set.iter().filter(|&&u| u != v && !graph.has_edge(u, v)).count()
+}
+
+/// Whether `set` is a k-plex: every member adjacent to at least `|S| − k`
+/// members (itself included in the count), i.e. deficiency ≤ `k − 1`.
+///
+/// The empty set and singletons are k-plexes for every `k ≥ 1`.
+pub fn is_kplex(graph: &SocialGraph, set: &[NodeId], k: usize) -> bool {
+    assert!(k >= 1, "k-plex parameter must be at least 1");
+    set.iter().all(|&v| deficiency(graph, set, v) < k)
+}
+
+/// Whether `set` is a **maximal** k-plex: a k-plex that no outside vertex
+/// can be added to without breaking the k-plex property.
+pub fn is_maximal_kplex(graph: &SocialGraph, set: &[NodeId], k: usize) -> bool {
+    if !is_kplex(graph, set, k) {
+        return false;
+    }
+    let mut extended = set.to_vec();
+    for v in graph.nodes() {
+        if set.contains(&v) {
+            continue;
+        }
+        extended.push(v);
+        let grows = is_kplex(graph, &extended, k);
+        extended.pop();
+        if grows {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    /// Path 0-1-2-3 plus edge 0-2: {0,1,2} is a clique-ish 1-plex? 0-1, 1-2,
+    /// 0-2 present — a triangle.
+    fn path_plus() -> SocialGraph {
+        let mut b = GraphBuilder::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 2)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.build()
+    }
+
+    #[test]
+    fn triangle_is_one_plex() {
+        let g = path_plus();
+        let tri = [NodeId(0), NodeId(1), NodeId(2)];
+        assert!(is_kplex(&g, &tri, 1));
+        assert_eq!(deficiency(&g, &tri, NodeId(0)), 0);
+    }
+
+    #[test]
+    fn whole_path_needs_k_two() {
+        let g = path_plus();
+        let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        // v0 misses v3; v1 misses v3; v3 misses v0 and v1 → deficiency 2.
+        assert!(!is_kplex(&g, &all, 1));
+        assert!(!is_kplex(&g, &all, 2));
+        assert!(is_kplex(&g, &all, 3));
+    }
+
+    #[test]
+    fn degenerate_sets_are_kplexes() {
+        let g = path_plus();
+        assert!(is_kplex(&g, &[], 1));
+        assert!(is_kplex(&g, &[NodeId(3)], 1));
+    }
+
+    #[test]
+    fn maximality_detects_growable_sets() {
+        let g = path_plus();
+        // {0,1} grows to the triangle → not maximal.
+        assert!(!is_maximal_kplex(&g, &[NodeId(0), NodeId(1)], 1));
+        // The triangle is the maximum clique; v3 is adjacent only to v2.
+        assert!(is_maximal_kplex(&g, &[NodeId(0), NodeId(1), NodeId(2)], 1));
+    }
+
+    #[test]
+    fn non_kplex_is_never_maximal() {
+        let g = path_plus();
+        let all = [NodeId(0), NodeId(1), NodeId(2), NodeId(3)];
+        assert!(!is_maximal_kplex(&g, &all, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn k_zero_is_rejected() {
+        let g = path_plus();
+        let _ = is_kplex(&g, &[NodeId(0)], 0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Depth-first branch & bound over the integer variables.
+//!
+//! Each node solves the LP relaxation with tightened bounds; the most
+//! fractional integer variable is branched on (`x ≤ ⌊v⌋` / `x ≥ ⌈v⌉`),
+//! exploring the side nearer the fractional value first. Nodes are pruned
+//! when the relaxation is infeasible or its bound cannot beat the
+//! incumbent. Exact for any bounded MILP; a node budget guards runaways.
+
+use crate::simplex::solve_prepared;
+use crate::{LpStatus, MipError, Model};
+
+/// Branch & bound tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct MipOptions {
+    /// Maximum branch-and-bound nodes before giving up with
+    /// [`MipError::NodeLimit`].
+    pub node_limit: usize,
+    /// A relaxation value within this distance of an integer counts as
+    /// integral.
+    pub int_tol: f64,
+}
+
+impl Default for MipOptions {
+    fn default() -> Self {
+        MipOptions { node_limit: 500_000, int_tol: 1e-6 }
+    }
+}
+
+/// Final status of a MIP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MipStatus {
+    /// Proven optimal integer solution.
+    Optimal,
+    /// No integer-feasible point exists.
+    Infeasible,
+    /// The relaxation (and hence the MIP, if feasible) is unbounded.
+    Unbounded,
+}
+
+/// Result of [`solve_mip`]. `objective`/`values` are meaningful only for
+/// [`MipStatus::Optimal`]; integer variables in `values` are exactly
+/// integral (rounded from the relaxation's ε-integral values).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MipSolution {
+    /// Final status.
+    pub status: MipStatus,
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Assignment per model variable.
+    pub values: Vec<f64>,
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+}
+
+/// Solve a mixed-integer program to proven optimality.
+pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipSolution, MipError> {
+    let mut m = model.clone();
+    m.validate()?;
+    let int_vars: Vec<usize> = m.integer_vars().map(|v| v.0).collect();
+    let root_lb: Vec<f64> = m.vars().iter().map(|v| v.lb).collect();
+    let root_ub: Vec<f64> = m.vars().iter().map(|v| v.ub).collect();
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut nodes: u64 = 0;
+    let mut stack: Vec<(Vec<f64>, Vec<f64>)> = vec![(root_lb, root_ub)];
+
+    while let Some((lb, ub)) = stack.pop() {
+        nodes += 1;
+        if nodes as usize > opts.node_limit {
+            return Err(MipError::NodeLimit { limit: opts.node_limit });
+        }
+        let relax = solve_prepared(&m, &lb, &ub)?;
+        match relax.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => {
+                // With integral branching the relaxation is unbounded only
+                // if the root is; report it as such.
+                return Ok(MipSolution {
+                    status: MipStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    values: vec![],
+                    nodes,
+                });
+            }
+            LpStatus::Optimal => {}
+        }
+        if let Some((best, _)) = &incumbent {
+            if relax.objective >= *best - 1e-9 {
+                continue; // bound prune
+            }
+        }
+
+        // Most fractional integer variable.
+        let mut branch_var = None;
+        let mut best_frac = opts.int_tol;
+        for &v in &int_vars {
+            let val = relax.values[v];
+            let frac = (val - val.round()).abs();
+            if frac > best_frac {
+                best_frac = frac;
+                branch_var = Some(v);
+            }
+        }
+        match branch_var {
+            None => {
+                // Integral: new incumbent (strict improvement, see prune).
+                let mut values = relax.values;
+                for &v in &int_vars {
+                    values[v] = values[v].round();
+                }
+                incumbent = Some((relax.objective, values));
+            }
+            Some(v) => {
+                let val = relax.values[v];
+                let floor = val.floor();
+                let mut down = (lb.clone(), ub.clone());
+                down.1[v] = down.1[v].min(floor);
+                let mut up = (lb, ub);
+                up.0[v] = up.0[v].max(floor + 1.0);
+                // Explore the nearer side first (pushed last).
+                if val - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    Ok(match incumbent {
+        Some((objective, values)) => {
+            MipSolution { status: MipStatus::Optimal, objective, values, nodes }
+        }
+        None => MipSolution { status: MipStatus::Infeasible, objective: 0.0, values: vec![], nodes },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cmp;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn knapsack() {
+        // max 10a + 13b + 7c, 3a + 4b + 2c ≤ 6, binaries → a+c (17) vs b+c
+        // (20, weight 6 ✓) → optimal 20.
+        let mut m = Model::new();
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_constraint(m.expr(&[(a, 3.0), (b, 4.0), (c, 2.0)]), Cmp::Le, 6.0);
+        m.set_objective(m.expr(&[(a, -10.0), (b, -13.0), (c, -7.0)]));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(sol.status, MipStatus::Optimal);
+        assert_close(sol.objective, -20.0);
+        assert_close(sol.values[b.0], 1.0);
+        assert_close(sol.values[c.0], 1.0);
+        assert_close(sol.values[a.0], 0.0);
+    }
+
+    #[test]
+    fn integer_rounding_differs_from_lp() {
+        // max x + y s.t. 2x + 2y ≤ 3 → LP gives 1.5, IP gives 1.
+        let mut m = Model::new();
+        let x = m.add_int("x", 0.0, 10.0);
+        let y = m.add_int("y", 0.0, 10.0);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 2.0)]), Cmp::Le, 3.0);
+        m.set_objective(m.expr(&[(x, -1.0), (y, -1.0)]));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_close(sol.objective, -1.0);
+    }
+
+    #[test]
+    fn infeasible_integrality() {
+        // 0.4 ≤ x ≤ 0.6 with x integer → infeasible.
+        let mut m = Model::new();
+        let x = m.add_int("x", 0.0, 1.0);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Ge, 0.4);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Le, 0.6);
+        m.set_objective(m.expr(&[(x, 1.0)]));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(sol.status, MipStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_is_reported() {
+        let mut m = Model::new();
+        let x = m.add_int("x", 0.0, f64::INFINITY);
+        m.set_objective(m.expr(&[(x, -1.0)]));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_eq!(sol.status, MipStatus::Unbounded);
+    }
+
+    #[test]
+    fn mixed_integer_and_continuous() {
+        // min −y − 0.5x s.t. y ≤ x/2, x ≤ 3.7, y integer, x continuous.
+        // Best: x = 3.7, y = 1 → obj = −1 − 1.85 = −2.85.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, 3.7);
+        let y = m.add_int("y", 0.0, 100.0);
+        m.add_constraint(m.expr(&[(y, 1.0), (x, -0.5)]), Cmp::Le, 0.0);
+        m.set_objective(m.expr(&[(y, -1.0), (x, -0.5)]));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        assert_close(sol.objective, -2.85);
+        assert_close(sol.values[y.0], 1.0);
+    }
+
+    #[test]
+    fn node_limit_is_enforced() {
+        // A model needing several nodes with limit 1 must error.
+        let mut m = Model::new();
+        let x = m.add_int("x", 0.0, 10.0);
+        let y = m.add_int("y", 0.0, 10.0);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 2.0)]), Cmp::Le, 3.0);
+        m.set_objective(m.expr(&[(x, -1.0), (y, -1.0)]));
+        let err = solve_mip(&m, &MipOptions { node_limit: 1, int_tol: 1e-6 }).unwrap_err();
+        assert!(matches!(err, MipError::NodeLimit { limit: 1 }));
+    }
+
+    #[test]
+    fn assignment_problem_is_exact() {
+        // 3×3 assignment, costs chosen so the greedy answer is wrong.
+        let costs = [[4.0, 1.0, 3.0], [2.0, 0.0, 5.0], [3.0, 2.0, 2.0]];
+        let mut m = Model::new();
+        let mut x = vec![];
+        for i in 0..3 {
+            let mut row = vec![];
+            for j in 0..3 {
+                row.push(m.add_binary(format!("x{i}{j}")));
+            }
+            x.push(row);
+        }
+        for (i, x_row) in x.iter().enumerate() {
+            let row: Vec<_> = x_row.iter().map(|&v| (v, 1.0)).collect();
+            m.add_constraint(m.expr(&row), Cmp::Eq, 1.0);
+            let col: Vec<_> = (0..3).map(|j| (x[j][i], 1.0)).collect();
+            m.add_constraint(m.expr(&col), Cmp::Eq, 1.0);
+        }
+        let obj: Vec<_> = (0..3)
+            .flat_map(|i| (0..3).map(move |j| (i, j)))
+            .map(|(i, j)| (x[i][j], costs[i][j]))
+            .collect();
+        m.set_objective(m.expr(&obj));
+        let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+        // Optimal: (0,1)=1, (1,0)=2, (2,2)=2 → 5.
+        assert_close(sol.objective, 5.0);
+    }
+
+    #[test]
+    fn brute_force_cross_check_small_binaries() {
+        // Randomised-ish deterministic family: verify B&B against full
+        // enumeration on 6 binary variables.
+        let weights = [3.0, 5.0, 7.0, 2.0, 4.0, 6.0];
+        let values = [4.0, 6.0, 9.0, 2.0, 5.0, 8.0];
+        for cap in [5.0, 9.0, 13.0, 27.0] {
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..6).map(|i| m.add_binary(format!("b{i}"))).collect();
+            let w: Vec<_> = vars.iter().copied().zip(weights).collect();
+            m.add_constraint(m.expr(&w), Cmp::Le, cap);
+            let obj: Vec<_> = vars.iter().copied().zip(values.map(|v| -v)).collect();
+            m.set_objective(m.expr(&obj));
+            let sol = solve_mip(&m, &MipOptions::default()).unwrap();
+
+            let mut best = 0.0f64;
+            for mask in 0u32..64 {
+                let wt: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+                if wt <= cap {
+                    let val: f64 =
+                        (0..6).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                    best = best.max(val);
+                }
+            }
+            assert_close(sol.objective, -best);
+        }
+    }
+}

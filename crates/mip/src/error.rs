@@ -1,0 +1,77 @@
+use std::fmt;
+
+/// Failure modes of the LP/MIP solvers.
+///
+/// Infeasibility and unboundedness are *statuses*, not errors — they are
+/// reported through [`LpStatus`](crate::LpStatus) / solution statuses.
+/// `MipError` covers malformed models and resource exhaustion.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MipError {
+    /// A constraint or the objective references a variable id not in the
+    /// model.
+    UnknownVariable {
+        /// The raw variable index.
+        index: usize,
+        /// Number of variables in the model.
+        var_count: usize,
+    },
+    /// A variable's lower bound exceeds its upper bound.
+    EmptyDomain {
+        /// The variable's name.
+        name: String,
+        /// Lower bound.
+        lb: f64,
+        /// Upper bound.
+        ub: f64,
+    },
+    /// A coefficient, bound, or right-hand side is NaN.
+    NotANumber,
+    /// The simplex exceeded its iteration budget (numerical trouble).
+    IterationLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+    /// Branch & bound exceeded its node budget.
+    NodeLimit {
+        /// The budget that was exhausted.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for MipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MipError::UnknownVariable { index, var_count } => {
+                write!(f, "variable #{index} out of range (model has {var_count})")
+            }
+            MipError::EmptyDomain { name, lb, ub } => {
+                write!(f, "variable {name} has empty domain [{lb}, {ub}]")
+            }
+            MipError::NotANumber => write!(f, "model contains NaN coefficients"),
+            MipError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit {limit} exceeded")
+            }
+            MipError::NodeLimit { limit } => {
+                write!(f, "branch-and-bound node limit {limit} exceeded")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MipError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = MipError::UnknownVariable { index: 5, var_count: 2 };
+        assert!(e.to_string().contains("#5"));
+        let e = MipError::EmptyDomain { name: "x".into(), lb: 2.0, ub: 1.0 };
+        assert!(e.to_string().contains("empty domain"));
+        assert!(MipError::NotANumber.to_string().contains("NaN"));
+        assert!(MipError::IterationLimit { limit: 10 }.to_string().contains("10"));
+        assert!(MipError::NodeLimit { limit: 9 }.to_string().contains("9"));
+    }
+}

@@ -1,0 +1,99 @@
+use crate::VarId;
+
+/// A linear expression `Σ coefᵢ · xᵢ`.
+///
+/// Duplicate variable mentions are allowed at construction and merged by
+/// [`LinExpr::compact`] (also dropping zero coefficients), which model
+/// validation runs for you. Expressions are plain data — building them is
+/// allocation-light and order-insensitive.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` terms.
+    pub terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// The empty expression (== 0).
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Build from `(var, coef)` pairs.
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, f64)>) -> Self {
+        LinExpr { terms: terms.into_iter().collect() }
+    }
+
+    /// Add `coef · var` to the expression.
+    pub fn add_term(&mut self, var: VarId, coef: f64) -> &mut Self {
+        self.terms.push((var, coef));
+        self
+    }
+
+    /// Merge duplicate variables and drop (near-)zero coefficients.
+    pub fn compact(&mut self) {
+        self.terms.sort_by_key(|(v, _)| v.0);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(self.terms.len());
+        for &(v, c) in &self.terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|&(_, c)| c.abs() > 1e-12);
+        self.terms = out;
+    }
+
+    /// Evaluate against a dense assignment (indexed by variable id).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|&(v, c)| c * values[v.0]).sum()
+    }
+
+    /// Largest variable index mentioned, if any.
+    pub fn max_var(&self) -> Option<usize> {
+        self.terms.iter().map(|&(v, _)| v.0).max()
+    }
+
+    /// Whether any coefficient is NaN.
+    pub fn has_nan(&self) -> bool {
+        self.terms.iter().any(|&(_, c)| c.is_nan())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_merges_and_drops_zeros() {
+        let mut e = LinExpr::from_terms([
+            (VarId(1), 2.0),
+            (VarId(0), 1.0),
+            (VarId(1), 3.0),
+            (VarId(2), 1e-15),
+        ]);
+        e.compact();
+        assert_eq!(e.terms, vec![(VarId(0), 1.0), (VarId(1), 5.0)]);
+    }
+
+    #[test]
+    fn eval_dot_product() {
+        let e = LinExpr::from_terms([(VarId(0), 2.0), (VarId(2), -1.0)]);
+        assert_eq!(e.eval(&[3.0, 100.0, 4.0]), 2.0);
+    }
+
+    #[test]
+    fn max_var_and_nan_detection() {
+        let e = LinExpr::from_terms([(VarId(3), 1.0), (VarId(1), 1.0)]);
+        assert_eq!(e.max_var(), Some(3));
+        assert_eq!(LinExpr::new().max_var(), None);
+        let bad = LinExpr::from_terms([(VarId(0), f64::NAN)]);
+        assert!(bad.has_nan());
+    }
+
+    #[test]
+    fn add_term_chains() {
+        let mut e = LinExpr::new();
+        e.add_term(VarId(0), 1.0).add_term(VarId(1), 2.0);
+        assert_eq!(e.terms.len(), 2);
+    }
+}

@@ -1,0 +1,44 @@
+//! A from-scratch mixed-integer linear programming solver.
+//!
+//! The paper evaluates an Integer Programming formulation of STGQ
+//! (Appendix D) with CPLEX. CPLEX is proprietary, so this crate implements
+//! the minimum viable substitute: a dense **two-phase primal simplex** with
+//! Bland's anti-cycling rule ([`solve_lp`]) and a depth-first **branch &
+//! bound** over the integer variables ([`solve_mip`]). It is deliberately a
+//! textbook solver — the IP comparator in the paper's Figure 1(a)/(d) is
+//! the *slowest* exact method, and a simple solver fills that role while
+//! still certifying optimality on small instances.
+//!
+//! Models are built with [`Model`]: variables carry bounds and an
+//! integrality flag, constraints are linear expressions compared to a
+//! right-hand side, and the objective is always minimized (negate to
+//! maximize).
+//!
+//! ```
+//! use stgq_mip::{Model, Cmp, MipOptions};
+//!
+//! // maximize x + 2y  s.t. x + y ≤ 4, x ≤ 2, x,y ≥ 0 integer
+//! let mut m = Model::new();
+//! let x = m.add_int("x", 0.0, f64::INFINITY);
+//! let y = m.add_int("y", 0.0, f64::INFINITY);
+//! m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 4.0);
+//! m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Le, 2.0);
+//! m.set_objective(m.expr(&[(x, -1.0), (y, -2.0)])); // minimize −(x+2y)
+//! let sol = stgq_mip::solve_mip(&m, &MipOptions::default()).unwrap();
+//! assert_eq!(sol.objective.round(), -8.0); // x=0, y=4
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod branch_bound;
+mod error;
+mod expr;
+mod model;
+mod simplex;
+
+pub use branch_bound::{solve_mip, MipOptions, MipSolution, MipStatus};
+pub use error::MipError;
+pub use expr::LinExpr;
+pub use model::{Cmp, Model, VarId, VarKind, Variable};
+pub use simplex::{solve_lp, LpResult, LpStatus};

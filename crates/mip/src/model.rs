@@ -1,0 +1,211 @@
+use crate::{LinExpr, MipError};
+
+/// Handle to a model variable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub usize);
+
+/// Whether a variable must take integral values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VarKind {
+    /// Real-valued within its bounds.
+    Continuous,
+    /// Integer-valued within its bounds (binaries are `Integer` in `[0,1]`).
+    Integer,
+}
+
+/// A model variable: name, bounds and kind.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Variable {
+    /// Diagnostic name.
+    pub name: String,
+    /// Lower bound (may be `-∞`).
+    pub lb: f64,
+    /// Upper bound (may be `+∞`).
+    pub ub: f64,
+    /// Continuous or integer.
+    pub kind: VarKind,
+}
+
+/// Comparison sense of a constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear constraint `expr cmp rhs`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub expr: LinExpr,
+    /// Sense.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A mixed-integer linear program. The objective is always **minimized**.
+#[derive(Clone, Debug, Default)]
+pub struct Model {
+    vars: Vec<Variable>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// An empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Add a continuous variable with bounds.
+    pub fn add_cont(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.push_var(name.into(), lb, ub, VarKind::Continuous)
+    }
+
+    /// Add an integer variable with bounds.
+    pub fn add_int(&mut self, name: impl Into<String>, lb: f64, ub: f64) -> VarId {
+        self.push_var(name.into(), lb, ub, VarKind::Integer)
+    }
+
+    /// Add a binary (0/1) variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(name.into(), 0.0, 1.0, VarKind::Integer)
+    }
+
+    fn push_var(&mut self, name: String, lb: f64, ub: f64, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(Variable { name, lb, ub, kind });
+        id
+    }
+
+    /// Convenience: build an expression from `(var, coef)` pairs.
+    pub fn expr(&self, terms: &[(VarId, f64)]) -> LinExpr {
+        LinExpr::from_terms(terms.iter().copied())
+    }
+
+    /// Add a constraint `expr cmp rhs`.
+    pub fn add_constraint(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.constraints.push(Constraint { expr, cmp, rhs });
+    }
+
+    /// Set the (minimized) objective.
+    pub fn set_objective(&mut self, expr: LinExpr) {
+        self.objective = expr;
+    }
+
+    /// Variables, in id order.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// Constraints, in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The minimized objective.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Ids of the integer variables.
+    pub fn integer_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.kind == VarKind::Integer)
+            .map(|(i, _)| VarId(i))
+    }
+
+    /// Validate the model: variable references in range, domains non-empty,
+    /// no NaNs. Also compacts all expressions in place.
+    pub fn validate(&mut self) -> Result<(), MipError> {
+        let n = self.vars.len();
+        for v in &self.vars {
+            if v.lb.is_nan() || v.ub.is_nan() {
+                return Err(MipError::NotANumber);
+            }
+            if v.lb > v.ub {
+                return Err(MipError::EmptyDomain { name: v.name.clone(), lb: v.lb, ub: v.ub });
+            }
+        }
+        let exprs = self
+            .constraints
+            .iter_mut()
+            .map(|c| (&mut c.expr, c.rhs))
+            .chain(std::iter::once((&mut self.objective, 0.0)));
+        for (expr, rhs) in exprs {
+            if rhs.is_nan() || expr.has_nan() {
+                return Err(MipError::NotANumber);
+            }
+            if let Some(max) = expr.max_var() {
+                if max >= n {
+                    return Err(MipError::UnknownVariable { index: max, var_count: n });
+                }
+            }
+            expr.compact();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_validates() {
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, 10.0);
+        let y = m.add_binary("y");
+        assert_eq!(m.var_count(), 2);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 2.0)]), Cmp::Le, 5.0);
+        m.set_objective(m.expr(&[(x, -1.0)]));
+        assert!(m.validate().is_ok());
+        assert_eq!(m.integer_vars().collect::<Vec<_>>(), vec![y]);
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let mut m = Model::new();
+        let _ = m.add_cont("x", 0.0, 1.0);
+        m.add_constraint(LinExpr::from_terms([(VarId(5), 1.0)]), Cmp::Le, 1.0);
+        assert!(matches!(m.validate(), Err(MipError::UnknownVariable { index: 5, .. })));
+    }
+
+    #[test]
+    fn rejects_empty_domain_and_nan() {
+        let mut m = Model::new();
+        m.add_cont("x", 3.0, 1.0);
+        assert!(matches!(m.validate(), Err(MipError::EmptyDomain { .. })));
+
+        let mut m2 = Model::new();
+        let x = m2.add_cont("x", 0.0, 1.0);
+        m2.add_constraint(m2.expr(&[(x, f64::NAN)]), Cmp::Le, 1.0);
+        assert_eq!(m2.validate(), Err(MipError::NotANumber));
+    }
+
+    #[test]
+    fn binary_is_integer_in_unit_box() {
+        let mut m = Model::new();
+        let b = m.add_binary("b");
+        let v = &m.vars()[b.0];
+        assert_eq!(v.kind, VarKind::Integer);
+        assert_eq!((v.lb, v.ub), (0.0, 1.0));
+    }
+}

@@ -1,0 +1,554 @@
+//! Two-phase dense primal simplex.
+//!
+//! Textbook implementation over a dense tableau:
+//!
+//! 1. variables are shifted to non-negativity (`x = lb + x'`; free
+//!    variables split into `x⁺ − x⁻`), finite upper bounds become explicit
+//!    rows;
+//! 2. rows are normalized to a non-negative right-hand side, then `≤` rows
+//!    get slacks, `≥` rows surplus + artificial, `=` rows artificial;
+//! 3. phase 1 minimizes the artificial sum (feasibility), pivoting
+//!    artificials out (or dropping redundant rows) afterwards;
+//! 4. phase 2 minimizes the real objective.
+//!
+//! Bland's rule (smallest entering index, smallest-basic-index tie-break in
+//! the ratio test) guarantees termination; an iteration budget guards
+//! against numerical pathologies.
+
+// Dense-tableau arithmetic: indexed loops over parallel rows/columns are
+// the clearest way to write pivots, and clippy's iterator suggestions
+// obscure them.
+#![allow(clippy::needless_range_loop)]
+
+use crate::{Cmp, MipError, Model};
+
+const EPS: f64 = 1e-9;
+const FEAS_TOL: f64 = 1e-7;
+const ITER_LIMIT: usize = 200_000;
+
+/// Outcome classification of an LP solve.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LpStatus {
+    /// An optimal solution was found.
+    Optimal,
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective decreases without bound.
+    Unbounded,
+}
+
+/// Result of an LP solve. `values` (indexed by model variable id) and
+/// `objective` are meaningful only for [`LpStatus::Optimal`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct LpResult {
+    /// Solve status.
+    pub status: LpStatus,
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Optimal assignment per model variable.
+    pub values: Vec<f64>,
+}
+
+/// Solve the LP relaxation of `model` (integrality ignored).
+pub fn solve_lp(model: &Model) -> Result<LpResult, MipError> {
+    let mut m = model.clone();
+    m.validate()?;
+    let lb: Vec<f64> = m.vars().iter().map(|v| v.lb).collect();
+    let ub: Vec<f64> = m.vars().iter().map(|v| v.ub).collect();
+    solve_prepared(&m, &lb, &ub)
+}
+
+/// Solve a *validated* model with overridden bounds (branch & bound hook).
+pub(crate) fn solve_prepared(model: &Model, lb: &[f64], ub: &[f64]) -> Result<LpResult, MipError> {
+    for i in 0..lb.len() {
+        if lb[i] > ub[i] {
+            return Ok(LpResult { status: LpStatus::Infeasible, objective: 0.0, values: vec![] });
+        }
+    }
+    Tableau::build(model, lb, ub).solve(model, lb)
+}
+
+/// Column mapping for one model variable in the standard form.
+#[derive(Clone, Copy)]
+enum ColMap {
+    /// `x = lb + column`
+    Shifted { col: usize, lb: f64 },
+    /// `x = pos − neg` (free variable)
+    Split { pos: usize, neg: usize },
+}
+
+struct Tableau {
+    /// `rows[i][j]`: coefficient of column `j` in row `i`.
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    basis: Vec<usize>,
+    active: Vec<bool>,
+    ncols: usize,
+    /// First artificial column (artificials are `first_artificial..ncols`).
+    first_artificial: usize,
+    col_map: Vec<ColMap>,
+}
+
+impl Tableau {
+    fn build(model: &Model, lb: &[f64], ub: &[f64]) -> Tableau {
+        let n = model.var_count();
+        // 1. Column mapping + structural column count.
+        let mut col_map = Vec::with_capacity(n);
+        let mut nstruct = 0usize;
+        for i in 0..n {
+            if lb[i].is_finite() {
+                col_map.push(ColMap::Shifted { col: nstruct, lb: lb[i] });
+                nstruct += 1;
+            } else {
+                col_map.push(ColMap::Split { pos: nstruct, neg: nstruct + 1 });
+                nstruct += 2;
+            }
+        }
+
+        // 2. Raw rows: (coefficients over structural cols, cmp, rhs).
+        let mut raw: Vec<(Vec<f64>, Cmp, f64)> = Vec::new();
+        for c in model.constraints() {
+            let mut coefs = vec![0.0; nstruct];
+            let mut rhs = c.rhs;
+            for &(v, coef) in &c.expr.terms {
+                match col_map[v.0] {
+                    ColMap::Shifted { col, lb } => {
+                        coefs[col] += coef;
+                        rhs -= coef * lb;
+                    }
+                    ColMap::Split { pos, neg } => {
+                        coefs[pos] += coef;
+                        coefs[neg] -= coef;
+                    }
+                }
+            }
+            raw.push((coefs, c.cmp, rhs));
+        }
+        // Finite upper bounds become rows (x' ≤ ub − lb, or x⁺ − x⁻ ≤ ub).
+        for i in 0..n {
+            if ub[i].is_finite() {
+                let mut coefs = vec![0.0; nstruct];
+                let rhs = match col_map[i] {
+                    ColMap::Shifted { col, lb } => {
+                        coefs[col] = 1.0;
+                        ub[i] - lb
+                    }
+                    ColMap::Split { pos, neg } => {
+                        coefs[pos] = 1.0;
+                        coefs[neg] = -1.0;
+                        ub[i]
+                    }
+                };
+                raw.push((coefs, Cmp::Le, rhs));
+            }
+        }
+
+        // 3. Normalize rhs ≥ 0, count extra columns.
+        let mut n_slack = 0usize;
+        let mut n_art = 0usize;
+        for (coefs, cmp, rhs) in &mut raw {
+            if *rhs < 0.0 {
+                for c in coefs.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *cmp = match *cmp {
+                    Cmp::Le => Cmp::Ge,
+                    Cmp::Ge => Cmp::Le,
+                    Cmp::Eq => Cmp::Eq,
+                };
+            }
+            match cmp {
+                Cmp::Le => n_slack += 1,
+                Cmp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                Cmp::Eq => n_art += 1,
+            }
+        }
+
+        let ncols = nstruct + n_slack + n_art;
+        let first_artificial = nstruct + n_slack;
+        let m = raw.len();
+        let mut rows = Vec::with_capacity(m);
+        let mut rhs_col = Vec::with_capacity(m);
+        let mut basis = Vec::with_capacity(m);
+        let mut next_slack = nstruct;
+        let mut next_art = first_artificial;
+        for (coefs, cmp, rhs) in raw {
+            let mut row = vec![0.0; ncols];
+            row[..nstruct].copy_from_slice(&coefs);
+            match cmp {
+                Cmp::Le => {
+                    row[next_slack] = 1.0;
+                    basis.push(next_slack);
+                    next_slack += 1;
+                }
+                Cmp::Ge => {
+                    row[next_slack] = -1.0;
+                    next_slack += 1;
+                    row[next_art] = 1.0;
+                    basis.push(next_art);
+                    next_art += 1;
+                }
+                Cmp::Eq => {
+                    row[next_art] = 1.0;
+                    basis.push(next_art);
+                    next_art += 1;
+                }
+            }
+            rows.push(row);
+            rhs_col.push(rhs);
+        }
+
+        Tableau {
+            rows,
+            rhs: rhs_col,
+            basis,
+            active: vec![true; m],
+            ncols,
+            first_artificial,
+            col_map,
+        }
+    }
+
+    fn pivot(&mut self, pr: usize, pc: usize, red: &mut [f64]) {
+        let pv = self.rows[pr][pc];
+        debug_assert!(pv.abs() > EPS);
+        let inv = 1.0 / pv;
+        for v in self.rows[pr].iter_mut() {
+            *v *= inv;
+        }
+        self.rhs[pr] *= inv;
+        let pivot_row = self.rows[pr].clone();
+        let pivot_rhs = self.rhs[pr];
+        for i in 0..self.rows.len() {
+            if i == pr || !self.active[i] {
+                continue;
+            }
+            let factor = self.rows[i][pc];
+            if factor.abs() > EPS {
+                for j in 0..self.ncols {
+                    self.rows[i][j] -= factor * pivot_row[j];
+                }
+                self.rhs[i] -= factor * pivot_rhs;
+                if self.rhs[i].abs() < EPS {
+                    self.rhs[i] = 0.0;
+                }
+            }
+        }
+        let factor = red[pc];
+        if factor.abs() > EPS {
+            for j in 0..self.ncols {
+                red[j] -= factor * pivot_row[j];
+            }
+        }
+        self.basis[pr] = pc;
+    }
+
+    /// Reduced costs for cost vector `cost`, given the current basis.
+    fn reduced_costs(&self, cost: &[f64]) -> Vec<f64> {
+        let mut red = cost.to_vec();
+        for (i, &b) in self.basis.iter().enumerate() {
+            if !self.active[i] {
+                continue;
+            }
+            let cb = cost[b];
+            if cb.abs() > EPS {
+                for j in 0..self.ncols {
+                    red[j] -= cb * self.rows[i][j];
+                }
+            }
+        }
+        red
+    }
+
+    /// Run simplex iterations until optimal/unbounded. Entering columns are
+    /// restricted to `..col_limit` (used to bar artificials).
+    fn iterate(&mut self, red: &mut [f64], col_limit: usize) -> Result<LpStatus, MipError> {
+        for _ in 0..ITER_LIMIT {
+            // Bland: smallest improving column.
+            let mut entering = None;
+            for (j, &r) in red.iter().enumerate().take(col_limit) {
+                if r < -EPS {
+                    entering = Some(j);
+                    break;
+                }
+            }
+            let Some(pc) = entering else { return Ok(LpStatus::Optimal) };
+
+            // Ratio test with Bland tie-break.
+            let mut pr: Option<usize> = None;
+            let mut best = f64::INFINITY;
+            for i in 0..self.rows.len() {
+                if !self.active[i] {
+                    continue;
+                }
+                let t = self.rows[i][pc];
+                if t > EPS {
+                    let ratio = self.rhs[i] / t;
+                    let better = ratio < best - EPS
+                        || (ratio < best + EPS
+                            && pr.is_none_or(|p| self.basis[i] < self.basis[p]));
+                    if better {
+                        best = ratio;
+                        pr = Some(i);
+                    }
+                }
+            }
+            let Some(pr) = pr else { return Ok(LpStatus::Unbounded) };
+            self.pivot(pr, pc, red);
+        }
+        Err(MipError::IterationLimit { limit: ITER_LIMIT })
+    }
+
+    fn solve(mut self, model: &Model, lb: &[f64]) -> Result<LpResult, MipError> {
+        // ---- Phase 1: minimize the artificial sum.
+        if self.first_artificial < self.ncols {
+            let mut cost = vec![0.0; self.ncols];
+            for c in cost.iter_mut().skip(self.first_artificial) {
+                *c = 1.0;
+            }
+            let mut red = self.reduced_costs(&cost);
+            match self.iterate(&mut red, self.first_artificial)? {
+                LpStatus::Unbounded => {
+                    // Phase 1 is bounded below by 0; reaching here means
+                    // numerical breakdown.
+                    return Err(MipError::IterationLimit { limit: ITER_LIMIT });
+                }
+                LpStatus::Optimal => {}
+                LpStatus::Infeasible => unreachable!("iterate never returns Infeasible"),
+            }
+            let infeas: f64 = (0..self.rows.len())
+                .filter(|&i| self.active[i] && self.basis[i] >= self.first_artificial)
+                .map(|i| self.rhs[i])
+                .sum();
+            if infeas > FEAS_TOL {
+                return Ok(LpResult {
+                    status: LpStatus::Infeasible,
+                    objective: 0.0,
+                    values: vec![],
+                });
+            }
+            // Drive remaining artificials (basic at 0) out of the basis.
+            for i in 0..self.rows.len() {
+                if !self.active[i] || self.basis[i] < self.first_artificial {
+                    continue;
+                }
+                let mut pivot_col = None;
+                for j in 0..self.first_artificial {
+                    if self.rows[i][j].abs() > 1e-7 {
+                        pivot_col = Some(j);
+                        break;
+                    }
+                }
+                match pivot_col {
+                    Some(pc) => {
+                        let mut dummy = vec![0.0; self.ncols];
+                        self.pivot(i, pc, &mut dummy);
+                    }
+                    // Row is redundant (all structural coefficients zero).
+                    None => self.active[i] = false,
+                }
+            }
+        }
+
+        // ---- Phase 2: minimize the real objective.
+        let mut cost = vec![0.0; self.ncols];
+        for &(v, coef) in &model.objective().terms {
+            match self.col_map[v.0] {
+                ColMap::Shifted { col, .. } => cost[col] += coef,
+                ColMap::Split { pos, neg } => {
+                    cost[pos] += coef;
+                    cost[neg] -= coef;
+                }
+            }
+        }
+        let mut red = self.reduced_costs(&cost);
+        match self.iterate(&mut red, self.first_artificial)? {
+            LpStatus::Unbounded => {
+                return Ok(LpResult {
+                    status: LpStatus::Unbounded,
+                    objective: f64::NEG_INFINITY,
+                    values: vec![],
+                })
+            }
+            LpStatus::Optimal => {}
+            LpStatus::Infeasible => unreachable!("iterate never returns Infeasible"),
+        }
+
+        // ---- Extract the solution in model-variable space.
+        let mut col_val = vec![0.0; self.ncols];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if self.active[i] {
+                col_val[b] = self.rhs[i];
+            }
+        }
+        let values: Vec<f64> = (0..model.var_count())
+            .map(|i| match self.col_map[i] {
+                ColMap::Shifted { col, lb: shift } => shift + col_val[col],
+                ColMap::Split { pos, neg } => col_val[pos] - col_val[neg],
+            })
+            .collect();
+        let _ = lb;
+        let objective = model.objective().eval(&values);
+        Ok(LpResult { status: LpStatus::Optimal, objective, values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Cmp;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn simple_maximization_via_negation() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → (2, 6), obj 36.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Le, 4.0);
+        m.add_constraint(m.expr(&[(y, 2.0)]), Cmp::Le, 12.0);
+        m.add_constraint(m.expr(&[(x, 3.0), (y, 2.0)]), Cmp::Le, 18.0);
+        m.set_objective(m.expr(&[(x, -3.0), (y, -5.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, -36.0);
+        assert_close(r.values[x.0], 2.0);
+        assert_close(r.values[y.0], 6.0);
+    }
+
+    #[test]
+    fn equality_and_ge_constraints() {
+        // min x + y s.t. x + 2y = 4, x + y ≥ 1, x,y ≥ 0 → y=2, x=0, obj 2.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 2.0)]), Cmp::Eq, 4.0);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Cmp::Ge, 1.0);
+        m.set_objective(m.expr(&[(x, 1.0), (y, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 2.0);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Ge, 5.0);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Le, 2.0);
+        m.set_objective(m.expr(&[(x, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        m.set_objective(m.expr(&[(x, -1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn respects_upper_bounds() {
+        // min −x with x ∈ [0, 7] → x = 7.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, 7.0);
+        m.set_objective(m.expr(&[(x, -1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.values[x.0], 7.0);
+    }
+
+    #[test]
+    fn shifted_lower_bounds() {
+        // min x with x ∈ [3, 10] → 3.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 3.0, 10.0);
+        m.set_objective(m.expr(&[(x, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_close(r.values[x.0], 3.0);
+        assert_close(r.objective, 3.0);
+    }
+
+    #[test]
+    fn free_variables_split() {
+        // min x s.t. x ≥ −5 as a constraint (variable itself free) → −5.
+        let mut m = Model::new();
+        let x = m.add_cont("x", f64::NEG_INFINITY, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0)]), Cmp::Ge, -5.0);
+        m.set_objective(m.expr(&[(x, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.values[x.0], -5.0);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Classic degeneracy: multiple redundant constraints through origin.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Cmp::Le, 0.0);
+        m.add_constraint(m.expr(&[(x, 2.0), (y, 1.0)]), Cmp::Le, 0.0);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 2.0)]), Cmp::Le, 0.0);
+        m.set_objective(m.expr(&[(x, -1.0), (y, -1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 0.0);
+    }
+
+    #[test]
+    fn redundant_equalities_survive_phase1() {
+        // x + y = 2 twice (redundant row must be dropped, not declared
+        // infeasible).
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, f64::INFINITY);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        m.add_constraint(m.expr(&[(x, 1.0), (y, 1.0)]), Cmp::Eq, 2.0);
+        m.set_objective(m.expr(&[(x, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_eq!(r.status, LpStatus::Optimal);
+        assert_close(r.objective, 0.0);
+        assert_close(r.values[y.0], 2.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // min y s.t. −x − y ≤ −3 (i.e. x + y ≥ 3), x ≤ 1 → y = 2.
+        let mut m = Model::new();
+        let x = m.add_cont("x", 0.0, 1.0);
+        let y = m.add_cont("y", 0.0, f64::INFINITY);
+        m.add_constraint(m.expr(&[(x, -1.0), (y, -1.0)]), Cmp::Le, -3.0);
+        m.set_objective(m.expr(&[(y, 1.0)]));
+        let r = solve_lp(&m).unwrap();
+        assert_close(r.objective, 2.0);
+    }
+
+    #[test]
+    fn empty_domain_bound_override_is_infeasible() {
+        let mut m = Model::new();
+        let _x = m.add_cont("x", 0.0, 1.0);
+        m.set_objective(LinExprHelper::empty());
+        let mut mm = m.clone();
+        mm.validate().unwrap();
+        let r = solve_prepared(&mm, &[2.0], &[1.0]).unwrap();
+        assert_eq!(r.status, LpStatus::Infeasible);
+    }
+
+    struct LinExprHelper;
+    impl LinExprHelper {
+        fn empty() -> crate::LinExpr {
+            crate::LinExpr::new()
+        }
+    }
+}

@@ -1,0 +1,126 @@
+use crate::{ScheduleError, SlotId};
+
+/// The slot coordinate system: `days × slots_per_day` fixed-length slots.
+///
+/// The paper's evaluation uses 0.5-hour slots (48 per day) over schedules of
+/// 1–7 days. A `TimeGrid` only defines the coordinate mapping; availability
+/// lives in [`Calendar`](crate::Calendar).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct TimeGrid {
+    days: usize,
+    slots_per_day: usize,
+}
+
+impl TimeGrid {
+    /// Half-hour granularity, as in the paper's Figure 1(e).
+    pub const HALF_HOUR_SLOTS_PER_DAY: usize = 48;
+
+    /// Build a grid; both dimensions must be non-zero.
+    pub fn new(days: usize, slots_per_day: usize) -> Result<Self, ScheduleError> {
+        if days == 0 || slots_per_day == 0 {
+            return Err(ScheduleError::EmptyGrid { days, slots_per_day });
+        }
+        Ok(TimeGrid { days, slots_per_day })
+    }
+
+    /// Convenience: `days` of half-hour slots.
+    pub fn half_hour(days: usize) -> Result<Self, ScheduleError> {
+        TimeGrid::new(days, Self::HALF_HOUR_SLOTS_PER_DAY)
+    }
+
+    /// Number of days.
+    #[inline]
+    pub fn days(&self) -> usize {
+        self.days
+    }
+
+    /// Slots per day.
+    #[inline]
+    pub fn slots_per_day(&self) -> usize {
+        self.slots_per_day
+    }
+
+    /// Total number of slots (the schedule horizon `T`).
+    #[inline]
+    pub fn horizon(&self) -> usize {
+        self.days * self.slots_per_day
+    }
+
+    /// Slot id of `(day, slot_of_day)`, both 0-based.
+    pub fn slot(&self, day: usize, slot_of_day: usize) -> Result<SlotId, ScheduleError> {
+        if day >= self.days || slot_of_day >= self.slots_per_day {
+            return Err(ScheduleError::SlotOutOfRange {
+                slot: day * self.slots_per_day + slot_of_day,
+                horizon: self.horizon(),
+            });
+        }
+        Ok(day * self.slots_per_day + slot_of_day)
+    }
+
+    /// `(day, slot_of_day)` of a slot id.
+    pub fn locate(&self, slot: SlotId) -> Result<(usize, usize), ScheduleError> {
+        if slot >= self.horizon() {
+            return Err(ScheduleError::SlotOutOfRange { slot, horizon: self.horizon() });
+        }
+        Ok((slot / self.slots_per_day, slot % self.slots_per_day))
+    }
+
+    /// Human-readable label like `day2 13:30` (assuming half-hour slots
+    /// starting at midnight; for other granularities prints the raw index).
+    pub fn label(&self, slot: SlotId) -> String {
+        match self.locate(slot) {
+            Ok((day, sod)) if self.slots_per_day == Self::HALF_HOUR_SLOTS_PER_DAY => {
+                format!("day{} {:02}:{:02}", day + 1, sod / 2, (sod % 2) * 30)
+            }
+            Ok((day, sod)) => format!("day{} slot{}", day + 1, sod + 1),
+            Err(_) => format!("ts{}(out-of-range)", slot + 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(TimeGrid::new(0, 48).is_err());
+        assert!(TimeGrid::new(7, 0).is_err());
+        let g = TimeGrid::half_hour(7).unwrap();
+        assert_eq!(g.horizon(), 336);
+        assert_eq!(g.days(), 7);
+        assert_eq!(g.slots_per_day(), 48);
+    }
+
+    #[test]
+    fn slot_locate_roundtrip() {
+        let g = TimeGrid::new(3, 10).unwrap();
+        for day in 0..3 {
+            for sod in 0..10 {
+                let s = g.slot(day, sod).unwrap();
+                assert_eq!(g.locate(s).unwrap(), (day, sod));
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let g = TimeGrid::new(2, 4).unwrap();
+        assert!(g.slot(2, 0).is_err());
+        assert!(g.slot(0, 4).is_err());
+        assert!(g.locate(8).is_err());
+        assert!(g.locate(7).is_ok());
+    }
+
+    #[test]
+    fn labels() {
+        let g = TimeGrid::half_hour(2).unwrap();
+        assert_eq!(g.label(0), "day1 00:00");
+        assert_eq!(g.label(19), "day1 09:30");
+        assert_eq!(g.label(48 + 27), "day2 13:30");
+        let g2 = TimeGrid::new(2, 6).unwrap();
+        assert_eq!(g2.label(7), "day2 slot2");
+        assert!(g2.label(99).contains("out-of-range"));
+    }
+}

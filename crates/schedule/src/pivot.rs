@@ -1,0 +1,133 @@
+//! Pivot time slots (Lemma 4).
+//!
+//! For an activity length of `m` slots, the *pivot* slots are those with
+//! 1-based id `i·m` (`i = 1, 2, …`), i.e. 0-based indices `m−1, 2m−1, …`.
+//! Lemma 4 shows every feasible `m`-slot activity period contains **exactly
+//! one** pivot, and the optimal period for pivot `π` lies inside the
+//! interval `[π−(m−1), π+(m−1)]` (0-based; the paper's
+//! `[(i−1)m+1, (i+1)m−1]` 1-based). STGSelect therefore anchors one search
+//! per pivot instead of one per window start — the source of its speedup
+//! over the sequential baseline.
+
+use crate::{SlotId, SlotRange};
+
+/// Iterator over the pivot slots for activity length `m` within `horizon`.
+///
+/// Yields `m−1, 2m−1, …` while `< horizon`. Empty when `m == 0` or
+/// `m > horizon`.
+pub fn pivot_slots(horizon: usize, m: usize) -> impl Iterator<Item = SlotId> {
+    let first = m.wrapping_sub(1); // m == 0 yields usize::MAX → empty below
+    (0..)
+        .map(move |i: usize| first + i * m.max(1))
+        .take_while(move |&s| m > 0 && s < horizon)
+}
+
+/// The `2m−1`-slot interval owned by pivot `pivot` (0-based), clamped to the
+/// horizon: `[pivot−(m−1), pivot+(m−1)] ∩ [0, horizon−1]`.
+///
+/// # Panics
+/// Panics if `m == 0` or `pivot >= horizon`.
+pub fn pivot_interval(pivot: SlotId, m: usize, horizon: usize) -> SlotRange {
+    assert!(m > 0, "activity length must be positive");
+    assert!(pivot < horizon, "pivot {pivot} outside horizon {horizon}");
+    let lo = pivot.saturating_sub(m - 1);
+    let hi = (pivot + (m - 1)).min(horizon - 1);
+    SlotRange::new(lo, hi)
+}
+
+/// The pivot contained in the window `[start, start+m−1]`.
+///
+/// By Lemma 4 every `m`-window contains exactly one pivot; this returns it
+/// directly: the unique slot `≡ m−1 (mod m)` in the window.
+pub fn pivot_of_window(start: SlotId, m: usize) -> SlotId {
+    assert!(m > 0, "activity length must be positive");
+    // smallest slot >= start that is ≡ m-1 (mod m)
+    let offset = (m - 1 + m - start % m) % m;
+    start + offset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pivots_for_m3() {
+        // Paper's Example 3: m=3 over ts1..ts7 (horizon 7) → pivots ts3, ts6
+        // i.e. 0-based slots 2 and 5.
+        let p: Vec<_> = pivot_slots(7, 3).collect();
+        assert_eq!(p, vec![2, 5]);
+    }
+
+    #[test]
+    fn pivots_for_m1_are_every_slot() {
+        let p: Vec<_> = pivot_slots(4, 1).collect();
+        assert_eq!(p, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn degenerate_inputs_yield_no_pivots() {
+        assert_eq!(pivot_slots(5, 0).count(), 0);
+        assert_eq!(pivot_slots(0, 3).count(), 0);
+        assert_eq!(pivot_slots(2, 3).count(), 0, "m larger than horizon");
+    }
+
+    #[test]
+    fn interval_matches_paper() {
+        // pivot ts3 (0-based 2), m=3 → interval [ts1, ts5] = [0, 4].
+        assert_eq!(pivot_interval(2, 3, 7), SlotRange::new(0, 4));
+        // pivot ts6 (0-based 5), m=3, horizon 7 → [ts4, ts7] = [3, 6]
+        // (clamped at the horizon; unclamped would be [3, 7]).
+        assert_eq!(pivot_interval(5, 3, 7), SlotRange::new(3, 6));
+        // m=1: interval is just the pivot itself.
+        assert_eq!(pivot_interval(4, 1, 10), SlotRange::new(4, 4));
+    }
+
+    #[test]
+    fn window_pivot_examples() {
+        // m=3: window [0,2] → pivot 2; [1,3] → 2; [2,4] → 2; [3,5] → 5.
+        assert_eq!(pivot_of_window(0, 3), 2);
+        assert_eq!(pivot_of_window(1, 3), 2);
+        assert_eq!(pivot_of_window(2, 3), 2);
+        assert_eq!(pivot_of_window(3, 3), 5);
+    }
+
+    proptest! {
+        /// Lemma 4: every m-window contains exactly one pivot, and it is
+        /// `pivot_of_window`.
+        #[test]
+        fn every_window_has_exactly_one_pivot(m in 1usize..12, start in 0usize..200) {
+            let horizon = start + m + 2 * m; // enough to include the window
+            let pivots: Vec<_> = pivot_slots(horizon, m).collect();
+            let inside: Vec<_> = pivots
+                .iter()
+                .copied()
+                .filter(|&p| start <= p && p < start + m)
+                .collect();
+            prop_assert_eq!(inside.len(), 1, "window [{}, {}]", start, start + m - 1);
+            prop_assert_eq!(inside[0], pivot_of_window(start, m));
+        }
+
+        /// Every window lies inside its pivot's interval.
+        #[test]
+        fn window_within_pivot_interval(m in 1usize..12, start in 0usize..200) {
+            let horizon = start + 3 * m;
+            let pivot = pivot_of_window(start, m);
+            let interval = pivot_interval(pivot, m, horizon);
+            prop_assert!(interval.contains(start));
+            prop_assert!(interval.contains(start + m - 1));
+        }
+
+        /// Consecutive pivots are exactly m apart.
+        #[test]
+        fn pivot_spacing(m in 1usize..15, horizon in 1usize..300) {
+            let p: Vec<_> = pivot_slots(horizon, m).collect();
+            for w in p.windows(2) {
+                prop_assert_eq!(w[1] - w[0], m);
+            }
+            if let Some(&first) = p.first() {
+                prop_assert_eq!(first, m - 1);
+            }
+        }
+    }
+}

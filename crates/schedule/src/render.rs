@@ -1,0 +1,65 @@
+use crate::Calendar;
+
+/// Render a set of schedules as the paper's "circle table" (Figure 2(c)):
+/// one row per person, `O` for available, `.` for busy, with 1-based
+/// `ts` column headers. Intended for examples and debugging output.
+///
+/// ```
+/// use stgq_schedule::{Calendar, render_schedules};
+/// let a = Calendar::from_slots(4, [1, 2]);
+/// let b = Calendar::from_slots(4, [0, 1]);
+/// let table = render_schedules(&[("alice", &a), ("bob", &b)]);
+/// assert!(table.contains("alice"));
+/// assert!(table.contains("ts1"));
+/// ```
+pub fn render_schedules(rows: &[(&str, &Calendar)]) -> String {
+    let horizon = rows.iter().map(|(_, c)| c.horizon()).max().unwrap_or(0);
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(4).max(4);
+    let col_w = format!("ts{horizon}").len().max(3);
+
+    let mut out = String::new();
+    out.push_str(&format!("{:name_w$} ", ""));
+    for t in 1..=horizon {
+        out.push_str(&format!("{:>col_w$} ", format!("ts{t}")));
+    }
+    out.push('\n');
+    for (name, cal) in rows {
+        out.push_str(&format!("{name:name_w$} "));
+        for t in 0..horizon {
+            let mark = if t < cal.horizon() && cal.is_available(t) { "O" } else { "." };
+            out.push_str(&format!("{mark:>col_w$} "));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_marks_in_slot_order() {
+        let a = Calendar::from_slots(3, [0, 2]);
+        let s = render_schedules(&[("p", &a)]);
+        let row = s.lines().nth(1).unwrap();
+        let marks: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(marks, vec!["p", "O", ".", "O"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(render_schedules(&[]).lines().count(), 1);
+    }
+
+    #[test]
+    fn handles_mixed_horizons() {
+        let a = Calendar::all_available(2);
+        let b = Calendar::all_available(4);
+        let s = render_schedules(&[("a", &a), ("b", &b)]);
+        assert!(s.contains("ts4"));
+        // "a" shows busy for slots beyond its horizon rather than panicking.
+        let row_a = s.lines().nth(1).unwrap();
+        assert_eq!(row_a.split_whitespace().count(), 5);
+    }
+}

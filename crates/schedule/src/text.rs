@@ -1,0 +1,238 @@
+//! Compact text format for calendars.
+//!
+//! One calendar is a string over `{X, .}` — `X` available, `.` busy —
+//! matching the circle-marks of the paper's Figure 2(c)/3(c) schedule
+//! tables. A roster of calendars is a line-oriented document:
+//!
+//! ```text
+//! # any comment
+//! 0 XX..XXX
+//! 1 .XXXX..
+//! ```
+//!
+//! Every row carries a 0-based person id and a mask whose length is the
+//! shared horizon. [`render_schedules`](crate::render_schedules) stays the
+//! human-facing pretty printer; this format is the machine-facing one.
+
+use std::io::BufRead;
+
+use crate::{Calendar, ScheduleError};
+
+/// Render one calendar as an `X`/`.` mask.
+pub fn calendar_to_mask(cal: &Calendar) -> String {
+    (0..cal.horizon()).map(|s| if cal.is_available(s) { 'X' } else { '.' }).collect()
+}
+
+/// Parse an `X`/`.` mask into a calendar (`x` is accepted too).
+pub fn calendar_from_mask(mask: &str) -> Result<Calendar, ScheduleError> {
+    let horizon = mask.chars().count();
+    let mut cal = Calendar::new(horizon);
+    for (i, ch) in mask.chars().enumerate() {
+        match ch {
+            'X' | 'x' => cal.set_available(i, true),
+            '.' => {}
+            other => {
+                // Report the first bad position through the existing error
+                // vocabulary: the offending column, not a new error type.
+                let _ = other;
+                return Err(ScheduleError::SlotOutOfRange { slot: i, horizon });
+            }
+        }
+    }
+    Ok(cal)
+}
+
+/// Errors from [`read_roster`].
+#[derive(Debug)]
+pub enum RosterError {
+    /// The underlying reader failed.
+    Io(std::io::Error),
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for RosterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RosterError::Io(e) => write!(f, "I/O error: {e}"),
+            RosterError::Parse { line, reason } => {
+                write!(f, "parse error on line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RosterError {}
+
+impl From<std::io::Error> for RosterError {
+    fn from(e: std::io::Error) -> Self {
+        RosterError::Io(e)
+    }
+}
+
+/// Render a roster: one `<person-id> <mask>` line per calendar.
+pub fn write_roster(calendars: &[Calendar]) -> String {
+    let mut out = String::new();
+    for (i, cal) in calendars.iter().enumerate() {
+        out.push_str(&i.to_string());
+        out.push(' ');
+        out.push_str(&calendar_to_mask(cal));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a roster document. Rows may arrive in any order but must cover
+/// ids `0..n` exactly once and agree on the horizon.
+pub fn read_roster<R: BufRead>(reader: R) -> Result<Vec<Calendar>, RosterError> {
+    let parse = |line: usize, reason: String| RosterError::Parse { line, reason };
+    let mut rows: Vec<(usize, Calendar)> = Vec::new();
+    let mut horizon: Option<usize> = None;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let id: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| parse(lineno, "row must start with a person id".into()))?;
+        let mask = parts
+            .next()
+            .ok_or_else(|| parse(lineno, "row is missing its availability mask".into()))?;
+        if parts.next().is_some() {
+            return Err(parse(lineno, "unexpected trailing tokens".into()));
+        }
+        let cal = calendar_from_mask(mask).map_err(|e| match e {
+            ScheduleError::SlotOutOfRange { slot, .. } => {
+                parse(lineno, format!("bad mask character at column {slot} (want X or .)"))
+            }
+            other => parse(lineno, other.to_string()),
+        })?;
+        match horizon {
+            None => horizon = Some(cal.horizon()),
+            Some(h) if h != cal.horizon() => {
+                return Err(parse(
+                    lineno,
+                    format!("mask length {} disagrees with horizon {h}", cal.horizon()),
+                ));
+            }
+            Some(_) => {}
+        }
+        rows.push((id, cal));
+    }
+
+    let n = rows.len();
+    let mut out: Vec<Option<Calendar>> = vec![None; n];
+    for (id, cal) in rows {
+        let slot = out.get_mut(id).ok_or_else(|| {
+            parse(0, format!("person id {id} out of range for {n} rows"))
+        })?;
+        if slot.is_some() {
+            return Err(parse(0, format!("person id {id} appears twice")));
+        }
+        *slot = Some(cal);
+    }
+    Ok(out.into_iter().map(|c| c.expect("all ids covered exactly once")).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mask_roundtrip() {
+        let cal = Calendar::from_slots(7, [1, 2, 4, 5]);
+        let mask = calendar_to_mask(&cal);
+        assert_eq!(mask, ".XX.XX.");
+        let back = calendar_from_mask(&mask).unwrap();
+        assert_eq!(calendar_to_mask(&back), mask);
+    }
+
+    #[test]
+    fn lowercase_x_is_accepted() {
+        let cal = calendar_from_mask("x.X").unwrap();
+        assert!(cal.is_available(0));
+        assert!(!cal.is_available(1));
+        assert!(cal.is_available(2));
+    }
+
+    #[test]
+    fn bad_characters_are_located() {
+        let err = calendar_from_mask("XX?X").unwrap_err();
+        assert!(matches!(err, ScheduleError::SlotOutOfRange { slot: 2, .. }));
+    }
+
+    #[test]
+    fn roster_roundtrip_any_order() {
+        let cals =
+            vec![Calendar::from_slots(5, [0, 1]), Calendar::from_slots(5, [4]), Calendar::new(5)];
+        let text = write_roster(&cals);
+        // Shuffle the lines and add noise.
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.reverse();
+        let noisy = format!("# roster\n\n{}\n", lines.join("\n"));
+        let back = read_roster(noisy.as_bytes()).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in cals.iter().zip(&back) {
+            assert_eq!(calendar_to_mask(a), calendar_to_mask(b));
+        }
+    }
+
+    #[test]
+    fn duplicate_and_out_of_range_ids_are_rejected() {
+        assert!(read_roster("0 X\n0 .\n".as_bytes()).unwrap_err().to_string().contains("twice"));
+        assert!(read_roster("5 X\n".as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("out of range"));
+    }
+
+    #[test]
+    fn horizon_mismatch_is_rejected() {
+        let err = read_roster("0 XX\n1 XXX\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("disagrees"));
+    }
+
+    #[test]
+    fn empty_roster_is_fine() {
+        assert!(read_roster("# nothing\n".as_bytes()).unwrap().is_empty());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// write → read is the identity on any roster.
+        #[test]
+        fn roster_roundtrip(rows in proptest::collection::vec(
+            proptest::collection::vec(proptest::bool::ANY, 9),
+            0..8,
+        )) {
+            let cals: Vec<Calendar> = rows
+                .iter()
+                .map(|bits| {
+                    let mut c = Calendar::new(bits.len());
+                    for (i, &b) in bits.iter().enumerate() {
+                        c.set_available(i, b);
+                    }
+                    c
+                })
+                .collect();
+            let back = read_roster(write_roster(&cals).as_bytes()).unwrap();
+            prop_assert_eq!(cals.len(), back.len());
+            for (a, b) in cals.iter().zip(&back) {
+                prop_assert_eq!(calendar_to_mask(a), calendar_to_mask(b));
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Version-stamped caches for snapshots and feasible graphs.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use stgq_graph::FeasibleGraph;
+
+/// A bounded FIFO cache of feasible graphs keyed by `(initiator, s)`,
+/// each entry stamped with the network version it was built from.
+///
+/// Radius-graph extraction (§3.2.1) is the per-query fixed cost every
+/// engine pays; for a service handling repeated queries from the same
+/// initiators it is also the most cacheable: the feasible graph depends
+/// only on the social graph, never on calendars, `p`, `k` or `m`.
+#[derive(Debug)]
+pub(crate) struct FeasibleCache {
+    entries: HashMap<(u32, usize), Entry>,
+    insertion_order: VecDeque<(u32, usize)>,
+    capacity: usize,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    version: u64,
+    fg: Arc<FeasibleGraph>,
+}
+
+impl FeasibleCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FeasibleCache {
+            entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `(initiator, s)` at `version`; stale entries miss (and are
+    /// evicted on replacement).
+    pub(crate) fn get(
+        &mut self,
+        initiator: u32,
+        s: usize,
+        version: u64,
+    ) -> Option<Arc<FeasibleGraph>> {
+        match self.entries.get(&(initiator, s)) {
+            Some(e) if e.version == version => {
+                self.hits += 1;
+                Some(Arc::clone(&e.fg))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly-built graph, evicting the oldest entry at capacity.
+    pub(crate) fn put(
+        &mut self,
+        initiator: u32,
+        s: usize,
+        version: u64,
+        fg: Arc<FeasibleGraph>,
+    ) {
+        let key = (initiator, s);
+        if self.entries.insert(key, Entry { version, fg }).is_none() {
+            self.insertion_order.push_back(key);
+            if self.insertion_order.len() > self.capacity {
+                if let Some(oldest) = self.insertion_order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::{GraphBuilder, NodeId};
+
+    fn fg() -> Arc<FeasibleGraph> {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        Arc::new(FeasibleGraph::extract(&b.build(), NodeId(0), 1))
+    }
+
+    #[test]
+    fn hit_requires_matching_version() {
+        let mut c = FeasibleCache::new(4);
+        c.put(0, 1, 7, fg());
+        assert!(c.get(0, 1, 7).is_some());
+        assert!(c.get(0, 1, 8).is_none(), "stale version must miss");
+        assert!(c.get(1, 1, 7).is_none(), "different initiator must miss");
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_key() {
+        let mut c = FeasibleCache::new(2);
+        c.put(0, 1, 1, fg());
+        c.put(1, 1, 1, fg());
+        c.put(2, 1, 1, fg());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, 1, 1).is_none(), "oldest key evicted");
+        assert!(c.get(2, 1, 1).is_some());
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow_the_order_queue() {
+        let mut c = FeasibleCache::new(2);
+        for version in 0..10 {
+            c.put(0, 1, version, fg());
+        }
+        c.put(1, 1, 0, fg());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, 1, 9).is_some());
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-person availability storage with a shared horizon.
+
+use stgq_schedule::{Calendar, SlotRange};
+
+use crate::ServiceError;
+
+/// Calendars for every registered person over one slot horizon.
+///
+/// The store grows in lock-step with the network (the planner calls
+/// [`ensure_people`](Self::ensure_people) after registrations); new people
+/// start fully **unavailable**, mirroring the paper's model where the
+/// system only knows the slots users have shared. Calendar mutations bump
+/// a version of their own so STGQ answers can be cache-stamped, but they
+/// never touch the graph caches.
+#[derive(Clone, Debug)]
+pub struct CalendarStore {
+    cals: Vec<Calendar>,
+    horizon: usize,
+    version: u64,
+}
+
+impl CalendarStore {
+    /// An empty store over `horizon` slots.
+    pub fn new(horizon: usize) -> Self {
+        CalendarStore { cals: Vec::new(), horizon, version: 0 }
+    }
+
+    /// The shared slot horizon.
+    pub fn horizon(&self) -> usize {
+        self.horizon
+    }
+
+    /// Monotone counter bumped by every availability mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Number of calendars held.
+    pub fn len(&self) -> usize {
+        self.cals.len()
+    }
+
+    /// Whether the store holds no calendars yet.
+    pub fn is_empty(&self) -> bool {
+        self.cals.is_empty()
+    }
+
+    /// Grow to `count` calendars (new ones fully unavailable). Never
+    /// shrinks — person ids are stable.
+    pub fn ensure_people(&mut self, count: usize) {
+        while self.cals.len() < count {
+            self.cals.push(Calendar::new(self.horizon));
+        }
+    }
+
+    fn check_slot(&self, slot: usize) -> Result<(), ServiceError> {
+        if slot >= self.horizon {
+            return Err(ServiceError::SlotOutOfRange { slot, horizon: self.horizon });
+        }
+        Ok(())
+    }
+
+    /// Mark one slot (un)available for `person` (index pre-validated by
+    /// the planner).
+    pub fn set_slot(
+        &mut self,
+        person: usize,
+        slot: usize,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.check_slot(slot)?;
+        self.cals[person].set_available(slot, available);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Mark a whole range (un)available for `person`.
+    pub fn set_range(
+        &mut self,
+        person: usize,
+        range: SlotRange,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.check_slot(range.lo)?;
+        self.check_slot(range.hi)?;
+        self.cals[person].set_range(range, available);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Replace one person's calendar wholesale (horizon must match).
+    pub fn replace(&mut self, person: usize, calendar: Calendar) -> Result<(), ServiceError> {
+        if calendar.horizon() != self.horizon {
+            return Err(ServiceError::SlotOutOfRange {
+                slot: calendar.horizon(),
+                horizon: self.horizon,
+            });
+        }
+        self.cals[person] = calendar;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Read one calendar.
+    pub fn calendar(&self, person: usize) -> &Calendar {
+        &self.cals[person]
+    }
+
+    /// All calendars, indexed by person id — the exact slice the STGQ
+    /// engines take.
+    pub fn calendars(&self) -> &[Calendar] {
+        &self.cals
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grows_with_unavailable_defaults() {
+        let mut store = CalendarStore::new(10);
+        store.ensure_people(3);
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.calendar(0).count_available(), 0);
+        store.ensure_people(2);
+        assert_eq!(store.len(), 3, "never shrinks");
+    }
+
+    #[test]
+    fn slot_and_range_updates() {
+        let mut store = CalendarStore::new(10);
+        store.ensure_people(1);
+        store.set_slot(0, 4, true).unwrap();
+        store.set_range(0, SlotRange::new(6, 8), true).unwrap();
+        let c = store.calendar(0);
+        assert!(c.is_available(4));
+        assert!(c.is_available(7));
+        assert!(!c.is_available(5));
+        store.set_slot(0, 4, false).unwrap();
+        assert!(!store.calendar(0).is_available(4));
+    }
+
+    #[test]
+    fn out_of_range_slots_error() {
+        let mut store = CalendarStore::new(5);
+        store.ensure_people(1);
+        assert!(matches!(
+            store.set_slot(0, 5, true),
+            Err(ServiceError::SlotOutOfRange { .. })
+        ));
+        assert!(matches!(
+            store.set_range(0, SlotRange::new(3, 7), true),
+            Err(ServiceError::SlotOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn replace_validates_horizon() {
+        let mut store = CalendarStore::new(5);
+        store.ensure_people(1);
+        assert!(store.replace(0, Calendar::all_available(5)).is_ok());
+        assert_eq!(store.calendar(0).count_available(), 5);
+        assert!(store.replace(0, Calendar::all_available(6)).is_err());
+    }
+
+    #[test]
+    fn versions_track_mutations() {
+        let mut store = CalendarStore::new(5);
+        store.ensure_people(1);
+        let v0 = store.version();
+        store.set_slot(0, 1, true).unwrap();
+        assert!(store.version() > v0);
+        let v1 = store.version();
+        let _ = store.calendar(0);
+        assert_eq!(store.version(), v1);
+    }
+}

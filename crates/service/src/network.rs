@@ -1,0 +1,263 @@
+//! The mutable social network behind the planner.
+
+use std::collections::BTreeMap;
+
+use stgq_graph::{Dist, GraphBuilder, NodeId, SocialGraph};
+
+use crate::ServiceError;
+
+/// An updatable, undirected, weighted social network.
+///
+/// People keep their [`NodeId`] for the service's lifetime — removing a
+/// person tombstones the id (clearing its edges) rather than re-indexing,
+/// so calendars and cached results never need to be re-keyed. Every
+/// mutation that can change a query answer bumps [`version`](Self::version),
+/// which the planner's caches key on.
+#[derive(Clone, Debug, Default)]
+pub struct MutableNetwork {
+    /// Adjacency maps: `adj[v][u] = distance`. Symmetric by construction.
+    adj: Vec<BTreeMap<u32, Dist>>,
+    labels: Vec<String>,
+    active: Vec<bool>,
+    edge_count: usize,
+    version: u64,
+}
+
+impl MutableNetwork {
+    /// An empty network.
+    pub fn new() -> Self {
+        MutableNetwork::default()
+    }
+
+    /// Register a new person; the returned id is stable forever.
+    pub fn add_person(&mut self, label: impl Into<String>) -> NodeId {
+        let id = NodeId(self.adj.len() as u32);
+        self.adj.push(BTreeMap::new());
+        self.labels.push(label.into());
+        self.active.push(true);
+        self.version += 1;
+        id
+    }
+
+    /// Total ids ever issued (tombstoned people included).
+    pub fn person_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// People currently active.
+    pub fn active_count(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Current friendship count.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Monotone counter bumped by every mutation.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The label given at registration.
+    pub fn label(&self, person: NodeId) -> Option<&str> {
+        self.labels.get(person.index()).map(String::as_str)
+    }
+
+    /// Whether `person` exists and has not been removed.
+    pub fn is_active(&self, person: NodeId) -> bool {
+        self.active.get(person.index()).copied().unwrap_or(false)
+    }
+
+    /// Validate that `person` exists and is active.
+    pub fn check_person(&self, person: NodeId) -> Result<(), ServiceError> {
+        if person.index() >= self.adj.len() {
+            return Err(ServiceError::UnknownPerson {
+                person,
+                person_count: self.adj.len(),
+            });
+        }
+        if !self.active[person.index()] {
+            return Err(ServiceError::RemovedPerson { person });
+        }
+        Ok(())
+    }
+
+    /// Create or re-weight the friendship between `a` and `b`.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, distance: Dist) -> Result<(), ServiceError> {
+        self.check_person(a)?;
+        self.check_person(b)?;
+        if a == b {
+            return Err(ServiceError::SelfFriendship { person: a });
+        }
+        if distance == 0 {
+            return Err(ServiceError::ZeroDistance { a, b });
+        }
+        let fresh = self.adj[a.index()].insert(b.0, distance).is_none();
+        self.adj[b.index()].insert(a.0, distance);
+        if fresh {
+            self.edge_count += 1;
+        }
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Remove the friendship between `a` and `b`; reports whether it existed.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> Result<bool, ServiceError> {
+        self.check_person(a)?;
+        self.check_person(b)?;
+        let existed = self.adj[a.index()].remove(&b.0).is_some();
+        self.adj[b.index()].remove(&a.0);
+        if existed {
+            self.edge_count -= 1;
+            self.version += 1;
+        }
+        Ok(existed)
+    }
+
+    /// Tombstone a person: all their friendships disappear, their id stays.
+    pub fn remove_person(&mut self, person: NodeId) -> Result<(), ServiceError> {
+        self.check_person(person)?;
+        let neighbors: Vec<u32> = self.adj[person.index()].keys().copied().collect();
+        for nb in neighbors {
+            self.adj[nb as usize].remove(&person.0);
+            self.edge_count -= 1;
+        }
+        self.adj[person.index()].clear();
+        self.active[person.index()] = false;
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Current social distance between `a` and `b`, if they are friends.
+    pub fn distance(&self, a: NodeId, b: NodeId) -> Option<Dist> {
+        self.adj.get(a.index())?.get(&b.0).copied()
+    }
+
+    /// Number of friends of `person` (0 for tombstoned or unknown ids).
+    pub fn degree(&self, person: NodeId) -> usize {
+        self.adj.get(person.index()).map_or(0, BTreeMap::len)
+    }
+
+    /// Freeze the current state into the immutable CSR form the query
+    /// engines consume. Ids are preserved; tombstoned people become
+    /// isolated vertices (no query can ever select them since every
+    /// candidate needs a path to the initiator).
+    pub fn snapshot(&self) -> SocialGraph {
+        let mut b = GraphBuilder::new(self.adj.len());
+        b.set_labels(self.labels.clone());
+        for (v, row) in self.adj.iter().enumerate() {
+            for (&u, &w) in row {
+                if (v as u32) < u {
+                    b.add_edge(NodeId(v as u32), NodeId(u), w)
+                        .expect("network invariants guarantee valid edges");
+                }
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_people() -> (MutableNetwork, NodeId, NodeId, NodeId) {
+        let mut net = MutableNetwork::new();
+        let a = net.add_person("a");
+        let b = net.add_person("b");
+        let c = net.add_person("c");
+        (net, a, b, c)
+    }
+
+    #[test]
+    fn connect_and_query_roundtrip() {
+        let (mut net, a, b, c) = three_people();
+        net.connect(a, b, 5).unwrap();
+        net.connect(b, c, 7).unwrap();
+        assert_eq!(net.distance(a, b), Some(5));
+        assert_eq!(net.distance(b, a), Some(5));
+        assert_eq!(net.distance(a, c), None);
+        assert_eq!(net.edge_count(), 2);
+        assert_eq!(net.degree(b), 2);
+    }
+
+    #[test]
+    fn reconnect_updates_weight_without_duplicating() {
+        let (mut net, a, b, _) = three_people();
+        net.connect(a, b, 5).unwrap();
+        net.connect(a, b, 9).unwrap();
+        assert_eq!(net.distance(a, b), Some(9));
+        assert_eq!(net.edge_count(), 1);
+    }
+
+    #[test]
+    fn disconnect_reports_prior_existence() {
+        let (mut net, a, b, c) = three_people();
+        net.connect(a, b, 5).unwrap();
+        assert!(net.disconnect(a, b).unwrap());
+        assert!(!net.disconnect(a, c).unwrap());
+        assert_eq!(net.edge_count(), 0);
+    }
+
+    #[test]
+    fn versions_bump_on_mutation_only() {
+        let (mut net, a, b, _) = three_people();
+        let v0 = net.version();
+        net.connect(a, b, 5).unwrap();
+        let v1 = net.version();
+        assert!(v1 > v0);
+        let _ = net.distance(a, b);
+        let _ = net.snapshot();
+        assert_eq!(net.version(), v1, "reads must not invalidate caches");
+        // A no-op disconnect does not bump either.
+        let (x, y) = (NodeId(0), NodeId(2));
+        assert!(!net.disconnect(x, y).unwrap());
+        assert_eq!(net.version(), v1);
+    }
+
+    #[test]
+    fn remove_person_tombstones_and_clears_edges() {
+        let (mut net, a, b, c) = three_people();
+        net.connect(a, b, 5).unwrap();
+        net.connect(b, c, 7).unwrap();
+        net.remove_person(b).unwrap();
+        assert!(!net.is_active(b));
+        assert_eq!(net.edge_count(), 0);
+        assert_eq!(net.degree(a), 0);
+        assert_eq!(net.person_count(), 3, "ids are never re-issued");
+        assert_eq!(net.active_count(), 2);
+        assert!(matches!(
+            net.connect(a, b, 1),
+            Err(ServiceError::RemovedPerson { .. })
+        ));
+    }
+
+    #[test]
+    fn input_validation() {
+        let (mut net, a, _, _) = three_people();
+        assert!(matches!(
+            net.connect(a, NodeId(99), 1),
+            Err(ServiceError::UnknownPerson { .. })
+        ));
+        assert!(matches!(net.connect(a, a, 1), Err(ServiceError::SelfFriendship { .. })));
+        assert!(matches!(
+            net.connect(a, NodeId(1), 0),
+            Err(ServiceError::ZeroDistance { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_matches_network_state() {
+        let (mut net, a, b, c) = three_people();
+        net.connect(a, b, 5).unwrap();
+        net.connect(b, c, 7).unwrap();
+        net.remove_person(c).unwrap();
+        let g = net.snapshot();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.edge_weight(a, b), Some(5));
+        assert_eq!(g.degree(c), 0);
+        assert_eq!(g.label(a), "a");
+    }
+}

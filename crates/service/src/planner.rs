@@ -1,0 +1,615 @@
+//! The query front end: caching, engine dispatch, provenance.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use stgq_core::heuristics::{
+    greedy_sgq_on, greedy_stgq_on, local_search_sgq_on, local_search_stgq_on,
+};
+use stgq_core::{
+    solve_sgq_on, solve_sgq_parallel_on, solve_stgq_on, solve_stgq_parallel_on, SearchStats,
+    SelectConfig, SgqQuery, SgqSolution, StgqQuery, StgqSolution,
+};
+use stgq_graph::{Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_schedule::{Calendar, SlotRange};
+
+use crate::cache::FeasibleCache;
+use crate::{CalendarStore, MutableNetwork, ServiceError};
+
+/// Which solver answers a planning query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// Sequential SGSelect / STGSelect — proven optimal.
+    Exact,
+    /// Parallel SGSelect / STGSelect — proven optimal, `threads` workers
+    /// (`0` = all cores).
+    ExactParallel {
+        /// Worker count; `0` means all available parallelism.
+        threads: usize,
+    },
+    /// Budgeted SGSelect / STGSelect: returns the incumbent after at most
+    /// `frame_budget` search frames. The report's `exact` flag tells
+    /// whether the search actually finished.
+    Anytime {
+        /// Maximum search frames before returning the incumbent.
+        frame_budget: u64,
+    },
+    /// Greedy construction with restarts — fast, feasible, no optimality
+    /// guarantee.
+    Greedy {
+        /// Forced-first-pick restarts (1 = plain greedy).
+        restarts: usize,
+    },
+    /// Greedy plus first-improvement swap descent.
+    LocalSearch {
+        /// Forced-first-pick restarts.
+        restarts: usize,
+        /// Improvement sweeps.
+        passes: usize,
+    },
+}
+
+/// Answer to an SGQ planning request, with provenance.
+#[derive(Clone, Debug)]
+pub struct SgqReport {
+    /// The group found, `None` if the engine found none (for exact engines
+    /// this proves infeasibility; for heuristics it does not).
+    pub solution: Option<SgqSolution>,
+    /// Search counters (exact engines only).
+    pub stats: Option<SearchStats>,
+    /// Feasibility evaluations (heuristic engines only).
+    pub evaluations: Option<u64>,
+    /// Whether the answer is proven optimal / proven infeasible.
+    pub exact: bool,
+    /// The engine that produced it.
+    pub engine: Engine,
+    /// Wall-clock time inside the engine (excludes cache work).
+    pub elapsed: Duration,
+    /// Whether the feasible graph came from the cache.
+    pub feasible_cache_hit: bool,
+}
+
+/// Answer to an STGQ planning request, with provenance.
+#[derive(Clone, Debug)]
+pub struct StgqReport {
+    /// The (group, period) found, `None` if the engine found none.
+    pub solution: Option<StgqSolution>,
+    /// Search counters (exact engines only).
+    pub stats: Option<SearchStats>,
+    /// Feasibility evaluations (heuristic engines only).
+    pub evaluations: Option<u64>,
+    /// Whether the answer is proven optimal / proven infeasible.
+    pub exact: bool,
+    /// The engine that produced it.
+    pub engine: Engine,
+    /// Wall-clock time inside the engine (excludes cache work).
+    pub elapsed: Duration,
+    /// Whether the feasible graph came from the cache.
+    pub feasible_cache_hit: bool,
+}
+
+/// Point-in-time view of the service counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Planning queries served.
+    pub queries: u64,
+    /// Mutations applied (network + calendar).
+    pub mutations: u64,
+    /// Feasible-graph cache hits.
+    pub feasible_cache_hits: u64,
+    /// Feasible-graph cache misses (each triggered an extraction).
+    pub feasible_cache_misses: u64,
+    /// CSR snapshot rebuilds.
+    pub snapshot_rebuilds: u64,
+    /// Feasible graphs currently cached.
+    pub cached_feasible_graphs: usize,
+}
+
+/// A long-lived activity-planning service instance.
+///
+/// Mutations take `&mut self`; planning queries take `&self` (their
+/// caching is interior), so a read-write lock around the whole planner —
+/// see [`crate::SharedPlanner`] — gives concurrent queries for free.
+pub struct Planner {
+    network: MutableNetwork,
+    calendars: CalendarStore,
+    cfg: SelectConfig,
+    snapshot: Mutex<Option<(u64, Arc<SocialGraph>)>>,
+    fg_cache: Mutex<FeasibleCache>,
+    queries: AtomicU64,
+    mutations: AtomicU64,
+    snapshot_rebuilds: AtomicU64,
+}
+
+/// Default bound on distinct `(initiator, s)` feasible graphs kept.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+impl Planner {
+    /// A fresh service over `horizon` time slots, with the paper's default
+    /// engine configuration.
+    pub fn new(horizon: usize) -> Self {
+        Planner::with_config(horizon, SelectConfig::default(), DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(horizon: usize, cfg: SelectConfig, cache_capacity: usize) -> Self {
+        Planner {
+            network: MutableNetwork::new(),
+            calendars: CalendarStore::new(horizon),
+            cfg,
+            snapshot: Mutex::new(None),
+            fg_cache: Mutex::new(FeasibleCache::new(cache_capacity)),
+            queries: AtomicU64::new(0),
+            mutations: AtomicU64::new(0),
+            snapshot_rebuilds: AtomicU64::new(0),
+        }
+    }
+
+    // -- mutations ----------------------------------------------------
+
+    /// Register a person; their calendar starts fully unavailable.
+    pub fn add_person(&mut self, label: impl Into<String>) -> NodeId {
+        let id = self.network.add_person(label);
+        self.calendars.ensure_people(self.network.person_count());
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        id
+    }
+
+    /// Create or re-weight a friendship.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, distance: Dist) -> Result<(), ServiceError> {
+        self.network.connect(a, b, distance)?;
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Remove a friendship; reports whether it existed.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> Result<bool, ServiceError> {
+        let existed = self.network.disconnect(a, b)?;
+        if existed {
+            self.mutations.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(existed)
+    }
+
+    /// Tombstone a person (id stays, edges and eligibility disappear).
+    pub fn remove_person(&mut self, person: NodeId) -> Result<(), ServiceError> {
+        self.network.remove_person(person)?;
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Mark one slot (un)available.
+    pub fn set_availability(
+        &mut self,
+        person: NodeId,
+        slot: usize,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.network.check_person(person)?;
+        self.calendars.set_slot(person.index(), slot, available)?;
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Mark a slot range (un)available.
+    pub fn set_availability_range(
+        &mut self,
+        person: NodeId,
+        range: SlotRange,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.network.check_person(person)?;
+        self.calendars.set_range(person.index(), range, available)?;
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Replace a whole calendar (horizon must match the store).
+    pub fn set_calendar(&mut self, person: NodeId, calendar: Calendar) -> Result<(), ServiceError> {
+        self.network.check_person(person)?;
+        self.calendars.replace(person.index(), calendar)?;
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    // -- reads ----------------------------------------------------------
+
+    /// The underlying network (read-only).
+    pub fn network(&self) -> &MutableNetwork {
+        &self.network
+    }
+
+    /// The underlying calendar store (read-only).
+    pub fn calendars(&self) -> &CalendarStore {
+        &self.calendars
+    }
+
+    /// Service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let cache = self.fg_cache.lock();
+        MetricsSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            mutations: self.mutations.load(Ordering::Relaxed),
+            feasible_cache_hits: cache.hits,
+            feasible_cache_misses: cache.misses,
+            snapshot_rebuilds: self.snapshot_rebuilds.load(Ordering::Relaxed),
+            cached_feasible_graphs: cache.len(),
+        }
+    }
+
+    /// Current CSR snapshot, rebuilt only when the network changed.
+    pub fn graph_snapshot(&self) -> Arc<SocialGraph> {
+        let version = self.network.version();
+        let mut guard = self.snapshot.lock();
+        match guard.as_ref() {
+            Some((v, g)) if *v == version => Arc::clone(g),
+            _ => {
+                let g = Arc::new(self.network.snapshot());
+                self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
+                *guard = Some((version, Arc::clone(&g)));
+                g
+            }
+        }
+    }
+
+    /// Feasible graph for `(initiator, s)`, cached across queries until
+    /// the network changes. Returns the graph and whether it was a hit.
+    fn feasible(&self, initiator: NodeId, s: usize) -> (Arc<FeasibleGraph>, bool) {
+        let version = self.network.version();
+        if let Some(fg) = self.fg_cache.lock().get(initiator.0, s, version) {
+            return (fg, true);
+        }
+        let graph = self.graph_snapshot();
+        let fg = Arc::new(FeasibleGraph::extract(&graph, initiator, s));
+        self.fg_cache.lock().put(initiator.0, s, version, Arc::clone(&fg));
+        (fg, false)
+    }
+
+    /// Answer an SGQ with the chosen engine.
+    pub fn plan_sgq(
+        &self,
+        initiator: NodeId,
+        query: &SgqQuery,
+        engine: Engine,
+    ) -> Result<SgqReport, ServiceError> {
+        self.network.check_person(initiator)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (fg, feasible_cache_hit) = self.feasible(initiator, query.s());
+
+        let start = Instant::now();
+        let report = match engine {
+            Engine::Exact => {
+                let out = solve_sgq_on(&fg, query, &self.cfg, None);
+                SgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact: true,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::ExactParallel { threads } => {
+                let out = solve_sgq_parallel_on(&fg, query, &self.cfg, None, threads);
+                SgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact: true,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::Anytime { frame_budget } => {
+                let cfg = self.cfg.with_frame_budget(frame_budget);
+                let out = solve_sgq_on(&fg, query, &cfg, None);
+                let exact = !out.stats.truncated;
+                SgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::Greedy { restarts } => {
+                let out = greedy_sgq_on(&fg, query, None, restarts);
+                SgqReport {
+                    solution: out.solution,
+                    stats: None,
+                    evaluations: Some(out.evaluations),
+                    exact: false,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::LocalSearch { restarts, passes } => {
+                let out = local_search_sgq_on(&fg, query, None, restarts, passes);
+                SgqReport {
+                    solution: out.solution,
+                    stats: None,
+                    evaluations: Some(out.evaluations),
+                    exact: false,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+        };
+        Ok(report)
+    }
+
+    /// Answer an STGQ with the chosen engine.
+    pub fn plan_stgq(
+        &self,
+        initiator: NodeId,
+        query: &StgqQuery,
+        engine: Engine,
+    ) -> Result<StgqReport, ServiceError> {
+        self.network.check_person(initiator)?;
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let (fg, feasible_cache_hit) = self.feasible(initiator, query.s());
+        let cals = self.calendars.calendars();
+
+        let start = Instant::now();
+        let report = match engine {
+            Engine::Exact => {
+                let out = solve_stgq_on(&fg, cals, query, &self.cfg);
+                StgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact: true,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::ExactParallel { threads } => {
+                let out = solve_stgq_parallel_on(&fg, cals, query, &self.cfg, threads);
+                StgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact: true,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::Anytime { frame_budget } => {
+                let cfg = self.cfg.with_frame_budget(frame_budget);
+                let out = solve_stgq_on(&fg, cals, query, &cfg);
+                let exact = !out.stats.truncated;
+                StgqReport {
+                    solution: out.solution,
+                    stats: Some(out.stats),
+                    evaluations: None,
+                    exact,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::Greedy { restarts } => {
+                let out = greedy_stgq_on(&fg, cals, query, restarts);
+                StgqReport {
+                    solution: out.solution,
+                    stats: None,
+                    evaluations: Some(out.evaluations),
+                    exact: false,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+            Engine::LocalSearch { restarts, passes } => {
+                let out = local_search_stgq_on(&fg, cals, query, restarts, passes);
+                StgqReport {
+                    solution: out.solution,
+                    stats: None,
+                    evaluations: Some(out.evaluations),
+                    exact: false,
+                    engine,
+                    elapsed: start.elapsed(),
+                    feasible_cache_hit,
+                }
+            }
+        };
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_core::{solve_sgq, solve_stgq};
+
+    /// A 6-person service: triangle a-b-c close to each other, d-e further
+    /// out, f isolated.
+    fn demo() -> (Planner, Vec<NodeId>) {
+        let mut p = Planner::new(12);
+        let ids: Vec<NodeId> =
+            ["a", "b", "c", "d", "e", "f"].iter().map(|l| p.add_person(*l)).collect();
+        p.connect(ids[0], ids[1], 2).unwrap();
+        p.connect(ids[0], ids[2], 3).unwrap();
+        p.connect(ids[1], ids[2], 1).unwrap();
+        p.connect(ids[0], ids[3], 8).unwrap();
+        p.connect(ids[3], ids[4], 2).unwrap();
+        for &id in &ids {
+            p.set_availability_range(id, SlotRange::new(2, 9), true).unwrap();
+        }
+        (p, ids)
+    }
+
+    #[test]
+    fn exact_sgq_end_to_end() {
+        let (p, ids) = demo();
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        let report = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        let sol = report.solution.unwrap();
+        assert_eq!(sol.total_distance, 5);
+        assert!(report.exact);
+        assert!(report.stats.is_some());
+    }
+
+    #[test]
+    fn cache_hits_within_a_version_and_misses_after_mutation() {
+        let (mut p, ids) = demo();
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        let r1 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(!r1.feasible_cache_hit);
+        let r2 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(r2.feasible_cache_hit, "same version must hit");
+
+        p.connect(ids[0], ids[4], 4).unwrap();
+        let r3 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(!r3.feasible_cache_hit, "network mutation must invalidate");
+    }
+
+    #[test]
+    fn answers_match_solving_from_scratch_after_each_mutation() {
+        let (mut p, ids) = demo();
+        let q = SgqQuery::new(3, 2, 1).unwrap();
+        type Mutation = Box<dyn Fn(&mut Planner)>;
+        let mutations: Vec<Mutation> = vec![
+            Box::new(move |pl| pl.connect(NodeId(0), NodeId(4), 4).map(|_| ()).unwrap()),
+            Box::new(move |pl| {
+                pl.disconnect(NodeId(1), NodeId(2)).map(|_| ()).unwrap();
+            }),
+            Box::new(move |pl| pl.connect(NodeId(2), NodeId(3), 2).map(|_| ()).unwrap()),
+            Box::new(move |pl| pl.remove_person(NodeId(1)).unwrap()),
+        ];
+        for m in mutations {
+            m(&mut p);
+            let via_service = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution;
+            let oracle = solve_sgq(
+                &p.network().snapshot(),
+                ids[0],
+                &q,
+                &SelectConfig::default(),
+            )
+            .unwrap()
+            .solution;
+            assert_eq!(
+                via_service.map(|s| s.total_distance),
+                oracle.map(|s| s.total_distance),
+                "cached path must equal solving from scratch"
+            );
+        }
+    }
+
+    #[test]
+    fn calendar_edits_change_stgq_answers_without_touching_graph_cache() {
+        let (mut p, ids) = demo();
+        let q = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let r1 = p.plan_stgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(r1.solution.is_some());
+
+        // Blocking b's whole calendar makes the triangle unschedulable.
+        p.set_availability_range(ids[1], SlotRange::new(0, 11), false).unwrap();
+        let r2 = p.plan_stgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(
+            r2.feasible_cache_hit,
+            "calendar edits must not invalidate the feasible-graph cache"
+        );
+        let d1 = r1.solution.unwrap().total_distance;
+        match &r2.solution {
+            None => {}
+            Some(s) => assert!(s.total_distance > d1, "b was in the only cheap group"),
+        }
+        // Oracle cross-check.
+        let oracle = solve_stgq(
+            &p.network().snapshot(),
+            ids[0],
+            p.calendars().calendars(),
+            &q,
+            &SelectConfig::default(),
+        )
+        .unwrap()
+        .solution;
+        assert_eq!(
+            r2.solution.map(|s| s.total_distance),
+            oracle.map(|s| s.total_distance)
+        );
+    }
+
+    #[test]
+    fn all_engines_dominate_or_match_the_exact_objective() {
+        let (p, ids) = demo();
+        let q = SgqQuery::new(3, 2, 1).unwrap();
+        let exact = p
+            .plan_sgq(ids[0], &q, Engine::Exact)
+            .unwrap()
+            .solution
+            .unwrap()
+            .total_distance;
+        for engine in [
+            Engine::ExactParallel { threads: 2 },
+            Engine::Anytime { frame_budget: 1_000_000 },
+            Engine::Greedy { restarts: 3 },
+            Engine::LocalSearch { restarts: 3, passes: 4 },
+        ] {
+            let r = p.plan_sgq(ids[0], &q, engine).unwrap();
+            if let Some(sol) = r.solution {
+                assert!(sol.total_distance >= exact, "{engine:?}");
+                if matches!(engine, Engine::ExactParallel { .. } | Engine::Anytime { .. }) {
+                    assert_eq!(sol.total_distance, exact, "{engine:?} is exact here");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tombstoned_initiator_is_rejected() {
+        let (mut p, ids) = demo();
+        p.remove_person(ids[5]).unwrap();
+        let q = SgqQuery::new(2, 1, 1).unwrap();
+        assert!(matches!(
+            p.plan_sgq(ids[5], &q, Engine::Exact),
+            Err(ServiceError::RemovedPerson { .. })
+        ));
+        assert!(matches!(
+            p.plan_sgq(NodeId(77), &q, Engine::Exact),
+            Err(ServiceError::UnknownPerson { .. })
+        ));
+    }
+
+    #[test]
+    fn metrics_reflect_activity() {
+        let (p, ids) = demo();
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        let m0 = p.metrics();
+        assert!(m0.mutations > 0, "setup mutations counted");
+        p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        p.plan_sgq(ids[1], &q, Engine::Exact).unwrap();
+        let m = p.metrics();
+        assert_eq!(m.queries, 3);
+        assert_eq!(m.feasible_cache_hits, 1);
+        assert_eq!(m.feasible_cache_misses, 2);
+        assert_eq!(m.cached_feasible_graphs, 2);
+        assert_eq!(m.snapshot_rebuilds, 1, "one snapshot serves both extractions");
+    }
+
+    #[test]
+    fn anytime_reports_truncation_honestly() {
+        let (p, ids) = demo();
+        let q = SgqQuery::new(4, 2, 1).unwrap();
+        let r = p.plan_sgq(ids[0], &q, Engine::Anytime { frame_budget: 1 }).unwrap();
+        if let Some(stats) = r.stats {
+            assert_eq!(r.exact, !stats.truncated);
+        }
+        let r = p
+            .plan_sgq(ids[0], &q, Engine::Anytime { frame_budget: 1_000_000 })
+            .unwrap();
+        assert!(r.exact, "a generous budget finishes this tiny instance");
+    }
+}

@@ -1,0 +1,138 @@
+//! The paper's running example (Example 1, Figure 2): Casey Affleck plans
+//! a movie discussion with mutually-acquainted co-stars, then a charity
+//! trip, then re-plans under everyone's schedules.
+//!
+//! The network mirrors Figure 2(a) — cooperation relationships extracted
+//! from Yahoo! Movies — with weights chosen to reproduce the paper's
+//! narration: the three *closest* friends are mutual strangers, the
+//! qualified k=0 groups cost 64 and 65, and the winner is
+//! {George Clooney, Brad Pitt, Julia Roberts, Casey Affleck}.
+//!
+//! ```text
+//! cargo run --example movie_night
+//! ```
+
+use stgq::prelude::*;
+use stgq::schedule::render_schedules;
+
+/// Figure 2(a): v1..v8 (we use 0-based ids 0..7 with the paper's names).
+fn cast_network() -> SocialGraph {
+    let names = [
+        "Angelina Jolie",    // v1
+        "George Clooney",    // v2
+        "Robert De Niro",    // v3
+        "Brad Pitt",         // v4
+        "Matt Damon",        // v5
+        "Julia Roberts",     // v6
+        "Casey Affleck",     // v7 (initiator)
+        "Michelle Monaghan", // v8
+    ];
+    let mut b = GraphBuilder::new(8);
+    b.set_labels(names.iter().map(|s| s.to_string()).collect());
+    // (u, v, distance) — Casey's direct co-stars first.
+    let edges = [
+        (6, 1, 17), // Casey–George
+        (6, 2, 18), // Casey–Robert
+        (6, 3, 27), // Casey–Brad
+        (6, 5, 20), // Casey–Julia
+        (6, 7, 19), // Casey–Michelle
+        (1, 3, 14), // George–Brad
+        (1, 5, 19), // George–Julia
+        (3, 5, 26), // Brad–Julia
+        (2, 3, 28), // Robert–Brad
+        (2, 5, 39), // Robert–Julia
+        (0, 1, 12), // Angelina–George
+        (0, 2, 30), // Angelina–Robert
+        (0, 3, 10), // Angelina–Brad
+        (0, 4, 8),  // Angelina–Matt
+        (4, 3, 23), // Matt–Brad
+        (4, 1, 24), // Matt–George
+    ];
+    for (u, v, w) in edges {
+        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    b.build()
+}
+
+/// Figure 2(c): availability over ts1..ts6 (0-based slots 0..5).
+fn cast_schedules() -> Vec<Calendar> {
+    let rows: [&[usize]; 8] = [
+        &[1, 2, 3, 4],       // v1 Angelina
+        &[0, 1, 2, 3, 4],    // v2 George
+        &[1, 2, 3, 4, 5],    // v3 Robert
+        &[0, 1, 2, 3, 4, 5], // v4 Brad
+        &[0, 2, 3, 4],       // v5 Matt
+        &[1, 2, 4],          // v6 Julia
+        &[1, 2, 3, 4, 5],    // v7 Casey
+        &[0, 1, 2, 3, 5],    // v8 Michelle
+    ];
+    rows.iter().map(|slots| Calendar::from_slots(6, slots.iter().copied())).collect()
+}
+
+fn label_group(g: &SocialGraph, members: &[NodeId]) -> Vec<String> {
+    members.iter().map(|&v| g.label(v)).collect()
+}
+
+fn main() {
+    let graph = cast_network();
+    let casey = graph.find_by_label("Casey Affleck").unwrap();
+    let cfg = SelectConfig::default();
+
+    // ---- Scene 1: three closest friends, ignoring acquaintance. --------
+    let naive = SgqQuery::new(4, 1, usize::MAX >> 1).unwrap();
+    let sol = solve_sgq(&graph, casey, &naive, &cfg).unwrap().solution.unwrap();
+    println!("Closest three co-stars (no acquaintance constraint):");
+    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
+    println!("  …but they barely know each other.\n");
+
+    // ---- Scene 2: Example 1's SGQ(p=4, s=1, k=0). -----------------------
+    let tight = SgqQuery::new(4, 1, 0).unwrap();
+    let sol = solve_sgq(&graph, casey, &tight, &cfg).unwrap().solution.unwrap();
+    println!("SGQ(p=4, s=1, k=0) — everyone must know everyone:");
+    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
+    assert_eq!(sol.total_distance, 64, "the paper's qualified winner costs 64");
+    assert_eq!(
+        label_group(&graph, &sol.members),
+        ["George Clooney", "Brad Pitt", "Julia Roberts", "Casey Affleck"]
+    );
+    println!("  (matches the paper: the 65-cost {{Robert, Brad, Julia, Casey}} loses)\n");
+
+    // ---- Scene 3: the six-seat charity flight, SGQ(p=6, s=2, k=2). -----
+    let flight = SgqQuery::new(6, 2, 2).unwrap();
+    let sol = solve_sgq(&graph, casey, &flight, &cfg).unwrap().solution.unwrap();
+    println!("SGQ(p=6, s=2, k=2) — friends-of-friends allowed, ≤2 strangers each:");
+    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
+    println!();
+
+    // ---- Scene 4: Example 1's STGQ — the same trip needs 3 shared slots.
+    let cals = cast_schedules();
+    let rows: Vec<(&str, &Calendar)> = (0..8)
+        .map(|i| {
+            let name: &str = ["Angelina", "George", "Robert", "Brad", "Matt", "Julia", "Casey", "Michelle"][i];
+            (name, &cals[i])
+        })
+        .collect();
+    println!("{}", render_schedules(&rows));
+
+    let trip = StgqQuery::new(6, 2, 2, 3).unwrap();
+    let out = solve_stgq(&graph, casey, &cals, &trip, &cfg).unwrap();
+    match out.solution {
+        Some(sol) => {
+            println!("STGQ(p=6, s=2, k=2, m=3):");
+            println!(
+                "  {:?}\n  meet during {} (distance {})",
+                label_group(&graph, &sol.members),
+                sol.period,
+                sol.total_distance
+            );
+            // Cross-check against the sequential baseline.
+            let slow = solve_stgq_sequential(&graph, casey, &cals, &trip, &cfg, SgqEngine::SgSelect)
+                .unwrap()
+                .solution
+                .unwrap();
+            assert_eq!(slow.total_distance, sol.total_distance);
+            println!("\nSTGSelect and the per-window baseline agree. ✓");
+        }
+        None => println!("STGQ(p=6, s=2, k=2, m=3): no feasible plan"),
+    }
+}

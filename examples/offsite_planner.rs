@@ -1,0 +1,88 @@
+//! Offsite planner: the paper's motivating service on the 194-person
+//! dataset analog. A team lead plans a 2-hour offsite for 8 people drawn
+//! from her extended network (friends of friends), then compares the
+//! optimizer's plan against what phone-call coordination (PCArrange) would
+//! have produced — Figure 1(g)/(h) in miniature.
+//!
+//! ```text
+//! cargo run --release --example offsite_planner
+//! ```
+
+use stgq::datagen::{pick_initiator, scenario::real_analog_194};
+use stgq::prelude::*;
+use stgq::query::validate::validate_stgq;
+
+fn main() {
+    // One working week of half-hour slots for 194 people in 6 communities.
+    let ds = real_analog_194(7, 42);
+    let lead = pick_initiator(&ds.graph, 20);
+    println!(
+        "Network: {} people, {} relationships; initiator {lead} with {} direct friends.",
+        ds.graph.node_count(),
+        ds.graph.edge_count(),
+        ds.graph.degree(lead)
+    );
+
+    let p = 8; // team size incl. the lead
+    let s = 2; // friends of friends welcome
+    let m = 4; // 2 hours
+    let cfg = SelectConfig::default();
+
+    // ---- The optimizer's plan across k. ---------------------------------
+    println!("\nSTGSelect plans (tightening the acquaintance constraint):");
+    let mut best_plan = None;
+    for k in (0..p).rev() {
+        let query = StgqQuery::new(p, s, k, m).unwrap();
+        let out = solve_stgq(&ds.graph, lead, &ds.calendars, &query, &cfg).unwrap();
+        match out.solution {
+            Some(sol) => {
+                println!(
+                    "  k={k}: distance {:>4}, meet {} (day {}), {} search frames",
+                    sol.total_distance,
+                    sol.period,
+                    sol.period.lo / ds.grid.slots_per_day() + 1,
+                    out.stats.frames
+                );
+                validate_stgq(&ds.graph, lead, &ds.calendars, &query, &sol)
+                    .expect("solver output must satisfy every constraint");
+                best_plan = Some((k, sol));
+            }
+            None => {
+                println!("  k={k}: infeasible — someone would face too many strangers");
+                break;
+            }
+        }
+    }
+
+    // ---- What manual coordination would have done. ----------------------
+    println!("\nPCArrange (imitated phone coordination):");
+    match pc_arrange(&ds.graph, lead, &ds.calendars, p, s, m).unwrap() {
+        Some(pc) => {
+            println!(
+                "  gathered {} people, distance {}, observed k_h = {}, meets {}",
+                pc.members.len(),
+                pc.total_distance,
+                pc.observed_k,
+                pc.period
+            );
+            let sufficient =
+                stg_arrange(&ds.graph, lead, &ds.calendars, p, s, m, pc.total_distance, &cfg)
+                    .unwrap()
+                    .expect("PCArrange's own group certifies feasibility");
+            println!(
+                "  STGArrange: k = {} suffices for distance {} (PCArrange needed k_h = {})",
+                sufficient.k, sufficient.solution.total_distance, pc.observed_k
+            );
+            assert!(sufficient.k <= pc.observed_k);
+            assert!(sufficient.solution.total_distance <= pc.total_distance);
+        }
+        None => println!("  could not gather {p} people with a common window"),
+    }
+
+    if let Some((k, sol)) = best_plan {
+        println!(
+            "\nFinal recommendation (tightest k = {k}): members {:?} during {}.",
+            sol.members, sol.period
+        );
+    }
+}

@@ -1,0 +1,105 @@
+//! Quickstart: build a small social graph and calendars by hand, then ask
+//! both queries.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use stgq::prelude::*;
+use stgq::schedule::render_schedules;
+
+fn main() {
+    // ---- 1. The social network: you (Ava) and five friends. ------------
+    // Edge weights are social distances: smaller = closer.
+    let names = ["Ava", "Ben", "Caro", "Dan", "Elif", "Finn"];
+    let mut b = GraphBuilder::new(6);
+    b.set_labels(names.iter().map(|s| s.to_string()).collect());
+    let edges = [
+        (0, 1, 3),  // Ava–Ben: close
+        (0, 2, 4),  // Ava–Caro
+        (0, 3, 8),  // Ava–Dan
+        (0, 4, 12), // Ava–Elif: acquaintance
+        (1, 2, 2),  // Ben–Caro
+        (1, 3, 6),
+        (2, 3, 5),
+        (3, 4, 3),
+        (4, 5, 2),  // Finn is only reachable through Elif
+    ];
+    for (u, v, w) in edges {
+        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    let graph = b.build();
+    let ava = NodeId(0);
+
+    // ---- 2. SGQ: pick 4 people, direct friends only, max 1 stranger. ---
+    let query = SgqQuery::new(4, 1, 1).unwrap();
+    let out = solve_sgq(&graph, ava, &query, &SelectConfig::default()).unwrap();
+    match &out.solution {
+        Some(sol) => {
+            let who: Vec<String> = sol.members.iter().map(|&v| graph.label(v)).collect();
+            println!("SGQ(p=4, s=1, k=1): invite {:?}", who);
+            println!("  total social distance: {}", sol.total_distance);
+        }
+        None => println!("SGQ(p=4, s=1, k=1): no feasible group"),
+    }
+    println!(
+        "  (search explored {} frames, pruned {} of them early)\n",
+        out.stats.frames,
+        out.stats.total_prunes()
+    );
+
+    // ---- 3. Calendars: one day of 12 half-hour slots (18:00–24:00). ----
+    let horizon = 12;
+    let mut cals = vec![Calendar::new(horizon); 6];
+    cals[0] = Calendar::from_slots(horizon, 2..12); // Ava free from 19:00
+    cals[1] = Calendar::from_slots(horizon, 0..8); // Ben leaves at 22:00
+    cals[2] = Calendar::from_slots(horizon, (0..12).filter(|s| s % 5 != 0)); // Caro: gaps
+    cals[3] = Calendar::from_slots(horizon, 4..12);
+    cals[4] = Calendar::from_slots(horizon, 0..6);
+    cals[5] = Calendar::from_slots(horizon, 6..12);
+
+    let rows: Vec<(&str, &Calendar)> =
+        names.iter().copied().zip(cals.iter()).collect();
+    println!("{}", render_schedules(&rows));
+
+    // ---- 4. STGQ: same group constraints plus a 2-hour (4-slot) slot. --
+    let query = StgqQuery::new(4, 1, 1, 4).unwrap();
+    let out = solve_stgq(&graph, ava, &cals, &query, &SelectConfig::default()).unwrap();
+    match &out.solution {
+        Some(sol) => {
+            let who: Vec<String> = sol.members.iter().map(|&v| graph.label(v)).collect();
+            println!("STGQ(p=4, s=1, k=1, m=4): invite {:?}", who);
+            println!("  meet during {} (total distance {})", sol.period, sol.total_distance);
+        }
+        None => {
+            println!("STGQ(p=4, s=1, k=1, m=4): no group of four shares a 2-hour window.");
+            // Relax the group size: the optimizer tells us three works.
+            let query = StgqQuery::new(3, 1, 1, 4).unwrap();
+            let sol = solve_stgq(&graph, ava, &cals, &query, &SelectConfig::default())
+                .unwrap()
+                .solution
+                .expect("three people do share a window");
+            let who: Vec<String> = sol.members.iter().map(|&v| graph.label(v)).collect();
+            println!("  relaxing to p=3: invite {:?}", who);
+            println!("  meet during {} (total distance {})", sol.period, sol.total_distance);
+        }
+    }
+    let query = StgqQuery::new(4, 1, 1, 4).unwrap();
+
+    // ---- 5. The same answer, the slow way, as a sanity check. ----------
+    let slow = solve_stgq_sequential(
+        &graph,
+        ava,
+        &cals,
+        &query,
+        &SelectConfig::default(),
+        SgqEngine::Exhaustive,
+    )
+    .unwrap();
+    assert_eq!(
+        out.solution.as_ref().map(|s| s.total_distance),
+        slow.solution.as_ref().map(|s| s.total_distance),
+        "exact engines must agree"
+    );
+    println!("\nSTGSelect and the exhaustive baseline agree. ✓");
+}

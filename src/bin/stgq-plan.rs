@@ -1,0 +1,183 @@
+//! `stgq-plan` — the paper's activity-planning service as a command-line
+//! tool: generate a dataset snapshot, then ask SGQ/STGQ queries against it.
+//!
+//! ```text
+//! # 1. generate a 194-person dataset with one week of calendars
+//! stgq-plan generate --out team.json --days 7 --seed 42
+//!
+//! # 2. who should I invite (5 people, friends-of-friends, ≤1 stranger,
+//! #    2 hours) and when?
+//! stgq-plan query --data team.json --initiator 10 -p 5 -s 2 -k 1 -m 4
+//!
+//! # 3. the same without the temporal dimension (SGQ):
+//! stgq-plan query --data team.json --initiator 10 -p 5 -s 2 -k 1
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stgq::datagen::io::{load_dataset, save_dataset};
+use stgq::datagen::scenario::{real_analog_194, synthetic_coauthor};
+use stgq::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => generate(&args[1..]),
+        Some("query") => query(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            eprint!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprint!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  stgq-plan generate --out FILE [--days N] [--seed N] [--coauthor N]
+  stgq-plan query --data FILE --initiator ID -p N [-s N] [-k N] [-m N]
+                  [--compare]
+
+generate  writes a JSON dataset snapshot (194-person community analog by
+          default; --coauthor N switches to the coauthorship model).
+query     answers an SGQ (no -m) or STGQ (with -m) against a snapshot;
+          --compare additionally runs PCArrange for a quality comparison.
+";
+
+/// Pull `--flag value` (or `-f value`) out of an argument list.
+fn take_value(args: &[String], names: &[&str]) -> Result<Option<String>, String> {
+    for (i, a) in args.iter().enumerate() {
+        if names.contains(&a.as_str()) {
+            return match args.get(i + 1) {
+                Some(v) => Ok(Some(v.clone())),
+                None => Err(format!("{a} needs a value")),
+            };
+        }
+    }
+    Ok(None)
+}
+
+fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
+    v.parse().map_err(|_| format!("invalid {what}: '{v}'"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let out = take_value(args, &["--out", "-o"])?
+        .ok_or("generate requires --out FILE")?;
+    let days: usize = match take_value(args, &["--days"])? {
+        Some(v) => parse(&v, "--days")?,
+        None => 7,
+    };
+    let seed: u64 = match take_value(args, &["--seed"])? {
+        Some(v) => parse(&v, "--seed")?,
+        None => 42,
+    };
+    let ds = match take_value(args, &["--coauthor"])? {
+        Some(n) => synthetic_coauthor(parse(&n, "--coauthor size")?, days, seed),
+        None => real_analog_194(days, seed),
+    };
+    save_dataset(&ds, &PathBuf::from(&out)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} people, {} relationships, {} days x {} slots",
+        ds.graph.node_count(),
+        ds.graph.edge_count(),
+        ds.grid.days(),
+        ds.grid.slots_per_day()
+    );
+    Ok(())
+}
+
+fn query(args: &[String]) -> Result<(), String> {
+    let data = take_value(args, &["--data", "-d"])?
+        .ok_or("query requires --data FILE")?;
+    let initiator: u32 = parse(
+        &take_value(args, &["--initiator", "-i"])?.ok_or("query requires --initiator ID")?,
+        "--initiator",
+    )?;
+    let p: usize = parse(&take_value(args, &["-p"])?.ok_or("query requires -p N")?, "-p")?;
+    let s: usize = match take_value(args, &["-s"])? {
+        Some(v) => parse(&v, "-s")?,
+        None => 1,
+    };
+    let k: usize = match take_value(args, &["-k"])? {
+        Some(v) => parse(&v, "-k")?,
+        None => p.saturating_sub(1),
+    };
+    let m: Option<usize> = match take_value(args, &["-m"])? {
+        Some(v) => Some(parse(&v, "-m")?),
+        None => None,
+    };
+    let compare = args.iter().any(|a| a == "--compare");
+
+    let ds = load_dataset(&PathBuf::from(&data)).map_err(|e| e.to_string())?;
+    let q = NodeId(initiator);
+    let cfg = SelectConfig::default();
+
+    match m {
+        None => {
+            let query = SgqQuery::new(p, s, k).map_err(|e| e.to_string())?;
+            let out = solve_sgq(&ds.graph, q, &query, &cfg).map_err(|e| e.to_string())?;
+            match out.solution {
+                Some(sol) => {
+                    println!("SGQ(p={p}, s={s}, k={k}) for initiator {q}:");
+                    println!("  invite: {:?}", sol.members);
+                    println!("  total social distance: {}", sol.total_distance);
+                }
+                None => println!("SGQ(p={p}, s={s}, k={k}): no feasible group"),
+            }
+            println!(
+                "  ({} frames, {} pruned)",
+                out.stats.frames,
+                out.stats.total_prunes()
+            );
+        }
+        Some(m) => {
+            let query = StgqQuery::new(p, s, k, m).map_err(|e| e.to_string())?;
+            let out = solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg)
+                .map_err(|e| e.to_string())?;
+            match &out.solution {
+                Some(sol) => {
+                    println!("STGQ(p={p}, s={s}, k={k}, m={m}) for initiator {q}:");
+                    println!("  invite: {:?}", sol.members);
+                    println!(
+                        "  meet during {} (starting {})",
+                        sol.period,
+                        ds.grid.label(sol.period.lo)
+                    );
+                    println!("  total social distance: {}", sol.total_distance);
+                }
+                None => println!("STGQ(p={p}, s={s}, k={k}, m={m}): no feasible plan"),
+            }
+            println!(
+                "  ({} pivots, {} frames, {} pruned)",
+                out.stats.pivots_processed,
+                out.stats.frames,
+                out.stats.total_prunes()
+            );
+            if compare {
+                match pc_arrange(&ds.graph, q, &ds.calendars, p, s, m)
+                    .map_err(|e| e.to_string())?
+                {
+                    Some(pc) => {
+                        println!("phone-coordination comparison (PCArrange):");
+                        println!(
+                            "  invite: {:?} — distance {}, observed k_h = {}",
+                            pc.members, pc.total_distance, pc.observed_k
+                        );
+                    }
+                    None => println!("PCArrange could not gather {p} people"),
+                }
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! # stgq — Social-Temporal Group Query
+//!
+//! A complete Rust implementation of *On Social-Temporal Group Query with
+//! Acquaintance Constraint* (Yang, Chen, Lee, Chen — PVLDB 4(6), 2011):
+//! optimal activity planning over a social network and its members'
+//! calendars.
+//!
+//! Given an initiator, SGQ picks the `p` socially-closest attendees within
+//! `s` hops such that nobody faces more than `k` strangers; STGQ
+//! additionally picks `m` consecutive time slots everybody is free.
+//! Both are NP-hard; the exact engines here (SGSelect / STGSelect) solve
+//! realistic instances in microseconds-to-milliseconds via the paper's
+//! pruning strategies.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! * [`graph`] — weighted social graph, bounded distances, feasible graph;
+//! * [`schedule`] — slot grids, calendars, pivot time slots;
+//! * [`query`] — the query engines (SGSelect, STGSelect, baselines,
+//!   PCArrange, STGArrange, parallel and heuristic solvers) and the
+//!   solution validator;
+//! * [`kplex`] — the k-plex substrate behind the acquaintance constraint
+//!   (maximum k-plex, maximal enumeration, the Theorem-1 reduction);
+//! * [`mip`] — a from-scratch simplex + branch & bound;
+//! * [`ip`] — the paper's Appendix-D Integer Programming formulation;
+//! * [`datagen`] — synthetic datasets shaped after the paper's evaluation;
+//! * [`service`] — a long-lived planning service with incremental updates
+//!   and feasible-graph caching.
+//!
+//! ```
+//! use stgq::prelude::*;
+//!
+//! // Five friends around the initiator v0; plan a 3-person get-together
+//! // where everyone knows everyone (k = 0) among direct friends (s = 1).
+//! let mut b = GraphBuilder::new(5);
+//! b.add_edge(NodeId(0), NodeId(1), 4).unwrap();
+//! b.add_edge(NodeId(0), NodeId(2), 6).unwrap();
+//! b.add_edge(NodeId(0), NodeId(3), 9).unwrap();
+//! b.add_edge(NodeId(1), NodeId(2), 2).unwrap();
+//! let graph = b.build();
+//!
+//! let query = SgqQuery::new(3, 1, 0).unwrap();
+//! let out = solve_sgq(&graph, NodeId(0), &query, &SelectConfig::default()).unwrap();
+//! assert_eq!(out.solution.unwrap().total_distance, 10);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use stgq_core as query;
+pub use stgq_datagen as datagen;
+pub use stgq_graph as graph;
+pub use stgq_ip as ip;
+pub use stgq_kplex as kplex;
+pub use stgq_mip as mip;
+pub use stgq_schedule as schedule;
+pub use stgq_service as service;
+
+/// The items nearly every user needs.
+pub mod prelude {
+    pub use stgq_core::{
+        pc_arrange, solve_sgq, solve_sgq_exhaustive, solve_stgq, solve_stgq_sequential,
+        stg_arrange, SelectConfig, SgqEngine, SgqQuery, StgqQuery,
+    };
+    pub use stgq_graph::{Dist, GraphBuilder, NodeId, SocialGraph};
+    pub use stgq_schedule::{Calendar, SlotRange, TimeGrid};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_whole_pipeline() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 2).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        let g = b.build();
+        let cals = vec![Calendar::all_available(6); 3];
+        let q = StgqQuery::new(3, 1, 0, 2).unwrap();
+        let out = solve_stgq(&g, NodeId(0), &cals, &q, &SelectConfig::default()).unwrap();
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.total_distance, 3);
+        assert_eq!(sol.period.len(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! End-to-end test of the `stgq-plan` CLI: generate → snapshot → query.
+
+use std::process::Command;
+
+fn plan(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_stgq-plan"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn generate_then_query_roundtrip() {
+    let dir = std::env::temp_dir().join("stgq_cli_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let snapshot = dir.join("ds.json");
+    let snapshot = snapshot.to_str().unwrap();
+
+    let (ok, stdout, stderr) = plan(&[
+        "generate", "--out", snapshot, "--days", "2", "--seed", "7",
+    ]);
+    assert!(ok, "generate failed: {stderr}");
+    assert!(stdout.contains("194 people"), "{stdout}");
+
+    // SGQ query.
+    let (ok, stdout, stderr) =
+        plan(&["query", "--data", snapshot, "--initiator", "3", "-p", "3", "-k", "1"]);
+    assert!(ok, "sgq query failed: {stderr}");
+    assert!(stdout.contains("SGQ(p=3"), "{stdout}");
+    assert!(
+        stdout.contains("invite") || stdout.contains("no feasible"),
+        "{stdout}"
+    );
+
+    // STGQ query with comparison.
+    let (ok, stdout, stderr) = plan(&[
+        "query", "--data", snapshot, "--initiator", "3", "-p", "3", "-s", "2", "-k", "2",
+        "-m", "2", "--compare",
+    ]);
+    assert!(ok, "stgq query failed: {stderr}");
+    assert!(stdout.contains("STGQ(p=3"), "{stdout}");
+}
+
+#[test]
+fn helpful_errors_for_bad_invocations() {
+    let (ok, _, stderr) = plan(&["query"]);
+    assert!(!ok);
+    assert!(stderr.contains("--data"), "{stderr}");
+
+    let (ok, _, stderr) = plan(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+
+    let (ok, _, stderr) = plan(&["generate"]);
+    assert!(!ok);
+    assert!(stderr.contains("--out"), "{stderr}");
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, _, stderr) = plan(&["--help"]);
+    assert!(ok);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,96 @@
+//! Theorems 2 and 3 say the access-ordering knobs (θ, φ) influence only
+//! the order of exploration, never the optimum. These tests sweep the
+//! knobs over shared instances and demand identical objectives.
+
+use proptest::prelude::*;
+
+use stgq::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = SocialGraph> {
+    (4usize..10).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..25), 0..=max_edges)
+            .prop_map(move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+                    }
+                }
+                for i in 0..n as u32 - 1 {
+                    if !b.has_edge(NodeId(i), NodeId(i + 1)) {
+                        b.add_edge(NodeId(i), NodeId(i + 1), 7).unwrap();
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+fn configs() -> Vec<SelectConfig> {
+    vec![
+        SelectConfig::RELAXED,
+        SelectConfig::PAPER_EXAMPLE,
+        SelectConfig::NO_PRUNING,
+        SelectConfig { theta0: 1, phi0: 1, phi_cap: 2, ..SelectConfig::PAPER_EXAMPLE },
+        SelectConfig { theta0: 5, phi0: 4, phi_cap: 12, ..SelectConfig::PAPER_EXAMPLE },
+        SelectConfig { theta0: 0, phi0: 3, phi_cap: 3, ..SelectConfig::NO_PRUNING },
+        SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false),
+        SelectConfig::PAPER_EXAMPLE.with_acquaintance_pruning(false),
+        SelectConfig::PAPER_EXAMPLE.with_availability_pruning(false),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sgq_objective_is_theta_invariant(
+        g in arb_graph(),
+        p in 2usize..6,
+        s in 1usize..3,
+        k in 0usize..3,
+    ) {
+        let query = SgqQuery::new(p, s, k).unwrap();
+        let objectives: Vec<Option<u64>> = configs()
+            .iter()
+            .map(|cfg| {
+                solve_sgq(&g, NodeId(0), &query, cfg)
+                    .unwrap()
+                    .solution
+                    .map(|x| x.total_distance)
+            })
+            .collect();
+        for pair in objectives.windows(2) {
+            prop_assert_eq!(pair[0], pair[1], "θ changed the optimum");
+        }
+    }
+
+    #[test]
+    fn stgq_objective_is_theta_phi_invariant(
+        g in arb_graph(),
+        avail in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..9, 1..9), 10..=10),
+        p in 2usize..5,
+        k in 0usize..3,
+        m in 1usize..4,
+    ) {
+        let n = g.node_count();
+        let cals: Vec<Calendar> = (0..n)
+            .map(|i| Calendar::from_slots(9, avail[i % 10].iter().copied()))
+            .collect();
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        let objectives: Vec<Option<u64>> = configs()
+            .iter()
+            .map(|cfg| {
+                solve_stgq(&g, NodeId(0), &cals, &query, cfg)
+                    .unwrap()
+                    .solution
+                    .map(|x| x.total_distance)
+            })
+            .collect();
+        for pair in objectives.windows(2) {
+            prop_assert_eq!(pair[0], pair[1], "θ/φ changed the optimum");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based cross-validation: on random instances, every exact
+//! engine must report the same optimal objective, and every reported
+//! solution must survive the independent validator. This is the strongest
+//! correctness evidence in the repository — the engines share no search
+//! logic with the baselines, the IP models, or the validator.
+
+use proptest::prelude::*;
+
+use stgq::ip::{solve_sgq_ip, solve_stgq_ip, IpStyle};
+use stgq::mip::MipOptions;
+use stgq::prelude::*;
+use stgq::query::validate::{validate_sgq, validate_stgq};
+use stgq::query::{solve_sgq_exhaustive, SgqEngine};
+
+/// A random connected-ish weighted graph with up to `n` vertices.
+fn arb_graph(max_n: usize) -> impl Strategy<Value = SocialGraph> {
+    (3usize..=max_n).prop_flat_map(|n| {
+        let max_edges = n * (n - 1) / 2;
+        proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..30), n - 1..=max_edges)
+            .prop_map(move |edges| {
+                let mut b = GraphBuilder::new(n);
+                for (u, v, w) in edges {
+                    if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+                    }
+                }
+                // Spanning chain so the initiator reaches everyone at
+                // a large enough radius.
+                for i in 0..n as u32 - 1 {
+                    if !b.has_edge(NodeId(i), NodeId(i + 1)) {
+                        b.add_edge(NodeId(i), NodeId(i + 1), 9).unwrap();
+                    }
+                }
+                b.build()
+            })
+    })
+}
+
+#[allow(dead_code)] // kept as a reusable strategy for future temporal tests
+fn arb_calendars(n: usize, horizon: usize) -> impl Strategy<Value = Vec<Calendar>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0usize..horizon, 0..horizon),
+        n..=n,
+    )
+    .prop_map(move |sets| {
+        sets.into_iter()
+            .map(|s| Calendar::from_slots(horizon, s))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// SGSelect == exhaustive enumeration == compact IP, and solutions
+    /// validate, across random graphs and query parameters.
+    #[test]
+    fn sgq_engines_agree(
+        g in arb_graph(9),
+        p in 2usize..6,
+        s in 1usize..4,
+        k in 0usize..4,
+    ) {
+        let q = NodeId(0);
+        let query = SgqQuery::new(p, s, k).unwrap();
+        let cfg = SelectConfig::default();
+
+        let select = solve_sgq(&g, q, &query, &cfg).unwrap().solution;
+        let exhaustive = solve_sgq_exhaustive(&g, q, &query).unwrap().solution;
+        prop_assert_eq!(
+            select.as_ref().map(|x| x.total_distance),
+            exhaustive.as_ref().map(|x| x.total_distance),
+            "SGSelect vs exhaustive"
+        );
+        if let Some(sol) = &select {
+            prop_assert!(validate_sgq(&g, q, &query, sol).is_ok(), "SGSelect invalid");
+        }
+        if let Some(sol) = &exhaustive {
+            prop_assert!(validate_sgq(&g, q, &query, sol).is_ok(), "exhaustive invalid");
+        }
+
+        let ip = solve_sgq_ip(&g, q, &query, IpStyle::Compact, &MipOptions::default())
+            .unwrap()
+            .solution;
+        prop_assert_eq!(
+            select.as_ref().map(|x| x.total_distance),
+            ip.as_ref().map(|x| x.total_distance),
+            "SGSelect vs compact IP"
+        );
+    }
+
+    /// STGSelect == sequential baseline (both engines) == compact IP.
+    #[test]
+    fn stgq_engines_agree(
+        g in arb_graph(7),
+        cal_seed in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..10, 0..10), 7..=7),
+        p in 2usize..5,
+        k in 0usize..3,
+        m in 1usize..4,
+    ) {
+        let n = g.node_count();
+        let horizon = 10;
+        let cals: Vec<Calendar> = (0..n)
+            .map(|i| Calendar::from_slots(horizon, cal_seed[i % 7].iter().copied()))
+            .collect();
+        let q = NodeId(0);
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        let cfg = SelectConfig::default();
+
+        let select = solve_stgq(&g, q, &cals, &query, &cfg).unwrap().solution;
+        if let Some(sol) = &select {
+            prop_assert!(
+                validate_stgq(&g, q, &cals, &query, sol).is_ok(),
+                "STGSelect produced an invalid solution: {sol:?}"
+            );
+        }
+        for engine in [SgqEngine::SgSelect, SgqEngine::Exhaustive] {
+            let seq = solve_stgq_sequential(&g, q, &cals, &query, &cfg, engine)
+                .unwrap()
+                .solution;
+            prop_assert_eq!(
+                select.as_ref().map(|x| x.total_distance),
+                seq.as_ref().map(|x| x.total_distance),
+                "STGSelect vs sequential {:?}", engine
+            );
+            if let Some(sol) = &seq {
+                prop_assert!(validate_stgq(&g, q, &cals, &query, sol).is_ok());
+            }
+        }
+
+        let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default())
+            .unwrap()
+            .solution;
+        prop_assert_eq!(
+            select.as_ref().map(|x| x.total_distance),
+            ip.as_ref().map(|x| x.total_distance),
+            "STGSelect vs compact IP"
+        );
+    }
+
+    /// The full Appendix-D IP agrees with SGSelect on tiny instances
+    /// (it is the most faithful but most expensive formulation).
+    #[test]
+    fn full_ip_agrees_on_tiny_instances(
+        g in arb_graph(6),
+        p in 2usize..4,
+        s in 1usize..3,
+        k in 0usize..3,
+    ) {
+        let q = NodeId(0);
+        let query = SgqQuery::new(p, s, k).unwrap();
+        let select = solve_sgq(&g, q, &query, &SelectConfig::default())
+            .unwrap()
+            .solution;
+        let ip = solve_sgq_ip(&g, q, &query, IpStyle::Full, &MipOptions::default())
+            .unwrap()
+            .solution;
+        prop_assert_eq!(
+            select.as_ref().map(|x| x.total_distance),
+            ip.as_ref().map(|x| x.total_distance)
+        );
+    }
+
+    /// PCArrange's output always admits an STGArrange answer that is no
+    /// worse on both axes (k and distance) — the Figure 1(g)/(h) claim.
+    #[test]
+    fn arrange_dominance(
+        g in arb_graph(8),
+        cal_seed in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..12, 0..12), 8..=8),
+        p in 2usize..5,
+        m in 1usize..4,
+    ) {
+        let n = g.node_count();
+        let cals: Vec<Calendar> = (0..n)
+            .map(|i| Calendar::from_slots(12, cal_seed[i % 8].iter().copied()))
+            .collect();
+        let q = NodeId(0);
+        let cfg = SelectConfig::default();
+        if let Some(pc) = pc_arrange(&g, q, &cals, p, 2, m).unwrap() {
+            let stg = stg_arrange(&g, q, &cals, p, 2, m, pc.total_distance, &cfg)
+                .unwrap()
+                .expect("PCArrange's own group is a witness");
+            prop_assert!(stg.k <= pc.observed_k);
+            prop_assert!(stg.solution.total_distance <= pc.total_distance);
+        }
+    }
+}
+
+/// Calendars satisfying nobody: engines must all report infeasible.
+#[test]
+fn all_engines_report_infeasible_consistently() {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+    b.add_edge(NodeId(0), NodeId(2), 1).unwrap();
+    b.add_edge(NodeId(0), NodeId(3), 1).unwrap();
+    let g = b.build();
+    let cals = vec![Calendar::new(6); 4];
+    let query = StgqQuery::new(2, 1, 1, 2).unwrap();
+    let cfg = SelectConfig::default();
+
+    assert!(solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap().solution.is_none());
+    assert!(solve_stgq_sequential(&g, NodeId(0), &cals, &query, &cfg, SgqEngine::SgSelect)
+        .unwrap()
+        .solution
+        .is_none());
+    assert!(
+        solve_stgq_ip(&g, NodeId(0), &cals, &query, IpStyle::Compact, &MipOptions::default())
+            .unwrap()
+            .solution
+            .is_none()
+    );
+}

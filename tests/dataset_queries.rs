@@ -1,0 +1,132 @@
+//! End-to-end queries on the generated evaluation datasets: the engines
+//! must produce validator-clean answers at the paper's parameter ranges,
+//! and the quality comparators must show the Figure 1(g)/(h) dominance.
+
+use stgq::datagen::scenario::{real_analog_194, synthetic_coauthor};
+use stgq::datagen::{pick_initiator, Dataset};
+use stgq::prelude::*;
+use stgq::query::validate::{validate_sgq, validate_stgq};
+use stgq::query::SgqEngine;
+
+fn dataset() -> (Dataset, NodeId) {
+    let ds = real_analog_194(7, 1234);
+    let q = pick_initiator(&ds.graph, 20);
+    (ds, q)
+}
+
+#[test]
+fn sgq_solutions_validate_across_the_paper_grid() {
+    let (ds, q) = dataset();
+    let cfg = SelectConfig::default();
+    let mut feasible = 0;
+    for p in [3usize, 5, 7, 9] {
+        for (s, k) in [(1usize, 2usize), (2, 2), (2, 4)] {
+            let query = SgqQuery::new(p, s, k).unwrap();
+            let out = solve_sgq(&ds.graph, q, &query, &cfg).unwrap();
+            if let Some(sol) = out.solution {
+                validate_sgq(&ds.graph, q, &query, &sol)
+                    .unwrap_or_else(|v| panic!("p={p} s={s} k={k}: {v}"));
+                feasible += 1;
+            }
+        }
+    }
+    assert!(feasible >= 8, "the dataset must support most paper queries, got {feasible}/12");
+}
+
+#[test]
+fn stgq_solutions_validate_and_match_baseline() {
+    let (ds, q) = dataset();
+    let cfg = SelectConfig::default();
+    for m in [2usize, 4, 8] {
+        let query = StgqQuery::new(4, 2, 2, m).unwrap();
+        let fast = solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).unwrap();
+        if let Some(sol) = &fast.solution {
+            validate_stgq(&ds.graph, q, &ds.calendars, &query, sol)
+                .unwrap_or_else(|v| panic!("m={m}: {v}"));
+        }
+        let slow = solve_stgq_sequential(
+            &ds.graph,
+            q,
+            &ds.calendars,
+            &query,
+            &cfg,
+            SgqEngine::SgSelect,
+        )
+        .unwrap();
+        assert_eq!(
+            fast.solution.as_ref().map(|s| s.total_distance),
+            slow.solution.as_ref().map(|s| s.total_distance),
+            "m={m}"
+        );
+    }
+}
+
+#[test]
+fn long_window_queries_are_sometimes_feasible() {
+    // Figure 1(e) goes to m = 24 (12 hours): event-based calendars must
+    // make at least the medium-length windows commonly feasible.
+    let (ds, q) = dataset();
+    let cfg = SelectConfig::default();
+    let mut feasible_ms = Vec::new();
+    for m in [2usize, 6, 12, 24] {
+        let query = StgqQuery::new(3, 2, 2, m).unwrap();
+        let out = solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).unwrap();
+        if out.solution.is_some() {
+            feasible_ms.push(m);
+        }
+    }
+    assert!(
+        feasible_ms.contains(&2) && feasible_ms.contains(&6),
+        "short and medium windows must be plannable, got {feasible_ms:?}"
+    );
+}
+
+#[test]
+fn quality_dominance_on_the_dataset() {
+    let (ds, q) = dataset();
+    let cfg = SelectConfig::default();
+    let mut compared = 0;
+    for p in [3usize, 5, 7] {
+        if let Some(pc) = pc_arrange(&ds.graph, q, &ds.calendars, p, 1, 4).unwrap() {
+            let stg = stg_arrange(&ds.graph, q, &ds.calendars, p, 1, 4, pc.total_distance, &cfg)
+                .unwrap()
+                .expect("witnessed by PCArrange's group");
+            assert!(stg.k <= pc.observed_k, "p={p}");
+            assert!(stg.solution.total_distance <= pc.total_distance, "p={p}");
+            compared += 1;
+        }
+    }
+    assert!(compared >= 2, "PCArrange should succeed for small p");
+}
+
+#[test]
+fn coauthor_dataset_supports_figure_1d_queries() {
+    for n in [194usize, 800] {
+        let ds = synthetic_coauthor(n, 1, 99);
+        let q = pick_initiator(&ds.graph, 20);
+        let query = SgqQuery::new(5, 1, 3).unwrap();
+        let out = solve_sgq(&ds.graph, q, &query, &SelectConfig::default()).unwrap();
+        let sol = out.solution.unwrap_or_else(|| panic!("n={n} should be feasible"));
+        validate_sgq(&ds.graph, q, &query, &sol).unwrap();
+    }
+}
+
+#[test]
+fn radius_zero_distance_monotonicity_on_dataset() {
+    // Larger s can only improve (or preserve) the optimum: more candidates
+    // and shorter bounded distances.
+    let (ds, q) = dataset();
+    let cfg = SelectConfig::default();
+    let mut prev: Option<u64> = None;
+    for s in 1..=3 {
+        let query = SgqQuery::new(4, s, 2).unwrap();
+        let d = solve_sgq(&ds.graph, q, &query, &cfg)
+            .unwrap()
+            .solution
+            .map(|x| x.total_distance);
+        if let (Some(prev_d), Some(cur)) = (prev, d) {
+            assert!(cur <= prev_d, "s={s}: {cur} > {prev_d}");
+        }
+        prev = d.or(prev);
+    }
+}

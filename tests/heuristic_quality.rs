@@ -1,0 +1,126 @@
+//! Quality contracts of the inexact tier, checked against the exact
+//! engines on random instances:
+//!
+//! * anything a heuristic returns is feasible (full validation);
+//! * no heuristic ever beats the proven optimum;
+//! * local search never does worse than its greedy seed;
+//! * the anytime engine is exact whenever it reports `!truncated`.
+
+use proptest::prelude::*;
+use stgq::graph::{GraphBuilder, NodeId, SocialGraph};
+use stgq::prelude::*;
+use stgq::query::heuristics::{greedy_sgq, greedy_stgq, local_search_sgq, local_search_stgq};
+use stgq::query::validate::{validate_sgq, validate_stgq};
+
+fn graph_from(n: u32, edges: &[(u32, u32, u64)]) -> SocialGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v, w) in edges {
+        if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+            b.add_edge(NodeId(u), NodeId(v), 1 + w % 50).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sgq_heuristics_are_feasible_and_dominated(
+        edges in proptest::collection::vec((0u32..15, 0u32..15, 0u64..50), 5..70),
+        p in 2usize..6,
+        k in 0usize..3,
+        restarts in 1usize..4,
+    ) {
+        let g = graph_from(15, &edges);
+        let query = SgqQuery::new(p, 2, k).unwrap();
+        let opt = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default())
+            .unwrap()
+            .solution;
+
+        let greedy = greedy_sgq(&g, NodeId(0), &query, restarts).unwrap().solution;
+        if let Some(sol) = &greedy {
+            prop_assert!(validate_sgq(&g, NodeId(0), &query, sol).is_ok());
+            let opt = opt.as_ref().expect("heuristic feasible ⇒ query feasible");
+            prop_assert!(sol.total_distance >= opt.total_distance);
+        }
+
+        let ls = local_search_sgq(&g, NodeId(0), &query, restarts, 4).unwrap().solution;
+        if let Some(sol) = &ls {
+            prop_assert!(validate_sgq(&g, NodeId(0), &query, sol).is_ok());
+            let opt = opt.as_ref().unwrap();
+            prop_assert!(sol.total_distance >= opt.total_distance);
+            // Same seed, so LS exists iff greedy exists, and is no worse.
+            let seed = greedy.as_ref().expect("LS starts from the greedy seed");
+            prop_assert!(sol.total_distance <= seed.total_distance);
+        } else {
+            prop_assert!(greedy.is_none());
+        }
+    }
+
+    #[test]
+    fn stgq_heuristics_are_feasible_and_dominated(
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 0u64..50), 5..50),
+        avail in proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 16), 12),
+        p in 2usize..5,
+        m in 1usize..4,
+    ) {
+        let g = graph_from(12, &edges);
+        let cals: Vec<Calendar> = avail
+            .iter()
+            .map(|bits| {
+                let mut c = Calendar::new(bits.len());
+                for (i, &b) in bits.iter().enumerate() {
+                    c.set_available(i, b);
+                }
+                c
+            })
+            .collect();
+        let query = StgqQuery::new(p, 2, 1, m).unwrap();
+        let opt = solve_stgq(&g, NodeId(0), &cals, &query, &SelectConfig::default())
+            .unwrap()
+            .solution;
+
+        let greedy = greedy_stgq(&g, NodeId(0), &cals, &query, 2).unwrap().solution;
+        if let Some(sol) = &greedy {
+            prop_assert!(validate_stgq(&g, NodeId(0), &cals, &query, sol).is_ok());
+            let opt = opt.as_ref().expect("heuristic feasible ⇒ query feasible");
+            prop_assert!(sol.total_distance >= opt.total_distance);
+        }
+
+        let ls = local_search_stgq(&g, NodeId(0), &cals, &query, 2, 4).unwrap().solution;
+        if let (Some(l), Some(gr)) = (&ls, &greedy) {
+            prop_assert!(validate_stgq(&g, NodeId(0), &cals, &query, l).is_ok());
+            prop_assert!(l.total_distance <= gr.total_distance);
+        }
+    }
+
+    /// The anytime engine under any budget: feasible incumbents only, and
+    /// exact whenever it did not truncate.
+    #[test]
+    fn anytime_contract(
+        edges in proptest::collection::vec((0u32..14, 0u32..14, 0u64..50), 5..60),
+        p in 2usize..6,
+        budget in 1u64..400,
+    ) {
+        let g = graph_from(14, &edges);
+        let query = SgqQuery::new(p, 2, 1).unwrap();
+        let cfg = SelectConfig::default();
+        let full = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap();
+        let any = solve_sgq(&g, NodeId(0), &query, &cfg.with_frame_budget(budget)).unwrap();
+
+        if let Some(sol) = &any.solution {
+            prop_assert!(validate_sgq(&g, NodeId(0), &query, sol).is_ok());
+            let opt = full.solution.as_ref().unwrap();
+            prop_assert!(sol.total_distance >= opt.total_distance);
+        }
+        if !any.stats.truncated {
+            prop_assert_eq!(
+                any.solution.map(|s| s.total_distance),
+                full.solution.map(|s| s.total_distance),
+                "an untruncated anytime run is an exact run"
+            );
+        }
+        prop_assert!(any.stats.frames <= budget);
+    }
+}

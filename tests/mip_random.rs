@@ -1,0 +1,110 @@
+//! Randomized validation of the from-scratch MIP solver against brute
+//! force: on binary programs small enough to enumerate, branch & bound
+//! must find exactly the best feasible assignment.
+
+use proptest::prelude::*;
+
+use stgq::mip::{solve_mip, Cmp, LinExpr, MipOptions, MipStatus, Model, VarId};
+
+/// A random binary program: `vars` binaries, a handful of ≤/≥ constraints
+/// with small integer coefficients, and a random objective.
+#[derive(Debug, Clone)]
+struct RandomBip {
+    nvars: usize,
+    constraints: Vec<(Vec<i8>, bool, i16)>, // (coefs, is_le, rhs)
+    objective: Vec<i8>,
+}
+
+fn arb_bip() -> impl Strategy<Value = RandomBip> {
+    (2usize..=6).prop_flat_map(|nvars| {
+        let constraint = (
+            proptest::collection::vec(-4i8..=4, nvars..=nvars),
+            proptest::bool::ANY,
+            -6i16..=10,
+        );
+        (
+            proptest::collection::vec(constraint, 1..5),
+            proptest::collection::vec(-5i8..=5, nvars..=nvars),
+        )
+            .prop_map(move |(constraints, objective)| RandomBip {
+                nvars,
+                constraints,
+                objective,
+            })
+    })
+}
+
+fn build(bip: &RandomBip) -> Model {
+    let mut m = Model::new();
+    let vars: Vec<VarId> = (0..bip.nvars).map(|i| m.add_binary(format!("x{i}"))).collect();
+    for (coefs, is_le, rhs) in &bip.constraints {
+        let expr = LinExpr::from_terms(
+            vars.iter().zip(coefs).map(|(&v, &c)| (v, f64::from(c))),
+        );
+        m.add_constraint(expr, if *is_le { Cmp::Le } else { Cmp::Ge }, f64::from(*rhs));
+    }
+    m.set_objective(LinExpr::from_terms(
+        vars.iter().zip(&bip.objective).map(|(&v, &c)| (v, f64::from(c))),
+    ));
+    m
+}
+
+/// Enumerate all 2^n assignments; return the best feasible objective.
+fn brute_force(bip: &RandomBip) -> Option<i64> {
+    let mut best: Option<i64> = None;
+    for mask in 0u32..(1 << bip.nvars) {
+        let x = |i: usize| (mask >> i & 1) as i64;
+        let feasible = bip.constraints.iter().all(|(coefs, is_le, rhs)| {
+            let lhs: i64 = coefs.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+            if *is_le {
+                lhs <= i64::from(*rhs)
+            } else {
+                lhs >= i64::from(*rhs)
+            }
+        });
+        if feasible {
+            let obj: i64 =
+                bip.objective.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+            best = Some(best.map_or(obj, |b: i64| b.min(obj)));
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn branch_and_bound_matches_enumeration(bip in arb_bip()) {
+        let model = build(&bip);
+        let sol = solve_mip(&model, &MipOptions::default()).unwrap();
+        match brute_force(&bip) {
+            None => prop_assert_eq!(sol.status, MipStatus::Infeasible),
+            Some(best) => {
+                prop_assert_eq!(sol.status, MipStatus::Optimal);
+                prop_assert!(
+                    (sol.objective - best as f64).abs() < 1e-6,
+                    "solver {} vs brute force {}",
+                    sol.objective,
+                    best
+                );
+                // The reported assignment must itself be feasible & binary.
+                for (coefs, is_le, rhs) in &bip.constraints {
+                    let lhs: f64 = coefs
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &c)| f64::from(c) * sol.values[i])
+                        .sum();
+                    if *is_le {
+                        prop_assert!(lhs <= f64::from(*rhs) + 1e-6);
+                    } else {
+                        prop_assert!(lhs >= f64::from(*rhs) - 1e-6);
+                    }
+                }
+                for v in &sol.values {
+                    prop_assert!((v - v.round()).abs() < 1e-9, "non-integral value {v}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Golden tests: the paper's worked examples, checked against **every**
+//! engine in the workspace. These inputs are transcribed from Figures 2
+//! and 3 of the paper (see `examples/movie_night.rs` for the annotated
+//! reconstruction of Figure 2).
+
+use stgq::ip::{solve_sgq_ip, solve_stgq_ip, IpStyle};
+use stgq::mip::MipOptions;
+use stgq::prelude::*;
+use stgq::query::validate::{validate_sgq, validate_stgq};
+use stgq::query::{solve_sgq_exhaustive, SgqEngine};
+
+/// Figure 3(a)/(b): the Example-2 graph. v7 is the initiator.
+fn example2_graph() -> (SocialGraph, NodeId) {
+    let mut b = GraphBuilder::new(9);
+    for (u, v, w) in [
+        (7, 2, 17),
+        (7, 3, 18),
+        (7, 4, 27),
+        (7, 6, 23),
+        (7, 8, 25),
+        (2, 4, 14),
+        (2, 6, 19),
+        (3, 4, 29),
+        (4, 6, 20),
+    ] {
+        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    (b.build(), NodeId(7))
+}
+
+/// Figure 3(c): schedules over ts1..ts7.
+fn example3_calendars() -> Vec<Calendar> {
+    let mut cals = vec![Calendar::new(7); 9];
+    cals[2] = Calendar::from_slots(7, 0..7);
+    cals[3] = Calendar::from_slots(7, [1, 2, 4, 5]);
+    cals[4] = Calendar::from_slots(7, [0, 1, 2, 3, 4, 6]);
+    cals[6] = Calendar::from_slots(7, [1, 2, 3, 4, 5, 6]);
+    cals[7] = Calendar::from_slots(7, [0, 1, 2, 3, 4, 5]);
+    cals[8] = Calendar::from_slots(7, [0, 2, 4, 5]);
+    cals
+}
+
+#[test]
+fn example2_every_engine_agrees_on_62() {
+    let (g, q) = example2_graph();
+    let query = SgqQuery::new(4, 1, 1).unwrap();
+    let cfg = SelectConfig::default();
+    let expected = vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)];
+
+    let select = solve_sgq(&g, q, &query, &cfg).unwrap().solution.unwrap();
+    assert_eq!(select.total_distance, 62);
+    assert_eq!(select.members, expected);
+    validate_sgq(&g, q, &query, &select).unwrap();
+
+    let exhaustive = solve_sgq_exhaustive(&g, q, &query).unwrap().solution.unwrap();
+    assert_eq!(exhaustive.total_distance, 62);
+    assert_eq!(exhaustive.members, expected);
+
+    for style in [IpStyle::Compact, IpStyle::Full] {
+        let ip = solve_sgq_ip(&g, q, &query, style, &MipOptions::default())
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(ip.total_distance, 62, "{style:?}");
+        assert_eq!(ip.members, expected, "{style:?}");
+        validate_sgq(&g, q, &query, &ip).unwrap();
+    }
+}
+
+#[test]
+fn example3_every_engine_agrees_on_67_at_ts2_ts4() {
+    let (g, q) = example2_graph();
+    let cals = example3_calendars();
+    let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+    let cfg = SelectConfig::default();
+    let expected = vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)];
+
+    let select = solve_stgq(&g, q, &cals, &query, &cfg).unwrap().solution.unwrap();
+    assert_eq!(select.members, expected);
+    assert_eq!(select.total_distance, 67);
+    assert_eq!(select.period, SlotRange::new(1, 3), "the paper reports [ts2, ts4]");
+    validate_stgq(&g, q, &cals, &query, &select).unwrap();
+
+    for engine in [SgqEngine::SgSelect, SgqEngine::Exhaustive] {
+        let seq = solve_stgq_sequential(&g, q, &cals, &query, &cfg, engine)
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(seq.total_distance, 67, "{engine:?}");
+        validate_stgq(&g, q, &cals, &query, &seq).unwrap();
+    }
+
+    let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default())
+        .unwrap()
+        .solution
+        .unwrap();
+    assert_eq!(ip.total_distance, 67);
+    assert_eq!(ip.members, expected);
+    validate_stgq(&g, q, &cals, &query, &ip).unwrap();
+}
+
+#[test]
+fn example3_full_ip_matches_too() {
+    // The full Appendix-D model with temporal constraints on the same
+    // instance; small enough for the textbook solver.
+    let (g, q) = example2_graph();
+    let cals = example3_calendars();
+    let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+    let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Full, &MipOptions::default())
+        .unwrap()
+        .solution
+        .unwrap();
+    assert_eq!(ip.total_distance, 67);
+    validate_stgq(&g, q, &cals, &query, &ip).unwrap();
+}
+
+#[test]
+fn example1_movie_night_answers() {
+    // Figure 2(a) as reconstructed in examples/movie_night.rs.
+    let mut b = GraphBuilder::new(8);
+    for (u, v, w) in [
+        (6, 1, 17),
+        (6, 2, 18),
+        (6, 3, 27),
+        (6, 5, 20),
+        (6, 7, 19),
+        (1, 3, 14),
+        (1, 5, 19),
+        (3, 5, 26),
+        (2, 3, 28),
+        (2, 5, 39),
+        (0, 1, 12),
+        (0, 2, 30),
+        (0, 3, 10),
+        (0, 4, 8),
+        (4, 3, 23),
+        (4, 1, 24),
+    ] {
+        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
+    }
+    let g = b.build();
+    let casey = NodeId(6);
+
+    // "a better list of invitees … where everyone knows each other" at 64.
+    let tight = SgqQuery::new(4, 1, 0).unwrap();
+    let sol = solve_sgq(&g, casey, &tight, &SelectConfig::default())
+        .unwrap()
+        .solution
+        .unwrap();
+    assert_eq!(sol.total_distance, 64);
+    assert_eq!(sol.members, vec![NodeId(1), NodeId(3), NodeId(5), NodeId(6)]);
+
+    // The exhaustive baseline enumerates C(5,3) = 10 groups, as narrated.
+    let base = solve_sgq_exhaustive(&g, casey, &tight).unwrap();
+    assert_eq!(base.stats.frames, 10);
+    assert_eq!(base.solution.unwrap().total_distance, 64);
+
+    // The charity-flight query relaxes both constraints.
+    let flight = SgqQuery::new(6, 2, 2).unwrap();
+    let sol = solve_sgq(&g, casey, &flight, &SelectConfig::default())
+        .unwrap()
+        .solution
+        .unwrap();
+    validate_sgq(&g, casey, &flight, &sol).unwrap();
+    assert_eq!(
+        sol.members,
+        vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(5), NodeId(6)],
+        "Angelina, George, Robert, Brad, Julia, Casey"
+    );
+}
+
+#[test]
+fn example3_pivot_count_matches_lemma4() {
+    // Horizon 7, m=3 ⇒ pivots ts3 and ts6 only.
+    let pivots: Vec<usize> = stgq::schedule::pivot::pivot_slots(7, 3).collect();
+    assert_eq!(pivots, vec![2, 5]);
+}

@@ -1,0 +1,139 @@
+//! The parallel engines must return the sequential optimum — not a close
+//! value, the exact same objective — on arbitrary inputs, thread counts
+//! and candidate masks. Witness groups may differ among ties; objectives
+//! may not.
+
+use proptest::prelude::*;
+use stgq::graph::{BitSet, FeasibleGraph, GraphBuilder, NodeId, SocialGraph};
+use stgq::prelude::*;
+use stgq::query::{
+    solve_sgq_on, solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel,
+};
+use stgq::query::validate::{validate_sgq, validate_stgq};
+
+fn graph_from(n: u32, edges: &[(u32, u32, u64)]) -> SocialGraph {
+    let mut b = GraphBuilder::new(n as usize);
+    for &(u, v, w) in edges {
+        if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+            b.add_edge(NodeId(u), NodeId(v), 1 + w % 60).unwrap();
+        }
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn sgq_objective_is_thread_count_invariant(
+        edges in proptest::collection::vec((0u32..16, 0u32..16, 0u64..60), 0..70),
+        p in 2usize..6,
+        s in 1usize..3,
+        k in 0usize..3,
+        threads in 2usize..5,
+    ) {
+        let g = graph_from(16, &edges);
+        let query = SgqQuery::new(p, s, k).unwrap();
+        let cfg = SelectConfig::default();
+        let seq = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap();
+        let par = solve_sgq_parallel(&g, NodeId(0), &query, &cfg, threads).unwrap();
+        prop_assert_eq!(
+            seq.solution.as_ref().map(|x| x.total_distance),
+            par.solution.as_ref().map(|x| x.total_distance)
+        );
+        if let Some(sol) = &par.solution {
+            prop_assert!(validate_sgq(&g, NodeId(0), &query, sol).is_ok());
+        }
+    }
+
+    #[test]
+    fn stgq_objective_is_thread_count_invariant(
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 0u64..60), 0..50),
+        avail in proptest::collection::vec(proptest::collection::vec(proptest::bool::ANY, 18), 12),
+        p in 2usize..5,
+        k in 0usize..3,
+        m in 1usize..4,
+        threads in 2usize..5,
+    ) {
+        let g = graph_from(12, &edges);
+        let cals: Vec<Calendar> = avail
+            .iter()
+            .map(|bits| {
+                let mut c = Calendar::new(bits.len());
+                for (i, &b) in bits.iter().enumerate() {
+                    c.set_available(i, b);
+                }
+                c
+            })
+            .collect();
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        let cfg = SelectConfig::default();
+        let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
+        let par = solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, threads).unwrap();
+        prop_assert_eq!(
+            seq.solution.as_ref().map(|x| x.total_distance),
+            par.solution.as_ref().map(|x| x.total_distance)
+        );
+        if let Some(sol) = &par.solution {
+            prop_assert!(validate_stgq(&g, NodeId(0), &cals, &query, sol).is_ok());
+        }
+    }
+
+    /// Masked solving (the per-period hook the STGQ engines rely on) must
+    /// stay equivalent under parallelism too.
+    #[test]
+    fn masked_sgq_objective_matches(
+        edges in proptest::collection::vec((0u32..14, 0u32..14, 0u64..60), 10..60),
+        mask_bits in proptest::collection::vec(proptest::bool::ANY, 14),
+        p in 2usize..5,
+    ) {
+        let g = graph_from(14, &edges);
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let mut mask = BitSet::new(fg.len());
+        for c in 0..fg.len() {
+            let orig = fg.origin(c as u32);
+            if mask_bits[orig.index()] {
+                mask.insert(c);
+            }
+        }
+        let query = SgqQuery::new(p, 2, 1).unwrap();
+        let cfg = SelectConfig::default();
+        let seq = solve_sgq_on(&fg, &query, &cfg, Some(&mask));
+        let par = solve_sgq_parallel_on(&fg, &query, &cfg, Some(&mask), 3);
+        prop_assert_eq!(
+            seq.solution.as_ref().map(|x| x.total_distance),
+            par.solution.as_ref().map(|x| x.total_distance)
+        );
+        // Masked-out members must never appear.
+        if let Some(sol) = &par.solution {
+            for &v in &sol.members {
+                let c = fg.compact(v).unwrap();
+                prop_assert!(c == 0 || mask.contains(c as usize));
+            }
+        }
+    }
+}
+
+/// A dense fixture where many optimal ties exist: objectives must agree
+/// even when witnesses differ run to run.
+#[test]
+fn tie_rich_instance_agrees_on_objective() {
+    let mut b = GraphBuilder::new(10);
+    for u in 0..10u32 {
+        for v in (u + 1)..10 {
+            b.add_edge(NodeId(u), NodeId(v), 5).unwrap();
+        }
+    }
+    let g = b.build();
+    let query = SgqQuery::new(6, 1, 2).unwrap();
+    let cfg = SelectConfig::default();
+    let seq = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap().solution.unwrap();
+    for threads in [2, 3, 8] {
+        let par = stgq::query::solve_sgq_parallel(&g, NodeId(0), &query, &cfg, threads)
+            .unwrap()
+            .solution
+            .unwrap();
+        assert_eq!(par.total_distance, seq.total_distance);
+        assert_eq!(par.members.len(), 6);
+    }
+}
