@@ -15,12 +15,17 @@ fn bench(c: &mut Criterion) {
 
     let variants: [(&str, SelectConfig); 3] = [
         ("full", SelectConfig::PAPER_EXAMPLE),
-        ("no_distance", SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false)),
+        (
+            "no_distance",
+            SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false),
+        ),
         ("none", SelectConfig::NO_PRUNING),
     ];
 
     let mut g = c.benchmark_group("ablation");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for (name, cfg) in variants {
         g.bench_function(format!("sgselect/{name}"), |b| {
             b.iter(|| solve_sgq(&graph, q, &sgq, &cfg).unwrap())

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let ip_opts = MipOptions::default();
 
     let mut g = c.benchmark_group("fig1a");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for p in [3usize, 5, 7] {
         let query = SgqQuery::new(p, 1, 2).unwrap();
         g.bench_function(format!("sgselect/p{p}"), |b| {

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let cfg = SelectConfig::default();
 
     let mut g = c.benchmark_group("fig1b");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for s in [1usize, 2] {
         let query = SgqQuery::new(4, s, 2).unwrap();
         g.bench_function(format!("sgselect/s{s}"), |b| {

@@ -12,7 +12,9 @@ fn bench(c: &mut Criterion) {
     let cfg = SelectConfig::default();
 
     let mut g = c.benchmark_group("fig1c");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for k in [2usize, 4] {
         let query = SgqQuery::new(5, 2, k).unwrap();
         g.bench_function(format!("sgselect/k{k}"), |b| {

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let query = SgqQuery::new(5, 1, 3).unwrap();
 
     let mut g = c.benchmark_group("fig1d");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for n in [194usize, 800] {
         let (graph, q) = coauthor_dataset(n);
         g.bench_function(format!("sgselect/n{n}"), |b| {

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let cfg = SelectConfig::default();
 
     let mut g = c.benchmark_group("fig1e");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for m in [2usize, 6] {
         let query = StgqQuery::new(4, 2, 2, m).unwrap();
         g.bench_function(format!("stgselect/m{m}"), |b| {
@@ -19,8 +21,15 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function(format!("baseline/m{m}"), |b| {
             b.iter(|| {
-                solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
-                    .unwrap()
+                solve_stgq_sequential(
+                    &ds.graph,
+                    q,
+                    &ds.calendars,
+                    &query,
+                    &cfg,
+                    SgqEngine::SgSelect,
+                )
+                .unwrap()
             })
         });
     }

@@ -11,7 +11,9 @@ fn bench(c: &mut Criterion) {
     let query = StgqQuery::new(4, 2, 2, 4).unwrap();
 
     let mut g = c.benchmark_group("fig1f");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     for days in [1usize, 3] {
         let (ds, q) = stgq_dataset(days);
         g.bench_function(format!("stgselect/d{days}"), |b| {
@@ -19,8 +21,15 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function(format!("baseline/d{days}"), |b| {
             b.iter(|| {
-                solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
-                    .unwrap()
+                solve_stgq_sequential(
+                    &ds.graph,
+                    q,
+                    &ds.calendars,
+                    &query,
+                    &cfg,
+                    SgqEngine::SgSelect,
+                )
+                .unwrap()
             })
         });
     }

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let cfg = SelectConfig::default();
 
     let mut g = c.benchmark_group("fig1g");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     g.bench_function("pcarrange/p4", |b| {
         b.iter(|| pc_arrange(&ds.graph, q, &ds.calendars, 4, 1, 4).unwrap())
     });

@@ -14,7 +14,9 @@ fn bench(c: &mut Criterion) {
     let cfg = SelectConfig::default();
 
     let mut g = c.benchmark_group("fig1h");
-    g.sample_size(10).measurement_time(Duration::from_secs(2)).warm_up_time(Duration::from_millis(300));
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
     g.bench_function("quality_pair/p5", |b| {
         b.iter(|| {
             let pc = pc_arrange(&ds.graph, q, &ds.calendars, 5, 1, 4).unwrap();

@@ -37,7 +37,10 @@ fn main() -> ExitCode {
 
     for id in &wanted {
         let Some(table) = run_figure(id, scale) else {
-            eprintln!("unknown figure id: {id} (known: {})", ALL_FIGURES.join(", "));
+            eprintln!(
+                "unknown figure id: {id} (known: {})",
+                ALL_FIGURES.join(", ")
+            );
             return ExitCode::FAILURE;
         };
         println!("{table}");

@@ -1,0 +1,111 @@
+//! One-off profiling probe for the hot path (not part of the figure
+//! harness): prints search statistics and coarse phase timings for a
+//! fig1f-style instance so perf work aims at the right loop.
+
+use std::time::Instant;
+
+use stgq_bench::figures::stgq_dataset;
+use stgq_core::{solve_stgq, SelectConfig, StgqQuery};
+use stgq_graph::FeasibleGraph;
+
+fn main() {
+    let days: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7);
+    let (ds, q) = stgq_dataset(days);
+    let query = StgqQuery::new(4, 2, 2, 4).expect("valid");
+    let cfg = SelectConfig::default();
+
+    let t0 = Instant::now();
+    let mut fg = None;
+    for _ in 0..100 {
+        fg = Some(FeasibleGraph::extract(&ds.graph, q, query.s()));
+    }
+    let extract_ns = t0.elapsed().as_nanos() / 100;
+    let fg = fg.unwrap();
+    println!(
+        "feasible graph: {} vertices, extract {extract_ns} ns",
+        fg.len()
+    );
+
+    let t0 = Instant::now();
+    let mut out = None;
+    for _ in 0..100 {
+        out = Some(solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).unwrap());
+    }
+    let solve_ns = t0.elapsed().as_nanos() / 100;
+    let out = out.unwrap();
+    println!(
+        "solve: {solve_ns} ns  (extract share: {:.1}%)",
+        100.0 * extract_ns as f64 / solve_ns as f64
+    );
+    println!("stats: {:#?}", out.stats);
+
+    let t0 = Instant::now();
+    let mut on = None;
+    for _ in 0..100 {
+        on = Some(stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &cfg));
+    }
+    let on_ns = t0.elapsed().as_nanos() / 100;
+    println!("solve_on (pre-extracted): {on_ns} ns");
+    let _ = on;
+
+    // Config ablations to locate the per-frame cost.
+    for (name, cfg) in [
+        (
+            "no acquaintance prune",
+            SelectConfig::default().with_acquaintance_pruning(false),
+        ),
+        (
+            "no distance prune",
+            SelectConfig::default().with_distance_pruning(false),
+        ),
+        (
+            "no availability prune",
+            SelectConfig::default().with_availability_pruning(false),
+        ),
+    ] {
+        let t0 = Instant::now();
+        for _ in 0..100 {
+            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &cfg);
+        }
+        println!("{name}: {} ns", t0.elapsed().as_nanos() / 100);
+    }
+
+    // How much of solve_on is pivot preparation vs search? Approximate by
+    // running with p = 1... not comparable; instead run frame_budget = 0-ish
+    // search (budget 1 per pivot) so only preparation + one frame happens.
+    let tight = SelectConfig::default().with_frame_budget(1);
+    let t0 = Instant::now();
+    for _ in 0..100 {
+        let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &tight);
+    }
+    println!("prep + 1 frame/pivot: {} ns", t0.elapsed().as_nanos() / 100);
+
+    for (p, k, m) in [
+        (4usize, 2usize, 4usize),
+        (5, 2, 4),
+        (6, 2, 4),
+        (5, 2, 12),
+        (5, 2, 16),
+    ] {
+        let query = StgqQuery::new(p, 2, k, m).expect("valid");
+        let mut ref_ns = u128::MAX;
+        let mut new_ns = u128::MAX;
+        for _ in 0..12 {
+            let t0 = Instant::now();
+            let _ = stgq_core::reference::solve_stgq_reference_on(&fg, &ds.calendars, &query, &cfg);
+            ref_ns = ref_ns.min(t0.elapsed().as_nanos());
+            let t0 = Instant::now();
+            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &cfg);
+            new_ns = new_ns.min(t0.elapsed().as_nanos());
+        }
+        let out = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &cfg);
+        println!(
+            "p={p} k={k} m={m:>2}: reference {ref_ns:>10} ns  optimized {new_ns:>10} ns  speedup {:.2}x  exams {} frames {} expanded {}",
+            ref_ns as f64 / new_ns as f64,
+            out.stats.candidates_examined, out.stats.frames, out.stats.vertices_expanded
+        );
+    }
+}

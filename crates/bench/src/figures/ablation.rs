@@ -28,15 +28,31 @@ pub fn run(scale: Scale) -> Table {
 
     let variants: [(&str, SelectConfig); 5] = [
         ("all prunings", SelectConfig::PAPER_EXAMPLE),
-        ("no distance", SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false)),
-        ("no acquaintance", SelectConfig::PAPER_EXAMPLE.with_acquaintance_pruning(false)),
-        ("no availability", SelectConfig::PAPER_EXAMPLE.with_availability_pruning(false)),
+        (
+            "no distance",
+            SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false),
+        ),
+        (
+            "no acquaintance",
+            SelectConfig::PAPER_EXAMPLE.with_acquaintance_pruning(false),
+        ),
+        (
+            "no availability",
+            SelectConfig::PAPER_EXAMPLE.with_availability_pruning(false),
+        ),
         ("none", SelectConfig::NO_PRUNING),
     ];
 
     let mut t = Table::new(
         format!("Ablation: pruning strategies (SGQ p={p},s=2,k=2; STGQ p=4,k=2,s=2,m=6)"),
-        &["variant", "SGQ_time", "SGQ_frames", "STGQ_time", "STGQ_frames", "dist"],
+        &[
+            "variant",
+            "SGQ_time",
+            "SGQ_frames",
+            "STGQ_time",
+            "STGQ_frames",
+            "dist",
+        ],
     );
 
     let mut reference: Option<(Option<u64>, Option<u64>)> = None;

@@ -50,12 +50,23 @@ pub fn run(scale: Scale) -> Table {
             ego.node_count(),
             ego.edge_count()
         ),
-        &["k", "max_size", "bb_nodes", "bb_time", "#maximal(>=max-1)", "enum_nodes", "enum_time"],
+        &[
+            "k",
+            "max_size",
+            "bb_nodes",
+            "bb_time",
+            "#maximal(>=max-1)",
+            "enum_nodes",
+            "enum_time",
+        ],
     );
 
     for k in ks {
         let (max_out, bb_ns) = median_nanos(scale.reps(), || max_kplex(&ego, k));
-        assert!(is_kplex(&ego, &max_out.members, k), "B&B returned a non-k-plex at k={k}");
+        assert!(
+            is_kplex(&ego, &max_out.members, k),
+            "B&B returned a non-k-plex at k={k}"
+        );
         let max_size = max_out.members.len();
 
         let cfg = EnumerateConfig {

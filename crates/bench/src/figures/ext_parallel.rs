@@ -41,7 +41,9 @@ pub fn run(scale: Scale) -> Table {
     let sgq_opt = seq_sgq.solution.as_ref().map(|s| s.total_distance);
     let stgq_opt = seq_stgq.solution.as_ref().map(|s| s.total_distance);
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut t = Table::new(
         format!(
             "Extension: thread scaling (SGQ p={}, s={}, k={}; STGQ p={}, m={}; n=194, cores={})",
@@ -52,7 +54,15 @@ pub fn run(scale: Scale) -> Table {
             stgq.m(),
             cores,
         ),
-        &["threads", "SGQ", "SGQ speedup", "STGQ", "STGQ speedup", "sgq_dist", "stgq_dist"],
+        &[
+            "threads",
+            "SGQ",
+            "SGQ speedup",
+            "STGQ",
+            "STGQ speedup",
+            "sgq_dist",
+            "stgq_dist",
+        ],
     );
 
     let mut sgq_base = 0u128;
@@ -62,8 +72,7 @@ pub fn run(scale: Scale) -> Table {
             solve_sgq_parallel(&graph, q, &sgq, &cfg, n).expect("valid inputs")
         });
         let (st_out, st_ns) = median_nanos(scale.reps(), || {
-            solve_stgq_parallel(&ds.graph, tq, &ds.calendars, &stgq, &cfg, n)
-                .expect("valid inputs")
+            solve_stgq_parallel(&ds.graph, tq, &ds.calendars, &stgq, &cfg, n).expect("valid inputs")
         });
         assert_eq!(
             sg_out.solution.as_ref().map(|s| s.total_distance),

@@ -60,8 +60,9 @@ pub fn run(scale: Scale) -> Table {
 
     for p in ps {
         let query = SgqQuery::new(p, 2, 2).expect("valid");
-        let (exact, exact_ns) =
-            median_nanos(scale.reps(), || solve_sgq(&graph, q, &query, &cfg).expect("valid"));
+        let (exact, exact_ns) = median_nanos(scale.reps(), || {
+            solve_sgq(&graph, q, &query, &cfg).expect("valid")
+        });
         let (greedy, greedy_ns) = median_nanos(scale.reps(), || {
             greedy_sgq(&graph, q, &query, RESTARTS).expect("valid")
         });
@@ -83,7 +84,10 @@ pub fn run(scale: Scale) -> Table {
             }
         }
         if let (Some(g), Some(l)) = (gd, ld) {
-            assert!(l <= g, "local search must not be worse than its greedy seed at p={p}");
+            assert!(
+                l <= g,
+                "local search must not be worse than its greedy seed at p={p}"
+            );
         }
 
         let ratio = |h: Option<u64>| match (h, opt) {

@@ -1,9 +1,7 @@
 //! Figure 1(a): SGQ running time vs activity size `p` (k=2, s=1, n=194);
 //! series SGSelect, exhaustive baseline, Integer Programming.
 
-use stgq_core::{
-    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
-};
+use stgq_core::{exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
 use stgq_ip::{solve_sgq_ip, IpStyle};
 use stgq_mip::MipOptions;
 
@@ -23,14 +21,26 @@ pub fn run(scale: Scale) -> Table {
         Scale::Paper => (3..=11).collect(),
     };
     let cfg = SelectConfig::default();
-    let ip_opts = MipOptions { node_limit: 2_000_000, ..MipOptions::default() };
+    let ip_opts = MipOptions {
+        node_limit: 2_000_000,
+        ..MipOptions::default()
+    };
 
     let mut t = Table::new(
         format!(
             "Figure 1(a): SGQ time vs p (k=2, s=1, n=194, initiator {q}, degree {})",
             graph.degree(q)
         ),
-        &["p", "SGSelect", "Baseline", "IP", "dist", "sg_frames", "base_groups", "ip_nodes"],
+        &[
+            "p",
+            "SGSelect",
+            "Baseline",
+            "IP",
+            "dist",
+            "sg_frames",
+            "base_groups",
+            "ip_nodes",
+        ],
     );
 
     for p in ps {
@@ -52,16 +62,16 @@ pub fn run(scale: Scale) -> Table {
             ("-".to_string(), format!(">{GROUP_BUDGET}"))
         };
 
-        let (ip_cell, ip_nodes_cell) =
-            match median_nanos(scale.reps(), || solve_sgq_ip(&graph, q, &query, IpStyle::Compact, &ip_opts))
-            {
-                (Ok(ip), ip_ns) => {
-                    let ip_dist = ip.solution.as_ref().map(|s| s.total_distance);
-                    assert_eq!(sg_dist, ip_dist, "SGSelect vs IP disagree at p={p}");
-                    (fmt_ns(ip_ns), ip.nodes.to_string())
-                }
-                (Err(_), _) => ("-".to_string(), "-".to_string()),
-            };
+        let (ip_cell, ip_nodes_cell) = match median_nanos(scale.reps(), || {
+            solve_sgq_ip(&graph, q, &query, IpStyle::Compact, &ip_opts)
+        }) {
+            (Ok(ip), ip_ns) => {
+                let ip_dist = ip.solution.as_ref().map(|s| s.total_distance);
+                assert_eq!(sg_dist, ip_dist, "SGSelect vs IP disagree at p={p}");
+                (fmt_ns(ip_ns), ip.nodes.to_string())
+            }
+            (Err(_), _) => ("-".to_string(), "-".to_string()),
+        };
 
         t.push_row(vec![
             p.to_string(),

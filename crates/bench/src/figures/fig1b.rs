@@ -3,9 +3,7 @@
 //! feasible graph `G_F`, which explodes the baseline's `C(f−1, p−1)` while
 //! SGSelect's pruning keeps pace.
 
-use stgq_core::{
-    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
-};
+use stgq_core::{exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
 use stgq_graph::FeasibleGraph;
 
 use crate::table::fmt_ns;
@@ -26,7 +24,14 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("Figure 1(b): SGQ time vs s (p=4, k=2, n=194, initiator {q})"),
-        &["s", "SGSelect", "Baseline", "dist", "feasible_|GF|", "base_groups"],
+        &[
+            "s",
+            "SGSelect",
+            "Baseline",
+            "dist",
+            "feasible_|GF|",
+            "base_groups",
+        ],
     );
 
     for s in ss {

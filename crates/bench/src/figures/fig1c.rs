@@ -2,9 +2,7 @@
 //! (p=5, s=2, n=194). The paper observes `k` barely moves either curve —
 //! it filters candidate groups but does not change how many exist.
 
-use stgq_core::{
-    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
-};
+use stgq_core::{exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
 
 use crate::table::fmt_ns;
 use crate::{median_nanos, Scale, Table};
@@ -24,7 +22,14 @@ pub fn run(scale: Scale) -> Table {
 
     let mut t = Table::new(
         format!("Figure 1(c): SGQ time vs k (p=5, s=2, n=194, initiator {q})"),
-        &["k", "SGSelect", "Baseline", "dist", "sg_frames", "base_groups"],
+        &[
+            "k",
+            "SGSelect",
+            "Baseline",
+            "dist",
+            "sg_frames",
+            "base_groups",
+        ],
     );
 
     for k in ks {

@@ -4,9 +4,7 @@
 //! network, so the interesting cost is radius extraction over ever-larger
 //! graphs plus the (stable-size) group search.
 
-use stgq_core::{
-    exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery,
-};
+use stgq_core::{exhaustive_group_count, solve_sgq, solve_sgq_exhaustive, SelectConfig, SgqQuery};
 use stgq_ip::{solve_sgq_ip, IpStyle};
 use stgq_mip::MipOptions;
 
@@ -24,7 +22,10 @@ pub fn run(scale: Scale) -> Table {
         Scale::Paper => vec![194, 800, 3200, 12800],
     };
     let cfg = SelectConfig::default();
-    let ip_opts = MipOptions { node_limit: 2_000_000, ..MipOptions::default() };
+    let ip_opts = MipOptions {
+        node_limit: 2_000_000,
+        ..MipOptions::default()
+    };
 
     let mut t = Table::new(
         "Figure 1(d): SGQ time vs network size (p=5, k=3, s=1, coauthorship)",

@@ -3,9 +3,7 @@
 //! Pivot slots let STGSelect anchor `T/m` searches instead of the
 //! baseline's `T−m+1`, so its advantage grows with `m`.
 
-use stgq_core::{
-    solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery,
-};
+use stgq_core::{solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery};
 
 use crate::table::fmt_ns;
 use crate::{median_nanos, Scale, Table};
@@ -26,7 +24,15 @@ pub fn run(scale: Scale) -> Table {
             "Figure 1(e): STGQ time vs m (p=4, k=2, s=2, n=194, 7-day schedules, T={})",
             ds.grid.horizon()
         ),
-        &["m", "STGSelect", "Baseline", "dist", "period", "pivots", "stg_frames"],
+        &[
+            "m",
+            "STGSelect",
+            "Baseline",
+            "dist",
+            "period",
+            "pivots",
+            "stg_frames",
+        ],
     );
 
     for m in ms {
@@ -35,8 +41,15 @@ pub fn run(scale: Scale) -> Table {
             solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).expect("valid inputs")
         });
         let (slow, slow_ns) = median_nanos(scale.reps(), || {
-            solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
-                .expect("valid inputs")
+            solve_stgq_sequential(
+                &ds.graph,
+                q,
+                &ds.calendars,
+                &query,
+                &cfg,
+                SgqEngine::SgSelect,
+            )
+            .expect("valid inputs")
         });
         let fd = fast.solution.as_ref().map(|s| s.total_distance);
         let sd = slow.solution.as_ref().map(|s| s.total_distance);
@@ -47,7 +60,9 @@ pub fn run(scale: Scale) -> Table {
             fmt_ns(fast_ns),
             fmt_ns(slow_ns),
             fd.map_or("-".into(), |d| d.to_string()),
-            fast.solution.as_ref().map_or("-".into(), |s| s.period.to_string()),
+            fast.solution
+                .as_ref()
+                .map_or("-".into(), |s| s.period.to_string()),
             fast.stats.pivots_processed.to_string(),
             fast.stats.frames.to_string(),
         ]);

@@ -3,9 +3,7 @@
 //! more slots to cover; both engines grow linearly in T but with slopes
 //! ~1/m apart (pivots vs every window start).
 
-use stgq_core::{
-    solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery,
-};
+use stgq_core::{solve_stgq, solve_stgq_sequential, SelectConfig, SgqEngine, StgqQuery};
 
 use crate::table::fmt_ns;
 use crate::{median_nanos, Scale, Table};
@@ -32,8 +30,15 @@ pub fn run(scale: Scale) -> Table {
             solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).expect("valid inputs")
         });
         let (slow, slow_ns) = median_nanos(scale.reps(), || {
-            solve_stgq_sequential(&ds.graph, q, &ds.calendars, &query, &cfg, SgqEngine::SgSelect)
-                .expect("valid inputs")
+            solve_stgq_sequential(
+                &ds.graph,
+                q,
+                &ds.calendars,
+                &query,
+                &cfg,
+                SgqEngine::SgSelect,
+            )
+            .expect("valid inputs")
         });
         let fd = fast.solution.as_ref().map(|s| s.total_distance);
         let sd = slow.solution.as_ref().map(|s| s.total_distance);

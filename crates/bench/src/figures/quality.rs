@@ -50,8 +50,14 @@ pub(crate) fn sweep(scale: Scale) -> Vec<QualityRow> {
                 // ≤ PCArrange's — the paper's headline claim, asserted on
                 // every run.
                 let (stg_k, stg_d) = stg.expect("STGArrange must succeed when PCArrange does");
-                assert!(stg_d <= pc_d, "STGArrange distance must be no worse at p={p}");
-                assert!(stg_k <= pc_k, "STGArrange k must not exceed observed k_h at p={p}");
+                assert!(
+                    stg_d <= pc_d,
+                    "STGArrange distance must be no worse at p={p}"
+                );
+                assert!(
+                    stg_k <= pc_k,
+                    "STGArrange k must not exceed observed k_h at p={p}"
+                );
             }
             QualityRow { p, pc, stg }
         })

@@ -67,7 +67,13 @@ impl fmt::Display for Table {
         }
         writeln!(f, "## {}", self.title)?;
         for (i, h) in self.headers.iter().enumerate() {
-            write!(f, "{:>w$}{}", h, if i + 1 == ncols { "\n" } else { "  " }, w = widths[i])?;
+            write!(
+                f,
+                "{:>w$}{}",
+                h,
+                if i + 1 == ncols { "\n" } else { "  " },
+                w = widths[i]
+            )?;
         }
         for row in &self.rows {
             for (i, cell) in row.iter().enumerate() {

@@ -1,0 +1,206 @@
+//! Offline shim for the [`rand`](https://crates.io/crates/rand) crate.
+//!
+//! The build environment has no network access to a registry, so this
+//! workspace vendors the *tiny* subset of the rand 0.8 API the repo uses:
+//! [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`], and
+//! [`Rng::gen_range`] / [`Rng::gen_bool`]. The generator is xoshiro256++
+//! seeded via SplitMix64 — the same construction real `SmallRng` uses on
+//! 64-bit targets, though the exact stream is not guaranteed to match the
+//! upstream crate. Everything in the repo treats seeds as opaque
+//! determinism handles, never as cross-crate reproducibility contracts, so
+//! only *stability within this workspace* matters.
+
+/// Seedable random generators (shim of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Construct deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling within a range — the bound of [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+/// Minimal core-RNG trait: a source of uniform `u64`s.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// User-facing convenience methods (shim of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} out of range"
+        );
+        // 53 random bits → uniform f64 in [0, 1).
+        let f = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        f < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types uniformly samplable between two bounds. Mirrors upstream's
+/// `SampleUniform` so that `SampleRange` can be a *single* blanket impl
+/// per range shape — which is what lets integer-literal ranges infer their
+/// type from the call site (`4 * count + rng.gen_range(0..4)`).
+pub trait SampleUniform: Sized {
+    /// Uniform sample from `[lo, hi)` (`inclusive = false`) or `[lo, hi]`.
+    fn sample_between(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between(rng: &mut impl RngCore, lo: Self, hi: Self, inclusive: bool) -> Self {
+                let span = (hi as i128 - lo as i128) as u128 + u128::from(inclusive);
+                (lo as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_between(rng: &mut impl RngCore, lo: Self, hi: Self, _inclusive: bool) -> Self {
+        let f = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        lo + f * (hi - lo)
+    }
+}
+
+/// Uniform value in `0..span` via Lemire-style widening multiply
+/// (bias negligible for the spans used here; `span > 0`).
+fn uniform_below(rng: &mut impl RngCore, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    if span == u64::MAX as u128 + 1 {
+        return rng.next_u64();
+    }
+    let span = span as u64;
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+/// Named generators (shim of `rand::rngs`).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256++ seeded from
+    /// SplitMix64 (the construction upstream `SmallRng` uses on 64-bit
+    /// targets).
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut x = seed;
+            let mut next = move || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_the_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same: usize = (0..64)
+            .filter(|_| a.gen_range(0u32..1000) == c.gen_range(0u32..1000))
+            .count();
+        assert!(same < 16, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5i8..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_rates_are_sane() {
+        let mut rng = SmallRng::seed_from_u64(99);
+        let hits = (0..20_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate {rate}");
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn full_and_singleton_ranges() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(rng.gen_range(5usize..6), 5);
+        assert_eq!(rng.gen_range(9u32..=9), 9);
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+}

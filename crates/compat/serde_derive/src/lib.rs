@@ -1,0 +1,316 @@
+//! Offline shim for `serde_derive`: generates impls of the workspace
+//! `serde` shim's [`Serialize`]/[`Deserialize`] value-tree traits.
+//!
+//! Written against raw [`proc_macro`] token streams (no `syn`/`quote`
+//! available offline), so it supports exactly the shapes this repo
+//! derives on:
+//!
+//! * named-field structs (`struct S { a: T, … }`), with per-field
+//!   `#[serde(default)]` and `#[serde(skip_serializing_if = "path")]`;
+//! * tuple structs — a single-field newtype with `#[serde(transparent)]`
+//!   serializes as its inner value, any other tuple struct as an array.
+//!
+//! Generics and enums are rejected with a compile error naming this file,
+//! so accidental reliance fails loudly rather than silently mis-serializing.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field description gathered from the struct body.
+struct Field {
+    name: String,
+    default: bool,
+    skip_serializing_if: Option<String>,
+}
+
+/// What we parsed out of the derive input.
+struct StructDef {
+    name: String,
+    transparent: bool,
+    kind: Kind,
+}
+
+enum Kind {
+    Named(Vec<Field>),
+    Tuple(usize),
+}
+
+/// Derive the workspace `serde::Serialize` shim trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.kind {
+        Kind::Named(fields) => {
+            let mut pushes = String::new();
+            for f in fields {
+                let push = format!(
+                    "entries.push(({n:?}.to_string(), ::serde::Serialize::to_value(&self.{n})));",
+                    n = f.name
+                );
+                if let Some(pred) = &f.skip_serializing_if {
+                    pushes.push_str(&format!("if !{pred}(&self.{n}) {{ {push} }}\n", n = f.name));
+                } else {
+                    pushes.push_str(&push);
+                    pushes.push('\n');
+                }
+            }
+            format!(
+                "let mut entries: Vec<(String, ::serde::value::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::value::Value::Object(entries)"
+            )
+        }
+        Kind::Tuple(1) if def.transparent => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::value::Value::Array(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{\n{body}\n}}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derive the workspace `serde::Deserialize` shim trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse_struct(input);
+    let body = match &def.kind {
+        Kind::Named(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                let missing = if f.default || f.skip_serializing_if.is_some() {
+                    "Default::default()".to_string()
+                } else {
+                    format!(
+                        "return Err(::serde::DeError::new(concat!(\
+                             \"missing field `{n}` in {name}\")))",
+                        n = f.name,
+                        name = def.name
+                    )
+                };
+                inits.push_str(&format!(
+                    "{n}: match ::serde::value::get(entries, {n:?}) {{\n\
+                         Some(v) => ::serde::Deserialize::from_value(v)?,\n\
+                         None => {missing},\n\
+                     }},\n",
+                    n = f.name
+                ));
+            }
+            format!(
+                "let entries = v.as_object().ok_or_else(|| ::serde::DeError::new(\
+                     concat!(\"expected object for \", {name:?})))?;\n\
+                 Ok({name} {{\n{inits}}})",
+                name = def.name
+            )
+        }
+        Kind::Tuple(1) if def.transparent => {
+            format!("Ok({}(::serde::Deserialize::from_value(v)?))", def.name)
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::DeError::new(\
+                     concat!(\"expected array for \", {name:?})))?;\n\
+                 if items.len() != {n} {{\n\
+                     return Err(::serde::DeError::new(concat!(\"wrong arity for \", {name:?})));\n\
+                 }}\n\
+                 Ok({name}({items}))",
+                name = def.name,
+                items = items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::value::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}",
+        name = def.name
+    )
+    .parse()
+    .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+/// Parse `[attrs] [vis] struct Name { … } | ( … );` from the derive input.
+fn parse_struct(input: TokenStream) -> StructDef {
+    let mut iter = input.into_iter().peekable();
+    let mut transparent = false;
+
+    // Leading attributes and visibility, collecting #[serde(...)] flags.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                if let Some(TokenTree::Group(g)) = iter.next() {
+                    let flags = serde_attr_flags(&g.stream());
+                    if flags.iter().any(|(k, _)| k == "transparent") {
+                        transparent = true;
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // Optional (crate)/(super) restriction.
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {}
+        other => panic!(
+            "serde shim derive supports structs only (crates/compat/serde_derive), got {other:?}"
+        ),
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected struct name, got {other:?}"),
+    };
+
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde shim derive does not support generics (struct {name})")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => StructDef {
+            name,
+            transparent,
+            kind: Kind::Named(parse_named_fields(g.stream())),
+        },
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => StructDef {
+            name,
+            transparent,
+            kind: Kind::Tuple(count_tuple_fields(g.stream())),
+        },
+        other => panic!("expected struct body for {name}, got {other:?}"),
+    }
+}
+
+/// Parse the brace body: `[attrs] [vis] name : type ,` repeated.
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        let mut default = false;
+        let mut skip_serializing_if = None;
+        // Attributes (docs and serde flags).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                for (key, val) in serde_attr_flags(&g.stream()) {
+                    match key.as_str() {
+                        "default" => default = true,
+                        "skip_serializing_if" => skip_serializing_if = val,
+                        other => panic!("unsupported #[serde({other})] in shim derive"),
+                    }
+                }
+            }
+        }
+        // Visibility.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    iter.next();
+                }
+            }
+        }
+        let Some(TokenTree::Ident(fname)) = iter.next() else {
+            break;
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected ':' after field {fname}, got {other:?}"),
+        }
+        // Skip the type: consume until a top-level ',' (or end). Generic
+        // angle brackets never enclose commas at depth issues here because
+        // `<` groups are not token groups — track them manually.
+        let mut angle_depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    iter.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    iter.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    iter.next();
+                }
+                _ => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(Field {
+            name: fname.to_string(),
+            default,
+            skip_serializing_if,
+        });
+    }
+    fields
+}
+
+/// Count tuple-struct fields: top-level commas + 1 (0 fields unsupported).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    for t in body {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            _ => {}
+        }
+        saw_any = true;
+    }
+    assert!(saw_any, "serde shim derive: unit tuple structs unsupported");
+    count
+}
+
+/// From one attribute's bracket-group stream, extract serde flags as
+/// `(key, optional string value)` pairs. Non-serde attributes yield none.
+fn serde_attr_flags(stream: &TokenStream) -> Vec<(String, Option<String>)> {
+    let mut iter = stream.clone().into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return Vec::new(),
+    }
+    let Some(TokenTree::Group(args)) = iter.next() else {
+        return Vec::new();
+    };
+    let mut flags = Vec::new();
+    let mut args = args.stream().into_iter().peekable();
+    while let Some(t) = args.next() {
+        let TokenTree::Ident(key) = t else { continue };
+        let mut val = None;
+        if matches!(args.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            args.next();
+            if let Some(TokenTree::Literal(lit)) = args.next() {
+                let s = lit.to_string();
+                val = Some(s.trim_matches('"').to_string());
+            }
+        }
+        flags.push((key.to_string(), val));
+    }
+    flags
+}

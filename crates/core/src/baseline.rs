@@ -64,7 +64,10 @@ pub fn solve_sgq_exhaustive_on(
 
     if p == 1 {
         return SgqOutcome {
-            solution: Some(SgqSolution { members: vec![fg.origin(0)], total_distance: 0 }),
+            solution: Some(SgqSolution {
+                members: vec![fg.origin(0)],
+                total_distance: 0,
+            }),
             stats,
         };
     }
@@ -88,8 +91,10 @@ pub fn solve_sgq_exhaustive_on(
         // Acquaintance constraint: every member misses at most k others.
         let feasible = group.iter().all(|&v| {
             let adj = fg.adj(v);
-            let misses =
-                group.iter().filter(|&&u| u != v && !adj.contains(u as usize)).count();
+            let misses = group
+                .iter()
+                .filter(|&&u| u != v && !adj.contains(u as usize))
+                .count();
             misses <= k
         });
         if !feasible {
@@ -111,11 +116,7 @@ pub fn solve_sgq_exhaustive_on(
 
 /// Number of candidate groups the exhaustive baseline would enumerate for
 /// this query (used by the harness to guard against accidental explosions).
-pub fn exhaustive_group_count(
-    graph: &SocialGraph,
-    initiator: NodeId,
-    query: &SgqQuery,
-) -> u64 {
+pub fn exhaustive_group_count(graph: &SocialGraph, initiator: NodeId, query: &SgqQuery) -> u64 {
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
     Combinations::count(fg.len().saturating_sub(1), query.p().saturating_sub(1))
 }
@@ -142,7 +143,10 @@ pub fn solve_stgq_sequential(
     let mut best: Option<StgqSolution> = None;
 
     if m > horizon {
-        return Ok(StgqOutcome { solution: None, stats });
+        return Ok(StgqOutcome {
+            solution: None,
+            stats,
+        });
     }
     let q_cal = &calendars[initiator.index()];
     for start in 0..=horizon - m {
@@ -175,7 +179,10 @@ pub fn solve_stgq_sequential(
         };
         stats.absorb(&outcome.stats);
         if let Some(sol) = outcome.solution {
-            if best.as_ref().is_none_or(|b| sol.total_distance < b.total_distance) {
+            if best
+                .as_ref()
+                .is_none_or(|b| sol.total_distance < b.total_distance)
+            {
                 best = Some(StgqSolution {
                     members: sol.members,
                     total_distance: sol.total_distance,
@@ -185,7 +192,10 @@ pub fn solve_stgq_sequential(
             }
         }
     }
-    Ok(StgqOutcome { solution: best, stats })
+    Ok(StgqOutcome {
+        solution: best,
+        stats,
+    })
 }
 
 /// As [`solve_stgq_sequential`] on a pre-extracted feasible graph.
@@ -203,7 +213,10 @@ pub fn solve_stgq_sequential_on(
     let mut best: Option<StgqSolution> = None;
 
     if m > horizon {
-        return StgqOutcome { solution: None, stats };
+        return StgqOutcome {
+            solution: None,
+            stats,
+        };
     }
     let q_cal = &calendars[fg.origin(0).index()];
 
@@ -237,7 +250,10 @@ pub fn solve_stgq_sequential_on(
         };
         stats.absorb(&outcome.stats);
         if let Some(sol) = outcome.solution {
-            if best.as_ref().is_none_or(|b| sol.total_distance < b.total_distance) {
+            if best
+                .as_ref()
+                .is_none_or(|b| sol.total_distance < b.total_distance)
+            {
                 best = Some(StgqSolution {
                     members: sol.members,
                     total_distance: sol.total_distance,
@@ -248,7 +264,10 @@ pub fn solve_stgq_sequential_on(
         }
     }
 
-    StgqOutcome { solution: best, stats }
+    StgqOutcome {
+        solution: best,
+        stats,
+    }
 }
 
 #[cfg(test)]
@@ -276,9 +295,15 @@ mod tests {
     fn exhaustive_matches_paper_example2() {
         let (g, q) = example2_graph();
         let query = SgqQuery::new(4, 1, 1).unwrap();
-        let sol = solve_sgq_exhaustive(&g, q, &query).unwrap().solution.unwrap();
+        let sol = solve_sgq_exhaustive(&g, q, &query)
+            .unwrap()
+            .solution
+            .unwrap();
         assert_eq!(sol.total_distance, 62);
-        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]
+        );
     }
 
     #[test]
@@ -329,16 +354,10 @@ mod tests {
                 .unwrap()
                 .solution;
             for engine in [SgqEngine::SgSelect, SgqEngine::Exhaustive] {
-                let slow = solve_stgq_sequential(
-                    &g,
-                    q,
-                    &cals,
-                    &query,
-                    &SelectConfig::default(),
-                    engine,
-                )
-                .unwrap()
-                .solution;
+                let slow =
+                    solve_stgq_sequential(&g, q, &cals, &query, &SelectConfig::default(), engine)
+                        .unwrap()
+                        .solution;
                 assert_eq!(
                     fast.as_ref().map(|s| s.total_distance),
                     slow.as_ref().map(|s| s.total_distance),
@@ -357,10 +376,17 @@ mod tests {
         let mut cals = vec![Calendar::all_available(horizon); 9];
         cals[q.index()] = Calendar::from_slots(horizon, 2..7);
         let query = StgqQuery::new(2, 1, 1, 3).unwrap();
-        let sol = solve_stgq_sequential(&g, q, &cals, &query, &SelectConfig::default(), SgqEngine::SgSelect)
-            .unwrap()
-            .solution
-            .unwrap();
+        let sol = solve_stgq_sequential(
+            &g,
+            q,
+            &cals,
+            &query,
+            &SelectConfig::default(),
+            SgqEngine::SgSelect,
+        )
+        .unwrap()
+        .solution
+        .unwrap();
         assert_eq!(sol.period, SlotRange::new(2, 4));
         assert!(sol.period.contains(sol.pivot));
     }
@@ -370,8 +396,15 @@ mod tests {
         let (g, q) = example2_graph();
         let cals = vec![Calendar::all_available(4); 9];
         let query = StgqQuery::new(2, 1, 1, 9).unwrap();
-        let out = solve_stgq_sequential(&g, q, &cals, &query, &SelectConfig::default(), SgqEngine::SgSelect)
-            .unwrap();
+        let out = solve_stgq_sequential(
+            &g,
+            q,
+            &cals,
+            &query,
+            &SelectConfig::default(),
+            SgqEngine::SgSelect,
+        )
+        .unwrap();
         assert!(out.solution.is_none());
         let fast = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
         assert!(fast.solution.is_none());

@@ -22,7 +22,12 @@ impl Combinations {
     /// Combinations of `r` indices drawn from `0..n`.
     pub fn new(n: usize, r: usize) -> Self {
         let state = if r > n { State::Done } else { State::Fresh };
-        Combinations { indices: (0..r).collect(), n, r, state }
+        Combinations {
+            indices: (0..r).collect(),
+            n,
+            r,
+            state,
+        }
     }
 
     /// Advance to the next combination; returns it as a sorted slice.
@@ -92,7 +97,14 @@ mod tests {
     fn four_choose_two() {
         assert_eq!(
             collect(4, 2),
-            vec![vec![0, 1], vec![0, 2], vec![0, 3], vec![1, 2], vec![1, 3], vec![2, 3]]
+            vec![
+                vec![0, 1],
+                vec![0, 2],
+                vec![0, 3],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 3]
+            ]
         );
     }
 

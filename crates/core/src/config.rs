@@ -56,8 +56,12 @@ impl SelectConfig {
 
     /// Greedy-est ordering: both conditions start fully relaxed. Useful in
     /// tests to confirm the knobs do not affect optimality.
-    pub const RELAXED: SelectConfig =
-        SelectConfig { theta0: 0, phi0: 1, phi_cap: 1, ..SelectConfig::PAPER_EXAMPLE };
+    pub const RELAXED: SelectConfig = SelectConfig {
+        theta0: 0,
+        phi0: 1,
+        phi_cap: 1,
+        ..SelectConfig::PAPER_EXAMPLE
+    };
 
     /// Ablation preset: paper ordering, every pruning strategy off.
     pub const NO_PRUNING: SelectConfig = SelectConfig {
@@ -69,28 +73,44 @@ impl SelectConfig {
 
     /// Ablation helper: this config with distance pruning toggled.
     pub const fn with_distance_pruning(self, on: bool) -> Self {
-        SelectConfig { distance_pruning: on, ..self }
+        SelectConfig {
+            distance_pruning: on,
+            ..self
+        }
     }
 
     /// Ablation helper: this config with acquaintance pruning toggled.
     pub const fn with_acquaintance_pruning(self, on: bool) -> Self {
-        SelectConfig { acquaintance_pruning: on, ..self }
+        SelectConfig {
+            acquaintance_pruning: on,
+            ..self
+        }
     }
 
     /// Ablation helper: this config with availability pruning toggled.
     pub const fn with_availability_pruning(self, on: bool) -> Self {
-        SelectConfig { availability_pruning: on, ..self }
+        SelectConfig {
+            availability_pruning: on,
+            ..self
+        }
     }
 
     /// Anytime helper: this config with the given frame budget.
     pub const fn with_frame_budget(self, budget: u64) -> Self {
-        SelectConfig { frame_budget: Some(budget), ..self }
+        SelectConfig {
+            frame_budget: Some(budget),
+            ..self
+        }
     }
 
     /// Clamp to the invariants (`phi0 ≥ 1`, `phi_cap ≥ phi0`).
     pub fn normalized(self) -> Self {
         let phi0 = self.phi0.max(1);
-        SelectConfig { phi0, phi_cap: self.phi_cap.max(phi0), ..self }
+        SelectConfig {
+            phi0,
+            phi_cap: self.phi_cap.max(phi0),
+            ..self
+        }
     }
 }
 
@@ -114,10 +134,20 @@ mod tests {
 
     #[test]
     fn normalized_enforces_invariants() {
-        let c = SelectConfig { phi0: 0, phi_cap: 0, ..SelectConfig::default() }.normalized();
+        let c = SelectConfig {
+            phi0: 0,
+            phi_cap: 0,
+            ..SelectConfig::default()
+        }
+        .normalized();
         assert_eq!(c.phi0, 1);
         assert!(c.phi_cap >= c.phi0);
-        let c2 = SelectConfig { phi0: 5, phi_cap: 2, ..SelectConfig::default() }.normalized();
+        let c2 = SelectConfig {
+            phi0: 5,
+            phi_cap: 2,
+            ..SelectConfig::default()
+        }
+        .normalized();
         assert_eq!(c2.phi_cap, 5);
     }
 

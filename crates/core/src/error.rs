@@ -41,7 +41,9 @@ pub enum QueryError {
 
 impl QueryError {
     pub(crate) fn invalid(reason: impl Into<String>) -> Self {
-        QueryError::InvalidQuery { reason: reason.into() }
+        QueryError::InvalidQuery {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -49,14 +51,33 @@ impl fmt::Display for QueryError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             QueryError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
-            QueryError::InitiatorOutOfRange { initiator, node_count } => {
-                write!(f, "initiator {initiator} out of range (graph has {node_count} vertices)")
+            QueryError::InitiatorOutOfRange {
+                initiator,
+                node_count,
+            } => {
+                write!(
+                    f,
+                    "initiator {initiator} out of range (graph has {node_count} vertices)"
+                )
             }
-            QueryError::CalendarCountMismatch { calendars, node_count } => {
-                write!(f, "{calendars} calendars supplied for {node_count} vertices")
+            QueryError::CalendarCountMismatch {
+                calendars,
+                node_count,
+            } => {
+                write!(
+                    f,
+                    "{calendars} calendars supplied for {node_count} vertices"
+                )
             }
-            QueryError::HorizonMismatch { expected, found, index } => {
-                write!(f, "calendar {index} has horizon {found}, expected {expected}")
+            QueryError::HorizonMismatch {
+                expected,
+                found,
+                index,
+            } => {
+                write!(
+                    f,
+                    "calendar {index} has horizon {found}, expected {expected}"
+                )
             }
         }
     }
@@ -70,12 +91,24 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(QueryError::invalid("p must be positive").to_string().contains("p must"));
-        let e = QueryError::InitiatorOutOfRange { initiator: NodeId(7), node_count: 3 };
+        assert!(QueryError::invalid("p must be positive")
+            .to_string()
+            .contains("p must"));
+        let e = QueryError::InitiatorOutOfRange {
+            initiator: NodeId(7),
+            node_count: 3,
+        };
         assert!(e.to_string().contains("v7"));
-        let e = QueryError::CalendarCountMismatch { calendars: 2, node_count: 5 };
+        let e = QueryError::CalendarCountMismatch {
+            calendars: 2,
+            node_count: 5,
+        };
         assert!(e.to_string().contains("2 calendars"));
-        let e = QueryError::HorizonMismatch { expected: 10, found: 8, index: 3 };
+        let e = QueryError::HorizonMismatch {
+            expected: 10,
+            found: 8,
+            index: 3,
+        };
         assert!(e.to_string().contains("calendar 3"));
     }
 }

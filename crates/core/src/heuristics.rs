@@ -128,9 +128,15 @@ pub fn local_search_sgq_on(
     let (seed, mut evaluations) = ctx.run_restarts(restarts.max(1));
     let solution = seed.map(|(mut members, mut dist)| {
         evaluations += ctx.improve(&mut members, &mut dist, max_passes);
-        SgqSolution { members: fg.to_origin_group(members), total_distance: dist }
+        SgqSolution {
+            members: fg.to_origin_group(members),
+            total_distance: dist,
+        }
     });
-    HeuristicSgq { solution, evaluations }
+    HeuristicSgq {
+        solution,
+        evaluations,
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -163,7 +169,9 @@ pub fn local_search_stgq(
 ) -> Result<HeuristicStgq, QueryError> {
     check_temporal_inputs(graph, initiator, calendars)?;
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
-    Ok(run_stgq_heuristic(&fg, calendars, query, restarts, max_passes))
+    Ok(run_stgq_heuristic(
+        &fg, calendars, query, restarts, max_passes,
+    ))
 }
 
 /// As [`greedy_stgq`] on a pre-extracted feasible graph.
@@ -202,18 +210,21 @@ fn run_stgq_heuristic(
     let mut scratch = SearchStats::default();
 
     for pivot in pivot_slots(horizon, m) {
-        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut scratch)
-        else {
+        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut scratch) else {
             continue;
         };
         let mut ctx = GreedyCtx::new(fg, p, query.k(), None, Some(&job), m);
         let (found, evals) = ctx.run_restarts(restarts.max(1));
         evaluations += evals;
-        let Some((mut members, mut dist)) = found else { continue };
+        let Some((mut members, mut dist)) = found else {
+            continue;
+        };
         if max_passes > 0 {
             evaluations += ctx.improve(&mut members, &mut dist, max_passes);
         }
-        let ts = ctx.common_run(&members).expect("greedy groups share an m-run");
+        let ts = ctx
+            .common_run(&members)
+            .expect("greedy groups share an m-run");
         if best.as_ref().is_none_or(|(_, d, _, _)| dist < *d) {
             best = Some((members, dist, ts, pivot));
         }
@@ -270,7 +281,15 @@ impl<'a> GreedyCtx<'a> {
             .filter(|&c| mask.is_none_or(|mk| mk.contains(c as usize)))
             .filter(|&c| job.is_none_or(|j| j.runs[c as usize].is_some()))
             .collect();
-        GreedyCtx { fg, p, k: k.min(p.saturating_sub(1)) as i64, order, job, m, evaluations: 0 }
+        GreedyCtx {
+            fg,
+            p,
+            k: k.min(p.saturating_sub(1)) as i64,
+            order,
+            job,
+            m,
+            evaluations: 0,
+        }
     }
 
     /// Common available run (through the pivot) of `members`, if any.
@@ -292,7 +311,10 @@ impl<'a> GreedyCtx<'a> {
         group
             .iter()
             .map(|&v| {
-                group.iter().filter(|&&u| u != v && !self.fg.adjacent(u, v)).count() as i64
+                group
+                    .iter()
+                    .filter(|&&u| u != v && !self.fg.adjacent(u, v))
+                    .count() as i64
             })
             .max()
             .unwrap_or(0)
@@ -316,14 +338,21 @@ impl<'a> GreedyCtx<'a> {
     /// `p` members from the unused candidates?
     fn expansible(&mut self, group: &[u32], used: &BitSet) -> bool {
         self.evaluations += 1;
-        let remaining = self.order.iter().filter(|&&c| !used.contains(c as usize)).count();
+        let remaining = self
+            .order
+            .iter()
+            .filter(|&&c| !used.contains(c as usize))
+            .count();
         if group.len() + remaining < self.p {
             return false;
         }
         // A(group) ≥ p − |group| with VA = unused candidates.
         let need = (self.p - group.len()) as i64;
         for &v in group {
-            let miss_v = group.iter().filter(|&&u| u != v && !self.fg.adjacent(u, v)).count() as i64;
+            let miss_v = group
+                .iter()
+                .filter(|&&u| u != v && !self.fg.adjacent(u, v))
+                .count() as i64;
             let nb_in_va = self
                 .order
                 .iter()
@@ -512,7 +541,10 @@ mod tests {
         let query = SgqQuery::new(4, 1, 1).unwrap();
         let sol = greedy_sgq(&g, q, &query, 1).unwrap().solution.unwrap();
         assert_eq!(sol.total_distance, 62);
-        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]
+        );
     }
 
     #[test]
@@ -528,7 +560,10 @@ mod tests {
     fn local_search_recovers_the_example2_optimum() {
         let (g, q) = example2();
         let query = SgqQuery::new(4, 1, 1).unwrap();
-        let sol = local_search_sgq(&g, q, &query, 3, 8).unwrap().solution.unwrap();
+        let sol = local_search_sgq(&g, q, &query, 3, 8)
+            .unwrap()
+            .solution
+            .unwrap();
         // Swapping v6 (23) for v3 (18) repairs greedy's miss: 62.
         assert_eq!(sol.total_distance, 62);
         assert!(validate_sgq(&g, q, &query, &sol).is_ok());
@@ -552,8 +587,14 @@ mod tests {
     fn stgq_local_search_only_improves() {
         let (g, q, cals) = example3();
         let query = StgqQuery::new(4, 1, 1, 3).unwrap();
-        let greedy = greedy_stgq(&g, q, &cals, &query, 1).unwrap().solution.unwrap();
-        let ls = local_search_stgq(&g, q, &cals, &query, 1, 8).unwrap().solution.unwrap();
+        let greedy = greedy_stgq(&g, q, &cals, &query, 1)
+            .unwrap()
+            .solution
+            .unwrap();
+        let ls = local_search_stgq(&g, q, &cals, &query, 1, 8)
+            .unwrap()
+            .solution
+            .unwrap();
         assert!(ls.total_distance <= greedy.total_distance);
         assert!(validate_stgq(&g, q, &cals, &query, &ls).is_ok());
     }
@@ -576,7 +617,10 @@ mod tests {
         }
         let g = b.build();
         let query = SgqQuery::new(4, 1, 0).unwrap();
-        assert!(greedy_sgq(&g, NodeId(0), &query, 4).unwrap().solution.is_none());
+        assert!(greedy_sgq(&g, NodeId(0), &query, 4)
+            .unwrap()
+            .solution
+            .is_none());
     }
 
     #[test]
@@ -593,7 +637,7 @@ mod tests {
     fn random_instances_feasible_and_dominated_by_optimum() {
         let cfg = SelectConfig::default();
         let mut greedy_hits = 0;
-        for seed in 0..12u64 {
+        for seed in 0..40u64 {
             let mut rng = SmallRng::seed_from_u64(seed);
             let n = 18;
             let mut b = GraphBuilder::new(n);
@@ -611,7 +655,10 @@ mod tests {
             let h = greedy_sgq(&g, NodeId(0), &query, 3).unwrap().solution;
             if let Some(sol) = &h {
                 greedy_hits += 1;
-                assert!(validate_sgq(&g, NodeId(0), &query, sol).is_ok(), "seed {seed}");
+                assert!(
+                    validate_sgq(&g, NodeId(0), &query, sol).is_ok(),
+                    "seed {seed}"
+                );
                 let opt = opt.as_ref().expect("greedy feasible ⇒ query feasible");
                 assert!(sol.total_distance >= opt.total_distance, "seed {seed}");
                 let ls = local_search_sgq(&g, NodeId(0), &query, 3, 6)
@@ -622,7 +669,13 @@ mod tests {
                 assert!(ls.total_distance >= opt.total_distance, "seed {seed}");
             }
         }
-        assert!(greedy_hits >= 6, "greedy should solve most random instances");
+        // Greedy with 3 restarts solves a steady fraction of these k = 1
+        // instances (the floor guards against constructive regressions; the
+        // per-seed assertions above are the correctness substance).
+        assert!(
+            greedy_hits >= 10,
+            "greedy solved only {greedy_hits}/40 instances"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ pub(crate) struct Incumbent<T> {
 
 impl<T> Incumbent<T> {
     pub(crate) fn new() -> Self {
-        Incumbent { dist: AtomicU64::new(NONE), payload: Mutex::new(None) }
+        Incumbent {
+            dist: AtomicU64::new(NONE),
+            payload: Mutex::new(None),
+        }
     }
 
     /// Current best objective, if any solution has been recorded.
@@ -60,7 +63,10 @@ impl<T> Incumbent<T> {
     /// Consume the store, yielding the best `(objective, payload)`.
     pub(crate) fn into_best(self) -> Option<(Dist, T)> {
         let d = self.dist.into_inner();
-        let payload = self.payload.into_inner().expect("incumbent lock never poisoned");
+        let payload = self
+            .payload
+            .into_inner()
+            .expect("incumbent lock never poisoned");
         payload.map(|p| (d, p))
     }
 }

@@ -30,7 +30,11 @@ pub(crate) fn check_temporal_inputs(
         .ok_or_else(|| QueryError::invalid("graph has no vertices"))?;
     for (index, c) in calendars.iter().enumerate() {
         if c.horizon() != expected {
-            return Err(QueryError::HorizonMismatch { expected, found: c.horizon(), index });
+            return Err(QueryError::HorizonMismatch {
+                expected,
+                found: c.horizon(),
+                index,
+            });
         }
     }
     Ok(expected)

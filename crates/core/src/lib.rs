@@ -30,6 +30,47 @@
 //! test suite. An independent [`validate`] module re-checks any claimed
 //! solution straight from the problem definitions.
 //!
+//! # Hot-path architecture
+//!
+//! The branch-and-bound inner loop *is* the product (the paper's whole
+//! contribution is that pruning beats the IP formulation by orders of
+//! magnitude), so the exact engines are built around four ideas:
+//!
+//! * **Word-parallel temporal state.** Pivot preparation stitches each
+//!   calendar's packed words onto interval offsets 64 slots at a time
+//!   (`Calendar::range_words`), derives the Definition-4 run from
+//!   leading/trailing-zero scans, and stores all availability bitmaps in
+//!   one flattened buffer. The Lemma-5 unavailability counters are
+//!   maintained by iterating only the *zero words* of a member's bitmap —
+//!   an all-available member costs one comparison per word instead of a
+//!   branch per slot — and a maintained max-counter upper bound skips the
+//!   blocked-slot scan entirely on most frames.
+//! * **Zero-allocation descent (undo log).** One `VA` state is shared by
+//!   the whole search: frames remove candidates in place and parents
+//!   rewind to their mark on return (LIFO undo restores every counter
+//!   exactly), replacing the old clone-per-descent. Steady-state search
+//!   performs no heap allocation.
+//! * **Aggregate `U`/`A` conditions.** In the exterior-expansibility term
+//!   the per-candidate adjacency contributions cancel algebraically, so
+//!   the `VS` part collapses to a cached `min(cnt_a + cnt_s)` aggregate
+//!   (maintained incrementally across removals); the interior term needs
+//!   only the maximisers of `miss_v`, checked with one word-parallel
+//!   subset test against the flattened adjacency. Frame-level prune
+//!   checks re-run only when `VA` actually mutated — between mutation-free
+//!   iterations they are provably no-ops.
+//! * **Access order as a bitmap.** `VA` is mirrored over access-order
+//!   positions (`FeasibleGraph::order_pos`), so "next unvisited candidate
+//!   by distance" and "minimum-distance member" are find-first-set scans.
+//!
+//! The pre-optimization implementations are preserved verbatim in
+//! [`reference`]; cross-engine tests assert identical optima and the
+//! `hotpath` criterion suite in `stgq-bench` tracks the speedup
+//! (`BENCH_core.json` at the repo root is the committed baseline: ~1.8–3.1×
+//! on fig1f-style instances, ≥2× where the temporal counters dominate).
+//! The parallel solvers ride on the same machinery; STGQ splits *within*
+//! pivots (forced-prefix subtrees) when there are too few pivots to keep
+//! every core busy.
+//!
 //! # Quick start
 //!
 //! ```
@@ -65,6 +106,7 @@ mod inputs;
 mod manual;
 mod parallel;
 mod query;
+pub mod reference;
 mod result;
 mod sgselect;
 mod stats;
@@ -72,8 +114,8 @@ mod stgselect;
 pub mod validate;
 
 pub use baseline::{
-    exhaustive_group_count, solve_sgq_exhaustive, solve_sgq_exhaustive_on,
-    solve_stgq_sequential, solve_stgq_sequential_on, SgqEngine,
+    exhaustive_group_count, solve_sgq_exhaustive, solve_sgq_exhaustive_on, solve_stgq_sequential,
+    solve_stgq_sequential_on, SgqEngine,
 };
 pub use combinations::Combinations;
 pub use config::SelectConfig;

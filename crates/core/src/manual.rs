@@ -80,7 +80,10 @@ pub fn pc_arrange(
     let observed_k = members
         .iter()
         .map(|&v| {
-            members.iter().filter(|&&u| u != v && !fg.adjacent(u, v)).count()
+            members
+                .iter()
+                .filter(|&&u| u != v && !fg.adjacent(u, v))
+                .count()
         })
         .max()
         .unwrap_or(0);
@@ -169,7 +172,10 @@ mod tests {
         // {v7,v2,v3} = {1,2} and {4,5} → no 3-run → v3 skipped; v6 (23):
         // common {1..5} ✓; v8 (25): breaks the window ({2,4,5}) → skipped;
         // v4 (27): common {1,2,3,4} ✓ → group {v2,v4,v6,v7}.
-        assert_eq!(res.members, vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]);
+        assert_eq!(
+            res.members,
+            vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]
+        );
         assert_eq!(res.total_distance, 17 + 27 + 23);
         assert_eq!(res.observed_k, 0, "this particular group is a clique");
         assert_eq!(res.period, SlotRange::new(1, 3));
@@ -190,7 +196,10 @@ mod tests {
             *c = Calendar::all_available(7);
         }
         let res = pc_arrange(&g, q, &cals, 4, 1, 2).unwrap().unwrap();
-        assert_eq!(res.members, vec![NodeId(2), NodeId(3), NodeId(6), NodeId(7)]);
+        assert_eq!(
+            res.members,
+            vec![NodeId(2), NodeId(3), NodeId(6), NodeId(7)]
+        );
         // v3 knows neither v2 nor v6 → k_h = 2.
         assert_eq!(res.observed_k, 2);
         assert_eq!(res.total_distance, 17 + 18 + 23);
@@ -200,9 +209,18 @@ mod tests {
     fn stg_arrange_finds_smaller_k_no_worse_distance() {
         let (g, q, cals) = inputs();
         let pc = pc_arrange(&g, q, &cals, 4, 1, 3).unwrap().unwrap();
-        let res = stg_arrange(&g, q, &cals, 4, 1, 3, pc.total_distance, &SelectConfig::default())
-            .unwrap()
-            .unwrap();
+        let res = stg_arrange(
+            &g,
+            q,
+            &cals,
+            4,
+            1,
+            3,
+            pc.total_distance,
+            &SelectConfig::default(),
+        )
+        .unwrap()
+        .unwrap();
         assert!(res.k <= pc.observed_k.max(1));
         assert!(res.solution.total_distance <= pc.total_distance);
         // Here STGSelect finds the same clique already at k = 0.

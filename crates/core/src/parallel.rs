@@ -9,7 +9,10 @@
 //!   independent search roots, so workers claim them from a shared counter
 //!   and publish improvements into one shared incumbent — exactly the
 //!   incumbent-sharing the sequential engine does across its pivot loop,
-//!   just concurrent.
+//!   just concurrent. When the instance has too few pivots to keep every
+//!   core busy (`horizon / m` small), each pivot is further split into the
+//!   same forced-prefix depth-1/depth-2 subtrees SGQ uses, so parallelism
+//!   no longer caps at the pivot count.
 //! * **SGQ** parallelises over *forced-prefix subtrees*. Every feasible
 //!   group other than `{q}` has an earliest member `u_i` in the access
 //!   order (and, for `p ≥ 3`, an earliest pair `u_i, u_j`), so the search
@@ -48,10 +51,12 @@ use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::sgselect::{Searcher, VaState};
-use crate::stgselect::{prepare_pivot, search_pivot, StBest};
+use crate::stgselect::{
+    prepare_pivot, search_pivot, search_pivot_subtree, vet_pivot_roots, PivotJob, StBest,
+};
 use crate::{
-    solve_sgq_on, solve_stgq_on, QueryError, SearchStats, SelectConfig, SgqOutcome,
-    SgqQuery, SgqSolution, StgqOutcome, StgqQuery, StgqSolution,
+    solve_sgq_on, solve_stgq_on, QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery,
+    SgqSolution, StgqOutcome, StgqQuery, StgqSolution,
 };
 
 /// Restarts used for the greedy incumbent seed (cheap relative to any
@@ -79,7 +84,9 @@ fn effective_threads(requested: usize) -> usize {
     if requested > 0 {
         requested
     } else {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     }
 }
 
@@ -124,7 +131,10 @@ pub fn solve_sgq_parallel_on(
         let compact: Vec<u32> = seed
             .members
             .iter()
-            .map(|&v| fg.compact(v).expect("greedy members lie in the feasible graph"))
+            .map(|&v| {
+                fg.compact(v)
+                    .expect("greedy members lie in the feasible graph")
+            })
             .collect();
         incumbent.offer(seed.total_distance, || compact);
     }
@@ -171,7 +181,9 @@ pub fn solve_sgq_parallel_on(
                     let mut local = SearchStats::default();
                     loop {
                         let t = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&task) = tasks.get(t) else { return local };
+                        let Some(&task) = tasks.get(t) else {
+                            return local;
+                        };
                         let (i, forced_j) = match task {
                             RootTask::Single(i) => (i, None),
                             RootTask::Pair(i, j) => (i, Some(j)),
@@ -219,7 +231,7 @@ pub fn solve_sgq_parallel_on(
                             if searcher.vs.len() >= p {
                                 searcher.record(td);
                             } else {
-                                searcher.expand(va, td);
+                                searcher.expand(&mut va, td);
                             }
                         }
                         local.absorb(&searcher.stats);
@@ -232,10 +244,12 @@ pub fn solve_sgq_parallel_on(
         }
     });
 
-    let solution = incumbent.into_best().map(|(total_distance, group)| SgqSolution {
-        members: fg.to_origin_group(group),
-        total_distance,
-    });
+    let solution = incumbent
+        .into_best()
+        .map(|(total_distance, group)| SgqSolution {
+            members: fg.to_origin_group(group),
+            total_distance,
+        });
     SgqOutcome { solution, stats }
 }
 
@@ -253,6 +267,17 @@ pub fn solve_stgq_parallel(
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
     Ok(solve_stgq_parallel_on(&fg, calendars, query, cfg, threads))
 }
+
+/// Below this many prepared pivots per thread, STGQ tasks are split
+/// *within* pivots (forced-prefix subtrees, as in the SGQ solver) instead
+/// of one-task-per-pivot. Pivot-level tasks alone cap parallelism at
+/// `horizon / m`, which starves cores on small-horizon workloads.
+const INTRA_PIVOT_SPLIT_FACTOR: usize = 4;
+
+/// How many of the earliest access-order roots of each pivot get depth-2
+/// pair tasks when splitting within pivots (the SGQ rationale applies
+/// per pivot: the first subtree holds nearly all the work).
+const STGQ_PAIR_SPLIT_ROOTS: usize = 8;
 
 /// As [`solve_stgq_parallel`] on a pre-extracted feasible graph.
 pub fn solve_stgq_parallel_on(
@@ -278,37 +303,133 @@ pub fn solve_stgq_parallel_on(
         let group: Vec<u32> = seed
             .members
             .iter()
-            .map(|&v| fg.compact(v).expect("greedy members lie in the feasible graph"))
-            .collect();
-        let (period, pivot) = (seed.period, seed.pivot);
-        incumbent.offer(seed.total_distance, || StBest { group, period, pivot });
-    }
-    let next = AtomicUsize::new(0);
-    let mut stats = SearchStats::default();
-
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(|| {
-                    let mut local = SearchStats::default();
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= pivots.len() {
-                            return local;
-                        }
-                        if let Some(job) = prepare_pivot(
-                            fg, calendars, p, m, pivots[i], horizon, &mut local,
-                        ) {
-                            search_pivot(fg, query, &cfg, job, &incumbent, &mut local);
-                        }
-                    }
-                })
+            .map(|&v| {
+                fg.compact(v)
+                    .expect("greedy members lie in the feasible graph")
             })
             .collect();
-        for h in handles {
-            stats.absorb(&h.join().expect("STGQ worker never panics"));
+        let (period, pivot) = (seed.period, seed.pivot);
+        incumbent.offer(seed.total_distance, || StBest {
+            group,
+            period,
+            pivot,
+        });
+    }
+    let mut stats = SearchStats::default();
+
+    if pivots.len() >= threads * INTRA_PIVOT_SPLIT_FACTOR {
+        // Plenty of pivots: one task per pivot saturates every core, and
+        // skipping the job hand-off keeps preparation fused with search.
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = SearchStats::default();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= pivots.len() {
+                                return local;
+                            }
+                            if let Some(job) =
+                                prepare_pivot(fg, calendars, p, m, pivots[i], horizon, &mut local)
+                            {
+                                search_pivot(fg, query, &cfg, job, &incumbent, &mut local);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                stats.absorb(&h.join().expect("STGQ worker never panics"));
+            }
+        });
+    } else {
+        // Few pivots: split each pivot into forced-prefix subtrees so all
+        // cores stay busy. Jobs are prepared once (concurrently), their
+        // roots vetted, and the flattened (pivot, subtree) task list is
+        // then claimed exactly like SGQ's root tasks.
+        let next_prep = AtomicUsize::new(0);
+        let mut jobs: Vec<(PivotJob, Vec<bool>)> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads.min(pivots.len().max(1)))
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = SearchStats::default();
+                        let mut found = Vec::new();
+                        loop {
+                            let i = next_prep.fetch_add(1, Ordering::Relaxed);
+                            if i >= pivots.len() {
+                                return (local, found);
+                            }
+                            if let Some(job) =
+                                prepare_pivot(fg, calendars, p, m, pivots[i], horizon, &mut local)
+                            {
+                                let ok = vet_pivot_roots(fg, query, &cfg, &job, &incumbent);
+                                found.push((job, ok));
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (local, found) = h.join().expect("STGQ prep worker never panics");
+                stats.absorb(&local);
+                jobs.extend(found);
+            }
+        });
+
+        // Depth-2 pair tasks for each pivot's heavy early roots, depth-1
+        // singles for the tail — the same partition as the SGQ solver,
+        // instantiated per pivot.
+        let order_len = fg.candidate_order().len();
+        let split = STGQ_PAIR_SPLIT_ROOTS.min(order_len);
+        let mut tasks: Vec<(u32, RootTask)> = Vec::new();
+        for (ji, (_, root_ok)) in jobs.iter().enumerate() {
+            let ji = ji as u32;
+            if p == 2 {
+                tasks.extend((0..order_len).map(|i| (ji, RootTask::Single(i))));
+            } else {
+                for (i, ok) in root_ok.iter().enumerate().take(split) {
+                    if *ok {
+                        tasks.extend((i + 1..order_len).map(|j| (ji, RootTask::Pair(i, j))));
+                    }
+                }
+                tasks.extend((split..order_len).map(|i| (ji, RootTask::Single(i))));
+            }
         }
-    });
+
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = SearchStats::default();
+                        loop {
+                            let t = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(&(ji, task)) = tasks.get(t) else {
+                                return local;
+                            };
+                            let (job, root_ok) = &jobs[ji as usize];
+                            let (i, forced_j) = match task {
+                                RootTask::Single(i) => (i, None),
+                                RootTask::Pair(i, j) => (i, Some(j)),
+                            };
+                            if !root_ok[i] {
+                                continue;
+                            }
+                            search_pivot_subtree(
+                                fg, query, &cfg, job, i, forced_j, &incumbent, &mut local,
+                            );
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                stats.absorb(&h.join().expect("STGQ worker never panics"));
+            }
+        });
+    }
 
     let solution = incumbent.into_best().map(|(dist, b)| StgqSolution {
         members: fg.to_origin_group(b.group),
@@ -339,12 +460,8 @@ mod tests {
         for u in 0..n {
             for v in (u + 1)..n {
                 if rng.gen_bool(edge_prob) {
-                    b.add_edge(
-                        NodeId(u as u32),
-                        NodeId(v as u32),
-                        rng.gen_range(1..=50),
-                    )
-                    .unwrap();
+                    b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..=50))
+                        .unwrap();
                 }
             }
         }
@@ -392,8 +509,7 @@ mod tests {
             let query = StgqQuery::new(4, 2, 1, 4).unwrap();
             let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
             for threads in [2, 4] {
-                let par =
-                    solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, threads).unwrap();
+                let par = solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, threads).unwrap();
                 assert_eq!(
                     par.solution.as_ref().map(|s| s.total_distance),
                     seq.solution.as_ref().map(|s| s.total_distance),
@@ -401,8 +517,7 @@ mod tests {
                 );
                 if let Some(sol) = &par.solution {
                     assert!(
-                        crate::validate::validate_stgq(&g, NodeId(0), &cals, &query, sol)
-                            .is_ok()
+                        crate::validate::validate_stgq(&g, NodeId(0), &cals, &query, sol).is_ok()
                     );
                 }
             }
@@ -416,7 +531,10 @@ mod tests {
         let cfg = SelectConfig::default();
         let seq = solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap();
         let par = solve_stgq_parallel(&g, NodeId(0), &cals, &query, &cfg, 1).unwrap();
-        assert_eq!(par.solution, seq.solution, "one worker is literally sequential");
+        assert_eq!(
+            par.solution, seq.solution,
+            "one worker is literally sequential"
+        );
         assert_eq!(par.stats, seq.stats);
     }
 
@@ -442,8 +560,7 @@ mod tests {
         }
         let g = b.build();
         let query = SgqQuery::new(4, 1, 0).unwrap();
-        let out =
-            solve_sgq_parallel(&g, NodeId(0), &query, &SelectConfig::default(), 4).unwrap();
+        let out = solve_sgq_parallel(&g, NodeId(0), &query, &SelectConfig::default(), 4).unwrap();
         assert!(out.solution.is_none());
     }
 
@@ -464,8 +581,8 @@ mod tests {
     fn initiator_out_of_range_is_an_error() {
         let (g, _) = random_instance(3, 8, 0.4, 1);
         let query = SgqQuery::new(3, 1, 1).unwrap();
-        let err = solve_sgq_parallel(&g, NodeId(99), &query, &SelectConfig::default(), 2)
-            .unwrap_err();
+        let err =
+            solve_sgq_parallel(&g, NodeId(99), &query, &SelectConfig::default(), 2).unwrap_err();
         assert!(matches!(err, QueryError::InitiatorOutOfRange { .. }));
     }
 }

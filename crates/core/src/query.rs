@@ -65,7 +65,10 @@ impl StgqQuery {
         if m == 0 {
             return Err(QueryError::invalid("activity length m must be at least 1"));
         }
-        Ok(StgqQuery { social: SgqQuery::new(p, s, k)?, m })
+        Ok(StgqQuery {
+            social: SgqQuery::new(p, s, k)?,
+            m,
+        })
     }
 
     /// The social part of the query.
@@ -100,7 +103,10 @@ impl StgqQuery {
 
     /// A copy with a different acquaintance constraint.
     pub fn with_k(&self, k: usize) -> Self {
-        StgqQuery { social: self.social.with_k(k), m: self.m }
+        StgqQuery {
+            social: self.social.with_k(k),
+            m: self.m,
+        }
     }
 }
 

@@ -53,7 +53,10 @@ mod tests {
 
     #[test]
     fn solutions_are_comparable() {
-        let a = SgqSolution { members: vec![NodeId(0), NodeId(2)], total_distance: 9 };
+        let a = SgqSolution {
+            members: vec![NodeId(0), NodeId(2)],
+            total_distance: 9,
+        };
         let b = a.clone();
         assert_eq!(a, b);
     }

@@ -58,55 +58,95 @@ pub fn solve_sgq_on(
     if p == 1 {
         // The group is just the initiator; every constraint holds trivially.
         return SgqOutcome {
-            solution: Some(SgqSolution { members: vec![fg.origin(0)], total_distance: 0 }),
+            solution: Some(SgqSolution {
+                members: vec![fg.origin(0)],
+                total_distance: 0,
+            }),
             stats: SearchStats::default(),
         };
     }
 
     let incumbent = Incumbent::new();
     let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
-    let va = VaState::init(fg, candidate_mask);
+    let mut va = VaState::init(fg, candidate_mask);
     searcher.push(0);
-    searcher.expand(va, 0);
+    searcher.expand(&mut va, 0);
     let stats = searcher.stats;
 
-    let solution = incumbent.into_best().map(|(total_distance, group)| SgqSolution {
-        members: fg.to_origin_group(group),
-        total_distance,
-    });
+    let solution = incumbent
+        .into_best()
+        .map(|(total_distance, group)| SgqSolution {
+            members: fg.to_origin_group(group),
+            total_distance,
+        });
     SgqOutcome { solution, stats }
 }
 
 /// The remaining-vertex set `VA` with incrementally-maintained inner-degree
-/// counters. Each search frame owns one (cloned on descent), so mutation
-/// never needs undo logic.
+/// counters and an **undo log**.
+///
+/// One `VaState` is shared by an entire search: a frame removes candidates
+/// in place and the parent rewinds to its [`mark`](Self::mark) when the
+/// frame returns, so steady-state descent performs **zero heap
+/// allocation** (the old design cloned the whole state per frame). Undo
+/// is LIFO: re-inserting `u` restores exactly the counter increments its
+/// removal applied, because any interleaved removals have already been
+/// undone by the time `u` is popped.
 #[derive(Clone)]
 pub(crate) struct VaState {
     /// Membership of `VA` over compact indices.
     pub(crate) set: BitSet,
+    /// Membership of `VA` over **access-order positions** — the same set
+    /// as `set`, permuted by `fg.order_pos`. The expand loop's "next
+    /// unvisited candidate by distance" and "minimum-distance member"
+    /// queries become word-parallel successor scans on this bitmap
+    /// instead of per-position membership probes.
+    pub(crate) pos_set: BitSet,
     /// `|N_v ∩ VA|` for **every** compact vertex `v` (members of `VS` too —
     /// the exterior expansibility terms need them).
     pub(crate) cnt_in_a: Vec<u32>,
     /// `Σ_{v ∈ VA} |N_v ∩ VA|` — the LHS bulk of Lemma 3.
     pub(crate) total_inner: u64,
+    /// Removed vertices, most recent last (rewound by [`undo_to`](Self::undo_to)).
+    pub(crate) log: Vec<u32>,
+    /// Bumped on every mutation; lets searchers cache VA-derived aggregates.
+    pub(crate) version: u64,
 }
 
 impl VaState {
     /// `VA = V_F − {q}`, optionally intersected with `mask`.
     pub(crate) fn init(fg: &FeasibleGraph, mask: Option<&BitSet>) -> Self {
         let f = fg.len();
+        let order = fg.candidate_order();
         let mut set = BitSet::new(f);
-        for &c in fg.candidate_order() {
+        let mut pos_set = BitSet::new(order.len());
+        for (pos, &c) in order.iter().enumerate() {
             if mask.is_none_or(|m| m.contains(c as usize)) {
                 set.insert(c as usize);
+                pos_set.insert(pos);
             }
         }
+        // Stream the flattened adjacency rows against the membership words
+        // — contiguous reads, two popcounts per row on typical graphs.
+        let set_words = set.words();
         let mut cnt_in_a = vec![0u32; f];
-        for v in 0..f as u32 {
-            cnt_in_a[v as usize] = fg.adj(v).intersection_len(&set) as u32;
+        for (v, cnt) in cnt_in_a.iter_mut().enumerate() {
+            *cnt = fg
+                .adj_words(v as u32)
+                .iter()
+                .zip(set_words)
+                .map(|(a, b)| (a & b).count_ones())
+                .sum();
         }
         let total_inner = set.iter().map(|v| cnt_in_a[v] as u64).sum();
-        VaState { set, cnt_in_a, total_inner }
+        VaState {
+            set,
+            pos_set,
+            cnt_in_a,
+            total_inner,
+            log: Vec::new(),
+            version: 0,
+        }
     }
 
     #[inline]
@@ -114,19 +154,227 @@ impl VaState {
         self.set.len()
     }
 
-    /// Remove `u` from `VA`, maintaining all counters.
+    /// Remove `u` from `VA`, maintaining all counters; logged for undo.
     pub(crate) fn remove(&mut self, u: u32, fg: &FeasibleGraph) {
         debug_assert!(self.set.contains(u as usize));
         self.total_inner -= 2 * u64::from(self.cnt_in_a[u as usize]);
         self.set.remove(u as usize);
+        self.pos_set.remove(fg.order_pos(u) as usize);
         for &nb in fg.neighbors(u) {
             self.cnt_in_a[nb as usize] -= 1;
         }
+        self.log.push(u);
+        self.version += 1;
+    }
+
+    /// Checkpoint for [`undo_to`](Self::undo_to).
+    #[inline]
+    pub(crate) fn mark(&self) -> usize {
+        self.log.len()
+    }
+
+    /// Rewind every removal after `mark` (LIFO).
+    pub(crate) fn undo_to(&mut self, mark: usize, fg: &FeasibleGraph) {
+        while self.log.len() > mark {
+            self.undo_last(fg);
+        }
+    }
+
+    /// Rewind exactly one removal, returning the re-inserted vertex.
+    pub(crate) fn undo_last(&mut self, fg: &FeasibleGraph) -> u32 {
+        let u = self.log.pop().expect("undo_last requires a logged removal");
+        for &nb in fg.neighbors(u) {
+            self.cnt_in_a[nb as usize] += 1;
+        }
+        self.set.insert(u as usize);
+        self.pos_set.insert(fg.order_pos(u) as usize);
+        // cnt_in_a[u] is already back to its pre-removal value: every
+        // neighbor removed after u has been re-inserted first (LIFO).
+        self.total_inner += 2 * u64::from(self.cnt_in_a[u as usize]);
+        self.version += 1;
+        u
     }
 
     /// `min_{v ∈ VA} |N_v ∩ VA|` (0 for empty `VA`).
     pub(crate) fn min_inner_degree(&self) -> u64 {
-        self.set.iter().map(|v| u64::from(self.cnt_in_a[v])).min().unwrap_or(0)
+        self.set
+            .iter()
+            .map(|v| u64::from(self.cnt_in_a[v]))
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+/// Per-`VS` aggregate caches for the `U`/`A` feasibility conditions,
+/// shared by SGSelect's and STGSelect's searchers (the STGQ engine passes
+/// its `StVaState`'s base [`VaState`]).
+///
+/// With `VS' = VS ∪ {u}` and `VA' = VA − {u}`:
+/// for `v ∈ VS`: `miss_v = |VS'| − 1 − |N_v ∩ VS'| = |VS| − cnt_s[v] − adj(v,u)`
+/// and the expansibility term is `(cnt_a[v] − adj(v,u)) + (k − miss_v)`;
+/// for `u` itself: `miss_u = |VS| − cnt_s[u]`, term `cnt_a[u] + (k − miss_u)`.
+///
+/// Two algebraic facts replace a per-candidate rescan of `VS`:
+///
+/// * in the expansibility term the `adj(v,u)` contributions **cancel**
+///   (`−adj_vu` from the neighbour count, `+adj_vu` from `−miss_v`), so
+///   the `VS` part is `min_v (cnt_a[v] + cnt_s[v]) + k − |VS|` —
+///   independent of `u`, cached as `agg_slack_min`, and kept valid
+///   *incrementally* across `VA` removals ([`note_va_removal`]);
+/// * `max_v miss_v` is either `agg_miss_max` (some maximiser is not
+///   adjacent to `u`) or `agg_miss_max − 1` (all are), so one
+///   word-parallel subset test against the maximiser set decides it.
+///
+/// Caches are keyed by `(vs_version, va.version)`, so staleness is
+/// impossible by construction.
+///
+/// [`note_va_removal`]: Self::note_va_removal
+pub(crate) struct VsAggregates {
+    /// `VS` as a bitset (for word-level `VS ∩ N(u)` queries).
+    vs_set: BitSet,
+    /// `max_{v ∈ VS} (|VS| − cnt_s[v])`; maintained on push/pop.
+    agg_miss_max: i64,
+    /// The `VS` members attaining `agg_miss_max`.
+    attaining: BitSet,
+    /// Cached `min_{v ∈ VS} (cnt_a[v] + cnt_s[v])`, valid for `slack_key`.
+    agg_slack_min: i64,
+    slack_key: (u64, u64),
+    /// Bumped on push/pop, pairs with [`VaState::version`] for cache keys.
+    vs_version: u64,
+    /// Per-candidate `(key, u_val, a_val)` memo: θ/φ-relaxation passes
+    /// re-examine candidates against looser thresholds, and when neither
+    /// `VS` nor `VA` mutated in between, `U`/`A` are unchanged.
+    uv_cache: Vec<((u64, u64), i64, i64)>,
+}
+
+impl VsAggregates {
+    pub(crate) fn new(f: usize) -> Self {
+        VsAggregates {
+            vs_set: BitSet::new(f),
+            agg_miss_max: i64::MIN,
+            attaining: BitSet::new(f),
+            agg_slack_min: i64::MAX,
+            slack_key: (u64::MAX, u64::MAX),
+            vs_version: 0,
+            uv_cache: vec![((u64::MAX, u64::MAX), 0, 0); f],
+        }
+    }
+
+    /// Record `u` entering `VS` (after `vs`/`cnt_in_s` are updated).
+    pub(crate) fn on_push(&mut self, u: u32, vs: &[u32], cnt_in_s: &[u32]) {
+        self.vs_set.insert(u as usize);
+        self.refresh(vs, cnt_in_s);
+    }
+
+    /// Record `u` leaving `VS` (after `vs`/`cnt_in_s` are updated).
+    pub(crate) fn on_pop(&mut self, u: u32, vs: &[u32], cnt_in_s: &[u32]) {
+        self.vs_set.remove(u as usize);
+        self.refresh(vs, cnt_in_s);
+    }
+
+    /// Recompute the push/pop-maintained aggregates and invalidate the
+    /// VA-dependent ones.
+    fn refresh(&mut self, vs: &[u32], cnt_in_s: &[u32]) {
+        let vs_len = vs.len() as i64;
+        self.agg_miss_max = vs
+            .iter()
+            .map(|&v| vs_len - i64::from(cnt_in_s[v as usize]))
+            .max()
+            .unwrap_or(i64::MIN);
+        self.attaining.clear();
+        for &v in vs {
+            if vs_len - i64::from(cnt_in_s[v as usize]) == self.agg_miss_max {
+                self.attaining.insert(v as usize);
+            }
+        }
+        self.vs_version += 1;
+    }
+
+    /// The current cache key against `va`.
+    #[inline]
+    pub(crate) fn key(&self, va: &VaState) -> (u64, u64) {
+        (self.vs_version, va.version)
+    }
+
+    /// Keep `agg_slack_min` exact across the removal of `u` from `VA`
+    /// (call *after* the removal, passing the pre-removal [`key`]): a
+    /// removal only lowers `cnt_a[v] + cnt_s[v]` for the `VS` members
+    /// adjacent to `u`, and a minimum under point-decreases is
+    /// `min(old, updated points)` — so folding `VS ∩ N(u)` (a word-level
+    /// intersection, usually empty or tiny) avoids the O(|VS|) rescan.
+    ///
+    /// [`key`]: Self::key
+    pub(crate) fn note_va_removal(
+        &mut self,
+        fg: &FeasibleGraph,
+        u: u32,
+        cnt_in_s: &[u32],
+        va: &VaState,
+        pre_key: (u64, u64),
+    ) {
+        if self.slack_key == pre_key {
+            let adj_u = fg.adj_words(u);
+            for (wi, (&vw, &aw)) in self.vs_set.words().iter().zip(adj_u).enumerate() {
+                let mut hits = vw & aw;
+                while hits != 0 {
+                    let v = wi * 64 + hits.trailing_zeros() as usize;
+                    hits &= hits - 1;
+                    let slack = i64::from(va.cnt_in_a[v]) + i64::from(cnt_in_s[v]);
+                    self.agg_slack_min = self.agg_slack_min.min(slack);
+                }
+            }
+            self.slack_key = self.key(va);
+        }
+    }
+
+    /// `U(VS ∪ {u})` and `A(VS ∪ {u})` from the aggregates (see the type
+    /// docs for the derivation).
+    pub(crate) fn u_and_a(
+        &mut self,
+        fg: &FeasibleGraph,
+        u: u32,
+        k: i64,
+        vs: &[u32],
+        cnt_in_s: &[u32],
+        va: &VaState,
+    ) -> (i64, i64) {
+        debug_assert!(!vs.is_empty(), "u_and_a requires the initiator in VS");
+        let key = self.key(va);
+        let cached = &self.uv_cache[u as usize];
+        if cached.0 == key {
+            return (cached.1, cached.2);
+        }
+        let vs_len = vs.len() as i64;
+        let miss_u = vs_len - i64::from(cnt_in_s[u as usize]);
+
+        if self.slack_key != key {
+            self.agg_slack_min = vs
+                .iter()
+                .map(|&v| i64::from(va.cnt_in_a[v as usize]) + i64::from(cnt_in_s[v as usize]))
+                .min()
+                .unwrap_or(i64::MAX);
+            self.slack_key = key;
+        }
+        let a_val = (i64::from(va.cnt_in_a[u as usize]) + (k - miss_u))
+            .min(self.agg_slack_min + k - vs_len);
+
+        let mut u_val = miss_u.max(self.agg_miss_max - 1);
+        if self.agg_miss_max > u_val {
+            // Exact only if some maximiser of miss_v is not adjacent to u:
+            // one word-parallel subset test on the flattened adjacency.
+            let adj_u = fg.adj_words(u);
+            let all_adjacent = self
+                .attaining
+                .words()
+                .iter()
+                .zip(adj_u)
+                .all(|(a, b)| a & !b == 0);
+            if !all_adjacent {
+                u_val = self.agg_miss_max;
+            }
+        }
+        self.uv_cache[u as usize] = (key, u_val, a_val);
+        (u_val, a_val)
     }
 }
 
@@ -141,6 +389,8 @@ pub(crate) struct Searcher<'a> {
     pub(crate) vs: Vec<u32>,
     /// `|N_v ∩ VS|` for every compact vertex.
     cnt_in_s: Vec<u32>,
+    /// The shared `U`/`A` aggregate caches (see [`VsAggregates`]).
+    agg: VsAggregates,
     incumbent: &'a Incumbent<Vec<u32>>,
     pub(crate) stats: SearchStats,
 }
@@ -163,6 +413,7 @@ impl<'a> Searcher<'a> {
             cfg: *cfg,
             vs: Vec::with_capacity(p),
             cnt_in_s: vec![0; fg.len()],
+            agg: VsAggregates::new(fg.len()),
             incumbent,
             stats: SearchStats::default(),
         }
@@ -173,6 +424,7 @@ impl<'a> Searcher<'a> {
             self.cnt_in_s[nb as usize] += 1;
         }
         self.vs.push(u);
+        self.agg.on_push(u, &self.vs, &self.cnt_in_s);
     }
 
     fn pop(&mut self, u: u32) {
@@ -181,30 +433,23 @@ impl<'a> Searcher<'a> {
         for &nb in self.fg.neighbors(u) {
             self.cnt_in_s[nb as usize] -= 1;
         }
+        self.agg.on_pop(u, &self.vs, &self.cnt_in_s);
     }
 
-    /// `U(VS ∪ {u})` and `A(VS ∪ {u})` in one pass over `VS`.
-    ///
-    /// With `VS' = VS ∪ {u}` and `VA' = VA − {u}`:
-    /// for `v ∈ VS`: `miss_v = |VS'| − 1 − |N_v ∩ VS'| = |VS| − cnt_s[v] − adj(v,u)`
-    /// and the expansibility term is `(cnt_a[v] − adj(v,u)) + (k − miss_v)`;
-    /// for `u` itself: `miss_u = |VS| − cnt_s[u]`, term `cnt_a[u] + (k − miss_u)`.
-    pub(crate) fn u_and_a(&self, u: u32, va: &VaState) -> (i64, i64) {
-        let vs_len = self.vs.len() as i64;
-        let adj_u = self.fg.adj(u);
+    /// Remove `u` from `VA`, keeping the slack aggregate incrementally
+    /// valid (see [`VsAggregates::note_va_removal`]).
+    fn remove_from_va(&mut self, va: &mut VaState, u: u32) {
+        let pre_key = self.agg.key(va);
+        va.remove(u, self.fg);
+        self.agg
+            .note_va_removal(self.fg, u, &self.cnt_in_s, va, pre_key);
+    }
 
-        let miss_u = vs_len - i64::from(self.cnt_in_s[u as usize]);
-        let mut u_val = miss_u;
-        let mut a_val = i64::from(va.cnt_in_a[u as usize]) + (self.k - miss_u);
-
-        for &v in &self.vs {
-            let adj_vu = i64::from(adj_u.contains(v as usize));
-            let miss_v = vs_len - i64::from(self.cnt_in_s[v as usize]) - adj_vu;
-            u_val = u_val.max(miss_v);
-            let term = (i64::from(va.cnt_in_a[v as usize]) - adj_vu) + (self.k - miss_v);
-            a_val = a_val.min(term);
-        }
-        (u_val, a_val)
+    /// `U(VS ∪ {u})` and `A(VS ∪ {u})` — see [`VsAggregates`] for the
+    /// derivation.
+    pub(crate) fn u_and_a(&mut self, u: u32, va: &VaState) -> (i64, i64) {
+        self.agg
+            .u_and_a(self.fg, u, self.k, &self.vs, &self.cnt_in_s, va)
     }
 
     /// Hard feasibility of pushing `u` onto the current `VS`: the interior
@@ -234,7 +479,9 @@ impl<'a> Searcher<'a> {
         if !self.cfg.distance_pruning {
             return false;
         }
-        let Some(best) = self.incumbent.dist() else { return false };
+        let Some(best) = self.incumbent.dist() else {
+            return false;
+        };
         let need = (self.p - self.vs.len()) as u64;
         let fires = match best.checked_sub(td) {
             None => true, // td already exceeds the incumbent
@@ -265,8 +512,16 @@ impl<'a> Searcher<'a> {
         if rhs <= 0 {
             return false;
         }
-        let not_extracted = va.len() as i64 - need;
+        let na = va.len() as i64;
+        let not_extracted = na - need;
         debug_assert!(not_extracted >= 0);
+        // Quick no-fire test without the O(|VA|) min-degree scan: the
+        // minimum inner degree is at most the average `total_inner / |VA|`,
+        // so `lhs ≥ total_inner · need / |VA|`. When that already clears
+        // `rhs` the prune cannot fire — the common case by far.
+        if va.total_inner as i64 * need >= rhs * na {
+            return false;
+        }
         let lhs = va.total_inner as i64 - not_extracted * va.min_inner_degree() as i64;
         let fires = lhs < rhs;
         if fires {
@@ -281,9 +536,11 @@ impl<'a> Searcher<'a> {
         self.incumbent.offer(td, || vs.clone());
     }
 
-    /// One `ExpandSG` frame (Algorithm 2). `va` is owned by the frame; `td`
-    /// is `Σ_{v ∈ VS} d_{v,q}`.
-    pub(crate) fn expand(&mut self, mut va: VaState, td: Dist) {
+    /// One `ExpandSG` frame (Algorithm 2). `va` is the search's **shared**
+    /// remaining set: the frame removes candidates in place and the caller
+    /// rewinds to its own mark when this frame returns, so no descent
+    /// allocates. `td` is `Σ_{v ∈ VS} d_{v,q}`.
+    pub(crate) fn expand(&mut self, va: &mut VaState, td: Dist) {
         if let Some(budget) = self.cfg.frame_budget {
             if self.stats.frames >= budget {
                 self.stats.truncated = true;
@@ -293,37 +550,43 @@ impl<'a> Searcher<'a> {
         self.stats.frames += 1;
         let order = self.fg.candidate_order();
         let mut theta = self.cfg.theta0;
-        // Cursor into `order`: vertices before it are "visited" in this
+        // Cursor into `order`: positions before it are "visited" in this
         // frame. Reset when θ decays, exactly like the pseudo-code's
-        // "mark remaining vertices in VA as unvisited".
+        // "mark remaining vertices in VA as unvisited". Scans over the
+        // access order run on `pos_set` — word-parallel successor queries
+        // instead of per-position membership probes.
         let mut cursor = 0usize;
-        // Monotone pointer to the minimum-distance member of VA.
-        let mut min_ptr = 0usize;
+        // The frame-level checks (cardinality, Lemma 2, Lemma 3) depend
+        // only on (VS, VA, incumbent). Sequentially the incumbent only
+        // moves together with a VA mutation (record → pop → remove), so
+        // between mutation-free iterations the checks are provably no-ops
+        // and re-running them only on VA-version changes is bit-identical.
+        // Under the parallel solvers another thread may improve the shared
+        // incumbent inside that window; the deferred Lemma-2 check then
+        // fires one mutation later — weaker pruning for a bounded moment,
+        // never unsound (pruning is optional for correctness).
+        let mut checked_version = u64::MAX;
 
         loop {
-            if self.vs.len() + va.len() < self.p {
-                return;
-            }
-            while min_ptr < order.len() && !va.set.contains(order[min_ptr] as usize) {
-                min_ptr += 1;
-            }
-            debug_assert!(min_ptr < order.len(), "VA non-empty here");
-            let min_dist = self.fg.dist(order[min_ptr]);
-            if self.distance_prune(td, min_dist) {
-                return;
-            }
-            if self.acquaintance_prune(&va) {
-                return;
+            if va.version != checked_version {
+                checked_version = va.version;
+                if self.vs.len() + va.len() < self.p {
+                    return;
+                }
+                let min_pos = va.pos_set.first().expect("VA non-empty here");
+                let min_dist = self.fg.dist(order[min_pos]);
+                if self.distance_prune(td, min_dist) {
+                    return;
+                }
+                if self.acquaintance_prune(va) {
+                    return;
+                }
             }
 
             // Access ordering: next unvisited vertex of VA by distance.
-            while cursor < order.len() && !va.set.contains(order[cursor] as usize) {
-                cursor += 1;
-            }
-            let u = if cursor < order.len() {
-                let u = order[cursor];
-                cursor += 1;
-                u
+            let u = if let Some(pos) = va.pos_set.next_set_at_or_after(cursor) {
+                cursor = pos + 1;
+                order[pos]
             } else if theta > 0 {
                 theta -= 1;
                 cursor = 0;
@@ -333,18 +596,18 @@ impl<'a> Searcher<'a> {
             };
             self.stats.candidates_examined += 1;
 
-            let (u_val, a_val) = self.u_and_a(u, &va);
+            let (u_val, a_val) = self.u_and_a(u, va);
             if a_val < (self.p - self.vs.len() - 1) as i64 {
                 // Lemma 1: VS ∪ {u} is not expansible — u is useless here.
                 self.stats.exterior_rejections += 1;
-                va.remove(u, self.fg);
+                self.remove_from_va(va, u);
                 continue;
             }
             if !self.interior_ok(u_val, theta) {
                 self.stats.interior_rejections += 1;
                 if theta == 0 {
                     // U(VS ∪ {u}) > k: u can never join this VS.
-                    va.remove(u, self.fg);
+                    self.remove_from_va(va, u);
                 }
                 continue;
             }
@@ -358,13 +621,16 @@ impl<'a> Searcher<'a> {
                 // frame: any sibling has d ≥ d_u, so stop (pseudo-code BREAK).
                 return;
             }
-            let mut child = va.clone();
-            child.remove(u, self.fg);
+            // Descend with u extracted; the child frame's removals are
+            // rewound wholesale when it returns (what used to be a clone).
+            let frame_mark = va.mark();
+            self.remove_from_va(va, u);
             self.stats.vertices_expanded += 1;
-            self.expand(child, new_td);
+            self.expand(va, new_td);
+            va.undo_to(frame_mark, self.fg);
             self.pop(u);
             // The branch containing u is fully explored.
-            va.remove(u, self.fg);
+            self.remove_from_va(va, u);
         }
     }
 }
@@ -400,8 +666,14 @@ mod tests {
         let query = SgqQuery::new(4, 1, 1).unwrap();
         let out = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap();
         let sol = out.solution.expect("example 2 is feasible");
-        assert_eq!(sol.total_distance, 62, "paper: optimal {{v2,v3,v4,v7}} = 62");
-        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+        assert_eq!(
+            sol.total_distance, 62,
+            "paper: optimal {{v2,v3,v4,v7}} = 62"
+        );
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]
+        );
     }
 
     #[test]
@@ -414,7 +686,10 @@ mod tests {
             .unwrap()
             .solution
             .expect("clique exists");
-        assert_eq!(sol.members, vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]);
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)]
+        );
         assert_eq!(sol.total_distance, 67);
     }
 
@@ -430,7 +705,10 @@ mod tests {
     fn p_one_returns_singleton_initiator() {
         let (g, q) = example2_graph();
         let query = SgqQuery::new(1, 1, 0).unwrap();
-        let sol = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution.unwrap();
+        let sol = solve_sgq(&g, q, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .unwrap();
         assert_eq!(sol.members, vec![q]);
         assert_eq!(sol.total_distance, 0);
     }
@@ -439,7 +717,10 @@ mod tests {
     fn p_two_picks_closest_friend() {
         let (g, q) = example2_graph();
         let query = SgqQuery::new(2, 1, 1).unwrap();
-        let sol = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution.unwrap();
+        let sol = solve_sgq(&g, q, &query, &SelectConfig::default())
+            .unwrap()
+            .solution
+            .unwrap();
         assert_eq!(sol.members, vec![NodeId(2), NodeId(7)]);
         assert_eq!(sol.total_distance, 17);
     }
@@ -470,8 +751,12 @@ mod tests {
     fn theta_zero_config_still_optimal() {
         let (g, q) = example2_graph();
         let query = SgqQuery::new(4, 1, 1).unwrap();
-        let a = solve_sgq(&g, q, &query, &SelectConfig::default()).unwrap().solution;
-        let b = solve_sgq(&g, q, &query, &SelectConfig::RELAXED).unwrap().solution;
+        let a = solve_sgq(&g, q, &query, &SelectConfig::default())
+            .unwrap()
+            .solution;
+        let b = solve_sgq(&g, q, &query, &SelectConfig::RELAXED)
+            .unwrap()
+            .solution;
         assert_eq!(
             a.as_ref().map(|s| s.total_distance),
             b.as_ref().map(|s| s.total_distance),
@@ -510,6 +795,60 @@ mod tests {
                     u64::from(va.cnt_in_a[v]),
                     fg.adj(v as u32).intersection_len(&va.set) as u64
                 );
+            }
+        }
+    }
+
+    /// Random remove/rewind sequences restore the state bit-for-bit and
+    /// keep every counter consistent at each step — the invariant the
+    /// zero-allocation (undo-log) descent rests on.
+    #[test]
+    fn va_state_undo_log_restores_exactly() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let n = 16;
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        b.add_edge(NodeId(u as u32), NodeId(v as u32), 1 + u as u64 + v as u64)
+                            .unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            let fg = FeasibleGraph::extract(&g, NodeId(0), 3);
+            let mut va = VaState::init(&fg, None);
+            let snapshot = va.clone();
+            let naive_total = |va: &VaState| -> u64 {
+                va.set
+                    .iter()
+                    .map(|v| fg.adj(v as u32).intersection_len(&va.set) as u64)
+                    .sum()
+            };
+
+            // Nested mark/remove/undo rounds, like a search descent.
+            for _ in 0..4 {
+                let outer = va.mark();
+                let present: Vec<u32> = va.set.iter().map(|v| v as u32).collect();
+                for &u in present.iter().take(rng.gen_range(0..=present.len())) {
+                    va.remove(u, &fg);
+                    let inner = va.mark();
+                    // An inner "frame" removes a few more and rewinds.
+                    let rest: Vec<u32> = va.set.iter().map(|v| v as u32).collect();
+                    for &w in rest.iter().take(rng.gen_range(0..=rest.len().min(3))) {
+                        va.remove(w, &fg);
+                    }
+                    va.undo_to(inner, &fg);
+                    assert_eq!(va.total_inner, naive_total(&va), "seed {seed}");
+                }
+                va.undo_to(outer, &fg);
+                assert_eq!(va.set, snapshot.set, "seed {seed}");
+                assert_eq!(va.cnt_in_a, snapshot.cnt_in_a, "seed {seed}");
+                assert_eq!(va.total_inner, snapshot.total_inner, "seed {seed}");
             }
         }
     }

@@ -65,7 +65,11 @@ mod tests {
 
     #[test]
     fn absorb_accumulates_every_field() {
-        let mut a = SearchStats { frames: 1, candidates_examined: 2, ..Default::default() };
+        let mut a = SearchStats {
+            frames: 1,
+            candidates_examined: 2,
+            ..Default::default()
+        };
         let b = SearchStats {
             frames: 10,
             candidates_examined: 20,

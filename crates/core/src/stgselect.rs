@@ -25,16 +25,14 @@
 // Parallel per-slot counters are clearer with indexed loops.
 #![allow(clippy::needless_range_loop)]
 
-use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_graph::{for_each_zero_bit, BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::pivot::{pivot_interval, pivot_of_window, pivot_slots};
 use stgq_schedule::{Calendar, SlotId, SlotRange};
 
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
-use crate::sgselect::VaState;
-use crate::{
-    QueryError, SearchStats, SelectConfig, StgqOutcome, StgqQuery, StgqSolution,
-};
+use crate::sgselect::{VaState, VsAggregates};
+use crate::{QueryError, SearchStats, SelectConfig, StgqOutcome, StgqQuery, StgqSolution};
 
 /// Solve an STGQ with STGSelect.
 ///
@@ -63,11 +61,19 @@ pub fn solve_stgq_on(
     let cfg = cfg.normalized();
     let m = query.m();
     let p = query.p();
-    let horizon = calendars
-        .first()
-        .map(Calendar::horizon)
-        .unwrap_or(0);
     let mut stats = SearchStats::default();
+
+    // No calendars ⇒ nobody (the initiator included) is ever available.
+    // `solve_stgq` rejects this earlier with `CalendarCountMismatch`; this
+    // entry point takes pre-validated inputs, so degrade to "infeasible"
+    // instead of indexing out of bounds.
+    if calendars.is_empty() {
+        return StgqOutcome {
+            solution: None,
+            stats,
+        };
+    }
+    let horizon = calendars[0].horizon();
 
     let q_cal = &calendars[fg.origin(0).index()];
     if p == 1 {
@@ -83,8 +89,7 @@ pub fn solve_stgq_on(
 
     let incumbent = Incumbent::new();
     for pivot in pivot_slots(horizon, m) {
-        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut stats)
-        else {
+        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut stats) else {
             continue;
         };
         search_pivot(fg, query, &cfg, job, &incumbent, &mut stats);
@@ -116,11 +121,68 @@ pub(crate) struct PivotJob {
     /// Maximal available run through the pivot per compact vertex
     /// (Definition 4), `None` for ineligible vertices.
     pub(crate) runs: Vec<Option<SlotRange>>,
-    /// Availability bitmap over interval offsets per eligible vertex.
-    pub(crate) avail: Vec<BitSet>,
+    /// Availability bitmaps over interval offsets, flattened to
+    /// `avail_stride` words per compact vertex (one allocation for the
+    /// whole pivot; ineligible vertices stay all-zero and are never read).
+    pub(crate) avail_words: Vec<u64>,
+    pub(crate) avail_stride: usize,
     /// `VA` restricted to the pivot-eligible candidates, with the Lemma-5
     /// per-slot unavailability counters.
     pub(crate) va: StVaState,
+}
+
+impl PivotJob {
+    /// The packed availability words of compact vertex `v`.
+    #[inline]
+    pub(crate) fn avail(&self, v: u32) -> &[u64] {
+        let start = v as usize * self.avail_stride;
+        &self.avail_words[start..start + self.avail_stride]
+    }
+}
+
+/// The maximal run of **set** bits containing bit `pos` within the first
+/// `len` bits of `words`, as an inclusive offset pair — Definition 4's
+/// "maximal available run through the pivot", computed with word scans
+/// (leading/trailing-zero counts) instead of per-slot probes.
+fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usize)> {
+    debug_assert!(pos < len);
+    let (wi, bi) = (pos / 64, pos % 64);
+    if (words[wi] >> bi) & 1 == 0 {
+        return None;
+    }
+    // Leftward: the last zero strictly below `pos`, if any.
+    let lo = {
+        let mut i = wi;
+        let mut z = !words[wi] & ((1u64 << bi) - 1);
+        loop {
+            if z != 0 {
+                break i * 64 + (63 - z.leading_zeros() as usize) + 1;
+            }
+            if i == 0 {
+                break 0;
+            }
+            i -= 1;
+            z = !words[i];
+        }
+    };
+    // Rightward: the first zero strictly above `pos`, if any. Bits at
+    // `len` and beyond are zero in the packed form, so the scan always
+    // terminates at the range edge without an explicit bound check.
+    let hi = {
+        let mut i = wi;
+        let mut z = !words[wi] & if bi == 63 { 0 } else { u64::MAX << (bi + 1) };
+        loop {
+            if z != 0 {
+                break i * 64 + z.trailing_zeros() as usize - 1;
+            }
+            i += 1;
+            if i >= words.len() {
+                break len - 1;
+            }
+            z = !words[i];
+        }
+    };
+    Some((lo, hi.min(len - 1)))
 }
 
 /// Build the per-pivot state (Definition 4 eligibility, availability
@@ -141,44 +203,67 @@ pub(crate) fn prepare_pivot(
     let q_cal = &calendars[fg.origin(0).index()];
     let interval = pivot_interval(pivot, m, horizon);
     // Definition 4 for the initiator: she must support an m-run too.
-    let q_run = q_cal.run_containing(pivot, interval).filter(|r| r.len() >= m)?;
+    let q_run = q_cal
+        .run_containing(pivot, interval)
+        .filter(|r| r.len() >= m)?;
     stats.pivots_processed += 1;
 
     // Per-pivot eligibility (Definition 4) and interval availability.
+    // Everything runs on packed words: the calendar's words are shifted
+    // onto interval offsets 64 slots at a time (`Calendar::range_words`),
+    // the Definition-4 run comes from leading/trailing-zero scans on
+    // those words (`run_through_bit`), and eligible candidates' words are
+    // copied into one flattened buffer — no per-slot probe, no
+    // per-candidate allocation.
     let ilen = interval.len();
+    let stride = ilen.div_ceil(64);
+    let q_off = pivot - interval.lo;
     let mut runs: Vec<Option<SlotRange>> = vec![None; f];
-    let mut avail: Vec<BitSet> = vec![BitSet::new(0); f];
+    let mut avail_words = vec![0u64; f * stride];
     runs[0] = Some(q_run);
     let mut eligible = BitSet::new(f);
+    let mut scratch: Vec<u64> = Vec::with_capacity(stride);
     for &c in fg.candidate_order() {
         let cal = &calendars[fg.origin(c).index()];
-        let run = cal.run_containing(pivot, interval).filter(|r| r.len() >= m);
-        runs[c as usize] = run;
-        if run.is_some() {
+        scratch.clear();
+        scratch.extend(cal.range_words(interval));
+        if let Some((lo, hi)) =
+            run_through_bit(&scratch, ilen, q_off).filter(|&(lo, hi)| hi - lo + 1 >= m)
+        {
+            runs[c as usize] = Some(SlotRange::new(interval.lo + lo, interval.lo + hi));
             eligible.insert(c as usize);
-            let mut bits = BitSet::new(ilen);
-            for (off, slot) in interval.iter().enumerate() {
-                if cal.is_available(slot) {
-                    bits.insert(off);
-                }
-            }
-            avail[c as usize] = bits;
+            let start = c as usize * stride;
+            avail_words[start..start + stride].copy_from_slice(&scratch);
         }
     }
     if eligible.len() + 1 < p {
         return None;
     }
 
+    // Lemma-5 counters: members are mostly available inside the interval
+    // (they all carry an m-run through the pivot), so iterate only the
+    // *zero* offsets of each bitmap — O(words + zeros), not O(ilen).
     let base = VaState::init(fg, Some(&eligible));
     let mut unavail = vec![0u32; ilen];
     for v in eligible.iter() {
-        for off in 0..ilen {
-            if !avail[v].contains(off) {
-                unavail[off] += 1;
-            }
-        }
+        for_each_zero_bit(&avail_words[v * stride..(v + 1) * stride], ilen, |off| {
+            unavail[off] += 1;
+        });
     }
-    Some(PivotJob { pivot, interval, q_run, runs, avail, va: StVaState { base, unavail } })
+    let max_unavail_ub = unavail.iter().copied().max().unwrap_or(0);
+    Some(PivotJob {
+        pivot,
+        interval,
+        q_run,
+        runs,
+        avail_words,
+        avail_stride: stride,
+        va: StVaState {
+            base,
+            unavail,
+            max_unavail_ub,
+        },
+    })
 }
 
 /// Run the STGSelect branch-and-bound for one prepared pivot, recording
@@ -191,34 +276,176 @@ pub(crate) fn search_pivot(
     incumbent: &Incumbent<StBest>,
     stats: &mut SearchStats,
 ) {
-    let p = query.p();
-    let mut searcher = StSearcher {
+    let PivotJob {
+        pivot,
+        interval,
+        q_run,
+        runs,
+        avail_words,
+        avail_stride,
+        mut va,
+    } = job;
+    let mut searcher = StSearcher::new(
         fg,
-        p,
-        // Clamped as in SGSelect: beyond p−1 the constraint is vacuous.
-        k: query.k().min(p - 1) as i64,
-        m: query.m(),
-        cfg: *cfg,
-        pivot: job.pivot,
-        interval: job.interval,
-        runs: &job.runs,
-        avail: &job.avail,
-        vs: Vec::with_capacity(p),
-        cnt_in_s: vec![0; fg.len()],
-        ts_stack: Vec::with_capacity(p),
+        query,
+        cfg,
+        pivot,
+        interval,
+        &runs,
+        &avail_words,
+        avail_stride,
         incumbent,
         stats,
-    };
+    );
+    searcher.push(0, q_run);
+    searcher.expand(&mut va, 0);
+}
+
+/// Vet each access-order position as a depth-1 forced root for `job`'s
+/// pivot: `root_ok[pos]` ⇔ pushing `order[pos]` onto `VS = {q}` survives
+/// the hard acquaintance check, Lemma 1 against the position's suffix
+/// `VA`, and the hard temporal requirement (`|q_run ∩ run_u| ≥ m`).
+///
+/// Mirrors the SGQ parallel solver's root vetting: sound to skip on,
+/// because a deeper forced prefix only shrinks the effective `VA`.
+pub(crate) fn vet_pivot_roots(
+    fg: &FeasibleGraph,
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    job: &PivotJob,
+    incumbent: &Incumbent<StBest>,
+) -> Vec<bool> {
+    let order = fg.candidate_order();
+    let mut ok = vec![false; order.len()];
+    let mut scratch = SearchStats::default();
+    let mut probe = StSearcher::new(
+        fg,
+        query,
+        cfg,
+        job.pivot,
+        job.interval,
+        &job.runs,
+        &job.avail_words,
+        job.avail_stride,
+        incumbent,
+        &mut scratch,
+    );
+    probe.push(0, job.q_run);
+    let mut va = job.va.clone();
+    for (pos, &u) in order.iter().enumerate() {
+        if !va.base.set.contains(u as usize) {
+            continue;
+        }
+        let (u_val, a_val) = probe.u_and_a(u, &va);
+        let run_u = job.runs[u as usize].expect("VA members are eligible");
+        let ts = job.q_run.intersect(&run_u);
+        ok[pos] = probe.hard_feasible(u_val, a_val) && ts.is_some_and(|ts| ts.len() >= query.m());
+        va.remove(u, fg, job.avail(u));
+    }
+    ok
+}
+
+/// Search one forced-prefix subtree of `job`'s pivot: force `order[i]`
+/// (and `order[j]` for a depth-2 task), exclude everything ordered before
+/// the last forced vertex, and expand the rest. The union of the subtrees
+/// over all `i` (with the depth-1/depth-2 composition the caller builds)
+/// partitions the pivot's search space, so running them concurrently
+/// against a shared incumbent preserves the sequential optimum.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_pivot_subtree(
+    fg: &FeasibleGraph,
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    job: &PivotJob,
+    i: usize,
+    forced_j: Option<usize>,
+    incumbent: &Incumbent<StBest>,
+    stats: &mut SearchStats,
+) {
+    let p = query.p();
+    let m = query.m();
+    let order = fg.candidate_order();
+    let last_forced = forced_j.unwrap_or(i);
+    if !job.va.base.set.contains(order[last_forced] as usize) {
+        return;
+    }
+
+    // VA: everything ordered after the last forced vertex (its own
+    // feasibility check below extracts it).
+    let mut va = job.va.clone();
+    for (pos, &w) in order[..=last_forced].iter().enumerate() {
+        if pos != last_forced && va.base.set.contains(w as usize) {
+            va.remove(w, fg, job.avail(w));
+        }
+    }
+    let forced_members = if forced_j.is_some() { 2 } else { 1 };
+    if va.len() + forced_members < p {
+        return;
+    }
+
+    let mut searcher = StSearcher::new(
+        fg,
+        query,
+        cfg,
+        job.pivot,
+        job.interval,
+        &job.runs,
+        &job.avail_words,
+        job.avail_stride,
+        incumbent,
+        stats,
+    );
     searcher.push(0, job.q_run);
-    searcher.expand(job.va, 0);
+    let u_i = order[i];
+    let mut td = fg.dist(u_i);
+    let mut ts = job.q_run;
+    if forced_j.is_some() {
+        // The caller vetted u_i against VS = {q} (root_ok), including the
+        // temporal intersection — recompute the narrowed run for the stack.
+        let run_i = job.runs[u_i as usize].expect("vetted roots are eligible");
+        ts = ts.intersect(&run_i).expect("vetted roots share the pivot");
+        searcher.push(u_i, ts);
+    }
+    let u_last = order[last_forced];
+    searcher.stats.candidates_examined += 1;
+    let (u_val, a_val) = searcher.u_and_a(u_last, &va);
+    let run_last = job.runs[u_last as usize].expect("VA members are eligible");
+    let new_ts = ts.intersect(&run_last).filter(|t| t.len() >= m);
+    if let Some(new_ts) = new_ts {
+        if searcher.hard_feasible(u_val, a_val) {
+            if forced_j.is_some() {
+                td += fg.dist(u_last);
+            }
+            searcher.push(u_last, new_ts);
+            va.remove(u_last, fg, job.avail(u_last));
+            searcher.stats.vertices_expanded += 1;
+            if searcher.vs.len() >= p {
+                searcher.record(td, new_ts);
+            } else {
+                searcher.expand(&mut va, td);
+            }
+        }
+    }
 }
 
 /// `VA` plus the per-slot unavailability counters for Lemma 5.
+///
+/// Counter maintenance is **word-parallel**: a member's removal touches
+/// only the *zero words* of its availability bitmap (skipped wholesale
+/// when all-available), instead of branching on all `2m−1` interval
+/// offsets. Removals share the base [`VaState`] undo log, so one state
+/// serves the whole pivot search allocation-free.
 #[derive(Clone)]
 pub(crate) struct StVaState {
     base: VaState,
     /// For each interval offset: how many `VA` members are unavailable there.
     unavail: Vec<u32>,
+    /// Upper bound on `max(unavail)`: never undershoots the true maximum
+    /// (removals lower counters without shrinking it; undos raise it as
+    /// needed). Lemma 5 needs a counter `≥ n` to fire at all, so
+    /// `max_unavail_ub < n` skips the blocked-slot scan entirely — the
+    /// common case, since pivot-eligible members are mostly available.
+    max_unavail_ub: u32,
 }
 
 impl StVaState {
@@ -226,13 +453,39 @@ impl StVaState {
         self.base.len()
     }
 
-    fn remove(&mut self, u: u32, fg: &FeasibleGraph, avail_u: &BitSet) {
+    /// Forwarded mutation version (see [`VaState::version`]).
+    #[inline]
+    fn version(&self) -> u64 {
+        self.base.version
+    }
+
+    fn remove(&mut self, u: u32, fg: &FeasibleGraph, avail_u: &[u64]) {
         self.base.remove(u, fg);
-        for off in 0..self.unavail.len() {
-            if !avail_u.contains(off) {
-                self.unavail[off] -= 1;
-            }
+        let len = self.unavail.len();
+        for_each_zero_bit(avail_u, len, |off| self.unavail[off] -= 1);
+        // max_unavail_ub stays: counters only dropped.
+    }
+
+    /// Checkpoint for [`undo_to`](Self::undo_to).
+    #[inline]
+    fn mark(&self) -> usize {
+        self.base.mark()
+    }
+
+    /// Rewind every removal after `mark`, restoring the Lemma-5 counters
+    /// from each re-inserted member's availability words.
+    fn undo_to(&mut self, mark: usize, fg: &FeasibleGraph, avail_words: &[u64], stride: usize) {
+        let mut max_ub = self.max_unavail_ub;
+        while self.base.log.len() > mark {
+            let u = self.base.undo_last(fg) as usize;
+            let len = self.unavail.len();
+            let unavail = &mut self.unavail;
+            for_each_zero_bit(&avail_words[u * stride..(u + 1) * stride], len, |off| {
+                unavail[off] += 1;
+                max_ub = max_ub.max(unavail[off]);
+            });
         }
+        self.max_unavail_ub = max_ub;
     }
 }
 
@@ -248,23 +501,76 @@ struct StSearcher<'a> {
     interval: SlotRange,
     /// Maximal available run through the pivot, per eligible compact vertex.
     runs: &'a [Option<SlotRange>],
-    /// Availability bitmap over interval offsets, per eligible vertex.
-    avail: &'a [BitSet],
+    /// Flattened availability words (`avail_stride` per vertex).
+    avail_words: &'a [u64],
+    avail_stride: usize,
     vs: Vec<u32>,
     cnt_in_s: Vec<u32>,
+    /// The shared `U`/`A` aggregate caches (see [`VsAggregates`]).
+    agg: VsAggregates,
     /// `TS` after each push; `last()` is the current common run.
     ts_stack: Vec<SlotRange>,
     incumbent: &'a Incumbent<StBest>,
     stats: &'a mut SearchStats,
 }
 
-impl StSearcher<'_> {
+impl<'a> StSearcher<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        fg: &'a FeasibleGraph,
+        query: &StgqQuery,
+        cfg: &SelectConfig,
+        pivot: SlotId,
+        interval: SlotRange,
+        runs: &'a [Option<SlotRange>],
+        avail_words: &'a [u64],
+        avail_stride: usize,
+        incumbent: &'a Incumbent<StBest>,
+        stats: &'a mut SearchStats,
+    ) -> Self {
+        let p = query.p();
+        StSearcher {
+            fg,
+            p,
+            // Clamped as in SGSelect: beyond p−1 the constraint is vacuous.
+            k: query.k().min(p - 1) as i64,
+            m: query.m(),
+            cfg: *cfg,
+            pivot,
+            interval,
+            runs,
+            avail_words,
+            avail_stride,
+            vs: Vec::with_capacity(p),
+            cnt_in_s: vec![0; fg.len()],
+            agg: VsAggregates::new(fg.len()),
+            ts_stack: Vec::with_capacity(p),
+            incumbent,
+            stats,
+        }
+    }
+
+    /// Hard feasibility of pushing `u` onto the current `VS` (acquaintance
+    /// at θ = 0 plus Lemma 1), as in SGSelect's forced-root vetting. The
+    /// temporal requirement is checked separately by the callers.
+    fn hard_feasible(&self, u_val: i64, a_val: i64) -> bool {
+        u_val <= self.k && a_val >= (self.p - self.vs.len() - 1) as i64
+    }
+
+    /// The packed availability words of compact vertex `u`.
+    #[inline]
+    fn avail_of(&self, u: u32) -> &'a [u64] {
+        let start = u as usize * self.avail_stride;
+        &self.avail_words[start..start + self.avail_stride]
+    }
+
     fn push(&mut self, u: u32, ts: SlotRange) {
         for &nb in self.fg.neighbors(u) {
             self.cnt_in_s[nb as usize] += 1;
         }
         self.vs.push(u);
         self.ts_stack.push(ts);
+        self.agg.on_push(u, &self.vs, &self.cnt_in_s);
     }
 
     fn pop(&mut self, u: u32) {
@@ -274,27 +580,28 @@ impl StSearcher<'_> {
         for &nb in self.fg.neighbors(u) {
             self.cnt_in_s[nb as usize] -= 1;
         }
+        self.agg.on_pop(u, &self.vs, &self.cnt_in_s);
+    }
+
+    /// Remove `u` from `VA`, keeping the slack aggregate incrementally
+    /// valid (see [`VsAggregates::note_va_removal`]).
+    fn remove_from_va(&mut self, va: &mut StVaState, u: u32) {
+        let pre_key = self.agg.key(&va.base);
+        va.remove(u, self.fg, self.avail_of(u));
+        self.agg
+            .note_va_removal(self.fg, u, &self.cnt_in_s, &va.base, pre_key);
     }
 
     fn current_ts(&self) -> SlotRange {
         *self.ts_stack.last().expect("VS always holds the initiator")
     }
 
-    /// Identical to SGSelect's `u_and_a` (see `sgselect.rs` for derivation).
-    fn u_and_a(&self, u: u32, va: &StVaState) -> (i64, i64) {
-        let vs_len = self.vs.len() as i64;
-        let adj_u = self.fg.adj(u);
-        let miss_u = vs_len - i64::from(self.cnt_in_s[u as usize]);
-        let mut u_val = miss_u;
-        let mut a_val = i64::from(va.base.cnt_in_a[u as usize]) + (self.k - miss_u);
-        for &v in &self.vs {
-            let adj_vu = i64::from(adj_u.contains(v as usize));
-            let miss_v = vs_len - i64::from(self.cnt_in_s[v as usize]) - adj_vu;
-            u_val = u_val.max(miss_v);
-            let term = (i64::from(va.base.cnt_in_a[v as usize]) - adj_vu) + (self.k - miss_v);
-            a_val = a_val.min(term);
-        }
-        (u_val, a_val)
+    /// `U(VS ∪ {u})` and `A(VS ∪ {u})` — see [`VsAggregates`] for the
+    /// derivation (the temporal engine shares SGSelect's aggregates via
+    /// the base [`VaState`]).
+    fn u_and_a(&mut self, u: u32, va: &StVaState) -> (i64, i64) {
+        self.agg
+            .u_and_a(self.fg, u, self.k, &self.vs, &self.cnt_in_s, &va.base)
     }
 
     fn interior_ok(&self, u_val: i64, theta: u32) -> bool {
@@ -322,7 +629,9 @@ impl StSearcher<'_> {
         if !self.cfg.distance_pruning {
             return false;
         }
-        let Some(best) = self.incumbent.dist() else { return false };
+        let Some(best) = self.incumbent.dist() else {
+            return false;
+        };
         let need = (self.p - self.vs.len()) as u64;
         let fires = match best.checked_sub(td) {
             None => true,
@@ -343,8 +652,13 @@ impl StSearcher<'_> {
         if rhs <= 0 {
             return false;
         }
-        let not_extracted = va.len() as i64 - need;
+        let na = va.len() as i64;
+        let not_extracted = na - need;
         debug_assert!(not_extracted >= 0);
+        // Average-degree quick no-fire test — see SGSelect's derivation.
+        if va.base.total_inner as i64 * need >= rhs * na {
+            return false;
+        }
         let lhs = va.base.total_inner as i64 - not_extracted * va.base.min_inner_degree() as i64;
         let fires = lhs < rhs;
         if fires {
@@ -365,6 +679,13 @@ impl StSearcher<'_> {
         let need = self.p - self.vs.len();
         debug_assert!(va.len() >= need);
         let n = (va.len() - need + 1) as u32;
+        // No counter can reach n ⇒ no blocked slot ⇒ the gap spans the
+        // whole interval (`2m−1 ≥ m` slots plus two virtual edges) and the
+        // prune cannot fire. This upper bound skips the offset scan on the
+        // overwhelming majority of frames.
+        if va.max_unavail_ub < n {
+            return false;
+        }
         let pivot_off = self.pivot - self.interval.lo;
         let len = va.unavail.len();
 
@@ -394,11 +715,17 @@ impl StSearcher<'_> {
         debug_assert!(ts.len() >= self.m);
         let period = SlotRange::new(ts.lo, ts.lo + self.m - 1);
         let (vs, pivot) = (&self.vs, self.pivot);
-        self.incumbent.offer(td, || StBest { group: vs.clone(), period, pivot });
+        self.incumbent.offer(td, || StBest {
+            group: vs.clone(),
+            period,
+            pivot,
+        });
     }
 
-    /// One `ExpandSTG` frame (Algorithm 4).
-    fn expand(&mut self, mut va: StVaState, td: Dist) {
+    /// One `ExpandSTG` frame (Algorithm 4). As in SGSelect, `va` is the
+    /// pivot search's shared state: removals happen in place and the
+    /// caller rewinds to its mark, so descent never allocates.
+    fn expand(&mut self, va: &mut StVaState, td: Dist) {
         if let Some(budget) = self.cfg.frame_budget {
             if self.stats.frames >= budget {
                 self.stats.truncated = true;
@@ -409,35 +736,38 @@ impl StSearcher<'_> {
         let order = self.fg.candidate_order();
         let mut theta = self.cfg.theta0;
         let mut phi = self.cfg.phi0;
+        // Access-order scans run on `pos_set` — word-parallel successor
+        // queries instead of per-position membership probes (see SGSelect).
         let mut cursor = 0usize;
-        let mut min_ptr = 0usize;
+        // Frame-level checks re-run only when VA mutated — sequentially
+        // they are provably no-ops in between; under the parallel solvers
+        // a cross-thread incumbent improvement is picked up one mutation
+        // later, which weakens pruning momentarily but is always sound
+        // (see SGSelect).
+        let mut checked_version = u64::MAX;
 
         loop {
-            if self.vs.len() + va.len() < self.p {
-                return;
-            }
-            while min_ptr < order.len() && !va.base.set.contains(order[min_ptr] as usize) {
-                min_ptr += 1;
-            }
-            debug_assert!(min_ptr < order.len());
-            let min_dist = self.fg.dist(order[min_ptr]);
-            if self.distance_prune(td, min_dist) {
-                return;
-            }
-            if self.acquaintance_prune(&va) {
-                return;
-            }
-            if self.availability_prune(&va) {
-                return;
+            if va.version() != checked_version {
+                checked_version = va.version();
+                if self.vs.len() + va.len() < self.p {
+                    return;
+                }
+                let min_pos = va.base.pos_set.first().expect("VA non-empty here");
+                let min_dist = self.fg.dist(order[min_pos]);
+                if self.distance_prune(td, min_dist) {
+                    return;
+                }
+                if self.acquaintance_prune(va) {
+                    return;
+                }
+                if self.availability_prune(va) {
+                    return;
+                }
             }
 
-            while cursor < order.len() && !va.base.set.contains(order[cursor] as usize) {
-                cursor += 1;
-            }
-            let u = if cursor < order.len() {
-                let u = order[cursor];
-                cursor += 1;
-                u
+            let u = if let Some(pos) = va.base.pos_set.next_set_at_or_after(cursor) {
+                cursor = pos + 1;
+                order[pos]
             } else if theta > 0 {
                 theta -= 1;
                 cursor = 0;
@@ -451,18 +781,16 @@ impl StSearcher<'_> {
             };
             self.stats.candidates_examined += 1;
 
-            let (u_val, a_val) = self.u_and_a(u, &va);
+            let (u_val, a_val) = self.u_and_a(u, va);
             if a_val < (self.p - self.vs.len() - 1) as i64 {
                 self.stats.exterior_rejections += 1;
-                let avail_u = &self.avail[u as usize];
-                va.remove(u, self.fg, avail_u);
+                self.remove_from_va(va, u);
                 continue;
             }
             if !self.interior_ok(u_val, theta) {
                 self.stats.interior_rejections += 1;
                 if theta == 0 {
-                    let avail_u = &self.avail[u as usize];
-                    va.remove(u, self.fg, avail_u);
+                    self.remove_from_va(va, u);
                 }
                 continue;
             }
@@ -476,8 +804,7 @@ impl StSearcher<'_> {
                 self.stats.temporal_rejections += 1;
                 if x < 0 {
                     // Adding u can never leave an m-slot common period.
-                    let avail_u = &self.avail[u as usize];
-                    va.remove(u, self.fg, avail_u);
+                    self.remove_from_va(va, u);
                 }
                 continue;
             }
@@ -487,17 +814,18 @@ impl StSearcher<'_> {
             if self.vs.len() == self.p {
                 self.record(new_td, new_ts);
                 self.pop(u);
-                let avail_u = &self.avail[u as usize];
-                va.remove(u, self.fg, avail_u);
+                self.remove_from_va(va, u);
                 return;
             }
-            let mut child = va.clone();
-            child.remove(u, self.fg, &self.avail[u as usize]);
+            // Descend with u extracted; rewind the child subtree's
+            // removals on return (what used to be a full clone).
+            let frame_mark = va.mark();
+            self.remove_from_va(va, u);
             self.stats.vertices_expanded += 1;
-            self.expand(child, new_td);
+            self.expand(va, new_td);
+            va.undo_to(frame_mark, self.fg, self.avail_words, self.avail_stride);
             self.pop(u);
-            let avail_u = &self.avail[u as usize];
-            va.remove(u, self.fg, avail_u);
+            self.remove_from_va(va, u);
         }
     }
 }
@@ -580,7 +908,10 @@ mod tests {
         assert_eq!(sol.period.len(), 1);
         // The socially-optimal group {v2,v3,v4,v7} shares slot ts2 (0-based 1).
         assert_eq!(sol.total_distance, 62);
-        assert_eq!(sol.members, vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]);
+        assert_eq!(
+            sol.members,
+            vec![NodeId(2), NodeId(3), NodeId(4), NodeId(7)]
+        );
     }
 
     #[test]
@@ -605,11 +936,109 @@ mod tests {
     }
 
     #[test]
+    fn empty_calendars_are_infeasible_not_a_panic() {
+        let (g, q, _) = example3_inputs();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        for query in [
+            StgqQuery::new(1, 1, 0, 2).unwrap(), // p = 1 path
+            StgqQuery::new(3, 1, 1, 2).unwrap(), // pivot path
+        ] {
+            let out = solve_stgq_on(&fg, &[], &query, &SelectConfig::default());
+            assert!(out.solution.is_none());
+            assert_eq!(out.stats.pivots_processed, 0);
+        }
+    }
+
+    /// The word-parallel `StVaState` (zero-word counter updates, undo log)
+    /// agrees with the scalar reference (per-slot branch on every offset)
+    /// on random calendars, through interleaved removals and rewinds.
+    #[test]
+    fn word_level_counters_match_scalar_reference() {
+        use crate::reference::prepare_pivot_reference;
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use stgq_graph::GraphBuilder;
+
+        for seed in 0..30u64 {
+            let mut rng = SmallRng::seed_from_u64(0xC0FFEE ^ seed);
+            let n = 14;
+            let horizon = rng.gen_range(8..80);
+            let m = rng.gen_range(1..=6).min(horizon);
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.5) {
+                        b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..30))
+                            .unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            let calendars: Vec<Calendar> = (0..n)
+                .map(|_| Calendar::from_slots(horizon, (0..horizon).filter(|_| rng.gen_bool(0.75))))
+                .collect();
+            let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+
+            for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
+                let mut stats_new = SearchStats::default();
+                let mut stats_ref = SearchStats::default();
+                let job = prepare_pivot(&fg, &calendars, 2, m, pivot, horizon, &mut stats_new);
+                let reference =
+                    prepare_pivot_reference(&fg, &calendars, 2, m, pivot, horizon, &mut stats_ref);
+                assert_eq!(
+                    job.is_some(),
+                    reference.is_some(),
+                    "seed {seed} pivot {pivot}"
+                );
+                let (Some(job), Some((_, ref_avail, mut ref_va, _))) = (job, reference) else {
+                    continue;
+                };
+                let mut va = job.va.clone();
+
+                // Initial counters must agree (word-parallel vs per-slot build).
+                assert_eq!(va.unavail, ref_va.unavail, "seed {seed} pivot {pivot} init");
+                let ilen = job.interval.len();
+                for v in va.base.set.iter() {
+                    let from_words = BitSet::from_words(ilen, job.avail(v as u32).iter().copied());
+                    assert_eq!(
+                        from_words, ref_avail[v],
+                        "seed {seed} pivot {pivot} avail bitmap of {v}"
+                    );
+                }
+
+                // Interleave removals with a mid-sequence rewind and check
+                // counters stay in lock-step with the scalar reference.
+                let members: Vec<u32> = va.base.set.iter().map(|v| v as u32).collect();
+                let mark = va.mark();
+                let keep_from = members.len() / 2;
+                for &u in &members {
+                    va.remove(u, &fg, job.avail(u));
+                }
+                va.undo_to(mark, &fg, &job.avail_words, job.avail_stride);
+                assert_eq!(va.unavail, job.va.unavail, "seed {seed} pivot {pivot} undo");
+                assert_eq!(va.base.set, job.va.base.set);
+                assert_eq!(va.base.cnt_in_a, job.va.base.cnt_in_a);
+                assert_eq!(va.base.total_inner, job.va.base.total_inner);
+
+                for &u in &members[keep_from..] {
+                    va.remove(u, &fg, job.avail(u));
+                    ref_va.remove(u, &fg, &ref_avail[u as usize]);
+                    assert_eq!(
+                        va.unavail, ref_va.unavail,
+                        "seed {seed} pivot {pivot} rm {u}"
+                    );
+                    assert_eq!(va.base.cnt_in_a, ref_va.base.cnt_in_a);
+                    assert_eq!(va.base.total_inner, ref_va.base.total_inner);
+                }
+            }
+        }
+    }
+
+    #[test]
     fn calendar_validation_errors() {
         let (g, q, cals) = example3_inputs();
         let query = StgqQuery::new(2, 1, 1, 2).unwrap();
-        let err =
-            solve_stgq(&g, q, &cals[..3], &query, &SelectConfig::default()).unwrap_err();
+        let err = solve_stgq(&g, q, &cals[..3], &query, &SelectConfig::default()).unwrap_err();
         assert!(matches!(err, QueryError::CalendarCountMismatch { .. }));
     }
 
@@ -617,8 +1046,12 @@ mod tests {
     fn relaxed_config_finds_same_objective() {
         let (g, q, cals) = example3_inputs();
         let query = StgqQuery::new(4, 1, 1, 3).unwrap();
-        let a = solve_stgq(&g, q, &cals, &query, &SelectConfig::default()).unwrap().solution;
-        let b = solve_stgq(&g, q, &cals, &query, &SelectConfig::RELAXED).unwrap().solution;
+        let a = solve_stgq(&g, q, &cals, &query, &SelectConfig::default())
+            .unwrap()
+            .solution;
+        let b = solve_stgq(&g, q, &cals, &query, &SelectConfig::RELAXED)
+            .unwrap()
+            .solution;
         assert_eq!(
             a.map(|s| s.total_distance),
             b.map(|s| s.total_distance),

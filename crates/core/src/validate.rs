@@ -106,7 +106,10 @@ fn validate_group_social(
     claimed_distance: Dist,
 ) -> Result<(), Violation> {
     if members.len() != p {
-        return Err(Violation::WrongSize { expected: p, found: members.len() });
+        return Err(Violation::WrongSize {
+            expected: p,
+            found: members.len(),
+        });
     }
     if !members.contains(&initiator) {
         return Err(Violation::InitiatorMissing);
@@ -128,7 +131,10 @@ fn validate_group_social(
         }
     }
     if total != claimed_distance {
-        return Err(Violation::DistanceMismatch { claimed: claimed_distance, actual: total });
+        return Err(Violation::DistanceMismatch {
+            claimed: claimed_distance,
+            actual: total,
+        });
     }
 
     let unfamiliarity = kplex::interior_unfamiliarity(graph, members);
@@ -220,7 +226,10 @@ mod tests {
         let (g, q) = tiny();
         let query = SgqQuery::new(3, 1, 0).unwrap();
 
-        let wrong_size = SgqSolution { members: vec![q, NodeId(1)], total_distance: 3 };
+        let wrong_size = SgqSolution {
+            members: vec![q, NodeId(1)],
+            total_distance: 3,
+        };
         assert!(matches!(
             validate_sgq(&g, q, &query, &wrong_size),
             Err(Violation::WrongSize { .. })
@@ -259,7 +268,10 @@ mod tests {
         };
         assert!(matches!(
             validate_sgq(&g, q, &query, &bad_distance),
-            Err(Violation::DistanceMismatch { claimed: 9, actual: 8 })
+            Err(Violation::DistanceMismatch {
+                claimed: 9,
+                actual: 8
+            })
         ));
     }
 
@@ -276,7 +288,10 @@ mod tests {
         };
         assert!(matches!(
             validate_sgq(&g, NodeId(0), &query, &sol),
-            Err(Violation::AcquaintanceViolated { unfamiliarity: 1, k: 0 })
+            Err(Violation::AcquaintanceViolated {
+                unfamiliarity: 1,
+                k: 0
+            })
         ));
     }
 
@@ -295,24 +310,42 @@ mod tests {
         };
         assert_eq!(validate_stgq(&g, q, &cals, &query, &good), Ok(()));
 
-        let wrong_len = StgqSolution { period: SlotRange::new(0, 2), ..good.clone() };
+        let wrong_len = StgqSolution {
+            period: SlotRange::new(0, 2),
+            ..good.clone()
+        };
         assert!(matches!(
             validate_stgq(&g, q, &cals, &query, &wrong_len),
-            Err(Violation::PeriodLengthWrong { expected: 2, found: 3 })
+            Err(Violation::PeriodLengthWrong {
+                expected: 2,
+                found: 3
+            })
         ));
 
-        let busy = StgqSolution { period: SlotRange::new(2, 3), ..good };
+        let busy = StgqSolution {
+            period: SlotRange::new(2, 3),
+            ..good
+        };
         assert!(matches!(
             validate_stgq(&g, q, &cals, &query, &busy),
-            Err(Violation::AvailabilityViolated { member: NodeId(1), slot: 3 })
+            Err(Violation::AvailabilityViolated {
+                member: NodeId(1),
+                slot: 3
+            })
         ));
     }
 
     #[test]
     fn violation_messages_are_informative() {
-        let v = Violation::DistanceMismatch { claimed: 5, actual: 7 };
+        let v = Violation::DistanceMismatch {
+            claimed: 5,
+            actual: 7,
+        };
         assert!(v.to_string().contains('5') && v.to_string().contains('7'));
-        let v = Violation::AvailabilityViolated { member: NodeId(2), slot: 4 };
+        let v = Violation::AvailabilityViolated {
+            member: NodeId(2),
+            slot: 4,
+        };
         assert!(v.to_string().contains("v2"));
     }
 }

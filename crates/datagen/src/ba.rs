@@ -21,8 +21,13 @@ pub fn ba_graph(n: usize, m: usize, seed: u64) -> SocialGraph {
     // Seed clique on the first m+1 vertices.
     for i in 0..=(m as u32) {
         for j in i + 1..=(m as u32) {
-            let tie = if rng.gen_bool(0.5) { Tie::Strong } else { Tie::Weak };
-            b.add_edge(NodeId(i), NodeId(j), sample_distance(&mut rng, tie)).unwrap();
+            let tie = if rng.gen_bool(0.5) {
+                Tie::Strong
+            } else {
+                Tie::Weak
+            };
+            b.add_edge(NodeId(i), NodeId(j), sample_distance(&mut rng, tie))
+                .unwrap();
             urn.push(i);
             urn.push(j);
         }
@@ -39,8 +44,13 @@ pub fn ba_graph(n: usize, m: usize, seed: u64) -> SocialGraph {
             }
         }
         for &t in &targets {
-            let tie = if rng.gen_bool(0.5) { Tie::Strong } else { Tie::Weak };
-            b.add_edge(NodeId(v), NodeId(t), sample_distance(&mut rng, tie)).unwrap();
+            let tie = if rng.gen_bool(0.5) {
+                Tie::Strong
+            } else {
+                Tie::Weak
+            };
+            b.add_edge(NodeId(v), NodeId(t), sample_distance(&mut rng, tie))
+                .unwrap();
             urn.push(v);
             urn.push(t);
         }
@@ -57,7 +67,10 @@ mod tests {
     fn edge_count_is_deterministic_and_expected() {
         let g = ba_graph(100, 3, 1);
         let g2 = ba_graph(100, 3, 1);
-        assert_eq!(g.edges().collect::<Vec<_>>(), g2.edges().collect::<Vec<_>>());
+        assert_eq!(
+            g.edges().collect::<Vec<_>>(),
+            g2.edges().collect::<Vec<_>>()
+        );
         // clique C(4,2)=6 + 96 arrivals × 3.
         assert_eq!(g.edge_count(), 6 + 96 * 3);
     }

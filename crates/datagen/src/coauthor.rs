@@ -34,7 +34,12 @@ impl CoauthorConfig {
     /// Defaults shaped after coauthorship statistics: ~1.3 papers/person,
     /// 2–6 authors per paper.
     pub fn with_n(n: usize) -> Self {
-        CoauthorConfig { n, collaborations_per_person: 1.3, min_size: 2, max_size: 6 }
+        CoauthorConfig {
+            n,
+            collaborations_per_person: 1.3,
+            min_size: 2,
+            max_size: 6,
+        }
     }
 }
 
@@ -110,10 +115,7 @@ mod tests {
         let cfg = CoauthorConfig::with_n(150);
         let a = coauthor_graph(&cfg, 9);
         let b = coauthor_graph(&cfg, 9);
-        assert_eq!(
-            a.edges().collect::<Vec<_>>(),
-            b.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
     }
 
     #[test]

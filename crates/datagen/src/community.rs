@@ -90,7 +90,8 @@ pub fn community_graph(cfg: &CommunityConfig, seed: u64) -> SocialGraph {
             };
             if p > 0.0 && rng.gen_bool(p) {
                 let w = sample_distance(&mut rng, tie);
-                b.add_edge(NodeId(i), NodeId(j), w).expect("validated pairs");
+                b.add_edge(NodeId(i), NodeId(j), w)
+                    .expect("validated pairs");
             }
         }
     }
@@ -98,7 +99,9 @@ pub fn community_graph(cfg: &CommunityConfig, seed: u64) -> SocialGraph {
     for i in 0..cfg.n as u32 {
         let comm = &members[community[i as usize]];
         if comm.len() > 1 {
-            let has_edge = comm.iter().any(|&j| j != i && b.has_edge(NodeId(i), NodeId(j)))
+            let has_edge = comm
+                .iter()
+                .any(|&j| j != i && b.has_edge(NodeId(i), NodeId(j)))
                 || (0..cfg.n as u32).any(|j| j != i && b.has_edge(NodeId(i), NodeId(j)));
             if !has_edge {
                 let mut j = comm[rng.gen_range(0..comm.len())];
@@ -120,7 +123,10 @@ mod tests {
 
     #[test]
     fn deterministic_in_seed() {
-        let cfg = CommunityConfig { circle_size: 8, ..CommunityConfig::paper_194() };
+        let cfg = CommunityConfig {
+            circle_size: 8,
+            ..CommunityConfig::paper_194()
+        };
         let a = community_graph(&cfg, 42);
         let b = community_graph(&cfg, 42);
         let c = community_graph(&cfg, 43);
@@ -162,7 +168,12 @@ mod tests {
             .collect();
         let best = circle0
             .iter()
-            .map(|&v| circle0.iter().filter(|&&u| u != v && g.has_edge(u, v)).count())
+            .map(|&v| {
+                circle0
+                    .iter()
+                    .filter(|&&u| u != v && g.has_edge(u, v))
+                    .count()
+            })
             .max()
             .unwrap();
         assert!(best >= 7, "densest circle member has {best} circle friends");
@@ -170,7 +181,11 @@ mod tests {
 
     #[test]
     fn intra_community_edges_dominate() {
-        let cfg = CommunityConfig { n: 120, communities: 4, ..CommunityConfig::paper_194() };
+        let cfg = CommunityConfig {
+            n: 120,
+            communities: 4,
+            ..CommunityConfig::paper_194()
+        };
         let g = community_graph(&cfg, 11);
         let same = |v: NodeId| v.index() % 4;
         let (mut intra, mut inter) = (0usize, 0usize);
@@ -199,7 +214,10 @@ mod tests {
         }
         let intra_avg = intra as f64 / nintra as f64;
         let inter_avg = inter as f64 / ninter as f64;
-        assert!(intra_avg < inter_avg, "intra {intra_avg:.1} vs inter {inter_avg:.1}");
+        assert!(
+            intra_avg < inter_avg,
+            "intra {intra_avg:.1} vs inter {inter_avg:.1}"
+        );
     }
 
     #[test]

@@ -57,7 +57,10 @@ mod tests {
         let pairs = (n * (n - 1) / 2) as f64;
         let g = er_graph(n, 0.25, 3);
         let observed = g.edge_count() as f64 / pairs;
-        assert!((observed - 0.25).abs() < 0.05, "observed density {observed:.3}");
+        assert!(
+            (observed - 0.25).abs() < 0.05,
+            "observed density {observed:.3}"
+        );
     }
 
     #[test]

@@ -101,7 +101,11 @@ impl DatasetData {
                 )));
             }
         }
-        Ok(Dataset { graph, calendars: self.calendars, grid: self.grid })
+        Ok(Dataset {
+            graph,
+            calendars: self.calendars,
+            grid: self.grid,
+        })
     }
 }
 
@@ -132,7 +136,10 @@ mod tests {
         let ds = real_analog_194(1, 5);
         let data = DatasetData::from_dataset(&ds);
         let back = data.clone().into_dataset().unwrap();
-        assert_eq!(back.graph.edges().collect::<Vec<_>>(), ds.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            back.graph.edges().collect::<Vec<_>>(),
+            ds.graph.edges().collect::<Vec<_>>()
+        );
         assert_eq!(back.calendars, ds.calendars);
         assert_eq!(back.grid, ds.grid);
     }
@@ -160,7 +167,10 @@ mod tests {
         ));
         let mut bad_grid = DatasetData::from_dataset(&ds);
         bad_grid.grid = TimeGrid::half_hour(2).unwrap();
-        assert!(matches!(bad_grid.into_dataset(), Err(SnapshotError::Inconsistent(_))));
+        assert!(matches!(
+            bad_grid.into_dataset(),
+            Err(SnapshotError::Inconsistent(_))
+        ));
     }
 
     #[test]

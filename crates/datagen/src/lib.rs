@@ -57,7 +57,10 @@ impl Dataset {
     /// Sanity invariant: one calendar per vertex, all on the grid horizon.
     pub fn check(&self) -> bool {
         self.calendars.len() == self.graph.node_count()
-            && self.calendars.iter().all(|c| c.horizon() == self.grid.horizon())
+            && self
+                .calendars
+                .iter()
+                .all(|c| c.horizon() == self.grid.horizon())
     }
 }
 
@@ -83,13 +86,21 @@ mod tests {
     fn pick_initiator_prefers_exact_degree() {
         let mut b = stgq_graph::GraphBuilder::new(4);
         // degrees: v0=3, v1=1, v2=2, v3=2
-        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(1), 1).unwrap();
-        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(2), 1).unwrap();
-        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(3), 1).unwrap();
-        b.add_edge(stgq_graph::NodeId(2), stgq_graph::NodeId(3), 1).unwrap();
+        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(1), 1)
+            .unwrap();
+        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(2), 1)
+            .unwrap();
+        b.add_edge(stgq_graph::NodeId(0), stgq_graph::NodeId(3), 1)
+            .unwrap();
+        b.add_edge(stgq_graph::NodeId(2), stgq_graph::NodeId(3), 1)
+            .unwrap();
         let g = b.build();
         assert_eq!(pick_initiator(&g, 3), stgq_graph::NodeId(0));
-        assert_eq!(pick_initiator(&g, 2), stgq_graph::NodeId(2), "tie → smaller id");
+        assert_eq!(
+            pick_initiator(&g, 2),
+            stgq_graph::NodeId(2),
+            "tie → smaller id"
+        );
         assert_eq!(pick_initiator(&g, 100), stgq_graph::NodeId(0));
     }
 }

@@ -13,7 +13,11 @@ pub fn real_analog_194(days: usize, seed: u64) -> Dataset {
     let grid = TimeGrid::half_hour(days).expect("days >= 1");
     let graph = community_graph(&CommunityConfig::paper_194(), seed);
     let calendars = archetype_population(&grid, graph.node_count(), seed ^ 0x5eed);
-    let ds = Dataset { graph, calendars, grid };
+    let ds = Dataset {
+        graph,
+        calendars,
+        grid,
+    };
     debug_assert!(ds.check());
     ds
 }
@@ -26,7 +30,11 @@ pub fn synthetic_coauthor(n: usize, days: usize, seed: u64) -> Dataset {
     let graph = coauthor_graph(&CoauthorConfig::with_n(n), seed);
     let pool = archetype_population(&grid, 194, seed ^ 0x9001);
     let calendars = pool_sampled_population(&grid, &pool, n, seed ^ 0xca1e);
-    let ds = Dataset { graph, calendars, grid };
+    let ds = Dataset {
+        graph,
+        calendars,
+        grid,
+    };
     debug_assert!(ds.check());
     ds
 }
@@ -57,7 +65,10 @@ mod tests {
     fn datasets_are_reproducible() {
         let a = real_analog_194(2, 77);
         let b = real_analog_194(2, 77);
-        assert_eq!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
         assert_eq!(a.calendars, b.calendars);
     }
 
@@ -65,6 +76,9 @@ mod tests {
     fn different_seeds_differ() {
         let a = real_analog_194(1, 1);
         let b = real_analog_194(1, 2);
-        assert_ne!(a.graph.edges().collect::<Vec<_>>(), b.graph.edges().collect::<Vec<_>>());
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 }

@@ -31,8 +31,12 @@ pub enum Archetype {
 }
 
 /// All archetypes, for round-robin population mixes.
-pub const ARCHETYPES: [Archetype; 4] =
-    [Archetype::Office, Archetype::Student, Archetype::Shift, Archetype::Flexible];
+pub const ARCHETYPES: [Archetype; 4] = [
+    Archetype::Office,
+    Archetype::Student,
+    Archetype::Shift,
+    Archetype::Flexible,
+];
 
 /// Convert fractional hours to a slot-of-day index, clamped to the day.
 fn hour_slot(grid: &TimeGrid, hour: f64) -> usize {
@@ -140,7 +144,11 @@ pub fn pool_sampled_population(
     let pool_days: Vec<usize> = pool
         .iter()
         .map(|c| {
-            assert_eq!(c.horizon() % spd, 0, "pool calendars must align to whole days");
+            assert_eq!(
+                c.horizon() % spd,
+                0,
+                "pool calendars must align to whole days"
+            );
             c.horizon() / spd
         })
         .collect();
@@ -184,7 +192,10 @@ mod tests {
                 evening_free += 1;
             }
         }
-        assert!(evening_free > 25, "evenings are mostly free: {evening_free}/50");
+        assert!(
+            evening_free > 25,
+            "evenings are mostly free: {evening_free}/50"
+        );
     }
 
     #[test]
@@ -195,7 +206,10 @@ mod tests {
         let pop = archetype_population(&g, 40, 9);
         let weekend = SlotRange::new(5 * 48, 7 * 48 - 1);
         let long_runs = pop.iter().filter(|c| c.max_run_in(weekend) >= 16).count();
-        assert!(long_runs >= 20, "only {long_runs}/40 have an 8h weekend run");
+        assert!(
+            long_runs >= 20,
+            "only {long_runs}/40 have an 8h weekend run"
+        );
     }
 
     #[test]
@@ -239,8 +253,7 @@ mod tests {
         let pop = pool_sampled_population(&out_grid, &pool, 3, 11);
         for cal in &pop {
             for day in 0..5 {
-                let avail: Vec<bool> =
-                    (0..spd).map(|s| cal.is_available(day * spd + s)).collect();
+                let avail: Vec<bool> = (0..spd).map(|s| cal.is_available(day * spd + s)).collect();
                 assert!(
                     avail.iter().all(|&x| x) || avail.iter().all(|&x| !x),
                     "day {day} mixes pool days: {avail:?}"

@@ -67,7 +67,10 @@ mod tests {
     fn strong_ties_are_closer_on_average() {
         let mut rng = SmallRng::seed_from_u64(7);
         let avg = |tie, rng: &mut SmallRng| -> f64 {
-            (0..2000).map(|_| sample_distance(rng, tie) as f64).sum::<f64>() / 2000.0
+            (0..2000)
+                .map(|_| sample_distance(rng, tie) as f64)
+                .sum::<f64>()
+                / 2000.0
         };
         let strong = avg(Tie::Strong, &mut rng);
         let weak = avg(Tie::Weak, &mut rng);

@@ -37,8 +37,13 @@ pub fn ws_graph(n: usize, k: usize, beta: f64, seed: u64) -> SocialGraph {
                 }
             }
             if !b.has_edge(NodeId(a), NodeId(c)) {
-                let tie = if rng.gen_bool(0.7) { Tie::Strong } else { Tie::Weak };
-                b.add_edge(NodeId(a), NodeId(c), sample_distance(&mut rng, tie)).unwrap();
+                let tie = if rng.gen_bool(0.7) {
+                    Tie::Strong
+                } else {
+                    Tie::Weak
+                };
+                b.add_edge(NodeId(a), NodeId(c), sample_distance(&mut rng, tie))
+                    .unwrap();
             }
         }
     }

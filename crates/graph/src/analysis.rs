@@ -111,7 +111,8 @@ mod tests {
     fn path_graph(n: usize) -> SocialGraph {
         let mut b = GraphBuilder::new(n);
         for i in 0..n.saturating_sub(1) {
-            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1).unwrap();
+            b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), 1)
+                .unwrap();
         }
         b.build()
     }
@@ -160,7 +161,10 @@ mod tests {
     fn clustering_extremes() {
         assert_eq!(global_clustering(&path_graph(10)), 0.0);
         let c = global_clustering(&complete_graph(6));
-        assert!((c - 1.0).abs() < 1e-12, "complete graph transitivity is 1, got {c}");
+        assert!(
+            (c - 1.0).abs() < 1e-12,
+            "complete graph transitivity is 1, got {c}"
+        );
     }
 
     #[test]

@@ -15,7 +15,11 @@ const WORD_BITS: usize = 64;
 impl BitSet {
     /// An empty set able to hold indices `0..capacity`.
     pub fn new(capacity: usize) -> Self {
-        BitSet { words: vec![0; capacity.div_ceil(WORD_BITS)], capacity, len: 0 }
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+            len: 0,
+        }
     }
 
     /// A set containing every index in `0..capacity`.
@@ -101,6 +105,7 @@ impl BitSet {
     }
 
     /// `|self ∩ other|` without materialising the intersection.
+    #[inline]
     pub fn intersection_len(&self, other: &BitSet) -> usize {
         self.words
             .iter()
@@ -110,13 +115,18 @@ impl BitSet {
     }
 
     /// Whether the two sets share at least one element.
+    #[inline]
     pub fn intersects(&self, other: &BitSet) -> bool {
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
     }
 
     /// Whether `self ⊆ other`.
+    #[inline]
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// In-place intersection: `self ← self ∩ other`.
@@ -154,6 +164,7 @@ impl BitSet {
     }
 
     /// Smallest element, if any.
+    #[inline]
     pub fn first(&self) -> Option<usize> {
         for (wi, w) in self.words.iter().enumerate() {
             if *w != 0 {
@@ -163,9 +174,106 @@ impl BitSet {
         None
     }
 
+    /// Smallest element `≥ pos`, if any — a word-parallel successor query
+    /// (whole zero words are skipped), the primitive behind the engines'
+    /// access-order cursor scans.
+    #[inline]
+    pub fn next_set_at_or_after(&self, pos: usize) -> Option<usize> {
+        if pos >= self.capacity {
+            return None;
+        }
+        let mut wi = pos / WORD_BITS;
+        let mut w = self.words[wi] & (u64::MAX << (pos % WORD_BITS));
+        loop {
+            if w != 0 {
+                return Some(wi * WORD_BITS + w.trailing_zeros() as usize);
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            w = self.words[wi];
+        }
+    }
+
     /// Iterate elements in ascending order.
     pub fn iter(&self) -> Iter<'_> {
-        Iter { set: self, word_idx: 0, current: self.words.first().copied().unwrap_or(0) }
+        Iter {
+            set: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    // ---- word-slice access (the hot-path API) ------------------------
+    //
+    // The query engines build availability bitmaps and Lemma-5 counters
+    // out of whole `u64` words rather than per-bit loops; these accessors
+    // expose the packed representation without giving up the cached
+    // cardinality invariant (`from_words` recounts once, mutators stay
+    // per-bit).
+
+    /// The backing words, least-significant bit = smallest index. Bits at
+    /// `capacity` and beyond are guaranteed zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Build a set over `0..capacity` directly from packed words.
+    ///
+    /// `words` yields the backing words in ascending order; missing words
+    /// are zero, excess words and bits beyond `capacity` are discarded.
+    pub fn from_words(capacity: usize, words: impl IntoIterator<Item = u64>) -> Self {
+        let n_words = capacity.div_ceil(WORD_BITS);
+        let mut buf: Vec<u64> = words.into_iter().take(n_words).collect();
+        buf.resize(n_words, 0);
+        let mut s = BitSet {
+            words: buf,
+            capacity,
+            len: 0,
+        };
+        s.trim_tail();
+        s.recount();
+        s
+    }
+
+    /// Number of indices in `0..capacity` **not** in the set. O(1).
+    #[inline]
+    pub fn count_zeros(&self) -> usize {
+        self.capacity - self.len
+    }
+
+    /// Iterate the indices in `0..capacity` *not* in the set, ascending.
+    ///
+    /// Word-parallel: whole `u64` complement words are skipped when zero,
+    /// so iteration costs O(words + zeros) rather than O(capacity). The
+    /// free function [`for_each_zero_bit`] is the same operation over raw
+    /// word slices (used by STGSelect's flattened availability buffers);
+    /// this method is the `BitSet`-level equivalent.
+    pub fn zero_offsets(&self) -> ZeroIter<'_> {
+        let first = self.complement_word(0);
+        ZeroIter {
+            set: self,
+            word_idx: 0,
+            current: first,
+        }
+    }
+
+    /// Complement of word `wi`, masked to the capacity.
+    #[inline]
+    fn complement_word(&self, wi: usize) -> u64 {
+        let Some(&w) = self.words.get(wi) else {
+            return 0;
+        };
+        let mut c = !w;
+        if wi == self.words.len() - 1 {
+            let tail = self.capacity % WORD_BITS;
+            if tail != 0 {
+                c &= (1u64 << tail) - 1;
+            }
+        }
+        c
     }
 
     /// Recompute the cached cardinality (after bulk word operations).
@@ -232,6 +340,57 @@ impl<'a> IntoIterator for &'a BitSet {
     type IntoIter = Iter<'a>;
     fn into_iter(self) -> Iter<'a> {
         self.iter()
+    }
+}
+
+/// Call `f` with every **zero** bit index among the first `len_bits` bits
+/// of `words` — the word-parallel primitive behind STGSelect's Lemma-5
+/// counter maintenance: an all-ones word (the common case for
+/// pivot-eligible members) costs a single comparison.
+#[inline]
+pub fn for_each_zero_bit(words: &[u64], len_bits: usize, mut f: impl FnMut(usize)) {
+    for (wi, &w) in words.iter().enumerate() {
+        let base = wi * WORD_BITS;
+        if base >= len_bits {
+            break;
+        }
+        let mut z = !w;
+        let remain = len_bits - base;
+        if remain < WORD_BITS {
+            z &= (1u64 << remain) - 1;
+        }
+        while z != 0 {
+            let b = z.trailing_zeros() as usize;
+            z &= z - 1;
+            f(base + b);
+        }
+    }
+}
+
+/// Ascending iterator over the *complement* of a [`BitSet`] within its
+/// capacity (see [`BitSet::zero_offsets`]).
+pub struct ZeroIter<'a> {
+    set: &'a BitSet,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for ZeroIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some(self.word_idx * WORD_BITS + bit);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.set.words.len() {
+                return None;
+            }
+            self.current = self.set.complement_word(self.word_idx);
+        }
     }
 }
 
@@ -336,6 +495,81 @@ mod tests {
             }
             prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.iter().copied().collect::<Vec<_>>());
             prop_assert_eq!(bs.first(), model.iter().next().copied());
+        }
+
+        /// `zero_offsets` is exactly the ascending complement, and
+        /// `count_zeros` its length.
+        #[test]
+        fn zero_offsets_match_per_bit_reference(
+            xs in proptest::collection::btree_set(0usize..200, 0..120),
+            cap in 0usize..200,
+        ) {
+            let mut s = BitSet::new(cap);
+            s.extend(xs.iter().copied().filter(|&i| i < cap));
+            let fast: Vec<usize> = s.zero_offsets().collect();
+            let naive: Vec<usize> = (0..cap).filter(|&i| !s.contains(i)).collect();
+            prop_assert_eq!(&fast, &naive);
+            prop_assert_eq!(s.count_zeros(), naive.len());
+            prop_assert_eq!(s.len() + s.count_zeros(), cap);
+        }
+
+        /// The free-function zero-bit iterator agrees with the BitSet-level
+        /// one on the packed words.
+        #[test]
+        fn for_each_zero_bit_matches_zero_offsets(
+            xs in proptest::collection::btree_set(0usize..200, 0..120),
+            cap in 0usize..200,
+        ) {
+            let mut s = BitSet::new(cap);
+            s.extend(xs.iter().copied().filter(|&i| i < cap));
+            let mut from_fn = Vec::new();
+            super::for_each_zero_bit(s.words(), cap, |off| from_fn.push(off));
+            let from_iter: Vec<usize> = s.zero_offsets().collect();
+            prop_assert_eq!(from_fn, from_iter);
+        }
+
+        /// `from_words(words())` round-trips, and hand-packed words agree
+        /// with per-bit insertion.
+        #[test]
+        fn from_words_matches_per_bit_reference(
+            xs in proptest::collection::btree_set(0usize..190, 0..120),
+            cap in 0usize..200,
+        ) {
+            let mut reference = BitSet::new(cap);
+            reference.extend(xs.iter().copied().filter(|&i| i < cap));
+
+            // Round-trip through the packed representation.
+            let rebuilt = BitSet::from_words(cap, reference.words().iter().copied());
+            prop_assert_eq!(&rebuilt, &reference);
+            prop_assert_eq!(rebuilt.len(), reference.len());
+
+            // Pack words by hand and compare against per-bit insert.
+            let mut words = vec![0u64; cap.div_ceil(64)];
+            for &i in xs.iter().filter(|&&i| i < cap) {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+            let packed = BitSet::from_words(cap, words);
+            prop_assert_eq!(&packed, &reference);
+
+            // Oversized/overlong input is trimmed, never trusted.
+            let noisy = BitSet::from_words(
+                cap,
+                reference.words().iter().copied().chain([u64::MAX, u64::MAX]),
+            );
+            prop_assert_eq!(&noisy, &reference);
+        }
+
+        /// `next_set_at_or_after` agrees with a linear scan from `pos`.
+        #[test]
+        fn successor_matches_per_bit_reference(
+            xs in proptest::collection::btree_set(0usize..200, 0..80),
+            pos in 0usize..220,
+        ) {
+            let mut s = BitSet::new(200);
+            s.extend(xs.iter().copied());
+            let naive = (pos..200).find(|&i| s.contains(i));
+            prop_assert_eq!(s.next_set_at_or_after(pos), naive);
+            prop_assert_eq!(s.next_set_at_or_after(0), s.first());
         }
 
         /// Intersection count matches the model computation.

@@ -28,7 +28,11 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// A builder for a graph with vertices `0..node_count`.
     pub fn new(node_count: usize) -> Self {
-        GraphBuilder { node_count, edges: BTreeMap::new(), labels: None }
+        GraphBuilder {
+            node_count,
+            edges: BTreeMap::new(),
+            labels: None,
+        }
     }
 
     /// Number of vertices the built graph will have.
@@ -46,16 +50,28 @@ impl GraphBuilder {
     /// # Panics
     /// Panics if `labels.len() != node_count`.
     pub fn set_labels(&mut self, labels: Vec<String>) -> &mut Self {
-        assert_eq!(labels.len(), self.node_count, "one label per vertex required");
+        assert_eq!(
+            labels.len(),
+            self.node_count,
+            "one label per vertex required"
+        );
         self.labels = Some(labels);
         self
     }
 
     /// Add an undirected edge with the given social distance.
-    pub fn add_edge(&mut self, u: NodeId, v: NodeId, weight: Dist) -> Result<&mut Self, GraphError> {
+    pub fn add_edge(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        weight: Dist,
+    ) -> Result<&mut Self, GraphError> {
         for node in [u, v] {
             if node.index() >= self.node_count {
-                return Err(GraphError::UnknownNode { node, node_count: self.node_count });
+                return Err(GraphError::UnknownNode {
+                    node,
+                    node_count: self.node_count,
+                });
             }
         }
         if u == v {
@@ -115,14 +131,26 @@ mod tests {
     fn rejects_out_of_range() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(NodeId(0), NodeId(5), 3).unwrap_err();
-        assert_eq!(err, GraphError::UnknownNode { node: NodeId(5), node_count: 2 });
+        assert_eq!(
+            err,
+            GraphError::UnknownNode {
+                node: NodeId(5),
+                node_count: 2
+            }
+        );
     }
 
     #[test]
     fn rejects_zero_weight() {
         let mut b = GraphBuilder::new(2);
         let err = b.add_edge(NodeId(0), NodeId(1), 0).unwrap_err();
-        assert_eq!(err, GraphError::ZeroWeight { a: NodeId(0), b: NodeId(1) });
+        assert_eq!(
+            err,
+            GraphError::ZeroWeight {
+                a: NodeId(0),
+                b: NodeId(1)
+            }
+        );
     }
 
     #[test]
@@ -139,7 +167,14 @@ mod tests {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(1), 3).unwrap();
         let err = b.add_edge(NodeId(1), NodeId(0), 4).unwrap_err();
-        assert!(matches!(err, GraphError::ConflictingEdge { first: 3, second: 4, .. }));
+        assert!(matches!(
+            err,
+            GraphError::ConflictingEdge {
+                first: 3,
+                second: 4,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -43,15 +43,26 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::UnknownNode { node, node_count } => {
-                write!(f, "edge references {node} but the graph has {node_count} vertices")
+                write!(
+                    f,
+                    "edge references {node} but the graph has {node_count} vertices"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on {node} is not allowed"),
-            GraphError::ConflictingEdge { a, b, first, second } => write!(
+            GraphError::ConflictingEdge {
+                a,
+                b,
+                first,
+                second,
+            } => write!(
                 f,
                 "edge {a}-{b} supplied twice with different weights ({first} then {second})"
             ),
             GraphError::ZeroWeight { a, b } => {
-                write!(f, "edge {a}-{b} has zero weight; social distances must be positive")
+                write!(
+                    f,
+                    "edge {a}-{b} has zero weight; social distances must be positive"
+                )
             }
         }
     }
@@ -65,17 +76,28 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        let e = GraphError::UnknownNode { node: NodeId(9), node_count: 3 };
+        let e = GraphError::UnknownNode {
+            node: NodeId(9),
+            node_count: 3,
+        };
         assert!(e.to_string().contains("v9"));
         assert!(e.to_string().contains('3'));
 
         let e = GraphError::SelfLoop { node: NodeId(1) };
         assert!(e.to_string().contains("self-loop"));
 
-        let e = GraphError::ConflictingEdge { a: NodeId(0), b: NodeId(1), first: 3, second: 4 };
+        let e = GraphError::ConflictingEdge {
+            a: NodeId(0),
+            b: NodeId(1),
+            first: 3,
+            second: 4,
+        };
         assert!(e.to_string().contains("different weights"));
 
-        let e = GraphError::ZeroWeight { a: NodeId(0), b: NodeId(1) };
+        let e = GraphError::ZeroWeight {
+            a: NodeId(0),
+            b: NodeId(1),
+        };
         assert!(e.to_string().contains("zero weight"));
     }
 }

@@ -53,7 +53,12 @@ impl SocialGraph {
             }
             offsets.push(neighbors.len() as u32);
         }
-        SocialGraph { offsets, neighbors, weights, labels }
+        SocialGraph {
+            offsets,
+            neighbors,
+            weights,
+            labels,
+        }
     }
 
     /// Number of vertices.
@@ -82,7 +87,10 @@ impl SocialGraph {
 
     #[inline]
     fn row(&self, v: NodeId) -> (usize, usize) {
-        (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize)
+        (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        )
     }
 
     /// Sorted neighbor indices of `v`.
@@ -95,7 +103,10 @@ impl SocialGraph {
     /// `(neighbor, weight)` pairs of `v`, sorted by neighbor index.
     pub fn neighbors_weighted(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Dist)> + '_ {
         let (s, e) = self.row(v);
-        self.neighbors[s..e].iter().zip(&self.weights[s..e]).map(|(&u, &w)| (NodeId(u), w))
+        self.neighbors[s..e]
+            .iter()
+            .zip(&self.weights[s..e])
+            .map(|(&u, &w)| (NodeId(u), w))
     }
 
     /// Whether `u` and `v` are directly acquainted (share an edge).

@@ -82,6 +82,9 @@ mod tests {
     fn corrupt_edges_are_rejected_on_rebuild() {
         let mut data = GraphData::from_graph(&sample());
         data.edges.push((0, 0, 1));
-        assert!(matches!(data.into_graph(), Err(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            data.into_graph(),
+            Err(GraphError::SelfLoop { .. })
+        ));
     }
 }

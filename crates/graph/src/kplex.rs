@@ -40,7 +40,12 @@ pub fn satisfies_acquaintance(graph: &SocialGraph, group: &[NodeId], k: usize) -
 pub fn interior_unfamiliarity_compact(fg: &FeasibleGraph, group: &[u32]) -> usize {
     group
         .iter()
-        .map(|&v| group.iter().filter(|&&u| u != v && !fg.adjacent(u, v)).count())
+        .map(|&v| {
+            group
+                .iter()
+                .filter(|&&u| u != v && !fg.adjacent(u, v))
+                .count()
+        })
         .max()
         .unwrap_or(0)
 }
@@ -104,8 +109,7 @@ mod tests {
         let g = near_clique();
         let fg = crate::FeasibleGraph::extract(&g, NodeId(0), 2);
         let group_orig = [NodeId(0), NodeId(1), NodeId(3)];
-        let group_compact: Vec<u32> =
-            group_orig.iter().map(|&v| fg.compact(v).unwrap()).collect();
+        let group_compact: Vec<u32> = group_orig.iter().map(|&v| fg.compact(v).unwrap()).collect();
         assert_eq!(
             interior_unfamiliarity(&g, &group_orig),
             interior_unfamiliarity_compact(&fg, &group_compact)

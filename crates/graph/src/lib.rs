@@ -41,7 +41,7 @@ pub mod text;
 #[cfg(feature = "serde")]
 mod io;
 
-pub use bitset::BitSet;
+pub use bitset::{for_each_zero_bit, BitSet, ZeroIter};
 pub use builder::GraphBuilder;
 pub use distance::{bounded_distances, bounded_distances_into};
 pub use error::GraphError;

@@ -23,12 +23,19 @@ pub struct FeasibleGraph {
     dist: Vec<Dist>,
     /// adjacency bitsets over compact indices.
     adj: Vec<BitSet>,
+    /// the same adjacency, flattened to `adj_stride` words per vertex —
+    /// one contiguous allocation, so hot-loop subset/popcount tests reach
+    /// the words with a single indirection.
+    adj_words: Vec<u64>,
+    adj_stride: usize,
     /// sorted compact adjacency lists (parallel to `adj`).
     neighbors: Vec<Vec<u32>>,
     /// edge weights parallel to `neighbors`.
     weights: Vec<Vec<Dist>>,
     /// compact candidate indices (excluding 0) sorted by (distance, origin).
     order: Vec<u32>,
+    /// compact index → position in `order` (`u32::MAX` for the initiator).
+    order_pos: Vec<u32>,
     /// the social radius used for the extraction.
     radius: usize,
 }
@@ -76,10 +83,33 @@ impl FeasibleGraph {
             }
         }
 
+        let adj_stride = f.div_ceil(64);
+        let mut adj_words = vec![0u64; f * adj_stride];
+        for (ci, set) in adj.iter().enumerate() {
+            adj_words[ci * adj_stride..ci * adj_stride + set.words().len()]
+                .copy_from_slice(set.words());
+        }
+
         let mut order: Vec<u32> = (1..f as u32).collect();
         order.sort_unstable_by_key(|&i| (dist[i as usize], origin[i as usize].0));
+        let mut order_pos = vec![u32::MAX; f];
+        for (pos, &c) in order.iter().enumerate() {
+            order_pos[c as usize] = pos as u32;
+        }
 
-        FeasibleGraph { origin, compact_of, dist, adj, neighbors, weights, order, radius: s }
+        FeasibleGraph {
+            origin,
+            compact_of,
+            dist,
+            adj,
+            adj_words,
+            adj_stride,
+            neighbors,
+            weights,
+            order,
+            order_pos,
+            radius: s,
+        }
     }
 
     /// Number of vertices in the feasible graph (initiator included).
@@ -124,6 +154,15 @@ impl FeasibleGraph {
         &self.adj[i as usize]
     }
 
+    /// The packed adjacency words of compact vertex `i` (bit `j` of word
+    /// `j / 64` ⇔ `adjacent(i, j)`), from one flat allocation — the
+    /// hot-path form of [`adj`](Self::adj).
+    #[inline]
+    pub fn adj_words(&self, i: u32) -> &[u64] {
+        let start = i as usize * self.adj_stride;
+        &self.adj_words[start..start + self.adj_stride]
+    }
+
     /// Sorted compact neighbor list of `i`.
     #[inline]
     pub fn neighbors(&self, i: u32) -> &[u32] {
@@ -143,7 +182,9 @@ impl FeasibleGraph {
     /// first).
     pub fn edge_weight(&self, i: u32, j: u32) -> Dist {
         let row = &self.neighbors[i as usize];
-        let pos = row.binary_search(&j).expect("edge must exist in the feasible graph");
+        let pos = row
+            .binary_search(&j)
+            .expect("edge must exist in the feasible graph");
         self.weights[i as usize][pos]
     }
 
@@ -152,6 +193,18 @@ impl FeasibleGraph {
     #[inline]
     pub fn candidate_order(&self) -> &[u32] {
         &self.order
+    }
+
+    /// Position of compact candidate `i` in [`candidate_order`]
+    /// (`u32::MAX` for the initiator, which is never a candidate). The
+    /// inverse permutation of `candidate_order`, precomputed so the query
+    /// engines can keep `VA` as a bitmap over *order positions* and scan
+    /// it with word-parallel successor queries.
+    ///
+    /// [`candidate_order`]: Self::candidate_order
+    #[inline]
+    pub fn order_pos(&self, i: u32) -> u32 {
+        self.order_pos[i as usize]
     }
 
     /// Map a compact group back to original vertex ids, sorted ascending.
@@ -240,6 +293,29 @@ mod tests {
     }
 
     #[test]
+    fn adj_words_match_adjacency_bitsets() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        for i in 0..fg.len() as u32 {
+            let words = fg.adj_words(i);
+            for j in 0..fg.len() {
+                let bit = (words[j / 64] >> (j % 64)) & 1 == 1;
+                assert_eq!(bit, fg.adj(i).contains(j), "({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn order_pos_is_the_inverse_permutation() {
+        let g = sample();
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        for (pos, &c) in fg.candidate_order().iter().enumerate() {
+            assert_eq!(fg.order_pos(c) as usize, pos);
+        }
+        assert_eq!(fg.order_pos(0), u32::MAX, "initiator has no order position");
+    }
+
+    #[test]
     fn induced_adjacency_respects_membership() {
         let g = sample();
         let fg = FeasibleGraph::extract(&g, NodeId(0), 1);
@@ -284,6 +360,9 @@ mod tests {
         let c1 = fg.compact(NodeId(1)).unwrap();
         let c2 = fg.compact(NodeId(2)).unwrap();
         assert_eq!(fg.group_distance([0, c1, c2]), 2 + 1);
-        assert_eq!(fg.to_origin_group([c2, 0, c1]), vec![NodeId(0), NodeId(1), NodeId(2)]);
+        assert_eq!(
+            fg.to_origin_group([c2, 0, c1]),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
     }
 }

@@ -128,7 +128,9 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<SocialGraph, TextFormatEr
                 labels = vec![None; n];
             }
             "l" => {
-                let b = builder.as_ref().ok_or_else(|| parse(lineno, "label before `p` line"))?;
+                let b = builder
+                    .as_ref()
+                    .ok_or_else(|| parse(lineno, "label before `p` line"))?;
                 let id: usize = parts
                     .next()
                     .and_then(|t| t.parse().ok())
@@ -143,7 +145,9 @@ pub fn read_edge_list<R: BufRead>(reader: R) -> Result<SocialGraph, TextFormatEr
                 labels[id] = Some(name);
             }
             "e" => {
-                let b = builder.as_mut().ok_or_else(|| parse(lineno, "edge before `p` line"))?;
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| parse(lineno, "edge before `p` line"))?;
                 let mut field = || -> Result<u64, TextFormatError> {
                     parts
                         .next()
@@ -187,7 +191,12 @@ mod tests {
 
     fn sample() -> SocialGraph {
         let mut b = GraphBuilder::new(4);
-        b.set_labels(vec!["ann".into(), "bob with space".into(), "cy".into(), "dee".into()]);
+        b.set_labels(vec![
+            "ann".into(),
+            "bob with space".into(),
+            "cy".into(),
+            "dee".into(),
+        ]);
         b.add_edge(NodeId(0), NodeId(1), 7).unwrap();
         b.add_edge(NodeId(1), NodeId(3), 2).unwrap();
         b.build()
@@ -226,9 +235,15 @@ mod tests {
     #[test]
     fn graph_invariants_are_enforced() {
         let err = read_edge_list("p sgq 2 1\ne 0 0 3\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, TextFormatError::Graph(GraphError::SelfLoop { .. })));
+        assert!(matches!(
+            err,
+            TextFormatError::Graph(GraphError::SelfLoop { .. })
+        ));
         let err = read_edge_list("p sgq 2 1\ne 0 1 0\n".as_bytes()).unwrap_err();
-        assert!(matches!(err, TextFormatError::Graph(GraphError::ZeroWeight { .. })));
+        assert!(matches!(
+            err,
+            TextFormatError::Graph(GraphError::ZeroWeight { .. })
+        ));
     }
 
     #[test]

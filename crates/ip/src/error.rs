@@ -22,7 +22,10 @@ impl fmt::Display for IpError {
             IpError::Query(e) => write!(f, "query error: {e}"),
             IpError::Solver(e) => write!(f, "MIP solver error: {e}"),
             IpError::UnexpectedUnbounded => {
-                write!(f, "IP model unexpectedly unbounded (internal inconsistency)")
+                write!(
+                    f,
+                    "IP model unexpectedly unbounded (internal inconsistency)"
+                )
             }
         }
     }
@@ -58,6 +61,8 @@ mod tests {
     fn conversions_and_display() {
         let e: IpError = MipError::NotANumber.into();
         assert!(e.to_string().contains("solver"));
-        assert!(IpError::UnexpectedUnbounded.to_string().contains("unbounded"));
+        assert!(IpError::UnexpectedUnbounded
+            .to_string()
+            .contains("unbounded"));
     }
 }

@@ -65,9 +65,19 @@ struct Builder<'a> {
 impl<'a> Builder<'a> {
     fn new(fg: &'a FeasibleGraph, p: usize, k: usize, style: IpStyle, s: usize) -> Self {
         let mut model = Model::new();
-        let phi: Vec<VarId> =
-            (0..fg.len()).map(|u| model.add_binary(format!("phi_{u}"))).collect();
-        Builder { fg, p, k, s, style, model, phi, tau: Vec::new() }
+        let phi: Vec<VarId> = (0..fg.len())
+            .map(|u| model.add_binary(format!("phi_{u}")))
+            .collect();
+        Builder {
+            fg,
+            p,
+            k,
+            s,
+            style,
+            model,
+            phi,
+            tau: Vec::new(),
+        }
     }
 
     /// Constraints (1)–(3) plus the objective; constraints (4)–(8) and the
@@ -76,7 +86,8 @@ impl<'a> Builder<'a> {
         let f = self.fg.len();
         // (1) Σ φ_u = p
         let all: Vec<_> = self.phi.iter().map(|&v| (v, 1.0)).collect();
-        self.model.add_constraint(LinExpr::from_terms(all), Cmp::Eq, self.p as f64);
+        self.model
+            .add_constraint(LinExpr::from_terms(all), Cmp::Eq, self.p as f64);
         // (2) φ_q = 1
         self.model
             .add_constraint(LinExpr::from_terms([(self.phi[0], 1.0)]), Cmp::Eq, 1.0);
@@ -118,7 +129,10 @@ impl<'a> Builder<'a> {
 
         let mut delta = Vec::with_capacity(f);
         for u in 0..f {
-            delta.push(self.model.add_cont(format!("delta_{u}"), 0.0, f64::INFINITY));
+            delta.push(
+                self.model
+                    .add_cont(format!("delta_{u}"), 0.0, f64::INFINITY),
+            );
         }
         // δ_q = 0 (no path variables exist for q).
         self.model
@@ -175,10 +189,7 @@ impl<'a> Builder<'a> {
     /// Constraints (9)–(10): exactly one activity start `τ_t`, and `φ_u`
     /// excluded whenever `u` is busy somewhere in `[t, t+m−1]`.
     fn temporal_constraints(&mut self, calendars: &[Calendar], m: usize) {
-        let horizon = calendars
-            .first()
-            .map(Calendar::horizon)
-            .unwrap_or(0);
+        let horizon = calendars.first().map(Calendar::horizon).unwrap_or(0);
         if horizon < m {
             // No window fits: Σ τ = 1 over zero variables is infeasible,
             // which is exactly the right answer.
@@ -186,10 +197,13 @@ impl<'a> Builder<'a> {
             return;
         }
         let starts = horizon - m + 1;
-        self.tau = (0..starts).map(|t| self.model.add_binary(format!("tau_{t}"))).collect();
+        self.tau = (0..starts)
+            .map(|t| self.model.add_binary(format!("tau_{t}")))
+            .collect();
         // (9) Σ τ_t = 1.
         let all: Vec<_> = self.tau.iter().map(|&v| (v, 1.0)).collect();
-        self.model.add_constraint(LinExpr::from_terms(all), Cmp::Eq, 1.0);
+        self.model
+            .add_constraint(LinExpr::from_terms(all), Cmp::Eq, 1.0);
         // (10) sparse: φ_u + τ_t ≤ 1 when u is busy within the window.
         for u in 0..self.fg.len() {
             let cal = &calendars[self.fg.origin(u as u32).index()];
@@ -206,7 +220,11 @@ impl<'a> Builder<'a> {
     }
 
     fn finish(self) -> IpModel {
-        IpModel { model: self.model, phi: self.phi, tau: self.tau }
+        IpModel {
+            model: self.model,
+            phi: self.phi,
+            tau: self.tau,
+        }
     }
 }
 
@@ -261,8 +279,8 @@ mod tests {
         cals[1].set_available(0, false); // v1 busy in slot 0 only
         let ip = build_stgq_model(&fg, &cals, &q, IpStyle::Compact);
         assert_eq!(ip.tau.len(), 3); // starts 0, 1, 2
-        // Base social rows (6) + (9) + one sparse (10) row: v1 busy in
-        // window starting at 0 only.
+                                     // Base social rows (6) + (9) + one sparse (10) row: v1 busy in
+                                     // window starting at 0 only.
         assert_eq!(ip.model.constraint_count(), 6 + 1 + 1);
     }
 

@@ -45,12 +45,18 @@ pub fn solve_sgq_ip(
     }
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
     if fg.len() < query.p() {
-        return Ok(IpSgqResult { solution: None, nodes: 0 });
+        return Ok(IpSgqResult {
+            solution: None,
+            nodes: 0,
+        });
     }
     let ip = build_sgq_model(&fg, query, style);
     let sol = solve_mip(&ip.model, opts)?;
     match sol.status {
-        MipStatus::Infeasible => Ok(IpSgqResult { solution: None, nodes: sol.nodes }),
+        MipStatus::Infeasible => Ok(IpSgqResult {
+            solution: None,
+            nodes: sol.nodes,
+        }),
         MipStatus::Unbounded => Err(IpError::UnexpectedUnbounded),
         MipStatus::Optimal => {
             let group = extract_group(&fg, &ip.phi, &sol.values);
@@ -91,12 +97,18 @@ pub fn solve_stgq_ip(
     }
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
     if fg.len() < query.p() {
-        return Ok(IpStgqResult { solution: None, nodes: 0 });
+        return Ok(IpStgqResult {
+            solution: None,
+            nodes: 0,
+        });
     }
     let ip = build_stgq_model(&fg, calendars, query, style);
     let sol = solve_mip(&ip.model, opts)?;
     match sol.status {
-        MipStatus::Infeasible => Ok(IpStgqResult { solution: None, nodes: sol.nodes }),
+        MipStatus::Infeasible => Ok(IpStgqResult {
+            solution: None,
+            nodes: sol.nodes,
+        }),
         MipStatus::Unbounded => Err(IpError::UnexpectedUnbounded),
         MipStatus::Optimal => {
             let group = extract_group(&fg, &ip.phi, &sol.values);
@@ -124,11 +136,7 @@ fn varidx(v: stgq_mip::VarId) -> usize {
     v.0
 }
 
-fn extract_group(
-    fg: &FeasibleGraph,
-    phi: &[stgq_mip::VarId],
-    values: &[f64],
-) -> Vec<u32> {
+fn extract_group(fg: &FeasibleGraph, phi: &[stgq_mip::VarId], values: &[f64]) -> Vec<u32> {
     (0..fg.len() as u32)
         .filter(|&u| values[varidx(phi[u as usize])] > 0.5)
         .collect()
@@ -225,10 +233,17 @@ mod tests {
             .unwrap()
             .solution
             .unwrap();
-        let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default())
-            .unwrap()
-            .solution
-            .unwrap();
+        let ip = solve_stgq_ip(
+            &g,
+            q,
+            &cals,
+            &query,
+            IpStyle::Compact,
+            &MipOptions::default(),
+        )
+        .unwrap()
+        .solution
+        .unwrap();
         assert_eq!(ip.total_distance, fast.total_distance);
         assert_eq!(ip.members, fast.members);
         // The IP may pick any optimal window; it must be a valid 3-slot
@@ -250,8 +265,15 @@ mod tests {
         assert!(res.solution.is_none());
         // m too long for anyone's calendar.
         let query = StgqQuery::new(4, 1, 1, 6).unwrap();
-        let res =
-            solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default()).unwrap();
+        let res = solve_stgq_ip(
+            &g,
+            q,
+            &cals,
+            &query,
+            IpStyle::Compact,
+            &MipOptions::default(),
+        )
+        .unwrap();
         assert!(res.solution.is_none());
     }
 
@@ -260,12 +282,25 @@ mod tests {
         let (g, q, cals) = example_inputs();
         let query = SgqQuery::new(2, 1, 1).unwrap();
         assert!(matches!(
-            solve_sgq_ip(&g, NodeId(99), &query, IpStyle::Compact, &MipOptions::default()),
+            solve_sgq_ip(
+                &g,
+                NodeId(99),
+                &query,
+                IpStyle::Compact,
+                &MipOptions::default()
+            ),
             Err(IpError::Query(QueryError::InitiatorOutOfRange { .. }))
         ));
         let tq = StgqQuery::new(2, 1, 1, 2).unwrap();
         assert!(matches!(
-            solve_stgq_ip(&g, q, &cals[..2], &tq, IpStyle::Compact, &MipOptions::default()),
+            solve_stgq_ip(
+                &g,
+                q,
+                &cals[..2],
+                &tq,
+                IpStyle::Compact,
+                &MipOptions::default()
+            ),
             Err(IpError::Query(QueryError::CalendarCountMismatch { .. }))
         ));
     }

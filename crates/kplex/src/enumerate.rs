@@ -23,7 +23,10 @@ pub struct EnumerateConfig {
 
 impl Default for EnumerateConfig {
     fn default() -> Self {
-        EnumerateConfig { min_size: 1, max_results: 1_000_000 }
+        EnumerateConfig {
+            min_size: 1,
+            max_results: 1_000_000,
+        }
     }
 }
 
@@ -50,7 +53,9 @@ pub fn enumerate_maximal_kplexes(
     assert!(k >= 1, "k-plex parameter must be at least 1");
     let n = graph.node_count();
     let mut e = Enumerator {
-        adj: (0..n).map(|v| graph.neighbor_bitset(NodeId(v as u32))).collect(),
+        adj: (0..n)
+            .map(|v| graph.neighbor_bitset(NodeId(v as u32)))
+            .collect(),
         k: k as i64,
         min_size: cfg.min_size,
         max_results: cfg.max_results,
@@ -67,7 +72,11 @@ pub fn enumerate_maximal_kplexes(
     }
     let mut sets = e.out;
     sets.sort();
-    MaximalKplexes { sets, truncated: e.truncated, nodes: e.nodes }
+    MaximalKplexes {
+        sets,
+        truncated: e.truncated,
+        nodes: e.nodes,
+    }
 }
 
 struct Enumerator {
@@ -116,8 +125,10 @@ impl Enumerator {
                 out.intersect_with(&self.adj[v as usize]);
             }
         }
-        let keep: Vec<usize> =
-            out.iter().filter(|&w| self.miss_candidate(w as u32) < self.k).collect();
+        let keep: Vec<usize> = out
+            .iter()
+            .filter(|&w| self.miss_candidate(w as u32) < self.k)
+            .collect();
         let mut fin = BitSet::new(out.capacity());
         for w in keep {
             fin.insert(w);
@@ -206,7 +217,10 @@ mod tests {
         let big = enumerate_maximal_kplexes(
             &g,
             1,
-            &EnumerateConfig { min_size: 3, ..EnumerateConfig::default() },
+            &EnumerateConfig {
+                min_size: 3,
+                ..EnumerateConfig::default()
+            },
         );
         assert_eq!(big.sets, brute::maximal_kplexes(&g, 1, 3));
         assert!(big.sets.len() < all.sets.len());
@@ -218,7 +232,10 @@ mod tests {
         let out = enumerate_maximal_kplexes(
             &g,
             1,
-            &EnumerateConfig { max_results: 1, ..EnumerateConfig::default() },
+            &EnumerateConfig {
+                max_results: 1,
+                ..EnumerateConfig::default()
+            },
         );
         assert_eq!(out.sets.len(), 1);
         assert!(out.truncated);

@@ -54,8 +54,6 @@ mod reduction;
 mod verify;
 
 pub use enumerate::{enumerate_maximal_kplexes, EnumerateConfig, MaximalKplexes};
-pub use max::{
-    kplex_decision, max_kplex, max_kplex_with_floor, KplexSearchStats, MaxKplexResult,
-};
+pub use max::{kplex_decision, max_kplex, max_kplex_with_floor, KplexSearchStats, MaxKplexResult};
 pub use reduction::{reduce_kplex_to_sgq, SgqReduction};
 pub use verify::{deficiency, is_kplex, is_maximal_kplex};

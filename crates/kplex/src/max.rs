@@ -54,7 +54,9 @@ pub fn max_kplex_with_floor(graph: &SocialGraph, k: usize, floor: usize) -> MaxK
     assert!(k >= 1, "k-plex parameter must be at least 1");
     let n = graph.node_count();
     let mut searcher = Searcher {
-        adj: (0..n).map(|v| graph.neighbor_bitset(NodeId(v as u32))).collect(),
+        adj: (0..n)
+            .map(|v| graph.neighbor_bitset(NodeId(v as u32)))
+            .collect(),
         k: k as i64,
         s: Vec::new(),
         cnt_in_s: vec![0; n],
@@ -71,7 +73,10 @@ pub fn max_kplex_with_floor(graph: &SocialGraph, k: usize, floor: usize) -> MaxK
         Vec::new()
     };
     members.sort_unstable();
-    MaxKplexResult { members, stats: searcher.stats }
+    MaxKplexResult {
+        members,
+        stats: searcher.stats,
+    }
 }
 
 /// Decision form: does `graph` contain a k-plex with exactly `size`
@@ -136,8 +141,10 @@ impl Searcher {
                 out.intersect_with(&self.adj[v as usize]);
             }
         }
-        let keep: Vec<usize> =
-            out.iter().filter(|&w| self.miss_candidate(w as u32) < self.k).collect();
+        let keep: Vec<usize> = out
+            .iter()
+            .filter(|&w| self.miss_candidate(w as u32) < self.k)
+            .collect();
         let mut fin = BitSet::new(out.capacity());
         for w in keep {
             fin.insert(w);

@@ -46,10 +46,17 @@ pub fn reduce_kplex_to_sgq(graph: &SocialGraph, c: usize, k: usize) -> SgqReduct
         b.add_edge(e.a, e.b, 1).expect("copied edges are valid");
     }
     for v in 0..n {
-        b.add_edge(q, NodeId(v as u32), 1).expect("initiator edges are fresh");
+        b.add_edge(q, NodeId(v as u32), 1)
+            .expect("initiator edges are fresh");
     }
 
-    SgqReduction { graph: b.build(), initiator: q, p: c + 1, s: 1, k_acq: k - 1 }
+    SgqReduction {
+        graph: b.build(),
+        initiator: q,
+        p: c + 1,
+        s: 1,
+        k_acq: k - 1,
+    }
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@ use stgq_graph::{NodeId, SocialGraph};
 /// adjacent to, excluding `v` itself. A set is a k-plex iff every member's
 /// deficiency is at most `k − 1`.
 pub fn deficiency(graph: &SocialGraph, set: &[NodeId], v: NodeId) -> usize {
-    set.iter().filter(|&&u| u != v && !graph.has_edge(u, v)).count()
+    set.iter()
+        .filter(|&&u| u != v && !graph.has_edge(u, v))
+        .count()
 }
 
 /// Whether `set` is a k-plex: every member adjacent to at least `|S| − k`

@@ -50,10 +50,17 @@ fn solution_minus_initiator_is_a_kplex() {
     let query = SgqQuery::new(red.p, red.s, red.k_acq).unwrap();
     let out = solve_sgq(&red.graph, red.initiator, &query, &SelectConfig::default()).unwrap();
     let sol = out.solution.expect("a 2-plex of size 3 exists");
-    let witness: Vec<NodeId> =
-        sol.members.iter().copied().filter(|&v| v != red.initiator).collect();
+    let witness: Vec<NodeId> = sol
+        .members
+        .iter()
+        .copied()
+        .filter(|&v| v != red.initiator)
+        .collect();
     assert_eq!(witness.len(), c);
-    assert!(is_kplex(&g, &witness, k), "the SGQ witness must be a k-plex of G'");
+    assert!(
+        is_kplex(&g, &witness, k),
+        "the SGQ witness must be a k-plex of G'"
+    );
 }
 
 proptest! {

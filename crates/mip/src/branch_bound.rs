@@ -22,7 +22,10 @@ pub struct MipOptions {
 
 impl Default for MipOptions {
     fn default() -> Self {
-        MipOptions { node_limit: 500_000, int_tol: 1e-6 }
+        MipOptions {
+            node_limit: 500_000,
+            int_tol: 1e-6,
+        }
     }
 }
 
@@ -67,7 +70,9 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipSolution, MipErr
     while let Some((lb, ub)) = stack.pop() {
         nodes += 1;
         if nodes as usize > opts.node_limit {
-            return Err(MipError::NodeLimit { limit: opts.node_limit });
+            return Err(MipError::NodeLimit {
+                limit: opts.node_limit,
+            });
         }
         let relax = solve_prepared(&m, &lb, &ub)?;
         match relax.status {
@@ -130,10 +135,18 @@ pub fn solve_mip(model: &Model, opts: &MipOptions) -> Result<MipSolution, MipErr
     }
 
     Ok(match incumbent {
-        Some((objective, values)) => {
-            MipSolution { status: MipStatus::Optimal, objective, values, nodes }
-        }
-        None => MipSolution { status: MipStatus::Infeasible, objective: 0.0, values: vec![], nodes },
+        Some((objective, values)) => MipSolution {
+            status: MipStatus::Optimal,
+            objective,
+            values,
+            nodes,
+        },
+        None => MipSolution {
+            status: MipStatus::Infeasible,
+            objective: 0.0,
+            values: vec![],
+            nodes,
+        },
     })
 }
 
@@ -219,7 +232,14 @@ mod tests {
         let y = m.add_int("y", 0.0, 10.0);
         m.add_constraint(m.expr(&[(x, 2.0), (y, 2.0)]), Cmp::Le, 3.0);
         m.set_objective(m.expr(&[(x, -1.0), (y, -1.0)]));
-        let err = solve_mip(&m, &MipOptions { node_limit: 1, int_tol: 1e-6 }).unwrap_err();
+        let err = solve_mip(
+            &m,
+            &MipOptions {
+                node_limit: 1,
+                int_tol: 1e-6,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, MipError::NodeLimit { limit: 1 }));
     }
 
@@ -269,10 +289,15 @@ mod tests {
 
             let mut best = 0.0f64;
             for mask in 0u32..64 {
-                let wt: f64 = (0..6).filter(|i| mask >> i & 1 == 1).map(|i| weights[i]).sum();
+                let wt: f64 = (0..6)
+                    .filter(|i| mask >> i & 1 == 1)
+                    .map(|i| weights[i])
+                    .sum();
                 if wt <= cap {
-                    let val: f64 =
-                        (0..6).filter(|i| mask >> i & 1 == 1).map(|i| values[i]).sum();
+                    let val: f64 = (0..6)
+                        .filter(|i| mask >> i & 1 == 1)
+                        .map(|i| values[i])
+                        .sum();
                     best = best.max(val);
                 }
             }

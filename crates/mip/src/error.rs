@@ -66,12 +66,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = MipError::UnknownVariable { index: 5, var_count: 2 };
+        let e = MipError::UnknownVariable {
+            index: 5,
+            var_count: 2,
+        };
         assert!(e.to_string().contains("#5"));
-        let e = MipError::EmptyDomain { name: "x".into(), lb: 2.0, ub: 1.0 };
+        let e = MipError::EmptyDomain {
+            name: "x".into(),
+            lb: 2.0,
+            ub: 1.0,
+        };
         assert!(e.to_string().contains("empty domain"));
         assert!(MipError::NotANumber.to_string().contains("NaN"));
-        assert!(MipError::IterationLimit { limit: 10 }.to_string().contains("10"));
+        assert!(MipError::IterationLimit { limit: 10 }
+            .to_string()
+            .contains("10"));
         assert!(MipError::NodeLimit { limit: 9 }.to_string().contains("9"));
     }
 }

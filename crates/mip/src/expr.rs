@@ -20,7 +20,9 @@ impl LinExpr {
 
     /// Build from `(var, coef)` pairs.
     pub fn from_terms(terms: impl IntoIterator<Item = (VarId, f64)>) -> Self {
-        LinExpr { terms: terms.into_iter().collect() }
+        LinExpr {
+            terms: terms.into_iter().collect(),
+        }
     }
 
     /// Add `coef · var` to the expression.

@@ -141,7 +141,11 @@ impl Model {
                 return Err(MipError::NotANumber);
             }
             if v.lb > v.ub {
-                return Err(MipError::EmptyDomain { name: v.name.clone(), lb: v.lb, ub: v.ub });
+                return Err(MipError::EmptyDomain {
+                    name: v.name.clone(),
+                    lb: v.lb,
+                    ub: v.ub,
+                });
             }
         }
         let exprs = self
@@ -155,7 +159,10 @@ impl Model {
             }
             if let Some(max) = expr.max_var() {
                 if max >= n {
-                    return Err(MipError::UnknownVariable { index: max, var_count: n });
+                    return Err(MipError::UnknownVariable {
+                        index: max,
+                        var_count: n,
+                    });
                 }
             }
             expr.compact();
@@ -185,7 +192,10 @@ mod tests {
         let mut m = Model::new();
         let _ = m.add_cont("x", 0.0, 1.0);
         m.add_constraint(LinExpr::from_terms([(VarId(5), 1.0)]), Cmp::Le, 1.0);
-        assert!(matches!(m.validate(), Err(MipError::UnknownVariable { index: 5, .. })));
+        assert!(matches!(
+            m.validate(),
+            Err(MipError::UnknownVariable { index: 5, .. })
+        ));
     }
 
     #[test]

@@ -62,7 +62,11 @@ pub fn solve_lp(model: &Model) -> Result<LpResult, MipError> {
 pub(crate) fn solve_prepared(model: &Model, lb: &[f64], ub: &[f64]) -> Result<LpResult, MipError> {
     for i in 0..lb.len() {
         if lb[i] > ub[i] {
-            return Ok(LpResult { status: LpStatus::Infeasible, objective: 0.0, values: vec![] });
+            return Ok(LpResult {
+                status: LpStatus::Infeasible,
+                objective: 0.0,
+                values: vec![],
+            });
         }
     }
     Tableau::build(model, lb, ub).solve(model, lb)
@@ -97,10 +101,16 @@ impl Tableau {
         let mut nstruct = 0usize;
         for i in 0..n {
             if lb[i].is_finite() {
-                col_map.push(ColMap::Shifted { col: nstruct, lb: lb[i] });
+                col_map.push(ColMap::Shifted {
+                    col: nstruct,
+                    lb: lb[i],
+                });
                 nstruct += 1;
             } else {
-                col_map.push(ColMap::Split { pos: nstruct, neg: nstruct + 1 });
+                col_map.push(ColMap::Split {
+                    pos: nstruct,
+                    neg: nstruct + 1,
+                });
                 nstruct += 2;
             }
         }
@@ -276,7 +286,9 @@ impl Tableau {
                     break;
                 }
             }
-            let Some(pc) = entering else { return Ok(LpStatus::Optimal) };
+            let Some(pc) = entering else {
+                return Ok(LpStatus::Optimal);
+            };
 
             // Ratio test with Bland tie-break.
             let mut pr: Option<usize> = None;
@@ -289,15 +301,16 @@ impl Tableau {
                 if t > EPS {
                     let ratio = self.rhs[i] / t;
                     let better = ratio < best - EPS
-                        || (ratio < best + EPS
-                            && pr.is_none_or(|p| self.basis[i] < self.basis[p]));
+                        || (ratio < best + EPS && pr.is_none_or(|p| self.basis[i] < self.basis[p]));
                     if better {
                         best = ratio;
                         pr = Some(i);
                     }
                 }
             }
-            let Some(pr) = pr else { return Ok(LpStatus::Unbounded) };
+            let Some(pr) = pr else {
+                return Ok(LpStatus::Unbounded);
+            };
             self.pivot(pr, pc, red);
         }
         Err(MipError::IterationLimit { limit: ITER_LIMIT })
@@ -393,7 +406,11 @@ impl Tableau {
             .collect();
         let _ = lb;
         let objective = model.objective().eval(&values);
-        Ok(LpResult { status: LpStatus::Optimal, objective, values })
+        Ok(LpResult {
+            status: LpStatus::Optimal,
+            objective,
+            values,
+        })
     }
 }
 

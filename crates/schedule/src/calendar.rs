@@ -18,7 +18,10 @@ const WORD_BITS: usize = 64;
 impl Calendar {
     /// All-busy calendar over `horizon` slots.
     pub fn new(horizon: usize) -> Self {
-        Calendar { words: vec![0; horizon.div_ceil(WORD_BITS)], horizon }
+        Calendar {
+            words: vec![0; horizon.div_ceil(WORD_BITS)],
+            horizon,
+        }
     }
 
     /// All-available calendar over `horizon` slots.
@@ -60,7 +63,11 @@ impl Calendar {
     /// Panics if `slot >= horizon`.
     #[inline]
     pub fn is_available(&self, slot: SlotId) -> bool {
-        assert!(slot < self.horizon, "slot {slot} out of horizon {}", self.horizon);
+        assert!(
+            slot < self.horizon,
+            "slot {slot} out of horizon {}",
+            self.horizon
+        );
         (self.words[slot / WORD_BITS] >> (slot % WORD_BITS)) & 1 == 1
     }
 
@@ -69,7 +76,11 @@ impl Calendar {
     /// # Panics
     /// Panics if `slot >= horizon`.
     pub fn set_available(&mut self, slot: SlotId, available: bool) {
-        assert!(slot < self.horizon, "slot {slot} out of horizon {}", self.horizon);
+        assert!(
+            slot < self.horizon,
+            "slot {slot} out of horizon {}",
+            self.horizon
+        );
         let w = &mut self.words[slot / WORD_BITS];
         let mask = 1u64 << (slot % WORD_BITS);
         if available {
@@ -84,7 +95,11 @@ impl Calendar {
     /// # Panics
     /// Panics if the range exceeds the horizon.
     pub fn set_range(&mut self, range: SlotRange, available: bool) {
-        assert!(range.hi < self.horizon, "range {range} out of horizon {}", self.horizon);
+        assert!(
+            range.hi < self.horizon,
+            "range {range} out of horizon {}",
+            self.horizon
+        );
         for s in range.iter() {
             self.set_available(s, available);
         }
@@ -131,7 +146,11 @@ impl Calendar {
 
     /// Length of the longest run of available slots within `bounds`.
     pub fn max_run_in(&self, bounds: SlotRange) -> usize {
-        assert!(bounds.hi < self.horizon, "bounds {bounds} out of horizon {}", self.horizon);
+        assert!(
+            bounds.hi < self.horizon,
+            "bounds {bounds} out of horizon {}",
+            self.horizon
+        );
         let mut best = 0;
         let mut cur = 0;
         for s in bounds.iter() {
@@ -156,10 +175,46 @@ impl Calendar {
             .filter(move |&start| self.available_in_window(start, m))
     }
 
+    // ---- word-slice access (the hot-path API) ------------------------
+
+    /// The backing availability words, bit `t % 64` of word `t / 64` set ⇔
+    /// slot `t` available. Bits at `horizon` and beyond are zero.
+    #[inline]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// The availability bits of the inclusive slot range `[range.lo,
+    /// range.hi]`, re-based so bit 0 of the first yielded word is slot
+    /// `range.lo` — i.e. the packed form of
+    /// `(0..range.len()).map(|off| is_available(range.lo + off))`.
+    ///
+    /// This is how STGSelect builds per-candidate availability bitmaps
+    /// over a pivot interval: whole words are shifted and stitched instead
+    /// of probing `is_available` per slot.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds the horizon.
+    pub fn range_words(&self, range: SlotRange) -> RangeWords<'_> {
+        assert!(
+            range.hi < self.horizon,
+            "range {range} out of horizon {}",
+            self.horizon
+        );
+        RangeWords {
+            cal: self,
+            base: range.lo,
+            remaining: range.len(),
+        }
+    }
+
     /// In-place intersection with another calendar (common availability).
     pub fn intersect_with(&mut self, other: &Calendar) -> Result<(), ScheduleError> {
         if self.horizon != other.horizon {
-            return Err(ScheduleError::HorizonMismatch { left: self.horizon, right: other.horizon });
+            return Err(ScheduleError::HorizonMismatch {
+                left: self.horizon,
+                right: other.horizon,
+            });
         }
         for (a, b) in self.words.iter_mut().zip(&other.words) {
             *a &= b;
@@ -178,6 +233,44 @@ impl Calendar {
         }
         let window = common.windows_of(m).next();
         window
+    }
+}
+
+/// Iterator of [`Calendar::range_words`]: packed, re-based availability
+/// words of one slot range.
+pub struct RangeWords<'a> {
+    cal: &'a Calendar,
+    /// Slot id of bit 0 of the next yielded word.
+    base: usize,
+    /// Bits still to yield.
+    remaining: usize,
+}
+
+impl Iterator for RangeWords<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let words = &self.cal.words;
+        let wi = self.base / WORD_BITS;
+        let shift = self.base % WORD_BITS;
+        // Stitch the straddling pair of backing words.
+        let mut w = words.get(wi).copied().unwrap_or(0) >> shift;
+        if shift != 0 {
+            if let Some(&hi) = words.get(wi + 1) {
+                w |= hi << (WORD_BITS - shift);
+            }
+        }
+        if self.remaining < WORD_BITS {
+            w &= (1u64 << self.remaining) - 1;
+            self.remaining = 0;
+        } else {
+            self.remaining -= WORD_BITS;
+        }
+        self.base += WORD_BITS;
+        Some(w)
     }
 }
 
@@ -245,7 +338,11 @@ mod tests {
         let tight = SlotRange::new(3, 6);
         assert_eq!(c.run_containing(5, tight), Some(SlotRange::new(3, 6)));
         assert_eq!(c.run_containing(0, all), None, "busy slot");
-        assert_eq!(c.run_containing(5, SlotRange::new(6, 8)), None, "outside bounds");
+        assert_eq!(
+            c.run_containing(5, SlotRange::new(6, 8)),
+            None,
+            "outside bounds"
+        );
     }
 
     #[test]
@@ -288,6 +385,31 @@ mod tests {
     }
 
     proptest! {
+        /// `range_words` agrees with per-slot `is_available` probing for
+        /// every range, including word-straddling ones.
+        #[test]
+        fn range_words_match_per_slot_reference(
+            slots in proptest::collection::btree_set(0usize..200, 0..150),
+            lo in 0usize..200,
+            len in 1usize..200,
+        ) {
+            let horizon = 200;
+            let c = Calendar::from_slots(horizon, slots.iter().copied());
+            let hi = (lo + len - 1).min(horizon - 1);
+            let range = SlotRange::new(lo.min(hi), hi);
+            let words: Vec<u64> = c.range_words(range).collect();
+            prop_assert_eq!(words.len(), range.len().div_ceil(64));
+            for (off, slot) in range.iter().enumerate() {
+                let bit = (words[off / 64] >> (off % 64)) & 1 == 1;
+                prop_assert_eq!(bit, c.is_available(slot), "offset {} slot {}", off, slot);
+            }
+            // Bits beyond the range length must be zero in the last word.
+            let tail = range.len() % 64;
+            if tail != 0 {
+                prop_assert_eq!(words[words.len() - 1] >> tail, 0);
+            }
+        }
+
         /// `run_containing` really is the maximal available run.
         #[test]
         fn run_containing_is_maximal(

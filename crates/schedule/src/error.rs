@@ -29,8 +29,14 @@ pub enum ScheduleError {
 impl fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ScheduleError::EmptyGrid { days, slots_per_day } => {
-                write!(f, "time grid must be non-empty (got {days} days x {slots_per_day} slots)")
+            ScheduleError::EmptyGrid {
+                days,
+                slots_per_day,
+            } => {
+                write!(
+                    f,
+                    "time grid must be non-empty (got {days} days x {slots_per_day} slots)"
+                )
             }
             ScheduleError::SlotOutOfRange { slot, horizon } => {
                 write!(f, "slot {slot} out of range (horizon {horizon})")
@@ -50,12 +56,18 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ScheduleError::EmptyGrid { days: 0, slots_per_day: 48 }
-            .to_string()
-            .contains("non-empty"));
-        assert!(ScheduleError::SlotOutOfRange { slot: 9, horizon: 5 }
-            .to_string()
-            .contains("horizon 5"));
+        assert!(ScheduleError::EmptyGrid {
+            days: 0,
+            slots_per_day: 48
+        }
+        .to_string()
+        .contains("non-empty"));
+        assert!(ScheduleError::SlotOutOfRange {
+            slot: 9,
+            horizon: 5
+        }
+        .to_string()
+        .contains("horizon 5"));
         assert!(ScheduleError::HorizonMismatch { left: 3, right: 4 }
             .to_string()
             .contains("differ"));

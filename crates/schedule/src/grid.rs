@@ -19,9 +19,15 @@ impl TimeGrid {
     /// Build a grid; both dimensions must be non-zero.
     pub fn new(days: usize, slots_per_day: usize) -> Result<Self, ScheduleError> {
         if days == 0 || slots_per_day == 0 {
-            return Err(ScheduleError::EmptyGrid { days, slots_per_day });
+            return Err(ScheduleError::EmptyGrid {
+                days,
+                slots_per_day,
+            });
         }
-        Ok(TimeGrid { days, slots_per_day })
+        Ok(TimeGrid {
+            days,
+            slots_per_day,
+        })
     }
 
     /// Convenience: `days` of half-hour slots.
@@ -61,7 +67,10 @@ impl TimeGrid {
     /// `(day, slot_of_day)` of a slot id.
     pub fn locate(&self, slot: SlotId) -> Result<(usize, usize), ScheduleError> {
         if slot >= self.horizon() {
-            return Err(ScheduleError::SlotOutOfRange { slot, horizon: self.horizon() });
+            return Err(ScheduleError::SlotOutOfRange {
+                slot,
+                horizon: self.horizon(),
+            });
         }
         Ok((slot / self.slots_per_day, slot % self.slots_per_day))
     }

@@ -29,7 +29,7 @@ pub mod pivot;
 mod render;
 pub mod text;
 
-pub use calendar::Calendar;
+pub use calendar::{Calendar, RangeWords};
 pub use error::ScheduleError;
 pub use grid::TimeGrid;
 pub use render::render_schedules;

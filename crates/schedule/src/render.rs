@@ -26,7 +26,11 @@ pub fn render_schedules(rows: &[(&str, &Calendar)]) -> String {
     for (name, cal) in rows {
         out.push_str(&format!("{name:name_w$} "));
         for t in 0..horizon {
-            let mark = if t < cal.horizon() && cal.is_available(t) { "O" } else { "." };
+            let mark = if t < cal.horizon() && cal.is_available(t) {
+                "O"
+            } else {
+                "."
+            };
             out.push_str(&format!("{mark:>col_w$} "));
         }
         out.push('\n');

@@ -20,7 +20,9 @@ use crate::{Calendar, ScheduleError};
 
 /// Render one calendar as an `X`/`.` mask.
 pub fn calendar_to_mask(cal: &Calendar) -> String {
-    (0..cal.horizon()).map(|s| if cal.is_available(s) { 'X' } else { '.' }).collect()
+    (0..cal.horizon())
+        .map(|s| if cal.is_available(s) { 'X' } else { '.' })
+        .collect()
 }
 
 /// Parse an `X`/`.` mask into a calendar (`x` is accepted too).
@@ -113,9 +115,10 @@ pub fn read_roster<R: BufRead>(reader: R) -> Result<Vec<Calendar>, RosterError> 
             return Err(parse(lineno, "unexpected trailing tokens".into()));
         }
         let cal = calendar_from_mask(mask).map_err(|e| match e {
-            ScheduleError::SlotOutOfRange { slot, .. } => {
-                parse(lineno, format!("bad mask character at column {slot} (want X or .)"))
-            }
+            ScheduleError::SlotOutOfRange { slot, .. } => parse(
+                lineno,
+                format!("bad mask character at column {slot} (want X or .)"),
+            ),
             other => parse(lineno, other.to_string()),
         })?;
         match horizon {
@@ -134,15 +137,18 @@ pub fn read_roster<R: BufRead>(reader: R) -> Result<Vec<Calendar>, RosterError> 
     let n = rows.len();
     let mut out: Vec<Option<Calendar>> = vec![None; n];
     for (id, cal) in rows {
-        let slot = out.get_mut(id).ok_or_else(|| {
-            parse(0, format!("person id {id} out of range for {n} rows"))
-        })?;
+        let slot = out
+            .get_mut(id)
+            .ok_or_else(|| parse(0, format!("person id {id} out of range for {n} rows")))?;
         if slot.is_some() {
             return Err(parse(0, format!("person id {id} appears twice")));
         }
         *slot = Some(cal);
     }
-    Ok(out.into_iter().map(|c| c.expect("all ids covered exactly once")).collect())
+    Ok(out
+        .into_iter()
+        .map(|c| c.expect("all ids covered exactly once"))
+        .collect())
 }
 
 #[cfg(test)]
@@ -175,8 +181,11 @@ mod tests {
 
     #[test]
     fn roster_roundtrip_any_order() {
-        let cals =
-            vec![Calendar::from_slots(5, [0, 1]), Calendar::from_slots(5, [4]), Calendar::new(5)];
+        let cals = vec![
+            Calendar::from_slots(5, [0, 1]),
+            Calendar::from_slots(5, [4]),
+            Calendar::new(5),
+        ];
         let text = write_roster(&cals);
         // Shuffle the lines and add noise.
         let mut lines: Vec<&str> = text.lines().collect();
@@ -191,7 +200,10 @@ mod tests {
 
     #[test]
     fn duplicate_and_out_of_range_ids_are_rejected() {
-        assert!(read_roster("0 X\n0 .\n".as_bytes()).unwrap_err().to_string().contains("twice"));
+        assert!(read_roster("0 X\n0 .\n".as_bytes())
+            .unwrap_err()
+            .to_string()
+            .contains("twice"));
         assert!(read_roster("5 X\n".as_bytes())
             .unwrap_err()
             .to_string()

@@ -60,13 +60,7 @@ impl FeasibleCache {
     }
 
     /// Insert a freshly-built graph, evicting the oldest entry at capacity.
-    pub(crate) fn put(
-        &mut self,
-        initiator: u32,
-        s: usize,
-        version: u64,
-        fg: Arc<FeasibleGraph>,
-    ) {
+    pub(crate) fn put(&mut self, initiator: u32, s: usize, version: u64, fg: Arc<FeasibleGraph>) {
         let key = (initiator, s);
         if self.entries.insert(key, Entry { version, fg }).is_none() {
             self.insertion_order.push_back(key);

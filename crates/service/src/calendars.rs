@@ -22,7 +22,11 @@ pub struct CalendarStore {
 impl CalendarStore {
     /// An empty store over `horizon` slots.
     pub fn new(horizon: usize) -> Self {
-        CalendarStore { cals: Vec::new(), horizon, version: 0 }
+        CalendarStore {
+            cals: Vec::new(),
+            horizon,
+            version: 0,
+        }
     }
 
     /// The shared slot horizon.
@@ -55,7 +59,10 @@ impl CalendarStore {
 
     fn check_slot(&self, slot: usize) -> Result<(), ServiceError> {
         if slot >= self.horizon {
-            return Err(ServiceError::SlotOutOfRange { slot, horizon: self.horizon });
+            return Err(ServiceError::SlotOutOfRange {
+                slot,
+                horizon: self.horizon,
+            });
         }
         Ok(())
     }

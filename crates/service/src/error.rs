@@ -44,8 +44,14 @@ pub enum ServiceError {
 impl fmt::Display for ServiceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ServiceError::UnknownPerson { person, person_count } => {
-                write!(f, "unknown person {person} (service knows {person_count} people)")
+            ServiceError::UnknownPerson {
+                person,
+                person_count,
+            } => {
+                write!(
+                    f,
+                    "unknown person {person} (service knows {person_count} people)"
+                )
             }
             ServiceError::RemovedPerson { person } => {
                 write!(f, "person {person} was removed from the network")
@@ -86,11 +92,20 @@ mod tests {
     #[test]
     fn display_covers_all_variants() {
         let cases: Vec<ServiceError> = vec![
-            ServiceError::UnknownPerson { person: NodeId(9), person_count: 3 },
+            ServiceError::UnknownPerson {
+                person: NodeId(9),
+                person_count: 3,
+            },
             ServiceError::RemovedPerson { person: NodeId(1) },
             ServiceError::SelfFriendship { person: NodeId(2) },
-            ServiceError::ZeroDistance { a: NodeId(0), b: NodeId(1) },
-            ServiceError::SlotOutOfRange { slot: 99, horizon: 10 },
+            ServiceError::ZeroDistance {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            ServiceError::SlotOutOfRange {
+                slot: 99,
+                horizon: 10,
+            },
             ServiceError::Query(QueryError::InitiatorOutOfRange {
                 initiator: NodeId(5),
                 node_count: 2,
@@ -103,7 +118,10 @@ mod tests {
 
     #[test]
     fn query_errors_convert() {
-        let q = QueryError::CalendarCountMismatch { calendars: 1, node_count: 2 };
+        let q = QueryError::CalendarCountMismatch {
+            calendars: 1,
+            node_count: 2,
+        };
         let s: ServiceError = q.clone().into();
         assert_eq!(s, ServiceError::Query(q));
     }

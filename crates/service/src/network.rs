@@ -240,7 +240,10 @@ mod tests {
             net.connect(a, NodeId(99), 1),
             Err(ServiceError::UnknownPerson { .. })
         ));
-        assert!(matches!(net.connect(a, a, 1), Err(ServiceError::SelfFriendship { .. })));
+        assert!(matches!(
+            net.connect(a, a, 1),
+            Err(ServiceError::SelfFriendship { .. })
+        ));
         assert!(matches!(
             net.connect(a, NodeId(1), 0),
             Err(ServiceError::ZeroDistance { .. })

@@ -263,7 +263,9 @@ impl Planner {
         }
         let graph = self.graph_snapshot();
         let fg = Arc::new(FeasibleGraph::extract(&graph, initiator, s));
-        self.fg_cache.lock().put(initiator.0, s, version, Arc::clone(&fg));
+        self.fg_cache
+            .lock()
+            .put(initiator.0, s, version, Arc::clone(&fg));
         (fg, false)
     }
 
@@ -436,15 +438,18 @@ mod tests {
     /// out, f isolated.
     fn demo() -> (Planner, Vec<NodeId>) {
         let mut p = Planner::new(12);
-        let ids: Vec<NodeId> =
-            ["a", "b", "c", "d", "e", "f"].iter().map(|l| p.add_person(*l)).collect();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e", "f"]
+            .iter()
+            .map(|l| p.add_person(*l))
+            .collect();
         p.connect(ids[0], ids[1], 2).unwrap();
         p.connect(ids[0], ids[2], 3).unwrap();
         p.connect(ids[1], ids[2], 1).unwrap();
         p.connect(ids[0], ids[3], 8).unwrap();
         p.connect(ids[3], ids[4], 2).unwrap();
         for &id in &ids {
-            p.set_availability_range(id, SlotRange::new(2, 9), true).unwrap();
+            p.set_availability_range(id, SlotRange::new(2, 9), true)
+                .unwrap();
         }
         (p, ids)
     }
@@ -514,7 +519,8 @@ mod tests {
         assert!(r1.solution.is_some());
 
         // Blocking b's whole calendar makes the triangle unschedulable.
-        p.set_availability_range(ids[1], SlotRange::new(0, 11), false).unwrap();
+        p.set_availability_range(ids[1], SlotRange::new(0, 11), false)
+            .unwrap();
         let r2 = p.plan_stgq(ids[0], &q, Engine::Exact).unwrap();
         assert!(
             r2.feasible_cache_hit,
@@ -553,14 +559,22 @@ mod tests {
             .total_distance;
         for engine in [
             Engine::ExactParallel { threads: 2 },
-            Engine::Anytime { frame_budget: 1_000_000 },
+            Engine::Anytime {
+                frame_budget: 1_000_000,
+            },
             Engine::Greedy { restarts: 3 },
-            Engine::LocalSearch { restarts: 3, passes: 4 },
+            Engine::LocalSearch {
+                restarts: 3,
+                passes: 4,
+            },
         ] {
             let r = p.plan_sgq(ids[0], &q, engine).unwrap();
             if let Some(sol) = r.solution {
                 assert!(sol.total_distance >= exact, "{engine:?}");
-                if matches!(engine, Engine::ExactParallel { .. } | Engine::Anytime { .. }) {
+                if matches!(
+                    engine,
+                    Engine::ExactParallel { .. } | Engine::Anytime { .. }
+                ) {
                     assert_eq!(sol.total_distance, exact, "{engine:?} is exact here");
                 }
             }
@@ -596,19 +610,30 @@ mod tests {
         assert_eq!(m.feasible_cache_hits, 1);
         assert_eq!(m.feasible_cache_misses, 2);
         assert_eq!(m.cached_feasible_graphs, 2);
-        assert_eq!(m.snapshot_rebuilds, 1, "one snapshot serves both extractions");
+        assert_eq!(
+            m.snapshot_rebuilds, 1,
+            "one snapshot serves both extractions"
+        );
     }
 
     #[test]
     fn anytime_reports_truncation_honestly() {
         let (p, ids) = demo();
         let q = SgqQuery::new(4, 2, 1).unwrap();
-        let r = p.plan_sgq(ids[0], &q, Engine::Anytime { frame_budget: 1 }).unwrap();
+        let r = p
+            .plan_sgq(ids[0], &q, Engine::Anytime { frame_budget: 1 })
+            .unwrap();
         if let Some(stats) = r.stats {
             assert_eq!(r.exact, !stats.truncated);
         }
         let r = p
-            .plan_sgq(ids[0], &q, Engine::Anytime { frame_budget: 1_000_000 })
+            .plan_sgq(
+                ids[0],
+                &q,
+                Engine::Anytime {
+                    frame_budget: 1_000_000,
+                },
+            )
             .unwrap();
         assert!(r.exact, "a generous budget finishes this tiny instance");
     }

@@ -24,7 +24,9 @@ pub struct SharedPlanner {
 impl SharedPlanner {
     /// Wrap an existing planner.
     pub fn new(planner: Planner) -> Self {
-        SharedPlanner { inner: Arc::new(RwLock::new(planner)) }
+        SharedPlanner {
+            inner: Arc::new(RwLock::new(planner)),
+        }
     }
 
     /// A fresh shared service over `horizon` slots.
@@ -59,7 +61,9 @@ impl SharedPlanner {
         range: SlotRange,
         available: bool,
     ) -> Result<(), ServiceError> {
-        self.inner.write().set_availability_range(person, range, available)
+        self.inner
+            .write()
+            .set_availability_range(person, range, available)
     }
 
     /// Answer an SGQ (concurrent with other queries).
@@ -94,14 +98,18 @@ mod tests {
 
     fn demo() -> (SharedPlanner, Vec<NodeId>) {
         let shared = SharedPlanner::with_horizon(16);
-        let ids: Vec<NodeId> =
-            ["a", "b", "c", "d", "e"].iter().map(|l| shared.add_person(*l)).collect();
+        let ids: Vec<NodeId> = ["a", "b", "c", "d", "e"]
+            .iter()
+            .map(|l| shared.add_person(*l))
+            .collect();
         shared.connect(ids[0], ids[1], 2).unwrap();
         shared.connect(ids[0], ids[2], 3).unwrap();
         shared.connect(ids[1], ids[2], 1).unwrap();
         shared.connect(ids[2], ids[3], 5).unwrap();
         for &id in &ids {
-            shared.set_availability_range(id, SlotRange::new(0, 15), true).unwrap();
+            shared
+                .set_availability_range(id, SlotRange::new(0, 15), true)
+                .unwrap();
         }
         (shared, ids)
     }
@@ -146,11 +154,19 @@ mod tests {
         let (shared, ids) = demo();
         let other = shared.clone();
         let q = SgqQuery::new(2, 1, 1).unwrap();
-        let before = other.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution.unwrap();
+        let before = other
+            .plan_sgq(ids[0], &q, Engine::Exact)
+            .unwrap()
+            .solution
+            .unwrap();
         assert_eq!(before.total_distance, 2);
         // Mutate through one handle, observe through the other.
         shared.connect(ids[0], ids[4], 1).unwrap();
-        let after = other.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution.unwrap();
+        let after = other
+            .plan_sgq(ids[0], &q, Engine::Exact)
+            .unwrap()
+            .solution
+            .unwrap();
         assert_eq!(after.total_distance, 1);
     }
 
@@ -161,6 +177,8 @@ mod tests {
             p.connect(ids[0], ids[4], 2).unwrap();
             p.set_availability(ids[4], 3, true).unwrap();
         });
-        assert!(shared.inspect(|p| p.network().distance(ids[0], ids[4])).is_some());
+        assert!(shared
+            .inspect(|p| p.network().distance(ids[0], ids[4]))
+            .is_some());
     }
 }

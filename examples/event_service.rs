@@ -10,7 +10,7 @@
 
 use stgq::prelude::*;
 use stgq::service::{Engine, SharedPlanner};
-use stgq_datagen::{community::CommunityConfig, community::community_graph, pick_initiator};
+use stgq_datagen::{community::community_graph, community::CommunityConfig, pick_initiator};
 
 fn main() {
     // One work week at half-hour granularity.
@@ -22,13 +22,20 @@ fn main() {
     // friendships from the community generator so the topology is
     // realistic, then feed them through the service's mutation API.
     let blueprint = community_graph(
-        &CommunityConfig { n: 60, communities: 4, ..CommunityConfig::paper_194() },
+        &CommunityConfig {
+            n: 60,
+            communities: 4,
+            ..CommunityConfig::paper_194()
+        },
         42,
     );
-    let ids: Vec<NodeId> =
-        (0..blueprint.node_count()).map(|v| service.add_person(format!("user{v}"))).collect();
+    let ids: Vec<NodeId> = (0..blueprint.node_count())
+        .map(|v| service.add_person(format!("user{v}")))
+        .collect();
     for e in blueprint.edges() {
-        service.connect(ids[e.a.index()], ids[e.b.index()], e.weight).unwrap();
+        service
+            .connect(ids[e.a.index()], ids[e.b.index()], e.weight)
+            .unwrap();
     }
     println!(
         "Monday    signed up {} people, {} friendships",
@@ -43,7 +50,9 @@ fn main() {
             for day in 0..5 {
                 let lo = grid.slot(day, 18).unwrap() + (i % 3);
                 let hi = grid.slot(day, 34).unwrap() - (i % 2);
-                planner.set_availability_range(id, SlotRange::new(lo, hi), true).unwrap();
+                planner
+                    .set_availability_range(id, SlotRange::new(lo, hi), true)
+                    .unwrap();
             }
         }
     });
@@ -88,7 +97,10 @@ fn main() {
         Engine::Exact,
         Engine::ExactParallel { threads: 0 },
         Engine::Greedy { restarts: 3 },
-        Engine::LocalSearch { restarts: 3, passes: 4 },
+        Engine::LocalSearch {
+            restarts: 3,
+            passes: 4,
+        },
     ] {
         let r = service.plan_stgq(initiator, &offsite, engine).unwrap();
         println!(
@@ -102,7 +114,11 @@ fn main() {
 
     // Friday: one invitee goes on vacation; their slots disappear and the
     // plan adapts without any graph rebuild.
-    if let Some(sol) = service.plan_stgq(initiator, &lunch, Engine::Exact).unwrap().solution {
+    if let Some(sol) = service
+        .plan_stgq(initiator, &lunch, Engine::Exact)
+        .unwrap()
+        .solution
+    {
         let unlucky = *sol.members.iter().find(|&&v| v != initiator).unwrap();
         service
             .set_availability_range(unlucky, SlotRange::new(0, horizon - 1), false)
@@ -112,7 +128,10 @@ fn main() {
             "Friday    {} went on vacation; replanned (cache hit: {}) → {:?}",
             unlucky,
             replan.feasible_cache_hit,
-            replan.solution.as_ref().map(|s| (s.total_distance, s.period.lo))
+            replan
+                .solution
+                .as_ref()
+                .map(|s| (s.total_distance, s.period.lo))
         );
     }
 

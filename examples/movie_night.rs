@@ -66,7 +66,9 @@ fn cast_schedules() -> Vec<Calendar> {
         &[1, 2, 3, 4, 5],    // v7 Casey
         &[0, 1, 2, 3, 5],    // v8 Michelle
     ];
-    rows.iter().map(|slots| Calendar::from_slots(6, slots.iter().copied())).collect()
+    rows.iter()
+        .map(|slots| Calendar::from_slots(6, slots.iter().copied()))
+        .collect()
 }
 
 fn label_group(g: &SocialGraph, members: &[NodeId]) -> Vec<String> {
@@ -80,35 +82,66 @@ fn main() {
 
     // ---- Scene 1: three closest friends, ignoring acquaintance. --------
     let naive = SgqQuery::new(4, 1, usize::MAX >> 1).unwrap();
-    let sol = solve_sgq(&graph, casey, &naive, &cfg).unwrap().solution.unwrap();
+    let sol = solve_sgq(&graph, casey, &naive, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     println!("Closest three co-stars (no acquaintance constraint):");
-    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
+    println!(
+        "  {:?}  (distance {})",
+        label_group(&graph, &sol.members),
+        sol.total_distance
+    );
     println!("  …but they barely know each other.\n");
 
     // ---- Scene 2: Example 1's SGQ(p=4, s=1, k=0). -----------------------
     let tight = SgqQuery::new(4, 1, 0).unwrap();
-    let sol = solve_sgq(&graph, casey, &tight, &cfg).unwrap().solution.unwrap();
+    let sol = solve_sgq(&graph, casey, &tight, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     println!("SGQ(p=4, s=1, k=0) — everyone must know everyone:");
-    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
-    assert_eq!(sol.total_distance, 64, "the paper's qualified winner costs 64");
+    println!(
+        "  {:?}  (distance {})",
+        label_group(&graph, &sol.members),
+        sol.total_distance
+    );
+    assert_eq!(
+        sol.total_distance, 64,
+        "the paper's qualified winner costs 64"
+    );
     assert_eq!(
         label_group(&graph, &sol.members),
-        ["George Clooney", "Brad Pitt", "Julia Roberts", "Casey Affleck"]
+        [
+            "George Clooney",
+            "Brad Pitt",
+            "Julia Roberts",
+            "Casey Affleck"
+        ]
     );
     println!("  (matches the paper: the 65-cost {{Robert, Brad, Julia, Casey}} loses)\n");
 
     // ---- Scene 3: the six-seat charity flight, SGQ(p=6, s=2, k=2). -----
     let flight = SgqQuery::new(6, 2, 2).unwrap();
-    let sol = solve_sgq(&graph, casey, &flight, &cfg).unwrap().solution.unwrap();
+    let sol = solve_sgq(&graph, casey, &flight, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     println!("SGQ(p=6, s=2, k=2) — friends-of-friends allowed, ≤2 strangers each:");
-    println!("  {:?}  (distance {})", label_group(&graph, &sol.members), sol.total_distance);
+    println!(
+        "  {:?}  (distance {})",
+        label_group(&graph, &sol.members),
+        sol.total_distance
+    );
     println!();
 
     // ---- Scene 4: Example 1's STGQ — the same trip needs 3 shared slots.
     let cals = cast_schedules();
     let rows: Vec<(&str, &Calendar)> = (0..8)
         .map(|i| {
-            let name: &str = ["Angelina", "George", "Robert", "Brad", "Matt", "Julia", "Casey", "Michelle"][i];
+            let name: &str = [
+                "Angelina", "George", "Robert", "Brad", "Matt", "Julia", "Casey", "Michelle",
+            ][i];
             (name, &cals[i])
         })
         .collect();
@@ -126,10 +159,11 @@ fn main() {
                 sol.total_distance
             );
             // Cross-check against the sequential baseline.
-            let slow = solve_stgq_sequential(&graph, casey, &cals, &trip, &cfg, SgqEngine::SgSelect)
-                .unwrap()
-                .solution
-                .unwrap();
+            let slow =
+                solve_stgq_sequential(&graph, casey, &cals, &trip, &cfg, SgqEngine::SgSelect)
+                    .unwrap()
+                    .solution
+                    .unwrap();
             assert_eq!(slow.total_distance, sol.total_distance);
             println!("\nSTGSelect and the per-window baseline agree. ✓");
         }

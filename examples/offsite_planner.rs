@@ -65,10 +65,18 @@ fn main() {
                 pc.observed_k,
                 pc.period
             );
-            let sufficient =
-                stg_arrange(&ds.graph, lead, &ds.calendars, p, s, m, pc.total_distance, &cfg)
-                    .unwrap()
-                    .expect("PCArrange's own group certifies feasibility");
+            let sufficient = stg_arrange(
+                &ds.graph,
+                lead,
+                &ds.calendars,
+                p,
+                s,
+                m,
+                pc.total_distance,
+                &cfg,
+            )
+            .unwrap()
+            .expect("PCArrange's own group certifies feasibility");
             println!(
                 "  STGArrange: k = {} suffices for distance {} (PCArrange needed k_h = {})",
                 sufficient.k, sufficient.solution.total_distance, pc.observed_k

@@ -23,7 +23,7 @@ fn main() {
         (1, 3, 6),
         (2, 3, 5),
         (3, 4, 3),
-        (4, 5, 2),  // Finn is only reachable through Elif
+        (4, 5, 2), // Finn is only reachable through Elif
     ];
     for (u, v, w) in edges {
         b.add_edge(NodeId(u), NodeId(v), w).unwrap();
@@ -58,8 +58,7 @@ fn main() {
     cals[4] = Calendar::from_slots(horizon, 0..6);
     cals[5] = Calendar::from_slots(horizon, 6..12);
 
-    let rows: Vec<(&str, &Calendar)> =
-        names.iter().copied().zip(cals.iter()).collect();
+    let rows: Vec<(&str, &Calendar)> = names.iter().copied().zip(cals.iter()).collect();
     println!("{}", render_schedules(&rows));
 
     // ---- 4. STGQ: same group constraints plus a 2-hour (4-slot) slot. --
@@ -69,7 +68,10 @@ fn main() {
         Some(sol) => {
             let who: Vec<String> = sol.members.iter().map(|&v| graph.label(v)).collect();
             println!("STGQ(p=4, s=1, k=1, m=4): invite {:?}", who);
-            println!("  meet during {} (total distance {})", sol.period, sol.total_distance);
+            println!(
+                "  meet during {} (total distance {})",
+                sol.period, sol.total_distance
+            );
         }
         None => {
             println!("STGQ(p=4, s=1, k=1, m=4): no group of four shares a 2-hour window.");
@@ -81,7 +83,10 @@ fn main() {
                 .expect("three people do share a window");
             let who: Vec<String> = sol.members.iter().map(|&v| graph.label(v)).collect();
             println!("  relaxing to p=3: invite {:?}", who);
-            println!("  meet during {} (total distance {})", sol.period, sol.total_distance);
+            println!(
+                "  meet during {} (total distance {})",
+                sol.period, sol.total_distance
+            );
         }
     }
     let query = StgqQuery::new(4, 1, 1, 4).unwrap();

@@ -24,7 +24,10 @@ fn main() {
 
     // ---- Network-size sweep on the coauthorship model (Figure 1(d)). ---
     println!("network size sweep (coauthorship, p=5, k=3, s=1):");
-    println!("{:>7} {:>12} {:>12} {:>8}", "n", "SGSelect", "Baseline", "dist");
+    println!(
+        "{:>7} {:>12} {:>12} {:>8}",
+        "n", "SGSelect", "Baseline", "dist"
+    );
     for n in [194usize, 800, 3200, 12800] {
         let g = coauthor::coauthor_graph(&coauthor::CoauthorConfig::with_n(n), 7);
         let q = pick_initiator(&g, 20);
@@ -61,7 +64,9 @@ fn main() {
         println!(
             "{name:>13} {cl:>10.3} {ms:>8.3}ms {:>10} {:>8} {fg_size:>8}",
             out.stats.frames,
-            out.solution.as_ref().map_or("-".into(), |s| s.total_distance.to_string()),
+            out.solution
+                .as_ref()
+                .map_or("-".into(), |s| s.total_distance.to_string()),
         );
     }
     println!("\nDense, clustered neighborhoods (coauthor/WS) admit tight groups;");

@@ -71,8 +71,7 @@ fn parse<T: std::str::FromStr>(v: &str, what: &str) -> Result<T, String> {
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
-    let out = take_value(args, &["--out", "-o"])?
-        .ok_or("generate requires --out FILE")?;
+    let out = take_value(args, &["--out", "-o"])?.ok_or("generate requires --out FILE")?;
     let days: usize = match take_value(args, &["--days"])? {
         Some(v) => parse(&v, "--days")?,
         None => 7,
@@ -97,13 +96,15 @@ fn generate(args: &[String]) -> Result<(), String> {
 }
 
 fn query(args: &[String]) -> Result<(), String> {
-    let data = take_value(args, &["--data", "-d"])?
-        .ok_or("query requires --data FILE")?;
+    let data = take_value(args, &["--data", "-d"])?.ok_or("query requires --data FILE")?;
     let initiator: u32 = parse(
         &take_value(args, &["--initiator", "-i"])?.ok_or("query requires --initiator ID")?,
         "--initiator",
     )?;
-    let p: usize = parse(&take_value(args, &["-p"])?.ok_or("query requires -p N")?, "-p")?;
+    let p: usize = parse(
+        &take_value(args, &["-p"])?.ok_or("query requires -p N")?,
+        "-p",
+    )?;
     let s: usize = match take_value(args, &["-s"])? {
         Some(v) => parse(&v, "-s")?,
         None => 1,
@@ -142,8 +143,8 @@ fn query(args: &[String]) -> Result<(), String> {
         }
         Some(m) => {
             let query = StgqQuery::new(p, s, k, m).map_err(|e| e.to_string())?;
-            let out = solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg)
-                .map_err(|e| e.to_string())?;
+            let out =
+                solve_stgq(&ds.graph, q, &ds.calendars, &query, &cfg).map_err(|e| e.to_string())?;
             match &out.solution {
                 Some(sol) => {
                     println!("STGQ(p={p}, s={s}, k={k}, m={m}) for initiator {q}:");
@@ -164,9 +165,7 @@ fn query(args: &[String]) -> Result<(), String> {
                 out.stats.total_prunes()
             );
             if compare {
-                match pc_arrange(&ds.graph, q, &ds.calendars, p, s, m)
-                    .map_err(|e| e.to_string())?
-                {
+                match pc_arrange(&ds.graph, q, &ds.calendars, p, s, m).map_err(|e| e.to_string())? {
                     Some(pc) => {
                         println!("phone-coordination comparison (PCArrange):");
                         println!(

@@ -12,6 +12,23 @@
 //! realistic instances in microseconds-to-milliseconds via the paper's
 //! pruning strategies.
 //!
+//! # Performance
+//!
+//! The exact engines run on a word-parallel, zero-allocation search core:
+//! availability bitmaps and Lemma-5 counters are built and maintained
+//! whole-`u64`-words at a time, search frames share one undo-logged `VA`
+//! state instead of cloning per descent, and the `U`/`A` feasibility
+//! conditions are evaluated from incrementally-maintained aggregates (see
+//! the `stgq_core` crate docs, "Hot-path architecture"). The
+//! pre-optimization engines are kept in `stgq::query::reference` and the
+//! `hotpath` criterion suite (`cargo bench -p stgq-bench --bench hotpath`)
+//! measures one against the other; the committed `BENCH_core.json`
+//! baseline shows ~1.8–3.1× on fig1f-style instances, with the largest
+//! gains where the temporal counters dominate (long activities, long
+//! schedules). For multi-core scaling use `solve_sgq_parallel` /
+//! `solve_stgq_parallel`, which keep the exact optimum while splitting the
+//! search across forced-prefix subtrees and pivot time slots.
+//!
 //! This crate is a facade over the workspace:
 //!
 //! * [`graph`] — weighted social graph, bounded distances, feasible graph;

@@ -21,15 +21,22 @@ fn generate_then_query_roundtrip() {
     let snapshot = dir.join("ds.json");
     let snapshot = snapshot.to_str().unwrap();
 
-    let (ok, stdout, stderr) = plan(&[
-        "generate", "--out", snapshot, "--days", "2", "--seed", "7",
-    ]);
+    let (ok, stdout, stderr) = plan(&["generate", "--out", snapshot, "--days", "2", "--seed", "7"]);
     assert!(ok, "generate failed: {stderr}");
     assert!(stdout.contains("194 people"), "{stdout}");
 
     // SGQ query.
-    let (ok, stdout, stderr) =
-        plan(&["query", "--data", snapshot, "--initiator", "3", "-p", "3", "-k", "1"]);
+    let (ok, stdout, stderr) = plan(&[
+        "query",
+        "--data",
+        snapshot,
+        "--initiator",
+        "3",
+        "-p",
+        "3",
+        "-k",
+        "1",
+    ]);
     assert!(ok, "sgq query failed: {stderr}");
     assert!(stdout.contains("SGQ(p=3"), "{stdout}");
     assert!(
@@ -39,8 +46,20 @@ fn generate_then_query_roundtrip() {
 
     // STGQ query with comparison.
     let (ok, stdout, stderr) = plan(&[
-        "query", "--data", snapshot, "--initiator", "3", "-p", "3", "-s", "2", "-k", "2",
-        "-m", "2", "--compare",
+        "query",
+        "--data",
+        snapshot,
+        "--initiator",
+        "3",
+        "-p",
+        "3",
+        "-s",
+        "2",
+        "-k",
+        "2",
+        "-m",
+        "2",
+        "--compare",
     ]);
     assert!(ok, "stgq query failed: {stderr}");
     assert!(stdout.contains("STGQ(p=3"), "{stdout}");

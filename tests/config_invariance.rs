@@ -32,9 +32,24 @@ fn configs() -> Vec<SelectConfig> {
         SelectConfig::RELAXED,
         SelectConfig::PAPER_EXAMPLE,
         SelectConfig::NO_PRUNING,
-        SelectConfig { theta0: 1, phi0: 1, phi_cap: 2, ..SelectConfig::PAPER_EXAMPLE },
-        SelectConfig { theta0: 5, phi0: 4, phi_cap: 12, ..SelectConfig::PAPER_EXAMPLE },
-        SelectConfig { theta0: 0, phi0: 3, phi_cap: 3, ..SelectConfig::NO_PRUNING },
+        SelectConfig {
+            theta0: 1,
+            phi0: 1,
+            phi_cap: 2,
+            ..SelectConfig::PAPER_EXAMPLE
+        },
+        SelectConfig {
+            theta0: 5,
+            phi0: 4,
+            phi_cap: 12,
+            ..SelectConfig::PAPER_EXAMPLE
+        },
+        SelectConfig {
+            theta0: 0,
+            phi0: 3,
+            phi_cap: 3,
+            ..SelectConfig::NO_PRUNING
+        },
         SelectConfig::PAPER_EXAMPLE.with_distance_pruning(false),
         SelectConfig::PAPER_EXAMPLE.with_acquaintance_pruning(false),
         SelectConfig::PAPER_EXAMPLE.with_availability_pruning(false),

@@ -16,23 +16,26 @@ use stgq::query::{solve_sgq_exhaustive, SgqEngine};
 fn arb_graph(max_n: usize) -> impl Strategy<Value = SocialGraph> {
     (3usize..=max_n).prop_flat_map(|n| {
         let max_edges = n * (n - 1) / 2;
-        proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 1u64..30), n - 1..=max_edges)
-            .prop_map(move |edges| {
-                let mut b = GraphBuilder::new(n);
-                for (u, v, w) in edges {
-                    if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
-                        b.add_edge(NodeId(u), NodeId(v), w).unwrap();
-                    }
+        proptest::collection::vec(
+            (0u32..n as u32, 0u32..n as u32, 1u64..30),
+            n - 1..=max_edges,
+        )
+        .prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, w) in edges {
+                if u != v && !b.has_edge(NodeId(u), NodeId(v)) {
+                    b.add_edge(NodeId(u), NodeId(v), w).unwrap();
                 }
-                // Spanning chain so the initiator reaches everyone at
-                // a large enough radius.
-                for i in 0..n as u32 - 1 {
-                    if !b.has_edge(NodeId(i), NodeId(i + 1)) {
-                        b.add_edge(NodeId(i), NodeId(i + 1), 9).unwrap();
-                    }
+            }
+            // Spanning chain so the initiator reaches everyone at
+            // a large enough radius.
+            for i in 0..n as u32 - 1 {
+                if !b.has_edge(NodeId(i), NodeId(i + 1)) {
+                    b.add_edge(NodeId(i), NodeId(i + 1), 9).unwrap();
                 }
-                b.build()
-            })
+            }
+            b.build()
+        })
     })
 }
 
@@ -200,15 +203,25 @@ fn all_engines_report_infeasible_consistently() {
     let query = StgqQuery::new(2, 1, 1, 2).unwrap();
     let cfg = SelectConfig::default();
 
-    assert!(solve_stgq(&g, NodeId(0), &cals, &query, &cfg).unwrap().solution.is_none());
-    assert!(solve_stgq_sequential(&g, NodeId(0), &cals, &query, &cfg, SgqEngine::SgSelect)
+    assert!(solve_stgq(&g, NodeId(0), &cals, &query, &cfg)
         .unwrap()
         .solution
         .is_none());
     assert!(
-        solve_stgq_ip(&g, NodeId(0), &cals, &query, IpStyle::Compact, &MipOptions::default())
+        solve_stgq_sequential(&g, NodeId(0), &cals, &query, &cfg, SgqEngine::SgSelect)
             .unwrap()
             .solution
             .is_none()
     );
+    assert!(solve_stgq_ip(
+        &g,
+        NodeId(0),
+        &cals,
+        &query,
+        IpStyle::Compact,
+        &MipOptions::default()
+    )
+    .unwrap()
+    .solution
+    .is_none());
 }

@@ -30,7 +30,10 @@ fn sgq_solutions_validate_across_the_paper_grid() {
             }
         }
     }
-    assert!(feasible >= 8, "the dataset must support most paper queries, got {feasible}/12");
+    assert!(
+        feasible >= 8,
+        "the dataset must support most paper queries, got {feasible}/12"
+    );
 }
 
 #[test]
@@ -88,9 +91,18 @@ fn quality_dominance_on_the_dataset() {
     let mut compared = 0;
     for p in [3usize, 5, 7] {
         if let Some(pc) = pc_arrange(&ds.graph, q, &ds.calendars, p, 1, 4).unwrap() {
-            let stg = stg_arrange(&ds.graph, q, &ds.calendars, p, 1, 4, pc.total_distance, &cfg)
-                .unwrap()
-                .expect("witnessed by PCArrange's group");
+            let stg = stg_arrange(
+                &ds.graph,
+                q,
+                &ds.calendars,
+                p,
+                1,
+                4,
+                pc.total_distance,
+                &cfg,
+            )
+            .unwrap()
+            .expect("witnessed by PCArrange's group");
             assert!(stg.k <= pc.observed_k, "p={p}");
             assert!(stg.solution.total_distance <= pc.total_distance, "p={p}");
             compared += 1;
@@ -106,7 +118,9 @@ fn coauthor_dataset_supports_figure_1d_queries() {
         let q = pick_initiator(&ds.graph, 20);
         let query = SgqQuery::new(5, 1, 3).unwrap();
         let out = solve_sgq(&ds.graph, q, &query, &SelectConfig::default()).unwrap();
-        let sol = out.solution.unwrap_or_else(|| panic!("n={n} should be feasible"));
+        let sol = out
+            .solution
+            .unwrap_or_else(|| panic!("n={n} should be feasible"));
         validate_sgq(&ds.graph, q, &query, &sol).unwrap();
     }
 }

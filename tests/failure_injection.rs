@@ -6,9 +6,7 @@ use stgq::graph::text::{read_edge_list, TextFormatError};
 use stgq::graph::{GraphBuilder, GraphError, NodeId};
 use stgq::prelude::*;
 use stgq::query::heuristics::{greedy_sgq, greedy_stgq};
-use stgq::query::{
-    solve_sgq_parallel, solve_stgq_parallel, solve_stgq_sequential, QueryError,
-};
+use stgq::query::{solve_sgq_parallel, solve_stgq_parallel, solve_stgq_sequential, QueryError};
 use stgq::schedule::text::read_roster;
 use stgq::schedule::ScheduleError;
 
@@ -31,14 +29,22 @@ fn every_engine_rejects_an_out_of_range_initiator() {
 
     let is_range_err = |e: QueryError| matches!(e, QueryError::InitiatorOutOfRange { .. });
     assert!(is_range_err(solve_sgq(&g, bad, &sgq, &cfg).unwrap_err()));
-    assert!(is_range_err(solve_sgq_exhaustive(&g, bad, &sgq).unwrap_err()));
-    assert!(is_range_err(solve_sgq_parallel(&g, bad, &sgq, &cfg, 2).unwrap_err()));
+    assert!(is_range_err(
+        solve_sgq_exhaustive(&g, bad, &sgq).unwrap_err()
+    ));
+    assert!(is_range_err(
+        solve_sgq_parallel(&g, bad, &sgq, &cfg, 2).unwrap_err()
+    ));
     assert!(is_range_err(greedy_sgq(&g, bad, &sgq, 1).unwrap_err()));
-    assert!(is_range_err(solve_stgq(&g, bad, &cals, &stgq, &cfg).unwrap_err()));
+    assert!(is_range_err(
+        solve_stgq(&g, bad, &cals, &stgq, &cfg).unwrap_err()
+    ));
     assert!(is_range_err(
         solve_stgq_parallel(&g, bad, &cals, &stgq, &cfg, 2).unwrap_err()
     ));
-    assert!(is_range_err(greedy_stgq(&g, bad, &cals, &stgq, 1).unwrap_err()));
+    assert!(is_range_err(
+        greedy_stgq(&g, bad, &cals, &stgq, 1).unwrap_err()
+    ));
     assert!(is_range_err(
         solve_stgq_sequential(&g, bad, &cals, &stgq, &cfg, SgqEngine::SgSelect).unwrap_err()
     ));
@@ -54,7 +60,10 @@ fn temporal_engines_reject_inconsistent_calendars() {
     let short = vec![Calendar::all_available(4); 3];
     assert!(matches!(
         solve_stgq(&g, NodeId(0), &short, &stgq, &cfg).unwrap_err(),
-        QueryError::CalendarCountMismatch { calendars: 3, node_count: 4 }
+        QueryError::CalendarCountMismatch {
+            calendars: 3,
+            node_count: 4
+        }
     ));
 
     // Mismatched horizons.
@@ -86,34 +95,58 @@ fn legal_degenerate_inputs_do_not_panic() {
     // Graph with a single vertex: p = 1 succeeds, p = 2 is infeasible.
     let g = GraphBuilder::new(1).build();
     let q1 = SgqQuery::new(1, 1, 0).unwrap();
-    assert!(solve_sgq(&g, NodeId(0), &q1, &cfg).unwrap().solution.is_some());
+    assert!(solve_sgq(&g, NodeId(0), &q1, &cfg)
+        .unwrap()
+        .solution
+        .is_some());
     let q2 = SgqQuery::new(2, 1, 0).unwrap();
-    assert!(solve_sgq(&g, NodeId(0), &q2, &cfg).unwrap().solution.is_none());
+    assert!(solve_sgq(&g, NodeId(0), &q2, &cfg)
+        .unwrap()
+        .solution
+        .is_none());
 
     // Everyone busy: infeasible, not a crash.
     let cals = vec![Calendar::new(6); 1];
     let tq = StgqQuery::new(1, 1, 0, 2).unwrap();
-    assert!(solve_stgq(&g, NodeId(0), &cals, &tq, &cfg).unwrap().solution.is_none());
+    assert!(solve_stgq(&g, NodeId(0), &cals, &tq, &cfg)
+        .unwrap()
+        .solution
+        .is_none());
 
     // m longer than the horizon.
     let tq = StgqQuery::new(1, 1, 0, 99).unwrap();
-    assert!(solve_stgq(&g, NodeId(0), &cals, &tq, &cfg).unwrap().solution.is_none());
+    assert!(solve_stgq(&g, NodeId(0), &cals, &tq, &cfg)
+        .unwrap()
+        .solution
+        .is_none());
 }
 
 #[test]
 fn builder_invariants_cannot_be_bypassed_via_text_io() {
     // Self-loop.
     let err = read_edge_list("p sgq 3 1\ne 1 1 4\n".as_bytes()).unwrap_err();
-    assert!(matches!(err, TextFormatError::Graph(GraphError::SelfLoop { .. })));
+    assert!(matches!(
+        err,
+        TextFormatError::Graph(GraphError::SelfLoop { .. })
+    ));
     // Zero weight.
     let err = read_edge_list("p sgq 3 1\ne 0 1 0\n".as_bytes()).unwrap_err();
-    assert!(matches!(err, TextFormatError::Graph(GraphError::ZeroWeight { .. })));
+    assert!(matches!(
+        err,
+        TextFormatError::Graph(GraphError::ZeroWeight { .. })
+    ));
     // Unknown vertex.
     let err = read_edge_list("p sgq 3 1\ne 0 7 2\n".as_bytes()).unwrap_err();
-    assert!(matches!(err, TextFormatError::Graph(GraphError::UnknownNode { .. })));
+    assert!(matches!(
+        err,
+        TextFormatError::Graph(GraphError::UnknownNode { .. })
+    ));
     // Conflicting duplicate.
     let err = read_edge_list("p sgq 3 2\ne 0 1 2\ne 1 0 5\n".as_bytes()).unwrap_err();
-    assert!(matches!(err, TextFormatError::Graph(GraphError::ConflictingEdge { .. })));
+    assert!(matches!(
+        err,
+        TextFormatError::Graph(GraphError::ConflictingEdge { .. })
+    ));
     // Garbage tag.
     let err = read_edge_list("p sgq 3 0\nz nonsense\n".as_bytes()).unwrap_err();
     assert!(matches!(err, TextFormatError::Parse { line: 2, .. }));
@@ -121,9 +154,15 @@ fn builder_invariants_cannot_be_bypassed_via_text_io() {
 
 #[test]
 fn roster_parser_rejects_malformed_documents() {
-    assert!(read_roster("zero X...\n".as_bytes()).is_err(), "non-numeric id");
+    assert!(
+        read_roster("zero X...\n".as_bytes()).is_err(),
+        "non-numeric id"
+    );
     assert!(read_roster("0\n".as_bytes()).is_err(), "missing mask");
-    assert!(read_roster("0 X.X extra\n".as_bytes()).is_err(), "trailing tokens");
+    assert!(
+        read_roster("0 X.X extra\n".as_bytes()).is_err(),
+        "trailing tokens"
+    );
     assert!(read_roster("0 X?X\n".as_bytes()).is_err(), "bad mask char");
 }
 
@@ -136,7 +175,10 @@ fn schedule_errors_carry_actionable_context() {
     let other = Calendar::new(7);
     let mut lhs = c.clone();
     let err = lhs.intersect_with(&other).unwrap_err();
-    assert!(matches!(err, ScheduleError::HorizonMismatch { left: 5, right: 7 }));
+    assert!(matches!(
+        err,
+        ScheduleError::HorizonMismatch { left: 5, right: 7 }
+    ));
 }
 
 #[test]
@@ -145,7 +187,10 @@ fn validator_rejects_corrupted_solutions() {
     let g = small_graph();
     let query = SgqQuery::new(2, 1, 1).unwrap();
     let cfg = SelectConfig::default();
-    let mut sol = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap().solution.unwrap();
+    let mut sol = solve_sgq(&g, NodeId(0), &query, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     // Corrupt: drop the initiator.
     sol.members = vec![NodeId(1), NodeId(2)];
     let v = validate_sgq(&g, NodeId(0), &query, &sol).unwrap_err();

@@ -36,15 +36,21 @@ fn arb_bip() -> impl Strategy<Value = RandomBip> {
 
 fn build(bip: &RandomBip) -> Model {
     let mut m = Model::new();
-    let vars: Vec<VarId> = (0..bip.nvars).map(|i| m.add_binary(format!("x{i}"))).collect();
+    let vars: Vec<VarId> = (0..bip.nvars)
+        .map(|i| m.add_binary(format!("x{i}")))
+        .collect();
     for (coefs, is_le, rhs) in &bip.constraints {
-        let expr = LinExpr::from_terms(
-            vars.iter().zip(coefs).map(|(&v, &c)| (v, f64::from(c))),
+        let expr = LinExpr::from_terms(vars.iter().zip(coefs).map(|(&v, &c)| (v, f64::from(c))));
+        m.add_constraint(
+            expr,
+            if *is_le { Cmp::Le } else { Cmp::Ge },
+            f64::from(*rhs),
         );
-        m.add_constraint(expr, if *is_le { Cmp::Le } else { Cmp::Ge }, f64::from(*rhs));
     }
     m.set_objective(LinExpr::from_terms(
-        vars.iter().zip(&bip.objective).map(|(&v, &c)| (v, f64::from(c))),
+        vars.iter()
+            .zip(&bip.objective)
+            .map(|(&v, &c)| (v, f64::from(c))),
     ));
     m
 }
@@ -55,7 +61,11 @@ fn brute_force(bip: &RandomBip) -> Option<i64> {
     for mask in 0u32..(1 << bip.nvars) {
         let x = |i: usize| (mask >> i & 1) as i64;
         let feasible = bip.constraints.iter().all(|(coefs, is_le, rhs)| {
-            let lhs: i64 = coefs.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+            let lhs: i64 = coefs
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i64::from(c) * x(i))
+                .sum();
             if *is_le {
                 lhs <= i64::from(*rhs)
             } else {
@@ -63,8 +73,12 @@ fn brute_force(bip: &RandomBip) -> Option<i64> {
             }
         });
         if feasible {
-            let obj: i64 =
-                bip.objective.iter().enumerate().map(|(i, &c)| i64::from(c) * x(i)).sum();
+            let obj: i64 = bip
+                .objective
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| i64::from(c) * x(i))
+                .sum();
             best = Some(best.map_or(obj, |b: i64| b.min(obj)));
         }
     }

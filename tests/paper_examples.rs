@@ -52,7 +52,10 @@ fn example2_every_engine_agrees_on_62() {
     assert_eq!(select.members, expected);
     validate_sgq(&g, q, &query, &select).unwrap();
 
-    let exhaustive = solve_sgq_exhaustive(&g, q, &query).unwrap().solution.unwrap();
+    let exhaustive = solve_sgq_exhaustive(&g, q, &query)
+        .unwrap()
+        .solution
+        .unwrap();
     assert_eq!(exhaustive.total_distance, 62);
     assert_eq!(exhaustive.members, expected);
 
@@ -75,10 +78,17 @@ fn example3_every_engine_agrees_on_67_at_ts2_ts4() {
     let cfg = SelectConfig::default();
     let expected = vec![NodeId(2), NodeId(4), NodeId(6), NodeId(7)];
 
-    let select = solve_stgq(&g, q, &cals, &query, &cfg).unwrap().solution.unwrap();
+    let select = solve_stgq(&g, q, &cals, &query, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     assert_eq!(select.members, expected);
     assert_eq!(select.total_distance, 67);
-    assert_eq!(select.period, SlotRange::new(1, 3), "the paper reports [ts2, ts4]");
+    assert_eq!(
+        select.period,
+        SlotRange::new(1, 3),
+        "the paper reports [ts2, ts4]"
+    );
     validate_stgq(&g, q, &cals, &query, &select).unwrap();
 
     for engine in [SgqEngine::SgSelect, SgqEngine::Exhaustive] {
@@ -90,10 +100,17 @@ fn example3_every_engine_agrees_on_67_at_ts2_ts4() {
         validate_stgq(&g, q, &cals, &query, &seq).unwrap();
     }
 
-    let ip = solve_stgq_ip(&g, q, &cals, &query, IpStyle::Compact, &MipOptions::default())
-        .unwrap()
-        .solution
-        .unwrap();
+    let ip = solve_stgq_ip(
+        &g,
+        q,
+        &cals,
+        &query,
+        IpStyle::Compact,
+        &MipOptions::default(),
+    )
+    .unwrap()
+    .solution
+    .unwrap();
     assert_eq!(ip.total_distance, 67);
     assert_eq!(ip.members, expected);
     validate_stgq(&g, q, &cals, &query, &ip).unwrap();
@@ -148,7 +165,10 @@ fn example1_movie_night_answers() {
         .solution
         .unwrap();
     assert_eq!(sol.total_distance, 64);
-    assert_eq!(sol.members, vec![NodeId(1), NodeId(3), NodeId(5), NodeId(6)]);
+    assert_eq!(
+        sol.members,
+        vec![NodeId(1), NodeId(3), NodeId(5), NodeId(6)]
+    );
 
     // The exhaustive baseline enumerates C(5,3) = 10 groups, as narrated.
     let base = solve_sgq_exhaustive(&g, casey, &tight).unwrap();
@@ -164,7 +184,14 @@ fn example1_movie_night_answers() {
     validate_sgq(&g, casey, &flight, &sol).unwrap();
     assert_eq!(
         sol.members,
-        vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(5), NodeId(6)],
+        vec![
+            NodeId(0),
+            NodeId(1),
+            NodeId(2),
+            NodeId(3),
+            NodeId(5),
+            NodeId(6)
+        ],
         "Angelina, George, Robert, Brad, Julia, Casey"
     );
 }

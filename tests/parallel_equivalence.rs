@@ -6,10 +6,8 @@
 use proptest::prelude::*;
 use stgq::graph::{BitSet, FeasibleGraph, GraphBuilder, NodeId, SocialGraph};
 use stgq::prelude::*;
-use stgq::query::{
-    solve_sgq_on, solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel,
-};
 use stgq::query::validate::{validate_sgq, validate_stgq};
+use stgq::query::{solve_sgq_on, solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel};
 
 fn graph_from(n: u32, edges: &[(u32, u32, u64)]) -> SocialGraph {
     let mut b = GraphBuilder::new(n as usize);
@@ -127,7 +125,10 @@ fn tie_rich_instance_agrees_on_objective() {
     let g = b.build();
     let query = SgqQuery::new(6, 1, 2).unwrap();
     let cfg = SelectConfig::default();
-    let seq = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap().solution.unwrap();
+    let seq = solve_sgq(&g, NodeId(0), &query, &cfg)
+        .unwrap()
+        .solution
+        .unwrap();
     for threads in [2, 3, 8] {
         let par = stgq::query::solve_sgq_parallel(&g, NodeId(0), &query, &cfg, threads)
             .unwrap()

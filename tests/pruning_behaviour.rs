@@ -19,10 +19,17 @@ fn acquaintance_pruning_kills_star_instances_fast() {
     let query = SgqQuery::new(6, 1, 2).unwrap();
 
     let with = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
-    assert!(with.solution.is_none(), "p=6 among strangers with k=2 is infeasible");
-    let without =
-        solve_sgq(&g, NodeId(0), &query, &SelectConfig::default().with_acquaintance_pruning(false))
-            .unwrap();
+    assert!(
+        with.solution.is_none(),
+        "p=6 among strangers with k=2 is infeasible"
+    );
+    let without = solve_sgq(
+        &g,
+        NodeId(0),
+        &query,
+        &SelectConfig::default().with_acquaintance_pruning(false),
+    )
+    .unwrap();
     assert!(without.solution.is_none());
     assert!(
         with.stats.acquaintance_prunes > 0,
@@ -61,11 +68,18 @@ fn distance_pruning_skips_expensive_subtrees() {
     let with = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
     let sol = with.solution.unwrap();
     assert_eq!(sol.total_distance, 3, "near clique wins");
-    assert!(with.stats.distance_prunes > 0, "far clique must be distance-pruned");
+    assert!(
+        with.stats.distance_prunes > 0,
+        "far clique must be distance-pruned"
+    );
 
-    let without =
-        solve_sgq(&g, NodeId(0), &query, &SelectConfig::default().with_distance_pruning(false))
-            .unwrap();
+    let without = solve_sgq(
+        &g,
+        NodeId(0),
+        &query,
+        &SelectConfig::default().with_distance_pruning(false),
+    )
+    .unwrap();
     assert_eq!(without.solution.unwrap().total_distance, 3);
     assert!(without.stats.frames >= with.stats.frames);
 }
@@ -96,7 +110,10 @@ fn availability_pruning_fires_on_fragmented_calendars() {
     // Candidates are Def-4 filtered to nothing (no 3-run through pivots),
     // so either the pivot loop never starts a frame or availability
     // pruning fires; both manifest as almost no exploration.
-    assert!(out.stats.vertices_expanded == 0, "nothing should be explored");
+    assert!(
+        out.stats.vertices_expanded == 0,
+        "nothing should be explored"
+    );
 }
 
 /// Availability pruning observable on a partially-fragmented instance:
@@ -170,7 +187,10 @@ fn interior_condition_is_exact_at_theta_zero() {
     let g = b.build();
     // k=0, p=3: {0,2,3} is the only feasible group (v1 knows nobody else).
     let query = SgqQuery::new(3, 1, 0).unwrap();
-    let cfg = SelectConfig { theta0: 0, ..SelectConfig::default() };
+    let cfg = SelectConfig {
+        theta0: 0,
+        ..SelectConfig::default()
+    };
     let out = solve_sgq(&g, NodeId(0), &query, &cfg).unwrap();
     assert_eq!(out.solution.unwrap().total_distance, 5);
 }

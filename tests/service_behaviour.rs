@@ -19,7 +19,9 @@ struct Mirror {
 fn build_mirror() -> Mirror {
     let horizon = 24;
     let mut planner = Planner::new(horizon);
-    let ids: Vec<NodeId> = (0..12).map(|i| planner.add_person(format!("p{i}"))).collect();
+    let ids: Vec<NodeId> = (0..12)
+        .map(|i| planner.add_person(format!("p{i}")))
+        .collect();
     let edges: &[(usize, usize, u64)] = &[
         (0, 1, 3),
         (0, 2, 5),
@@ -52,10 +54,15 @@ fn build_mirror() -> Mirror {
 }
 
 fn oracle_sgq(planner: &Planner, initiator: NodeId, q: &SgqQuery) -> Option<u64> {
-    solve_sgq(&planner_snapshot(planner), initiator, q, &Default::default())
-        .unwrap()
-        .solution
-        .map(|s| s.total_distance)
+    solve_sgq(
+        &planner_snapshot(planner),
+        initiator,
+        q,
+        &Default::default(),
+    )
+    .unwrap()
+    .solution
+    .map(|s| s.total_distance)
 }
 
 fn oracle_stgq(planner: &Planner, initiator: NodeId, q: &StgqQuery) -> Option<u64> {
@@ -92,7 +99,8 @@ fn service_tracks_oracle_through_interleaved_mutations() {
         Box::new(|p, ids| p.connect(ids[0], ids[5], 1).unwrap()),
         Box::new(|p, ids| p.remove_person(ids[4]).unwrap()),
         Box::new(|p, ids| {
-            p.set_availability_range(ids[2], SlotRange::new(0, 23), false).unwrap()
+            p.set_availability_range(ids[2], SlotRange::new(0, 23), false)
+                .unwrap()
         }),
         Box::new(|p, ids| p.connect(ids[8], ids[11], 3).unwrap()),
     ];
@@ -104,7 +112,11 @@ fn service_tracks_oracle_through_interleaved_mutations() {
             .unwrap()
             .solution
             .map(|s| s.total_distance);
-        assert_eq!(got_sgq, oracle_sgq(&planner, ids[0], &sgq), "SGQ diverged at step {step}");
+        assert_eq!(
+            got_sgq,
+            oracle_sgq(&planner, ids[0], &sgq),
+            "SGQ diverged at step {step}"
+        );
 
         let got_stgq = planner
             .plan_stgq(ids[0], &stgq, Engine::Exact)
@@ -130,9 +142,14 @@ fn every_engine_returns_valid_solutions_through_the_service() {
     let engines = [
         Engine::Exact,
         Engine::ExactParallel { threads: 3 },
-        Engine::Anytime { frame_budget: 100_000 },
+        Engine::Anytime {
+            frame_budget: 100_000,
+        },
         Engine::Greedy { restarts: 4 },
-        Engine::LocalSearch { restarts: 4, passes: 4 },
+        Engine::LocalSearch {
+            restarts: 4,
+            passes: 4,
+        },
     ];
     let exact_sgq = planner
         .plan_sgq(ids[0], &sgq, Engine::Exact)
@@ -165,11 +182,18 @@ fn every_engine_returns_valid_solutions_through_the_service() {
 fn removed_people_never_appear_in_answers() {
     let Mirror { mut planner, ids } = build_mirror();
     let q = SgqQuery::new(4, 2, 2).unwrap();
-    let before = planner.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution.unwrap();
+    let before = planner
+        .plan_sgq(ids[0], &q, Engine::Exact)
+        .unwrap()
+        .solution
+        .unwrap();
     // Remove someone from the found group (other than the initiator).
     let victim = *before.members.iter().find(|&&v| v != ids[0]).unwrap();
     planner.remove_person(victim).unwrap();
-    let after = planner.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution;
+    let after = planner
+        .plan_sgq(ids[0], &q, Engine::Exact)
+        .unwrap()
+        .solution;
     if let Some(sol) = after {
         assert!(!sol.members.contains(&victim), "tombstoned person selected");
         assert!(sol.total_distance >= before.total_distance);
@@ -182,7 +206,11 @@ fn shared_planner_parallel_readers_see_committed_writes() {
     let shared = SharedPlanner::new(planner);
     let q = SgqQuery::new(3, 1, 1).unwrap();
 
-    let baseline = shared.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution.unwrap();
+    let baseline = shared
+        .plan_sgq(ids[0], &q, Engine::Exact)
+        .unwrap()
+        .solution
+        .unwrap();
     std::thread::scope(|scope| {
         for _ in 0..3 {
             let shared = shared.clone();
@@ -206,7 +234,11 @@ fn shared_planner_parallel_readers_see_committed_writes() {
         });
     });
 
-    let final_d =
-        shared.plan_sgq(ids[0], &q, Engine::Exact).unwrap().solution.unwrap().total_distance;
+    let final_d = shared
+        .plan_sgq(ids[0], &q, Engine::Exact)
+        .unwrap()
+        .solution
+        .unwrap()
+        .total_distance;
     assert!(final_d <= baseline.total_distance);
 }
