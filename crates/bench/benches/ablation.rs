@@ -1,5 +1,7 @@
 //! Criterion version of the pruning ablation: SGSelect and STGSelect with
-//! each pruning strategy disabled in turn.
+//! each pruning strategy disabled in turn, plus the search-reduction
+//! ablation (incumbent seeding, promise-ordered pivots, availability
+//! ordering, pivot-arena pooling) with each piece disabled in turn.
 
 use std::time::Duration;
 
@@ -32,6 +34,33 @@ fn bench(c: &mut Criterion) {
         });
         g.bench_function(format!("stgselect/{name}"), |b| {
             b.iter(|| solve_stgq(&ds.graph, tq, &ds.calendars, &stgq, &cfg).unwrap())
+        });
+    }
+
+    // Search-reduction ablation on the headline fig1f m = 4 config: each
+    // PR-2 piece disabled in turn against the full engine and the PR-1
+    // baseline (everything off).
+    let reduction: [(&str, SelectConfig); 6] = [
+        ("full", SelectConfig::default()),
+        ("no_seed", SelectConfig::default().with_seed_restarts(0)),
+        (
+            "no_pivot_order",
+            SelectConfig::default().with_pivot_promise_order(false),
+        ),
+        (
+            "no_avail_order",
+            SelectConfig::default().with_availability_ordering(false),
+        ),
+        (
+            "no_arena_pool",
+            SelectConfig::default().with_pool_pivot_buffers(false),
+        ),
+        ("pr1_baseline", SelectConfig::NO_SEARCH_REDUCTION),
+    ];
+    let headline = StgqQuery::new(4, 2, 2, 4).unwrap();
+    for (name, cfg) in reduction {
+        g.bench_function(format!("stgselect-reduction/{name}"), |b| {
+            b.iter(|| solve_stgq(&ds.graph, tq, &ds.calendars, &headline, &cfg).unwrap())
         });
     }
     g.finish();

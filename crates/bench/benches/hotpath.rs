@@ -4,15 +4,18 @@
 //! implementations kept verbatim) on identical instances.
 //!
 //! All STGQ cases are fig1f-style (194-person community dataset,
-//! multi-day half-hour schedules, schedule-length sweep). The perf gate
-//! for the rework is the **counter-dominated** family — long activities
-//! (`m = 12` / `m = 16`, pivot intervals of 23–31 offsets), where the
-//! reference burns its budget on per-slot availability bitmaps and
-//! Lemma-5 counter branches: `stgselect/*-m12` and `*-m16` must be ≥ 2×
-//! faster than the matching `reference-stgselect/*` median. The `m = 4`
-//! cases measure the general search core (frame recursion, candidate
-//! scans), where the observed gain is ~1.5–1.9×; they are reported for
-//! trajectory, not gated.
+//! multi-day half-hour schedules, schedule-length sweep). Two gates:
+//! the **counter-dominated** family — long activities (`m = 12` /
+//! `m = 16`, pivot intervals of 23–31 offsets), where the reference
+//! burns its budget on per-slot availability bitmaps and Lemma-5 counter
+//! branches — must stay ≥ 2× over the matching `reference-stgselect/*`
+//! median, and the `m = 4` cases (general search core) must stay ≥ 2.2×
+//! since the search-reduction release (incumbent seeding +
+//! promise-ordered pivots + pivot bound skipping collapse most of their
+//! pivot loops; observed ~4.8–6.3×). CI's `bench_gate` step bounds
+//! *regression* against the committed `BENCH_core.json` medians (>25%
+//! beyond the machine-speed scale fails); the ratio floors themselves
+//! are re-checked whenever the baseline is refreshed, not on every run.
 //!
 //! Both sides run on a pre-extracted feasible graph (`solve_*_on`):
 //! radius extraction is time-independent and hoisted by every real

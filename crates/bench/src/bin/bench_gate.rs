@@ -1,0 +1,130 @@
+//! Perf-regression gate: compare a freshly measured criterion-shim JSON
+//! export against the committed `BENCH_core.json` baseline and fail (exit
+//! code 1) when any shared benchmark id's median regressed beyond the
+//! threshold.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json> [max_ratio]
+//! ```
+//!
+//! `max_ratio` defaults to 1.25 — a 25% regression budget, generous
+//! enough for shared-runner noise while still catching real hot-path
+//! regressions. Ids present in only one file are reported but never
+//! fail the gate (benchmarks come and go across PRs).
+//!
+//! The budget is applied on top of a **machine-speed scale**: the median
+//! candidate/baseline ratio over the `reference-*` entries (whose code
+//! is the frozen pre-optimization oracle — if they moved, the machine
+//! moved). A runner class uniformly 1.4× slower than the box that
+//! produced the committed baseline shifts every entry by the same scale
+//! and fails nothing, while a genuine hot-path regression moves only the
+//! optimized entries relative to their anchors and still trips the gate.
+
+use std::process::ExitCode;
+
+/// Parse the criterion shim's export: one `{"id": ..., "median_ns": ...}`
+/// object per line. Hand-rolled so the gate has zero parsing
+/// dependencies (the offline serde shim does not deserialize).
+fn parse(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_gate: cannot read {path}: {e}"));
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id_at) = line.find("\"id\":") else {
+            continue;
+        };
+        let rest = &line[id_at + 5..];
+        let Some(open) = rest.find('"') else { continue };
+        let rest = &rest[open + 1..];
+        let Some(close) = rest.find('"') else {
+            continue;
+        };
+        let id = rest[..close].to_string();
+        let Some(med_at) = line.find("\"median_ns\":") else {
+            continue;
+        };
+        let tail = line[med_at + 12..].trim_start();
+        let end = tail
+            .find(|c: char| c != '.' && c != '-' && !c.is_ascii_digit())
+            .unwrap_or(tail.len());
+        let Ok(median) = tail[..end].parse::<f64>() else {
+            continue;
+        };
+        out.push((id, median));
+    }
+    assert!(!out.is_empty(), "bench_gate: no entries parsed from {path}");
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let baseline_path = args
+        .next()
+        .expect("usage: bench_gate <baseline> <candidate> [max_ratio]");
+    let candidate_path = args
+        .next()
+        .expect("usage: bench_gate <baseline> <candidate> [max_ratio]");
+    let max_ratio: f64 = args
+        .next()
+        .map(|a| a.parse().expect("max_ratio must be a number"))
+        .unwrap_or(1.25);
+
+    let baseline = parse(&baseline_path);
+    let candidate = parse(&candidate_path);
+
+    // Machine-speed scale: median ratio over the reference-engine entries
+    // (frozen code — any drift there is the machine, not a regression).
+    let mut anchor_ratios: Vec<f64> = candidate
+        .iter()
+        .filter(|(id, _)| id.contains("reference-"))
+        .filter_map(|(id, new_median)| {
+            baseline
+                .iter()
+                .find(|(b, _)| b == id)
+                .map(|(_, old_median)| new_median / old_median)
+        })
+        .collect();
+    anchor_ratios.sort_by(|a, b| a.partial_cmp(b).expect("ratios are finite"));
+    // Used unclamped: a runner *faster* than the baseline machine tightens
+    // the budget proportionally (raw ratios shrink with it), otherwise a
+    // genuine regression could hide inside the hardware speed-up.
+    let scale = if anchor_ratios.is_empty() {
+        1.0
+    } else {
+        anchor_ratios[anchor_ratios.len() / 2]
+    };
+    println!("bench_gate: machine-speed scale {scale:.2}x (median over reference-* entries)");
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    for (id, new_median) in &candidate {
+        let Some((_, old_median)) = baseline.iter().find(|(b, _)| b == id) else {
+            println!("NEW      {id}: {new_median:.0} ns (no baseline entry)");
+            continue;
+        };
+        compared += 1;
+        let ratio = new_median / old_median;
+        let verdict = if ratio > max_ratio * scale {
+            failures += 1;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("{verdict:>9} {id}: {old_median:.0} -> {new_median:.0} ns ({ratio:.2}x)");
+    }
+    for (id, _) in &baseline {
+        if !candidate.iter().any(|(c, _)| c == id) {
+            println!("DROPPED  {id}: present in baseline only");
+        }
+    }
+
+    println!(
+        "bench_gate: {compared} compared, {failures} regressed beyond {:.2}x ({max_ratio:.2}x budget x {scale:.2}x machine scale)",
+        max_ratio * scale
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

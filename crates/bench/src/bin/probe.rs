@@ -108,4 +108,68 @@ fn main() {
             out.stats.candidates_examined, out.stats.frames, out.stats.vertices_expanded
         );
     }
+
+    // Search-reduction scoreboard: frames examined / bound prunes / pivot
+    // skips with the PR-2 pieces on vs. the PR-1 baseline behavior.
+    println!("\nsearch reduction (default vs NO_SEARCH_REDUCTION):");
+    for (p, k, m) in [(4usize, 2usize, 4usize), (5, 2, 4), (5, 2, 12), (5, 2, 16)] {
+        let query = StgqQuery::new(p, 2, k, m).expect("valid");
+        let new = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &SelectConfig::default());
+        let old = stgq_core::solve_stgq_on(
+            &fg,
+            &ds.calendars,
+            &query,
+            &SelectConfig::NO_SEARCH_REDUCTION,
+        );
+        assert_eq!(
+            new.solution.as_ref().map(|s| s.total_distance),
+            old.solution.as_ref().map(|s| s.total_distance),
+            "search reduction must not move the optimum"
+        );
+        let pct = |a: u64, b: u64| {
+            if b == 0 {
+                0.0
+            } else {
+                100.0 * (1.0 - a as f64 / b as f64)
+            }
+        };
+        for (name, ablated) in [
+            ("all on ", SelectConfig::default()),
+            ("no seed", SelectConfig::default().with_seed_restarts(0)),
+            (
+                "no prom",
+                SelectConfig::default().with_pivot_promise_order(false),
+            ),
+            (
+                "no aord",
+                SelectConfig::default().with_availability_ordering(false),
+            ),
+            (
+                "no pool",
+                SelectConfig::default().with_pool_pivot_buffers(false),
+            ),
+            ("all off", SelectConfig::NO_SEARCH_REDUCTION),
+        ] {
+            let mut ns = u128::MAX;
+            for _ in 0..12 {
+                let t0 = Instant::now();
+                let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &ablated);
+                ns = ns.min(t0.elapsed().as_nanos());
+            }
+            println!("    p={p} m={m:>2} [{name}]: {ns:>9} ns");
+        }
+        println!(
+            "p={p} k={k} m={m:>2}: frames {:>5} (was {:>5}, -{:.1}%)  exams {:>6} (was {:>6}, -{:.1}%)  bound-pruned {:>5}  pivots skipped {}/{}",
+            new.stats.frames_examined(),
+            old.stats.frames_examined(),
+            pct(new.stats.frames_examined(), old.stats.frames_examined()),
+            new.stats.candidates_examined,
+            old.stats.candidates_examined,
+            pct(new.stats.candidates_examined, old.stats.candidates_examined),
+            new.stats.frames_pruned_by_bound(),
+            // Skipped pivots are a subset of the prepared (processed) ones.
+            new.stats.pivots_skipped,
+            new.stats.pivots_processed,
+        );
+    }
 }

@@ -40,6 +40,34 @@ pub struct SelectConfig {
     /// (the default) searches to proven optimality. In the parallel
     /// solvers the budget applies per worker.
     pub frame_budget: Option<u64>,
+    /// Greedy restarts used to **seed the incumbent** before exact descent
+    /// (`0` disables seeding). A feasible seed activates Lemma-2 distance
+    /// pruning from the very first frame; seeding with a non-optimal bound
+    /// never cuts a strictly better solution, so exactness is untouched.
+    /// The sequential engines seed per pivot (reusing the pivot's prepared
+    /// state), the parallel solvers seed once before spawning workers.
+    pub seed_restarts: usize,
+    /// Process pivot time slots **best-first** (descending initiator run
+    /// length) and skip any pivot whose optimistic distance bound — the sum
+    /// of the `p − 1` smallest incident distances among its eligible
+    /// candidates — can no longer beat the incumbent. This is Lemma 2
+    /// applied at pivot granularity; skipped pivots are counted in
+    /// [`SearchStats::pivots_skipped`](crate::SearchStats). The skip only
+    /// fires when [`distance_pruning`](Self::distance_pruning) is also on.
+    pub pivot_promise_order: bool,
+    /// Break ties in the total-distance access order by availability
+    /// overlap with the pivot's initiator run (descending), so temporally
+    /// doomed candidates sink to the back of their tie group and Lemma-5
+    /// counters kill subtrees earlier. Ordering is a search heuristic:
+    /// it never changes the optimum, only how fast it is found.
+    pub availability_ordering: bool,
+    /// Reuse the flattened availability buffers, bitmaps and undo logs
+    /// across the sequential pivot loop (and across
+    /// [`solve_stgq_pooled`](crate::solve_stgq_pooled) calls sharing one
+    /// [`PivotArena`](crate::PivotArena)). Purely an allocation strategy —
+    /// results are bit-identical with it off; the switch exists for
+    /// ablation benchmarks.
+    pub pool_pivot_buffers: bool,
 }
 
 impl SelectConfig {
@@ -52,6 +80,26 @@ impl SelectConfig {
         acquaintance_pruning: true,
         availability_pruning: true,
         frame_budget: None,
+        seed_restarts: 2,
+        pivot_promise_order: true,
+        availability_ordering: true,
+        pool_pivot_buffers: true,
+    };
+
+    /// Ablation preset: the previous release's *sequential* search
+    /// behavior — no incumbent seeding, pivots in calendar order, pure
+    /// distance access order, fresh buffers per pivot. The
+    /// search-reduction benchmarks and the stats-regression tests diff
+    /// against this. Caveat for parallel ablations: the parallel solvers
+    /// historically always seeded (a hard-coded 2-restart greedy), so
+    /// with this preset they run *unseeded* — stricter than what ever
+    /// shipped; set `seed_restarts: 2` to reproduce their old behavior.
+    pub const NO_SEARCH_REDUCTION: SelectConfig = SelectConfig {
+        seed_restarts: 0,
+        pivot_promise_order: false,
+        availability_ordering: false,
+        pool_pivot_buffers: false,
+        ..SelectConfig::PAPER_EXAMPLE
     };
 
     /// Greedy-est ordering: both conditions start fully relaxed. Useful in
@@ -99,6 +147,40 @@ impl SelectConfig {
     pub const fn with_frame_budget(self, budget: u64) -> Self {
         SelectConfig {
             frame_budget: Some(budget),
+            ..self
+        }
+    }
+
+    /// This config with the given greedy incumbent-seed restart budget
+    /// (`0` disables seeding).
+    pub const fn with_seed_restarts(self, restarts: usize) -> Self {
+        SelectConfig {
+            seed_restarts: restarts,
+            ..self
+        }
+    }
+
+    /// This config with promise-ordered pivots (and the pivot-granularity
+    /// Lemma-2 skip) toggled.
+    pub const fn with_pivot_promise_order(self, on: bool) -> Self {
+        SelectConfig {
+            pivot_promise_order: on,
+            ..self
+        }
+    }
+
+    /// This config with availability-aware access-order tie-breaking toggled.
+    pub const fn with_availability_ordering(self, on: bool) -> Self {
+        SelectConfig {
+            availability_ordering: on,
+            ..self
+        }
+    }
+
+    /// This config with pivot-buffer pooling toggled.
+    pub const fn with_pool_pivot_buffers(self, on: bool) -> Self {
+        SelectConfig {
+            pool_pivot_buffers: on,
             ..self
         }
     }
@@ -162,5 +244,28 @@ mod tests {
             .with_acquaintance_pruning(false)
             .with_availability_pruning(true);
         assert!(!c.distance_pruning && !c.acquaintance_pruning && c.availability_pruning);
+    }
+
+    #[test]
+    fn search_reduction_defaults_and_toggles() {
+        let c = SelectConfig::default();
+        assert_eq!(c.seed_restarts, 2);
+        assert!(c.pivot_promise_order && c.availability_ordering && c.pool_pivot_buffers);
+
+        let off = SelectConfig::NO_SEARCH_REDUCTION;
+        assert_eq!(off.seed_restarts, 0);
+        assert!(!off.pivot_promise_order && !off.availability_ordering && !off.pool_pivot_buffers);
+        assert!(
+            off.distance_pruning && off.acquaintance_pruning,
+            "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
+        );
+
+        let c = SelectConfig::PAPER_EXAMPLE
+            .with_seed_restarts(5)
+            .with_pivot_promise_order(false)
+            .with_availability_ordering(false)
+            .with_pool_pivot_buffers(false);
+        assert_eq!(c.seed_restarts, 5);
+        assert!(!c.pivot_promise_order && !c.availability_ordering && !c.pool_pivot_buffers);
     }
 }

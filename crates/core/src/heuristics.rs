@@ -31,7 +31,7 @@ use stgq_schedule::pivot::pivot_slots;
 use stgq_schedule::{Calendar, SlotRange};
 
 use crate::inputs::check_temporal_inputs;
-use crate::stgselect::{prepare_pivot, PivotJob};
+use crate::stgselect::{prepare_pivot, PivotArena, PivotJob};
 use crate::{QueryError, SearchStats, SgqQuery, SgqSolution, StgqQuery, StgqSolution};
 
 /// Outcome of a heuristic SGQ run.
@@ -208,15 +208,30 @@ fn run_stgq_heuristic(
     let mut evaluations = 0u64;
     let mut best: Option<(Vec<u32>, Dist, SlotRange, usize)> = None;
     let mut scratch = SearchStats::default();
+    // The greedy engine keeps the graph's plain distance order (pinned by
+    // its behaviour tests), but pools the pivot buffers like the exact
+    // loop does.
+    let mut arena = PivotArena::new();
 
     for pivot in pivot_slots(horizon, m) {
-        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut scratch) else {
+        let Some(job) = prepare_pivot(
+            fg,
+            calendars,
+            p,
+            m,
+            pivot,
+            horizon,
+            None,
+            &mut scratch,
+            &mut arena,
+        ) else {
             continue;
         };
         let mut ctx = GreedyCtx::new(fg, p, query.k(), None, Some(&job), m);
         let (found, evals) = ctx.run_restarts(restarts.max(1));
         evaluations += evals;
         let Some((mut members, mut dist)) = found else {
+            arena.recycle(job);
             continue;
         };
         if max_passes > 0 {
@@ -228,6 +243,7 @@ fn run_stgq_heuristic(
         if best.as_ref().is_none_or(|(_, d, _, _)| dist < *d) {
             best = Some((members, dist, ts, pivot));
         }
+        arena.recycle(job);
     }
 
     HeuristicStgq {
@@ -239,6 +255,68 @@ fn run_stgq_heuristic(
         }),
         evaluations,
     }
+}
+
+/// Greedy descent restricted to one prepared pivot — the exact engine's
+/// **incumbent seed**. Reuses the pivot's `PivotJob` (no extra
+/// preparation) and returns the compact member set (initiator included),
+/// its total distance, and the members' common run through the pivot.
+/// `None` means the greedy failed here, not that the pivot is infeasible.
+pub(crate) fn greedy_seed_for_pivot(
+    fg: &FeasibleGraph,
+    p: usize,
+    k: usize,
+    m: usize,
+    job: &PivotJob,
+    restarts: usize,
+) -> Option<(Vec<u32>, Dist, SlotRange)> {
+    let mut ctx = GreedyCtx::new(fg, p, k, None, Some(job), m);
+    // First-fit first: when it lands it realises the pivot's distance
+    // floor (`PivotJob::dist_bound`), so the caller's bound check retires
+    // the whole pivot for the cost of one feasibility evaluation.
+    if let Some((members, dist)) = first_fit_group(&mut ctx) {
+        let ts = ctx
+            .common_run(&members)
+            .expect("feasible groups share an m-run");
+        return Some((members, dist, ts));
+    }
+    let (best, _evaluations) = ctx.run_restarts(restarts.max(1));
+    let (members, dist) = best?;
+    let ts = ctx.common_run(&members)?;
+    Some((members, dist, ts))
+}
+
+/// First-fit probe shared by the engines' incumbent seeds: the initiator
+/// plus her `p − 1` *nearest* allowed candidates — exactly the distance
+/// floor of `ctx`'s candidate set. Returns the compact group and its
+/// total distance when it passes the full feasibility check (hard
+/// acquaintance constraint, and the `m`-run requirement when `ctx`
+/// carries a pivot job); one O(p²) evaluation, no descent.
+fn first_fit_group(ctx: &mut GreedyCtx<'_>) -> Option<(Vec<u32>, Dist)> {
+    if ctx.p < 2 || ctx.order.len() < ctx.p - 1 {
+        return None;
+    }
+    let mut members: Vec<u32> = Vec::with_capacity(ctx.p);
+    members.push(0);
+    members.extend_from_slice(&ctx.order[..ctx.p - 1]);
+    if !ctx.feasible_group(&members) {
+        return None;
+    }
+    let dist = members[1..].iter().map(|&c| ctx.fg.dist(c)).sum();
+    Some((members, dist))
+}
+
+/// The SGQ engines' first-fit incumbent seed (see [`first_fit_group`]):
+/// the sequential searcher finds its own first completion within ~`p`
+/// frames, so only this near-free probe is worth running ahead of it.
+pub(crate) fn first_fit_sgq_seed(
+    fg: &FeasibleGraph,
+    p: usize,
+    k: usize,
+    mask: Option<&BitSet>,
+) -> Option<(Vec<u32>, Dist)> {
+    let mut ctx = GreedyCtx::new(fg, p, k, mask, None, 0);
+    first_fit_group(&mut ctx)
 }
 
 // ---------------------------------------------------------------------

@@ -59,17 +59,49 @@
 //!   checks re-run only when `VA` actually mutated — between mutation-free
 //!   iterations they are provably no-ops.
 //! * **Access order as a bitmap.** `VA` is mirrored over access-order
-//!   positions (`FeasibleGraph::order_pos`), so "next unvisited candidate
-//!   by distance" and "minimum-distance member" are find-first-set scans.
+//!   positions (owned by the `VA` state, so each pivot may carry its own
+//!   permutation), so "next unvisited candidate by distance" and
+//!   "minimum-distance member" are find-first-set scans.
+//!
+//! On top of the constant-factor work, the engines cut *how many*
+//! candidates they examine at all (the search-reduction release):
+//!
+//! * **Incumbent seeding** ([`SelectConfig::seed_restarts`]). Before exact
+//!   descent the incumbent is pre-loaded with a cheap feasible solution —
+//!   a first-fit probe of the `p − 1` nearest (eligible) candidates,
+//!   falling back to the greedy heuristic for STGQ pivots — so Lemma-2
+//!   distance pruning is live from the very first frame. A non-optimal
+//!   bound never cuts a strictly better solution, so the optimum is
+//!   untouched; ties simply return the seed as the optimal witness.
+//! * **Promise-ordered pivots with a pivot-granularity bound**
+//!   ([`SelectConfig::pivot_promise_order`]). Pivot slots are processed
+//!   longest-initiator-run first, and each prepared pivot carries the sum
+//!   of its `p − 1` smallest eligible incident distances as an optimistic
+//!   floor: an incumbent at or below the floor retires the whole pivot
+//!   without opening a frame ([`SearchStats::pivots_skipped`]). On easy
+//!   instances the seed hits the first pivot's floor and the entire
+//!   pivot loop collapses to zero frames.
+//! * **Clipped eligibility + availability-aware ordering**
+//!   ([`SelectConfig::availability_ordering`]). A candidate's Definition-4
+//!   run is clipped to the initiator's — an overlap under `m` slots can
+//!   never serve any group containing her, so such candidates never enter
+//!   `VA` at all — and equal-distance access-order ties are broken by
+//!   remaining overlap (descending), computed from per-solve tie blocks
+//!   so pivots pay only the permutation, not the scan.
+//! * **Pivot-arena pooling** ([`PivotArena`],
+//!   [`SelectConfig::pool_pivot_buffers`]). The flattened availability
+//!   buffers, bitmaps, undo logs and order permutations are recycled
+//!   across the sequential pivot loop, and — via [`solve_stgq_pooled`] —
+//!   across whole query streams (the service planner holds one arena).
 //!
 //! The pre-optimization implementations are preserved verbatim in
 //! [`reference`]; cross-engine tests assert identical optima and the
 //! `hotpath` criterion suite in `stgq-bench` tracks the speedup
-//! (`BENCH_core.json` at the repo root is the committed baseline: ~1.8–3.1×
-//! on fig1f-style instances, ≥2× where the temporal counters dominate).
-//! The parallel solvers ride on the same machinery; STGQ splits *within*
-//! pivots (forced-prefix subtrees) when there are too few pivots to keep
-//! every core busy.
+//! (`BENCH_core.json` at the repo root is the committed baseline: ~4.8–6.3×
+//! on the fig1f `m = 4` configs, ≥2.1× everywhere else). The parallel
+//! solvers ride on the same machinery; STGQ splits *within* pivots
+//! (forced-prefix subtrees) when there are too few pivots to keep every
+//! core busy.
 //!
 //! # Quick start
 //!
@@ -128,4 +160,4 @@ pub use query::{SgqQuery, StgqQuery};
 pub use result::{SgqOutcome, SgqSolution, StgqOutcome, StgqSolution};
 pub use sgselect::{solve_sgq, solve_sgq_on};
 pub use stats::SearchStats;
-pub use stgselect::{solve_stgq, solve_stgq_on};
+pub use stgselect::{solve_stgq, solve_stgq_on, solve_stgq_pooled, PivotArena};

@@ -44,7 +44,6 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use stgq_graph::{BitSet, FeasibleGraph, NodeId, SocialGraph};
-use stgq_schedule::pivot::pivot_slots;
 use stgq_schedule::Calendar;
 
 use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
@@ -52,16 +51,13 @@ use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::sgselect::{Searcher, VaState};
 use crate::stgselect::{
-    prepare_pivot, search_pivot, search_pivot_subtree, vet_pivot_roots, PivotJob, StBest,
+    dist_tie_blocks, pivot_bound_skips, prepare_pivot, promise_ordered_pivots, search_pivot,
+    search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob, StBest,
 };
 use crate::{
     solve_sgq_on, solve_stgq_on, QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery,
     SgqSolution, StgqOutcome, StgqQuery, StgqSolution,
 };
-
-/// Restarts used for the greedy incumbent seed (cheap relative to any
-/// instance worth parallelising).
-const SEED_RESTARTS: usize = 2;
 
 /// How many of the earliest access-order roots are split into depth-2
 /// pair tasks. The work distribution over roots is extremely top-heavy,
@@ -127,16 +123,18 @@ pub fn solve_sgq_parallel_on(
     let order = fg.candidate_order();
     let base_va = VaState::init(fg, candidate_mask);
     let incumbent: Incumbent<Vec<u32>> = Incumbent::new();
-    if let Some(seed) = greedy_sgq_on(fg, query, candidate_mask, SEED_RESTARTS).solution {
-        let compact: Vec<u32> = seed
-            .members
-            .iter()
-            .map(|&v| {
-                fg.compact(v)
-                    .expect("greedy members lie in the feasible graph")
-            })
-            .collect();
-        incumbent.offer(seed.total_distance, || compact);
+    if cfg.seed_restarts > 0 {
+        if let Some(seed) = greedy_sgq_on(fg, query, candidate_mask, cfg.seed_restarts).solution {
+            let compact: Vec<u32> = seed
+                .members
+                .iter()
+                .map(|&v| {
+                    fg.compact(v)
+                        .expect("greedy members lie in the feasible graph")
+                })
+                .collect();
+            incumbent.offer(seed.total_distance, || compact);
+        }
     }
 
     // Vet each root against the hard acquaintance constraint once (the
@@ -296,26 +294,39 @@ pub fn solve_stgq_parallel_on(
     let cfg = cfg.normalized();
     let m = query.m();
     let horizon = calendars.first().map(Calendar::horizon).unwrap_or(0);
-    let pivots: Vec<usize> = pivot_slots(horizon, m).collect();
+    // Same promise order as the sequential engine (shared helper): pivots
+    // the initiator cannot host are dropped, and with promise ordering on
+    // the rest are claimed longest-initiator-run first so early workers
+    // tighten the shared incumbent for everyone.
+    let pivots: Vec<usize> = if horizon == 0 {
+        Vec::new()
+    } else {
+        let q_cal = &calendars[fg.origin(0).index()];
+        promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order)
+    };
 
     let incumbent = Incumbent::new();
-    if let Some(seed) = greedy_stgq_on(fg, calendars, query, SEED_RESTARTS).solution {
-        let group: Vec<u32> = seed
-            .members
-            .iter()
-            .map(|&v| {
-                fg.compact(v)
-                    .expect("greedy members lie in the feasible graph")
-            })
-            .collect();
-        let (period, pivot) = (seed.period, seed.pivot);
-        incumbent.offer(seed.total_distance, || StBest {
-            group,
-            period,
-            pivot,
-        });
+    if cfg.seed_restarts > 0 {
+        if let Some(seed) = greedy_stgq_on(fg, calendars, query, cfg.seed_restarts).solution {
+            let group: Vec<u32> = seed
+                .members
+                .iter()
+                .map(|&v| {
+                    fg.compact(v)
+                        .expect("greedy members lie in the feasible graph")
+                })
+                .collect();
+            let (period, pivot) = (seed.period, seed.pivot);
+            incumbent.offer(seed.total_distance, || StBest {
+                group,
+                period,
+                pivot,
+            });
+        }
     }
     let mut stats = SearchStats::default();
+    let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
+    let tie_blocks = tie_blocks.as_deref();
 
     if pivots.len() >= threads * INTRA_PIVOT_SPLIT_FACTOR {
         // Plenty of pivots: one task per pivot saturates every core, and
@@ -326,15 +337,26 @@ pub fn solve_stgq_parallel_on(
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = SearchStats::default();
+                        let mut arena = if cfg.pool_pivot_buffers {
+                            PivotArena::new()
+                        } else {
+                            PivotArena::unpooled()
+                        };
                         loop {
                             let i = next.fetch_add(1, Ordering::Relaxed);
                             if i >= pivots.len() {
                                 return local;
                             }
-                            if let Some(job) =
-                                prepare_pivot(fg, calendars, p, m, pivots[i], horizon, &mut local)
-                            {
-                                search_pivot(fg, query, &cfg, job, &incumbent, &mut local);
+                            if let Some(mut job) = prepare_pivot(
+                                fg, calendars, p, m, pivots[i], horizon, tie_blocks, &mut local,
+                                &mut arena,
+                            ) {
+                                if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+                                    local.pivots_skipped += 1;
+                                } else {
+                                    search_pivot(fg, query, &cfg, &mut job, &incumbent, &mut local);
+                                }
+                                arena.recycle(job);
                             }
                         }
                     })
@@ -357,14 +379,22 @@ pub fn solve_stgq_parallel_on(
                     scope.spawn(|| {
                         let mut local = SearchStats::default();
                         let mut found = Vec::new();
+                        // Jobs outlive this loop (they are searched
+                        // concurrently below), so no recycling here.
+                        let mut arena = PivotArena::unpooled();
                         loop {
                             let i = next_prep.fetch_add(1, Ordering::Relaxed);
                             if i >= pivots.len() {
                                 return (local, found);
                             }
-                            if let Some(job) =
-                                prepare_pivot(fg, calendars, p, m, pivots[i], horizon, &mut local)
-                            {
+                            if let Some(job) = prepare_pivot(
+                                fg, calendars, p, m, pivots[i], horizon, tie_blocks, &mut local,
+                                &mut arena,
+                            ) {
+                                if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+                                    local.pivots_skipped += 1;
+                                    continue;
+                                }
                                 let ok = vet_pivot_roots(fg, query, &cfg, &job, &incumbent);
                                 found.push((job, ok));
                             }
@@ -416,6 +446,13 @@ pub fn solve_stgq_parallel_on(
                                 RootTask::Pair(i, j) => (i, Some(j)),
                             };
                             if !root_ok[i] {
+                                continue;
+                            }
+                            // Claim-time pivot bound: the shared incumbent
+                            // may have tightened past this pivot's floor
+                            // since its tasks were generated (not counted
+                            // as a pivot skip — the pivot was admitted).
+                            if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                 continue;
                             }
                             search_pivot_subtree(

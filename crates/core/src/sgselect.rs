@@ -67,6 +67,21 @@ pub fn solve_sgq_on(
     }
 
     let incumbent = Incumbent::new();
+    // Incumbent seeding: a feasible solution switches Lemma-2 distance
+    // pruning on from the very first frame, and a non-optimal bound never
+    // cuts a strictly better solution. Sequentially, the access-ordered
+    // descent finds its own first completion within ~p frames, so a full
+    // greedy run rarely pays here (the parallel solver, whose workers all
+    // start simultaneously, does run one) — only the near-free first-fit
+    // probe (the initiator plus her p − 1 nearest candidates, also the
+    // instance's distance floor) runs ahead of it.
+    if cfg.seed_restarts > 0 {
+        if let Some((members, dist)) =
+            crate::heuristics::first_fit_sgq_seed(fg, p, query.k(), candidate_mask)
+        {
+            incumbent.offer(dist, || members);
+        }
+    }
     let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
     let mut va = VaState::init(fg, candidate_mask);
     searcher.push(0);
@@ -97,11 +112,16 @@ pub(crate) struct VaState {
     /// Membership of `VA` over compact indices.
     pub(crate) set: BitSet,
     /// Membership of `VA` over **access-order positions** — the same set
-    /// as `set`, permuted by `fg.order_pos`. The expand loop's "next
-    /// unvisited candidate by distance" and "minimum-distance member"
-    /// queries become word-parallel successor scans on this bitmap
-    /// instead of per-position membership probes.
+    /// as `set`, permuted by [`order_pos`](Self::order_pos). The expand
+    /// loop's "next unvisited candidate by distance" and
+    /// "minimum-distance member" queries become word-parallel successor
+    /// scans on this bitmap instead of per-position membership probes.
     pub(crate) pos_set: BitSet,
+    /// Position of each compact candidate in the access order this state
+    /// runs on — `fg.candidate_order()` for SGQ, the pivot job's
+    /// availability-tie-broken permutation for STGQ (`u32::MAX` for the
+    /// initiator). Owned so one `VaState` can serve per-pivot orders.
+    pub(crate) order_pos: Vec<u32>,
     /// `|N_v ∩ VA|` for **every** compact vertex `v` (members of `VS` too —
     /// the exterior expansibility terms need them).
     pub(crate) cnt_in_a: Vec<u32>,
@@ -114,39 +134,69 @@ pub(crate) struct VaState {
 }
 
 impl VaState {
-    /// `VA = V_F − {q}`, optionally intersected with `mask`.
+    /// `VA = V_F − {q}`, optionally intersected with `mask`, over the
+    /// graph's global access order.
     pub(crate) fn init(fg: &FeasibleGraph, mask: Option<&BitSet>) -> Self {
+        let mut s = VaState::init_empty();
+        s.fill(fg, mask, fg.candidate_order());
+        s
+    }
+
+    /// An empty shell; [`fill`](Self::fill) before use (the pivot-arena
+    /// recycling path starts from here).
+    pub(crate) fn init_empty() -> Self {
+        VaState {
+            set: BitSet::new(0),
+            pos_set: BitSet::new(0),
+            order_pos: Vec::new(),
+            cnt_in_a: Vec::new(),
+            total_inner: 0,
+            log: Vec::new(),
+            version: 0,
+        }
+    }
+
+    /// (Re)initialise this state in place for the given access `order`
+    /// (a permutation of `fg.candidate_order()`): membership = `mask`
+    /// (or all candidates), counters rebuilt, undo log cleared. Reuses
+    /// every buffer whose capacity still fits — the pivot-arena hook.
+    pub(crate) fn fill(&mut self, fg: &FeasibleGraph, mask: Option<&BitSet>, order: &[u32]) {
         let f = fg.len();
-        let order = fg.candidate_order();
-        let mut set = BitSet::new(f);
-        let mut pos_set = BitSet::new(order.len());
+        if self.set.capacity() == f {
+            self.set.clear();
+        } else {
+            self.set = BitSet::new(f);
+        }
+        if self.pos_set.capacity() == order.len() {
+            self.pos_set.clear();
+        } else {
+            self.pos_set = BitSet::new(order.len());
+        }
+        self.order_pos.clear();
+        self.order_pos.resize(f, u32::MAX);
         for (pos, &c) in order.iter().enumerate() {
+            self.order_pos[c as usize] = pos as u32;
             if mask.is_none_or(|m| m.contains(c as usize)) {
-                set.insert(c as usize);
-                pos_set.insert(pos);
+                self.set.insert(c as usize);
+                self.pos_set.insert(pos);
             }
         }
         // Stream the flattened adjacency rows against the membership words
         // — contiguous reads, two popcounts per row on typical graphs.
-        let set_words = set.words();
-        let mut cnt_in_a = vec![0u32; f];
+        self.cnt_in_a.clear();
+        self.cnt_in_a.resize(f, 0);
+        let (set, cnt_in_a) = (&self.set, &mut self.cnt_in_a);
         for (v, cnt) in cnt_in_a.iter_mut().enumerate() {
             *cnt = fg
                 .adj_words(v as u32)
                 .iter()
-                .zip(set_words)
+                .zip(set.words())
                 .map(|(a, b)| (a & b).count_ones())
                 .sum();
         }
-        let total_inner = set.iter().map(|v| cnt_in_a[v] as u64).sum();
-        VaState {
-            set,
-            pos_set,
-            cnt_in_a,
-            total_inner,
-            log: Vec::new(),
-            version: 0,
-        }
+        self.total_inner = self.set.iter().map(|v| self.cnt_in_a[v] as u64).sum();
+        self.log.clear();
+        self.version = 0;
     }
 
     #[inline]
@@ -159,7 +209,7 @@ impl VaState {
         debug_assert!(self.set.contains(u as usize));
         self.total_inner -= 2 * u64::from(self.cnt_in_a[u as usize]);
         self.set.remove(u as usize);
-        self.pos_set.remove(fg.order_pos(u) as usize);
+        self.pos_set.remove(self.order_pos[u as usize] as usize);
         for &nb in fg.neighbors(u) {
             self.cnt_in_a[nb as usize] -= 1;
         }
@@ -187,7 +237,7 @@ impl VaState {
             self.cnt_in_a[nb as usize] += 1;
         }
         self.set.insert(u as usize);
-        self.pos_set.insert(fg.order_pos(u) as usize);
+        self.pos_set.insert(self.order_pos[u as usize] as usize);
         // cnt_in_a[u] is already back to its pre-removal value: every
         // neighbor removed after u has been re-inserted first (LIFO).
         self.total_inner += 2 * u64::from(self.cnt_in_a[u as usize]);

@@ -26,8 +26,19 @@ pub struct SearchStats {
     pub interior_rejections: u64,
     /// Candidates rejected by the temporal extensibility condition.
     pub temporal_rejections: u64,
-    /// Pivot time slots actually searched (STGSelect only).
+    /// Pivot time slots *prepared* — they passed the initiator's
+    /// Definition-4 check and had their per-pivot state built
+    /// (STGSelect only).
     pub pivots_processed: u64,
+    /// The subset of [`pivots_processed`](Self::pivots_processed) whose
+    /// optimistic distance bound (sum of the `p − 1` smallest incident
+    /// distances among pivot-eligible candidates) could no longer beat
+    /// the incumbent — the pivot was retired after preparation without
+    /// opening a search frame (pivot-granularity Lemma 2, STGSelect
+    /// only; see [`SelectConfig::pivot_promise_order`]).
+    ///
+    /// [`SelectConfig::pivot_promise_order`]: crate::SelectConfig::pivot_promise_order
+    pub pivots_skipped: u64,
     /// Whether the search stopped at a [`SelectConfig::frame_budget`]
     /// (anytime mode) instead of running to proven optimality.
     ///
@@ -50,12 +61,27 @@ impl SearchStats {
         self.interior_rejections += other.interior_rejections;
         self.temporal_rejections += other.temporal_rejections;
         self.pivots_processed += other.pivots_processed;
+        self.pivots_skipped += other.pivots_skipped;
         self.truncated |= other.truncated;
     }
 
     /// Total frames abandoned by any pruning rule.
     pub fn total_prunes(&self) -> u64 {
         self.distance_prunes + self.acquaintance_prunes + self.availability_prunes
+    }
+
+    /// Search frames actually entered and examined — the count the
+    /// search-reduction work drives down (alias of [`frames`](Self::frames)
+    /// under the name the metrics surface uses).
+    pub fn frames_examined(&self) -> u64 {
+        self.frames
+    }
+
+    /// Frames abandoned because the incumbent bound proved no completion
+    /// could win (Lemma 2 — alias of
+    /// [`distance_prunes`](Self::distance_prunes) under the metrics name).
+    pub fn frames_pruned_by_bound(&self) -> u64 {
+        self.distance_prunes
     }
 }
 
@@ -82,6 +108,7 @@ mod tests {
             interior_rejections: 6,
             temporal_rejections: 7,
             pivots_processed: 8,
+            pivots_skipped: 9,
             truncated: true,
         };
         a.absorb(&b);
@@ -90,6 +117,9 @@ mod tests {
         assert_eq!(a.vertices_expanded, 30);
         assert_eq!(a.total_prunes(), 9);
         assert_eq!(a.pivots_processed, 8);
+        assert_eq!(a.pivots_skipped, 9);
         assert!(a.truncated, "truncation is sticky under absorb");
+        assert_eq!(a.frames_examined(), a.frames);
+        assert_eq!(a.frames_pruned_by_bound(), a.distance_prunes);
     }
 }

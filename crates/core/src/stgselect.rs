@@ -58,10 +58,28 @@ pub fn solve_stgq_on(
     query: &StgqQuery,
     cfg: &SelectConfig,
 ) -> StgqOutcome {
+    let mut arena = PivotArena::new();
+    solve_stgq_pooled(fg, calendars, query, cfg, &mut arena)
+}
+
+/// As [`solve_stgq_on`], reusing `arena`'s pivot buffers. A long-lived
+/// caller (the service planner, a benchmark loop) holds one [`PivotArena`]
+/// and amortises the flattened availability buffers, bitmaps, undo logs
+/// and access-order permutations across queries; within one call the same
+/// buffers are already recycled across the pivot loop. Purely an
+/// allocation strategy — results are identical to [`solve_stgq_on`].
+pub fn solve_stgq_pooled(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    arena: &mut PivotArena,
+) -> StgqOutcome {
     let cfg = cfg.normalized();
     let m = query.m();
     let p = query.p();
     let mut stats = SearchStats::default();
+    arena.pooling = cfg.pool_pivot_buffers;
 
     // No calendars ⇒ nobody (the initiator included) is ever available.
     // `solve_stgq` rejects this earlier with `CalendarCountMismatch`; this
@@ -87,12 +105,62 @@ pub fn solve_stgq_on(
         return StgqOutcome { solution, stats };
     }
 
+    let pivots = promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order);
+    let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
+
     let incumbent = Incumbent::new();
-    for pivot in pivot_slots(horizon, m) {
-        let Some(job) = prepare_pivot(fg, calendars, p, m, pivot, horizon, &mut stats) else {
+    for pivot in pivots {
+        let Some(mut job) = prepare_pivot(
+            fg,
+            calendars,
+            p,
+            m,
+            pivot,
+            horizon,
+            tie_blocks.as_deref(),
+            &mut stats,
+            arena,
+        ) else {
             continue;
         };
-        search_pivot(fg, query, &cfg, job, &incumbent, &mut stats);
+        // Pivot-granularity Lemma 2: every group at this pivot spends at
+        // least `dist_bound`, so an incumbent at or below it cannot be
+        // strictly beaten here — skip the whole pivot search.
+        if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+            stats.pivots_skipped += 1;
+            arena.recycle(job);
+            continue;
+        }
+        // Seed the incumbent from this pivot's prepared state (no extra
+        // preparation): Lemma-2 pruning is active from the very first
+        // exact frame, and later pivots inherit the bound. Once any
+        // incumbent exists the exact search refines it at least as fast
+        // as greedy would, so seeding stops paying and stops running.
+        if cfg.seed_restarts > 0 && incumbent.dist().is_none() {
+            if let Some((group, dist, ts)) = crate::heuristics::greedy_seed_for_pivot(
+                fg,
+                p,
+                query.k(),
+                m,
+                &job,
+                cfg.seed_restarts,
+            ) {
+                let period = SlotRange::new(ts.lo, ts.lo + m - 1);
+                incumbent.offer(dist, || StBest {
+                    group,
+                    period,
+                    pivot,
+                });
+            }
+            // The seed may already match this pivot's floor.
+            if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+                stats.pivots_skipped += 1;
+                arena.recycle(job);
+                continue;
+            }
+        }
+        search_pivot(fg, query, &cfg, &mut job, &incumbent, &mut stats);
+        arena.recycle(job);
     }
 
     let solution = incumbent.into_best().map(|(dist, b)| StgqSolution {
@@ -102,6 +170,72 @@ pub fn solve_stgq_on(
         pivot: b.pivot,
     });
     StgqOutcome { solution, stats }
+}
+
+/// The pivot slots the initiator can host (her Definition-4 run through
+/// the pivot spans ≥ `m` slots — the same check `prepare_pivot` makes, so
+/// prefiltering here changes no counter), in **promise order** when
+/// requested: descending initiator run length, the idea being that more
+/// temporal slack means more eligible candidates and better odds the
+/// optimum lives there, so early pivots tighten the incumbent for the
+/// pivot-granularity bound. Stable — equal-promise pivots stay in
+/// calendar order. Shared by the sequential and parallel engines so the
+/// two cannot drift.
+pub(crate) fn promise_ordered_pivots(
+    q_cal: &Calendar,
+    horizon: usize,
+    m: usize,
+    promise_order: bool,
+) -> Vec<SlotId> {
+    let mut keyed: Vec<(SlotId, usize)> = pivot_slots(horizon, m)
+        .filter_map(|pv| {
+            let interval = pivot_interval(pv, m, horizon);
+            q_cal
+                .run_containing(pv, interval)
+                .filter(|r| r.len() >= m)
+                .map(|r| (pv, r.len()))
+        })
+        .collect();
+    if promise_order {
+        keyed.sort_by_key(|&(_, len)| std::cmp::Reverse(len));
+    }
+    keyed.into_iter().map(|(pv, _)| pv).collect()
+}
+
+/// Equal-distance blocks `(start, end)` (end exclusive) of
+/// `fg.candidate_order()` with more than one member — the only stretches
+/// availability ordering may permute. Distances are time-independent, so
+/// one scan serves every pivot of a solve.
+pub(crate) fn dist_tie_blocks(fg: &FeasibleGraph) -> Vec<(u32, u32)> {
+    let order = fg.candidate_order();
+    let mut blocks = Vec::new();
+    let mut i = 0usize;
+    while i < order.len() {
+        let d = fg.dist(order[i]);
+        let mut j = i + 1;
+        while j < order.len() && fg.dist(order[j]) == d {
+            j += 1;
+        }
+        if j - i > 1 {
+            blocks.push((i as u32, j as u32));
+        }
+        i = j;
+    }
+    blocks
+}
+
+/// Whether the pivot-level distance bound proves no solution at this pivot
+/// can strictly beat the incumbent. Gated on *both* the promise-order
+/// switch (it is that feature's pruning half) and Lemma-2 pruning (a
+/// pruning-off ablation must really search everything).
+pub(crate) fn pivot_bound_skips(
+    cfg: &SelectConfig,
+    incumbent: &Incumbent<StBest>,
+    dist_bound: Dist,
+) -> bool {
+    cfg.pivot_promise_order
+        && cfg.distance_pruning
+        && incumbent.dist().is_some_and(|d| d <= dist_bound)
 }
 
 /// The incumbent payload: everything about the best solution except its
@@ -126,9 +260,23 @@ pub(crate) struct PivotJob {
     /// whole pivot; ineligible vertices stay all-zero and are never read).
     pub(crate) avail_words: Vec<u64>,
     pub(crate) avail_stride: usize,
+    /// This pivot's access order: the graph's total-distance order with
+    /// ties broken by availability overlap with the initiator's run
+    /// (descending) — temporally doomed candidates sink to the back of
+    /// their tie group. Still non-decreasing by distance, which is all
+    /// the search's correctness-sensitive uses rely on.
+    pub(crate) order: Vec<u32>,
+    /// Optimistic lower bound on any group's total distance at this
+    /// pivot: the sum of the `p − 1` smallest incident distances among
+    /// pivot-eligible candidates (pivot-granularity Lemma 2).
+    pub(crate) dist_bound: Dist,
+    /// Pivot-eligible candidates (Definition 4) over compact indices.
+    pub(crate) eligible: BitSet,
     /// `VA` restricted to the pivot-eligible candidates, with the Lemma-5
     /// per-slot unavailability counters.
     pub(crate) va: StVaState,
+    /// Word staging buffer used during preparation only.
+    scratch: Vec<u64>,
 }
 
 impl PivotJob {
@@ -137,6 +285,79 @@ impl PivotJob {
     pub(crate) fn avail(&self, v: u32) -> &[u64] {
         let start = v as usize * self.avail_stride;
         &self.avail_words[start..start + self.avail_stride]
+    }
+
+    /// An empty shell whose buffers [`prepare_pivot`] (re)fills.
+    fn empty() -> PivotJob {
+        PivotJob {
+            pivot: 0,
+            interval: SlotRange::new(0, 0),
+            q_run: SlotRange::new(0, 0),
+            runs: Vec::new(),
+            avail_words: Vec::new(),
+            avail_stride: 0,
+            order: Vec::new(),
+            dist_bound: 0,
+            eligible: BitSet::new(0),
+            va: StVaState {
+                base: VaState::init_empty(),
+                unavail: Vec::new(),
+                max_unavail_ub: 0,
+            },
+            scratch: Vec::new(),
+        }
+    }
+}
+
+/// Recycler for [`PivotJob`] buffers (flattened availability words,
+/// bitmaps, Lemma-5 counters, undo logs, access-order permutations).
+///
+/// The ROADMAP measured pivot preparation at ~25% of small-`m` STGQ
+/// solves, most of it allocation and zeroing; one arena makes the
+/// sequential pivot loop — and, via [`solve_stgq_pooled`], a whole stream
+/// of planner queries — reuse a single set of buffers. The arena holds at
+/// most one spare job, which is exactly what a sequential loop produces;
+/// parallel workers each keep their own.
+///
+/// Pooling is an allocation strategy only: every buffer is fully
+/// re-initialised by `prepare_pivot`, so results are bit-identical with
+/// pooling disabled ([`SelectConfig::pool_pivot_buffers`]).
+///
+/// [`SelectConfig::pool_pivot_buffers`]: crate::SelectConfig::pool_pivot_buffers
+#[derive(Default)]
+pub struct PivotArena {
+    pub(crate) pooling: bool,
+    spare: Option<PivotJob>,
+}
+
+impl PivotArena {
+    /// A fresh arena with pooling enabled (the per-query config may still
+    /// disable it).
+    pub fn new() -> Self {
+        PivotArena {
+            pooling: true,
+            spare: None,
+        }
+    }
+
+    /// An arena that never recycles — every pivot allocates fresh buffers
+    /// (the PR-1 behavior, kept for ablation).
+    pub(crate) fn unpooled() -> Self {
+        PivotArena {
+            pooling: false,
+            spare: None,
+        }
+    }
+
+    /// Hand back a spent job's buffers for the next preparation.
+    pub(crate) fn recycle(&mut self, job: PivotJob) {
+        if self.pooling {
+            self.spare = Some(job);
+        }
+    }
+
+    fn take(&mut self) -> PivotJob {
+        self.spare.take().unwrap_or_else(PivotJob::empty)
     }
 }
 
@@ -186,10 +407,12 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
 }
 
 /// Build the per-pivot state (Definition 4 eligibility, availability
-/// bitmaps, Lemma-5 counters). Returns `None` when the pivot cannot host
-/// any feasible solution (initiator ineligible or too few candidates);
-/// `stats.pivots_processed` counts the pivots that pass the initiator
-/// check, as in the sequential engine.
+/// bitmaps, access order, distance bound, Lemma-5 counters), reusing
+/// `arena`'s buffers when it has any. Returns `None` when the pivot cannot
+/// host any feasible solution (initiator ineligible or too few
+/// candidates); `stats.pivots_processed` counts the pivots that pass the
+/// initiator check, as in the sequential engine.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn prepare_pivot(
     fg: &FeasibleGraph,
     calendars: &[Calendar],
@@ -197,7 +420,9 @@ pub(crate) fn prepare_pivot(
     m: usize,
     pivot: SlotId,
     horizon: usize,
+    tie_blocks: Option<&[(u32, u32)]>,
     stats: &mut SearchStats,
+    arena: &mut PivotArena,
 ) -> Option<PivotJob> {
     let f = fg.len();
     let q_cal = &calendars[fg.origin(0).index()];
@@ -213,66 +438,126 @@ pub(crate) fn prepare_pivot(
     // onto interval offsets 64 slots at a time (`Calendar::range_words`),
     // the Definition-4 run comes from leading/trailing-zero scans on
     // those words (`run_through_bit`), and eligible candidates' words are
-    // copied into one flattened buffer — no per-slot probe, no
-    // per-candidate allocation.
+    // copied into one flattened buffer — no per-slot probe, and with a
+    // warm arena no allocation at all.
     let ilen = interval.len();
     let stride = ilen.div_ceil(64);
     let q_off = pivot - interval.lo;
-    let mut runs: Vec<Option<SlotRange>> = vec![None; f];
-    let mut avail_words = vec![0u64; f * stride];
-    runs[0] = Some(q_run);
-    let mut eligible = BitSet::new(f);
-    let mut scratch: Vec<u64> = Vec::with_capacity(stride);
+    let mut job = arena.take();
+    job.pivot = pivot;
+    job.interval = interval;
+    job.q_run = q_run;
+    job.avail_stride = stride;
+    job.runs.clear();
+    job.runs.resize(f, None);
+    job.runs[0] = Some(q_run);
+    job.avail_words.clear();
+    job.avail_words.resize(f * stride, 0);
+    if job.eligible.capacity() == f {
+        job.eligible.clear();
+    } else {
+        job.eligible = BitSet::new(f);
+    }
     for &c in fg.candidate_order() {
         let cal = &calendars[fg.origin(c).index()];
-        scratch.clear();
-        scratch.extend(cal.range_words(interval));
+        job.scratch.clear();
+        job.scratch.extend(cal.range_words(interval));
         if let Some((lo, hi)) =
-            run_through_bit(&scratch, ilen, q_off).filter(|&(lo, hi)| hi - lo + 1 >= m)
+            run_through_bit(&job.scratch, ilen, q_off).filter(|&(lo, hi)| hi - lo + 1 >= m)
         {
-            runs[c as usize] = Some(SlotRange::new(interval.lo + lo, interval.lo + hi));
-            eligible.insert(c as usize);
-            let start = c as usize * stride;
-            avail_words[start..start + stride].copy_from_slice(&scratch);
+            let run = SlotRange::new(interval.lo + lo, interval.lo + hi);
+            // Every group contains the initiator, so its common run is a
+            // subset of hers — a candidate whose overlap with `q_run` is
+            // under `m` slots can never join any group at this pivot.
+            // Clipping here (instead of letting depth-1 temporal checks
+            // discover it) keeps such candidates out of `VA` entirely:
+            // fewer examinations, smaller Lemma-5 counters, and a tighter
+            // pivot distance bound. Both runs contain the pivot, so the
+            // intersection is never empty.
+            let clipped = SlotRange::new(run.lo.max(q_run.lo), run.hi.min(q_run.hi));
+            if clipped.len() >= m {
+                job.runs[c as usize] = Some(clipped);
+                job.eligible.insert(c as usize);
+                let start = c as usize * stride;
+                job.avail_words[start..start + stride].copy_from_slice(&job.scratch);
+            }
         }
     }
-    if eligible.len() + 1 < p {
+    if job.eligible.len() + 1 < p {
+        arena.recycle(job);
         return None;
     }
+
+    // Access order: the graph's total-distance order, optionally with
+    // ties re-ranked by availability overlap with the initiator's run
+    // (descending). Distances stay non-decreasing — only the relative
+    // order *within* an equal-distance block changes — so every
+    // correctness-sensitive use (minimum-distance member, cheapest
+    // completion break, forced-prefix partitioning) is untouched, while
+    // temporally weak candidates are examined last and die to Lemma-5
+    // counters before spawning subtrees. The equal-distance blocks are
+    // time-independent, so callers compute them once per solve
+    // ([`dist_tie_blocks`]) instead of rescanning distances per pivot.
+    job.order.clear();
+    job.order.extend_from_slice(fg.candidate_order());
+    if let Some(blocks) = tie_blocks {
+        let runs = &job.runs;
+        let order = &mut job.order;
+        // Runs are already clipped to the initiator's, so a run's length
+        // *is* its usable overlap with her availability.
+        let overlap = |c: u32| -> usize { runs[c as usize].map_or(0, |r| r.len()) };
+        for &(s, e) in blocks {
+            // Stable: equal-overlap candidates keep their original-id
+            // tie order.
+            order[s as usize..e as usize].sort_by_key(|&c| std::cmp::Reverse(overlap(c)));
+        }
+    }
+
+    // The optimistic distance bound: the order is distance-ascending, so
+    // the p − 1 smallest eligible distances are the first p − 1 eligible
+    // entries (eligibility was checked above, so they exist).
+    let mut dist_bound: Dist = 0;
+    let mut taken = 0usize;
+    for &c in &job.order {
+        if taken + 1 >= p {
+            break;
+        }
+        if job.eligible.contains(c as usize) {
+            dist_bound += fg.dist(c);
+            taken += 1;
+        }
+    }
+    job.dist_bound = dist_bound;
 
     // Lemma-5 counters: members are mostly available inside the interval
     // (they all carry an m-run through the pivot), so iterate only the
     // *zero* offsets of each bitmap — O(words + zeros), not O(ilen).
-    let base = VaState::init(fg, Some(&eligible));
-    let mut unavail = vec![0u32; ilen];
-    for v in eligible.iter() {
-        for_each_zero_bit(&avail_words[v * stride..(v + 1) * stride], ilen, |off| {
-            unavail[off] += 1;
-        });
+    job.va.base.fill(fg, Some(&job.eligible), &job.order);
+    job.va.unavail.clear();
+    job.va.unavail.resize(ilen, 0);
+    let unavail = &mut job.va.unavail;
+    for v in job.eligible.iter() {
+        for_each_zero_bit(
+            &job.avail_words[v * stride..(v + 1) * stride],
+            ilen,
+            |off| {
+                unavail[off] += 1;
+            },
+        );
     }
-    let max_unavail_ub = unavail.iter().copied().max().unwrap_or(0);
-    Some(PivotJob {
-        pivot,
-        interval,
-        q_run,
-        runs,
-        avail_words,
-        avail_stride: stride,
-        va: StVaState {
-            base,
-            unavail,
-            max_unavail_ub,
-        },
-    })
+    job.va.max_unavail_ub = unavail.iter().copied().max().unwrap_or(0);
+    Some(job)
 }
 
 /// Run the STGSelect branch-and-bound for one prepared pivot, recording
-/// improvements into the (possibly shared) incumbent.
+/// improvements into the (possibly shared) incumbent. The job's `VA`
+/// state is consumed in place (the caller recycles the buffers through
+/// the arena afterwards).
 pub(crate) fn search_pivot(
     fg: &FeasibleGraph,
     query: &StgqQuery,
     cfg: &SelectConfig,
-    job: PivotJob,
+    job: &mut PivotJob,
     incumbent: &Incumbent<StBest>,
     stats: &mut SearchStats,
 ) {
@@ -280,25 +565,28 @@ pub(crate) fn search_pivot(
         pivot,
         interval,
         q_run,
-        runs,
-        avail_words,
+        ref runs,
+        ref avail_words,
         avail_stride,
-        mut va,
-    } = job;
+        ref order,
+        ref mut va,
+        ..
+    } = *job;
     let mut searcher = StSearcher::new(
         fg,
         query,
         cfg,
         pivot,
         interval,
-        &runs,
-        &avail_words,
+        runs,
+        avail_words,
         avail_stride,
+        order,
         incumbent,
         stats,
     );
     searcher.push(0, q_run);
-    searcher.expand(&mut va, 0);
+    searcher.expand(va, 0);
 }
 
 /// Vet each access-order position as a depth-1 forced root for `job`'s
@@ -315,7 +603,7 @@ pub(crate) fn vet_pivot_roots(
     job: &PivotJob,
     incumbent: &Incumbent<StBest>,
 ) -> Vec<bool> {
-    let order = fg.candidate_order();
+    let order = &job.order;
     let mut ok = vec![false; order.len()];
     let mut scratch = SearchStats::default();
     let mut probe = StSearcher::new(
@@ -327,6 +615,7 @@ pub(crate) fn vet_pivot_roots(
         &job.runs,
         &job.avail_words,
         job.avail_stride,
+        &job.order,
         incumbent,
         &mut scratch,
     );
@@ -364,7 +653,7 @@ pub(crate) fn search_pivot_subtree(
 ) {
     let p = query.p();
     let m = query.m();
-    let order = fg.candidate_order();
+    let order = &job.order;
     let last_forced = forced_j.unwrap_or(i);
     if !job.va.base.set.contains(order[last_forced] as usize) {
         return;
@@ -392,6 +681,7 @@ pub(crate) fn search_pivot_subtree(
         &job.runs,
         &job.avail_words,
         job.avail_stride,
+        &job.order,
         incumbent,
         stats,
     );
@@ -504,6 +794,9 @@ struct StSearcher<'a> {
     /// Flattened availability words (`avail_stride` per vertex).
     avail_words: &'a [u64],
     avail_stride: usize,
+    /// The pivot's access order (availability-tie-broken; see
+    /// [`PivotJob::order`]).
+    order: &'a [u32],
     vs: Vec<u32>,
     cnt_in_s: Vec<u32>,
     /// The shared `U`/`A` aggregate caches (see [`VsAggregates`]).
@@ -525,6 +818,7 @@ impl<'a> StSearcher<'a> {
         runs: &'a [Option<SlotRange>],
         avail_words: &'a [u64],
         avail_stride: usize,
+        order: &'a [u32],
         incumbent: &'a Incumbent<StBest>,
         stats: &'a mut SearchStats,
     ) -> Self {
@@ -541,6 +835,7 @@ impl<'a> StSearcher<'a> {
             runs,
             avail_words,
             avail_stride,
+            order,
             vs: Vec::with_capacity(p),
             cnt_in_s: vec![0; fg.len()],
             agg: VsAggregates::new(fg.len()),
@@ -733,7 +1028,7 @@ impl<'a> StSearcher<'a> {
             }
         }
         self.stats.frames += 1;
-        let order = self.fg.candidate_order();
+        let order = self.order;
         let mut theta = self.cfg.theta0;
         let mut phi = self.cfg.phi0;
         // Access-order scans run on `pos_set` — word-parallel successor
@@ -982,17 +1277,49 @@ mod tests {
             for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
                 let mut stats_new = SearchStats::default();
                 let mut stats_ref = SearchStats::default();
-                let job = prepare_pivot(&fg, &calendars, 2, m, pivot, horizon, &mut stats_new);
+                let mut arena = PivotArena::new();
+                let tie_blocks = dist_tie_blocks(&fg);
+                let job = prepare_pivot(
+                    &fg,
+                    &calendars,
+                    2,
+                    m,
+                    pivot,
+                    horizon,
+                    Some(&tie_blocks),
+                    &mut stats_new,
+                    &mut arena,
+                );
                 let reference =
                     prepare_pivot_reference(&fg, &calendars, 2, m, pivot, horizon, &mut stats_ref);
-                assert_eq!(
-                    job.is_some(),
-                    reference.is_some(),
-                    "seed {seed} pivot {pivot}"
-                );
-                let (Some(job), Some((_, ref_avail, mut ref_va, _))) = (job, reference) else {
+                let Some((ref_runs, ref_avail, mut ref_va, ref_q_run)) = reference else {
+                    assert!(job.is_none(), "seed {seed} pivot {pivot}");
                     continue;
                 };
+                // The optimized engine additionally drops candidates whose
+                // run overlaps the initiator's by fewer than m slots (they
+                // can never join a group containing her) — mirror that
+                // filter on the scalar side before comparing counters.
+                let doomed: Vec<u32> = ref_va
+                    .base
+                    .set
+                    .iter()
+                    .map(|v| v as u32)
+                    .filter(|&v| {
+                        let run = ref_runs[v as usize].expect("eligible members have runs");
+                        run.intersect(&ref_q_run).is_none_or(|r| r.len() < m)
+                    })
+                    .collect();
+                for &v in &doomed {
+                    ref_va.remove(v, &fg, &ref_avail[v as usize]);
+                }
+                if ref_va.base.set.is_empty() {
+                    // p = 2 here: no surviving candidate ⇒ the optimized
+                    // prepare refuses the pivot outright.
+                    assert!(job.is_none(), "seed {seed} pivot {pivot}");
+                    continue;
+                }
+                let job = job.expect("surviving candidates ⇒ prepared job");
                 let mut va = job.va.clone();
 
                 // Initial counters must agree (word-parallel vs per-slot build).

@@ -9,8 +9,8 @@ use stgq_core::heuristics::{
     greedy_sgq_on, greedy_stgq_on, local_search_sgq_on, local_search_stgq_on,
 };
 use stgq_core::{
-    solve_sgq_on, solve_sgq_parallel_on, solve_stgq_on, solve_stgq_parallel_on, SearchStats,
-    SelectConfig, SgqQuery, SgqSolution, StgqQuery, StgqSolution,
+    solve_sgq_on, solve_sgq_parallel_on, solve_stgq_parallel_on, solve_stgq_pooled, PivotArena,
+    SearchStats, SelectConfig, SgqQuery, SgqSolution, StgqQuery, StgqSolution,
 };
 use stgq_graph::{Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::{Calendar, SlotRange};
@@ -105,6 +105,15 @@ pub struct MetricsSnapshot {
     pub snapshot_rebuilds: u64,
     /// Feasible graphs currently cached.
     pub cached_feasible_graphs: usize,
+    /// Search frames examined by exact engines, summed over all queries
+    /// served (the quantity the search-reduction work drives down).
+    pub frames_examined: u64,
+    /// Frames abandoned by the incumbent distance bound (Lemma 2), summed
+    /// over all exact queries.
+    pub frames_pruned_by_bound: u64,
+    /// Whole pivots skipped by the pivot-granularity distance bound,
+    /// summed over all exact STGQ queries.
+    pub pivots_skipped: u64,
 }
 
 /// A long-lived activity-planning service instance.
@@ -118,9 +127,16 @@ pub struct Planner {
     cfg: SelectConfig,
     snapshot: Mutex<Option<(u64, Arc<SocialGraph>)>>,
     fg_cache: Mutex<FeasibleCache>,
+    /// Recycled pivot buffers shared by sequential exact STGQ queries —
+    /// a steady query stream re-uses one set of flattened availability
+    /// buffers instead of reallocating per query.
+    stgq_arena: Mutex<PivotArena>,
     queries: AtomicU64,
     mutations: AtomicU64,
     snapshot_rebuilds: AtomicU64,
+    frames_examined: AtomicU64,
+    frames_pruned_by_bound: AtomicU64,
+    pivots_skipped: AtomicU64,
 }
 
 /// Default bound on distinct `(initiator, s)` feasible graphs kept.
@@ -141,10 +157,28 @@ impl Planner {
             cfg,
             snapshot: Mutex::new(None),
             fg_cache: Mutex::new(FeasibleCache::new(cache_capacity)),
+            stgq_arena: Mutex::new(PivotArena::new()),
             queries: AtomicU64::new(0),
             mutations: AtomicU64::new(0),
             snapshot_rebuilds: AtomicU64::new(0),
+            frames_examined: AtomicU64::new(0),
+            frames_pruned_by_bound: AtomicU64::new(0),
+            pivots_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// The engine configuration planning queries run with (the
+    /// search-reduction knobs — seeding, pivot ordering, buffer pooling —
+    /// are [`SelectConfig`] fields, so they are set at construction via
+    /// [`with_config`](Self::with_config) and read back here).
+    pub fn config(&self) -> SelectConfig {
+        self.cfg
+    }
+
+    /// Replace the engine configuration for subsequent queries. Exactness
+    /// is config-independent; only search effort changes.
+    pub fn set_config(&mut self, cfg: SelectConfig) {
+        self.cfg = cfg;
     }
 
     // -- mutations ----------------------------------------------------
@@ -236,7 +270,20 @@ impl Planner {
             feasible_cache_misses: cache.misses,
             snapshot_rebuilds: self.snapshot_rebuilds.load(Ordering::Relaxed),
             cached_feasible_graphs: cache.len(),
+            frames_examined: self.frames_examined.load(Ordering::Relaxed),
+            frames_pruned_by_bound: self.frames_pruned_by_bound.load(Ordering::Relaxed),
+            pivots_skipped: self.pivots_skipped.load(Ordering::Relaxed),
         }
+    }
+
+    /// Fold an exact engine's search counters into the service totals.
+    fn note_search(&self, stats: &SearchStats) {
+        self.frames_examined
+            .fetch_add(stats.frames_examined(), Ordering::Relaxed);
+        self.frames_pruned_by_bound
+            .fetch_add(stats.frames_pruned_by_bound(), Ordering::Relaxed);
+        self.pivots_skipped
+            .fetch_add(stats.pivots_skipped, Ordering::Relaxed);
     }
 
     /// Current CSR snapshot, rebuilt only when the network changed.
@@ -345,6 +392,9 @@ impl Planner {
                 }
             }
         };
+        if let Some(stats) = &report.stats {
+            self.note_search(stats);
+        }
         Ok(report)
     }
 
@@ -363,7 +413,14 @@ impl Planner {
         let start = Instant::now();
         let report = match engine {
             Engine::Exact => {
-                let out = solve_stgq_on(&fg, cals, query, &self.cfg);
+                // Take the arena out under a short lock rather than
+                // holding the mutex across the solve — concurrent exact
+                // queries (via `SharedPlanner` read locks) must not
+                // serialize on it. Racing queries just solve with a fresh
+                // arena; the last one back donates its buffers.
+                let mut arena = std::mem::take(&mut *self.stgq_arena.lock());
+                let out = solve_stgq_pooled(&fg, cals, query, &self.cfg, &mut arena);
+                *self.stgq_arena.lock() = arena;
                 StgqReport {
                     solution: out.solution,
                     stats: Some(out.stats),
@@ -388,7 +445,9 @@ impl Planner {
             }
             Engine::Anytime { frame_budget } => {
                 let cfg = self.cfg.with_frame_budget(frame_budget);
-                let out = solve_stgq_on(&fg, cals, query, &cfg);
+                let mut arena = std::mem::take(&mut *self.stgq_arena.lock());
+                let out = solve_stgq_pooled(&fg, cals, query, &cfg, &mut arena);
+                *self.stgq_arena.lock() = arena;
                 let exact = !out.stats.truncated;
                 StgqReport {
                     solution: out.solution,
@@ -425,6 +484,9 @@ impl Planner {
                 }
             }
         };
+        if let Some(stats) = &report.stats {
+            self.note_search(stats);
+        }
         Ok(report)
     }
 }
@@ -614,6 +676,42 @@ mod tests {
             m.snapshot_rebuilds, 1,
             "one snapshot serves both extractions"
         );
+    }
+
+    #[test]
+    fn search_metrics_accumulate_across_exact_queries_only() {
+        let (p, ids) = demo();
+        let q = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let m0 = p.metrics();
+        assert_eq!(m0.frames_examined + m0.pivots_skipped, 0);
+        p.plan_stgq(ids[0], &q, Engine::Exact).unwrap();
+        let m1 = p.metrics();
+        assert!(
+            m1.frames_examined + m1.pivots_skipped > 0,
+            "a feasible exact solve either examines frames or skips pivots"
+        );
+        p.plan_stgq(ids[0], &q, Engine::Exact).unwrap();
+        let m2 = p.metrics();
+        assert!(
+            m2.frames_examined + m2.pivots_skipped >= m1.frames_examined + m1.pivots_skipped,
+            "counters are cumulative"
+        );
+        // Heuristic engines report no search stats and must not move them.
+        p.plan_stgq(ids[0], &q, Engine::Greedy { restarts: 2 })
+            .unwrap();
+        let m3 = p.metrics();
+        assert_eq!(m3.frames_examined, m2.frames_examined);
+        assert_eq!(m3.pivots_skipped, m2.pivots_skipped);
+    }
+
+    #[test]
+    fn config_round_trips_and_is_tunable() {
+        let mut p = Planner::with_config(12, SelectConfig::NO_SEARCH_REDUCTION, 8);
+        assert_eq!(p.config().seed_restarts, 0);
+        assert!(!p.config().pivot_promise_order);
+        p.set_config(SelectConfig::default());
+        assert_eq!(p.config().seed_restarts, 2);
+        assert!(p.config().pool_pivot_buffers);
     }
 
     #[test]
