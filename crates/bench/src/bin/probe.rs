@@ -148,6 +148,10 @@ fn main() {
                 "no pool",
                 SelectConfig::default().with_pool_pivot_buffers(false),
             ),
+            (
+                "no sharp",
+                SelectConfig::default().with_sharp_pivot_floor(false),
+            ),
             ("all off", SelectConfig::NO_SEARCH_REDUCTION),
         ] {
             let mut ns = u128::MAX;

@@ -28,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod serving;
 mod table;
 mod timing;
 

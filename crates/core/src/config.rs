@@ -68,6 +68,20 @@ pub struct SelectConfig {
     /// results are bit-identical with it off; the switch exists for
     /// ablation benchmarks.
     pub pool_pivot_buffers: bool,
+    /// Sharpen the per-pivot optimistic distance floor by restricting the
+    /// `p − 1` smallest-distance sum to **mutually-compatible** candidates:
+    /// per-pivot runs are intervals that all contain the pivot, so a group
+    /// is temporally feasible iff all members' runs contain one common
+    /// `m`-slot window (Helly property of intervals), and the floor
+    /// becomes `min` over the ≤ `m` windows of the initiator's run of the
+    /// `p − 1` cheapest candidates whose run covers that window. Never
+    /// lower than the unrestricted floor, and a pivot where *no* window
+    /// has `p − 1` covering candidates is proven infeasible outright. This
+    /// targets spread optima (large `m`), where the unrestricted floor is
+    /// too loose for [`pivot_promise_order`](Self::pivot_promise_order)'s
+    /// skip to fire. Exactness is untouched: the floor only retires
+    /// subtrees that provably cannot strictly beat the incumbent.
+    pub sharp_pivot_floor: bool,
 }
 
 impl SelectConfig {
@@ -84,6 +98,7 @@ impl SelectConfig {
         pivot_promise_order: true,
         availability_ordering: true,
         pool_pivot_buffers: true,
+        sharp_pivot_floor: true,
     };
 
     /// Ablation preset: the previous release's *sequential* search
@@ -99,6 +114,7 @@ impl SelectConfig {
         pivot_promise_order: false,
         availability_ordering: false,
         pool_pivot_buffers: false,
+        sharp_pivot_floor: false,
         ..SelectConfig::PAPER_EXAMPLE
     };
 
@@ -185,6 +201,15 @@ impl SelectConfig {
         }
     }
 
+    /// This config with the compatibility-restricted (sharp) per-pivot
+    /// distance floor toggled.
+    pub const fn with_sharp_pivot_floor(self, on: bool) -> Self {
+        SelectConfig {
+            sharp_pivot_floor: on,
+            ..self
+        }
+    }
+
     /// Clamp to the invariants (`phi0 ≥ 1`, `phi_cap ≥ phi0`).
     pub fn normalized(self) -> Self {
         let phi0 = self.phi0.max(1);
@@ -251,10 +276,12 @@ mod tests {
         let c = SelectConfig::default();
         assert_eq!(c.seed_restarts, 2);
         assert!(c.pivot_promise_order && c.availability_ordering && c.pool_pivot_buffers);
+        assert!(c.sharp_pivot_floor);
 
         let off = SelectConfig::NO_SEARCH_REDUCTION;
         assert_eq!(off.seed_restarts, 0);
         assert!(!off.pivot_promise_order && !off.availability_ordering && !off.pool_pivot_buffers);
+        assert!(!off.sharp_pivot_floor);
         assert!(
             off.distance_pruning && off.acquaintance_pruning,
             "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
@@ -264,8 +291,10 @@ mod tests {
             .with_seed_restarts(5)
             .with_pivot_promise_order(false)
             .with_availability_ordering(false)
-            .with_pool_pivot_buffers(false);
+            .with_pool_pivot_buffers(false)
+            .with_sharp_pivot_floor(false);
         assert_eq!(c.seed_restarts, 5);
         assert!(!c.pivot_promise_order && !c.availability_ordering && !c.pool_pivot_buffers);
+        assert!(!c.sharp_pivot_floor);
     }
 }

@@ -1,0 +1,195 @@
+//! Cooperative cancellation and deadlines for long-running solves.
+//!
+//! The exact engines are branch-and-bound loops that can run for a long
+//! time on hard instances. A *serving* deployment (the `stgq-exec`
+//! executor) needs two ways to stop a solve early without tearing down
+//! the worker thread:
+//!
+//! * a [`CancelToken`] the caller can trip from another thread (e.g. the
+//!   client disconnected, the batch was superseded);
+//! * a wall-clock deadline (per-query latency budget).
+//!
+//! Both ride the **existing frame-counter path**: the engines already
+//! consult [`SelectConfig::frame_budget`](crate::SelectConfig) at the top
+//! of every search frame, so the control check adds one relaxed atomic
+//! load there (the deadline's `Instant::now()` syscall is amortised over
+//! [`DEADLINE_CHECK_INTERVAL`] frames). A stopped solve returns the
+//! incumbent found so far and sets
+//! [`SearchStats::cancelled`](crate::SearchStats::cancelled) — distinct
+//! from [`SearchStats::truncated`](crate::SearchStats::truncated), which
+//! only ever means "frame budget exhausted" — so
+//! [`SolveOutcome::stop_cause`](crate::SolveOutcome::stop_cause) can
+//! report *why* an answer is inexact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many frames pass between wall-clock deadline probes. Must be a
+/// power of two (the check is a mask on the frame counter). At the
+/// engines' observed frame rates (tens of millions per second) this
+/// bounds deadline overshoot well under a millisecond while keeping the
+/// `Instant::now()` cost invisible.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+
+/// A cheaply-cloneable flag for cancelling an in-flight solve from
+/// another thread. All clones share one underlying flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trip the flag: every solve polling this token (or a clone of it)
+    /// stops at its next frame boundary.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Early-stop policy for one solve: an optional [`CancelToken`] and/or an
+/// optional wall-clock deadline. The default is a no-op (never stops).
+#[derive(Clone, Debug, Default)]
+pub struct SolveControl {
+    cancel: Option<CancelToken>,
+    deadline: Option<Instant>,
+}
+
+impl SolveControl {
+    /// A control that never stops the solve.
+    pub fn new() -> Self {
+        SolveControl::default()
+    }
+
+    /// Attach a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attach a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// The attached deadline, if any.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.deadline
+    }
+
+    /// Whether this control can ever stop a solve.
+    pub fn is_noop(&self) -> bool {
+        self.cancel.is_none() && self.deadline.is_none()
+    }
+
+    /// The frame-counter-path check: called with the number of frames
+    /// entered so far, returns whether the solve must stop now. The token
+    /// is polled every frame (one relaxed load); the deadline every
+    /// [`DEADLINE_CHECK_INTERVAL`] frames — including frame 0, so an
+    /// already-expired deadline stops the solve before any search work.
+    #[inline]
+    pub fn should_stop(&self, frames: u64) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if frames & (DEADLINE_CHECK_INTERVAL - 1) == 0 && Instant::now() >= deadline {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The unamortised check: polls the token *and* the clock
+    /// unconditionally. For code outside the frame loop (e.g. between
+    /// STGSelect pivots, where whole pivot preparations run without
+    /// entering a frame) — the frame counter is meaningless there, so
+    /// the [`DEADLINE_CHECK_INTERVAL`] mask must not gate the probe.
+    #[inline]
+    pub fn should_stop_now(&self) -> bool {
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return true;
+            }
+        }
+        self.deadline
+            .is_some_and(|deadline| Instant::now() >= deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        assert!(!t.is_cancelled());
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn noop_control_never_stops() {
+        let c = SolveControl::new();
+        assert!(c.is_noop());
+        for frames in [0, 1, 1024, u64::MAX - 1] {
+            assert!(!c.should_stop(frames));
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_every_frame() {
+        let t = CancelToken::new();
+        let c = SolveControl::new().with_cancel(t.clone());
+        assert!(!c.should_stop(7));
+        t.cancel();
+        assert!(c.should_stop(7), "token is polled on every frame");
+    }
+
+    #[test]
+    fn deadline_is_probed_on_interval_frames_only() {
+        let past = Instant::now() - Duration::from_secs(1);
+        let c = SolveControl::new().with_deadline(past);
+        assert!(c.should_stop(0), "frame 0 probes the clock");
+        assert!(
+            !c.should_stop(1),
+            "off-interval frames skip the clock probe"
+        );
+        assert!(c.should_stop(DEADLINE_CHECK_INTERVAL));
+
+        let future = Instant::now() + Duration::from_secs(3600);
+        let c = SolveControl::new().with_deadline(future);
+        assert!(!c.should_stop(0));
+    }
+
+    #[test]
+    fn unamortised_check_ignores_the_frame_mask() {
+        // Regression: the between-pivot path must see an expired
+        // deadline even when the frame counter sits off-interval, where
+        // `should_stop` deliberately skips the clock probe.
+        let past = Instant::now() - Duration::from_secs(1);
+        let c = SolveControl::new().with_deadline(past);
+        assert!(!c.should_stop(1), "amortised check skips off-interval");
+        assert!(c.should_stop_now(), "unamortised check must not");
+
+        let t = CancelToken::new();
+        let c = SolveControl::new().with_cancel(t.clone());
+        assert!(!c.should_stop_now());
+        t.cancel();
+        assert!(c.should_stop_now());
+    }
+}

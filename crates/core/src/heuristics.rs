@@ -222,6 +222,9 @@ fn run_stgq_heuristic(
             pivot,
             horizon,
             None,
+            // Plain floor: the greedy engine's evaluation counts are
+            // pinned by behaviour tests, and it never consults the bound.
+            false,
             &mut scratch,
             &mut arena,
         ) else {

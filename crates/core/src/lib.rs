@@ -92,7 +92,30 @@
 //!   [`SelectConfig::pool_pivot_buffers`]). The flattened availability
 //!   buffers, bitmaps, undo logs and order permutations are recycled
 //!   across the sequential pivot loop, and — via [`solve_stgq_pooled`] —
-//!   across whole query streams (the service planner holds one arena).
+//!   across whole query streams (the executor's workers each hold one
+//!   arena).
+//! * **Compatibility-restricted pivot floor**
+//!   ([`SelectConfig::sharp_pivot_floor`]). Per-pivot runs are intervals
+//!   all containing the pivot, so (Helly property) a group shares an
+//!   `m`-run iff one `m`-window lies inside every member's run; the
+//!   pivot's optimistic floor becomes `min` over the ≤ `m` windows of
+//!   the initiator's run of the `p − 1` cheapest covering candidates —
+//!   never looser than the plain `p − 1`-smallest sum, and a pivot with
+//!   no coverable window is refused as infeasible outright. On dense
+//!   schedules (fig1f) the two floors coincide — the `m = 12` spread
+//!   optimum is *socially* spread, so tightening the temporal side
+//!   leaves its frames unchanged — but on sparse/random calendars the
+//!   restricted floor is strictly tighter (pinned by the dominance
+//!   property test).
+//!
+//! For serving deployments the engines also stop **cooperatively**: an
+//! optional [`SolveControl`] (cancellation token and/or wall-clock
+//! deadline, [`solve_sgq_controlled_on`] / [`solve_stgq_controlled`])
+//! is polled on the same frame-counter path as the anytime budget, and
+//! a stopped solve returns the incumbent with
+//! [`SearchStats::cancelled`] set — provenance kept distinct from
+//! budget truncation, so [`SolveOutcome::stop_cause`] can report
+//! `FrameBudget` vs `Cancelled` honestly.
 //!
 //! The pre-optimization implementations are preserved verbatim in
 //! [`reference`]; cross-engine tests assert identical optima and the
@@ -131,6 +154,7 @@
 mod baseline;
 mod combinations;
 mod config;
+mod control;
 mod error;
 pub mod heuristics;
 mod incumbent;
@@ -151,13 +175,16 @@ pub use baseline::{
 };
 pub use combinations::Combinations;
 pub use config::SelectConfig;
+pub use control::{CancelToken, SolveControl, DEADLINE_CHECK_INTERVAL};
 pub use error::QueryError;
 pub use manual::{pc_arrange, stg_arrange, PcArrangeResult, StgArrangeResult};
 pub use parallel::{
     solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel, solve_stgq_parallel_on,
 };
 pub use query::{SgqQuery, StgqQuery};
-pub use result::{SgqOutcome, SgqSolution, StgqOutcome, StgqSolution};
-pub use sgselect::{solve_sgq, solve_sgq_on};
+pub use result::{SgqOutcome, SgqSolution, SolveOutcome, StgqOutcome, StgqSolution, StopCause};
+pub use sgselect::{solve_sgq, solve_sgq_controlled_on, solve_sgq_on};
 pub use stats::SearchStats;
-pub use stgselect::{solve_stgq, solve_stgq_on, solve_stgq_pooled, PivotArena};
+pub use stgselect::{
+    solve_stgq, solve_stgq_controlled, solve_stgq_on, solve_stgq_pooled, PivotArena,
+};

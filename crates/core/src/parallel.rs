@@ -348,7 +348,15 @@ pub fn solve_stgq_parallel_on(
                                 return local;
                             }
                             if let Some(mut job) = prepare_pivot(
-                                fg, calendars, p, m, pivots[i], horizon, tie_blocks, &mut local,
+                                fg,
+                                calendars,
+                                p,
+                                m,
+                                pivots[i],
+                                horizon,
+                                tie_blocks,
+                                cfg.sharp_pivot_floor,
+                                &mut local,
                                 &mut arena,
                             ) {
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
@@ -388,7 +396,15 @@ pub fn solve_stgq_parallel_on(
                                 return (local, found);
                             }
                             if let Some(job) = prepare_pivot(
-                                fg, calendars, p, m, pivots[i], horizon, tie_blocks, &mut local,
+                                fg,
+                                calendars,
+                                p,
+                                m,
+                                pivots[i],
+                                horizon,
+                                tie_blocks,
+                                cfg.sharp_pivot_floor,
+                                &mut local,
                                 &mut arena,
                             ) {
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {

@@ -22,7 +22,9 @@
 use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 
 use crate::incumbent::Incumbent;
-use crate::{QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution};
+use crate::{
+    QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution, SolveControl,
+};
 
 /// Solve an SGQ with SGSelect, returning the optimal group (or `None` when
 /// the query is infeasible) together with search statistics.
@@ -54,6 +56,23 @@ pub fn solve_sgq_on(
     cfg: &SelectConfig,
     candidate_mask: Option<&BitSet>,
 ) -> SgqOutcome {
+    solve_sgq_controlled_on(fg, query, cfg, candidate_mask, None)
+}
+
+/// As [`solve_sgq_on`], with an optional [`SolveControl`] (cooperative
+/// cancellation / deadline) polled on the frame-counter path. A stopped
+/// solve returns the incumbent found so far with
+/// [`SearchStats::cancelled`] set; `control: None` is byte-for-byte
+/// [`solve_sgq_on`].
+///
+/// [`SearchStats::cancelled`]: crate::SearchStats::cancelled
+pub fn solve_sgq_controlled_on(
+    fg: &FeasibleGraph,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+    candidate_mask: Option<&BitSet>,
+    control: Option<&SolveControl>,
+) -> SgqOutcome {
     let p = query.p();
     if p == 1 {
         // The group is just the initiator; every constraint holds trivially.
@@ -83,6 +102,7 @@ pub fn solve_sgq_on(
         }
     }
     let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
+    searcher.control = control.filter(|c| !c.is_noop());
     let mut va = VaState::init(fg, candidate_mask);
     searcher.push(0);
     searcher.expand(&mut va, 0);
@@ -443,6 +463,8 @@ pub(crate) struct Searcher<'a> {
     agg: VsAggregates,
     incumbent: &'a Incumbent<Vec<u32>>,
     pub(crate) stats: SearchStats,
+    /// Early-stop policy, polled at frame entry (see [`SolveControl`]).
+    pub(crate) control: Option<&'a SolveControl>,
 }
 
 impl<'a> Searcher<'a> {
@@ -466,6 +488,7 @@ impl<'a> Searcher<'a> {
             agg: VsAggregates::new(fg.len()),
             incumbent,
             stats: SearchStats::default(),
+            control: None,
         }
     }
 
@@ -591,6 +614,19 @@ impl<'a> Searcher<'a> {
     /// rewinds to its own mark when this frame returns, so no descent
     /// allocates. `td` is `Σ_{v ∈ VS} d_{v,q}`.
     pub(crate) fn expand(&mut self, va: &mut VaState, td: Dist) {
+        // Cooperative stop (cancellation / deadline) rides the same
+        // frame-counter path as the anytime budget; once tripped, every
+        // in-flight frame returns without opening children. `cancelled`
+        // and `truncated` stay distinct provenance.
+        if self.stats.cancelled {
+            return;
+        }
+        if let Some(control) = self.control {
+            if control.should_stop(self.stats.frames) {
+                self.stats.cancelled = true;
+                return;
+            }
+        }
         if let Some(budget) = self.cfg.frame_budget {
             if self.stats.frames >= budget {
                 self.stats.truncated = true;

@@ -40,10 +40,19 @@ pub struct SearchStats {
     /// [`SelectConfig::pivot_promise_order`]: crate::SelectConfig::pivot_promise_order
     pub pivots_skipped: u64,
     /// Whether the search stopped at a [`SelectConfig::frame_budget`]
-    /// (anytime mode) instead of running to proven optimality.
+    /// (anytime mode) instead of running to proven optimality. Never set
+    /// by cancellation — see [`cancelled`](Self::cancelled).
     ///
     /// [`SelectConfig::frame_budget`]: crate::SelectConfig::frame_budget
     pub truncated: bool,
+    /// Whether the search was stopped by a [`SolveControl`] (cancellation
+    /// token tripped or deadline passed) before running to proven
+    /// optimality. Kept separate from [`truncated`](Self::truncated):
+    /// budget-exhausted and cancelled are different provenance even
+    /// though both return the incumbent found so far.
+    ///
+    /// [`SolveControl`]: crate::SolveControl
+    pub cancelled: bool,
 }
 
 impl SearchStats {
@@ -63,6 +72,7 @@ impl SearchStats {
         self.pivots_processed += other.pivots_processed;
         self.pivots_skipped += other.pivots_skipped;
         self.truncated |= other.truncated;
+        self.cancelled |= other.cancelled;
     }
 
     /// Total frames abandoned by any pruning rule.
@@ -110,6 +120,7 @@ mod tests {
             pivots_processed: 8,
             pivots_skipped: 9,
             truncated: true,
+            cancelled: true,
         };
         a.absorb(&b);
         assert_eq!(a.frames, 11);
@@ -119,6 +130,7 @@ mod tests {
         assert_eq!(a.pivots_processed, 8);
         assert_eq!(a.pivots_skipped, 9);
         assert!(a.truncated, "truncation is sticky under absorb");
+        assert!(a.cancelled, "cancellation is sticky under absorb");
         assert_eq!(a.frames_examined(), a.frames);
         assert_eq!(a.frames_pruned_by_bound(), a.distance_prunes);
     }

@@ -32,7 +32,9 @@ use stgq_schedule::{Calendar, SlotId, SlotRange};
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::sgselect::{VaState, VsAggregates};
-use crate::{QueryError, SearchStats, SelectConfig, StgqOutcome, StgqQuery, StgqSolution};
+use crate::{
+    QueryError, SearchStats, SelectConfig, SolveControl, StgqOutcome, StgqQuery, StgqSolution,
+};
 
 /// Solve an STGQ with STGSelect.
 ///
@@ -75,6 +77,25 @@ pub fn solve_stgq_pooled(
     cfg: &SelectConfig,
     arena: &mut PivotArena,
 ) -> StgqOutcome {
+    solve_stgq_controlled(fg, calendars, query, cfg, arena, None)
+}
+
+/// As [`solve_stgq_pooled`], with an optional [`SolveControl`]
+/// (cooperative cancellation / deadline) polled on the frame-counter path
+/// and between pivots. A stopped solve returns the incumbent found so far
+/// with [`SearchStats::cancelled`] set; `control: None` is byte-for-byte
+/// [`solve_stgq_pooled`].
+///
+/// [`SearchStats::cancelled`]: crate::SearchStats::cancelled
+pub fn solve_stgq_controlled(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    arena: &mut PivotArena,
+    control: Option<&SolveControl>,
+) -> StgqOutcome {
+    let control = control.filter(|c| !c.is_noop());
     let cfg = cfg.normalized();
     let m = query.m();
     let p = query.p();
@@ -110,6 +131,21 @@ pub fn solve_stgq_pooled(
 
     let incumbent = Incumbent::new();
     for pivot in pivots {
+        // Cooperative stop between pivots: a cancelled search frame set
+        // `stats.cancelled`; a deadline/token may also trip while this
+        // thread is outside any frame (preparing a pivot). This path is
+        // outside the frame loop, so it uses the unamortised check — the
+        // frame-count mask would otherwise let a deadline-only control
+        // slip past every remaining pivot preparation.
+        if stats.cancelled {
+            break;
+        }
+        if let Some(control) = control {
+            if control.should_stop_now() {
+                stats.cancelled = true;
+                break;
+            }
+        }
         let Some(mut job) = prepare_pivot(
             fg,
             calendars,
@@ -118,6 +154,7 @@ pub fn solve_stgq_pooled(
             pivot,
             horizon,
             tie_blocks.as_deref(),
+            cfg.sharp_pivot_floor,
             &mut stats,
             arena,
         ) else {
@@ -159,7 +196,7 @@ pub fn solve_stgq_pooled(
                 continue;
             }
         }
-        search_pivot(fg, query, &cfg, &mut job, &incumbent, &mut stats);
+        search_pivot_controlled(fg, query, &cfg, &mut job, &incumbent, &mut stats, control);
         arena.recycle(job);
     }
 
@@ -410,8 +447,16 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
 /// bitmaps, access order, distance bound, Lemma-5 counters), reusing
 /// `arena`'s buffers when it has any. Returns `None` when the pivot cannot
 /// host any feasible solution (initiator ineligible or too few
-/// candidates); `stats.pivots_processed` counts the pivots that pass the
-/// initiator check, as in the sequential engine.
+/// candidates — including, with `sharp_floor`, no `m`-slot window covered
+/// by `p − 1` candidate runs); `stats.pivots_processed` counts the pivots
+/// that pass the initiator check, as in the sequential engine.
+///
+/// `sharp_floor` selects the compatibility-restricted distance bound
+/// ([`SelectConfig::sharp_pivot_floor`]): never looser than the plain
+/// `p − 1`-smallest-distances floor, and able to prove a pivot infeasible
+/// outright.
+///
+/// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn prepare_pivot(
     fg: &FeasibleGraph,
@@ -421,6 +466,7 @@ pub(crate) fn prepare_pivot(
     pivot: SlotId,
     horizon: usize,
     tie_blocks: Option<&[(u32, u32)]>,
+    sharp_floor: bool,
     stats: &mut SearchStats,
     arena: &mut PivotArena,
 ) -> Option<PivotJob> {
@@ -528,6 +574,22 @@ pub(crate) fn prepare_pivot(
         }
     }
     job.dist_bound = dist_bound;
+    if sharp_floor {
+        match compat_dist_floor(fg, &job, p, m) {
+            // Never below the unrestricted floor (every window's candidate
+            // set is a subset of the eligible set), so taking it wholesale
+            // only tightens the bound.
+            Some(bound) => job.dist_bound = bound,
+            // No m-slot window of the initiator's run is covered by p − 1
+            // candidate runs ⇒ no feasible group exists at this pivot at
+            // all (not an incumbent-relative prune — absolute
+            // infeasibility), so refuse it like the candidate-count check.
+            None => {
+                arena.recycle(job);
+                return None;
+            }
+        }
+    }
 
     // Lemma-5 counters: members are mostly available inside the interval
     // (they all carry an m-run through the pivot), so iterate only the
@@ -549,6 +611,55 @@ pub(crate) fn prepare_pivot(
     Some(job)
 }
 
+/// The compatibility-restricted per-pivot distance floor
+/// ([`SelectConfig::sharp_pivot_floor`]).
+///
+/// Per-pivot runs are intervals that all contain the pivot slot, so by
+/// the Helly property of intervals a candidate set shares an `m`-slot
+/// common run **iff** some single `m`-window is contained in every
+/// member's run. Any feasible group's window also lies inside the
+/// initiator's run (candidates are pre-clipped to it), so scanning the
+/// ≤ `m` window positions of `q_run` and summing, per window, the `p − 1`
+/// cheapest candidates whose run covers it yields a valid lower bound on
+/// any group's total distance at this pivot:
+/// `min_W Σ(p−1 cheapest run ⊇ W)`. The plain floor relaxes the coverage
+/// requirement, so this is never looser. Returns `None` when no window
+/// has `p − 1` covering candidates — the pivot is infeasible outright.
+///
+/// Cost: `O(|q_run| · scan)` where each scan walks the distance-ascending
+/// order until `p − 1` covering candidates are found — on dense
+/// availabilities that is the first `p − 1` entries, and the whole
+/// computation is a vanishing fraction of one search frame.
+///
+/// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
+fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> Option<Dist> {
+    debug_assert!(p >= 2, "p = 1 never reaches pivot preparation");
+    debug_assert!(job.q_run.len() >= m);
+    let mut best: Option<Dist> = None;
+    for start in job.q_run.lo..=(job.q_run.hi + 1 - m) {
+        let end = start + m - 1;
+        let mut sum: Dist = 0;
+        let mut taken = 0usize;
+        for &c in &job.order {
+            if taken + 1 >= p {
+                break;
+            }
+            // `runs` is `Some` exactly for pivot-eligible candidates, and
+            // already clipped to the initiator's run.
+            if let Some(run) = job.runs[c as usize] {
+                if run.lo <= start && run.hi >= end {
+                    sum += fg.dist(c);
+                    taken += 1;
+                }
+            }
+        }
+        if taken + 1 >= p {
+            best = Some(best.map_or(sum, |b| b.min(sum)));
+        }
+    }
+    best
+}
+
 /// Run the STGSelect branch-and-bound for one prepared pivot, recording
 /// improvements into the (possibly shared) incumbent. The job's `VA`
 /// state is consumed in place (the caller recycles the buffers through
@@ -560,6 +671,20 @@ pub(crate) fn search_pivot(
     job: &mut PivotJob,
     incumbent: &Incumbent<StBest>,
     stats: &mut SearchStats,
+) {
+    search_pivot_controlled(fg, query, cfg, job, incumbent, stats, None)
+}
+
+/// As [`search_pivot`], polling `control` at every frame entry.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn search_pivot_controlled(
+    fg: &FeasibleGraph,
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    job: &mut PivotJob,
+    incumbent: &Incumbent<StBest>,
+    stats: &mut SearchStats,
+    control: Option<&SolveControl>,
 ) {
     let PivotJob {
         pivot,
@@ -585,6 +710,7 @@ pub(crate) fn search_pivot(
         incumbent,
         stats,
     );
+    searcher.control = control;
     searcher.push(0, q_run);
     searcher.expand(va, 0);
 }
@@ -805,6 +931,8 @@ struct StSearcher<'a> {
     ts_stack: Vec<SlotRange>,
     incumbent: &'a Incumbent<StBest>,
     stats: &'a mut SearchStats,
+    /// Early-stop policy, polled at frame entry (see [`SolveControl`]).
+    control: Option<&'a SolveControl>,
 }
 
 impl<'a> StSearcher<'a> {
@@ -842,6 +970,7 @@ impl<'a> StSearcher<'a> {
             ts_stack: Vec::with_capacity(p),
             incumbent,
             stats,
+            control: None,
         }
     }
 
@@ -1021,6 +1150,17 @@ impl<'a> StSearcher<'a> {
     /// pivot search's shared state: removals happen in place and the
     /// caller rewinds to its mark, so descent never allocates.
     fn expand(&mut self, va: &mut StVaState, td: Dist) {
+        // Cooperative stop on the frame-counter path (see SGSelect):
+        // `cancelled` and `truncated` stay distinct provenance.
+        if self.stats.cancelled {
+            return;
+        }
+        if let Some(control) = self.control {
+            if control.should_stop(self.stats.frames) {
+                self.stats.cancelled = true;
+                return;
+            }
+        }
         if let Some(budget) = self.cfg.frame_budget {
             if self.stats.frames >= budget {
                 self.stats.truncated = true;
@@ -1287,6 +1427,7 @@ mod tests {
                     pivot,
                     horizon,
                     Some(&tie_blocks),
+                    false,
                     &mut stats_new,
                     &mut arena,
                 );
@@ -1359,6 +1500,181 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn sharp_floor_never_changes_the_optimum() {
+        let (g, q, cals) = example3_inputs();
+        for (p, k, m) in [(4, 1, 3), (3, 1, 2), (4, 1, 1), (2, 0, 4), (4, 1, 6)] {
+            let query = StgqQuery::new(p, 1, k, m).unwrap();
+            let sharp = solve_stgq(&g, q, &cals, &query, &SelectConfig::default())
+                .unwrap()
+                .solution;
+            let plain = solve_stgq(
+                &g,
+                q,
+                &cals,
+                &query,
+                &SelectConfig::default().with_sharp_pivot_floor(false),
+            )
+            .unwrap()
+            .solution;
+            assert_eq!(
+                sharp.as_ref().map(|s| s.total_distance),
+                plain.as_ref().map(|s| s.total_distance),
+                "p={p} k={k} m={m}: the floor is a bound, not a constraint"
+            );
+        }
+    }
+
+    #[test]
+    fn sharp_floor_dominates_the_plain_floor() {
+        // Directly compare the two floors on every prepared pivot of
+        // random instances: sharp ≥ plain always, and a sharp-refused
+        // pivot admits no feasible window at all.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use stgq_graph::GraphBuilder;
+
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(0xF100F ^ seed);
+            let n = 12;
+            let horizon = rng.gen_range(10..60);
+            let m = rng.gen_range(2..=6).min(horizon);
+            let p = rng.gen_range(2..=4);
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.6) {
+                        b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..20))
+                            .unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            let calendars: Vec<Calendar> = (0..n)
+                .map(|_| Calendar::from_slots(horizon, (0..horizon).filter(|_| rng.gen_bool(0.6))))
+                .collect();
+            let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+
+            for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
+                let mut stats = SearchStats::default();
+                let mut arena = PivotArena::new();
+                let plain = prepare_pivot(
+                    &fg, &calendars, p, m, pivot, horizon, None, false, &mut stats, &mut arena,
+                );
+                let mut arena2 = PivotArena::new();
+                let sharp = prepare_pivot(
+                    &fg,
+                    &calendars,
+                    p,
+                    m,
+                    pivot,
+                    horizon,
+                    None,
+                    true,
+                    &mut stats,
+                    &mut arena2,
+                );
+                match (plain, sharp) {
+                    (None, None) => {}
+                    (Some(pj), Some(sj)) => {
+                        assert!(
+                            sj.dist_bound >= pj.dist_bound,
+                            "seed {seed} pivot {pivot}: sharp floor must dominate"
+                        );
+                    }
+                    (Some(pj), None) => {
+                        // Sharp refused: verify no m-window of q_run is
+                        // covered by p − 1 candidate runs.
+                        for a in pj.q_run.lo..=(pj.q_run.hi + 1 - m) {
+                            let covering = pj
+                                .runs
+                                .iter()
+                                .enumerate()
+                                .skip(1)
+                                .filter(|(_, r)| r.is_some_and(|r| r.lo <= a && r.hi >= a + m - 1))
+                                .count();
+                            assert!(
+                                covering + 1 < p,
+                                "seed {seed} pivot {pivot}: refused but window {a} feasible"
+                            );
+                        }
+                    }
+                    (None, Some(_)) => {
+                        panic!("seed {seed} pivot {pivot}: sharp admitted a pivot plain refused")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pre_cancelled_solve_reports_cancelled_not_truncated() {
+        use crate::{CancelToken, SolveControl};
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let token = CancelToken::new();
+        token.cancel();
+        let control = SolveControl::new().with_cancel(token);
+        let mut arena = PivotArena::new();
+        let out = solve_stgq_controlled(
+            &fg,
+            &cals,
+            &query,
+            &SelectConfig::default(),
+            &mut arena,
+            Some(&control),
+        );
+        assert!(out.stats.cancelled, "token was tripped before the solve");
+        assert!(
+            !out.stats.truncated,
+            "cancellation must not masquerade as budget truncation"
+        );
+        assert_eq!(out.stats.frames, 0, "no frame entered after cancellation");
+    }
+
+    #[test]
+    fn expired_deadline_stops_before_searching() {
+        use crate::SolveControl;
+        use std::time::{Duration, Instant};
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let control = SolveControl::new().with_deadline(Instant::now() - Duration::from_millis(1));
+        let mut arena = PivotArena::new();
+        let out = solve_stgq_controlled(
+            &fg,
+            &cals,
+            &query,
+            &SelectConfig::default(),
+            &mut arena,
+            Some(&control),
+        );
+        assert!(out.stats.cancelled);
+        assert_eq!(out.stats.frames, 0);
+    }
+
+    #[test]
+    fn uncancelled_control_is_transparent() {
+        use crate::{CancelToken, SolveControl};
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let control = SolveControl::new().with_cancel(CancelToken::new());
+        let mut arena = PivotArena::new();
+        let controlled = solve_stgq_controlled(
+            &fg,
+            &cals,
+            &query,
+            &SelectConfig::default(),
+            &mut arena,
+            Some(&control),
+        );
+        let plain = solve_stgq_on(&fg, &cals, &query, &SelectConfig::default());
+        assert_eq!(controlled, plain, "a quiet control changes nothing");
+        assert!(!controlled.stats.cancelled);
     }
 
     #[test]

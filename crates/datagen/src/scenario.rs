@@ -1,5 +1,6 @@
 //! One-stop dataset assemblies for the harness, examples and tests.
 
+use stgq_graph::{Dist, GraphBuilder};
 use stgq_schedule::TimeGrid;
 
 use crate::coauthor::{coauthor_graph, CoauthorConfig};
@@ -39,6 +40,38 @@ pub fn synthetic_coauthor(n: usize, days: usize, seed: u64) -> Dataset {
     ds
 }
 
+/// The paper-shaped community dataset with **coarse-grained distances**:
+/// every edge weight is quantized onto `levels` rungs (hop-count-like
+/// values `1..=levels`), so equal-distance ties in the engines' access
+/// order are the norm rather than the exception.
+///
+/// The continuous-ish weights of [`real_analog_194`] leave almost no
+/// equal-distance ties after eligibility clipping, which makes the
+/// `availability_ordering` tie-break unobservable on fig1f-style runs;
+/// real deployments often *only* have a handful of distance values
+/// (hop counts, coarse closeness buckets). This scenario makes the
+/// tie-break (and any tie-sensitive ordering logic) actually fire in
+/// benches and tests.
+pub fn coarse_distance_analog(days: usize, seed: u64, levels: Dist) -> Dataset {
+    let levels = levels.max(1);
+    let base = real_analog_194(days, seed);
+    let max_weight = base.graph.edges().map(|e| e.weight).max().unwrap_or(1);
+    let mut b = GraphBuilder::new(base.graph.node_count());
+    for e in base.graph.edges() {
+        // Bucket the weight range onto 1..=levels, preserving order
+        // coarsely: equal buckets become genuine ties.
+        let rung = 1 + (e.weight - 1) * levels / max_weight;
+        b.add_edge(e.a, e.b, rung.min(levels)).unwrap();
+    }
+    let ds = Dataset {
+        graph: b.build(),
+        calendars: base.calendars,
+        grid: base.grid,
+    };
+    debug_assert!(ds.check());
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +103,41 @@ mod tests {
             b.graph.edges().collect::<Vec<_>>()
         );
         assert_eq!(a.calendars, b.calendars);
+    }
+
+    #[test]
+    fn coarse_distances_have_few_levels_and_many_ties() {
+        use std::collections::BTreeMap;
+        let fine = real_analog_194(2, 9);
+        let ds = coarse_distance_analog(2, 9, 3);
+        assert_eq!(ds.graph.node_count(), fine.graph.node_count());
+        assert_eq!(ds.graph.edges().count(), fine.graph.edges().count());
+        assert_eq!(ds.calendars, fine.calendars, "schedules are untouched");
+
+        let mut histogram: BTreeMap<u64, usize> = BTreeMap::new();
+        for e in ds.graph.edges() {
+            assert!((1..=3).contains(&e.weight));
+            *histogram.entry(e.weight).or_default() += 1;
+        }
+        assert!(
+            histogram.len() >= 2,
+            "quantization must keep at least two rungs, got {histogram:?}"
+        );
+        let edges = ds.graph.edges().count();
+        assert!(
+            histogram.values().max().unwrap() * 2 > edges / 2,
+            "coarse rungs must create massive tie groups"
+        );
+    }
+
+    #[test]
+    fn coarse_distances_are_reproducible() {
+        let a = coarse_distance_analog(1, 5, 4);
+        let b = coarse_distance_analog(1, 5, 4);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,208 @@
+//! The shard-partitioned feasible-graph cache.
+//!
+//! Radius-graph extraction (§3.2.1) is the per-query fixed cost every
+//! engine pays; for a service handling repeated queries from the same
+//! initiators it is also the most cacheable: the feasible graph depends
+//! only on the social graph, never on calendars, `p`, `k` or `m`.
+//! (Moved here from `stgq-service` — the cache is execution policy.)
+//!
+//! The cache is partitioned by **initiator shard** — the same partition
+//! the batch scheduler groups jobs by — so concurrent workers touching
+//! different shards never contend on one lock, and a shard job's
+//! back-to-back same-initiator queries hit a warm shard.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stgq_graph::{FeasibleGraph, NodeId, SocialGraph};
+
+/// A bounded FIFO cache of feasible graphs keyed by `(initiator, s)`,
+/// each entry stamped with the graph version it was built from.
+#[derive(Debug)]
+pub(crate) struct FeasibleCache {
+    entries: HashMap<(u32, usize), Entry>,
+    insertion_order: VecDeque<(u32, usize)>,
+    capacity: usize,
+    pub(crate) hits: u64,
+    pub(crate) misses: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    version: u64,
+    fg: Arc<FeasibleGraph>,
+}
+
+impl FeasibleCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        FeasibleCache {
+            entries: HashMap::new(),
+            insertion_order: VecDeque::new(),
+            capacity: capacity.max(1),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up `(initiator, s)` at `version`; stale entries miss (and are
+    /// evicted on replacement).
+    pub(crate) fn get(
+        &mut self,
+        initiator: u32,
+        s: usize,
+        version: u64,
+    ) -> Option<Arc<FeasibleGraph>> {
+        match self.entries.get(&(initiator, s)) {
+            Some(e) if e.version == version => {
+                self.hits += 1;
+                Some(Arc::clone(&e.fg))
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert a freshly-built graph, evicting the oldest entry at capacity.
+    pub(crate) fn put(&mut self, initiator: u32, s: usize, version: u64, fg: Arc<FeasibleGraph>) {
+        let key = (initiator, s);
+        if self.entries.insert(key, Entry { version, fg }).is_none() {
+            self.insertion_order.push_back(key);
+            if self.insertion_order.len() > self.capacity {
+                if let Some(oldest) = self.insertion_order.pop_front() {
+                    self.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// [`FeasibleCache`] partitioned by initiator shard.
+pub(crate) struct ShardedFeasibleCache {
+    shards: Vec<Mutex<FeasibleCache>>,
+}
+
+impl ShardedFeasibleCache {
+    /// `shards` caches splitting `capacity` entries between them.
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = capacity.div_ceil(shards);
+        ShardedFeasibleCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(FeasibleCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// The shard owning `initiator` (the batch scheduler must use the
+    /// same mapping).
+    pub(crate) fn shard_of(&self, initiator: NodeId) -> usize {
+        initiator.0 as usize % self.shards.len()
+    }
+
+    /// The feasible graph for `(initiator, s)` on `graph` at `version`,
+    /// extracting (and caching) on miss. Returns the graph and whether it
+    /// was a hit. Extraction happens outside the shard lock.
+    pub(crate) fn get_or_extract(
+        &self,
+        graph: &SocialGraph,
+        initiator: NodeId,
+        s: usize,
+        version: u64,
+    ) -> (Arc<FeasibleGraph>, bool) {
+        let shard = &self.shards[self.shard_of(initiator)];
+        if let Some(fg) = shard.lock().get(initiator.0, s, version) {
+            return (fg, true);
+        }
+        let fg = Arc::new(FeasibleGraph::extract(graph, initiator, s));
+        shard.lock().put(initiator.0, s, version, Arc::clone(&fg));
+        (fg, false)
+    }
+
+    /// Aggregate `(hits, misses, cached_graphs)` over every shard.
+    pub(crate) fn stats(&self) -> (u64, u64, usize) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut len = 0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            hits += guard.hits;
+            misses += guard.misses;
+            len += guard.len();
+        }
+        (hits, misses, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::GraphBuilder;
+
+    fn fg() -> Arc<FeasibleGraph> {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        Arc::new(FeasibleGraph::extract(&b.build(), NodeId(0), 1))
+    }
+
+    #[test]
+    fn hit_requires_matching_version() {
+        let mut c = FeasibleCache::new(4);
+        c.put(0, 1, 7, fg());
+        assert!(c.get(0, 1, 7).is_some());
+        assert!(c.get(0, 1, 8).is_none(), "stale version must miss");
+        assert!(c.get(1, 1, 7).is_none(), "different initiator must miss");
+        assert_eq!((c.hits, c.misses), (1, 2));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_key() {
+        let mut c = FeasibleCache::new(2);
+        c.put(0, 1, 1, fg());
+        c.put(1, 1, 1, fg());
+        c.put(2, 1, 1, fg());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, 1, 1).is_none(), "oldest key evicted");
+        assert!(c.get(2, 1, 1).is_some());
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_grow_the_order_queue() {
+        let mut c = FeasibleCache::new(2);
+        for version in 0..10 {
+            c.put(0, 1, version, fg());
+        }
+        c.put(1, 1, 0, fg());
+        assert_eq!(c.len(), 2);
+        assert!(c.get(0, 1, 9).is_some());
+    }
+
+    #[test]
+    fn sharded_cache_partitions_by_initiator() {
+        let mut b = GraphBuilder::new(6);
+        for v in 1..6u32 {
+            b.add_edge(NodeId(0), NodeId(v), v.into()).unwrap();
+        }
+        b.add_edge(NodeId(1), NodeId(3), 2).unwrap();
+        let g = b.build();
+        let cache = ShardedFeasibleCache::new(4, 8);
+        assert_ne!(cache.shard_of(NodeId(0)), cache.shard_of(NodeId(1)));
+
+        let (_, hit) = cache.get_or_extract(&g, NodeId(0), 1, 3);
+        assert!(!hit);
+        let (_, hit) = cache.get_or_extract(&g, NodeId(0), 1, 3);
+        assert!(hit);
+        let (_, hit) = cache.get_or_extract(&g, NodeId(0), 1, 4);
+        assert!(!hit, "new version misses");
+        let (hits, misses, len) = cache.stats();
+        assert_eq!((hits, misses), (1, 2));
+        assert_eq!(len, 1, "same key replaced in place");
+    }
+}

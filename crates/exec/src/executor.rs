@@ -1,0 +1,499 @@
+//! The executor front end: admission, shard-batched draining, snapshot
+//! publication, metrics.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stgq_core::{PivotArena, SelectConfig};
+use stgq_graph::SocialGraph;
+use stgq_schedule::Calendar;
+
+use crate::cache::ShardedFeasibleCache;
+use crate::metrics::{ExecCounters, ExecMetrics};
+use crate::queue::{JobQueue, Ticket, TicketSlot};
+use crate::request::{ExecError, PlanOutcome, PlanRequest};
+use crate::snapshot::{SnapshotCell, WorldSnapshot};
+use crate::worker::{run_entry, run_job, ExecShared, Job, Pending, WorkerPool};
+
+/// Construction-time knobs for an [`Executor`].
+#[derive(Clone, Copy, Debug)]
+pub struct ExecConfig {
+    /// Fixed worker-pool size; `0` means all available parallelism.
+    pub workers: usize,
+    /// Initiator-shard count: the modulus partitioning both the
+    /// feasible-graph cache and the batch scheduler's job grouping.
+    pub shards: usize,
+    /// Auto-flush threshold: the admission queue drains itself once this
+    /// many entries are waiting (an explicit [`Executor::flush`] drains
+    /// earlier). There is no timer — draining is deterministic.
+    pub max_batch: usize,
+    /// Total feasible-graph cache capacity, split across shards.
+    pub cache_capacity: usize,
+    /// Engine configuration queries run with (replaceable at runtime via
+    /// [`Executor::set_select_config`]).
+    pub select: SelectConfig,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            workers: 0,
+            shards: 16,
+            max_batch: 64,
+            cache_capacity: 256,
+            select: SelectConfig::default(),
+        }
+    }
+}
+
+/// The sharded, batched query-execution subsystem. See the crate docs
+/// for the architecture (admission → shard batching → worker pool →
+/// snapshot read path).
+pub struct Executor {
+    shared: Arc<ExecShared>,
+    snapshot: SnapshotCell,
+    select: Mutex<SelectConfig>,
+    admission: Mutex<Vec<Pending>>,
+    /// Donation slot for inline ([`execute_one`](Self::execute_one))
+    /// solves: taken under a short lock, never held across a solve, so
+    /// concurrent inline queries at worst run with a fresh arena.
+    inline_arena: Mutex<PivotArena>,
+    pool: Mutex<WorkerPool>,
+    workers: usize,
+    shards: usize,
+    max_batch: usize,
+}
+
+impl Executor {
+    /// Spawn an executor (and its worker pool) with the given knobs.
+    pub fn new(cfg: ExecConfig) -> Self {
+        let workers = if cfg.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            cfg.workers
+        };
+        let shards = cfg.shards.max(1);
+        let shared = Arc::new(ExecShared {
+            cache: ShardedFeasibleCache::new(shards, cfg.cache_capacity),
+            counters: ExecCounters::default(),
+            jobs: JobQueue::new(),
+        });
+        let pool = WorkerPool::spawn(&shared, workers);
+        Executor {
+            shared,
+            snapshot: SnapshotCell::default(),
+            select: Mutex::new(cfg.select),
+            admission: Mutex::new(Vec::new()),
+            inline_arena: Mutex::new(PivotArena::new()),
+            pool: Mutex::new(pool),
+            workers,
+            shards,
+            max_batch: cfg.max_batch.max(1),
+        }
+    }
+
+    // -- snapshots ----------------------------------------------------
+
+    /// Swap in a new world epoch. In-flight solves keep (and finish on)
+    /// the epoch they started with; there is nothing to wait for.
+    pub fn publish_snapshot(&self, snapshot: Arc<WorldSnapshot>) {
+        self.snapshot.publish(snapshot);
+        self.shared
+            .counters
+            .snapshot_publishes
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Convenience [`publish_snapshot`](Self::publish_snapshot) from
+    /// parts.
+    pub fn publish(
+        &self,
+        graph: Arc<SocialGraph>,
+        calendars: Arc<Vec<Calendar>>,
+        graph_version: u64,
+        calendar_version: u64,
+    ) {
+        self.publish_snapshot(Arc::new(WorldSnapshot {
+            graph,
+            calendars,
+            graph_version,
+            calendar_version,
+        }));
+    }
+
+    /// The current epoch, if one has been published.
+    pub fn snapshot(&self) -> Option<Arc<WorldSnapshot>> {
+        self.snapshot.current()
+    }
+
+    /// The `(graph_version, calendar_version)` stamp of the current
+    /// epoch — what a façade compares against its mutable state to decide
+    /// whether to publish.
+    pub fn snapshot_versions(&self) -> Option<(u64, u64)> {
+        self.snapshot.versions()
+    }
+
+    // -- configuration ------------------------------------------------
+
+    /// The engine configuration queries run with.
+    pub fn select_config(&self) -> SelectConfig {
+        *self.select.lock()
+    }
+
+    /// Replace the engine configuration for subsequently drained batches
+    /// and inline queries. Exactness is config-independent; only search
+    /// effort changes.
+    pub fn set_select_config(&self, cfg: SelectConfig) {
+        *self.select.lock() = cfg;
+    }
+
+    /// Fixed worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Initiator-shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    // -- execution ----------------------------------------------------
+
+    /// Admit one request; returns a [`Ticket`] for its eventual outcome.
+    /// The request executes when the admission queue drains — at
+    /// `max_batch` entries, on [`flush`](Self::flush), or inside
+    /// [`execute_batch`](Self::execute_batch).
+    pub fn submit(&self, request: PlanRequest) -> Ticket {
+        let slot = Arc::new(TicketSlot::new());
+        let pending = Pending {
+            request,
+            ticket: Arc::clone(&slot),
+        };
+        let drained = {
+            let mut admission = self.admission.lock();
+            admission.push(pending);
+            (admission.len() >= self.max_batch).then(|| std::mem::take(&mut *admission))
+        };
+        if let Some(batch) = drained {
+            self.dispatch(batch);
+        }
+        Ticket { slot }
+    }
+
+    /// Drain the admission queue now: group waiting entries by initiator
+    /// shard and hand the per-shard jobs to the worker pool.
+    pub fn flush(&self) {
+        let batch = std::mem::take(&mut *self.admission.lock());
+        if !batch.is_empty() {
+            self.dispatch(batch);
+        }
+    }
+
+    /// Group a drained batch by initiator shard (stable within a shard:
+    /// submission order is preserved, which request collapsing and the
+    /// determinism tests rely on) and enqueue the jobs.
+    fn dispatch(&self, batch: Vec<Pending>) {
+        let Some(snapshot) = self.snapshot.current() else {
+            for entry in batch {
+                entry.ticket.fulfill(Err(ExecError::NoSnapshot));
+            }
+            return;
+        };
+        let select = *self.select.lock();
+        let mut by_shard: Vec<Vec<Pending>> = Vec::new();
+        by_shard.resize_with(self.shards, Vec::new);
+        for entry in batch {
+            let shard = entry.request.initiator.0 as usize % self.shards;
+            by_shard[shard].push(entry);
+        }
+        for entries in by_shard.into_iter().filter(|e| !e.is_empty()) {
+            let job = Job {
+                snapshot: Arc::clone(&snapshot),
+                select,
+                entries,
+            };
+            // The queue only closes in `Drop`, which holds `&mut self` —
+            // no `&self` dispatch can race it.
+            let accepted = self.shared.jobs.push(job);
+            debug_assert!(accepted, "dispatch cannot race shutdown");
+        }
+    }
+
+    /// Answer one request inline on the calling thread, against the
+    /// current epoch. This is the low-latency single-query path (no
+    /// admission, no handoff); it still shares the feasible-graph cache,
+    /// counters and configuration with the batched path.
+    pub fn execute_one(&self, request: PlanRequest) -> Result<PlanOutcome, ExecError> {
+        let snapshot = self.snapshot.current().ok_or(ExecError::NoSnapshot)?;
+        let select = *self.select.lock();
+        let mut arena = std::mem::take(&mut *self.inline_arena.lock());
+        let result = run_entry(&self.shared, &mut arena, &snapshot, &select, &request);
+        *self.inline_arena.lock() = arena;
+        result
+    }
+
+    /// Submit a whole batch, drain it, help the worker pool execute it,
+    /// and wait for every outcome (in input order).
+    ///
+    /// The calling thread does not idle while the pool works: it pops
+    /// shard jobs from the same queue the workers block on, so a
+    /// single-core host (or a pool busy with another batch) never
+    /// serialises behind a sleeping caller.
+    pub fn execute_batch(&self, requests: Vec<PlanRequest>) -> Vec<Result<PlanOutcome, ExecError>> {
+        let tickets: Vec<Ticket> = requests.into_iter().map(|r| self.submit(r)).collect();
+        self.flush();
+        // Help drain: steal whole shard jobs onto this thread.
+        let mut arena = std::mem::take(&mut *self.inline_arena.lock());
+        while let Some(job) = self.shared.jobs.try_pop() {
+            run_job(&self.shared, &mut arena, job);
+        }
+        *self.inline_arena.lock() = arena;
+        tickets.into_iter().map(Ticket::wait).collect()
+    }
+
+    // -- observability ------------------------------------------------
+
+    /// Point-in-time counters.
+    pub fn metrics(&self) -> ExecMetrics {
+        let c = &self.shared.counters;
+        let (hits, misses, cached) = self.shared.cache.stats();
+        ExecMetrics {
+            queries: c.queries.load(Ordering::Relaxed),
+            shard_jobs: c.shard_jobs.load(Ordering::Relaxed),
+            batched_entries: c.batched_entries.load(Ordering::Relaxed),
+            collapsed_entries: c.collapsed_entries.load(Ordering::Relaxed),
+            cancelled: c.cancelled.load(Ordering::Relaxed),
+            feasible_cache_hits: hits,
+            feasible_cache_misses: misses,
+            cached_feasible_graphs: cached,
+            snapshot_publishes: c.snapshot_publishes.load(Ordering::Relaxed),
+            frames_examined: c.frames_examined.load(Ordering::Relaxed),
+            frames_pruned_by_bound: c.frames_pruned_by_bound.load(Ordering::Relaxed),
+            pivots_skipped: c.pivots_skipped.load(Ordering::Relaxed),
+            workers: self.workers,
+            shards: self.shards,
+        }
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // Resolve anything still admitted but never drained, then release
+        // the workers.
+        let batch = std::mem::take(&mut *self.admission.lock());
+        for entry in batch {
+            entry.ticket.fulfill(Err(ExecError::ShuttingDown));
+        }
+        self.pool.lock().shutdown(&self.shared);
+    }
+}
+
+// The service wraps a `Planner` holding an `Executor` in
+// `Arc<RwLock<…>>`; keep the handles thread-mobile by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Executor>();
+    assert_send_sync::<PlanOutcome>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_core::{CancelToken, SgqQuery, StgqQuery};
+    use stgq_graph::{GraphBuilder, NodeId};
+    use stgq_schedule::SlotRange;
+
+    use crate::request::QuerySpec;
+    use crate::Engine;
+
+    /// A 6-person world: triangle 0-1-2 close together, 3-4 further out,
+    /// 5 isolated; everyone free on slots 2..=9 of a 12-slot horizon.
+    fn world() -> Arc<WorldSnapshot> {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(3), 8).unwrap();
+        b.add_edge(NodeId(3), NodeId(4), 2).unwrap();
+        let mut cal = Calendar::new(12);
+        cal.set_range(SlotRange::new(2, 9), true);
+        Arc::new(WorldSnapshot {
+            graph: Arc::new(b.build()),
+            calendars: Arc::new(vec![cal; 6]),
+            graph_version: 1,
+            calendar_version: 1,
+        })
+    }
+
+    fn executor(workers: usize) -> Executor {
+        let exec = Executor::new(ExecConfig {
+            workers,
+            shards: 4,
+            max_batch: 64,
+            cache_capacity: 32,
+            select: SelectConfig::default(),
+        });
+        exec.publish_snapshot(world());
+        exec
+    }
+
+    #[test]
+    fn no_snapshot_is_an_error_not_a_hang() {
+        let exec = Executor::new(ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        });
+        let req = PlanRequest::new(
+            NodeId(0),
+            QuerySpec::Sgq(SgqQuery::new(3, 1, 0).unwrap()),
+            Engine::Exact,
+        );
+        assert_eq!(exec.execute_one(req.clone()), Err(ExecError::NoSnapshot));
+        let results = exec.execute_batch(vec![req]);
+        assert_eq!(results, vec![Err(ExecError::NoSnapshot)]);
+    }
+
+    #[test]
+    fn inline_and_batched_agree() {
+        let exec = executor(2);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let stgq = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let reqs: Vec<PlanRequest> = vec![
+            PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact),
+            PlanRequest::new(NodeId(0), QuerySpec::Stgq(stgq), Engine::Exact),
+            PlanRequest::new(
+                NodeId(1),
+                QuerySpec::Sgq(sgq),
+                Engine::Greedy { restarts: 2 },
+            ),
+        ];
+        let inline: Vec<_> = reqs
+            .iter()
+            .map(|r| exec.execute_one(r.clone()).unwrap())
+            .collect();
+        let batched = exec.execute_batch(reqs);
+        for (a, b) in inline.iter().zip(&batched) {
+            let b = b.as_ref().unwrap();
+            assert_eq!(a.outcome.objective(), b.outcome.objective());
+            assert_eq!(a.exact, b.exact);
+        }
+        assert_eq!(inline[0].outcome.objective(), Some(5));
+        assert!(inline[0].exact);
+        assert!(!batched[2].as_ref().unwrap().exact, "greedy is never exact");
+    }
+
+    #[test]
+    fn batch_collapses_identical_entries() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let req = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+        let results = exec.execute_batch(vec![req.clone(), req.clone(), req]);
+        let outcomes: Vec<_> = results.into_iter().map(Result::unwrap).collect();
+        assert!(outcomes.iter().all(|o| o.outcome.objective() == Some(5)));
+        assert_eq!(outcomes.iter().filter(|o| o.collapsed).count(), 2);
+        assert_eq!(exec.metrics().collapsed_entries, 2);
+        assert_eq!(exec.metrics().queries, 3, "collapsed entries still count");
+    }
+
+    #[test]
+    fn entries_with_controls_are_never_collapsed() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let plain = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+        let tokened = plain.clone().with_cancel(CancelToken::new());
+        let results = exec.execute_batch(vec![plain, tokened]);
+        assert!(results.iter().all(|r| r.is_ok()));
+        assert_eq!(exec.metrics().collapsed_entries, 0);
+    }
+
+    #[test]
+    fn publish_does_not_disturb_running_epochs() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let before = exec
+            .execute_one(PlanRequest::new(
+                NodeId(0),
+                QuerySpec::Sgq(sgq),
+                Engine::Exact,
+            ))
+            .unwrap();
+        // New epoch: vertex 0 gets a cheaper friend.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
+        b.add_edge(NodeId(0), NodeId(4), 1).unwrap();
+        b.add_edge(NodeId(1), NodeId(4), 1).unwrap();
+        let snap = world();
+        exec.publish(Arc::new(b.build()), Arc::clone(&snap.calendars), 2, 1);
+        let after = exec
+            .execute_one(PlanRequest::new(
+                NodeId(0),
+                QuerySpec::Sgq(sgq),
+                Engine::Exact,
+            ))
+            .unwrap();
+        assert_eq!(before.outcome.objective(), Some(5));
+        // New epoch: {0, 1, 4} is fully acquainted at distance 2 + 1.
+        assert_eq!(after.outcome.objective(), Some(3), "new epoch, new answer");
+        assert_eq!(exec.metrics().snapshot_publishes, 2);
+    }
+
+    #[test]
+    fn out_of_range_initiator_is_rejected_per_entry() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(2, 1, 1).unwrap();
+        let good = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+        let bad = PlanRequest::new(NodeId(77), QuerySpec::Sgq(sgq), Engine::Exact);
+        let results = exec.execute_batch(vec![good, bad]);
+        assert!(results[0].is_ok());
+        assert!(matches!(
+            results[1],
+            Err(ExecError::InitiatorOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn auto_flush_fires_at_max_batch() {
+        let exec = Executor::new(ExecConfig {
+            workers: 1,
+            shards: 2,
+            max_batch: 2,
+            cache_capacity: 8,
+            select: SelectConfig::default(),
+        });
+        exec.publish_snapshot(world());
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let t1 = exec.submit(PlanRequest::new(
+            NodeId(0),
+            QuerySpec::Sgq(sgq),
+            Engine::Exact,
+        ));
+        let t2 = exec.submit(PlanRequest::new(
+            NodeId(1),
+            QuerySpec::Sgq(sgq),
+            Engine::Exact,
+        ));
+        // No explicit flush: max_batch = 2 drained the queue on the
+        // second submit, so both tickets resolve.
+        assert!(t1.wait().is_ok());
+        assert!(t2.wait().is_ok());
+        assert!(exec.metrics().shard_jobs >= 1);
+    }
+
+    #[test]
+    fn dropping_the_executor_resolves_admitted_tickets() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let ticket = exec.submit(PlanRequest::new(
+            NodeId(0),
+            QuerySpec::Sgq(sgq),
+            Engine::Exact,
+        ));
+        drop(exec);
+        assert_eq!(ticket.wait(), Err(ExecError::ShuttingDown));
+    }
+}

@@ -1,0 +1,71 @@
+//! Executor counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stgq_core::SearchStats;
+
+/// Point-in-time view of the executor's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecMetrics {
+    /// Queries executed (collapsed entries included — every answered
+    /// ticket counts).
+    pub queries: u64,
+    /// Shard jobs drained from the admission queue.
+    pub shard_jobs: u64,
+    /// Entries that went through the batched path (admitted + drained, as
+    /// opposed to [`Executor::execute_one`](crate::Executor::execute_one)
+    /// inline calls).
+    pub batched_entries: u64,
+    /// Batched entries answered by cloning an identical same-job entry's
+    /// result instead of solving again (request collapsing).
+    pub collapsed_entries: u64,
+    /// Solves stopped by cancellation or deadline.
+    pub cancelled: u64,
+    /// Feasible-graph cache hits, over every shard.
+    pub feasible_cache_hits: u64,
+    /// Feasible-graph cache misses (each triggered an extraction).
+    pub feasible_cache_misses: u64,
+    /// Feasible graphs currently cached, over every shard.
+    pub cached_feasible_graphs: usize,
+    /// World snapshots published into the epoch cell.
+    pub snapshot_publishes: u64,
+    /// Search frames examined by exact engines, summed over all queries.
+    pub frames_examined: u64,
+    /// Frames abandoned by the incumbent distance bound (Lemma 2).
+    pub frames_pruned_by_bound: u64,
+    /// Whole pivots skipped by the pivot-granularity distance bound.
+    pub pivots_skipped: u64,
+    /// Fixed worker-pool size.
+    pub workers: usize,
+    /// Initiator-shard count (cache partitions = batch groups).
+    pub shards: usize,
+}
+
+/// The live (atomic) side of [`ExecMetrics`].
+#[derive(Default)]
+pub(crate) struct ExecCounters {
+    pub(crate) queries: AtomicU64,
+    pub(crate) shard_jobs: AtomicU64,
+    pub(crate) batched_entries: AtomicU64,
+    pub(crate) collapsed_entries: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) snapshot_publishes: AtomicU64,
+    pub(crate) frames_examined: AtomicU64,
+    pub(crate) frames_pruned_by_bound: AtomicU64,
+    pub(crate) pivots_skipped: AtomicU64,
+}
+
+impl ExecCounters {
+    /// Fold an exact engine's search counters into the totals.
+    pub(crate) fn note_search(&self, stats: &SearchStats) {
+        self.frames_examined
+            .fetch_add(stats.frames_examined(), Ordering::Relaxed);
+        self.frames_pruned_by_bound
+            .fetch_add(stats.frames_pruned_by_bound(), Ordering::Relaxed);
+        self.pivots_skipped
+            .fetch_add(stats.pivots_skipped, Ordering::Relaxed);
+        if stats.cancelled {
+            self.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Request and response envelopes for the executor.
+
+use std::time::{Duration, Instant};
+
+use stgq_core::{CancelToken, SgqQuery, SolveOutcome, StgqQuery, StopCause};
+use stgq_graph::NodeId;
+
+use crate::engine::Engine;
+
+/// Either kind of planning query, uniformly submittable to the executor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QuerySpec {
+    /// A social-only group query.
+    Sgq(SgqQuery),
+    /// A social-temporal group query.
+    Stgq(StgqQuery),
+}
+
+impl QuerySpec {
+    /// The social radius `s` (shared by both query kinds; it keys the
+    /// feasible-graph cache together with the initiator).
+    pub fn s(&self) -> usize {
+        match self {
+            QuerySpec::Sgq(q) => q.s(),
+            QuerySpec::Stgq(q) => q.s(),
+        }
+    }
+
+    /// Whether this is the temporal variant.
+    pub fn is_stgq(&self) -> bool {
+        matches!(self, QuerySpec::Stgq(_))
+    }
+}
+
+/// One query admitted to the executor.
+#[derive(Clone, Debug)]
+pub struct PlanRequest {
+    /// Who is asking (the query's `q` vertex).
+    pub initiator: NodeId,
+    /// What is being asked.
+    pub spec: QuerySpec,
+    /// Which solver answers it.
+    pub engine: Engine,
+    /// Optional wall-clock deadline: the solve stops cooperatively at the
+    /// first frame boundary past it and reports
+    /// [`StopCause::Cancelled`].
+    pub deadline: Option<Instant>,
+    /// Optional cancellation token shared with the caller.
+    pub cancel: Option<CancelToken>,
+}
+
+impl PlanRequest {
+    /// A request with no deadline and no cancellation token.
+    pub fn new(initiator: NodeId, spec: QuerySpec, engine: Engine) -> Self {
+        PlanRequest {
+            initiator,
+            spec,
+            engine,
+            deadline: None,
+            cancel: None,
+        }
+    }
+
+    /// This request with a wall-clock deadline attached.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// This request with a cancellation token attached.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Whether this entry may be answered by another identical entry's
+    /// solve within the same batch (request collapsing). Entries with a
+    /// deadline or token are never collapsed — their outcome can depend
+    /// on when/whether they were stopped.
+    pub(crate) fn collapsible(&self) -> bool {
+        self.deadline.is_none() && self.cancel.is_none()
+    }
+
+    /// The collapse identity: same initiator + spec + engine ⇒ same
+    /// deterministic answer on one snapshot.
+    pub(crate) fn collapse_key(&self) -> (u32, QuerySpec, Engine) {
+        (self.initiator.0, self.spec, self.engine)
+    }
+}
+
+/// One executed batch entry: the engine's uniform [`SolveOutcome`] plus
+/// executor provenance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PlanOutcome {
+    /// The solution and its [`stgq_core::SearchStats`].
+    pub outcome: SolveOutcome,
+    /// Feasibility evaluations (heuristic engines only).
+    pub evaluations: Option<u64>,
+    /// Whether the answer is proven optimal / proven infeasible. For the
+    /// exact family this is [`SolveOutcome::exact`] (false when a budget
+    /// or cancellation stopped the search); heuristics are never exact.
+    pub exact: bool,
+    /// Why the solve returned — [`StopCause::FrameBudget`] (anytime
+    /// budget) and [`StopCause::Cancelled`] (deadline/token) are distinct
+    /// by construction, and `exact` is `true` iff this is
+    /// [`StopCause::Completed`] for engines that can prove optimality.
+    pub stop: StopCause,
+    /// The engine that produced it.
+    pub engine: Engine,
+    /// Wall-clock time inside the engine (zero for collapsed entries).
+    pub elapsed: Duration,
+    /// Whether the feasible graph came from the cache.
+    pub feasible_cache_hit: bool,
+    /// Whether this entry was answered by cloning an identical entry's
+    /// result from the same batch instead of solving again.
+    pub collapsed: bool,
+}
+
+/// Why the executor refused (rather than answered) a request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The initiator does not exist in the published snapshot.
+    InitiatorOutOfRange {
+        /// The offending vertex id.
+        initiator: NodeId,
+        /// Vertices in the snapshot.
+        node_count: usize,
+    },
+    /// No [`crate::WorldSnapshot`] has been published yet.
+    NoSnapshot,
+    /// The executor is shutting down and no longer accepts work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::InitiatorOutOfRange {
+                initiator,
+                node_count,
+            } => write!(
+                f,
+                "initiator {} out of range (snapshot has {} vertices)",
+                initiator.0, node_count
+            ),
+            ExecError::NoSnapshot => write!(f, "no world snapshot published"),
+            ExecError::ShuttingDown => write!(f, "executor is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}

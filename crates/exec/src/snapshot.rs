@@ -1,0 +1,90 @@
+//! Epoch-swapped immutable world snapshots.
+//!
+//! The executor's read path never sees mutable state: every solve runs
+//! against a [`WorldSnapshot`] — an `Arc`-shared CSR graph plus calendar
+//! vector, stamped with the versions they were built from. Writers
+//! (the service planner, after a mutation) build a fresh snapshot and
+//! [`publish`](SnapshotCell::publish) it: one `Arc` swap under a short
+//! lock. In-flight solves keep the epoch they started with alive through
+//! their own `Arc` and drop it when done — **writers never block
+//! in-flight solves, and solves never block writers**.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stgq_graph::SocialGraph;
+use stgq_schedule::Calendar;
+
+/// One immutable epoch of the world: the social graph and everyone's
+/// calendar, as of the stamped versions.
+#[derive(Clone, Debug)]
+pub struct WorldSnapshot {
+    /// The CSR social graph.
+    pub graph: Arc<SocialGraph>,
+    /// Per-person calendars, indexed by vertex id.
+    pub calendars: Arc<Vec<Calendar>>,
+    /// The network version this graph was built from (keys the
+    /// feasible-graph cache — calendars never affect social distance).
+    pub graph_version: u64,
+    /// The calendar-store version these calendars were copied at.
+    pub calendar_version: u64,
+}
+
+/// The executor's current-epoch cell.
+#[derive(Default)]
+pub(crate) struct SnapshotCell {
+    current: Mutex<Option<Arc<WorldSnapshot>>>,
+}
+
+impl SnapshotCell {
+    /// The current epoch, if one has been published.
+    pub(crate) fn current(&self) -> Option<Arc<WorldSnapshot>> {
+        self.current.lock().clone()
+    }
+
+    /// Swap in a new epoch. Readers holding the previous epoch are
+    /// unaffected; the old snapshot is freed when the last of them
+    /// finishes.
+    pub(crate) fn publish(&self, snapshot: Arc<WorldSnapshot>) {
+        *self.current.lock() = Some(snapshot);
+    }
+
+    /// The `(graph_version, calendar_version)` stamp of the current
+    /// epoch.
+    pub(crate) fn versions(&self) -> Option<(u64, u64)> {
+        self.current
+            .lock()
+            .as_ref()
+            .map(|s| (s.graph_version, s.calendar_version))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_graph::{GraphBuilder, NodeId};
+
+    fn snap(gv: u64, cv: u64) -> Arc<WorldSnapshot> {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
+        Arc::new(WorldSnapshot {
+            graph: Arc::new(b.build()),
+            calendars: Arc::new(vec![Calendar::new(4); 2]),
+            graph_version: gv,
+            calendar_version: cv,
+        })
+    }
+
+    #[test]
+    fn publish_swaps_without_touching_held_epochs() {
+        let cell = SnapshotCell::default();
+        assert!(cell.current().is_none());
+        assert_eq!(cell.versions(), None);
+
+        cell.publish(snap(1, 1));
+        let held = cell.current().unwrap();
+        cell.publish(snap(2, 1));
+        assert_eq!(held.graph_version, 1, "in-flight epoch unchanged");
+        assert_eq!(cell.versions(), Some((2, 1)));
+    }
+}

@@ -1,0 +1,183 @@
+//! The fixed worker pool and per-entry execution.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stgq_core::{PivotArena, SelectConfig, SolveControl, StopCause};
+use stgq_schedule::Calendar;
+
+use crate::cache::ShardedFeasibleCache;
+use crate::engine::run_spec;
+use crate::metrics::ExecCounters;
+use crate::queue::{JobQueue, TicketSlot};
+use crate::request::{ExecError, PlanOutcome, PlanRequest, QuerySpec};
+use crate::snapshot::WorldSnapshot;
+
+/// One admitted request awaiting execution.
+pub(crate) struct Pending {
+    pub(crate) request: PlanRequest,
+    pub(crate) ticket: Arc<TicketSlot>,
+}
+
+/// One shard's slice of a drained batch: every entry shares the
+/// initiator shard, the snapshot epoch and the engine configuration.
+pub(crate) struct Job {
+    pub(crate) snapshot: Arc<WorldSnapshot>,
+    pub(crate) select: SelectConfig,
+    pub(crate) entries: Vec<Pending>,
+}
+
+/// State shared by the workers, the executor front end and batch callers
+/// helping to drain.
+pub(crate) struct ExecShared {
+    pub(crate) cache: ShardedFeasibleCache,
+    pub(crate) counters: ExecCounters,
+    pub(crate) jobs: JobQueue<Job>,
+}
+
+/// Execute every entry of one shard job in submission order, fulfilling
+/// tickets as results land. `arena` is the executing thread's pooled
+/// pivot buffers (one per worker — a job re-uses it across all of its
+/// STGQ entries).
+pub(crate) fn run_job(shared: &ExecShared, arena: &mut PivotArena, job: Job) {
+    shared.counters.shard_jobs.fetch_add(1, Ordering::Relaxed);
+    shared
+        .counters
+        .batched_entries
+        .fetch_add(job.entries.len() as u64, Ordering::Relaxed);
+    // Request collapsing: identical entries (same initiator/spec/engine,
+    // no per-entry deadline or token) are deterministic on one snapshot,
+    // so solve the first and clone the outcome to the rest. The scan is
+    // linear in answered-distinct entries — shard jobs are small.
+    let mut solved: Vec<(PlanRequest, PlanOutcome)> = Vec::new();
+    for entry in job.entries {
+        let request = entry.request;
+        if request.collapsible() {
+            if let Some((_, prior)) = solved
+                .iter()
+                .find(|(r, _)| r.collapse_key() == request.collapse_key())
+            {
+                let mut outcome = prior.clone();
+                outcome.collapsed = true;
+                outcome.elapsed = Duration::ZERO;
+                shared
+                    .counters
+                    .collapsed_entries
+                    .fetch_add(1, Ordering::Relaxed);
+                shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                entry.ticket.fulfill(Ok(outcome));
+                continue;
+            }
+        }
+        let result = run_entry(shared, arena, &job.snapshot, &job.select, &request);
+        if let Ok(outcome) = &result {
+            if request.collapsible() {
+                solved.push((request, outcome.clone()));
+            }
+        }
+        entry.ticket.fulfill(result);
+    }
+}
+
+/// Solve one request against one snapshot epoch.
+pub(crate) fn run_entry(
+    shared: &ExecShared,
+    arena: &mut PivotArena,
+    snapshot: &WorldSnapshot,
+    select: &SelectConfig,
+    request: &PlanRequest,
+) -> Result<PlanOutcome, ExecError> {
+    let node_count = snapshot.graph.node_count();
+    if request.initiator.index() >= node_count {
+        return Err(ExecError::InitiatorOutOfRange {
+            initiator: request.initiator,
+            node_count,
+        });
+    }
+    shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    let (fg, feasible_cache_hit) = shared.cache.get_or_extract(
+        &snapshot.graph,
+        request.initiator,
+        request.spec.s(),
+        snapshot.graph_version,
+    );
+
+    let mut control = SolveControl::new();
+    if let Some(deadline) = request.deadline {
+        control = control.with_deadline(deadline);
+    }
+    if let Some(token) = &request.cancel {
+        control = control.with_cancel(token.clone());
+    }
+    let control = (!control.is_noop()).then_some(&control);
+
+    let calendars: &[Calendar] = match &request.spec {
+        QuerySpec::Stgq(_) => &snapshot.calendars,
+        QuerySpec::Sgq(_) => &[],
+    };
+    let start = Instant::now();
+    let (outcome, evaluations) = run_spec(
+        &fg,
+        calendars,
+        &request.spec,
+        request.engine,
+        select,
+        control,
+        arena,
+    );
+    let elapsed = start.elapsed();
+
+    shared.counters.note_search(outcome.stats());
+    let stop = outcome.stop_cause();
+    // Consistency by construction: heuristics never claim exactness, and
+    // the exact family is exact iff nothing (budget *or* cancellation)
+    // stopped the search — `exact` and `stop` cannot disagree.
+    let exact = request.engine.reports_search_stats() && stop == StopCause::Completed;
+    Ok(PlanOutcome {
+        outcome,
+        evaluations,
+        exact,
+        stop,
+        engine: request.engine,
+        elapsed,
+        feasible_cache_hit,
+        collapsed: false,
+    })
+}
+
+/// The fixed worker pool: `workers` threads blocking on the shared job
+/// queue, each owning one [`PivotArena`] for its lifetime.
+pub(crate) struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub(crate) fn spawn(shared: &Arc<ExecShared>, workers: usize) -> Self {
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(shared);
+                std::thread::Builder::new()
+                    .name(format!("stgq-exec-{i}"))
+                    .spawn(move || {
+                        let mut arena = PivotArena::new();
+                        while let Some(job) = shared.jobs.pop_blocking() {
+                            run_job(&shared, &mut arena, job);
+                        }
+                    })
+                    .expect("spawning an executor worker")
+            })
+            .collect();
+        WorkerPool { handles }
+    }
+
+    /// Close the queue and join every worker (idempotent on the queue
+    /// side; called from the executor's `Drop`).
+    pub(crate) fn shutdown(&mut self, shared: &ExecShared) {
+        shared.jobs.close();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}

@@ -39,6 +39,15 @@ pub enum ServiceError {
     },
     /// The underlying query engine rejected the inputs.
     Query(QueryError),
+    /// The execution subsystem refused the request for an
+    /// infrastructure reason (no published snapshot, shutdown in
+    /// progress). The planner façade keeps these states unreachable on
+    /// its own paths — seeing this error means the executor was driven
+    /// directly in an unexpected state.
+    ExecutorUnavailable {
+        /// The executor's own description of the condition.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -66,6 +75,9 @@ impl fmt::Display for ServiceError {
                 write!(f, "slot {slot} outside horizon {horizon}")
             }
             ServiceError::Query(e) => write!(f, "query error: {e}"),
+            ServiceError::ExecutorUnavailable { reason } => {
+                write!(f, "executor unavailable: {reason}")
+            }
         }
     }
 }

@@ -10,12 +10,18 @@
 //!   connect/disconnect, re-weight) with a monotone version counter;
 //! * [`CalendarStore`] — per-person availability over a shared slot
 //!   horizon, updatable slot-by-slot or in ranges;
-//! * [`Planner`] — the query front end: immutable CSR snapshots and
-//!   per-`(initiator, s)` feasible graphs are cached and invalidated by
-//!   version, engines are selectable per query ([`Engine`]: exact,
-//!   parallel, anytime, greedy, local search), and every answer carries
-//!   provenance ([`SgqReport`]/[`StgqReport`]: engine, wall time, cache
-//!   hit, exactness);
+//! * [`Planner`] — the query front end, since the `stgq-exec`
+//!   extraction a **thin façade** over the execution subsystem: the
+//!   planner owns the mutable world and publishes immutable epoch
+//!   snapshots into an [`Executor`](stgq_exec::Executor), which owns the
+//!   shard-partitioned feasible-graph cache, engine dispatch
+//!   ([`Engine`]: exact, parallel, anytime, greedy, local search), the
+//!   admission queue + batch scheduler + fixed worker pool, and the
+//!   execution counters. Every answer carries provenance
+//!   ([`SgqReport`]/[`StgqReport`]: engine, wall time, cache hit,
+//!   exactness), single queries run inline, and
+//!   [`Planner::plan_batch`] drains mixed SGQ/STGQ batches through the
+//!   pool with request collapsing;
 //! * [`SharedPlanner`] — a cheaply-cloneable thread-safe handle
 //!   (`Arc<RwLock>`): concurrent planning reads, exclusive mutation
 //!   writes.
@@ -46,7 +52,6 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-mod cache;
 mod calendars;
 mod error;
 mod network;
@@ -56,5 +61,9 @@ mod shared;
 pub use calendars::CalendarStore;
 pub use error::ServiceError;
 pub use network::MutableNetwork;
-pub use planner::{Engine, MetricsSnapshot, Planner, SgqReport, StgqReport};
+pub use planner::{BatchQuery, MetricsSnapshot, PlanReply, Planner, SgqReport, StgqReport};
 pub use shared::SharedPlanner;
+// Execution-subsystem vocabulary, re-exported so existing callers (and
+// downstream code that only wants the service surface) keep one import
+// path. `Engine` lived here before the `stgq-exec` extraction.
+pub use stgq_exec::{Engine, ExecConfig, ExecMetrics, QuerySpec};

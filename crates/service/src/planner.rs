@@ -1,55 +1,38 @@
-//! The query front end: caching, engine dispatch, provenance.
+//! The query front end — since the `stgq-exec` extraction, a **thin
+//! façade** over the execution subsystem.
+//!
+//! The planner owns the *mutable* world (the [`MutableNetwork`] and the
+//! [`CalendarStore`]) and an [`Executor`] owning everything about
+//! *answering* queries: the epoch-swapped immutable snapshots, the
+//! shard-partitioned feasible-graph cache, engine dispatch, the
+//! admission queue + batch scheduler + fixed worker pool, and the
+//! execution counters. Mutations stay planner methods (`&mut self`,
+//! version-bumping); before any query the planner compares the mutable
+//! versions against the executor's published epoch and republishes on
+//! drift — an `Arc` swap that never blocks in-flight solves.
+//!
+//! Single queries ([`plan_sgq`](Planner::plan_sgq) /
+//! [`plan_stgq`](Planner::plan_stgq)) run inline on the caller's thread
+//! (low latency, shared caches); batches
+//! ([`plan_batch`](Planner::plan_batch)) go through admission → shard
+//! batching → the worker pool, where identical entries are collapsed
+//! and same-initiator entries share cache locality.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use stgq_core::heuristics::{
-    greedy_sgq_on, greedy_stgq_on, local_search_sgq_on, local_search_stgq_on,
-};
 use stgq_core::{
-    solve_sgq_on, solve_sgq_parallel_on, solve_stgq_parallel_on, solve_stgq_pooled, PivotArena,
-    SearchStats, SelectConfig, SgqQuery, SgqSolution, StgqQuery, StgqSolution,
+    SearchStats, SelectConfig, SgqQuery, SgqSolution, SolveOutcome, StgqQuery, StgqSolution,
 };
-use stgq_graph::{Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_exec::{
+    Engine, ExecConfig, ExecError, ExecMetrics, Executor, PlanOutcome, PlanRequest, QuerySpec,
+    WorldSnapshot,
+};
+use stgq_graph::{Dist, NodeId, SocialGraph};
 use stgq_schedule::{Calendar, SlotRange};
 
-use crate::cache::FeasibleCache;
 use crate::{CalendarStore, MutableNetwork, ServiceError};
-
-/// Which solver answers a planning query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum Engine {
-    /// Sequential SGSelect / STGSelect — proven optimal.
-    Exact,
-    /// Parallel SGSelect / STGSelect — proven optimal, `threads` workers
-    /// (`0` = all cores).
-    ExactParallel {
-        /// Worker count; `0` means all available parallelism.
-        threads: usize,
-    },
-    /// Budgeted SGSelect / STGSelect: returns the incumbent after at most
-    /// `frame_budget` search frames. The report's `exact` flag tells
-    /// whether the search actually finished.
-    Anytime {
-        /// Maximum search frames before returning the incumbent.
-        frame_budget: u64,
-    },
-    /// Greedy construction with restarts — fast, feasible, no optimality
-    /// guarantee.
-    Greedy {
-        /// Forced-first-pick restarts (1 = plain greedy).
-        restarts: usize,
-    },
-    /// Greedy plus first-improvement swap descent.
-    LocalSearch {
-        /// Forced-first-pick restarts.
-        restarts: usize,
-        /// Improvement sweeps.
-        passes: usize,
-    },
-}
 
 /// Answer to an SGQ planning request, with provenance.
 #[derive(Clone, Debug)]
@@ -66,7 +49,7 @@ pub struct SgqReport {
     /// The engine that produced it.
     pub engine: Engine,
     /// Wall-clock time inside the engine (excludes cache work).
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
     /// Whether the feasible graph came from the cache.
     pub feasible_cache_hit: bool,
 }
@@ -85,9 +68,64 @@ pub struct StgqReport {
     /// The engine that produced it.
     pub engine: Engine,
     /// Wall-clock time inside the engine (excludes cache work).
-    pub elapsed: Duration,
+    pub elapsed: std::time::Duration,
     /// Whether the feasible graph came from the cache.
     pub feasible_cache_hit: bool,
+}
+
+/// One entry of a [`Planner::plan_batch`] call.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchQuery {
+    /// Who is asking.
+    pub initiator: NodeId,
+    /// What is being asked (SGQ or STGQ).
+    pub spec: QuerySpec,
+    /// Which solver answers it.
+    pub engine: Engine,
+}
+
+/// One entry of a [`Planner::plan_batch`] answer: the matching report
+/// kind for the submitted [`QuerySpec`].
+#[derive(Clone, Debug)]
+pub enum PlanReply {
+    /// The entry was an SGQ.
+    Sgq(SgqReport),
+    /// The entry was an STGQ.
+    Stgq(StgqReport),
+}
+
+impl PlanReply {
+    /// The objective value, if a solution was found.
+    pub fn objective(&self) -> Option<Dist> {
+        match self {
+            PlanReply::Sgq(r) => r.solution.as_ref().map(|s| s.total_distance),
+            PlanReply::Stgq(r) => r.solution.as_ref().map(|s| s.total_distance),
+        }
+    }
+
+    /// Whether the answer is proven optimal / proven infeasible.
+    pub fn exact(&self) -> bool {
+        match self {
+            PlanReply::Sgq(r) => r.exact,
+            PlanReply::Stgq(r) => r.exact,
+        }
+    }
+
+    /// The SGQ report, if this entry was an SGQ.
+    pub fn as_sgq(&self) -> Option<&SgqReport> {
+        match self {
+            PlanReply::Sgq(r) => Some(r),
+            PlanReply::Stgq(_) => None,
+        }
+    }
+
+    /// The STGQ report, if this entry was an STGQ.
+    pub fn as_stgq(&self) -> Option<&StgqReport> {
+        match self {
+            PlanReply::Sgq(_) => None,
+            PlanReply::Stgq(r) => Some(r),
+        }
+    }
 }
 
 /// Point-in-time view of the service counters.
@@ -114,6 +152,13 @@ pub struct MetricsSnapshot {
     /// Whole pivots skipped by the pivot-granularity distance bound,
     /// summed over all exact STGQ queries.
     pub pivots_skipped: u64,
+    /// Entries that went through the batched executor path.
+    pub batched_entries: u64,
+    /// Batched entries answered by request collapsing (solved once,
+    /// shared within a shard job).
+    pub collapsed_entries: u64,
+    /// Solves stopped early by a deadline or cancellation token.
+    pub cancelled: u64,
 }
 
 /// A long-lived activity-planning service instance.
@@ -124,19 +169,12 @@ pub struct MetricsSnapshot {
 pub struct Planner {
     network: MutableNetwork,
     calendars: CalendarStore,
-    cfg: SelectConfig,
-    snapshot: Mutex<Option<(u64, Arc<SocialGraph>)>>,
-    fg_cache: Mutex<FeasibleCache>,
-    /// Recycled pivot buffers shared by sequential exact STGQ queries —
-    /// a steady query stream re-uses one set of flattened availability
-    /// buffers instead of reallocating per query.
-    stgq_arena: Mutex<PivotArena>,
-    queries: AtomicU64,
+    exec: Executor,
+    /// Serialises snapshot publication so concurrent readers racing the
+    /// same version drift rebuild once, not once each.
+    publish_lock: Mutex<()>,
     mutations: AtomicU64,
     snapshot_rebuilds: AtomicU64,
-    frames_examined: AtomicU64,
-    frames_pruned_by_bound: AtomicU64,
-    pivots_skipped: AtomicU64,
 }
 
 /// Default bound on distinct `(initiator, s)` feasible graphs kept.
@@ -149,21 +187,29 @@ impl Planner {
         Planner::with_config(horizon, SelectConfig::default(), DEFAULT_CACHE_CAPACITY)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (engine configuration + feasible-graph
+    /// cache capacity, with default executor sizing).
     pub fn with_config(horizon: usize, cfg: SelectConfig, cache_capacity: usize) -> Self {
+        Planner::with_exec_config(
+            horizon,
+            ExecConfig {
+                select: cfg,
+                cache_capacity,
+                ..ExecConfig::default()
+            },
+        )
+    }
+
+    /// Fullest-control constructor: every executor knob (worker count,
+    /// shard count, batch threshold) is the caller's.
+    pub fn with_exec_config(horizon: usize, cfg: ExecConfig) -> Self {
         Planner {
             network: MutableNetwork::new(),
             calendars: CalendarStore::new(horizon),
-            cfg,
-            snapshot: Mutex::new(None),
-            fg_cache: Mutex::new(FeasibleCache::new(cache_capacity)),
-            stgq_arena: Mutex::new(PivotArena::new()),
-            queries: AtomicU64::new(0),
+            exec: Executor::new(cfg),
+            publish_lock: Mutex::new(()),
             mutations: AtomicU64::new(0),
             snapshot_rebuilds: AtomicU64::new(0),
-            frames_examined: AtomicU64::new(0),
-            frames_pruned_by_bound: AtomicU64::new(0),
-            pivots_skipped: AtomicU64::new(0),
         }
     }
 
@@ -172,13 +218,20 @@ impl Planner {
     /// are [`SelectConfig`] fields, so they are set at construction via
     /// [`with_config`](Self::with_config) and read back here).
     pub fn config(&self) -> SelectConfig {
-        self.cfg
+        self.exec.select_config()
     }
 
     /// Replace the engine configuration for subsequent queries. Exactness
     /// is config-independent; only search effort changes.
     pub fn set_config(&mut self, cfg: SelectConfig) {
-        self.cfg = cfg;
+        self.exec.set_select_config(cfg);
+    }
+
+    /// The execution subsystem behind this planner — for direct batch
+    /// submission with deadlines/cancellation tokens, executor metrics,
+    /// or snapshot inspection.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     // -- mutations ----------------------------------------------------
@@ -260,63 +313,146 @@ impl Planner {
         &self.calendars
     }
 
-    /// Service counters.
+    /// Service counters (the execution-side counters come from the
+    /// [`Executor`]; see [`exec_metrics`](Self::exec_metrics) for the
+    /// full executor view).
     pub fn metrics(&self) -> MetricsSnapshot {
-        let cache = self.fg_cache.lock();
+        let e = self.exec.metrics();
         MetricsSnapshot {
-            queries: self.queries.load(Ordering::Relaxed),
+            queries: e.queries,
             mutations: self.mutations.load(Ordering::Relaxed),
-            feasible_cache_hits: cache.hits,
-            feasible_cache_misses: cache.misses,
+            feasible_cache_hits: e.feasible_cache_hits,
+            feasible_cache_misses: e.feasible_cache_misses,
             snapshot_rebuilds: self.snapshot_rebuilds.load(Ordering::Relaxed),
-            cached_feasible_graphs: cache.len(),
-            frames_examined: self.frames_examined.load(Ordering::Relaxed),
-            frames_pruned_by_bound: self.frames_pruned_by_bound.load(Ordering::Relaxed),
-            pivots_skipped: self.pivots_skipped.load(Ordering::Relaxed),
+            cached_feasible_graphs: e.cached_feasible_graphs,
+            frames_examined: e.frames_examined,
+            frames_pruned_by_bound: e.frames_pruned_by_bound,
+            pivots_skipped: e.pivots_skipped,
+            batched_entries: e.batched_entries,
+            collapsed_entries: e.collapsed_entries,
+            cancelled: e.cancelled,
         }
     }
 
-    /// Fold an exact engine's search counters into the service totals.
-    fn note_search(&self, stats: &SearchStats) {
-        self.frames_examined
-            .fetch_add(stats.frames_examined(), Ordering::Relaxed);
-        self.frames_pruned_by_bound
-            .fetch_add(stats.frames_pruned_by_bound(), Ordering::Relaxed);
-        self.pivots_skipped
-            .fetch_add(stats.pivots_skipped, Ordering::Relaxed);
+    /// The raw executor counters (shard jobs, snapshot publishes, pool
+    /// sizing — everything [`MetricsSnapshot`] doesn't surface).
+    pub fn exec_metrics(&self) -> ExecMetrics {
+        self.exec.metrics()
     }
 
     /// Current CSR snapshot, rebuilt only when the network changed.
     pub fn graph_snapshot(&self) -> Arc<SocialGraph> {
-        let version = self.network.version();
-        let mut guard = self.snapshot.lock();
-        match guard.as_ref() {
-            Some((v, g)) if *v == version => Arc::clone(g),
-            _ => {
-                let g = Arc::new(self.network.snapshot());
-                self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
-                *guard = Some((version, Arc::clone(&g)));
-                g
+        Arc::clone(&self.sync_snapshot().graph)
+    }
+
+    /// Ensure the executor's published epoch matches the mutable state,
+    /// rebuilding only the stale half (graph CSR and calendar vector age
+    /// independently). Returns the fresh epoch.
+    fn sync_snapshot(&self) -> Arc<WorldSnapshot> {
+        let graph_version = self.network.version();
+        let calendar_version = self.calendars.version();
+        let current = self.exec.snapshot();
+        if let Some(snap) = &current {
+            if snap.graph_version == graph_version && snap.calendar_version == calendar_version {
+                return Arc::clone(snap);
             }
         }
-    }
-
-    /// Feasible graph for `(initiator, s)`, cached across queries until
-    /// the network changes. Returns the graph and whether it was a hit.
-    fn feasible(&self, initiator: NodeId, s: usize) -> (Arc<FeasibleGraph>, bool) {
-        let version = self.network.version();
-        if let Some(fg) = self.fg_cache.lock().get(initiator.0, s, version) {
-            return (fg, true);
+        let _guard = self.publish_lock.lock();
+        // Re-check under the lock: a racing reader may have published.
+        let current = self.exec.snapshot();
+        if let Some(snap) = &current {
+            if snap.graph_version == graph_version && snap.calendar_version == calendar_version {
+                return Arc::clone(snap);
+            }
         }
-        let graph = self.graph_snapshot();
-        let fg = Arc::new(FeasibleGraph::extract(&graph, initiator, s));
-        self.fg_cache
-            .lock()
-            .put(initiator.0, s, version, Arc::clone(&fg));
-        (fg, false)
+        let graph = match &current {
+            Some(snap) if snap.graph_version == graph_version => Arc::clone(&snap.graph),
+            _ => {
+                self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
+                Arc::new(self.network.snapshot())
+            }
+        };
+        let calendars = match &current {
+            Some(snap) if snap.calendar_version == calendar_version => Arc::clone(&snap.calendars),
+            _ => Arc::new(self.calendars.calendars().to_vec()),
+        };
+        let snapshot = Arc::new(WorldSnapshot {
+            graph,
+            calendars,
+            graph_version,
+            calendar_version,
+        });
+        self.exec.publish_snapshot(Arc::clone(&snapshot));
+        snapshot
     }
 
-    /// Answer an SGQ with the chosen engine.
+    /// Executor errors the façade's pre-validation should have made
+    /// impossible; surface the nearest service error rather than panic.
+    fn exec_error(e: ExecError) -> ServiceError {
+        match e {
+            ExecError::InitiatorOutOfRange {
+                initiator,
+                node_count,
+            } => ServiceError::UnknownPerson {
+                person: initiator,
+                person_count: node_count,
+            },
+            ExecError::NoSnapshot | ExecError::ShuttingDown => ServiceError::ExecutorUnavailable {
+                reason: e.to_string(),
+            },
+        }
+    }
+
+    fn sgq_report(outcome: PlanOutcome) -> SgqReport {
+        let PlanOutcome {
+            outcome,
+            evaluations,
+            exact,
+            engine,
+            elapsed,
+            feasible_cache_hit,
+            ..
+        } = outcome;
+        let SolveOutcome::Sgq(out) = outcome else {
+            unreachable!("SGQ request produced an STGQ outcome");
+        };
+        SgqReport {
+            solution: out.solution,
+            stats: engine.reports_search_stats().then_some(out.stats),
+            evaluations,
+            exact,
+            engine,
+            elapsed,
+            feasible_cache_hit,
+        }
+    }
+
+    fn stgq_report(outcome: PlanOutcome) -> StgqReport {
+        let PlanOutcome {
+            outcome,
+            evaluations,
+            exact,
+            engine,
+            elapsed,
+            feasible_cache_hit,
+            ..
+        } = outcome;
+        let SolveOutcome::Stgq(out) = outcome else {
+            unreachable!("STGQ request produced an SGQ outcome");
+        };
+        StgqReport {
+            solution: out.solution,
+            stats: engine.reports_search_stats().then_some(out.stats),
+            evaluations,
+            exact,
+            engine,
+            elapsed,
+            feasible_cache_hit,
+        }
+    }
+
+    /// Answer an SGQ with the chosen engine (inline on this thread,
+    /// against the current epoch).
     pub fn plan_sgq(
         &self,
         initiator: NodeId,
@@ -324,81 +460,14 @@ impl Planner {
         engine: Engine,
     ) -> Result<SgqReport, ServiceError> {
         self.network.check_person(initiator)?;
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let (fg, feasible_cache_hit) = self.feasible(initiator, query.s());
-
-        let start = Instant::now();
-        let report = match engine {
-            Engine::Exact => {
-                let out = solve_sgq_on(&fg, query, &self.cfg, None);
-                SgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact: true,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::ExactParallel { threads } => {
-                let out = solve_sgq_parallel_on(&fg, query, &self.cfg, None, threads);
-                SgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact: true,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::Anytime { frame_budget } => {
-                let cfg = self.cfg.with_frame_budget(frame_budget);
-                let out = solve_sgq_on(&fg, query, &cfg, None);
-                let exact = !out.stats.truncated;
-                SgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::Greedy { restarts } => {
-                let out = greedy_sgq_on(&fg, query, None, restarts);
-                SgqReport {
-                    solution: out.solution,
-                    stats: None,
-                    evaluations: Some(out.evaluations),
-                    exact: false,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::LocalSearch { restarts, passes } => {
-                let out = local_search_sgq_on(&fg, query, None, restarts, passes);
-                SgqReport {
-                    solution: out.solution,
-                    stats: None,
-                    evaluations: Some(out.evaluations),
-                    exact: false,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-        };
-        if let Some(stats) = &report.stats {
-            self.note_search(stats);
-        }
-        Ok(report)
+        self.sync_snapshot();
+        let request = PlanRequest::new(initiator, QuerySpec::Sgq(*query), engine);
+        let outcome = self.exec.execute_one(request).map_err(Self::exec_error)?;
+        Ok(Self::sgq_report(outcome))
     }
 
-    /// Answer an STGQ with the chosen engine.
+    /// Answer an STGQ with the chosen engine (inline on this thread,
+    /// against the current epoch).
     pub fn plan_stgq(
         &self,
         initiator: NodeId,
@@ -406,88 +475,51 @@ impl Planner {
         engine: Engine,
     ) -> Result<StgqReport, ServiceError> {
         self.network.check_person(initiator)?;
-        self.queries.fetch_add(1, Ordering::Relaxed);
-        let (fg, feasible_cache_hit) = self.feasible(initiator, query.s());
-        let cals = self.calendars.calendars();
+        self.sync_snapshot();
+        let request = PlanRequest::new(initiator, QuerySpec::Stgq(*query), engine);
+        let outcome = self.exec.execute_one(request).map_err(Self::exec_error)?;
+        Ok(Self::stgq_report(outcome))
+    }
 
-        let start = Instant::now();
-        let report = match engine {
-            Engine::Exact => {
-                // Take the arena out under a short lock rather than
-                // holding the mutex across the solve — concurrent exact
-                // queries (via `SharedPlanner` read locks) must not
-                // serialize on it. Racing queries just solve with a fresh
-                // arena; the last one back donates its buffers.
-                let mut arena = std::mem::take(&mut *self.stgq_arena.lock());
-                let out = solve_stgq_pooled(&fg, cals, query, &self.cfg, &mut arena);
-                *self.stgq_arena.lock() = arena;
-                StgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact: true,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::ExactParallel { threads } => {
-                let out = solve_stgq_parallel_on(&fg, cals, query, &self.cfg, threads);
-                StgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact: true,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::Anytime { frame_budget } => {
-                let cfg = self.cfg.with_frame_budget(frame_budget);
-                let mut arena = std::mem::take(&mut *self.stgq_arena.lock());
-                let out = solve_stgq_pooled(&fg, cals, query, &cfg, &mut arena);
-                *self.stgq_arena.lock() = arena;
-                let exact = !out.stats.truncated;
-                StgqReport {
-                    solution: out.solution,
-                    stats: Some(out.stats),
-                    evaluations: None,
-                    exact,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::Greedy { restarts } => {
-                let out = greedy_stgq_on(&fg, cals, query, restarts);
-                StgqReport {
-                    solution: out.solution,
-                    stats: None,
-                    evaluations: Some(out.evaluations),
-                    exact: false,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-            Engine::LocalSearch { restarts, passes } => {
-                let out = local_search_stgq_on(&fg, cals, query, restarts, passes);
-                StgqReport {
-                    solution: out.solution,
-                    stats: None,
-                    evaluations: Some(out.evaluations),
-                    exact: false,
-                    engine,
-                    elapsed: start.elapsed(),
-                    feasible_cache_hit,
-                }
-            }
-        };
-        if let Some(stats) = &report.stats {
-            self.note_search(stats);
+    /// Answer a whole batch of mixed SGQ/STGQ queries through the
+    /// executor's batched path: admission → initiator-shard grouping →
+    /// the fixed worker pool (identical entries collapsed, same-shard
+    /// entries cache-local). Replies come back in input order; entries
+    /// with an invalid initiator fail individually without poisoning the
+    /// batch. Exact engines return bit-identical objectives to solving
+    /// the same queries one by one.
+    pub fn plan_batch(&self, queries: &[BatchQuery]) -> Vec<Result<PlanReply, ServiceError>> {
+        // Pre-validate so invalid entries never reach admission, and so
+        // valid entries keep batching even when some fail.
+        let checked: Vec<Result<(), ServiceError>> = queries
+            .iter()
+            .map(|q| self.network.check_person(q.initiator))
+            .collect();
+        if checked.iter().any(|c| c.is_ok()) {
+            self.sync_snapshot();
         }
-        Ok(report)
+        let requests: Vec<PlanRequest> = queries
+            .iter()
+            .zip(&checked)
+            .filter(|(_, c)| c.is_ok())
+            .map(|(q, _)| PlanRequest::new(q.initiator, q.spec, q.engine))
+            .collect();
+        let mut executed = self.exec.execute_batch(requests).into_iter();
+        checked
+            .into_iter()
+            .map(|check| {
+                check.and_then(|()| {
+                    let outcome = executed
+                        .next()
+                        .expect("one executed entry per validated query")
+                        .map_err(Self::exec_error)?;
+                    Ok(match &outcome.outcome {
+                        SolveOutcome::Sgq(_) => PlanReply::Sgq(Self::sgq_report(outcome)),
+                        SolveOutcome::Stgq(_) => PlanReply::Stgq(Self::stgq_report(outcome)),
+                    })
+                })
+            })
+            .collect()
     }
 }
 
@@ -723,6 +755,7 @@ mod tests {
             .unwrap();
         if let Some(stats) = r.stats {
             assert_eq!(r.exact, !stats.truncated);
+            assert!(!stats.cancelled, "a budget stop is not a cancellation");
         }
         let r = p
             .plan_sgq(
@@ -734,5 +767,81 @@ mod tests {
             )
             .unwrap();
         assert!(r.exact, "a generous budget finishes this tiny instance");
+    }
+
+    #[test]
+    fn batch_replies_in_input_order_with_per_entry_errors() {
+        let (p, ids) = demo();
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let stgq = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let batch = vec![
+            BatchQuery {
+                initiator: ids[0],
+                spec: QuerySpec::Sgq(sgq),
+                engine: Engine::Exact,
+            },
+            BatchQuery {
+                initiator: NodeId(99),
+                spec: QuerySpec::Sgq(sgq),
+                engine: Engine::Exact,
+            },
+            BatchQuery {
+                initiator: ids[0],
+                spec: QuerySpec::Stgq(stgq),
+                engine: Engine::Exact,
+            },
+        ];
+        let replies = p.plan_batch(&batch);
+        assert_eq!(replies.len(), 3);
+        let first = replies[0].as_ref().unwrap();
+        assert_eq!(first.objective(), Some(5));
+        assert!(first.as_sgq().is_some());
+        assert!(matches!(
+            replies[1],
+            Err(ServiceError::UnknownPerson { .. })
+        ));
+        let third = replies[2].as_ref().unwrap();
+        assert!(third.as_stgq().is_some());
+        assert!(third.exact());
+    }
+
+    #[test]
+    fn batch_matches_sequential_planning() {
+        let (p, ids) = demo();
+        let sgq = SgqQuery::new(3, 2, 1).unwrap();
+        let stgq = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let batch: Vec<BatchQuery> = (0..3)
+            .flat_map(|i| {
+                [
+                    BatchQuery {
+                        initiator: ids[i],
+                        spec: QuerySpec::Sgq(sgq),
+                        engine: Engine::Exact,
+                    },
+                    BatchQuery {
+                        initiator: ids[i],
+                        spec: QuerySpec::Stgq(stgq),
+                        engine: Engine::Exact,
+                    },
+                ]
+            })
+            .collect();
+        let replies = p.plan_batch(&batch);
+        for (query, reply) in batch.iter().zip(&replies) {
+            let reply = reply.as_ref().unwrap();
+            let sequential = match query.spec {
+                QuerySpec::Sgq(q) => p
+                    .plan_sgq(query.initiator, &q, query.engine)
+                    .unwrap()
+                    .solution
+                    .map(|s| s.total_distance),
+                QuerySpec::Stgq(q) => p
+                    .plan_stgq(query.initiator, &q, query.engine)
+                    .unwrap()
+                    .solution
+                    .map(|s| s.total_distance),
+            };
+            assert_eq!(reply.objective(), sequential);
+        }
     }
 }

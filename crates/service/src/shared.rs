@@ -7,7 +7,9 @@ use stgq_core::{SgqQuery, StgqQuery};
 use stgq_graph::{Dist, NodeId};
 use stgq_schedule::SlotRange;
 
-use crate::{Engine, MetricsSnapshot, Planner, ServiceError, SgqReport, StgqReport};
+use crate::{
+    BatchQuery, Engine, MetricsSnapshot, PlanReply, Planner, ServiceError, SgqReport, StgqReport,
+};
 
 /// `Arc<RwLock<Planner>>` with a planning-service API: queries take the
 /// read lock (so any number run concurrently), mutations take the write
@@ -84,6 +86,15 @@ impl SharedPlanner {
         engine: Engine,
     ) -> Result<StgqReport, ServiceError> {
         self.inner.read().plan_stgq(initiator, query, engine)
+    }
+
+    /// Answer a mixed SGQ/STGQ batch through the executor's batched path
+    /// (concurrent with other queries — the batch holds the read lock,
+    /// so mutations wait exactly as they do for single queries, while
+    /// the solves themselves run on the executor's worker pool against
+    /// an immutable epoch).
+    pub fn plan_batch(&self, queries: &[BatchQuery]) -> Vec<Result<PlanReply, ServiceError>> {
+        self.inner.read().plan_batch(queries)
     }
 
     /// Service counters.

@@ -25,6 +25,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => generate(&args[1..]),
         Some("query") => query(&args[1..]),
+        Some("batch") => batch(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -46,11 +47,16 @@ usage:
   stgq-plan generate --out FILE [--days N] [--seed N] [--coauthor N]
   stgq-plan query --data FILE --initiator ID -p N [-s N] [-k N] [-m N]
                   [--compare]
+  stgq-plan batch --data FILE -p N [-s N] [-k N] [-m N] [--queries N]
+                  [--workers N] [--chunk N]
 
 generate  writes a JSON dataset snapshot (194-person community analog by
           default; --coauthor N switches to the coauthorship model).
 query     answers an SGQ (no -m) or STGQ (with -m) against a snapshot;
           --compare additionally runs PCArrange for a quality comparison.
+batch     drives a hot-query serving workload through the stgq-exec
+          executor (admission -> shard batching -> worker pool) and
+          reports throughput against the sequential per-query loop.
 ";
 
 /// Pull `--flag value` (or `-f value`) out of an argument list.
@@ -91,6 +97,163 @@ fn generate(args: &[String]) -> Result<(), String> {
         ds.graph.edge_count(),
         ds.grid.days(),
         ds.grid.slots_per_day()
+    );
+    Ok(())
+}
+
+/// Serve a repeated-query workload through the executor and report
+/// queries/sec for the batched vs the sequential path.
+fn batch(args: &[String]) -> Result<(), String> {
+    use stgq::exec::{ExecConfig, QuerySpec};
+    use stgq::service::{BatchQuery, Engine, Planner};
+
+    let data = take_value(args, &["--data", "-d"])?.ok_or("batch requires --data FILE")?;
+    let p: usize = parse(
+        &take_value(args, &["-p"])?.ok_or("batch requires -p N")?,
+        "-p",
+    )?;
+    let s: usize = match take_value(args, &["-s"])? {
+        Some(v) => parse(&v, "-s")?,
+        None => 2,
+    };
+    let k: usize = match take_value(args, &["-k"])? {
+        Some(v) => parse(&v, "-k")?,
+        None => p.saturating_sub(1),
+    };
+    let m: usize = match take_value(args, &["-m"])? {
+        Some(v) => parse(&v, "-m")?,
+        None => 4,
+    };
+    let queries: usize = match take_value(args, &["--queries"])? {
+        Some(v) => parse(&v, "--queries")?,
+        None => 64,
+    };
+    let workers: usize = match take_value(args, &["--workers"])? {
+        Some(v) => parse(&v, "--workers")?,
+        None => 0,
+    };
+    let chunk: usize = match take_value(args, &["--chunk"])? {
+        Some(v) => parse::<usize>(&v, "--chunk")?.max(1),
+        None => 64,
+    };
+
+    let ds = load_dataset(&PathBuf::from(&data)).map_err(|e| e.to_string())?;
+    let mut planner = Planner::with_exec_config(
+        ds.grid.horizon(),
+        ExecConfig {
+            workers,
+            ..ExecConfig::default()
+        },
+    );
+    for v in 0..ds.graph.node_count() {
+        planner.add_person(format!("p{v}"));
+    }
+    for e in ds.graph.edges() {
+        planner
+            .connect(e.a, e.b, e.weight)
+            .map_err(|e| e.to_string())?;
+    }
+    for (v, cal) in ds.calendars.iter().enumerate() {
+        planner
+            .set_calendar(NodeId(v as u32), cal.clone())
+            .map_err(|e| e.to_string())?;
+    }
+
+    // A hot workload: queries repeat across a small pool of popular
+    // initiators, as server traffic does (~3 occurrences per distinct
+    // query — the repetition is what request collapsing exploits).
+    let sgq = SgqQuery::new(p, s, k).map_err(|e| e.to_string())?;
+    let stgq = StgqQuery::new(p, s, k, m).map_err(|e| e.to_string())?;
+    let n = ds.graph.node_count() as u32;
+    let distinct = (queries / 3).max(1) as u32;
+    let workload: Vec<BatchQuery> = (0..queries as u32)
+        .map(|i| {
+            let d = (i * 13 + i / 7) % distinct;
+            BatchQuery {
+                initiator: NodeId((d * 29 + 7) % n),
+                spec: if d.is_multiple_of(2) {
+                    QuerySpec::Stgq(stgq)
+                } else {
+                    QuerySpec::Sgq(sgq)
+                },
+                engine: Engine::Exact,
+            }
+        })
+        .collect();
+
+    // Untimed warmup of both paths: fills the feasible-graph cache and
+    // the worker arenas so the timed comparison measures solving, not
+    // first-touch extraction order.
+    for q in workload.iter().take(distinct as usize * 2) {
+        match q.spec {
+            QuerySpec::Sgq(query) => drop(planner.plan_sgq(q.initiator, &query, q.engine)),
+            QuerySpec::Stgq(query) => drop(planner.plan_stgq(q.initiator, &query, q.engine)),
+        }
+    }
+    drop(planner.plan_batch(&workload));
+
+    let t0 = std::time::Instant::now();
+    let mut sequential_feasible = 0usize;
+    for q in &workload {
+        let feasible = match q.spec {
+            QuerySpec::Sgq(query) => planner
+                .plan_sgq(q.initiator, &query, q.engine)
+                .map_err(|e| e.to_string())?
+                .solution
+                .is_some(),
+            QuerySpec::Stgq(query) => planner
+                .plan_stgq(q.initiator, &query, q.engine)
+                .map_err(|e| e.to_string())?
+                .solution
+                .is_some(),
+        };
+        sequential_feasible += usize::from(feasible);
+    }
+    let sequential = t0.elapsed();
+
+    let t0 = std::time::Instant::now();
+    let mut batched_feasible = 0usize;
+    for queries in workload.chunks(chunk) {
+        for reply in planner.plan_batch(queries) {
+            batched_feasible +=
+                usize::from(reply.map_err(|e| e.to_string())?.objective().is_some());
+        }
+    }
+    let batched = t0.elapsed();
+
+    if sequential_feasible != batched_feasible {
+        return Err(format!(
+            "paths disagree: sequential found {sequential_feasible} feasible, batched {batched_feasible}"
+        ));
+    }
+    let qps = |d: std::time::Duration| workload.len() as f64 / d.as_secs_f64();
+    let metrics = planner.exec_metrics();
+    println!(
+        "{} queries ({} feasible) over {} people, {} workers, {} shards:",
+        workload.len(),
+        sequential_feasible,
+        ds.graph.node_count(),
+        metrics.workers,
+        metrics.shards,
+    );
+    println!(
+        "  sequential loop : {:>10.0} queries/sec ({:.1} ms total)",
+        qps(sequential),
+        sequential.as_secs_f64() * 1e3
+    );
+    println!(
+        "  batched (chunk {chunk}): {:>10.0} queries/sec ({:.1} ms total, {:.2}x)",
+        qps(batched),
+        batched.as_secs_f64() * 1e3,
+        sequential.as_secs_f64() / batched.as_secs_f64()
+    );
+    println!(
+        "  executor: {} shard jobs, {} batched entries, {} collapsed, {} fg-cache hits / {} misses",
+        metrics.shard_jobs,
+        metrics.batched_entries,
+        metrics.collapsed_entries,
+        metrics.feasible_cache_hits,
+        metrics.feasible_cache_misses,
     );
     Ok(())
 }

@@ -41,8 +41,12 @@
 //! * [`mip`] — a from-scratch simplex + branch & bound;
 //! * [`ip`] — the paper's Appendix-D Integer Programming formulation;
 //! * [`datagen`] — synthetic datasets shaped after the paper's evaluation;
-//! * [`service`] — a long-lived planning service with incremental updates
-//!   and feasible-graph caching.
+//! * [`exec`] — the sharded, batched query-execution subsystem (admission
+//!   queue → initiator-shard batching → fixed worker pool → epoch-swapped
+//!   snapshot read path) serving many concurrent queries over one shared
+//!   graph;
+//! * [`service`] — a long-lived planning service with incremental updates;
+//!   its `Planner` is a thin façade over [`exec`].
 //!
 //! ```
 //! use stgq::prelude::*;
@@ -66,6 +70,7 @@
 
 pub use stgq_core as query;
 pub use stgq_datagen as datagen;
+pub use stgq_exec as exec;
 pub use stgq_graph as graph;
 pub use stgq_ip as ip;
 pub use stgq_kplex as kplex;

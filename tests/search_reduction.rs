@@ -50,7 +50,7 @@ fn arb_calendars(n: usize, horizon: usize) -> impl Strategy<Value = Vec<Calendar
     })
 }
 
-/// Every on/off combination of the three semantically visible
+/// Every on/off combination of the four semantically visible
 /// search-reduction pieces (pooling is allocation-only and is covered by
 /// the bit-identical test below).
 fn reduction_grid() -> Vec<SelectConfig> {
@@ -58,12 +58,15 @@ fn reduction_grid() -> Vec<SelectConfig> {
     for seed in [0usize, 2] {
         for promise in [false, true] {
             for avail in [false, true] {
-                grid.push(
-                    SelectConfig::default()
-                        .with_seed_restarts(seed)
-                        .with_pivot_promise_order(promise)
-                        .with_availability_ordering(avail),
-                );
+                for sharp in [false, true] {
+                    grid.push(
+                        SelectConfig::default()
+                            .with_seed_restarts(seed)
+                            .with_pivot_promise_order(promise)
+                            .with_availability_ordering(avail)
+                            .with_sharp_pivot_floor(sharp),
+                    );
+                }
             }
         }
     }
