@@ -38,6 +38,27 @@ use stgq_service::{BatchQuery, Planner};
 
 fn bench_workload(c: &mut Criterion, label: &str, ds: &Dataset) {
     let planner = planner_from_dataset(ds, 0);
+    // A second planner with the default (enabled) result cache: the
+    // `exec-batch-cached` entry measures the replay path the serving
+    // deployment actually runs with, without letting it contaminate the
+    // solve-throughput entries or the machine-speed anchor.
+    let cached_planner = {
+        let mut p = stgq_service::Planner::with_exec_config(
+            ds.grid.horizon(),
+            stgq_exec::ExecConfig::default(),
+        );
+        for v in 0..ds.graph.node_count() {
+            p.add_person(format!("p{v}"));
+        }
+        for e in ds.graph.edges() {
+            p.connect(e.a, e.b, e.weight).unwrap();
+        }
+        for (v, cal) in ds.calendars.iter().enumerate() {
+            p.set_calendar(stgq_graph::NodeId(v as u32), cal.clone())
+                .unwrap();
+        }
+        p
+    };
     let workload = hot_workload(ds, 4, 2, 2, 4);
 
     // The two paths must agree before being compared (and the batched
@@ -72,6 +93,21 @@ fn bench_workload(c: &mut Criterion, label: &str, ds: &Dataset) {
             })
         });
     }
+    // The version-stamped result cache's replay path (identical repeat
+    // workload, unchanged world — every entry a hit after warmup).
+    assert_eq!(
+        batch_objectives(&cached_planner, &workload),
+        sequential,
+        "cached replay must answer identically ({label})"
+    );
+    g.bench_function(format!("exec-batch-cached{label}/64"), |b| {
+        b.iter(|| {
+            workload
+                .chunks(64)
+                .map(|queries: &[BatchQuery]| cached_planner.plan_batch(queries).len())
+                .sum::<usize>()
+        })
+    });
     g.finish();
     drop::<Planner>(planner);
 }

@@ -133,6 +133,7 @@ fn main() {
                 100.0 * (1.0 - a as f64 / b as f64)
             }
         };
+        let mut no_acq_stats = None;
         for (name, ablated) in [
             ("all on ", SelectConfig::default()),
             ("no seed", SelectConfig::default().with_seed_restarts(0)),
@@ -152,13 +153,28 @@ fn main() {
                 "no sharp",
                 SelectConfig::default().with_sharp_pivot_floor(false),
             ),
+            (
+                "no acqf ",
+                SelectConfig::default().with_acq_pivot_floor(false),
+            ),
             ("all off", SelectConfig::NO_SEARCH_REDUCTION),
         ] {
             let mut ns = u128::MAX;
+            let mut last = None;
             for _ in 0..12 {
                 let t0 = Instant::now();
-                let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &ablated);
+                last = Some(stgq_core::solve_stgq_on(
+                    &fg,
+                    &ds.calendars,
+                    &query,
+                    &ablated,
+                ));
                 ns = ns.min(t0.elapsed().as_nanos());
+            }
+            // Deterministic stats: keep the "no acqf" run for the
+            // acq-floor report below instead of re-solving.
+            if name.trim() == "no acqf" {
+                no_acq_stats = last.map(|out| out.stats);
             }
             println!("    p={p} m={m:>2} [{name}]: {ns:>9} ns");
         }
@@ -174,6 +190,18 @@ fn main() {
             // Skipped pivots are a subset of the prepared (processed) ones.
             new.stats.pivots_skipped,
             new.stats.pivots_processed,
+        );
+        // The acquaintance-aware floor's own contribution (the m = 12
+        // row is the regime it targets: temporally tight, socially
+        // spread — see ROADMAP).
+        let no_acq = no_acq_stats.expect("the ablation grid includes `no acqf`");
+        println!(
+            "          acq floor: frames {:>5} vs {:>5} without (-{:.1}%)  pivots skipped {} vs {}",
+            new.stats.frames_examined(),
+            no_acq.frames_examined(),
+            pct(new.stats.frames_examined(), no_acq.frames_examined()),
+            new.stats.pivots_skipped,
+            no_acq.pivots_skipped,
         );
     }
 }

@@ -1,0 +1,58 @@
+//! Shared fixtures for the cluster (scale-out) benchmarks and tests:
+//! loading a generated [`Dataset`] into a [`Cluster`]'s writer and
+//! draining workloads through the scatter/gather path.
+
+use stgq_cluster::{Cluster, ClusterConfig};
+use stgq_datagen::Dataset;
+use stgq_exec::ExecConfig;
+use stgq_graph::NodeId;
+use stgq_service::BatchQuery;
+
+/// Load a generated dataset into a fresh cluster's writer. The replicas
+/// attach (full sync) on the first replication round — typically the
+/// first [`Cluster::plan_batch`].
+///
+/// `workers_per_node` sizes each node's executor pool; the scale-out
+/// benchmarks use 1 so "N nodes" means N solving pipelines, not
+/// N × cores.
+pub fn cluster_from_dataset(ds: &Dataset, nodes: usize, workers_per_node: usize) -> Cluster {
+    let cfg = ClusterConfig {
+        nodes,
+        node_exec: ExecConfig {
+            workers: workers_per_node,
+            // The scale-out comparison measures solve throughput, not
+            // replay: identical iterations would otherwise all hit the
+            // result cache and reduce the bench to transport overhead.
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(ds.grid.horizon(), cfg);
+    for v in 0..ds.graph.node_count() {
+        cluster.add_person(format!("p{v}"));
+    }
+    for e in ds.graph.edges() {
+        cluster.connect(e.a, e.b, e.weight).unwrap();
+    }
+    for (v, cal) in ds.calendars.iter().enumerate() {
+        cluster.set_calendar(NodeId(v as u32), cal.clone()).unwrap();
+    }
+    cluster
+}
+
+/// Objectives from draining `batch` through the cluster's scatter/gather
+/// path (panics on transport/epoch errors — bench workloads run on a
+/// healthy cluster).
+pub fn cluster_objectives(cluster: &Cluster, batch: &[BatchQuery]) -> Vec<Option<u64>> {
+    cluster
+        .plan_batch(batch)
+        .into_iter()
+        .map(|outcome| {
+            outcome
+                .expect("healthy cluster answers every entry")
+                .outcome
+                .objective()
+        })
+        .collect()
+}

@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod cluster;
 pub mod figures;
 pub mod serving;
 mod table;

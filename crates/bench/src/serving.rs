@@ -9,11 +9,19 @@ use stgq_service::{BatchQuery, Engine, Planner};
 
 /// Load a generated dataset into a planner with the given executor
 /// sizing (`workers = 0` means all cores).
+///
+/// The cross-batch result cache is **disabled**: these fixtures exist to
+/// exercise and measure the solve paths (engines, collapsing, worker
+/// pool), and a repeated workload on an unchanged world would otherwise
+/// turn every timed/tested iteration after the first into pure cache
+/// replay. Benchmarks that want the cache's effect opt in explicitly
+/// (see the `throughput` bench's `exec-batch-cached` entry).
 pub fn planner_from_dataset(ds: &Dataset, workers: usize) -> Planner {
     let mut planner = Planner::with_exec_config(
         ds.grid.horizon(),
         ExecConfig {
             workers,
+            result_cache_capacity: 0,
             ..ExecConfig::default()
         },
     );

@@ -1,0 +1,384 @@
+//! The cluster façade: one writer (a full [`Planner`] owning the
+//! mutable world and the delta log) plus N serving nodes behind a
+//! [`ShardRouter`], all talking through one [`Transport`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stgq_exec::{ExecConfig, ExecError, PlanOutcome};
+use stgq_graph::NodeId;
+use stgq_schedule::{Calendar, SlotRange};
+use stgq_service::{BatchQuery, Planner, ServiceError};
+
+use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, WireRequest};
+use crate::node::ClusterNode;
+use crate::replication::{Replicator, SyncError};
+use crate::router::{RouterError, ShardRouter};
+use crate::transport::{InProcessTransport, Transport, TransportError, WireCodec};
+
+/// Construction-time knobs for a [`Cluster`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Serving nodes.
+    pub nodes: usize,
+    /// Initiator-shard modulus the router distributes over (kept equal
+    /// to the per-node executors' shard count so the routing partition
+    /// and the nodes' internal cache partitions align).
+    pub shards: usize,
+    /// Executor sizing applied to every node.
+    pub node_exec: ExecConfig,
+    /// Stamp every routed request with the writer's current epoch as its
+    /// minimum (read-your-writes: a lagging replica refuses rather than
+    /// serves stale). Off, requests accept whatever epoch their node has.
+    pub read_your_writes: bool,
+    /// How the in-process transport moves messages (JSON proves
+    /// wire-encodability in tests).
+    pub codec: WireCodec,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 2,
+            shards: 16,
+            node_exec: ExecConfig::default(),
+            read_your_writes: true,
+            codec: WireCodec::Direct,
+        }
+    }
+}
+
+/// Why one routed entry failed (entries fail individually; a batch is
+/// never poisoned by one node).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClusterError {
+    /// The answering node's executor refused the entry.
+    Exec(ExecError),
+    /// The transport could not reach the assigned node.
+    Transport(TransportError),
+    /// The node answered outside the protocol.
+    Protocol,
+}
+
+impl std::fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClusterError::Exec(e) => write!(f, "{e}"),
+            ClusterError::Transport(e) => write!(f, "{e}"),
+            ClusterError::Protocol => write!(f, "unexpected reply to execute"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// One node's replication/serving position relative to the writer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeLag {
+    /// The node's index.
+    pub node: usize,
+    /// Whether the router currently sends it traffic.
+    pub active: bool,
+    /// The node's own status report (zeroed when unreachable).
+    pub status: NodeStatus,
+    /// Writer graph version minus the node's (0 = caught up).
+    pub graph_lag: u64,
+    /// Writer calendar version minus the node's.
+    pub calendar_lag: u64,
+    /// Writer delta sequence minus the node's.
+    pub seq_lag: u64,
+    /// Whether the status probe reached the node.
+    pub reachable: bool,
+}
+
+/// Point-in-time cluster observability: writer position, per-node lag,
+/// replication counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterMetrics {
+    /// The writer's current epoch.
+    pub writer_epoch: Epoch,
+    /// The writer's delta sequence.
+    pub writer_seq: u64,
+    /// Per node: status and lag.
+    pub nodes: Vec<NodeLag>,
+    /// Full syncs shipped (first attaches + gap/stale repairs).
+    pub full_syncs: u64,
+    /// Incremental delta batches shipped.
+    pub delta_batches: u64,
+    /// Replication sends the transport refused or dropped.
+    pub failed_sends: u64,
+}
+
+/// A multi-node serving cluster. See the crate docs for the architecture
+/// (router → transport → replication → node executors).
+pub struct Cluster {
+    planner: Planner,
+    nodes: Vec<Arc<ClusterNode>>,
+    transport: Arc<dyn Transport>,
+    router: Mutex<ShardRouter>,
+    replicator: Mutex<Replicator>,
+    read_your_writes: bool,
+}
+
+impl Cluster {
+    /// A cluster over `horizon` time slots with an in-process transport.
+    pub fn new(horizon: usize, cfg: ClusterConfig) -> Self {
+        let nodes: Vec<Arc<ClusterNode>> = (0..cfg.nodes.max(1))
+            .map(|id| Arc::new(ClusterNode::new(id, cfg.node_exec)))
+            .collect();
+        let transport: Arc<dyn Transport> =
+            Arc::new(InProcessTransport::with_codec(nodes.clone(), cfg.codec));
+        Cluster::from_parts(horizon, cfg, nodes, transport)
+    }
+
+    /// Assemble a cluster from pre-built nodes and an arbitrary
+    /// transport (how tests interpose a
+    /// [`FaultInjector`](crate::FaultInjector)).
+    pub fn from_parts(
+        horizon: usize,
+        cfg: ClusterConfig,
+        nodes: Vec<Arc<ClusterNode>>,
+        transport: Arc<dyn Transport>,
+    ) -> Self {
+        // The writer is control-plane only: queries are served by the
+        // nodes, so its own executor stays minimal.
+        let writer_exec = ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        };
+        let node_count = nodes.len();
+        Cluster {
+            planner: Planner::with_exec_config(horizon, writer_exec),
+            nodes,
+            transport,
+            router: Mutex::new(ShardRouter::new(cfg.shards, node_count)),
+            replicator: Mutex::new(Replicator::new(node_count)),
+            read_your_writes: cfg.read_your_writes,
+        }
+    }
+
+    // -- writer (mutations) -------------------------------------------
+
+    /// The writer planner (read access: network, calendars, delta feed).
+    pub fn writer(&self) -> &Planner {
+        &self.planner
+    }
+
+    /// The writer planner, mutably — the full mutation surface beyond
+    /// the forwarding helpers below.
+    pub fn writer_mut(&mut self) -> &mut Planner {
+        &mut self.planner
+    }
+
+    /// Register a person (see [`Planner::add_person`]).
+    pub fn add_person(&mut self, label: impl Into<String>) -> NodeId {
+        self.planner.add_person(label)
+    }
+
+    /// Create or re-weight a friendship.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, distance: u64) -> Result<(), ServiceError> {
+        self.planner.connect(a, b, distance)
+    }
+
+    /// Remove a friendship.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> Result<bool, ServiceError> {
+        self.planner.disconnect(a, b)
+    }
+
+    /// Tombstone a person.
+    pub fn remove_person(&mut self, person: NodeId) -> Result<(), ServiceError> {
+        self.planner.remove_person(person)
+    }
+
+    /// Mark one slot (un)available.
+    pub fn set_availability(
+        &mut self,
+        person: NodeId,
+        slot: usize,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.planner.set_availability(person, slot, available)
+    }
+
+    /// Mark a slot range (un)available.
+    pub fn set_availability_range(
+        &mut self,
+        person: NodeId,
+        range: SlotRange,
+        available: bool,
+    ) -> Result<(), ServiceError> {
+        self.planner
+            .set_availability_range(person, range, available)
+    }
+
+    /// Replace a whole calendar.
+    pub fn set_calendar(&mut self, person: NodeId, calendar: Calendar) -> Result<(), ServiceError> {
+        self.planner.set_calendar(person, calendar)
+    }
+
+    /// The writer's current epoch — the read-your-writes floor.
+    pub fn writer_epoch(&self) -> Epoch {
+        Epoch::new(
+            self.planner.network().version(),
+            self.planner.calendars().version(),
+        )
+    }
+
+    // -- replication ---------------------------------------------------
+
+    /// Ship pending state to every **active** node (deltas where the log
+    /// reaches, full sync otherwise). Per-node failures are returned,
+    /// not raised: an unreachable node simply lags until a later round.
+    pub fn replicate(&self) -> Vec<(usize, Result<Epoch, SyncError>)> {
+        let active = self.router.lock().active_nodes();
+        let mut replicator = self.replicator.lock();
+        active
+            .into_iter()
+            .map(|node| {
+                (
+                    node,
+                    replicator.sync_node(&self.planner, &*self.transport, node),
+                )
+            })
+            .collect()
+    }
+
+    // -- serving -------------------------------------------------------
+
+    /// Answer a batch: replicate, stamp (read-your-writes), scatter by
+    /// initiator shard, gather in input order.
+    pub fn plan_batch(&self, queries: &[BatchQuery]) -> Vec<Result<PlanOutcome, ClusterError>> {
+        self.replicate();
+        let min_epoch = self.read_your_writes.then(|| self.writer_epoch());
+        let requests: Vec<WireRequest> = queries
+            .iter()
+            .map(|q| WireRequest {
+                initiator: q.initiator,
+                spec: q.spec,
+                engine: q.engine,
+                min_epoch,
+            })
+            .collect();
+        self.execute(requests)
+    }
+
+    /// The scatter/gather data plane on explicit wire requests (no
+    /// implicit replication, no stamping — what [`plan_batch`] builds
+    /// on).
+    ///
+    /// [`plan_batch`]: Self::plan_batch
+    pub fn execute(&self, requests: Vec<WireRequest>) -> Vec<Result<PlanOutcome, ClusterError>> {
+        let initiators: Vec<NodeId> = requests.iter().map(|r| r.initiator).collect();
+        let plan = self.router.lock().scatter_plan(&initiators);
+        let mut slots: Vec<Option<Result<PlanOutcome, ClusterError>>> =
+            (0..requests.len()).map(|_| None).collect();
+        // Scatter concurrently — one thread per addressed node, so node
+        // executors genuinely run side by side (this is where multi-node
+        // beats one node on a multi-core host).
+        let replies: Vec<(usize, &Vec<usize>, Result<NodeReply, TransportError>)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = plan
+                    .iter()
+                    .map(|(node, positions)| {
+                        let batch: Vec<WireRequest> =
+                            positions.iter().map(|&p| requests[p]).collect();
+                        let transport = Arc::clone(&self.transport);
+                        let node = *node;
+                        scope.spawn(move || (node, transport.send(node, NodeMsg::Execute(batch))))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .zip(plan.iter())
+                    .map(|(h, (_, positions))| {
+                        let (node, reply) = h.join().expect("scatter worker never panics");
+                        (node, positions, reply)
+                    })
+                    .collect()
+            });
+        for (_, positions, reply) in replies {
+            match reply {
+                Ok(NodeReply::Outcomes(outcomes)) if outcomes.len() == positions.len() => {
+                    for (&pos, outcome) in positions.iter().zip(outcomes) {
+                        slots[pos] = Some(outcome.map_err(ClusterError::Exec));
+                    }
+                }
+                Ok(_) => {
+                    for &pos in positions {
+                        slots[pos] = Some(Err(ClusterError::Protocol));
+                    }
+                }
+                Err(e) => {
+                    for &pos in positions {
+                        slots[pos] = Some(Err(ClusterError::Transport(e.clone())));
+                    }
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("scatter plan covers every position"))
+            .collect()
+    }
+
+    // -- membership ----------------------------------------------------
+
+    /// Stop routing to `node` and hand its shards to the remaining
+    /// active nodes. The node keeps its state and can be
+    /// [`undrained`](Self::undrain_node) later.
+    pub fn drain_node(&self, node: usize) -> Result<(), RouterError> {
+        self.router.lock().drain(node)
+    }
+
+    /// Return a drained node to the shard map (it catches up through the
+    /// normal replication path on the next round).
+    pub fn undrain_node(&self, node: usize) -> Result<(), RouterError> {
+        self.router.lock().undrain(node)
+    }
+
+    /// Indices of the nodes currently taking traffic.
+    pub fn active_nodes(&self) -> Vec<usize> {
+        self.router.lock().active_nodes()
+    }
+
+    /// The node slots behind this cluster (for direct metric probes in
+    /// benches and tests).
+    pub fn nodes(&self) -> &[Arc<ClusterNode>] {
+        &self.nodes
+    }
+
+    // -- observability -------------------------------------------------
+
+    /// Writer position, per-node status and lag, replication counters.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let writer_epoch = self.writer_epoch();
+        let writer_seq = self.planner.delta_seq();
+        let router = self.router.lock();
+        let replicator = self.replicator.lock();
+        let nodes = (0..router.node_slots())
+            .map(|node| {
+                let (status, reachable) = match self.transport.send(node, NodeMsg::Status) {
+                    Ok(NodeReply::Status(status)) => (status, true),
+                    _ => (NodeStatus::default(), false),
+                };
+                NodeLag {
+                    node,
+                    active: router.is_active(node),
+                    graph_lag: writer_epoch.graph.saturating_sub(status.epoch.graph),
+                    calendar_lag: writer_epoch.calendar.saturating_sub(status.epoch.calendar),
+                    seq_lag: writer_seq.saturating_sub(status.seq),
+                    status,
+                    reachable,
+                }
+            })
+            .collect();
+        ClusterMetrics {
+            writer_epoch,
+            writer_seq,
+            nodes,
+            full_syncs: replicator.full_syncs,
+            delta_batches: replicator.delta_batches,
+            failed_sends: replicator.failed_sends,
+        }
+    }
+}

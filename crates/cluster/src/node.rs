@@ -1,0 +1,315 @@
+//! One serving node: a mirrored world plus a full
+//! [`Executor`](stgq_exec::Executor).
+//!
+//! A node never mutates the world on its own — it *replays* the writer's
+//! replication payloads into a local mirror (a [`MutableNetwork`] plus
+//! [`CalendarStore`], the same types the writer's planner owns) and
+//! republishes its executor's immutable [`WorldSnapshot`] under the
+//! **writer's** version stamps. Everything the single-process executor
+//! does per node — shard-partitioned feasible-graph cache, result cache,
+//! worker pool, epoch-swapped snapshots — works unchanged; the cluster
+//! layer only decides *which* node answers *which* initiator shard.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use stgq_exec::{ExecConfig, Executor, PlanRequest, WorldSnapshot};
+use stgq_service::{CalendarStore, MutableNetwork};
+
+use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, ReplicationPayload, WireRequest};
+
+/// The mirrored mutable world behind one node's executor.
+struct ReplicaWorld {
+    network: MutableNetwork,
+    calendars: CalendarStore,
+    /// Last delta sequence applied (0 before first attach).
+    seq: u64,
+    /// The writer-stamped epoch of the last applied payload.
+    epoch: Epoch,
+    /// Whether a first sync has completed (until then every delta
+    /// payload is refused as [`NodeReply::Stale`]).
+    attached: bool,
+    full_syncs: u64,
+    delta_batches: u64,
+}
+
+/// One cluster serving node. See the module docs.
+pub struct ClusterNode {
+    id: usize,
+    exec: Executor,
+    world: Mutex<ReplicaWorld>,
+}
+
+impl ClusterNode {
+    /// A fresh, unattached node. It refuses queries
+    /// ([`stgq_exec::ExecError::NoSnapshot`]) until its first full sync.
+    pub fn new(id: usize, cfg: ExecConfig) -> Self {
+        ClusterNode {
+            id,
+            exec: Executor::new(cfg),
+            world: Mutex::new(ReplicaWorld {
+                network: MutableNetwork::new(),
+                calendars: CalendarStore::new(0),
+                seq: 0,
+                epoch: Epoch::default(),
+                attached: false,
+                full_syncs: 0,
+                delta_batches: 0,
+            }),
+        }
+    }
+
+    /// This node's index in the cluster.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The node's executor (metrics, direct inspection).
+    pub fn executor(&self) -> &Executor {
+        &self.exec
+    }
+
+    /// Dispatch one protocol message. This is the entire server side of
+    /// the cluster protocol — a network transport would deserialize into
+    /// [`NodeMsg`] and call exactly this.
+    pub fn handle(&self, msg: NodeMsg) -> NodeReply {
+        match msg {
+            NodeMsg::Replicate(payload) => self.apply_replication(payload),
+            NodeMsg::Execute(requests) => self.execute(requests),
+            NodeMsg::Status => NodeReply::Status(self.status()),
+        }
+    }
+
+    /// The node's current status snapshot.
+    pub fn status(&self) -> NodeStatus {
+        let world = self.world.lock();
+        let m = self.exec.metrics();
+        NodeStatus {
+            seq: world.seq,
+            epoch: world.epoch,
+            attached: world.attached,
+            full_syncs: world.full_syncs,
+            delta_batches: world.delta_batches,
+            queries: m.queries,
+            result_cache_hits: m.result_cache_hits,
+        }
+    }
+
+    fn apply_replication(&self, payload: ReplicationPayload) -> NodeReply {
+        let mut world = self.world.lock();
+        match payload {
+            ReplicationPayload::Full(state) => {
+                let (network, calendars) = match state.restore() {
+                    Ok(mirror) => mirror,
+                    Err(e) => {
+                        return NodeReply::Failed {
+                            reason: format!("full sync failed to restore: {e}"),
+                        }
+                    }
+                };
+                world.network = network;
+                world.calendars = calendars;
+                world.seq = state.seq;
+                world.epoch = Epoch::new(state.graph_version, state.calendar_version);
+                world.attached = true;
+                world.full_syncs += 1;
+                self.publish(&world, true, true);
+                NodeReply::Ack {
+                    seq: world.seq,
+                    epoch: world.epoch,
+                }
+            }
+            ReplicationPayload::Deltas { from_seq, records } => {
+                if !world.attached || from_seq != world.seq {
+                    // Out-of-order or never-attached: applying would skip
+                    // history. The writer falls back to a full sync.
+                    return NodeReply::Stale {
+                        have_seq: world.seq,
+                    };
+                }
+                let mut graph_moved = false;
+                let mut calendar_moved = false;
+                for record in records {
+                    debug_assert_eq!(record.seq, world.seq + 1, "log is dense");
+                    let ReplicaWorld {
+                        network, calendars, ..
+                    } = &mut *world;
+                    if let Err(e) = record.delta.apply(network, calendars) {
+                        // A delta that applied on the writer must apply on
+                        // a faithful mirror; failure means the mirror has
+                        // diverged — report it and let a full sync repair.
+                        return NodeReply::Failed {
+                            reason: format!("delta {} failed to apply: {e}", record.seq),
+                        };
+                    }
+                    graph_moved |= record.graph_version != world.epoch.graph;
+                    calendar_moved |= record.calendar_version != world.epoch.calendar;
+                    world.seq = record.seq;
+                    world.epoch = Epoch::new(record.graph_version, record.calendar_version);
+                }
+                if graph_moved || calendar_moved {
+                    world.delta_batches += 1;
+                    self.publish(&world, graph_moved, calendar_moved);
+                }
+                NodeReply::Ack {
+                    seq: world.seq,
+                    epoch: world.epoch,
+                }
+            }
+        }
+    }
+
+    /// Rebuild and epoch-swap the executor's snapshot from the mirror,
+    /// re-deriving only the half that actually moved (a calendar-only
+    /// delta batch reuses the published CSR graph `Arc`, exactly like
+    /// the single-process planner's drift check).
+    fn publish(&self, world: &ReplicaWorld, graph_moved: bool, calendar_moved: bool) {
+        let current = self.exec.snapshot();
+        let graph = match &current {
+            Some(snap) if !graph_moved => Arc::clone(&snap.graph),
+            _ => Arc::new(world.network.snapshot()),
+        };
+        let calendars = match &current {
+            Some(snap) if !calendar_moved => Arc::clone(&snap.calendars),
+            _ => Arc::new(world.calendars.calendars().to_vec()),
+        };
+        self.exec.publish_snapshot(Arc::new(WorldSnapshot::new(
+            graph,
+            calendars,
+            world.epoch.graph,
+            world.epoch.calendar,
+        )));
+    }
+
+    fn execute(&self, requests: Vec<WireRequest>) -> NodeReply {
+        let requests: Vec<PlanRequest> = requests
+            .into_iter()
+            .map(|r| {
+                let mut request = PlanRequest::new(r.initiator, r.spec, r.engine);
+                if let Some(min) = r.min_epoch {
+                    request = request.with_min_epoch(min.graph, min.calendar);
+                }
+                request
+            })
+            .collect();
+        NodeReply::Outcomes(self.exec.execute_batch(requests))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stgq_core::SgqQuery;
+    use stgq_exec::{Engine, ExecError, QuerySpec};
+    use stgq_graph::NodeId;
+    use stgq_service::Planner;
+
+    fn writer() -> Planner {
+        let mut p = Planner::new(8);
+        let ids: Vec<NodeId> = (0..4).map(|i| p.add_person(format!("p{i}"))).collect();
+        p.connect(ids[0], ids[1], 2).unwrap();
+        p.connect(ids[0], ids[2], 3).unwrap();
+        p.connect(ids[1], ids[2], 1).unwrap();
+        for &id in &ids {
+            p.set_availability_range(id, stgq_schedule::SlotRange::new(0, 7), true)
+                .unwrap();
+        }
+        p
+    }
+
+    fn exec_cfg() -> ExecConfig {
+        ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        }
+    }
+
+    #[test]
+    fn unattached_node_refuses_queries_and_deltas() {
+        let node = ClusterNode::new(0, exec_cfg());
+        let sgq = SgqQuery::new(2, 1, 1).unwrap();
+        let NodeReply::Outcomes(outcomes) = node.handle(NodeMsg::Execute(vec![WireRequest {
+            initiator: NodeId(0),
+            spec: QuerySpec::Sgq(sgq),
+            engine: Engine::Exact,
+            min_epoch: None,
+        }])) else {
+            panic!("execute must reply with outcomes");
+        };
+        assert_eq!(outcomes, vec![Err(ExecError::NoSnapshot)]);
+
+        let reply = node.handle(NodeMsg::Replicate(ReplicationPayload::Deltas {
+            from_seq: 0,
+            records: Vec::new(),
+        }));
+        assert_eq!(reply, NodeReply::Stale { have_seq: 0 });
+    }
+
+    #[test]
+    fn full_sync_then_deltas_track_the_writer() {
+        let mut p = writer();
+        let node = ClusterNode::new(0, exec_cfg());
+
+        // Attach: full sync.
+        let reply = node.handle(NodeMsg::Replicate(ReplicationPayload::Full(
+            p.world_state(),
+        )));
+        let NodeReply::Ack { seq, epoch } = reply else {
+            panic!("full sync must ack, got {reply:?}");
+        };
+        assert_eq!(seq, p.delta_seq());
+        assert_eq!(
+            epoch,
+            Epoch::new(p.network().version(), p.calendars().version())
+        );
+        assert!(node.status().attached);
+        assert_eq!(node.status().full_syncs, 1);
+
+        // The node answers queries now.
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let ask = |node: &ClusterNode| -> Option<u64> {
+            let NodeReply::Outcomes(mut outcomes) =
+                node.handle(NodeMsg::Execute(vec![WireRequest {
+                    initiator: NodeId(0),
+                    spec: QuerySpec::Sgq(sgq),
+                    engine: Engine::Exact,
+                    min_epoch: None,
+                }]))
+            else {
+                panic!("execute must reply with outcomes");
+            };
+            outcomes.remove(0).unwrap().outcome.objective()
+        };
+        assert_eq!(ask(&node), Some(5));
+
+        // Writer mutates; catch up via deltas only.
+        let have = p.delta_seq();
+        p.connect(NodeId(0), NodeId(3), 1).unwrap();
+        p.connect(NodeId(1), NodeId(3), 1).unwrap();
+        let records = p.deltas_since(have).unwrap();
+        let reply = node.handle(NodeMsg::Replicate(ReplicationPayload::Deltas {
+            from_seq: have,
+            records,
+        }));
+        let NodeReply::Ack { seq, epoch } = reply else {
+            panic!("delta batch must ack, got {reply:?}");
+        };
+        assert_eq!(seq, p.delta_seq());
+        assert_eq!(epoch.graph, p.network().version());
+        assert_eq!(node.status().delta_batches, 1);
+        assert_eq!(node.status().full_syncs, 1, "no extra full sync");
+        assert_eq!(ask(&node), Some(3), "new epoch, new answer");
+
+        // Mis-spliced deltas are refused.
+        let reply = node.handle(NodeMsg::Replicate(ReplicationPayload::Deltas {
+            from_seq: 1,
+            records: Vec::new(),
+        }));
+        assert_eq!(
+            reply,
+            NodeReply::Stale {
+                have_seq: p.delta_seq()
+            }
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! The shard router: which node answers which initiator shard.
+//!
+//! The executor already partitions everything by **initiator shard**
+//! (`initiator mod shards` — the feasible-graph cache, the batch
+//! scheduler's job grouping, the result cache). The router lifts exactly
+//! that partition across nodes: a shard map assigns every shard to one
+//! node, a scatter groups a batch's entries by assigned node, and the
+//! gather reassembles outcomes in submission order. Same-initiator
+//! traffic therefore always lands on the same node while that node is in
+//! the map — its caches stay hot, exactly as a shard job keeps one cache
+//! shard hot inside a single executor.
+//!
+//! Draining a node reassigns its shards round-robin over the remaining
+//! nodes; the drained node finishes nothing in this design because
+//! scatter/gather is synchronous per batch — after
+//! [`drain`](ShardRouter::drain) returns, no future batch addresses it.
+
+use stgq_graph::NodeId;
+
+/// Maps initiator shards onto cluster node indices.
+#[derive(Clone, Debug)]
+pub struct ShardRouter {
+    /// `assignment[shard]` = node index answering that shard.
+    assignment: Vec<usize>,
+    /// Per node: whether it currently takes traffic.
+    active: Vec<bool>,
+}
+
+/// Router construction/mutation errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouterError {
+    /// The node index is outside the cluster.
+    UnknownNode {
+        /// The offending index.
+        node: usize,
+    },
+    /// Draining this node would leave zero active nodes.
+    LastNode,
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::UnknownNode { node } => write!(f, "unknown cluster node {node}"),
+            RouterError::LastNode => write!(f, "cannot drain the last active node"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+impl ShardRouter {
+    /// `shards` shards spread round-robin over `nodes` nodes.
+    pub fn new(shards: usize, nodes: usize) -> Self {
+        let shards = shards.max(1);
+        let nodes = nodes.max(1);
+        ShardRouter {
+            assignment: (0..shards).map(|s| s % nodes).collect(),
+            active: vec![true; nodes],
+        }
+    }
+
+    /// The shard modulus (must equal the per-node executors' shard count
+    /// for cache alignment, though correctness never depends on it).
+    pub fn shards(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Total node slots (active or drained).
+    pub fn node_slots(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Indices of the nodes currently taking traffic.
+    pub fn active_nodes(&self) -> Vec<usize> {
+        (0..self.active.len()).filter(|&n| self.active[n]).collect()
+    }
+
+    /// Whether `node` currently takes traffic.
+    pub fn is_active(&self, node: usize) -> bool {
+        self.active.get(node).copied().unwrap_or(false)
+    }
+
+    /// The shard owning `initiator` (the executor's modulus).
+    pub fn shard_of(&self, initiator: NodeId) -> usize {
+        initiator.0 as usize % self.assignment.len()
+    }
+
+    /// The node answering `initiator`.
+    pub fn node_of(&self, initiator: NodeId) -> usize {
+        self.assignment[self.shard_of(initiator)]
+    }
+
+    /// Stop routing to `node`, reassigning its shards round-robin over
+    /// the remaining active nodes.
+    pub fn drain(&mut self, node: usize) -> Result<(), RouterError> {
+        if node >= self.active.len() {
+            return Err(RouterError::UnknownNode { node });
+        }
+        if !self.active[node] {
+            return Ok(());
+        }
+        self.active[node] = false;
+        let survivors = self.active_nodes();
+        if survivors.is_empty() {
+            self.active[node] = true;
+            return Err(RouterError::LastNode);
+        }
+        let mut next = 0usize;
+        for owner in &mut self.assignment {
+            if *owner == node {
+                *owner = survivors[next % survivors.len()];
+                next += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Return a drained node to service: it takes back every shard it
+    /// would own under the round-robin layout over the now-active set.
+    pub fn undrain(&mut self, node: usize) -> Result<(), RouterError> {
+        if node >= self.active.len() {
+            return Err(RouterError::UnknownNode { node });
+        }
+        if self.active[node] {
+            return Ok(());
+        }
+        self.active[node] = true;
+        let survivors = self.active_nodes();
+        for (shard, owner) in self.assignment.iter_mut().enumerate() {
+            *owner = survivors[shard % survivors.len()];
+        }
+        Ok(())
+    }
+
+    /// Group batch positions by assigned node: returns `(node, positions)`
+    /// pairs covering every input position exactly once, positions in
+    /// submission order (the per-node executor relies on that for
+    /// within-batch collapsing determinism).
+    pub fn scatter_plan(&self, initiators: &[NodeId]) -> Vec<(usize, Vec<usize>)> {
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.active.len()];
+        for (pos, &initiator) in initiators.iter().enumerate() {
+            per_node[self.node_of(initiator)].push(pos);
+        }
+        per_node
+            .into_iter()
+            .enumerate()
+            .filter(|(_, positions)| !positions.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_every_shard() {
+        let r = ShardRouter::new(8, 3);
+        let owners: Vec<usize> = (0..8).map(|s| r.assignment[s]).collect();
+        assert_eq!(owners, [0, 1, 2, 0, 1, 2, 0, 1]);
+        assert_eq!(r.node_of(NodeId(9)), r.assignment[1]);
+    }
+
+    #[test]
+    fn drain_reassigns_and_undrain_restores() {
+        let mut r = ShardRouter::new(8, 3);
+        r.drain(1).unwrap();
+        assert!(!r.is_active(1));
+        assert!(r.assignment.iter().all(|&n| n != 1), "no shard left on 1");
+        assert_eq!(r.active_nodes(), [0, 2]);
+
+        r.drain(0).unwrap();
+        assert!(r.assignment.iter().all(|&n| n == 2));
+        assert_eq!(r.drain(2), Err(RouterError::LastNode), "someone must serve");
+
+        r.undrain(0).unwrap();
+        r.undrain(1).unwrap();
+        assert_eq!(r.active_nodes(), [0, 1, 2]);
+        assert!(r.assignment.contains(&1));
+    }
+
+    #[test]
+    fn scatter_plan_partitions_positions_in_order() {
+        let r = ShardRouter::new(4, 2);
+        let initiators: Vec<NodeId> = [0u32, 1, 2, 3, 4, 5].map(NodeId).to_vec();
+        let plan = r.scatter_plan(&initiators);
+        let mut seen: Vec<usize> = plan.iter().flat_map(|(_, p)| p.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, [0, 1, 2, 3, 4, 5], "every position exactly once");
+        for (_, positions) in &plan {
+            assert!(positions.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! The pluggable node-to-node transport.
+//!
+//! The offline build has no network registry crates, so the shipped
+//! implementation is [`InProcessTransport`]: every node lives in this
+//! process and a send is a direct dispatch — which makes the whole
+//! cluster deterministic and testable in one process. The [`Transport`]
+//! trait is the seam a real network transport slots into later; to keep
+//! the protocol honest in the meantime, the in-process transport can run
+//! with [`WireCodec::Json`], round-tripping every message and reply
+//! through their JSON wire form before delivery (anything that cannot
+//! cross a real wire fails loudly today).
+//!
+//! [`FaultInjector`] wraps any transport and drops selected messages —
+//! how the tests force replicas to miss deltas (gap → full sync) and
+//! lag behind minimum-epoch requests.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::message::{NodeMsg, NodeReply};
+use crate::node::ClusterNode;
+
+/// Why a send did not produce a reply.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TransportError {
+    /// No node is registered at this index.
+    UnknownNode {
+        /// The offending index.
+        node: usize,
+    },
+    /// The message was dropped in flight (fault injection; a real
+    /// transport would surface timeouts the same way).
+    Dropped,
+    /// The message or reply failed to encode/decode on the wire.
+    Codec(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::UnknownNode { node } => write!(f, "no node registered at {node}"),
+            TransportError::Dropped => write!(f, "message dropped in flight"),
+            TransportError::Codec(why) => write!(f, "wire codec failure: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// Node-to-node messaging: send one [`NodeMsg`] to the node at `node`
+/// and wait for its [`NodeReply`] (RPC-shaped, like the network
+/// transport it stands in for).
+pub trait Transport: Send + Sync {
+    /// Deliver `msg` to node `node` and return its reply.
+    fn send(&self, node: usize, msg: NodeMsg) -> Result<NodeReply, TransportError>;
+
+    /// How many node slots this transport can address.
+    fn node_count(&self) -> usize;
+}
+
+/// How the in-process transport moves messages.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum WireCodec {
+    /// Direct dispatch: the message value is handed to the node as-is.
+    #[default]
+    Direct,
+    /// Serialize → JSON text → deserialize on both the message and the
+    /// reply, proving every exchanged value is wire-encodable.
+    Json,
+}
+
+/// The in-process transport: all nodes live in this process; a send is
+/// a (possibly codec-round-tripped) direct call into the node.
+pub struct InProcessTransport {
+    nodes: Vec<Arc<ClusterNode>>,
+    codec: WireCodec,
+}
+
+impl InProcessTransport {
+    /// A transport over `nodes` with direct dispatch.
+    pub fn new(nodes: Vec<Arc<ClusterNode>>) -> Self {
+        InProcessTransport {
+            nodes,
+            codec: WireCodec::Direct,
+        }
+    }
+
+    /// The same transport with an explicit codec.
+    pub fn with_codec(nodes: Vec<Arc<ClusterNode>>, codec: WireCodec) -> Self {
+        InProcessTransport { nodes, codec }
+    }
+}
+
+impl Transport for InProcessTransport {
+    fn send(&self, node: usize, msg: NodeMsg) -> Result<NodeReply, TransportError> {
+        let target = self
+            .nodes
+            .get(node)
+            .ok_or(TransportError::UnknownNode { node })?;
+        match self.codec {
+            WireCodec::Direct => Ok(target.handle(msg)),
+            WireCodec::Json => {
+                let encoded = serde_json::to_string(&msg)
+                    .map_err(|e| TransportError::Codec(e.to_string()))?;
+                let decoded: NodeMsg = serde_json::from_str(&encoded)
+                    .map_err(|e| TransportError::Codec(e.to_string()))?;
+                let reply = target.handle(decoded);
+                let encoded = serde_json::to_string(&reply)
+                    .map_err(|e| TransportError::Codec(e.to_string()))?;
+                serde_json::from_str(&encoded).map_err(|e| TransportError::Codec(e.to_string()))
+            }
+        }
+    }
+
+    fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// A decorator dropping selected messages before they reach the inner
+/// transport — deterministic fault injection for the replication tests.
+pub struct FaultInjector {
+    inner: Arc<dyn Transport>,
+    /// Nodes whose **replication** messages are dropped (data-plane and
+    /// status messages still flow, so a lagging node is observable).
+    drop_replication_to: Mutex<HashSet<usize>>,
+    /// Replication messages swallowed so far.
+    dropped: Mutex<u64>,
+}
+
+impl FaultInjector {
+    /// Wrap `inner` with no faults active.
+    pub fn new(inner: Arc<dyn Transport>) -> Self {
+        FaultInjector {
+            inner,
+            drop_replication_to: Mutex::new(HashSet::new()),
+            dropped: Mutex::new(0),
+        }
+    }
+
+    /// Start (or stop) dropping replication messages to `node`.
+    pub fn set_drop_replication(&self, node: usize, drop: bool) {
+        let mut set = self.drop_replication_to.lock();
+        if drop {
+            set.insert(node);
+        } else {
+            set.remove(&node);
+        }
+    }
+
+    /// Replication messages swallowed so far.
+    pub fn dropped(&self) -> u64 {
+        *self.dropped.lock()
+    }
+}
+
+impl Transport for FaultInjector {
+    fn send(&self, node: usize, msg: NodeMsg) -> Result<NodeReply, TransportError> {
+        if matches!(msg, NodeMsg::Replicate(_)) && self.drop_replication_to.lock().contains(&node) {
+            *self.dropped.lock() += 1;
+            return Err(TransportError::Dropped);
+        }
+        self.inner.send(node, msg)
+    }
+
+    fn node_count(&self) -> usize {
+        self.inner.node_count()
+    }
+}

@@ -82,6 +82,21 @@ pub struct SelectConfig {
     /// skip to fire. Exactness is untouched: the floor only retires
     /// subtrees that provably cannot strictly beat the incumbent.
     pub sharp_pivot_floor: bool,
+    /// Restrict the [`sharp_pivot_floor`](Self::sharp_pivot_floor)
+    /// candidate sets further to candidates with **eligible degree ≥
+    /// p − 1 − k** (acquaintances among the pivot-eligible candidates and
+    /// the initiator). Every group member needs at least `p − 1 − k`
+    /// acquaintances *inside the group*, and the group is drawn from the
+    /// eligible set plus the initiator, so low-eligible-degree candidates
+    /// can never appear in any feasible group at this pivot — dropping
+    /// them from the per-window cheapest-sum only tightens the floor
+    /// (dominance over the compatibility-only floor is property-tested).
+    /// This targets the fig1f `m = 12` regime, where every candidate
+    /// covers every window (the temporal restriction is vacuous) and the
+    /// spread is *social*: the `k` constraint forces expensive mutual
+    /// friends the compatibility floor cannot see. No effect unless
+    /// `sharp_pivot_floor` is also on; exactness untouched.
+    pub acq_pivot_floor: bool,
 }
 
 impl SelectConfig {
@@ -99,6 +114,7 @@ impl SelectConfig {
         availability_ordering: true,
         pool_pivot_buffers: true,
         sharp_pivot_floor: true,
+        acq_pivot_floor: true,
     };
 
     /// Ablation preset: the previous release's *sequential* search
@@ -115,6 +131,7 @@ impl SelectConfig {
         availability_ordering: false,
         pool_pivot_buffers: false,
         sharp_pivot_floor: false,
+        acq_pivot_floor: false,
         ..SelectConfig::PAPER_EXAMPLE
     };
 
@@ -210,6 +227,16 @@ impl SelectConfig {
         }
     }
 
+    /// This config with the acquaintance-aware restriction of the sharp
+    /// pivot floor toggled (no effect unless
+    /// [`sharp_pivot_floor`](Self::sharp_pivot_floor) is also on).
+    pub const fn with_acq_pivot_floor(self, on: bool) -> Self {
+        SelectConfig {
+            acq_pivot_floor: on,
+            ..self
+        }
+    }
+
     /// Clamp to the invariants (`phi0 ≥ 1`, `phi_cap ≥ phi0`).
     pub fn normalized(self) -> Self {
         let phi0 = self.phi0.max(1);
@@ -277,11 +304,13 @@ mod tests {
         assert_eq!(c.seed_restarts, 2);
         assert!(c.pivot_promise_order && c.availability_ordering && c.pool_pivot_buffers);
         assert!(c.sharp_pivot_floor);
+        assert!(c.acq_pivot_floor);
 
         let off = SelectConfig::NO_SEARCH_REDUCTION;
         assert_eq!(off.seed_restarts, 0);
         assert!(!off.pivot_promise_order && !off.availability_ordering && !off.pool_pivot_buffers);
         assert!(!off.sharp_pivot_floor);
+        assert!(!off.acq_pivot_floor);
         assert!(
             off.distance_pruning && off.acquaintance_pruning,
             "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
@@ -292,9 +321,10 @@ mod tests {
             .with_pivot_promise_order(false)
             .with_availability_ordering(false)
             .with_pool_pivot_buffers(false)
-            .with_sharp_pivot_floor(false);
+            .with_sharp_pivot_floor(false)
+            .with_acq_pivot_floor(false);
         assert_eq!(c.seed_restarts, 5);
         assert!(!c.pivot_promise_order && !c.availability_ordering && !c.pool_pivot_buffers);
-        assert!(!c.sharp_pivot_floor);
+        assert!(!c.sharp_pivot_floor && !c.acq_pivot_floor);
     }
 }

@@ -225,6 +225,7 @@ fn run_stgq_heuristic(
             // Plain floor: the greedy engine's evaluation counts are
             // pinned by behaviour tests, and it never consults the bound.
             false,
+            None,
             &mut scratch,
             &mut arena,
         ) else {

@@ -164,6 +164,8 @@ mod parallel;
 mod query;
 pub mod reference;
 mod result;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod sgselect;
 mod stats;
 mod stgselect;
@@ -179,7 +181,8 @@ pub use control::{CancelToken, SolveControl, DEADLINE_CHECK_INTERVAL};
 pub use error::QueryError;
 pub use manual::{pc_arrange, stg_arrange, PcArrangeResult, StgArrangeResult};
 pub use parallel::{
-    solve_sgq_parallel, solve_sgq_parallel_on, solve_stgq_parallel, solve_stgq_parallel_on,
+    solve_sgq_parallel, solve_sgq_parallel_controlled_on, solve_sgq_parallel_on,
+    solve_stgq_parallel, solve_stgq_parallel_controlled_on, solve_stgq_parallel_on,
 };
 pub use query::{SgqQuery, StgqQuery};
 pub use result::{SgqOutcome, SgqSolution, SolveOutcome, StgqOutcome, StgqSolution, StopCause};

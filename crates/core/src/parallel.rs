@@ -51,12 +51,12 @@ use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::sgselect::{Searcher, VaState};
 use crate::stgselect::{
-    dist_tie_blocks, pivot_bound_skips, prepare_pivot, promise_ordered_pivots, search_pivot,
-    search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob, StBest,
+    acq_floor_min_deg, dist_tie_blocks, pivot_bound_skips, prepare_pivot, promise_ordered_pivots,
+    search_pivot_controlled, search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob, StBest,
 };
 use crate::{
-    solve_sgq_on, solve_stgq_on, QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery,
-    SgqSolution, StgqOutcome, StgqQuery, StgqSolution,
+    solve_sgq_controlled_on, solve_stgq_controlled, QueryError, SearchStats, SelectConfig,
+    SgqOutcome, SgqQuery, SgqSolution, SolveControl, StgqOutcome, StgqQuery, StgqSolution,
 };
 
 /// How many of the earliest access-order roots are split into depth-2
@@ -106,7 +106,7 @@ pub fn solve_sgq_parallel(
 }
 
 /// As [`solve_sgq_parallel`] on a pre-extracted feasible graph, with an
-/// optional candidate mask (see [`solve_sgq_on`]).
+/// optional candidate mask (see [`crate::solve_sgq_on`]).
 pub fn solve_sgq_parallel_on(
     fg: &FeasibleGraph,
     query: &SgqQuery,
@@ -114,10 +114,29 @@ pub fn solve_sgq_parallel_on(
     candidate_mask: Option<&BitSet>,
     threads: usize,
 ) -> SgqOutcome {
+    solve_sgq_parallel_controlled_on(fg, query, cfg, candidate_mask, threads, None)
+}
+
+/// As [`solve_sgq_parallel_on`], with an optional [`SolveControl`]
+/// (cooperative cancellation / deadline). Every worker polls the control
+/// on its frame-counter path and between claimed subtree tasks, so a
+/// tripped token or expired deadline stops the whole solve at the next
+/// frame boundary on every thread; the result carries
+/// [`SearchStats::cancelled`](crate::SearchStats::cancelled) — never
+/// `truncated`, which stays reserved for frame-budget exhaustion.
+pub fn solve_sgq_parallel_controlled_on(
+    fg: &FeasibleGraph,
+    query: &SgqQuery,
+    cfg: &SelectConfig,
+    candidate_mask: Option<&BitSet>,
+    threads: usize,
+    control: Option<&SolveControl>,
+) -> SgqOutcome {
+    let control = control.filter(|c| !c.is_noop());
     let threads = effective_threads(threads);
     let p = query.p();
     if threads == 1 || p <= 1 {
-        return solve_sgq_on(fg, query, cfg, candidate_mask);
+        return solve_sgq_controlled_on(fg, query, cfg, candidate_mask, control);
     }
 
     let order = fg.candidate_order();
@@ -182,6 +201,15 @@ pub fn solve_sgq_parallel_on(
                         let Some(&task) = tasks.get(t) else {
                             return local;
                         };
+                        // Between-task stop: the frame path below polls the
+                        // control too, but a task claimed after the stop
+                        // would still pay its setup — bail here instead.
+                        if let Some(control) = control {
+                            if control.should_stop_now() {
+                                local.cancelled = true;
+                                return local;
+                            }
+                        }
                         let (i, forced_j) = match task {
                             RootTask::Single(i) => (i, None),
                             RootTask::Pair(i, j) => (i, Some(j)),
@@ -209,6 +237,7 @@ pub fn solve_sgq_parallel_on(
                         }
 
                         let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
+                        searcher.control = control;
                         searcher.push(0);
                         let u_i = order[i];
                         let mut td = fg.dist(u_i);
@@ -285,10 +314,30 @@ pub fn solve_stgq_parallel_on(
     cfg: &SelectConfig,
     threads: usize,
 ) -> StgqOutcome {
+    solve_stgq_parallel_controlled_on(fg, calendars, query, cfg, threads, None)
+}
+
+/// As [`solve_stgq_parallel_on`], with an optional [`SolveControl`]
+/// polled by every worker — on the frame-counter path, between claimed
+/// pivots, and between forced-prefix subtree tasks. A stopped solve
+/// returns the shared incumbent found so far with
+/// [`SearchStats::cancelled`](crate::SearchStats::cancelled) set
+/// (distinct from budget truncation), exactly like the sequential
+/// [`solve_stgq_controlled`].
+pub fn solve_stgq_parallel_controlled_on(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+    threads: usize,
+    control: Option<&SolveControl>,
+) -> StgqOutcome {
+    let control = control.filter(|c| !c.is_noop());
     let threads = effective_threads(threads);
     let p = query.p();
     if threads == 1 || p <= 1 {
-        return solve_stgq_on(fg, calendars, query, cfg);
+        let mut arena = PivotArena::new();
+        return solve_stgq_controlled(fg, calendars, query, cfg, &mut arena, control);
     }
 
     let cfg = cfg.normalized();
@@ -327,6 +376,7 @@ pub fn solve_stgq_parallel_on(
     let mut stats = SearchStats::default();
     let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
     let tie_blocks = tie_blocks.as_deref();
+    let acq_min_deg = acq_floor_min_deg(&cfg, p, query.k());
 
     if pivots.len() >= threads * INTRA_PIVOT_SPLIT_FACTOR {
         // Plenty of pivots: one task per pivot saturates every core, and
@@ -347,6 +397,15 @@ pub fn solve_stgq_parallel_on(
                             if i >= pivots.len() {
                                 return local;
                             }
+                            // Between-pivot stop, as in the sequential
+                            // engine's pivot loop (unamortised check —
+                            // pivot preparation runs outside any frame).
+                            if let Some(control) = control {
+                                if control.should_stop_now() {
+                                    local.cancelled = true;
+                                    return local;
+                                }
+                            }
                             if let Some(mut job) = prepare_pivot(
                                 fg,
                                 calendars,
@@ -356,13 +415,16 @@ pub fn solve_stgq_parallel_on(
                                 horizon,
                                 tie_blocks,
                                 cfg.sharp_pivot_floor,
+                                acq_min_deg,
                                 &mut local,
                                 &mut arena,
                             ) {
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                     local.pivots_skipped += 1;
                                 } else {
-                                    search_pivot(fg, query, &cfg, &mut job, &incumbent, &mut local);
+                                    search_pivot_controlled(
+                                        fg, query, &cfg, &mut job, &incumbent, &mut local, control,
+                                    );
                                 }
                                 arena.recycle(job);
                             }
@@ -395,6 +457,12 @@ pub fn solve_stgq_parallel_on(
                             if i >= pivots.len() {
                                 return (local, found);
                             }
+                            if let Some(control) = control {
+                                if control.should_stop_now() {
+                                    local.cancelled = true;
+                                    return (local, found);
+                                }
+                            }
                             if let Some(job) = prepare_pivot(
                                 fg,
                                 calendars,
@@ -404,6 +472,7 @@ pub fn solve_stgq_parallel_on(
                                 horizon,
                                 tie_blocks,
                                 cfg.sharp_pivot_floor,
+                                acq_min_deg,
                                 &mut local,
                                 &mut arena,
                             ) {
@@ -456,6 +525,12 @@ pub fn solve_stgq_parallel_on(
                             let Some(&(ji, task)) = tasks.get(t) else {
                                 return local;
                             };
+                            if let Some(control) = control {
+                                if control.should_stop_now() {
+                                    local.cancelled = true;
+                                    return local;
+                                }
+                            }
                             let (job, root_ok) = &jobs[ji as usize];
                             let (i, forced_j) = match task {
                                 RootTask::Single(i) => (i, None),
@@ -472,7 +547,7 @@ pub fn solve_stgq_parallel_on(
                                 continue;
                             }
                             search_pivot_subtree(
-                                fg, query, &cfg, job, i, forced_j, &incumbent, &mut local,
+                                fg, query, &cfg, job, i, forced_j, &incumbent, &mut local, control,
                             );
                         }
                     })
@@ -628,6 +703,64 @@ mod tests {
             par.solution.map(|s| s.total_distance),
             seq.solution.map(|s| s.total_distance)
         );
+    }
+
+    #[test]
+    fn cancelled_parallel_solves_report_cancelled_not_truncated() {
+        // Regression for the executor's `Engine::ExactParallel` path: the
+        // parallel workers must poll `SolveControl` (between tasks and on
+        // the frame path), and a stopped solve must surface as
+        // *cancelled*, never as budget truncation.
+        use crate::CancelToken;
+        let (g, cals) = random_instance(21, 20, 0.35, 48);
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let cfg = SelectConfig::default();
+        let token = CancelToken::new();
+        token.cancel();
+        let control = SolveControl::new().with_cancel(token);
+
+        let sgq = SgqQuery::new(5, 2, 1).unwrap();
+        let out = solve_sgq_parallel_controlled_on(&fg, &sgq, &cfg, None, 4, Some(&control));
+        assert!(out.stats.cancelled, "SGQ workers must poll the control");
+        assert!(!out.stats.truncated, "cancellation is not truncation");
+
+        let stgq = StgqQuery::new(4, 2, 1, 4).unwrap();
+        let out = solve_stgq_parallel_controlled_on(&fg, &cals, &stgq, &cfg, 4, Some(&control));
+        assert!(out.stats.cancelled, "STGQ pivot workers must poll");
+        assert!(!out.stats.truncated);
+
+        // Few pivots ⇒ the intra-pivot split path must poll too.
+        let wide = StgqQuery::new(3, 2, 1, 20).unwrap();
+        let out = solve_stgq_parallel_controlled_on(&fg, &cals, &wide, &cfg, 16, Some(&control));
+        assert!(out.stats.cancelled || out.stats.pivots_processed == 0);
+        assert!(!out.stats.truncated);
+    }
+
+    #[test]
+    fn quiet_control_does_not_change_parallel_results() {
+        use crate::CancelToken;
+        let (g, cals) = random_instance(22, 18, 0.4, 36);
+        let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+        let cfg = SelectConfig::default();
+        let control = SolveControl::new().with_cancel(CancelToken::new());
+
+        let sgq = SgqQuery::new(4, 2, 1).unwrap();
+        let plain = solve_sgq_parallel_on(&fg, &sgq, &cfg, None, 3);
+        let quiet = solve_sgq_parallel_controlled_on(&fg, &sgq, &cfg, None, 3, Some(&control));
+        assert_eq!(
+            plain.solution.map(|s| s.total_distance),
+            quiet.solution.map(|s| s.total_distance)
+        );
+        assert!(!quiet.stats.cancelled);
+
+        let stgq = StgqQuery::new(4, 2, 1, 4).unwrap();
+        let plain = solve_stgq_parallel_on(&fg, &cals, &stgq, &cfg, 3);
+        let quiet = solve_stgq_parallel_controlled_on(&fg, &cals, &stgq, &cfg, 3, Some(&control));
+        assert_eq!(
+            plain.solution.map(|s| s.total_distance),
+            quiet.solution.map(|s| s.total_distance)
+        );
+        assert!(!quiet.stats.cancelled);
     }
 
     #[test]

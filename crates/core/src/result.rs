@@ -99,6 +99,7 @@ impl SolveOutcome {
 
 /// An optimal answer to an SGQ: the group and its objective value.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SgqSolution {
     /// The selected attendees, sorted by original id; always contains the
     /// initiator and has exactly `p` members.
@@ -109,6 +110,7 @@ pub struct SgqSolution {
 
 /// An optimal answer to an STGQ: group, objective and activity period.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StgqSolution {
     /// The selected attendees, sorted by original id.
     pub members: Vec<NodeId>,
@@ -125,6 +127,7 @@ pub struct StgqSolution {
 /// Result of an SGQ engine run: the solution (if the query is feasible)
 /// plus the work counters.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SgqOutcome {
     /// `None` ⇔ no group satisfies all constraints ("Failure" in the paper).
     pub solution: Option<SgqSolution>,
@@ -134,6 +137,7 @@ pub struct SgqOutcome {
 
 /// Result of an STGQ engine run.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct StgqOutcome {
     /// `None` ⇔ no (group, period) satisfies all constraints.
     pub solution: Option<StgqSolution>,

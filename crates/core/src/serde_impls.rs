@@ -1,0 +1,188 @@
+//! Wire encodings (`serde` feature) for the types that cross the
+//! cluster transport: query specs, solve outcomes and stop provenance.
+//!
+//! The struct-shaped types ([`SgqSolution`](crate::SgqSolution),
+//! [`StgqSolution`](crate::StgqSolution), outcomes,
+//! [`SearchStats`](crate::SearchStats)) derive the workspace serde
+//! shim's traits in place; this module hand-writes the impls the shim's
+//! derive cannot express — enums ([`SolveOutcome`], [`StopCause`]) and
+//! the validated query parameter types, whose deserializers go through
+//! `new()` so a decoded query can never violate the constructors'
+//! invariants (`p ≥ 1`, `s ≥ 1`, `m ≥ 1`).
+
+use serde::value::{get, Value};
+use serde::{DeError, Deserialize, Serialize};
+
+use crate::{SgqOutcome, SgqQuery, SolveOutcome, StgqOutcome, StgqQuery, StopCause};
+
+impl Serialize for SgqQuery {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("p".to_string(), self.p().to_value()),
+            ("s".to_string(), self.s().to_value()),
+            ("k".to_string(), self.k().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SgqQuery {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object for SgqQuery"))?;
+        let field = |name: &str| -> Result<usize, DeError> {
+            usize::from_value(
+                get(entries, name)
+                    .ok_or_else(|| DeError::new(format!("missing field `{name}` in SgqQuery")))?,
+            )
+        };
+        SgqQuery::new(field("p")?, field("s")?, field("k")?)
+            .map_err(|e| DeError::new(format!("invalid SgqQuery: {e}")))
+    }
+}
+
+impl Serialize for StgqQuery {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("p".to_string(), self.p().to_value()),
+            ("s".to_string(), self.s().to_value()),
+            ("k".to_string(), self.k().to_value()),
+            ("m".to_string(), self.m().to_value()),
+        ])
+    }
+}
+
+impl Deserialize for StgqQuery {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object for StgqQuery"))?;
+        let field = |name: &str| -> Result<usize, DeError> {
+            usize::from_value(
+                get(entries, name)
+                    .ok_or_else(|| DeError::new(format!("missing field `{name}` in StgqQuery")))?,
+            )
+        };
+        StgqQuery::new(field("p")?, field("s")?, field("k")?, field("m")?)
+            .map_err(|e| DeError::new(format!("invalid StgqQuery: {e}")))
+    }
+}
+
+impl Serialize for SolveOutcome {
+    fn to_value(&self) -> Value {
+        let (tag, inner) = match self {
+            SolveOutcome::Sgq(o) => ("sgq", o.to_value()),
+            SolveOutcome::Stgq(o) => ("stgq", o.to_value()),
+        };
+        Value::Object(vec![(tag.to_string(), inner)])
+    }
+}
+
+impl Deserialize for SolveOutcome {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object for SolveOutcome"))?;
+        if let Some(inner) = get(entries, "sgq") {
+            return Ok(SolveOutcome::Sgq(SgqOutcome::from_value(inner)?));
+        }
+        if let Some(inner) = get(entries, "stgq") {
+            return Ok(SolveOutcome::Stgq(StgqOutcome::from_value(inner)?));
+        }
+        Err(DeError::new("SolveOutcome needs an `sgq` or `stgq` key"))
+    }
+}
+
+impl Serialize for StopCause {
+    fn to_value(&self) -> Value {
+        Value::Str(
+            match self {
+                StopCause::Completed => "completed",
+                StopCause::FrameBudget => "frame_budget",
+                StopCause::Cancelled => "cancelled",
+            }
+            .to_string(),
+        )
+    }
+}
+
+impl Deserialize for StopCause {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "completed" => Ok(StopCause::Completed),
+                "frame_budget" => Ok(StopCause::FrameBudget),
+                "cancelled" => Ok(StopCause::Cancelled),
+                other => Err(DeError::new(format!("unknown StopCause `{other}`"))),
+            },
+            _ => Err(DeError::new("expected string for StopCause")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{SearchStats, StgqSolution};
+    use stgq_graph::NodeId;
+    use stgq_schedule::SlotRange;
+
+    #[test]
+    fn queries_roundtrip_and_revalidate() {
+        let q = StgqQuery::new(4, 2, 1, 3).unwrap();
+        let back: StgqQuery = serde_json::from_str(&serde_json::to_string(&q).unwrap()).unwrap();
+        assert_eq!(back, q);
+
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let back: SgqQuery = serde_json::from_str(&serde_json::to_string(&sgq).unwrap()).unwrap();
+        assert_eq!(back, sgq);
+
+        // Decoding goes through the validating constructor.
+        assert!(serde_json::from_str::<SgqQuery>(r#"{"p":0,"s":1,"k":0}"#).is_err());
+        assert!(serde_json::from_str::<StgqQuery>(r#"{"p":2,"s":1,"k":0,"m":0}"#).is_err());
+    }
+
+    #[test]
+    fn outcomes_roundtrip_bit_for_bit() {
+        let out = SolveOutcome::Stgq(StgqOutcome {
+            solution: Some(StgqSolution {
+                members: vec![NodeId(0), NodeId(3)],
+                total_distance: 7,
+                period: SlotRange::new(1, 2),
+                pivot: 1,
+            }),
+            stats: SearchStats {
+                frames: 12,
+                pivots_skipped: 3,
+                truncated: true,
+                ..Default::default()
+            },
+        });
+        let json = serde_json::to_string(&out).unwrap();
+        let back: SolveOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, out);
+        assert_eq!(back.stop_cause(), StopCause::FrameBudget);
+
+        // Infeasible outcomes (solution: null) survive too.
+        let none = SolveOutcome::Sgq(SgqOutcome {
+            solution: None,
+            stats: SearchStats::default(),
+        });
+        let back: SolveOutcome =
+            serde_json::from_str(&serde_json::to_string(&none).unwrap()).unwrap();
+        assert_eq!(back, none);
+    }
+
+    #[test]
+    fn stop_cause_roundtrips() {
+        for cause in [
+            StopCause::Completed,
+            StopCause::FrameBudget,
+            StopCause::Cancelled,
+        ] {
+            let back: StopCause =
+                serde_json::from_str(&serde_json::to_string(&cause).unwrap()).unwrap();
+            assert_eq!(back, cause);
+        }
+    }
+}

@@ -4,6 +4,7 @@
 /// benchmark harness reports them next to wall-clock numbers so the pruning
 /// effectiveness claimed by the paper (§5.2) is directly observable.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct SearchStats {
     /// Search frames entered (`ExpandSG`/`ExpandSTG` invocations), or
     /// candidate groups enumerated by the exhaustive baseline.

@@ -128,6 +128,7 @@ pub fn solve_stgq_controlled(
 
     let pivots = promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order);
     let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
+    let acq_min_deg = acq_floor_min_deg(&cfg, p, query.k());
 
     let incumbent = Incumbent::new();
     for pivot in pivots {
@@ -155,6 +156,7 @@ pub fn solve_stgq_controlled(
             horizon,
             tie_blocks.as_deref(),
             cfg.sharp_pivot_floor,
+            acq_min_deg,
             &mut stats,
             arena,
         ) else {
@@ -261,6 +263,13 @@ pub(crate) fn dist_tie_blocks(fg: &FeasibleGraph) -> Vec<(u32, u32)> {
     blocks
 }
 
+/// The eligible-degree threshold `p − 1 − k` for the acquaintance-aware
+/// floor restriction, or `None` when the restriction is off or vacuous
+/// (`k ≥ p − 1` puts no lower bound on in-group acquaintances).
+pub(crate) fn acq_floor_min_deg(cfg: &SelectConfig, p: usize, k: usize) -> Option<usize> {
+    (cfg.sharp_pivot_floor && cfg.acq_pivot_floor && p >= 2 && p - 1 > k).then(|| p - 1 - k)
+}
+
 /// Whether the pivot-level distance bound proves no solution at this pivot
 /// can strictly beat the incumbent. Gated on *both* the promise-order
 /// switch (it is that feature's pruning half) and Lemma-2 pruning (a
@@ -309,6 +318,12 @@ pub(crate) struct PivotJob {
     pub(crate) dist_bound: Dist,
     /// Pivot-eligible candidates (Definition 4) over compact indices.
     pub(crate) eligible: BitSet,
+    /// Per compact vertex: whether it passes the acquaintance-aware floor
+    /// restriction (eligible degree ≥ p − 1 − k). Empty when the
+    /// restriction is off — [`compat_dist_floor`] then treats every
+    /// eligible candidate as admissible. Scratch for the floor only; the
+    /// search itself never reads it.
+    floor_ok: Vec<bool>,
     /// `VA` restricted to the pivot-eligible candidates, with the Lemma-5
     /// per-slot unavailability counters.
     pub(crate) va: StVaState,
@@ -336,6 +351,7 @@ impl PivotJob {
             order: Vec::new(),
             dist_bound: 0,
             eligible: BitSet::new(0),
+            floor_ok: Vec::new(),
             va: StVaState {
                 base: VaState::init_empty(),
                 unavail: Vec::new(),
@@ -454,9 +470,14 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
 /// `sharp_floor` selects the compatibility-restricted distance bound
 /// ([`SelectConfig::sharp_pivot_floor`]): never looser than the plain
 /// `p − 1`-smallest-distances floor, and able to prove a pivot infeasible
-/// outright.
+/// outright. `acq_min_deg` (when `Some(p − 1 − k)`) additionally
+/// restricts the sharp floor's candidate sets to candidates with at
+/// least that many acquaintances among the eligible set and the
+/// initiator ([`SelectConfig::acq_pivot_floor`]) — a necessary
+/// membership condition, so the floor only tightens further.
 ///
 /// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
+/// [`SelectConfig::acq_pivot_floor`]: crate::SelectConfig::acq_pivot_floor
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn prepare_pivot(
     fg: &FeasibleGraph,
@@ -467,6 +488,7 @@ pub(crate) fn prepare_pivot(
     horizon: usize,
     tie_blocks: Option<&[(u32, u32)]>,
     sharp_floor: bool,
+    acq_min_deg: Option<usize>,
     stats: &mut SearchStats,
     arena: &mut PivotArena,
 ) -> Option<PivotJob> {
@@ -574,7 +596,25 @@ pub(crate) fn prepare_pivot(
         }
     }
     job.dist_bound = dist_bound;
+    job.floor_ok.clear();
     if sharp_floor {
+        if let Some(min_deg) = acq_min_deg {
+            // Acquaintance-aware restriction: a candidate's usable
+            // acquaintances at this pivot are its neighbors among the
+            // eligible set plus the initiator (compact 0 — always a
+            // group member). One pass is a sound necessary condition;
+            // cascading removals would tighten further but cost a
+            // fixpoint loop for marginal gain. The degree is a
+            // word-parallel popcount against the eligible bitmap —
+            // small-`m` solves prepare many pivots and a per-neighbor
+            // scan here shows up in the hotpath gate.
+            job.floor_ok.resize(f, false);
+            for c in job.eligible.iter() {
+                let adj = fg.adj(c as u32);
+                let deg = adj.intersection_len(&job.eligible) + usize::from(adj.contains(0));
+                job.floor_ok[c] = deg >= min_deg;
+            }
+        }
         match compat_dist_floor(fg, &job, p, m) {
             // Never below the unrestricted floor (every window's candidate
             // set is a subset of the eligible set), so taking it wholesale
@@ -626,6 +666,12 @@ pub(crate) fn prepare_pivot(
 /// requirement, so this is never looser. Returns `None` when no window
 /// has `p − 1` covering candidates — the pivot is infeasible outright.
 ///
+/// When the job carries a non-empty `floor_ok` mask (the
+/// acquaintance-aware restriction), candidates failing it are excluded
+/// from every window's cheapest-sum: they cannot belong to any feasible
+/// group at this pivot, so the floor is still a valid lower bound and
+/// dominates the compatibility-only floor (property-tested below).
+///
 /// Cost: `O(|q_run| · scan)` where each scan walks the distance-ascending
 /// order until `p − 1` covering candidates are found — on dense
 /// availabilities that is the first `p − 1` entries, and the whole
@@ -635,6 +681,7 @@ pub(crate) fn prepare_pivot(
 fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> Option<Dist> {
     debug_assert!(p >= 2, "p = 1 never reaches pivot preparation");
     debug_assert!(job.q_run.len() >= m);
+    let acq_ok = (!job.floor_ok.is_empty()).then_some(job.floor_ok.as_slice());
     let mut best: Option<Dist> = None;
     for start in job.q_run.lo..=(job.q_run.hi + 1 - m) {
         let end = start + m - 1;
@@ -643,6 +690,9 @@ fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> 
         for &c in &job.order {
             if taken + 1 >= p {
                 break;
+            }
+            if acq_ok.is_some_and(|ok| !ok[c as usize]) {
+                continue;
             }
             // `runs` is `Some` exactly for pivot-eligible candidates, and
             // already clipped to the initiator's run.
@@ -661,21 +711,9 @@ fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> 
 }
 
 /// Run the STGSelect branch-and-bound for one prepared pivot, recording
-/// improvements into the (possibly shared) incumbent. The job's `VA`
-/// state is consumed in place (the caller recycles the buffers through
-/// the arena afterwards).
-pub(crate) fn search_pivot(
-    fg: &FeasibleGraph,
-    query: &StgqQuery,
-    cfg: &SelectConfig,
-    job: &mut PivotJob,
-    incumbent: &Incumbent<StBest>,
-    stats: &mut SearchStats,
-) {
-    search_pivot_controlled(fg, query, cfg, job, incumbent, stats, None)
-}
-
-/// As [`search_pivot`], polling `control` at every frame entry.
+/// improvements into the (possibly shared) incumbent, polling `control`
+/// (if any) at every frame entry. The job's `VA` state is consumed in
+/// place (the caller recycles the buffers through the arena afterwards).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn search_pivot_controlled(
     fg: &FeasibleGraph,
@@ -776,6 +814,7 @@ pub(crate) fn search_pivot_subtree(
     forced_j: Option<usize>,
     incumbent: &Incumbent<StBest>,
     stats: &mut SearchStats,
+    control: Option<&SolveControl>,
 ) {
     let p = query.p();
     let m = query.m();
@@ -811,6 +850,7 @@ pub(crate) fn search_pivot_subtree(
         incumbent,
         stats,
     );
+    searcher.control = control;
     searcher.push(0, job.q_run);
     let u_i = order[i];
     let mut td = fg.dist(u_i);
@@ -1428,6 +1468,7 @@ mod tests {
                     horizon,
                     Some(&tie_blocks),
                     false,
+                    None,
                     &mut stats_new,
                     &mut arena,
                 );
@@ -1561,7 +1602,8 @@ mod tests {
                 let mut stats = SearchStats::default();
                 let mut arena = PivotArena::new();
                 let plain = prepare_pivot(
-                    &fg, &calendars, p, m, pivot, horizon, None, false, &mut stats, &mut arena,
+                    &fg, &calendars, p, m, pivot, horizon, None, false, None, &mut stats,
+                    &mut arena,
                 );
                 let mut arena2 = PivotArena::new();
                 let sharp = prepare_pivot(
@@ -1573,6 +1615,7 @@ mod tests {
                     horizon,
                     None,
                     true,
+                    None,
                     &mut stats,
                     &mut arena2,
                 );
@@ -1606,6 +1649,97 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    #[test]
+    fn acq_floor_dominates_the_compat_only_floor_and_keeps_the_optimum() {
+        // Property test over random instances: on every prepared pivot
+        // the acquaintance-aware sharp floor is ≥ the compatibility-only
+        // sharp floor (it restricts the candidate sets further), a pivot
+        // it refuses outright really holds no feasible group (checked via
+        // the full solve below), and the end-to-end optimum is identical
+        // with the restriction on or off.
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use stgq_graph::GraphBuilder;
+
+        for seed in 0..20u64 {
+            let mut rng = SmallRng::seed_from_u64(0xACC ^ seed);
+            let n = 12;
+            let horizon = rng.gen_range(10..60);
+            let m = rng.gen_range(2..=6).min(horizon);
+            let p = rng.gen_range(3..=5);
+            let k = rng.gen_range(0..p - 1); // p − 1 > k, so the threshold bites
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..20))
+                            .unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            let calendars: Vec<Calendar> = (0..n)
+                .map(|_| Calendar::from_slots(horizon, (0..horizon).filter(|_| rng.gen_bool(0.7))))
+                .collect();
+            let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+
+            for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
+                let mut stats = SearchStats::default();
+                let mut arena = PivotArena::new();
+                let compat = prepare_pivot(
+                    &fg, &calendars, p, m, pivot, horizon, None, true, None, &mut stats, &mut arena,
+                );
+                let mut arena2 = PivotArena::new();
+                let acq = prepare_pivot(
+                    &fg,
+                    &calendars,
+                    p,
+                    m,
+                    pivot,
+                    horizon,
+                    None,
+                    true,
+                    Some(p - 1 - k),
+                    &mut stats,
+                    &mut arena2,
+                );
+                match (compat, acq) {
+                    (None, None) => {}
+                    (Some(cj), Some(aj)) => assert!(
+                        aj.dist_bound >= cj.dist_bound,
+                        "seed {seed} pivot {pivot}: acq floor must dominate"
+                    ),
+                    // Refusing more pivots is the point; the solve-level
+                    // check below proves none of them held the optimum.
+                    (Some(_), None) => {}
+                    (None, Some(_)) => panic!(
+                        "seed {seed} pivot {pivot}: acq floor admitted a pivot compat refused"
+                    ),
+                }
+            }
+
+            // Exactness: the restriction prunes bounds, never solutions.
+            let query = StgqQuery::new(p, 2, k, m).unwrap();
+            let on = solve_stgq(&g, NodeId(0), &calendars, &query, &SelectConfig::default())
+                .unwrap()
+                .solution;
+            let off = solve_stgq(
+                &g,
+                NodeId(0),
+                &calendars,
+                &query,
+                &SelectConfig::default().with_acq_pivot_floor(false),
+            )
+            .unwrap()
+            .solution;
+            assert_eq!(
+                on.as_ref().map(|s| s.total_distance),
+                off.as_ref().map(|s| s.total_distance),
+                "seed {seed}: acq floor must not move the optimum"
+            );
         }
     }
 

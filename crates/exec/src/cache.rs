@@ -18,6 +18,9 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 use stgq_graph::{FeasibleGraph, NodeId, SocialGraph};
 
+use crate::engine::Engine;
+use crate::request::{PlanOutcome, QuerySpec};
+
 /// A bounded FIFO cache of feasible graphs keyed by `(initiator, s)`,
 /// each entry stamped with the graph version it was built from.
 #[derive(Debug)]
@@ -136,6 +139,143 @@ impl ShardedFeasibleCache {
             hits += guard.hits;
             misses += guard.misses;
             len += guard.len();
+        }
+        (hits, misses, len)
+    }
+}
+
+/// The version-stamped, cross-batch **result cache**: finished
+/// [`PlanOutcome`]s keyed by `(initiator, spec, engine)` and stamped with
+/// the `(graph_version, calendar_version)` epoch they were solved on.
+///
+/// Within-batch request collapsing only shares work between identical
+/// entries of *one* shard job; on a serving workload the same hot query
+/// recurs across batches (and through the inline
+/// [`execute_one`](crate::Executor::execute_one) path), re-solving
+/// against an unchanged world every time. Deterministic requests — no
+/// per-entry deadline or cancellation token — are safe to answer from a
+/// finished outcome as long as **both** world versions still match:
+/// graph edits and calendar edits each invalidate independently, which
+/// the full stamp captures.
+///
+/// Partitioned by initiator shard exactly like the feasible-graph cache,
+/// for the same two reasons: no cross-shard lock contention, and a shard
+/// job's repeated initiators stay within one warm shard.
+pub(crate) struct ResultCache {
+    shards: Vec<Mutex<ResultShard>>,
+    /// Zero capacity disables the cache entirely (every lookup misses
+    /// without counting, every insert is dropped).
+    per_shard: usize,
+}
+
+type ResultKey = (u32, QuerySpec, Engine);
+
+#[derive(Default)]
+struct ResultShard {
+    entries: HashMap<ResultKey, StampedOutcome>,
+    insertion_order: VecDeque<ResultKey>,
+    hits: u64,
+    misses: u64,
+}
+
+struct StampedOutcome {
+    graph_version: u64,
+    calendar_version: u64,
+    outcome: PlanOutcome,
+}
+
+impl ResultCache {
+    /// `shards` shards splitting `capacity` entries between them
+    /// (`capacity == 0` disables the cache).
+    pub(crate) fn new(shards: usize, capacity: usize) -> Self {
+        let shards = shards.max(1);
+        ResultCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(ResultShard::default()))
+                .collect(),
+            per_shard: capacity.div_ceil(shards),
+        }
+    }
+
+    fn shard_of(&self, initiator: NodeId) -> usize {
+        initiator.0 as usize % self.shards.len()
+    }
+
+    /// A finished outcome for `key` at exactly this epoch, if one is
+    /// cached. Stale stamps miss (and are overwritten on the next
+    /// insert). The returned clone has `result_cache_hit` set and zero
+    /// elapsed time.
+    pub(crate) fn get(
+        &self,
+        initiator: NodeId,
+        spec: QuerySpec,
+        engine: Engine,
+        graph_version: u64,
+        calendar_version: u64,
+    ) -> Option<PlanOutcome> {
+        if self.per_shard == 0 {
+            return None;
+        }
+        let mut shard = self.shards[self.shard_of(initiator)].lock();
+        let found = match shard.entries.get(&(initiator.0, spec, engine)) {
+            Some(e)
+                if e.graph_version == graph_version && e.calendar_version == calendar_version =>
+            {
+                let mut outcome = e.outcome.clone();
+                outcome.result_cache_hit = true;
+                outcome.elapsed = std::time::Duration::ZERO;
+                Some(outcome)
+            }
+            _ => None,
+        };
+        if found.is_some() {
+            shard.hits += 1;
+        } else {
+            shard.misses += 1;
+        }
+        found
+    }
+
+    /// Remember a finished outcome, evicting the oldest key at capacity.
+    pub(crate) fn put(
+        &self,
+        initiator: NodeId,
+        spec: QuerySpec,
+        engine: Engine,
+        graph_version: u64,
+        calendar_version: u64,
+        outcome: PlanOutcome,
+    ) {
+        if self.per_shard == 0 {
+            return;
+        }
+        let key = (initiator.0, spec, engine);
+        let stamped = StampedOutcome {
+            graph_version,
+            calendar_version,
+            outcome,
+        };
+        let mut shard = self.shards[self.shard_of(initiator)].lock();
+        if shard.entries.insert(key, stamped).is_none() {
+            shard.insertion_order.push_back(key);
+            if shard.insertion_order.len() > self.per_shard {
+                if let Some(oldest) = shard.insertion_order.pop_front() {
+                    shard.entries.remove(&oldest);
+                }
+            }
+        }
+    }
+
+    /// Aggregate `(hits, misses, cached_results)` over every shard.
+    pub(crate) fn stats(&self) -> (u64, u64, usize) {
+        let mut hits = 0;
+        let mut misses = 0;
+        let mut len = 0;
+        for shard in &self.shards {
+            let guard = shard.lock();
+            hits += guard.hits;
+            misses += guard.misses;
+            len += guard.entries.len();
         }
         (hits, misses, len)
     }

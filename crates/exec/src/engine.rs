@@ -5,8 +5,8 @@ use stgq_core::heuristics::{
     greedy_sgq_on, greedy_stgq_on, local_search_sgq_on, local_search_stgq_on,
 };
 use stgq_core::{
-    solve_sgq_controlled_on, solve_sgq_parallel_on, solve_stgq_controlled, solve_stgq_parallel_on,
-    PivotArena, SelectConfig, SolveControl, SolveOutcome,
+    solve_sgq_controlled_on, solve_sgq_parallel_controlled_on, solve_stgq_controlled,
+    solve_stgq_parallel_controlled_on, PivotArena, SelectConfig, SolveControl, SolveOutcome,
 };
 use stgq_graph::FeasibleGraph;
 use stgq_schedule::Calendar;
@@ -14,14 +14,15 @@ use stgq_schedule::Calendar;
 use crate::request::QuerySpec;
 
 /// Which solver answers a planning query.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Engine {
     /// Sequential SGSelect / STGSelect — proven optimal.
     Exact,
     /// Parallel SGSelect / STGSelect — proven optimal, `threads` workers
-    /// (`0` = all cores). Note: the parallel solvers do not poll
-    /// per-request cancellation/deadlines; under the executor, use the
-    /// worker pool for inter-query parallelism and `Exact` per entry.
+    /// (`0` = all cores). Per-request cancellation/deadlines are polled
+    /// by every worker (between claimed subtree/pivot tasks and on the
+    /// frame path), so intra-query parallelism honours `SolveControl`
+    /// exactly like `Exact` does.
     ExactParallel {
         /// Worker count; `0` means all available parallelism.
         threads: usize,
@@ -85,7 +86,9 @@ pub(crate) fn run_spec(
                 None,
             ),
             Engine::ExactParallel { threads } => (
-                SolveOutcome::Sgq(solve_sgq_parallel_on(fg, query, cfg, None, threads)),
+                SolveOutcome::Sgq(solve_sgq_parallel_controlled_on(
+                    fg, query, cfg, None, threads, control,
+                )),
                 None,
             ),
             Engine::Anytime { frame_budget } => {
@@ -124,7 +127,9 @@ pub(crate) fn run_spec(
                 None,
             ),
             Engine::ExactParallel { threads } => (
-                SolveOutcome::Stgq(solve_stgq_parallel_on(fg, calendars, query, cfg, threads)),
+                SolveOutcome::Stgq(solve_stgq_parallel_controlled_on(
+                    fg, calendars, query, cfg, threads, control,
+                )),
                 None,
             ),
             Engine::Anytime { frame_budget } => {

@@ -30,6 +30,10 @@ pub struct ExecConfig {
     pub max_batch: usize,
     /// Total feasible-graph cache capacity, split across shards.
     pub cache_capacity: usize,
+    /// Total version-stamped result-cache capacity, split across shards
+    /// (`0` disables cross-batch result caching; within-batch request
+    /// collapsing is unaffected).
+    pub result_cache_capacity: usize,
     /// Engine configuration queries run with (replaceable at runtime via
     /// [`Executor::set_select_config`]).
     pub select: SelectConfig,
@@ -42,6 +46,7 @@ impl Default for ExecConfig {
             shards: 16,
             max_batch: 64,
             cache_capacity: 256,
+            result_cache_capacity: 512,
             select: SelectConfig::default(),
         }
     }
@@ -78,6 +83,7 @@ impl Executor {
         let shards = cfg.shards.max(1);
         let shared = Arc::new(ExecShared {
             cache: ShardedFeasibleCache::new(shards, cfg.cache_capacity),
+            results: crate::cache::ResultCache::new(shards, cfg.result_cache_capacity),
             counters: ExecCounters::default(),
             jobs: JobQueue::new(),
         });
@@ -260,6 +266,7 @@ impl Executor {
     pub fn metrics(&self) -> ExecMetrics {
         let c = &self.shared.counters;
         let (hits, misses, cached) = self.shared.cache.stats();
+        let (result_hits, result_misses, cached_results) = self.shared.results.stats();
         ExecMetrics {
             queries: c.queries.load(Ordering::Relaxed),
             shard_jobs: c.shard_jobs.load(Ordering::Relaxed),
@@ -269,6 +276,9 @@ impl Executor {
             feasible_cache_hits: hits,
             feasible_cache_misses: misses,
             cached_feasible_graphs: cached,
+            result_cache_hits: result_hits,
+            result_cache_misses: result_misses,
+            cached_results,
             snapshot_publishes: c.snapshot_publishes.load(Ordering::Relaxed),
             frames_examined: c.frames_examined.load(Ordering::Relaxed),
             frames_pruned_by_bound: c.frames_pruned_by_bound.load(Ordering::Relaxed),
@@ -334,6 +344,7 @@ mod tests {
             shards: 4,
             max_batch: 64,
             cache_capacity: 32,
+            result_cache_capacity: 64,
             select: SelectConfig::default(),
         });
         exec.publish_snapshot(world());
@@ -443,6 +454,87 @@ mod tests {
     }
 
     #[test]
+    fn min_epoch_rejects_stale_snapshots() {
+        let exec = executor(1); // publishes the (1, 1) epoch
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let ok =
+            PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact).with_min_epoch(1, 1);
+        assert!(exec.execute_one(ok).is_ok(), "met requirement is served");
+
+        let stale =
+            PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact).with_min_epoch(2, 1);
+        assert_eq!(
+            exec.execute_one(stale.clone()),
+            Err(ExecError::EpochTooOld {
+                required: (2, 1),
+                available: (1, 1),
+            })
+        );
+        // The batched path refuses per entry, without poisoning others.
+        let plain = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+        let results = exec.execute_batch(vec![plain, stale]);
+        assert!(results[0].is_ok());
+        assert!(matches!(results[1], Err(ExecError::EpochTooOld { .. })));
+
+        // Catching up satisfies the requirement.
+        let snap = world();
+        exec.publish(Arc::clone(&snap.graph), Arc::clone(&snap.calendars), 2, 1);
+        let caught_up =
+            PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact).with_min_epoch(2, 1);
+        assert!(exec.execute_one(caught_up).is_ok());
+    }
+
+    #[test]
+    fn result_cache_replays_repeats_across_batches_and_inline() {
+        let exec = executor(1);
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let req = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+
+        let first = exec.execute_one(req.clone()).unwrap();
+        assert!(!first.result_cache_hit, "first solve is fresh");
+        let second = exec.execute_one(req.clone()).unwrap();
+        assert!(second.result_cache_hit, "inline repeat is replayed");
+        assert_eq!(second.outcome, first.outcome, "replay is bit-identical");
+
+        // Across the batched path: the first entry replays the earlier
+        // inline solve, the second collapses within the batch.
+        let results = exec.execute_batch(vec![req.clone(), req.clone()]);
+        let outcomes: Vec<_> = results.into_iter().map(Result::unwrap).collect();
+        assert!(outcomes[0].result_cache_hit && !outcomes[0].collapsed);
+        assert!(outcomes[1].collapsed && !outcomes[1].result_cache_hit);
+        let m = exec.metrics();
+        assert_eq!(m.result_cache_hits, 2);
+        assert_eq!(m.collapsed_entries, 1);
+        assert!(m.cached_results >= 1);
+
+        // A new epoch (either stamp) invalidates the replay.
+        let snap = world();
+        exec.publish(Arc::clone(&snap.graph), Arc::clone(&snap.calendars), 1, 2);
+        let fresh = exec.execute_one(req).unwrap();
+        assert!(
+            !fresh.result_cache_hit,
+            "a calendar-version bump must miss the stamp"
+        );
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_result_cache() {
+        let exec = Executor::new(ExecConfig {
+            workers: 1,
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        });
+        exec.publish_snapshot(world());
+        let sgq = SgqQuery::new(3, 1, 0).unwrap();
+        let req = PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact);
+        assert!(!exec.execute_one(req.clone()).unwrap().result_cache_hit);
+        assert!(!exec.execute_one(req).unwrap().result_cache_hit);
+        let m = exec.metrics();
+        assert_eq!((m.result_cache_hits, m.result_cache_misses), (0, 0));
+        assert_eq!(m.cached_results, 0);
+    }
+
+    #[test]
     fn out_of_range_initiator_is_rejected_per_entry() {
         let exec = executor(1);
         let sgq = SgqQuery::new(2, 1, 1).unwrap();
@@ -457,12 +549,42 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_parallel_engine_reports_cancelled_not_truncated() {
+        // Regression (ROADMAP follow-up): `Engine::ExactParallel` must
+        // honour per-request cancellation under the executor — the
+        // workers poll `SolveControl`, and the stop cause is
+        // `Cancelled`, never conflated with budget truncation.
+        use stgq_core::StopCause;
+        let exec = executor(1);
+        let stgq = StgqQuery::new(3, 1, 1, 3).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        for spec in [
+            QuerySpec::Stgq(stgq),
+            QuerySpec::Sgq(SgqQuery::new(3, 1, 1).unwrap()),
+        ] {
+            let req = PlanRequest::new(NodeId(0), spec, Engine::ExactParallel { threads: 2 })
+                .with_cancel(token.clone());
+            let outcome = exec.execute_one(req).unwrap();
+            assert_eq!(outcome.stop, StopCause::Cancelled, "{spec:?}");
+            assert!(!outcome.exact, "a cancelled answer is not proven optimal");
+            assert!(outcome.outcome.stats().cancelled);
+            assert!(
+                !outcome.outcome.stats().truncated,
+                "cancellation must not masquerade as budget truncation"
+            );
+        }
+        assert_eq!(exec.metrics().cancelled, 2);
+    }
+
+    #[test]
     fn auto_flush_fires_at_max_batch() {
         let exec = Executor::new(ExecConfig {
             workers: 1,
             shards: 2,
             max_batch: 2,
             cache_capacity: 8,
+            result_cache_capacity: 8,
             select: SelectConfig::default(),
         });
         exec.publish_snapshot(world());

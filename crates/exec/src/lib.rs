@@ -24,7 +24,13 @@
 //!    per-entry deadline/cancel) are **collapsed**: solved once, the
 //!    outcome cloned to every ticket. On a serving workload with hot
 //!    queries this is where batching beats a per-query loop even on a
-//!    single core.
+//!    single core. Across batches (and the inline path) the same sharing
+//!    continues through the **version-stamped result cache**: finished
+//!    outcomes keyed by `(initiator, spec, engine)` and stamped with the
+//!    `(graph_version, calendar_version)` epoch they were solved on —
+//!    a repeat of a deterministic query on an unchanged world is
+//!    replayed, not re-solved
+//!    ([`ExecMetrics::result_cache_hits`]/[`ExecMetrics::result_cache_misses`]).
 //! 3. **Worker pool.** A fixed set of threads (spawned at construction,
 //!    joined on drop) blocks on the job queue. Each worker owns one
 //!    [`PivotArena`](stgq_core::PivotArena) reused across every STGQ it
@@ -68,6 +74,8 @@ mod executor;
 mod metrics;
 mod queue;
 mod request;
+#[cfg(feature = "serde")]
+mod serde_impls;
 mod snapshot;
 mod worker;
 

@@ -27,6 +27,15 @@ pub struct ExecMetrics {
     pub feasible_cache_misses: u64,
     /// Feasible graphs currently cached, over every shard.
     pub cached_feasible_graphs: usize,
+    /// Version-stamped result-cache hits: whole outcomes replayed for
+    /// repeat queries across batches (and the inline path) on an
+    /// unchanged world epoch.
+    pub result_cache_hits: u64,
+    /// Result-cache lookups that missed (fresh query, or the epoch moved
+    /// on either the graph or the calendar axis).
+    pub result_cache_misses: u64,
+    /// Outcomes currently held by the result cache, over every shard.
+    pub cached_results: usize,
     /// World snapshots published into the epoch cell.
     pub snapshot_publishes: u64,
     /// Search frames examined by exact engines, summed over all queries.

@@ -47,6 +47,13 @@ pub struct PlanRequest {
     pub deadline: Option<Instant>,
     /// Optional cancellation token shared with the caller.
     pub cancel: Option<CancelToken>,
+    /// Minimum `(graph_version, calendar_version)` epoch this request may
+    /// be answered from. A node whose published snapshot is older on
+    /// either axis refuses the request with [`ExecError::EpochTooOld`]
+    /// instead of serving a stale answer — the read-your-writes guard a
+    /// cluster router stamps onto requests that must observe the writer's
+    /// latest mutations. `None` (the default) accepts any epoch.
+    pub min_epoch: Option<(u64, u64)>,
 }
 
 impl PlanRequest {
@@ -58,7 +65,16 @@ impl PlanRequest {
             engine,
             deadline: None,
             cancel: None,
+            min_epoch: None,
         }
+    }
+
+    /// This request with a minimum-epoch requirement attached
+    /// (read-your-writes: only snapshots at or past both stamps may
+    /// answer it).
+    pub fn with_min_epoch(mut self, graph_version: u64, calendar_version: u64) -> Self {
+        self.min_epoch = Some((graph_version, calendar_version));
+        self
     }
 
     /// This request with a wall-clock deadline attached.
@@ -82,9 +98,11 @@ impl PlanRequest {
     }
 
     /// The collapse identity: same initiator + spec + engine ⇒ same
-    /// deterministic answer on one snapshot.
-    pub(crate) fn collapse_key(&self) -> (u32, QuerySpec, Engine) {
-        (self.initiator.0, self.spec, self.engine)
+    /// deterministic answer on one snapshot. The minimum epoch is part of
+    /// the key: entries with different requirements may differ in whether
+    /// they are *answered* at all, so they never share an outcome.
+    pub(crate) fn collapse_key(&self) -> (u32, QuerySpec, Engine, Option<(u64, u64)>) {
+        (self.initiator.0, self.spec, self.engine, self.min_epoch)
     }
 }
 
@@ -114,6 +132,10 @@ pub struct PlanOutcome {
     /// Whether this entry was answered by cloning an identical entry's
     /// result from the same batch instead of solving again.
     pub collapsed: bool,
+    /// Whether this entry was answered from the version-stamped result
+    /// cache (a repeat of an identical query solved in an *earlier* batch
+    /// or inline call, on the same world epoch) instead of solving again.
+    pub result_cache_hit: bool,
 }
 
 /// Why the executor refused (rather than answered) a request.
@@ -128,6 +150,15 @@ pub enum ExecError {
     },
     /// No [`crate::WorldSnapshot`] has been published yet.
     NoSnapshot,
+    /// The published snapshot is older than the request's
+    /// [`PlanRequest::min_epoch`] requirement on at least one axis (a
+    /// lagging replica must not serve a read-your-writes request).
+    EpochTooOld {
+        /// The `(graph_version, calendar_version)` the request demanded.
+        required: (u64, u64),
+        /// The `(graph_version, calendar_version)` actually published.
+        available: (u64, u64),
+    },
     /// The executor is shutting down and no longer accepts work.
     ShuttingDown,
 }
@@ -144,6 +175,13 @@ impl std::fmt::Display for ExecError {
                 initiator.0, node_count
             ),
             ExecError::NoSnapshot => write!(f, "no world snapshot published"),
+            ExecError::EpochTooOld {
+                required,
+                available,
+            } => write!(
+                f,
+                "published epoch {available:?} is older than the required minimum {required:?}"
+            ),
             ExecError::ShuttingDown => write!(f, "executor is shutting down"),
         }
     }

@@ -30,6 +30,28 @@ pub struct WorldSnapshot {
     pub calendar_version: u64,
 }
 
+impl WorldSnapshot {
+    /// Assemble an epoch from parts.
+    pub fn new(
+        graph: Arc<SocialGraph>,
+        calendars: Arc<Vec<Calendar>>,
+        graph_version: u64,
+        calendar_version: u64,
+    ) -> Self {
+        WorldSnapshot {
+            graph,
+            calendars,
+            graph_version,
+            calendar_version,
+        }
+    }
+
+    /// The `(graph_version, calendar_version)` stamp.
+    pub fn versions(&self) -> (u64, u64) {
+        (self.graph_version, self.calendar_version)
+    }
+}
+
 /// The executor's current-epoch cell.
 #[derive(Default)]
 pub(crate) struct SnapshotCell {

@@ -8,7 +8,7 @@ use std::time::{Duration, Instant};
 use stgq_core::{PivotArena, SelectConfig, SolveControl, StopCause};
 use stgq_schedule::Calendar;
 
-use crate::cache::ShardedFeasibleCache;
+use crate::cache::{ResultCache, ShardedFeasibleCache};
 use crate::engine::run_spec;
 use crate::metrics::ExecCounters;
 use crate::queue::{JobQueue, TicketSlot};
@@ -33,6 +33,7 @@ pub(crate) struct Job {
 /// helping to drain.
 pub(crate) struct ExecShared {
     pub(crate) cache: ShardedFeasibleCache,
+    pub(crate) results: ResultCache,
     pub(crate) counters: ExecCounters,
     pub(crate) jobs: JobQueue<Job>,
 }
@@ -61,6 +62,9 @@ pub(crate) fn run_job(shared: &ExecShared, arena: &mut PivotArena, job: Job) {
             {
                 let mut outcome = prior.clone();
                 outcome.collapsed = true;
+                // The flags stay disjoint: a clone within the batch is
+                // "collapsed", however the first entry was answered.
+                outcome.result_cache_hit = false;
                 outcome.elapsed = Duration::ZERO;
                 shared
                     .counters
@@ -96,7 +100,32 @@ pub(crate) fn run_entry(
             node_count,
         });
     }
+    // Read-your-writes admission: a snapshot older than the request's
+    // minimum epoch on either axis must not answer it.
+    if let Some(required) = request.min_epoch {
+        let available = (snapshot.graph_version, snapshot.calendar_version);
+        if available.0 < required.0 || available.1 < required.1 {
+            return Err(ExecError::EpochTooOld {
+                required,
+                available,
+            });
+        }
+    }
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+    // Cross-batch result cache: deterministic requests (no deadline, no
+    // token) repeat across batches and inline calls; an identical query
+    // finished on this exact epoch is simply replayed.
+    if request.collapsible() {
+        if let Some(outcome) = shared.results.get(
+            request.initiator,
+            request.spec,
+            request.engine,
+            snapshot.graph_version,
+            snapshot.calendar_version,
+        ) {
+            return Ok(outcome);
+        }
+    }
     let (fg, feasible_cache_hit) = shared.cache.get_or_extract(
         &snapshot.graph,
         request.initiator,
@@ -135,7 +164,7 @@ pub(crate) fn run_entry(
     // the exact family is exact iff nothing (budget *or* cancellation)
     // stopped the search — `exact` and `stop` cannot disagree.
     let exact = request.engine.reports_search_stats() && stop == StopCause::Completed;
-    Ok(PlanOutcome {
+    let plan_outcome = PlanOutcome {
         outcome,
         evaluations,
         exact,
@@ -144,7 +173,19 @@ pub(crate) fn run_entry(
         elapsed,
         feasible_cache_hit,
         collapsed: false,
-    })
+        result_cache_hit: false,
+    };
+    if request.collapsible() {
+        shared.results.put(
+            request.initiator,
+            request.spec,
+            request.engine,
+            snapshot.graph_version,
+            snapshot.calendar_version,
+            plan_outcome.clone(),
+        );
+    }
+    Ok(plan_outcome)
 }
 
 /// The fixed worker pool: `workers` threads blocking on the shared job

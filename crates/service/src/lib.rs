@@ -53,12 +53,14 @@
 #![warn(rust_2018_idioms)]
 
 mod calendars;
+mod delta;
 mod error;
 mod network;
 mod planner;
 mod shared;
 
 pub use calendars::CalendarStore;
+pub use delta::{DeltaLog, DeltaRecord, WorldDelta, WorldState, DEFAULT_DELTA_LOG_CAPACITY};
 pub use error::ServiceError;
 pub use network::MutableNetwork;
 pub use planner::{BatchQuery, MetricsSnapshot, PlanReply, Planner, SgqReport, StgqReport};

@@ -139,6 +139,20 @@ impl MutableNetwork {
         self.adj.get(person.index()).map_or(0, BTreeMap::len)
     }
 
+    /// Every current friendship as `(a, b, distance)` with `a < b` —
+    /// the edge export a full replication sync ships to a fresh replica.
+    pub fn edge_list(&self) -> Vec<(u32, u32, Dist)> {
+        let mut edges = Vec::with_capacity(self.edge_count);
+        for (v, row) in self.adj.iter().enumerate() {
+            for (&u, &w) in row {
+                if (v as u32) < u {
+                    edges.push((v as u32, u, w));
+                }
+            }
+        }
+        edges
+    }
+
     /// Freeze the current state into the immutable CSR form the query
     /// engines consume. Ids are preserved; tombstoned people become
     /// isolated vertices (no query can ever select them since every

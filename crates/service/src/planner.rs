@@ -32,6 +32,7 @@ use stgq_exec::{
 use stgq_graph::{Dist, NodeId, SocialGraph};
 use stgq_schedule::{Calendar, SlotRange};
 
+use crate::delta::{DeltaLog, DeltaRecord, WorldDelta, WorldState, DEFAULT_DELTA_LOG_CAPACITY};
 use crate::{CalendarStore, MutableNetwork, ServiceError};
 
 /// Answer to an SGQ planning request, with provenance.
@@ -52,6 +53,9 @@ pub struct SgqReport {
     pub elapsed: std::time::Duration,
     /// Whether the feasible graph came from the cache.
     pub feasible_cache_hit: bool,
+    /// Whether the whole answer was replayed from the version-stamped
+    /// result cache (identical earlier query on an unchanged world).
+    pub result_cache_hit: bool,
 }
 
 /// Answer to an STGQ planning request, with provenance.
@@ -71,6 +75,9 @@ pub struct StgqReport {
     pub elapsed: std::time::Duration,
     /// Whether the feasible graph came from the cache.
     pub feasible_cache_hit: bool,
+    /// Whether the whole answer was replayed from the version-stamped
+    /// result cache (identical earlier query on an unchanged world).
+    pub result_cache_hit: bool,
 }
 
 /// One entry of a [`Planner::plan_batch`] call.
@@ -157,6 +164,12 @@ pub struct MetricsSnapshot {
     /// Batched entries answered by request collapsing (solved once,
     /// shared within a shard job).
     pub collapsed_entries: u64,
+    /// Whole answers replayed from the version-stamped result cache
+    /// (repeat queries across batches and the inline path on an
+    /// unchanged world).
+    pub result_cache_hits: u64,
+    /// Result-cache lookups that missed (fresh query or moved epoch).
+    pub result_cache_misses: u64,
     /// Solves stopped early by a deadline or cancellation token.
     pub cancelled: u64,
 }
@@ -173,6 +186,10 @@ pub struct Planner {
     /// Serialises snapshot publication so concurrent readers racing the
     /// same version drift rebuild once, not once each.
     publish_lock: Mutex<()>,
+    /// Replication feed: every mutation appended with its resulting
+    /// version stamps (in a `Mutex` only so read-side accessors take
+    /// `&self`; mutations already hold `&mut self`).
+    deltas: Mutex<DeltaLog>,
     mutations: AtomicU64,
     snapshot_rebuilds: AtomicU64,
 }
@@ -208,6 +225,7 @@ impl Planner {
             calendars: CalendarStore::new(horizon),
             exec: Executor::new(cfg),
             publish_lock: Mutex::new(()),
+            deltas: Mutex::new(DeltaLog::new(DEFAULT_DELTA_LOG_CAPACITY)),
             mutations: AtomicU64::new(0),
             snapshot_rebuilds: AtomicU64::new(0),
         }
@@ -236,18 +254,28 @@ impl Planner {
 
     // -- mutations ----------------------------------------------------
 
+    /// Append a mutation to the replication feed, stamped with the
+    /// version counters it produced.
+    fn record_delta(&mut self, delta: WorldDelta) {
+        self.deltas
+            .lock()
+            .record(delta, self.network.version(), self.calendars.version());
+        self.mutations.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Register a person; their calendar starts fully unavailable.
     pub fn add_person(&mut self, label: impl Into<String>) -> NodeId {
-        let id = self.network.add_person(label);
+        let label = label.into();
+        let id = self.network.add_person(label.clone());
         self.calendars.ensure_people(self.network.person_count());
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.record_delta(WorldDelta::AddPerson { label });
         id
     }
 
     /// Create or re-weight a friendship.
     pub fn connect(&mut self, a: NodeId, b: NodeId, distance: Dist) -> Result<(), ServiceError> {
         self.network.connect(a, b, distance)?;
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.record_delta(WorldDelta::Connect { a, b, distance });
         Ok(())
     }
 
@@ -255,7 +283,7 @@ impl Planner {
     pub fn disconnect(&mut self, a: NodeId, b: NodeId) -> Result<bool, ServiceError> {
         let existed = self.network.disconnect(a, b)?;
         if existed {
-            self.mutations.fetch_add(1, Ordering::Relaxed);
+            self.record_delta(WorldDelta::Disconnect { a, b });
         }
         Ok(existed)
     }
@@ -263,7 +291,7 @@ impl Planner {
     /// Tombstone a person (id stays, edges and eligibility disappear).
     pub fn remove_person(&mut self, person: NodeId) -> Result<(), ServiceError> {
         self.network.remove_person(person)?;
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.record_delta(WorldDelta::RemovePerson { person });
         Ok(())
     }
 
@@ -276,7 +304,11 @@ impl Planner {
     ) -> Result<(), ServiceError> {
         self.network.check_person(person)?;
         self.calendars.set_slot(person.index(), slot, available)?;
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.record_delta(WorldDelta::SetSlot {
+            person,
+            slot,
+            available,
+        });
         Ok(())
     }
 
@@ -289,16 +321,69 @@ impl Planner {
     ) -> Result<(), ServiceError> {
         self.network.check_person(person)?;
         self.calendars.set_range(person.index(), range, available)?;
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.record_delta(WorldDelta::SetRange {
+            person,
+            range,
+            available,
+        });
         Ok(())
     }
 
     /// Replace a whole calendar (horizon must match the store).
     pub fn set_calendar(&mut self, person: NodeId, calendar: Calendar) -> Result<(), ServiceError> {
         self.network.check_person(person)?;
-        self.calendars.replace(person.index(), calendar)?;
-        self.mutations.fetch_add(1, Ordering::Relaxed);
+        self.calendars.replace(person.index(), calendar.clone())?;
+        self.record_delta(WorldDelta::SetCalendar { person, calendar });
         Ok(())
+    }
+
+    // -- replication feed ----------------------------------------------
+
+    /// The sequence number of the last recorded mutation (0 when none) —
+    /// what a fully caught-up replica has applied.
+    pub fn delta_seq(&self) -> u64 {
+        self.deltas.lock().last_seq()
+    }
+
+    /// Every recorded mutation after `have_seq`, oldest first, or `None`
+    /// when the bounded log has already evicted that far back (a **gap**:
+    /// the replica needs a [`world_state`](Self::world_state) full sync).
+    pub fn deltas_since(&self, have_seq: u64) -> Option<Vec<DeltaRecord>> {
+        self.deltas.lock().since(have_seq)
+    }
+
+    /// A complete, self-contained copy of the world at the current
+    /// versions — the full-sync payload for a replica attaching fresh or
+    /// fallen behind the delta log.
+    pub fn world_state(&self) -> WorldState {
+        let n = self.network.person_count();
+        WorldState {
+            horizon: self.calendars.horizon(),
+            labels: (0..n)
+                .map(|v| {
+                    self.network
+                        .label(NodeId(v as u32))
+                        .expect("ids below person_count are allocated")
+                        .to_string()
+                })
+                .collect(),
+            active: (0..n)
+                .map(|v| self.network.is_active(NodeId(v as u32)))
+                .collect(),
+            edges: self.network.edge_list(),
+            calendars: self.calendars.calendars().to_vec(),
+            graph_version: self.network.version(),
+            calendar_version: self.calendars.version(),
+            seq: self.delta_seq(),
+        }
+    }
+
+    /// Shrink or grow the delta log's retention. Shrinking may evict
+    /// history and force attached replicas through a full sync on their
+    /// next catch-up — which is exactly what the gap-path tests use it
+    /// for.
+    pub fn set_delta_log_capacity(&mut self, capacity: usize) {
+        self.deltas.lock().set_capacity(capacity);
     }
 
     // -- reads ----------------------------------------------------------
@@ -330,6 +415,8 @@ impl Planner {
             pivots_skipped: e.pivots_skipped,
             batched_entries: e.batched_entries,
             collapsed_entries: e.collapsed_entries,
+            result_cache_hits: e.result_cache_hits,
+            result_cache_misses: e.result_cache_misses,
             cancelled: e.cancelled,
         }
     }
@@ -397,9 +484,11 @@ impl Planner {
                 person: initiator,
                 person_count: node_count,
             },
-            ExecError::NoSnapshot | ExecError::ShuttingDown => ServiceError::ExecutorUnavailable {
-                reason: e.to_string(),
-            },
+            ExecError::NoSnapshot | ExecError::EpochTooOld { .. } | ExecError::ShuttingDown => {
+                ServiceError::ExecutorUnavailable {
+                    reason: e.to_string(),
+                }
+            }
         }
     }
 
@@ -411,6 +500,7 @@ impl Planner {
             engine,
             elapsed,
             feasible_cache_hit,
+            result_cache_hit,
             ..
         } = outcome;
         let SolveOutcome::Sgq(out) = outcome else {
@@ -424,6 +514,7 @@ impl Planner {
             engine,
             elapsed,
             feasible_cache_hit,
+            result_cache_hit,
         }
     }
 
@@ -435,6 +526,7 @@ impl Planner {
             engine,
             elapsed,
             feasible_cache_hit,
+            result_cache_hit,
             ..
         } = outcome;
         let SolveOutcome::Stgq(out) = outcome else {
@@ -448,6 +540,7 @@ impl Planner {
             engine,
             elapsed,
             feasible_cache_hit,
+            result_cache_hit,
         }
     }
 
@@ -531,7 +624,14 @@ mod tests {
     /// A 6-person service: triangle a-b-c close to each other, d-e further
     /// out, f isolated.
     fn demo() -> (Planner, Vec<NodeId>) {
-        let mut p = Planner::new(12);
+        demo_with(ExecConfig::default())
+    }
+
+    /// As [`demo`], with explicit executor sizing (the cache-probing
+    /// tests disable the result cache so repeats exercise the layer
+    /// under test instead of replaying).
+    fn demo_with(cfg: ExecConfig) -> (Planner, Vec<NodeId>) {
+        let mut p = Planner::with_exec_config(12, cfg);
         let ids: Vec<NodeId> = ["a", "b", "c", "d", "e", "f"]
             .iter()
             .map(|l| p.add_person(*l))
@@ -561,7 +661,10 @@ mod tests {
 
     #[test]
     fn cache_hits_within_a_version_and_misses_after_mutation() {
-        let (mut p, ids) = demo();
+        let (mut p, ids) = demo_with(ExecConfig {
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        });
         let q = SgqQuery::new(3, 1, 0).unwrap();
         let r1 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
         assert!(!r1.feasible_cache_hit);
@@ -692,7 +795,10 @@ mod tests {
 
     #[test]
     fn metrics_reflect_activity() {
-        let (p, ids) = demo();
+        let (p, ids) = demo_with(ExecConfig {
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        });
         let q = SgqQuery::new(3, 1, 0).unwrap();
         let m0 = p.metrics();
         assert!(m0.mutations > 0, "setup mutations counted");
@@ -708,6 +814,73 @@ mod tests {
             m.snapshot_rebuilds, 1,
             "one snapshot serves both extractions"
         );
+    }
+
+    #[test]
+    fn result_cache_replays_repeats_and_invalidates_on_mutation() {
+        let (mut p, ids) = demo();
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        let r1 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(!r1.result_cache_hit);
+        let r2 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(r2.result_cache_hit, "identical repeat on one epoch replays");
+        assert_eq!(
+            r2.solution.as_ref().map(|s| s.total_distance),
+            r1.solution.as_ref().map(|s| s.total_distance)
+        );
+        let m = p.metrics();
+        assert_eq!(m.result_cache_hits, 1);
+        assert!(m.result_cache_misses >= 1);
+
+        // Any mutation (here: a calendar edit) moves the stamp.
+        p.set_availability(ids[0], 11, true).unwrap();
+        let r3 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(!r3.result_cache_hit, "new epoch must re-solve");
+    }
+
+    #[test]
+    fn delta_feed_replays_into_an_identical_world() {
+        let (mut p, ids) = demo();
+        p.disconnect(ids[0], ids[3]).unwrap();
+        p.set_availability(ids[4], 1, true).unwrap();
+
+        // A replica attaching from scratch: replay every delta.
+        let records = p.deltas_since(0).expect("fresh log holds everything");
+        assert_eq!(records.len() as u64, p.delta_seq());
+        let mut network = MutableNetwork::new();
+        let mut calendars = CalendarStore::new(12);
+        for r in &records {
+            r.delta.apply(&mut network, &mut calendars).unwrap();
+        }
+        // Replaying the total mutation order reproduces the version
+        // counters exactly — the invariant snapshot stamping relies on.
+        let last = records.last().unwrap();
+        assert_eq!(network.version(), last.graph_version);
+        assert_eq!(calendars.version(), last.calendar_version);
+        assert_eq!(network.version(), p.network().version());
+        assert_eq!(calendars.version(), p.calendars().version());
+        assert_eq!(network.edge_list(), p.network().edge_list());
+        assert_eq!(calendars.calendars(), p.calendars().calendars());
+
+        // Full-sync state restores the same world (modulo counters).
+        let state = p.world_state();
+        let (restored_net, restored_cals) = state.restore().unwrap();
+        assert_eq!(restored_net.edge_list(), p.network().edge_list());
+        assert_eq!(restored_cals.calendars(), p.calendars().calendars());
+        assert_eq!(state.seq, p.delta_seq());
+    }
+
+    #[test]
+    fn shrinking_the_delta_log_creates_gaps() {
+        let (mut p, ids) = demo();
+        let seq = p.delta_seq();
+        assert!(seq > 2);
+        p.set_delta_log_capacity(2);
+        assert_eq!(p.deltas_since(0), None, "evicted history is a gap");
+        assert!(p.deltas_since(seq - 1).is_some(), "recent tail survives");
+        // New mutations keep flowing with continuous sequence numbers.
+        p.set_availability(ids[0], 0, true).unwrap();
+        assert_eq!(p.delta_seq(), seq + 1);
     }
 
     #[test]

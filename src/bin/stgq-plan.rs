@@ -26,6 +26,7 @@ fn main() -> ExitCode {
         Some("generate") => generate(&args[1..]),
         Some("query") => query(&args[1..]),
         Some("batch") => batch(&args[1..]),
+        Some("cluster") => cluster(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -49,6 +50,8 @@ usage:
                   [--compare]
   stgq-plan batch --data FILE -p N [-s N] [-k N] [-m N] [--queries N]
                   [--workers N] [--chunk N]
+  stgq-plan cluster --data FILE -p N [-s N] [-k N] [-m N] [--queries N]
+                    [--max-nodes N]
 
 generate  writes a JSON dataset snapshot (194-person community analog by
           default; --coauthor N switches to the coauthorship model).
@@ -57,6 +60,10 @@ query     answers an SGQ (no -m) or STGQ (with -m) against a snapshot;
 batch     drives a hot-query serving workload through the stgq-exec
           executor (admission -> shard batching -> worker pool) and
           reports throughput against the sequential per-query loop.
+cluster   drives the same workload through stgq-cluster at 1, 2, ...,
+          --max-nodes in-process nodes (shard router -> transport ->
+          replicated epoch snapshots) and reports scale-out throughput
+          plus replication metrics.
 ";
 
 /// Pull `--flag value` (or `-f value`) out of an argument list.
@@ -142,6 +149,12 @@ fn batch(args: &[String]) -> Result<(), String> {
         ds.grid.horizon(),
         ExecConfig {
             workers,
+            // The report compares batching against the sequential loop:
+            // with the cross-batch result cache on, both timed passes
+            // would be pure replay of the warmup's answers and the
+            // comparison would measure cache-lookup overhead instead of
+            // solve throughput.
+            result_cache_capacity: 0,
             ..ExecConfig::default()
         },
     );
@@ -255,6 +268,131 @@ fn batch(args: &[String]) -> Result<(), String> {
         metrics.feasible_cache_hits,
         metrics.feasible_cache_misses,
     );
+    Ok(())
+}
+
+/// Serve a repeated-query workload through clusters of growing size and
+/// report scale-out throughput.
+fn cluster(args: &[String]) -> Result<(), String> {
+    use stgq::cluster::{Cluster, ClusterConfig};
+    use stgq::exec::{ExecConfig, QuerySpec};
+    use stgq::service::{BatchQuery, Engine};
+
+    let data = take_value(args, &["--data", "-d"])?.ok_or("cluster requires --data FILE")?;
+    let p: usize = parse(
+        &take_value(args, &["-p"])?.ok_or("cluster requires -p N")?,
+        "-p",
+    )?;
+    let s: usize = match take_value(args, &["-s"])? {
+        Some(v) => parse(&v, "-s")?,
+        None => 2,
+    };
+    let k: usize = match take_value(args, &["-k"])? {
+        Some(v) => parse(&v, "-k")?,
+        None => p.saturating_sub(1),
+    };
+    let m: usize = match take_value(args, &["-m"])? {
+        Some(v) => parse(&v, "-m")?,
+        None => 4,
+    };
+    let queries: usize = match take_value(args, &["--queries"])? {
+        Some(v) => parse(&v, "--queries")?,
+        None => 64,
+    };
+    let max_nodes: usize = match take_value(args, &["--max-nodes"])? {
+        Some(v) => parse::<usize>(&v, "--max-nodes")?.max(1),
+        None => 4,
+    };
+
+    let ds = load_dataset(&PathBuf::from(&data)).map_err(|e| e.to_string())?;
+    let sgq = SgqQuery::new(p, s, k).map_err(|e| e.to_string())?;
+    let stgq = StgqQuery::new(p, s, k, m).map_err(|e| e.to_string())?;
+    let n = ds.graph.node_count() as u32;
+    let distinct = (queries / 3).max(1) as u32;
+    let workload: Vec<BatchQuery> = (0..queries as u32)
+        .map(|i| {
+            let d = (i * 13 + i / 7) % distinct;
+            BatchQuery {
+                initiator: NodeId((d * 29 + 7) % n),
+                spec: if d.is_multiple_of(2) {
+                    QuerySpec::Stgq(stgq)
+                } else {
+                    QuerySpec::Sgq(sgq)
+                },
+                engine: Engine::Exact,
+            }
+        })
+        .collect();
+
+    println!(
+        "{} queries over {} people; host parallelism {}:",
+        workload.len(),
+        ds.graph.node_count(),
+        std::thread::available_parallelism().map_or(1, |c| c.get()),
+    );
+
+    let mut baseline_qps = None;
+    let mut nodes = 1usize;
+    while nodes <= max_nodes {
+        let cfg = ClusterConfig {
+            nodes,
+            node_exec: ExecConfig {
+                workers: 1,
+                // Measure solving throughput, not cached replay.
+                result_cache_capacity: 0,
+                ..ExecConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        let mut cluster = Cluster::new(ds.grid.horizon(), cfg);
+        for v in 0..ds.graph.node_count() {
+            cluster.add_person(format!("p{v}"));
+        }
+        for e in ds.graph.edges() {
+            cluster
+                .connect(e.a, e.b, e.weight)
+                .map_err(|e| e.to_string())?;
+        }
+        for (v, cal) in ds.calendars.iter().enumerate() {
+            cluster
+                .set_calendar(NodeId(v as u32), cal.clone())
+                .map_err(|e| e.to_string())?;
+        }
+
+        // Untimed warmup: attaches the replicas (full sync) and fills the
+        // per-node feasible-graph caches.
+        let mut feasible = 0usize;
+        for reply in cluster.plan_batch(&workload) {
+            feasible += usize::from(
+                reply
+                    .map_err(|e| e.to_string())?
+                    .outcome
+                    .objective()
+                    .is_some(),
+            );
+        }
+
+        let t0 = std::time::Instant::now();
+        let reps = 3usize;
+        for _ in 0..reps {
+            for reply in cluster.plan_batch(&workload) {
+                reply.map_err(|e| e.to_string())?;
+            }
+        }
+        let elapsed = t0.elapsed();
+        let qps = (workload.len() * reps) as f64 / elapsed.as_secs_f64();
+        let speedup = baseline_qps.map(|b: f64| qps / b).unwrap_or(1.0);
+        baseline_qps.get_or_insert(qps);
+
+        let metrics = cluster.metrics();
+        let max_lag = metrics.nodes.iter().map(|l| l.seq_lag).max().unwrap_or(0);
+        println!(
+            "  {nodes} node(s): {qps:>10.0} queries/sec ({feasible} feasible, {:.2}x vs 1 node; \
+             {} full syncs, {} delta batches, max seq lag {max_lag})",
+            speedup, metrics.full_syncs, metrics.delta_batches,
+        );
+        nodes *= 2;
+    }
     Ok(())
 }
 

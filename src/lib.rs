@@ -46,7 +46,13 @@
 //!   snapshot read path) serving many concurrent queries over one shared
 //!   graph;
 //! * [`service`] — a long-lived planning service with incremental updates;
-//!   its `Planner` is a thin façade over [`exec`].
+//!   its `Planner` is a thin façade over [`exec`] and emits a replicable
+//!   delta feed from its version counters;
+//! * [`cluster`] — shard-routed multi-node serving over replicated epoch
+//!   snapshots: a shard router scatters batches across per-node
+//!   executors, a single writer ships version-stamped deltas (full sync
+//!   on attach or gap) through a pluggable transport, and read-your-writes
+//!   is enforced via minimum-epoch requirements on requests.
 //!
 //! ```
 //! use stgq::prelude::*;
@@ -68,6 +74,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub use stgq_cluster as cluster;
 pub use stgq_core as query;
 pub use stgq_datagen as datagen;
 pub use stgq_exec as exec;

@@ -1,0 +1,317 @@
+//! Integration tests for the `stgq-cluster` subsystem: determinism of
+//! shard-routed multi-node serving, replication fault paths, and
+//! read-your-writes epoch gating.
+//!
+//! * **Cluster determinism** — a mixed SGQ/STGQ batch scattered over
+//!   1/2/4 in-process nodes yields bit-identical objectives *and groups*
+//!   to a single executor (through the single-planner oracle), on the
+//!   coarse-distance scenario where tie-break permutations would expose
+//!   ordering bugs.
+//! * **Replica catch-up** — a replica cut off from replication misses
+//!   deltas beyond the writer's log retention; once healed it recovers
+//!   through a **full sync** (gap detection) and serves the same answers.
+//! * **Routing rejection** — with read-your-writes on, a lagging
+//!   replica's entries fail with `EpochTooOld` instead of serving stale
+//!   answers; healthy nodes' entries in the same batch still succeed.
+//! * **Drain** — removing a node reassigns its shards and the cluster
+//!   keeps answering identically.
+
+use std::sync::Arc;
+
+use stgq::cluster::{
+    Cluster, ClusterConfig, ClusterError, ClusterNode, FaultInjector, InProcessTransport, WireCodec,
+};
+use stgq::datagen::scenario::coarse_distance_analog;
+use stgq::datagen::Dataset;
+use stgq::exec::{ExecConfig, ExecError, QuerySpec};
+use stgq::graph::NodeId;
+use stgq::prelude::*;
+use stgq::service::{BatchQuery, Engine};
+use stgq_bench::cluster::{cluster_from_dataset, cluster_objectives};
+use stgq_bench::serving::{planner_from_dataset, sequential_objectives};
+
+/// A mixed workload: SGQ and STGQ, several initiators, hot repeats.
+fn mixed_batch(ds: &Dataset) -> Vec<BatchQuery> {
+    let sgq = SgqQuery::new(4, 2, 2).unwrap();
+    let stgq = StgqQuery::new(4, 2, 2, 4).unwrap();
+    let n = ds.graph.node_count() as u32;
+    let mut batch = Vec::new();
+    for i in 0..16u32 {
+        let initiator = NodeId((i * 17) % n);
+        batch.push(BatchQuery {
+            initiator,
+            spec: QuerySpec::Sgq(sgq),
+            engine: Engine::Exact,
+        });
+        batch.push(BatchQuery {
+            initiator,
+            spec: QuerySpec::Stgq(stgq),
+            engine: Engine::Exact,
+        });
+    }
+    batch
+}
+
+#[test]
+fn cluster_matches_single_executor_across_node_counts() {
+    let ds = coarse_distance_analog(1, 42, 3);
+    let batch = mixed_batch(&ds);
+
+    // Oracle: the single-process planner (one executor).
+    let planner = planner_from_dataset(&ds, 1);
+    let expected = sequential_objectives(&planner, &batch);
+    assert!(
+        expected.iter().filter(|o| o.is_some()).count() >= 8,
+        "workload must be mostly feasible to be a meaningful oracle"
+    );
+    let expected_groups: Vec<Option<Vec<NodeId>>> = batch
+        .iter()
+        .map(|q| match q.spec {
+            QuerySpec::Sgq(query) => planner
+                .plan_sgq(q.initiator, &query, q.engine)
+                .unwrap()
+                .solution
+                .map(|s| s.members),
+            QuerySpec::Stgq(query) => planner
+                .plan_stgq(q.initiator, &query, q.engine)
+                .unwrap()
+                .solution
+                .map(|s| s.members),
+        })
+        .collect();
+
+    for nodes in [1usize, 2, 4] {
+        let cluster = cluster_from_dataset(&ds, nodes, 1);
+        let replies = cluster.plan_batch(&batch);
+        let objectives: Vec<Option<u64>> = replies
+            .iter()
+            .map(|r| r.as_ref().unwrap().outcome.objective())
+            .collect();
+        assert_eq!(
+            objectives, expected,
+            "{nodes}-node cluster must match the single executor bit for bit"
+        );
+        let groups: Vec<Option<Vec<NodeId>>> = replies
+            .iter()
+            .map(|r| r.as_ref().unwrap().outcome.members().map(|m| m.to_vec()))
+            .collect();
+        assert_eq!(groups, expected_groups, "{nodes}-node groups identical");
+        // And repeating the batch is stable.
+        assert_eq!(cluster_objectives(&cluster, &batch), expected);
+
+        let m = cluster.metrics();
+        assert_eq!(m.nodes.len(), nodes);
+        assert!(m.full_syncs >= nodes as u64, "every node attached once");
+        assert!(
+            m.nodes.iter().all(|n| n.seq_lag == 0 && n.graph_lag == 0),
+            "after plan_batch every node is caught up"
+        );
+    }
+}
+
+#[test]
+fn json_wire_codec_changes_nothing() {
+    let ds = coarse_distance_analog(1, 7, 4);
+    let batch = mixed_batch(&ds);
+    let direct = cluster_from_dataset(&ds, 2, 1);
+    let expected = cluster_objectives(&direct, &batch);
+
+    // Same cluster, but every message round-trips through its JSON wire
+    // form — the whole protocol is provably network-encodable.
+    let cfg = ClusterConfig {
+        nodes: 2,
+        codec: WireCodec::Json,
+        node_exec: ExecConfig {
+            workers: 1,
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let mut json_cluster = Cluster::new(ds.grid.horizon(), cfg);
+    for v in 0..ds.graph.node_count() {
+        json_cluster.add_person(format!("p{v}"));
+    }
+    for e in ds.graph.edges() {
+        json_cluster.connect(e.a, e.b, e.weight).unwrap();
+    }
+    for (v, cal) in ds.calendars.iter().enumerate() {
+        json_cluster
+            .set_calendar(NodeId(v as u32), cal.clone())
+            .unwrap();
+    }
+    assert_eq!(cluster_objectives(&json_cluster, &batch), expected);
+}
+
+/// A small hand-built world behind a fault-injecting transport.
+fn faulty_cluster(nodes: usize) -> (Cluster, Arc<FaultInjector>, Vec<NodeId>) {
+    let cfg = ClusterConfig {
+        nodes,
+        shards: 8,
+        node_exec: ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let node_handles: Vec<Arc<ClusterNode>> = (0..nodes)
+        .map(|id| Arc::new(ClusterNode::new(id, cfg.node_exec)))
+        .collect();
+    let inner = Arc::new(InProcessTransport::new(node_handles.clone()));
+    let injector = Arc::new(FaultInjector::new(inner));
+    let transport: Arc<dyn stgq::cluster::Transport> = injector.clone();
+    let mut cluster = Cluster::from_parts(12, cfg, node_handles, transport);
+
+    let ids: Vec<NodeId> = (0..6)
+        .map(|i| cluster.add_person(format!("p{i}")))
+        .collect();
+    cluster.connect(ids[0], ids[1], 2).unwrap();
+    cluster.connect(ids[0], ids[2], 3).unwrap();
+    cluster.connect(ids[1], ids[2], 1).unwrap();
+    cluster.connect(ids[3], ids[4], 2).unwrap();
+    for &id in &ids {
+        cluster
+            .set_availability_range(id, SlotRange::new(2, 9), true)
+            .unwrap();
+    }
+    (cluster, injector, ids)
+}
+
+fn everyone_asks(ids: &[NodeId]) -> Vec<BatchQuery> {
+    let sgq = SgqQuery::new(3, 1, 0).unwrap();
+    ids.iter()
+        .map(|&initiator| BatchQuery {
+            initiator,
+            spec: QuerySpec::Sgq(sgq),
+            engine: Engine::Exact,
+        })
+        .collect()
+}
+
+#[test]
+fn missed_deltas_beyond_retention_recover_via_full_sync() {
+    let (mut cluster, injector, ids) = faulty_cluster(2);
+    let batch = everyone_asks(&ids);
+
+    // Round 1: both nodes attach (one full sync each) and answer.
+    let healthy: Vec<_> = cluster.plan_batch(&batch);
+    assert!(healthy.iter().all(|r| r.is_ok()));
+    let status = |cluster: &Cluster, node: usize| cluster.nodes()[node].status();
+    assert_eq!(status(&cluster, 0).full_syncs, 1, "attach is a full sync");
+    assert_eq!(status(&cluster, 1).full_syncs, 1);
+
+    // Cut node 1 off, then mutate past the log's retention — replicating
+    // after each mutation so node 0 keeps up incrementally while node 1
+    // accumulates a gap.
+    injector.set_drop_replication(1, true);
+    cluster.writer_mut().set_delta_log_capacity(2);
+    for slot in 0..6 {
+        cluster.set_availability(ids[5], slot, true).unwrap();
+        let syncs = cluster.replicate();
+        assert!(syncs.iter().any(|(node, r)| *node == 1 && r.is_err()));
+    }
+    assert!(injector.dropped() > 0, "replication to node 1 was dropped");
+    assert_eq!(
+        status(&cluster, 0).full_syncs,
+        1,
+        "node 0 caught up via deltas alone"
+    );
+    assert!(status(&cluster, 0).delta_batches >= 1);
+    let m = cluster.metrics();
+    let lagging = m.nodes.iter().find(|n| n.node == 1).unwrap();
+    assert!(
+        lagging.seq_lag > 2,
+        "node 1 lags beyond the log's retention"
+    );
+
+    // Heal. The writer's next round finds node 1's acked seq evicted
+    // from the log (gap) and repairs with a full sync — not by replaying
+    // deltas it no longer has.
+    injector.set_drop_replication(1, false);
+    cluster.replicate();
+    assert_eq!(
+        status(&cluster, 1).full_syncs,
+        2,
+        "gap recovery applied as a full sync (attach + repair)"
+    );
+    let m = cluster.metrics();
+    let caught_up = m.nodes.iter().find(|n| n.node == 1).unwrap();
+    assert_eq!(caught_up.seq_lag, 0);
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+
+    // Small catch-ups inside retention stay incremental on both nodes.
+    let node1_deltas = status(&cluster, 1).delta_batches;
+    cluster.set_availability(ids[5], 6, true).unwrap();
+    cluster.replicate();
+    assert_eq!(status(&cluster, 1).delta_batches, node1_deltas + 1);
+    assert_eq!(status(&cluster, 1).full_syncs, 2, "no further full sync");
+}
+
+#[test]
+fn lagging_replica_rejects_read_your_writes_requests() {
+    let (mut cluster, injector, ids) = faulty_cluster(2);
+    let batch = everyone_asks(&ids);
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+
+    // Node 1 stops receiving replication; the writer keeps mutating.
+    injector.set_drop_replication(1, true);
+    cluster.connect(ids[0], ids[4], 1).unwrap();
+
+    let replies = cluster.plan_batch(&batch);
+    let mut rejected = 0;
+    let mut served = 0;
+    for (query, reply) in batch.iter().zip(&replies) {
+        match reply {
+            Ok(outcome) => {
+                served += 1;
+                // Read-your-writes: whoever answered did so at (or past)
+                // the writer's epoch.
+                assert!(outcome.exact, "{query:?} served exactly");
+            }
+            Err(ClusterError::Exec(ExecError::EpochTooOld {
+                required,
+                available,
+            })) => {
+                rejected += 1;
+                assert!(required.0 > available.0, "graph axis is what lags");
+            }
+            Err(other) => panic!("unexpected failure: {other:?}"),
+        }
+    }
+    assert!(
+        rejected > 0,
+        "the lagging node must refuse, not serve stale"
+    );
+    assert!(served > 0, "healthy shards keep serving");
+
+    // Healing clears the rejections.
+    injector.set_drop_replication(1, false);
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+}
+
+#[test]
+fn drained_node_hands_its_shards_over() {
+    let ds = coarse_distance_analog(1, 11, 3);
+    let batch = mixed_batch(&ds);
+    let cluster = cluster_from_dataset(&ds, 3, 1);
+    let expected = cluster_objectives(&cluster, &batch);
+
+    cluster.drain_node(1).unwrap();
+    assert_eq!(cluster.active_nodes(), vec![0, 2]);
+    let queries_before = cluster.nodes()[1].executor().metrics().queries;
+    assert_eq!(
+        cluster_objectives(&cluster, &batch),
+        expected,
+        "answers identical after drain"
+    );
+    assert_eq!(
+        cluster.nodes()[1].executor().metrics().queries,
+        queries_before,
+        "a drained node gets no new queries"
+    );
+
+    // And it can come back.
+    cluster.undrain_node(1).unwrap();
+    assert_eq!(cluster_objectives(&cluster, &batch), expected);
+    assert_eq!(cluster.active_nodes(), vec![0, 1, 2]);
+}
