@@ -29,7 +29,7 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stgq_bench::figures::{sgq_dataset, stgq_dataset};
+use stgq_bench::figures::{sgq_dataset, sparse_fringe_dataset, stgq_dataset};
 use stgq_core::reference::{solve_sgq_reference_on, solve_stgq_reference_on};
 use stgq_core::{solve_sgq_on, solve_stgq_on, SelectConfig, SgqQuery, StgqQuery};
 use stgq_graph::FeasibleGraph;
@@ -74,6 +74,45 @@ fn bench_stgselect(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sparse-fringe scenario: community core + low-degree fans, where
+/// the fixpoint (p, k)-core peel actually removes candidates (the dense
+/// fig1f cases keep the suite honest on graphs where it cannot). Gated
+/// like the fig1f entries — the committed `BENCH_core.json` medians
+/// protect the new scenario from day one.
+fn bench_sparse_fringe(c: &mut Criterion) {
+    let cfg = SelectConfig::default();
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let cases: [(&str, usize, usize, usize); 2] = [("m4-p5k1", 5, 1, 4), ("m4-p6k2", 6, 2, 4)];
+
+    for days in [3usize, 7] {
+        let (ds, q) = sparse_fringe_dataset(days);
+        for (label, p, k, m) in cases {
+            let query = StgqQuery::new(p, 2, k, m).expect("valid");
+            let fg = FeasibleGraph::extract(&ds.graph, q, query.s());
+            let new_out = solve_stgq_on(&fg, &ds.calendars, &query, &cfg);
+            let ref_out = solve_stgq_reference_on(&fg, &ds.calendars, &query, &cfg);
+            assert_eq!(
+                new_out.solution.as_ref().map(|s| s.total_distance),
+                ref_out.solution.as_ref().map(|s| s.total_distance),
+                "engines must agree before being compared (days={days}, {label})"
+            );
+
+            g.bench_function(format!("stgselect/sparse-days{days}-{label}"), |b| {
+                b.iter(|| solve_stgq_on(&fg, &ds.calendars, &query, &cfg))
+            });
+            g.bench_function(
+                format!("reference-stgselect/sparse-days{days}-{label}"),
+                |b| b.iter(|| solve_stgq_reference_on(&fg, &ds.calendars, &query, &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_sgselect(c: &mut Criterion) {
     let cfg = SelectConfig::default();
     let mut g = c.benchmark_group("hotpath");
@@ -103,5 +142,10 @@ fn bench_sgselect(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_stgselect, bench_sgselect);
+criterion_group!(
+    benches,
+    bench_stgselect,
+    bench_sparse_fringe,
+    bench_sgselect
+);
 criterion_main!(benches);

@@ -95,7 +95,7 @@ fn main() -> ExitCode {
     };
     println!("bench_gate: machine-speed scale {scale:.2}x (median over reference-* entries)");
 
-    let mut failures = 0usize;
+    let mut regressions: Vec<(String, f64, f64, f64)> = Vec::new();
     let mut compared = 0usize;
     for (id, new_median) in &candidate {
         let Some((_, old_median)) = baseline.iter().find(|(b, _)| b == id) else {
@@ -105,7 +105,7 @@ fn main() -> ExitCode {
         compared += 1;
         let ratio = new_median / old_median;
         let verdict = if ratio > max_ratio * scale {
-            failures += 1;
+            regressions.push((id.clone(), *old_median, *new_median, ratio));
             "REGRESSED"
         } else {
             "ok"
@@ -119,12 +119,23 @@ fn main() -> ExitCode {
     }
 
     println!(
-        "bench_gate: {compared} compared, {failures} regressed beyond {:.2}x ({max_ratio:.2}x budget x {scale:.2}x machine scale)",
+        "bench_gate: {compared} compared, {} regressed beyond {:.2}x ({max_ratio:.2}x budget x {scale:.2}x machine scale)",
+        regressions.len(),
         max_ratio * scale
     );
-    if failures > 0 {
-        ExitCode::FAILURE
-    } else {
-        ExitCode::SUCCESS
+    // A CI log is read bottom-up after a failure: close with *every*
+    // regressed entry (worst first), so a multi-entry regression is
+    // never mistaken for a single noisy benchmark.
+    if regressions.is_empty() {
+        return ExitCode::SUCCESS;
     }
+    regressions.sort_by(|a, b| b.3.partial_cmp(&a.3).expect("ratios are finite"));
+    println!("bench_gate: all regressed entries, worst first:");
+    for (id, old, new, ratio) in &regressions {
+        println!(
+            "  {ratio:.2}x  {id}: {old:.0} -> {new:.0} ns (+{:.0}%)",
+            (ratio - 1.0) * 100.0
+        );
+    }
+    ExitCode::FAILURE
 }

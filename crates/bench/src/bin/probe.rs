@@ -8,6 +8,15 @@ use stgq_bench::figures::stgq_dataset;
 use stgq_core::{solve_stgq, SelectConfig, StgqQuery};
 use stgq_graph::FeasibleGraph;
 
+/// Percent reduction of `a` relative to `b` (0 when `b` is 0).
+fn pct(a: u64, b: u64) -> f64 {
+    if b == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - a as f64 / b as f64)
+    }
+}
+
 fn main() {
     let days: usize = std::env::args()
         .nth(1)
@@ -126,13 +135,6 @@ fn main() {
             old.solution.as_ref().map(|s| s.total_distance),
             "search reduction must not move the optimum"
         );
-        let pct = |a: u64, b: u64| {
-            if b == 0 {
-                0.0
-            } else {
-                100.0 * (1.0 - a as f64 / b as f64)
-            }
-        };
         let mut no_acq_stats = None;
         for (name, ablated) in [
             ("all on ", SelectConfig::default()),
@@ -156,6 +158,22 @@ fn main() {
             (
                 "no acqf ",
                 SelectConfig::default().with_acq_pivot_floor(false),
+            ),
+            (
+                "no peel",
+                SelectConfig::default().with_core_peel_fixpoint(false),
+            ),
+            (
+                "no mtch",
+                SelectConfig::default().with_kplex_match_bound(false),
+            ),
+            (
+                "no prep",
+                SelectConfig::default().with_shared_pivot_prep(false),
+            ),
+            (
+                "pr4 on ",
+                SelectConfig::default().without_candidate_reduction(),
             ),
             ("all off", SelectConfig::NO_SEARCH_REDUCTION),
         ] {
@@ -202,6 +220,71 @@ fn main() {
             pct(new.stats.frames_examined(), no_acq.frames_examined()),
             new.stats.pivots_skipped,
             no_acq.pivots_skipped,
+        );
+        // The candidate-space reduction layer's own contribution: all-on
+        // vs the PR-4 all-on baseline (peel + matching bound + shared
+        // prep off, everything older on).
+        let pr4 = stgq_core::solve_stgq_on(
+            &fg,
+            &ds.calendars,
+            &query,
+            &SelectConfig::default().without_candidate_reduction(),
+        );
+        println!(
+            "          reduction: frames {:>5} vs {:>5} pr4 (-{:.1}%)  peeled {}  refused {}  match-pruned {}",
+            new.stats.frames_examined(),
+            pr4.stats.frames_examined(),
+            pct(new.stats.frames_examined(), pr4.stats.frames_examined()),
+            new.stats.peeled_candidates,
+            new.stats.pivots_refused_by_core,
+            new.stats.frames_pruned_by_match,
+        );
+    }
+
+    // The sparse-fringe scenario: the fixpoint peel's home turf (the
+    // fans cascade away; see `stgq_datagen::scenario::sparse_fringe`).
+    println!("\nsparse_fringe scenario (default vs PR-4 all-on baseline):");
+    let (ds, q) = stgq_bench::figures::sparse_fringe_dataset(days);
+    let pr4_cfg = SelectConfig::default().without_candidate_reduction();
+    for (p, k, m) in [(5usize, 1usize, 4usize), (6, 2, 4)] {
+        let query = StgqQuery::new(p, 2, k, m).expect("valid");
+        let fg = FeasibleGraph::extract(&ds.graph, q, query.s());
+        let new = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &SelectConfig::default());
+        let pr4 = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &pr4_cfg);
+        assert_eq!(
+            new.solution.as_ref().map(|s| s.total_distance),
+            pr4.solution.as_ref().map(|s| s.total_distance),
+            "the reduction layer must not move the optimum"
+        );
+        let mut new_ns = u128::MAX;
+        let mut pr4_ns = u128::MAX;
+        for _ in 0..12 {
+            let t0 = Instant::now();
+            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &SelectConfig::default());
+            new_ns = new_ns.min(t0.elapsed().as_nanos());
+            let t0 = Instant::now();
+            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, &query, &pr4_cfg);
+            pr4_ns = pr4_ns.min(t0.elapsed().as_nanos());
+        }
+        println!(
+            "p={p} k={k} m={m:>2}: frames {:>5} (pr4 {:>5}, -{:.1}%)  exams {:>6} (pr4 {:>6}, -{:.1}%)  {:>9} ns (pr4 {:>9} ns, {:.2}x)",
+            new.stats.frames_examined(),
+            pr4.stats.frames_examined(),
+            pct(new.stats.frames_examined(), pr4.stats.frames_examined()),
+            new.stats.candidates_examined,
+            pr4.stats.candidates_examined,
+            pct(new.stats.candidates_examined, pr4.stats.candidates_examined),
+            new_ns,
+            pr4_ns,
+            pr4_ns as f64 / new_ns as f64,
+        );
+        println!(
+            "          peeled {} over {} pivots ({} refused by core, {} skipped)  match-pruned {}",
+            new.stats.peeled_candidates,
+            new.stats.pivots_processed,
+            new.stats.pivots_refused_by_core,
+            new.stats.pivots_skipped,
+            new.stats.frames_pruned_by_match,
         );
     }
 }

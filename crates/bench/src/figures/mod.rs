@@ -20,7 +20,7 @@ pub mod fig1g;
 pub mod fig1h;
 mod quality;
 
-use stgq_datagen::scenario::{real_analog_194, synthetic_coauthor};
+use stgq_datagen::scenario::{real_analog_194, sparse_fringe, synthetic_coauthor};
 use stgq_datagen::{pick_initiator, Dataset};
 use stgq_graph::{NodeId, SocialGraph};
 
@@ -41,6 +41,15 @@ pub fn sgq_dataset() -> (SocialGraph, NodeId) {
 /// The STGQ dataset over `days` days of half-hour slots.
 pub fn stgq_dataset(days: usize) -> (Dataset, NodeId) {
     let ds = real_analog_194(days, SEED);
+    let q = pick_initiator(&ds.graph, INITIATOR_DEGREE);
+    (ds, q)
+}
+
+/// The sparse-fringe STGQ dataset over `days` days: community core plus
+/// low-degree fans, where candidate peeling actually excludes people
+/// (see [`stgq_datagen::scenario::sparse_fringe`]).
+pub fn sparse_fringe_dataset(days: usize) -> (Dataset, NodeId) {
+    let ds = sparse_fringe(days, SEED);
     let q = pick_initiator(&ds.graph, INITIATOR_DEGREE);
     (ds, q)
 }

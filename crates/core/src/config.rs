@@ -97,6 +97,63 @@ pub struct SelectConfig {
     /// friends the compatibility floor cannot see. No effect unless
     /// `sharp_pivot_floor` is also on; exactness untouched.
     pub acq_pivot_floor: bool,
+    /// Peel candidate sets to the **(p, k)-core** before exact descent:
+    /// iterate the eligible-degree ≥ `p − 1 − k` filter to a fixpoint
+    /// (peel a vertex → decrement its neighbors' eligible degrees →
+    /// re-peel), restricted to the eligible candidates plus the
+    /// initiator. A peeled vertex has too few acquaintances among the
+    /// only people who could ever share a group with it, so it can
+    /// belong to **no** feasible group — removing it from `VA` outright
+    /// (not just from the floor's candidate sets, which is all
+    /// [`acq_pivot_floor`](Self::acq_pivot_floor)'s one-pass filter
+    /// does) is exact. A pivot whose surviving core leaves fewer than
+    /// `p` people — or leaves the initiator short of `p − 1 − k`
+    /// acquaintances — is refused outright
+    /// ([`SearchStats::pivots_refused_by_core`]). The SGQ engine peels
+    /// its initial candidate set the same way. Peeled vertices are
+    /// counted in [`SearchStats::peeled_candidates`].
+    ///
+    /// [`SearchStats::pivots_refused_by_core`]: crate::SearchStats::pivots_refused_by_core
+    /// [`SearchStats::peeled_candidates`]: crate::SearchStats::peeled_candidates
+    pub core_peel_fixpoint: bool,
+    /// Frame-level **k-plex bound** (a strictly stronger Lemma 3 *and* a
+    /// sharper Lemma 2, applied on the SGQ path too), two stacked
+    /// conditions on any completion of the frame:
+    ///
+    /// * **Admissible-completion floor**: a candidate already missing
+    ///   more than `k` acquaintances against `VS` can join no
+    ///   descendant group, so fewer than `p − |VS|` admissible
+    ///   candidates is outright infeasibility, and the sum of the
+    ///   `p − |VS|` cheapest *admissible* distances is a completion
+    ///   floor that strictly dominates Lemma 2's `need · min_dist` —
+    ///   compared against the incumbent (so this half prunes
+    ///   *non-improving* frames, exactly like Lemma 2, and only when
+    ///   [`distance_pruning`](Self::distance_pruning) is on).
+    /// * **Missing-pair matching bound** (frame entry): any size-`p`
+    ///   group absorbs at most `⌊k·p/2⌋` missing (non-acquainted) pairs
+    ///   in total, and the missing pairs inside `VS`, the cheapest
+    ///   `p − |VS|` missing-pair counts against `VS`, and a greedy
+    ///   matching over missing pairs among the remaining candidates
+    ///   each lower-bound a disjoint share of that budget — a purely
+    ///   structural necessary condition.
+    ///
+    /// Either way the frame dies before `VA` expansion
+    /// ([`SearchStats::frames_pruned_by_match`] counts both halves).
+    /// Exactness is untouched: pruned frames hold no feasible
+    /// completion, or none that strictly beats the incumbent.
+    ///
+    /// [`SearchStats::frames_pruned_by_match`]: crate::SearchStats::frames_pruned_by_match
+    pub kplex_match_bound: bool,
+    /// Share pivot preprocessing across the pivot loop and across the
+    /// parallel workers: the fixpoint-peeled core and the
+    /// acquaintance-floor mask depend only on `(query, eligible set)`,
+    /// so they are computed once per candidate-set signature — a shared
+    /// `PivotPrep` entry for the full candidate set, plus a per-arena
+    /// memo for the last distinct per-pivot signature —
+    /// instead of being rebuilt for every pivot. Purely a caching
+    /// strategy: results are bit-identical with it off; the switch
+    /// exists for ablation.
+    pub shared_pivot_prep: bool,
 }
 
 impl SelectConfig {
@@ -115,6 +172,9 @@ impl SelectConfig {
         pool_pivot_buffers: true,
         sharp_pivot_floor: true,
         acq_pivot_floor: true,
+        core_peel_fixpoint: true,
+        kplex_match_bound: true,
+        shared_pivot_prep: true,
     };
 
     /// Ablation preset: the previous release's *sequential* search
@@ -132,6 +192,9 @@ impl SelectConfig {
         pool_pivot_buffers: false,
         sharp_pivot_floor: false,
         acq_pivot_floor: false,
+        core_peel_fixpoint: false,
+        kplex_match_bound: false,
+        shared_pivot_prep: false,
         ..SelectConfig::PAPER_EXAMPLE
     };
 
@@ -237,6 +300,44 @@ impl SelectConfig {
         }
     }
 
+    /// This config with fixpoint (p, k)-core peeling toggled.
+    pub const fn with_core_peel_fixpoint(self, on: bool) -> Self {
+        SelectConfig {
+            core_peel_fixpoint: on,
+            ..self
+        }
+    }
+
+    /// This config with the frame-level k-plex matching bound toggled.
+    pub const fn with_kplex_match_bound(self, on: bool) -> Self {
+        SelectConfig {
+            kplex_match_bound: on,
+            ..self
+        }
+    }
+
+    /// This config with shared pivot preprocessing toggled.
+    pub const fn with_shared_pivot_prep(self, on: bool) -> Self {
+        SelectConfig {
+            shared_pivot_prep: on,
+            ..self
+        }
+    }
+
+    /// The previous release's all-on behaviour: this config with the
+    /// candidate-space reduction layer (fixpoint core peeling, the
+    /// k-plex matching bound and shared pivot preprocessing) switched
+    /// off. The `probe` scoreboard and the reduction tests diff the
+    /// default against this.
+    pub const fn without_candidate_reduction(self) -> Self {
+        SelectConfig {
+            core_peel_fixpoint: false,
+            kplex_match_bound: false,
+            shared_pivot_prep: false,
+            ..self
+        }
+    }
+
     /// Clamp to the invariants (`phi0 ≥ 1`, `phi_cap ≥ phi0`).
     pub fn normalized(self) -> Self {
         let phi0 = self.phi0.max(1);
@@ -305,12 +406,14 @@ mod tests {
         assert!(c.pivot_promise_order && c.availability_ordering && c.pool_pivot_buffers);
         assert!(c.sharp_pivot_floor);
         assert!(c.acq_pivot_floor);
+        assert!(c.core_peel_fixpoint && c.kplex_match_bound && c.shared_pivot_prep);
 
         let off = SelectConfig::NO_SEARCH_REDUCTION;
         assert_eq!(off.seed_restarts, 0);
         assert!(!off.pivot_promise_order && !off.availability_ordering && !off.pool_pivot_buffers);
         assert!(!off.sharp_pivot_floor);
         assert!(!off.acq_pivot_floor);
+        assert!(!off.core_peel_fixpoint && !off.kplex_match_bound && !off.shared_pivot_prep);
         assert!(
             off.distance_pruning && off.acquaintance_pruning,
             "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
@@ -326,5 +429,13 @@ mod tests {
         assert_eq!(c.seed_restarts, 5);
         assert!(!c.pivot_promise_order && !c.availability_ordering && !c.pool_pivot_buffers);
         assert!(!c.sharp_pivot_floor && !c.acq_pivot_floor);
+
+        let c = SelectConfig::default()
+            .with_core_peel_fixpoint(false)
+            .with_kplex_match_bound(false)
+            .with_shared_pivot_prep(false);
+        assert!(!c.core_peel_fixpoint && !c.kplex_match_bound && !c.shared_pivot_prep);
+        assert_eq!(c, SelectConfig::default().without_candidate_reduction());
+        assert!(c.sharp_pivot_floor, "the PR-4 pieces stay on");
     }
 }

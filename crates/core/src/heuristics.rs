@@ -31,7 +31,7 @@ use stgq_schedule::pivot::pivot_slots;
 use stgq_schedule::{Calendar, SlotRange};
 
 use crate::inputs::check_temporal_inputs;
-use crate::stgselect::{prepare_pivot, PivotArena, PivotJob};
+use crate::stgselect::{finalize_pivot, prepare_pivot, PivotArena, PivotJob, PivotPrep};
 use crate::{QueryError, SearchStats, SgqQuery, SgqSolution, StgqQuery, StgqSolution};
 
 /// Outcome of a heuristic SGQ run.
@@ -212,25 +212,22 @@ fn run_stgq_heuristic(
     // its behaviour tests), but pools the pivot buffers like the exact
     // loop does.
     let mut arena = PivotArena::new();
+    // Plain prep (no floors, no peel, no tie-breaking): the greedy
+    // engine's evaluation counts are pinned by behaviour tests, and it
+    // never consults the bound.
+    let prep = PivotPrep::plain(p, m, horizon);
 
     for pivot in pivot_slots(horizon, m) {
-        let Some(job) = prepare_pivot(
-            fg,
-            calendars,
-            p,
-            m,
-            pivot,
-            horizon,
-            None,
-            // Plain floor: the greedy engine's evaluation counts are
-            // pinned by behaviour tests, and it never consults the bound.
-            false,
-            None,
-            &mut scratch,
-            &mut arena,
-        ) else {
+        let Some(mut job) = prepare_pivot(fg, calendars, &prep, pivot, &mut scratch, &mut arena)
+        else {
             continue;
         };
+        // The greedy engine never bounds, so every prepared pivot is
+        // finalized (a plain prep cannot refuse).
+        if !finalize_pivot(fg, &prep, &mut job, &mut scratch, &mut arena) {
+            arena.recycle(job);
+            continue;
+        }
         let mut ctx = GreedyCtx::new(fg, p, query.k(), None, Some(&job), m);
         let (found, evals) = ctx.run_restarts(restarts.max(1));
         evaluations += evals;

@@ -108,6 +108,34 @@
 //!   restricted floor is strictly tighter (pinned by the dominance
 //!   property test).
 //!
+//! A **candidate-space reduction layer** runs between pivot preparation
+//! and exact descent (prepare → peel → floor → descend; the full
+//! pipeline diagram lives in the STGSelect module docs):
+//!
+//! * **Fixpoint (p, k)-core peeling**
+//!   ([`SelectConfig::core_peel_fixpoint`]). The eligible-degree
+//!   `≥ p − 1 − k` filter is iterated to a fixpoint over the
+//!   word-parallel adjacency, so whole fringe structures (chains, fans)
+//!   cascade out of `VA` before any frame opens; a pivot whose core
+//!   cannot seat `p` people is refused outright
+//!   ([`SearchStats::pivots_refused_by_core`]). SGQ peels its candidate
+//!   set the same way, once per solve.
+//! * **Frame-level k-plex bound**
+//!   ([`SelectConfig::kplex_match_bound`]). Candidates already missing
+//!   more than `k` acquaintances against `VS` are excluded from the
+//!   completion floor — whose `need` cheapest *admissible* distances
+//!   strictly dominate Lemma 2's `need · min` — and at frame entry a
+//!   greedy matching over missing pairs among the remaining candidates
+//!   is charged against the group's aggregate `⌊k·p/2⌋`
+//!   non-acquaintance budget (a strictly stronger Lemma 3, live on the
+//!   SGQ path too).
+//! * **Shared pivot preprocessing**
+//!   ([`SelectConfig::shared_pivot_prep`]). The peeled core and the
+//!   floor mask depend only on `(query, eligible-set signature)`, so
+//!   they are computed once per signature and shared across the pivot
+//!   loop and across parallel workers instead of being rebuilt per
+//!   pivot.
+//!
 //! For serving deployments the engines also stop **cooperatively**: an
 //! optional [`SolveControl`] (cancellation token and/or wall-clock
 //! deadline, [`solve_sgq_controlled_on`] / [`solve_stgq_controlled`])
@@ -162,6 +190,7 @@ mod inputs;
 mod manual;
 mod parallel;
 mod query;
+mod reduce;
 pub mod reference;
 mod result;
 #[cfg(feature = "serde")]

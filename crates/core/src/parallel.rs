@@ -49,10 +49,12 @@ use stgq_schedule::Calendar;
 use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
+use crate::reduce::sgq_peel_preamble;
 use crate::sgselect::{Searcher, VaState};
 use crate::stgselect::{
-    acq_floor_min_deg, dist_tie_blocks, pivot_bound_skips, prepare_pivot, promise_ordered_pivots,
-    search_pivot_controlled, search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob, StBest,
+    finalize_pivot, pivot_bound_skips, prepare_pivot, promise_ordered_pivots,
+    search_pivot_controlled, search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob,
+    PivotPrep, StBest,
 };
 use crate::{
     solve_sgq_controlled_on, solve_stgq_controlled, QueryError, SearchStats, SelectConfig,
@@ -139,6 +141,16 @@ pub fn solve_sgq_parallel_controlled_on(
         return solve_sgq_controlled_on(fg, query, cfg, candidate_mask, control);
     }
 
+    // Fixpoint (p, k)-core peel — the sequential engine's shared helper,
+    // computed once here and read by every worker through the peeled
+    // `base_va`.
+    let (peeled_candidates, peeled_set) =
+        match sgq_peel_preamble(fg, cfg, p, query.k(), candidate_mask) {
+            Ok(kept) => kept,
+            Err(refused) => return *refused,
+        };
+    let candidate_mask = peeled_set.as_ref().or(candidate_mask);
+
     let order = fg.candidate_order();
     let base_va = VaState::init(fg, candidate_mask);
     let incumbent: Incumbent<Vec<u32>> = Incumbent::new();
@@ -190,7 +202,10 @@ pub fn solve_sgq_parallel_controlled_on(
     }
     let next = AtomicUsize::new(0);
 
-    let mut stats = SearchStats::default();
+    let mut stats = SearchStats {
+        peeled_candidates,
+        ..SearchStats::default()
+    };
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
@@ -374,9 +389,12 @@ pub fn solve_stgq_parallel_controlled_on(
         }
     }
     let mut stats = SearchStats::default();
-    let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
-    let tie_blocks = tie_blocks.as_deref();
-    let acq_min_deg = acq_floor_min_deg(&cfg, p, query.k());
+    // Shared pivot preprocessing: tie blocks, thresholds, and the
+    // full-candidate reduction memo are computed once here and read by
+    // every worker — the sequential engine's per-solve prep, lifted
+    // above the spawn ([`SelectConfig::shared_pivot_prep`]).
+    let prep = PivotPrep::new(fg, p, query.k(), m, horizon, &cfg);
+    let prep = &prep;
 
     if pivots.len() >= threads * INTRA_PIVOT_SPLIT_FACTOR {
         // Plenty of pivots: one task per pivot saturates every core, and
@@ -407,24 +425,22 @@ pub fn solve_stgq_parallel_controlled_on(
                                 }
                             }
                             if let Some(mut job) = prepare_pivot(
-                                fg,
-                                calendars,
-                                p,
-                                m,
-                                pivots[i],
-                                horizon,
-                                tie_blocks,
-                                cfg.sharp_pivot_floor,
-                                acq_min_deg,
-                                &mut local,
-                                &mut arena,
+                                fg, calendars, prep, pivots[i], &mut local, &mut arena,
                             ) {
+                                // Phase-1 bound, finalize, re-check —
+                                // the sequential engine's ladder.
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                     local.pivots_skipped += 1;
-                                } else {
-                                    search_pivot_controlled(
-                                        fg, query, &cfg, &mut job, &incumbent, &mut local, control,
-                                    );
+                                } else if finalize_pivot(fg, prep, &mut job, &mut local, &mut arena)
+                                {
+                                    if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+                                        local.pivots_skipped += 1;
+                                    } else {
+                                        search_pivot_controlled(
+                                            fg, query, &cfg, &mut job, &incumbent, &mut local,
+                                            control,
+                                        );
+                                    }
                                 }
                                 arena.recycle(job);
                             }
@@ -463,19 +479,16 @@ pub fn solve_stgq_parallel_controlled_on(
                                     return (local, found);
                                 }
                             }
-                            if let Some(job) = prepare_pivot(
-                                fg,
-                                calendars,
-                                p,
-                                m,
-                                pivots[i],
-                                horizon,
-                                tie_blocks,
-                                cfg.sharp_pivot_floor,
-                                acq_min_deg,
-                                &mut local,
-                                &mut arena,
+                            if let Some(mut job) = prepare_pivot(
+                                fg, calendars, prep, pivots[i], &mut local, &mut arena,
                             ) {
+                                if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+                                    local.pivots_skipped += 1;
+                                    continue;
+                                }
+                                if !finalize_pivot(fg, prep, &mut job, &mut local, &mut arena) {
+                                    continue;
+                                }
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                     local.pivots_skipped += 1;
                                     continue;

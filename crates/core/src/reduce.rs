@@ -1,0 +1,531 @@
+//! Candidate-space reduction: fixpoint (p, k)-core peeling and the
+//! k-plex matching bound.
+//!
+//! Both pieces exploit the same structural fact: a feasible group is a
+//! **k-plex** of size `p` (every member is acquainted with at least
+//! `p − 1 − k` of the others), so candidate sets can be shrunk — and
+//! frames refuted — by degree arguments alone, before any distance or
+//! temporal reasoning runs.
+//!
+//! * [`peel_to_core`] iterates the eligible-degree filter to a fixpoint:
+//!   removing a low-degree vertex lowers its neighbors' eligible degrees,
+//!   which may push *them* below the threshold. The one-pass filter this
+//!   upgrades (PR 4's acquaintance-aware floor restriction) never
+//!   propagates, which is why it "rarely excludes anyone" on dense
+//!   community graphs; the fixpoint eats whole fringe structures
+//!   (chains, fans, stars) whose interior vertices look well-connected
+//!   until their support is peeled away.
+//! * [`match_bound`] lower-bounds the missing (non-acquainted) pairs any
+//!   size-`p` completion of the current frame must absorb. Its three
+//!   terms count disjoint pair sets — inside `VS`, between `VS` and the
+//!   completion, and inside the completion (via a greedy matching over
+//!   missing pairs among the remaining candidates) — so their sum is a
+//!   valid lower bound against the aggregate budget `⌊k·p/2⌋` implied by
+//!   the per-member constraint.
+//!
+//! Everything here is a *necessary* feasibility condition: no feasible
+//! group is ever excluded, so the exact engines stay exact (the
+//! reference oracle equivalence is property-tested in
+//! `tests/search_reduction.rs`).
+
+use stgq_graph::{BitSet, Dist, FeasibleGraph};
+
+use crate::{SearchStats, SelectConfig, SgqOutcome};
+
+/// The (p, k)-core degree threshold `p − 1 − k` for fixpoint peeling, or
+/// `None` when peeling is off or vacuous (`k ≥ p − 1` puts no lower
+/// bound on in-group acquaintances, and `p < 2` never peels).
+pub(crate) fn peel_min_deg(enabled: bool, p: usize, k: usize) -> Option<usize> {
+    (enabled && p >= 2 && p - 1 > k).then(|| p - 1 - k)
+}
+
+/// Peel `set` (compact candidate indices — never the initiator, compact
+/// `0`) to the fixpoint where every surviving member has at least
+/// `min_deg` acquaintances among the survivors **plus the initiator**.
+/// Returns the number of vertices peeled; `deg`/`queue` are caller
+/// scratch (cleared and refilled here).
+///
+/// Soundness: every feasible group is drawn from `set ∪ {initiator}`
+/// and gives each member at most its degree within that set as in-group
+/// acquaintances. A vertex below `min_deg = p − 1 − k` therefore cannot
+/// satisfy the acquaintance constraint in *any* group over the current
+/// set — and once it is gone, the same argument applies to the shrunken
+/// set, so iterating to the fixpoint removes only provably impossible
+/// members (the classic k-core argument).
+pub(crate) fn peel_to_core(
+    fg: &FeasibleGraph,
+    set: &mut BitSet,
+    min_deg: usize,
+    deg: &mut Vec<u32>,
+    queue: &mut Vec<u32>,
+) -> u64 {
+    let f = fg.len();
+    let min_deg = min_deg as u32;
+    deg.clear();
+    deg.resize(f, 0);
+    queue.clear();
+    // Initial eligible degrees: one word-parallel popcount per member
+    // against the membership words, plus the initiator adjacency bit.
+    for c in set.iter() {
+        let adj = fg.adj(c as u32);
+        deg[c] = (adj.intersection_len(set) + usize::from(adj.contains(0))) as u32;
+        if deg[c] < min_deg {
+            queue.push(c as u32);
+        }
+    }
+    for &c in queue.iter() {
+        set.remove(c as usize);
+    }
+    // Cascade: each removal decrements its surviving neighbors' degrees;
+    // a neighbor crossing the threshold is removed (and queued) at most
+    // once, so the whole fixpoint is O(Σ degree) beyond the init pass.
+    let mut head = 0usize;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        for &nb in fg.neighbors(u) {
+            if set.contains(nb as usize) {
+                deg[nb as usize] -= 1;
+                if deg[nb as usize] < min_deg {
+                    set.remove(nb as usize);
+                    queue.push(nb);
+                }
+            }
+        }
+    }
+    queue.len() as u64
+}
+
+/// Whether the initiator herself survives against the peeled `core`: she
+/// is in every group, so she too needs `min_deg = p − 1 − k`
+/// acquaintances among the only people who may join her.
+pub(crate) fn initiator_core_ok(fg: &FeasibleGraph, core: &BitSet, min_deg: usize) -> bool {
+    fg.adj(0).intersection_len(core) >= min_deg
+}
+
+/// The SGQ engines' once-per-solve peel preamble: reduce the candidate
+/// set (the given `mask`, or all candidates) to its (p, k)-core.
+/// Returns `Ok((peeled count, replacement mask))` when a feasible group
+/// may still exist — the mask is `Some(core)` when the peel ran, `None`
+/// when it is off/vacuous — or `Err(outcome)` when the query is
+/// **refused** outright (the core leaves fewer than `p` people, or
+/// leaves the initiator short of `p − 1 − k` acquaintances), carrying
+/// the complete infeasible outcome for the caller to return. Shared by
+/// the sequential and parallel SGQ solvers so the two cannot diverge.
+pub(crate) fn sgq_peel_preamble(
+    fg: &FeasibleGraph,
+    cfg: &SelectConfig,
+    p: usize,
+    k: usize,
+    mask: Option<&BitSet>,
+) -> Result<(u64, Option<BitSet>), Box<SgqOutcome>> {
+    let Some(min_deg) = peel_min_deg(cfg.core_peel_fixpoint, p, k) else {
+        return Ok((0, None));
+    };
+    let mut set = match mask {
+        Some(mask) => {
+            debug_assert_eq!(mask.capacity(), fg.len());
+            let mut s = mask.clone();
+            s.remove(0);
+            s
+        }
+        None => {
+            let mut s = BitSet::new(fg.len());
+            for &c in fg.candidate_order() {
+                s.insert(c as usize);
+            }
+            s
+        }
+    };
+    let peeled = peel_to_core(fg, &mut set, min_deg, &mut Vec::new(), &mut Vec::new());
+    if set.len() + 1 < p || !initiator_core_ok(fg, &set, min_deg) {
+        Err(Box::new(SgqOutcome {
+            solution: None,
+            stats: SearchStats {
+                peeled_candidates: peeled,
+                ..SearchStats::default()
+            },
+        }))
+    } else {
+        Ok((peeled, Some(set)))
+    }
+}
+
+/// The frame-level k-plex bound shared verbatim by SGSelect's and
+/// STGSelect's searchers (which differ only in where their access order
+/// and `VA` bitsets live), two stacked necessary conditions on any
+/// completion of `VS`:
+///
+/// 1. **Admissible-completion floor** (every call): a candidate already
+///    missing more than `k` acquaintances against `VS` can join no
+///    descendant group (its deficit only grows), so fewer than `need`
+///    admissible candidates kills the frame outright, and the sum of
+///    the `need` *cheapest admissible* distances is a completion floor
+///    that strictly dominates Lemma 2's `need · min_dist` — compared
+///    against the incumbent when `distance_pruning` allows.
+/// 2. **Missing-pair matching bound** (`with_matching` — callers pass
+///    it at frame entry only): [`match_bound`], a strictly-stronger
+///    Lemma 3 against the group's aggregate `⌊k·p/2⌋` budget.
+///
+/// `pos_set` mirrors `va_set` over positions of `order`
+/// (distance-ascending), `best` is the incumbent objective, and `k` is
+/// already clamped to `p − 1`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn kplex_frame_prune(
+    fg: &FeasibleGraph,
+    vs: &[u32],
+    cnt_in_s: &[u32],
+    pos_set: &BitSet,
+    order: &[u32],
+    va_set: &BitSet,
+    va_len: usize,
+    p: usize,
+    k: i64,
+    td: Dist,
+    best: Option<Dist>,
+    distance_pruning: bool,
+    with_matching: bool,
+    scratch: &mut MatchScratch,
+) -> bool {
+    let vs_len = vs.len() as i64;
+    let need = p - vs.len();
+    let mut sum: Dist = 0;
+    let mut taken = 0usize;
+    let mut cursor = 0usize;
+    while taken < need {
+        let Some(pos) = pos_set.next_set_at_or_after(cursor) else {
+            break;
+        };
+        cursor = pos + 1;
+        let u = order[pos];
+        if vs_len - i64::from(cnt_in_s[u as usize]) <= k {
+            sum += fg.dist(u);
+            taken += 1;
+        }
+    }
+    if taken < need {
+        return true;
+    }
+    if distance_pruning {
+        if let Some(best) = best {
+            let fires = match best.checked_sub(td) {
+                None => true,
+                Some(slack) => slack < sum,
+            };
+            if fires {
+                return true;
+            }
+        }
+    }
+    with_matching
+        && k < (p - 1) as i64
+        && match_bound(fg, vs, cnt_in_s, va_set, va_len, p, k, scratch)
+}
+
+/// Scratch buffers for [`match_bound`] (one per searcher; reused across
+/// every frame of a search so the bound allocates nothing in steady
+/// state).
+#[derive(Default)]
+pub(crate) struct MatchScratch {
+    /// Matched-vertex words (capacity of the candidate bitset).
+    matched: Vec<u64>,
+    /// Counting-sort buckets over missing-pair counts `0..=|VS|`.
+    buckets: Vec<u32>,
+}
+
+/// The k-plex matching bound for one frame: `true` ⇔ no size-`p`
+/// completion of `VS` from `va_set` can satisfy the acquaintance
+/// constraint, because the provable missing-pair demand already exceeds
+/// the aggregate budget.
+///
+/// Per member the constraint allows at most `k` non-acquainted
+/// co-members, so summed over the group `2 · missing_pairs ≤ p·k`. Three
+/// disjoint demands are bounded from below:
+///
+/// 1. **inside `VS`** — counted exactly from the `cnt_in_s` counters;
+/// 2. **`VS` × completion** — every chosen candidate `u` contributes
+///    `|VS| − |N_u ∩ VS|` missing pairs against `VS`; any completion
+///    takes `need = p − |VS|` candidates, so the sum of the `need`
+///    smallest such counts over `va_set` is unavoidable (counting sort
+///    over the `0..=|VS|` value range);
+/// 3. **inside the completion** — a greedy matching over missing pairs
+///    among `va_set`: pairs are disjoint, so excluding one of the
+///    `|VA| − need` leftovers breaks at most one pair, leaving at least
+///    `t − (|VA| − need)` matched pairs wholly inside any completion,
+///    each a distinct missing pair. The matching (the only superlinear
+///    part) is only computed when `2·need > |VA|` — otherwise the term
+///    is provably zero — which confines it to cheap endgame frames.
+///
+/// `k` must already be clamped to `p − 1` (the engines' invariant); the
+/// caller skips the call entirely when the budget is vacuous
+/// (`k ≥ p − 1`).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn match_bound(
+    fg: &FeasibleGraph,
+    vs: &[u32],
+    cnt_in_s: &[u32],
+    va_set: &BitSet,
+    va_len: usize,
+    p: usize,
+    k: i64,
+    scratch: &mut MatchScratch,
+) -> bool {
+    let vs_len = vs.len();
+    let need = p - vs_len;
+    if need == 0 || va_len < need {
+        // Nothing left to choose (the frame's own cardinality check
+        // handles the short case).
+        return false;
+    }
+    let budget = (p as i64) * k; // 2 · missing_pairs ≤ p·k
+
+    // (1) Missing pairs inside VS, exact: C(|VS|, 2) minus the edges
+    // within VS (each endpoint's cnt_in_s counts it once per side).
+    let edges_in_vs: u64 = vs.iter().map(|&v| u64::from(cnt_in_s[v as usize])).sum();
+    let miss_in_vs = (vs_len * (vs_len - 1) / 2) as i64 - (edges_in_vs / 2) as i64;
+
+    // (2) VS × completion: counting sort of |VS| − cnt_in_s[u] over VA,
+    // then the `need` smallest.
+    scratch.buckets.clear();
+    scratch.buckets.resize(vs_len + 1, 0);
+    for u in va_set.iter() {
+        let miss = vs_len - (cnt_in_s[u] as usize).min(vs_len);
+        scratch.buckets[miss] += 1;
+    }
+    let mut cross = 0i64;
+    let mut taken = 0usize;
+    for (miss, &count) in scratch.buckets.iter().enumerate() {
+        if taken >= need {
+            break;
+        }
+        let take = (count as usize).min(need - taken);
+        cross += (miss * take) as i64;
+        taken += take;
+    }
+
+    if 2 * (miss_in_vs + cross) > budget {
+        return true;
+    }
+    // (3) can add at most ⌊need/2⌋ pairs, and is provably zero unless
+    // the completion must keep more than half of VA.
+    if 2 * need <= va_len || 2 * (miss_in_vs + cross + (need / 2) as i64) <= budget {
+        return false;
+    }
+
+    // Greedy matching over missing pairs among VA, word-parallel: for
+    // each unmatched member, the first unmatched non-neighbor above it.
+    let words = va_set.words();
+    scratch.matched.clear();
+    scratch.matched.resize(words.len(), 0);
+    let mut t = 0usize;
+    for u in va_set.iter() {
+        let (wi, bi) = (u / 64, u % 64);
+        if scratch.matched[wi] >> bi & 1 == 1 {
+            continue;
+        }
+        let adj = fg.adj_words(u as u32);
+        let mut partner = None;
+        for i in wi..words.len() {
+            let mut w = words[i] & !scratch.matched[i] & !adj[i];
+            if i == wi {
+                // Only partners strictly above u (each pair found once).
+                w &= u64::MAX << bi << 1;
+            }
+            if w != 0 {
+                partner = Some(i * 64 + w.trailing_zeros() as usize);
+                break;
+            }
+        }
+        if let Some(v) = partner {
+            scratch.matched[wi] |= 1 << bi;
+            scratch.matched[v / 64] |= 1 << (v % 64);
+            t += 1;
+        }
+    }
+    let internal = t.saturating_sub(va_len - need) as i64;
+    2 * (miss_in_vs + cross + internal) > budget
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use stgq_graph::{GraphBuilder, NodeId};
+
+    fn random_fg(seed: u64, n: usize, edge_prob: f64) -> FeasibleGraph {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if rng.gen_bool(edge_prob) {
+                    b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..30))
+                        .unwrap();
+                }
+            }
+        }
+        for v in 1..n as u32 {
+            if !b.has_edge(NodeId(0), NodeId(v)) && rng.gen_bool(0.3) {
+                b.add_edge(NodeId(0), NodeId(v), 5).unwrap();
+            }
+        }
+        FeasibleGraph::extract(&b.build(), NodeId(0), 3)
+    }
+
+    fn all_candidates(fg: &FeasibleGraph) -> BitSet {
+        let mut set = BitSet::new(fg.len());
+        for &c in fg.candidate_order() {
+            set.insert(c as usize);
+        }
+        set
+    }
+
+    /// The fixpoint really is a fixpoint: every survivor meets the
+    /// threshold against the survivors, and every peeled vertex fails it
+    /// against the *final* core ∪ {q} — i.e. re-running changes nothing.
+    #[test]
+    fn peel_reaches_a_fixpoint_and_removes_only_sub_threshold_vertices() {
+        for seed in 0..40u64 {
+            let fg = random_fg(seed, 14, 0.3);
+            for min_deg in 1..5usize {
+                let mut set = all_candidates(&fg);
+                let before = set.clone();
+                let mut deg = Vec::new();
+                let mut queue = Vec::new();
+                let peeled = peel_to_core(&fg, &mut set, min_deg, &mut deg, &mut queue);
+                assert_eq!(peeled as usize, before.len() - set.len());
+                for c in set.iter() {
+                    let adj = fg.adj(c as u32);
+                    let d = adj.intersection_len(&set) + usize::from(adj.contains(0));
+                    assert!(d >= min_deg, "seed {seed} min_deg {min_deg}: survivor {c}");
+                }
+                // Idempotence.
+                let mut again = set.clone();
+                let re = peel_to_core(&fg, &mut again, min_deg, &mut deg, &mut queue);
+                assert_eq!(re, 0, "seed {seed}: peel must be a fixpoint");
+            }
+        }
+    }
+
+    /// A chain hanging off the initiator cascades: the one-pass filter
+    /// only removes the tail, the fixpoint eats the whole chain.
+    #[test]
+    fn peel_cascades_where_one_pass_stops() {
+        // q(0) — 1 — 2 — 3 — 4, plus a triangle {5, 6, 7} on q so a core
+        // survives. Threshold 2: vertex 4 (deg 1) falls in the first
+        // pass, then 3, then 2, then 1.
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (0, 5), (0, 6), (0, 7)] {
+            b.add_edge(NodeId(u), NodeId(v), 1).unwrap();
+        }
+        b.add_edge(NodeId(5), NodeId(6), 1).unwrap();
+        b.add_edge(NodeId(5), NodeId(7), 1).unwrap();
+        b.add_edge(NodeId(6), NodeId(7), 1).unwrap();
+        let fg = FeasibleGraph::extract(&b.build(), NodeId(0), 4);
+        let mut set = all_candidates(&fg);
+        let peeled = peel_to_core(&fg, &mut set, 2, &mut Vec::new(), &mut Vec::new());
+        assert_eq!(peeled, 4, "the whole chain cascades away");
+        assert_eq!(set.len(), 3, "the triangle survives");
+        assert!(initiator_core_ok(&fg, &set, 2));
+    }
+
+    /// `match_bound` never fires on a frame that still has a feasible
+    /// completion: brute-force every size-`need` completion and check
+    /// the aggregate missing-pair budget the bound reasons about.
+    #[test]
+    fn match_bound_is_a_valid_lower_bound() {
+        for seed in 0..60u64 {
+            let mut rng = SmallRng::seed_from_u64(0xBEEF ^ seed);
+            let fg = random_fg(seed, 12, 0.4);
+            let f = fg.len();
+            if f < 6 {
+                continue;
+            }
+            let p = rng.gen_range(3..=5.min(f));
+            let k = rng.gen_range(0..p - 1) as i64;
+            // A random VS containing the initiator, and a random VA.
+            let vs_extra = rng.gen_range(0..p - 1);
+            let mut vs = vec![0u32];
+            let mut pool: Vec<u32> = (1..f as u32).collect();
+            for _ in 0..vs_extra {
+                let i = rng.gen_range(0..pool.len());
+                vs.push(pool.swap_remove(i));
+            }
+            let mut va_set = BitSet::new(f);
+            for &c in &pool {
+                if rng.gen_bool(0.7) {
+                    va_set.insert(c as usize);
+                }
+            }
+            let need = p - vs.len();
+            let va: Vec<u32> = va_set.iter().map(|v| v as u32).collect();
+            if va.len() < need {
+                continue;
+            }
+            let mut cnt_in_s = vec![0u32; f];
+            for &v in &vs {
+                for &nb in fg.neighbors(v) {
+                    cnt_in_s[nb as usize] += 1;
+                }
+            }
+            let fires = match_bound(
+                &fg,
+                &vs,
+                &cnt_in_s,
+                &va_set,
+                va.len(),
+                p,
+                k,
+                &mut MatchScratch::default(),
+            );
+            if !fires {
+                continue;
+            }
+            // The bound claims every completion violates the aggregate
+            // budget; verify against brute-force enumeration.
+            let budget = p as i64 * k;
+            let mut choose = vec![0usize; need];
+            let mut any_ok = false;
+            #[allow(clippy::too_many_arguments)]
+            fn rec(
+                fg: &FeasibleGraph,
+                va: &[u32],
+                choose: &mut Vec<usize>,
+                depth: usize,
+                start: usize,
+                vs: &[u32],
+                budget: i64,
+                any_ok: &mut bool,
+            ) {
+                if *any_ok {
+                    return;
+                }
+                if depth == choose.len() {
+                    let mut group: Vec<u32> = vs.to_vec();
+                    group.extend(choose.iter().map(|&i| va[i]));
+                    let mut missing = 0i64;
+                    for i in 0..group.len() {
+                        for j in (i + 1)..group.len() {
+                            if !fg.adjacent(group[i], group[j]) {
+                                missing += 1;
+                            }
+                        }
+                    }
+                    if 2 * missing <= budget {
+                        *any_ok = true;
+                    }
+                    return;
+                }
+                for i in start..va.len() {
+                    choose[depth] = i;
+                    rec(fg, va, choose, depth + 1, i + 1, vs, budget, any_ok);
+                }
+            }
+            rec(&fg, &va, &mut choose, 0, 0, &vs, budget, &mut any_ok);
+            assert!(
+                !any_ok,
+                "seed {seed}: bound fired but a completion fits the budget (p={p} k={k})"
+            );
+        }
+    }
+}

@@ -22,6 +22,7 @@
 use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 
 use crate::incumbent::Incumbent;
+use crate::reduce::{kplex_frame_prune, sgq_peel_preamble, MatchScratch};
 use crate::{
     QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution, SolveControl,
 };
@@ -85,6 +86,20 @@ pub fn solve_sgq_controlled_on(
         };
     }
 
+    // Fixpoint (p, k)-core peel of the candidate set
+    // ([`SelectConfig::core_peel_fixpoint`]): the SGQ analog of the
+    // STGQ pivot peel, run once per solve. Peeled candidates can belong
+    // to no feasible group, so dropping them from `VA` (not just from a
+    // floor) is exact; a core below `p` — or an initiator short of
+    // `p − 1 − k` acquaintances within it — proves the query infeasible
+    // outright.
+    let (peeled_candidates, peeled_set) =
+        match sgq_peel_preamble(fg, cfg, p, query.k(), candidate_mask) {
+            Ok(kept) => kept,
+            Err(refused) => return *refused,
+        };
+    let candidate_mask = peeled_set.as_ref().or(candidate_mask);
+
     let incumbent = Incumbent::new();
     // Incumbent seeding: a feasible solution switches Lemma-2 distance
     // pruning on from the very first frame, and a non-optimal bound never
@@ -103,6 +118,7 @@ pub fn solve_sgq_controlled_on(
     }
     let mut searcher = Searcher::new(fg, p, query.k(), cfg, &incumbent);
     searcher.control = control.filter(|c| !c.is_noop());
+    searcher.stats.peeled_candidates = peeled_candidates;
     let mut va = VaState::init(fg, candidate_mask);
     searcher.push(0);
     searcher.expand(&mut va, 0);
@@ -465,6 +481,8 @@ pub(crate) struct Searcher<'a> {
     pub(crate) stats: SearchStats,
     /// Early-stop policy, polled at frame entry (see [`SolveControl`]).
     pub(crate) control: Option<&'a SolveControl>,
+    /// Scratch for the k-plex matching bound (see [`MatchScratch`]).
+    match_scratch: MatchScratch,
 }
 
 impl<'a> Searcher<'a> {
@@ -489,6 +507,7 @@ impl<'a> Searcher<'a> {
             incumbent,
             stats: SearchStats::default(),
             control: None,
+            match_scratch: MatchScratch::default(),
         }
     }
 
@@ -603,6 +622,38 @@ impl<'a> Searcher<'a> {
         fires
     }
 
+    /// The frame-level k-plex bound ([`SelectConfig::kplex_match_bound`]):
+    /// the admissible-completion floor on every re-check, the
+    /// missing-pair matching bound at frame entry — see
+    /// [`crate::reduce::kplex_frame_prune`] for the shared machinery.
+    ///
+    /// [`SelectConfig::kplex_match_bound`]: crate::SelectConfig::kplex_match_bound
+    fn kplex_prune(&mut self, va: &VaState, td: Dist, with_matching: bool) -> bool {
+        if !self.cfg.kplex_match_bound {
+            return false;
+        }
+        let fires = kplex_frame_prune(
+            self.fg,
+            &self.vs,
+            &self.cnt_in_s,
+            &va.pos_set,
+            self.fg.candidate_order(),
+            &va.set,
+            va.len(),
+            self.p,
+            self.k,
+            td,
+            self.incumbent.dist(),
+            self.cfg.distance_pruning,
+            with_matching,
+            &mut self.match_scratch,
+        );
+        if fires {
+            self.stats.frames_pruned_by_match += 1;
+        }
+        fires
+    }
+
     pub(crate) fn record(&mut self, td: Dist) {
         self.stats.solutions_recorded += 1;
         let vs = &self.vs;
@@ -655,6 +706,7 @@ impl<'a> Searcher<'a> {
 
         loop {
             if va.version != checked_version {
+                let entry_check = checked_version == u64::MAX;
                 checked_version = va.version;
                 if self.vs.len() + va.len() < self.p {
                     return;
@@ -665,6 +717,9 @@ impl<'a> Searcher<'a> {
                     return;
                 }
                 if self.acquaintance_prune(va) {
+                    return;
+                }
+                if self.kplex_prune(va, td, entry_check) {
                     return;
                 }
             }

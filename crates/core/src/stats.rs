@@ -40,6 +40,30 @@ pub struct SearchStats {
     ///
     /// [`SelectConfig::pivot_promise_order`]: crate::SelectConfig::pivot_promise_order
     pub pivots_skipped: u64,
+    /// Candidates removed outright by fixpoint (p, k)-core peeling
+    /// before exact descent — per pivot for STGQ, once per solve for
+    /// SGQ (see [`SelectConfig::core_peel_fixpoint`]). A vertex counted
+    /// here was provably in no feasible group of its candidate set.
+    ///
+    /// [`SelectConfig::core_peel_fixpoint`]: crate::SelectConfig::core_peel_fixpoint
+    pub peeled_candidates: u64,
+    /// Pivots refused during preparation because their fixpoint-peeled
+    /// core left fewer than `p` people (or left the initiator short of
+    /// `p − 1 − k` acquaintances) — absolute infeasibility, not an
+    /// incumbent-relative prune (STGSelect only).
+    pub pivots_refused_by_core: u64,
+    /// Frames abandoned by the frame-level k-plex bound
+    /// ([`SelectConfig::kplex_match_bound`]) — either half: the
+    /// admissible-completion floor (too few candidates within their `k`
+    /// budget against `VS`, or their cheapest completion cannot beat
+    /// the incumbent — an incumbent-relative prune like Lemma 2's,
+    /// counted here rather than in
+    /// [`distance_prunes`](Self::distance_prunes)), or the missing-pair
+    /// matching bound against the group's `⌊k·p/2⌋` non-acquaintance
+    /// budget.
+    ///
+    /// [`SelectConfig::kplex_match_bound`]: crate::SelectConfig::kplex_match_bound
+    pub frames_pruned_by_match: u64,
     /// Whether the search stopped at a [`SelectConfig::frame_budget`]
     /// (anytime mode) instead of running to proven optimality. Never set
     /// by cancellation — see [`cancelled`](Self::cancelled).
@@ -72,13 +96,19 @@ impl SearchStats {
         self.temporal_rejections += other.temporal_rejections;
         self.pivots_processed += other.pivots_processed;
         self.pivots_skipped += other.pivots_skipped;
+        self.peeled_candidates += other.peeled_candidates;
+        self.pivots_refused_by_core += other.pivots_refused_by_core;
+        self.frames_pruned_by_match += other.frames_pruned_by_match;
         self.truncated |= other.truncated;
         self.cancelled |= other.cancelled;
     }
 
     /// Total frames abandoned by any pruning rule.
     pub fn total_prunes(&self) -> u64 {
-        self.distance_prunes + self.acquaintance_prunes + self.availability_prunes
+        self.distance_prunes
+            + self.acquaintance_prunes
+            + self.availability_prunes
+            + self.frames_pruned_by_match
     }
 
     /// Search frames actually entered and examined — the count the
@@ -120,6 +150,9 @@ mod tests {
             temporal_rejections: 7,
             pivots_processed: 8,
             pivots_skipped: 9,
+            peeled_candidates: 10,
+            pivots_refused_by_core: 11,
+            frames_pruned_by_match: 12,
             truncated: true,
             cancelled: true,
         };
@@ -127,9 +160,12 @@ mod tests {
         assert_eq!(a.frames, 11);
         assert_eq!(a.candidates_examined, 22);
         assert_eq!(a.vertices_expanded, 30);
-        assert_eq!(a.total_prunes(), 9);
+        assert_eq!(a.total_prunes(), 21);
         assert_eq!(a.pivots_processed, 8);
         assert_eq!(a.pivots_skipped, 9);
+        assert_eq!(a.peeled_candidates, 10);
+        assert_eq!(a.pivots_refused_by_core, 11);
+        assert_eq!(a.frames_pruned_by_match, 12);
         assert!(a.truncated, "truncation is sticky under absorb");
         assert!(a.cancelled, "cancellation is sticky under absorb");
         assert_eq!(a.frames_examined(), a.frames);

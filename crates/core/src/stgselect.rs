@@ -21,6 +21,40 @@
 //! The best solution is shared **across** pivots: a good early incumbent
 //! strengthens distance pruning at later pivots without affecting
 //! optimality (Theorem 3).
+//!
+//! # The per-pivot pipeline: prepare → peel → floor → descend
+//!
+//! Each pivot flows through four stages, every one able to retire the
+//! pivot before the next gets to run (knobs in brackets, counters in
+//! parentheses):
+//!
+//! ```text
+//!  prepare   Definition-4 eligibility from packed calendar words,
+//!     │      runs clipped to the initiator's        (pivots_processed)
+//!     ▼
+//!   peel     fixpoint (p,k)-core over eligible ∪ {q}   [core_peel_fixpoint]
+//!     │        ├─ sub-core candidates leave VA forever (peeled_candidates)
+//!     │        └─ core < p, or q short of p−1−k
+//!     │           acquaintances → refuse pivot   (pivots_refused_by_core)
+//!     ▼
+//!   floor    optimistic distance floor over the core   [sharp_pivot_floor,
+//!     │        compat-window + acq restricted           acq_pivot_floor]
+//!     │        └─ incumbent ≤ floor → skip pivot        (pivots_skipped)
+//!     ▼
+//!  descend   exact branch-and-bound frames              (frames)
+//!              ├─ Lemma 2 / 3 / 5 prunes               (distance_prunes, …)
+//!              └─ k-plex matching bound             [kplex_match_bound]
+//!                                              (frames_pruned_by_match)
+//! ```
+//!
+//! The peel and floor stages are pure functions of `(query, eligible
+//! set)`, so their results are **shared**: computed once per
+//! candidate-set signature ([`PivotPrep`] for the full-candidate
+//! signature, the [`PivotArena`] memo for the last per-pivot one) and
+//! reused across the pivot loop and across parallel workers
+//! ([`SelectConfig::shared_pivot_prep`]).
+//!
+//! [`SelectConfig::shared_pivot_prep`]: crate::SelectConfig::shared_pivot_prep
 
 // Parallel per-slot counters are clearer with indexed loops.
 #![allow(clippy::needless_range_loop)]
@@ -31,6 +65,9 @@ use stgq_schedule::{Calendar, SlotId, SlotRange};
 
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
+use crate::reduce::{
+    initiator_core_ok, kplex_frame_prune, peel_min_deg, peel_to_core, MatchScratch,
+};
 use crate::sgselect::{VaState, VsAggregates};
 use crate::{
     QueryError, SearchStats, SelectConfig, SolveControl, StgqOutcome, StgqQuery, StgqSolution,
@@ -127,8 +164,8 @@ pub fn solve_stgq_controlled(
     }
 
     let pivots = promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order);
-    let tie_blocks = cfg.availability_ordering.then(|| dist_tie_blocks(fg));
-    let acq_min_deg = acq_floor_min_deg(&cfg, p, query.k());
+    let prep = PivotPrep::new(fg, p, query.k(), m, horizon, &cfg);
+    arena.begin_solve();
 
     let incumbent = Incumbent::new();
     for pivot in pivots {
@@ -147,24 +184,24 @@ pub fn solve_stgq_controlled(
                 break;
             }
         }
-        let Some(mut job) = prepare_pivot(
-            fg,
-            calendars,
-            p,
-            m,
-            pivot,
-            horizon,
-            tie_blocks.as_deref(),
-            cfg.sharp_pivot_floor,
-            acq_min_deg,
-            &mut stats,
-            arena,
-        ) else {
+        let Some(mut job) = prepare_pivot(fg, calendars, &prep, pivot, &mut stats, arena) else {
             continue;
         };
-        // Pivot-granularity Lemma 2: every group at this pivot spends at
-        // least `dist_bound`, so an incumbent at or below it cannot be
-        // strictly beaten here — skip the whole pivot search.
+        // Pivot-granularity Lemma 2 against the phase-1 plain bound:
+        // every group at this pivot spends at least `dist_bound`, so an
+        // incumbent at or below it cannot be strictly beaten here — skip
+        // the whole pivot before paying for peel, floor or `VA` state.
+        if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
+            stats.pivots_skipped += 1;
+            arena.recycle(job);
+            continue;
+        }
+        if !finalize_pivot(fg, &prep, &mut job, &mut stats, arena) {
+            arena.recycle(job);
+            continue;
+        }
+        // Re-check against the finalized bound: the sharp floor over the
+        // peeled core is never looser than the plain one.
         if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
             stats.pivots_skipped += 1;
             arena.recycle(job);
@@ -268,6 +305,189 @@ pub(crate) fn dist_tie_blocks(fg: &FeasibleGraph) -> Vec<(u32, u32)> {
 /// (`k ≥ p − 1` puts no lower bound on in-group acquaintances).
 pub(crate) fn acq_floor_min_deg(cfg: &SelectConfig, p: usize, k: usize) -> Option<usize> {
     (cfg.sharp_pivot_floor && cfg.acq_pivot_floor && p >= 2 && p - 1 > k).then(|| p - 1 - k)
+}
+
+/// Per-solve shared pivot preprocessing: everything about pivot
+/// preparation that does **not** depend on the pivot slot — the query
+/// shape, the distance tie blocks, the peel/floor thresholds, and the
+/// memoized candidate-space reduction for the *full* candidate set.
+///
+/// Built once per `(query, feasible graph)` and shared read-only by the
+/// sequential pivot loop and by every parallel worker
+/// ([`SelectConfig::shared_pivot_prep`]): on dense instances most
+/// pivots' eligible sets equal the full candidate set, so the fixpoint
+/// peel and the acquaintance-floor mask are computed exactly once here
+/// instead of per pivot per worker. Pivots with a *different* eligible
+/// signature fall back to the arena's own one-entry memo
+/// ([`PivotArena`]), and with sharing off everything is recomputed per
+/// pivot (the ablation baseline).
+///
+/// [`SelectConfig::shared_pivot_prep`]: crate::SelectConfig::shared_pivot_prep
+pub(crate) struct PivotPrep {
+    pub(crate) p: usize,
+    pub(crate) m: usize,
+    pub(crate) horizon: usize,
+    /// [`SelectConfig::sharp_pivot_floor`](crate::SelectConfig::sharp_pivot_floor).
+    pub(crate) sharp_floor: bool,
+    /// One-pass acquaintance-floor threshold (`None` when off — or when
+    /// fixpoint peeling is active, which subsumes it: every peel
+    /// survivor passes the one-pass filter by construction).
+    pub(crate) acq_min_deg: Option<usize>,
+    /// Fixpoint peel threshold `p − 1 − k` (`None` when off/vacuous).
+    pub(crate) peel_min_deg: Option<usize>,
+    /// Whether memoized reductions may be consulted at all.
+    pub(crate) share: bool,
+    /// Equal-distance order blocks for availability tie-breaking
+    /// (`None` when [`SelectConfig::availability_ordering`] is off).
+    ///
+    /// [`SelectConfig::availability_ordering`]: crate::SelectConfig::availability_ordering
+    pub(crate) tie_blocks: Option<Vec<(u32, u32)>>,
+    /// The reduction memo for the full-candidate eligible signature.
+    pub(crate) shared_memo: Option<PrepMemo>,
+}
+
+impl PivotPrep {
+    /// Preprocessing for one solve of `(p, k, m)` over `fg`.
+    pub(crate) fn new(
+        fg: &FeasibleGraph,
+        p: usize,
+        k: usize,
+        m: usize,
+        horizon: usize,
+        cfg: &SelectConfig,
+    ) -> Self {
+        let peel = peel_min_deg(cfg.core_peel_fixpoint, p, k);
+        let acq_min_deg = if peel.is_some() {
+            None
+        } else {
+            acq_floor_min_deg(cfg, p, k)
+        };
+        let mut prep = PivotPrep {
+            p,
+            m,
+            horizon,
+            sharp_floor: cfg.sharp_pivot_floor,
+            acq_min_deg,
+            peel_min_deg: peel,
+            share: cfg.shared_pivot_prep,
+            tie_blocks: cfg.availability_ordering.then(|| dist_tie_blocks(fg)),
+            shared_memo: None,
+        };
+        if prep.share && (prep.peel_min_deg.is_some() || prep.acq_min_deg.is_some()) {
+            let mut all = BitSet::new(fg.len());
+            for &c in fg.candidate_order() {
+                all.insert(c as usize);
+            }
+            let mut memo = PrepMemo::empty();
+            memo.recompute(
+                fg,
+                &all,
+                prep.p,
+                prep.peel_min_deg,
+                prep.acq_min_deg,
+                &mut Vec::new(),
+                &mut Vec::new(),
+            );
+            prep.shared_memo = Some(memo);
+        }
+        prep
+    }
+
+    /// A bare prep — plain floor, no peel, no tie-breaking. The greedy
+    /// heuristic prepares its pivots with this (its evaluation counts
+    /// are pinned by behaviour tests and it never consults the bound).
+    pub(crate) fn plain(p: usize, m: usize, horizon: usize) -> Self {
+        PivotPrep {
+            p,
+            m,
+            horizon,
+            sharp_floor: false,
+            acq_min_deg: None,
+            peel_min_deg: None,
+            share: false,
+            tie_blocks: None,
+            shared_memo: None,
+        }
+    }
+}
+
+/// Memoized candidate-space reduction for one eligible-set signature:
+/// the fixpoint-peeled core and/or the one-pass acquaintance-floor mask
+/// are pure functions of `(query, eligible set)`, so equal signatures
+/// reuse the stored result instead of re-running the degree passes.
+/// Buffers are owned and recycled across recomputations — a memo miss
+/// costs the degree passes, never an allocation.
+pub(crate) struct PrepMemo {
+    /// The eligible set this memo was computed for (the cache key).
+    eligible: BitSet,
+    /// Fixpoint-peel outcome when peeling is active:
+    /// `(peeled count, refused)` — `refused` when the surviving core
+    /// (in [`core`](Self::core)) leaves fewer than `p` people or leaves
+    /// the initiator short of `p − 1 − k` acquaintances.
+    peel: Option<(u64, bool)>,
+    /// The surviving core (valid when [`peel`](Self::peel) is `Some`).
+    core: BitSet,
+    /// One-pass floor mask when the acquaintance floor is active
+    /// without peeling (empty otherwise).
+    floor_ok: Vec<bool>,
+}
+
+/// Overwrite `dst` with `src`, reusing `dst`'s words when the
+/// capacities match (the steady state across a pivot loop).
+fn copy_bitset(dst: &mut BitSet, src: &BitSet) {
+    if dst.capacity() == src.capacity() {
+        dst.clear();
+        dst.union_with(src);
+    } else {
+        *dst = src.clone();
+    }
+}
+
+impl PrepMemo {
+    fn empty() -> Self {
+        PrepMemo {
+            eligible: BitSet::new(0),
+            peel: None,
+            core: BitSet::new(0),
+            floor_ok: Vec::new(),
+        }
+    }
+
+    /// Recompute this memo for `eligible` in place; `deg` and `queue`
+    /// are peel scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn recompute(
+        &mut self,
+        fg: &FeasibleGraph,
+        eligible: &BitSet,
+        p: usize,
+        peel_deg: Option<usize>,
+        acq_min_deg: Option<usize>,
+        deg: &mut Vec<u32>,
+        queue: &mut Vec<u32>,
+    ) {
+        copy_bitset(&mut self.eligible, eligible);
+        self.peel = None;
+        self.floor_ok.clear();
+        if let Some(md) = peel_deg {
+            copy_bitset(&mut self.core, eligible);
+            let peeled = peel_to_core(fg, &mut self.core, md, deg, queue);
+            let refused = self.core.len() + 1 < p || !initiator_core_ok(fg, &self.core, md);
+            self.peel = Some((peeled, refused));
+        }
+        if let Some(md) = acq_min_deg {
+            // Acquaintance-aware floor restriction: a candidate's usable
+            // acquaintances at this signature are its neighbors among the
+            // eligible set plus the initiator (compact 0 — always a group
+            // member). One word-parallel popcount per candidate.
+            self.floor_ok.resize(fg.len(), false);
+            for c in eligible.iter() {
+                let adj = fg.adj(c as u32);
+                let d = adj.intersection_len(eligible) + usize::from(adj.contains(0));
+                self.floor_ok[c] = d >= md;
+            }
+        }
+    }
 }
 
 /// Whether the pivot-level distance bound proves no solution at this pivot
@@ -381,6 +601,16 @@ impl PivotJob {
 pub struct PivotArena {
     pub(crate) pooling: bool,
     spare: Option<PivotJob>,
+    /// The arena's own one-entry reduction memo: the last distinct
+    /// per-pivot eligible signature whose peel/floor result was
+    /// computed here (consulted after the shared [`PivotPrep`] memo,
+    /// which covers the full-candidate signature). Invalidated by
+    /// [`begin_solve`](Self::begin_solve) — arenas outlive queries, and
+    /// a signature match is only meaningful within one `(query, graph)`.
+    memo: Option<PrepMemo>,
+    /// Peel scratch (degree array + cascade queue).
+    deg_scratch: Vec<u32>,
+    queue_scratch: Vec<u32>,
 }
 
 impl PivotArena {
@@ -389,17 +619,21 @@ impl PivotArena {
     pub fn new() -> Self {
         PivotArena {
             pooling: true,
-            spare: None,
+            ..PivotArena::default()
         }
     }
 
     /// An arena that never recycles — every pivot allocates fresh buffers
     /// (the PR-1 behavior, kept for ablation).
     pub(crate) fn unpooled() -> Self {
-        PivotArena {
-            pooling: false,
-            spare: None,
-        }
+        PivotArena::default()
+    }
+
+    /// Invalidate cross-query state (the reduction memo); buffers stay.
+    /// Called at the top of every solve — the planner's long-lived
+    /// arenas serve many `(query, graph)` pairs.
+    pub(crate) fn begin_solve(&mut self) {
+        self.memo = None;
     }
 
     /// Hand back a spent job's buffers for the next preparation.
@@ -411,6 +645,46 @@ impl PivotArena {
 
     fn take(&mut self) -> PivotJob {
         self.spare.take().unwrap_or_else(PivotJob::empty)
+    }
+
+    /// The reduction memo for `eligible` under `prep`: the shared
+    /// full-candidate entry when the signature matches, else this
+    /// arena's last entry, else computed fresh (and cached here when
+    /// sharing is on — with it off every pivot recomputes, the
+    /// ablation baseline).
+    fn reduction<'a>(
+        &'a mut self,
+        fg: &FeasibleGraph,
+        prep: &'a PivotPrep,
+        eligible: &BitSet,
+    ) -> &'a PrepMemo {
+        let PivotArena {
+            memo,
+            deg_scratch,
+            queue_scratch,
+            ..
+        } = self;
+        if prep.share {
+            if let Some(shared) = prep.shared_memo.as_ref() {
+                if shared.eligible == *eligible {
+                    return shared;
+                }
+            }
+            if memo.as_ref().is_some_and(|m| m.eligible == *eligible) {
+                return memo.as_ref().expect("just matched");
+            }
+        }
+        let memo = memo.get_or_insert_with(PrepMemo::empty);
+        memo.recompute(
+            fg,
+            eligible,
+            prep.p,
+            prep.peel_min_deg,
+            prep.acq_min_deg,
+            deg_scratch,
+            queue_scratch,
+        );
+        memo
     }
 }
 
@@ -459,40 +733,30 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
     Some((lo, hi.min(len - 1)))
 }
 
-/// Build the per-pivot state (Definition 4 eligibility, availability
-/// bitmaps, access order, distance bound, Lemma-5 counters), reusing
-/// `arena`'s buffers when it has any. Returns `None` when the pivot cannot
-/// host any feasible solution (initiator ineligible or too few
-/// candidates — including, with `sharp_floor`, no `m`-slot window covered
-/// by `p − 1` candidate runs); `stats.pivots_processed` counts the pivots
-/// that pass the initiator check, as in the sequential engine.
+/// **Phase 1** of pivot preparation: Definition-4 eligibility from the
+/// packed calendar words, the (tie-broken) access order, and the plain
+/// `p − 1`-smallest-distances bound — everything the promise-order skip
+/// check needs, and nothing more. Returns `None` when the pivot cannot
+/// host any feasible solution (initiator ineligible or too few eligible
+/// candidates); `stats.pivots_processed` counts the pivots that pass
+/// the initiator check, as in the sequential engine.
 ///
-/// `sharp_floor` selects the compatibility-restricted distance bound
-/// ([`SelectConfig::sharp_pivot_floor`]): never looser than the plain
-/// `p − 1`-smallest-distances floor, and able to prove a pivot infeasible
-/// outright. `acq_min_deg` (when `Some(p − 1 − k)`) additionally
-/// restricts the sharp floor's candidate sets to candidates with at
-/// least that many acquaintances among the eligible set and the
-/// initiator ([`SelectConfig::acq_pivot_floor`]) — a necessary
-/// membership condition, so the floor only tightens further.
-///
-/// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
-/// [`SelectConfig::acq_pivot_floor`]: crate::SelectConfig::acq_pivot_floor
-#[allow(clippy::too_many_arguments)]
+/// The expensive remainder — the fixpoint core peel, the sharp floor,
+/// and the `VA` state with its Lemma-5 counters — lives in
+/// [`finalize_pivot`], which callers invoke only for pivots the
+/// incumbent bound did **not** retire. On hot dense workloads most
+/// pivots are skipped, and skipped pivots now pay only this phase.
 pub(crate) fn prepare_pivot(
     fg: &FeasibleGraph,
     calendars: &[Calendar],
-    p: usize,
-    m: usize,
+    prep: &PivotPrep,
     pivot: SlotId,
-    horizon: usize,
-    tie_blocks: Option<&[(u32, u32)]>,
-    sharp_floor: bool,
-    acq_min_deg: Option<usize>,
     stats: &mut SearchStats,
     arena: &mut PivotArena,
 ) -> Option<PivotJob> {
     let f = fg.len();
+    let PivotPrep { p, m, horizon, .. } = *prep;
+    let tie_blocks = prep.tie_blocks.as_deref();
     let q_cal = &calendars[fg.origin(0).index()];
     let interval = pivot_interval(pivot, m, horizon);
     // Definition 4 for the initiator: she must support an m-run too.
@@ -596,26 +860,81 @@ pub(crate) fn prepare_pivot(
         }
     }
     job.dist_bound = dist_bound;
+    Some(job)
+}
+
+/// **Phase 2** of pivot preparation, for pivots that survived the
+/// incumbent bound: the candidate-space reduction, the sharp floor, and
+/// the `VA` state with its Lemma-5 counters. Returns `false` when the
+/// pivot is refused outright — its fixpoint-peeled core cannot seat `p`
+/// people ([`SearchStats::pivots_refused_by_core`]), or, with the sharp
+/// floor, no `m`-slot window is covered by `p − 1` candidate runs — in
+/// which case the caller recycles the job.
+///
+/// All query-level knobs ride in `prep` (see [`PivotPrep`]):
+/// `prep.sharp_floor` selects the compatibility-restricted distance
+/// bound ([`SelectConfig::sharp_pivot_floor`]) — never looser than the
+/// plain `p − 1`-smallest-distances floor from phase 1.
+/// `prep.acq_min_deg` additionally restricts the sharp floor's
+/// candidate sets to candidates with at least `p − 1 − k` acquaintances
+/// among the eligible set and the initiator
+/// ([`SelectConfig::acq_pivot_floor`]); `prep.peel_min_deg` upgrades
+/// that one-pass filter to the fixpoint (p, k)-core peel, which removes
+/// such candidates from `VA` outright
+/// ([`SelectConfig::core_peel_fixpoint`]).
+///
+/// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
+/// [`SelectConfig::acq_pivot_floor`]: crate::SelectConfig::acq_pivot_floor
+/// [`SelectConfig::core_peel_fixpoint`]: crate::SelectConfig::core_peel_fixpoint
+/// [`SearchStats::pivots_refused_by_core`]: crate::SearchStats::pivots_refused_by_core
+pub(crate) fn finalize_pivot(
+    fg: &FeasibleGraph,
+    prep: &PivotPrep,
+    job: &mut PivotJob,
+    stats: &mut SearchStats,
+    arena: &mut PivotArena,
+) -> bool {
+    let PivotPrep { p, m, .. } = *prep;
+    let stride = job.avail_stride;
+    let ilen = job.interval.len();
+
+    // Candidate-space reduction (memoized per eligible-set signature —
+    // on dense instances most pivots share the full-candidate signature
+    // and hit the shared prep entry): the fixpoint (p, k)-core peel
+    // shrinks `eligible` itself (peeled candidates can belong to no
+    // feasible group at this pivot, so they never enter `VA` or any
+    // floor), and/or the one-pass acquaintance-floor mask is fetched
+    // for `compat_dist_floor`.
     job.floor_ok.clear();
-    if sharp_floor {
-        if let Some(min_deg) = acq_min_deg {
-            // Acquaintance-aware restriction: a candidate's usable
-            // acquaintances at this pivot are its neighbors among the
-            // eligible set plus the initiator (compact 0 — always a
-            // group member). One pass is a sound necessary condition;
-            // cascading removals would tighten further but cost a
-            // fixpoint loop for marginal gain. The degree is a
-            // word-parallel popcount against the eligible bitmap —
-            // small-`m` solves prepare many pivots and a per-neighbor
-            // scan here shows up in the hotpath gate.
-            job.floor_ok.resize(f, false);
-            for c in job.eligible.iter() {
-                let adj = fg.adj(c as u32);
-                let deg = adj.intersection_len(&job.eligible) + usize::from(adj.contains(0));
-                job.floor_ok[c] = deg >= min_deg;
+    if prep.peel_min_deg.is_some() || prep.acq_min_deg.is_some() {
+        let memo = arena.reduction(fg, prep, &job.eligible);
+        if let Some((peeled, core_refused)) = memo.peel {
+            stats.peeled_candidates += peeled;
+            if core_refused {
+                stats.pivots_refused_by_core += 1;
+                return false;
+            }
+            if peeled > 0 {
+                // Peeled vertices lose their runs too, so every
+                // consumer keyed on `runs[c].is_some()` (the sharp
+                // floor, root vetting) sees the core only.
+                for c in job.eligible.iter() {
+                    if !memo.core.contains(c) {
+                        job.runs[c] = None;
+                    }
+                }
+                // core ⊆ eligible, so intersecting is assignment
+                // without reallocating the pooled bitmap.
+                job.eligible.intersect_with(&memo.core);
             }
         }
-        match compat_dist_floor(fg, &job, p, m) {
+        if !memo.floor_ok.is_empty() {
+            job.floor_ok.extend_from_slice(&memo.floor_ok);
+        }
+    }
+
+    if prep.sharp_floor {
+        match compat_dist_floor(fg, job, p, m) {
             // Never below the unrestricted floor (every window's candidate
             // set is a subset of the eligible set), so taking it wholesale
             // only tightens the bound.
@@ -624,10 +943,7 @@ pub(crate) fn prepare_pivot(
             // candidate runs ⇒ no feasible group exists at this pivot at
             // all (not an incumbent-relative prune — absolute
             // infeasibility), so refuse it like the candidate-count check.
-            None => {
-                arena.recycle(job);
-                return None;
-            }
+            None => return false,
         }
     }
 
@@ -648,7 +964,7 @@ pub(crate) fn prepare_pivot(
         );
     }
     job.va.max_unavail_ub = unavail.iter().copied().max().unwrap_or(0);
-    Some(job)
+    true
 }
 
 /// The compatibility-restricted per-pivot distance floor
@@ -973,6 +1289,8 @@ struct StSearcher<'a> {
     stats: &'a mut SearchStats,
     /// Early-stop policy, polled at frame entry (see [`SolveControl`]).
     control: Option<&'a SolveControl>,
+    /// Scratch for the k-plex matching bound (see [`MatchScratch`]).
+    match_scratch: MatchScratch,
 }
 
 impl<'a> StSearcher<'a> {
@@ -1011,6 +1329,7 @@ impl<'a> StSearcher<'a> {
             incumbent,
             stats,
             control: None,
+            match_scratch: MatchScratch::default(),
         }
     }
 
@@ -1131,6 +1450,38 @@ impl<'a> StSearcher<'a> {
         fires
     }
 
+    /// The frame-level k-plex bound, exactly as in SGSelect: the
+    /// admissible-completion floor on every re-check, the missing-pair
+    /// matching bound at frame entry — see
+    /// [`crate::reduce::kplex_frame_prune`] for the shared machinery
+    /// (this searcher passes its per-pivot order and the temporal `VA`'s
+    /// base bitsets).
+    fn kplex_prune(&mut self, va: &StVaState, td: Dist, with_matching: bool) -> bool {
+        if !self.cfg.kplex_match_bound {
+            return false;
+        }
+        let fires = kplex_frame_prune(
+            self.fg,
+            &self.vs,
+            &self.cnt_in_s,
+            &va.base.pos_set,
+            self.order,
+            &va.base.set,
+            va.len(),
+            self.p,
+            self.k,
+            td,
+            self.incumbent.dist(),
+            self.cfg.distance_pruning,
+            with_matching,
+            &mut self.match_scratch,
+        );
+        if fires {
+            self.stats.frames_pruned_by_match += 1;
+        }
+        fires
+    }
+
     /// Lemma 5. With `n = |VA| − (p − |VS|) + 1`, a slot where ≥ n members
     /// of `VA` are unavailable leaves at most `p − |VS| − 1` usable vertices
     /// — too few — so no feasible period may cross it. If the nearest such
@@ -1223,6 +1574,7 @@ impl<'a> StSearcher<'a> {
 
         loop {
             if va.version() != checked_version {
+                let entry_check = checked_version == u64::MAX;
                 checked_version = va.version();
                 if self.vs.len() + va.len() < self.p {
                     return;
@@ -1233,6 +1585,9 @@ impl<'a> StSearcher<'a> {
                     return;
                 }
                 if self.acquaintance_prune(va) {
+                    return;
+                }
+                if self.kplex_prune(va, td, entry_check) {
                     return;
                 }
                 if self.availability_prune(va) {
@@ -1309,6 +1664,25 @@ impl<'a> StSearcher<'a> {
 mod tests {
     use super::*;
     use stgq_graph::GraphBuilder;
+
+    /// Both preparation phases back to back — what the solve loop does
+    /// for a pivot the incumbent bound does not retire.
+    fn prepare_full(
+        fg: &FeasibleGraph,
+        calendars: &[Calendar],
+        prep: &PivotPrep,
+        pivot: SlotId,
+        stats: &mut SearchStats,
+        arena: &mut PivotArena,
+    ) -> Option<PivotJob> {
+        let mut job = prepare_pivot(fg, calendars, prep, pivot, stats, arena)?;
+        if finalize_pivot(fg, prep, &mut job, stats, arena) {
+            Some(job)
+        } else {
+            arena.recycle(job);
+            None
+        }
+    }
 
     /// The paper's Example 3 inputs: the Figure-3 graph plus the Figure-3(c)
     /// schedules (1-based ts1..ts7 → 0-based 0..6).
@@ -1458,20 +1832,11 @@ mod tests {
                 let mut stats_new = SearchStats::default();
                 let mut stats_ref = SearchStats::default();
                 let mut arena = PivotArena::new();
-                let tie_blocks = dist_tie_blocks(&fg);
-                let job = prepare_pivot(
-                    &fg,
-                    &calendars,
-                    2,
-                    m,
-                    pivot,
-                    horizon,
-                    Some(&tie_blocks),
-                    false,
-                    None,
-                    &mut stats_new,
-                    &mut arena,
-                );
+                let prep = PivotPrep {
+                    tie_blocks: Some(dist_tie_blocks(&fg)),
+                    ..PivotPrep::plain(2, m, horizon)
+                };
+                let job = prepare_full(&fg, &calendars, &prep, pivot, &mut stats_new, &mut arena);
                 let reference =
                     prepare_pivot_reference(&fg, &calendars, 2, m, pivot, horizon, &mut stats_ref);
                 let Some((ref_runs, ref_avail, mut ref_va, ref_q_run)) = reference else {
@@ -1601,24 +1966,21 @@ mod tests {
             for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
                 let mut stats = SearchStats::default();
                 let mut arena = PivotArena::new();
-                let plain = prepare_pivot(
-                    &fg, &calendars, p, m, pivot, horizon, None, false, None, &mut stats,
+                let plain = prepare_full(
+                    &fg,
+                    &calendars,
+                    &PivotPrep::plain(p, m, horizon),
+                    pivot,
+                    &mut stats,
                     &mut arena,
                 );
                 let mut arena2 = PivotArena::new();
-                let sharp = prepare_pivot(
-                    &fg,
-                    &calendars,
-                    p,
-                    m,
-                    pivot,
-                    horizon,
-                    None,
-                    true,
-                    None,
-                    &mut stats,
-                    &mut arena2,
-                );
+                let sharp_prep = PivotPrep {
+                    sharp_floor: true,
+                    ..PivotPrep::plain(p, m, horizon)
+                };
+                let sharp =
+                    prepare_full(&fg, &calendars, &sharp_prep, pivot, &mut stats, &mut arena2);
                 match (plain, sharp) {
                     (None, None) => {}
                     (Some(pj), Some(sj)) => {
@@ -1689,23 +2051,19 @@ mod tests {
             for pivot in stgq_schedule::pivot::pivot_slots(horizon, m) {
                 let mut stats = SearchStats::default();
                 let mut arena = PivotArena::new();
-                let compat = prepare_pivot(
-                    &fg, &calendars, p, m, pivot, horizon, None, true, None, &mut stats, &mut arena,
-                );
+                let compat_prep = PivotPrep {
+                    sharp_floor: true,
+                    ..PivotPrep::plain(p, m, horizon)
+                };
+                let compat =
+                    prepare_full(&fg, &calendars, &compat_prep, pivot, &mut stats, &mut arena);
                 let mut arena2 = PivotArena::new();
-                let acq = prepare_pivot(
-                    &fg,
-                    &calendars,
-                    p,
-                    m,
-                    pivot,
-                    horizon,
-                    None,
-                    true,
-                    Some(p - 1 - k),
-                    &mut stats,
-                    &mut arena2,
-                );
+                let acq_prep = PivotPrep {
+                    sharp_floor: true,
+                    acq_min_deg: Some(p - 1 - k),
+                    ..PivotPrep::plain(p, m, horizon)
+                };
+                let acq = prepare_full(&fg, &calendars, &acq_prep, pivot, &mut stats, &mut arena2);
                 match (compat, acq) {
                     (None, None) => {}
                     (Some(cj), Some(aj)) => assert!(

@@ -1,11 +1,14 @@
 //! One-stop dataset assemblies for the harness, examples and tests.
 
-use stgq_graph::{Dist, GraphBuilder};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{Dist, GraphBuilder, NodeId};
 use stgq_schedule::TimeGrid;
 
 use crate::coauthor::{coauthor_graph, CoauthorConfig};
 use crate::community::{community_graph, CommunityConfig};
 use crate::schedules::{archetype_population, pool_sampled_population};
+use crate::weights::{sample_distance, Tie};
 use crate::Dataset;
 
 /// The 194-person "real dataset" analog (§5.1): community graph +
@@ -67,6 +70,77 @@ pub fn coarse_distance_analog(days: usize, seed: u64, levels: Dist) -> Dataset {
         graph: b.build(),
         calendars: base.calendars,
         grid: base.grid,
+    };
+    debug_assert!(ds.check());
+    ds
+}
+
+/// `sparse_fringe`: a community core plus a **low-degree fringe** —
+/// 194 people total, so results are comparable with
+/// [`real_analog_194`], but roughly half of them are organised in
+/// "fans": small groups whose members all hang off one core anchor
+/// with *strong* (socially close) ties, connected to each other only
+/// along a path rim. Fan rim ends have two acquaintances, rim
+/// interiors three, so for queries with `p − 1 − k ≥ 3` the fixpoint
+/// (p, k)-core peel cascades through entire fans (the ends fall first,
+/// stranding the interiors) while a one-pass degree filter only ever
+/// catches the ends — and the plain engines waste frames expanding rim
+/// interiors that can never seat a group.
+///
+/// The dense community scenarios ([`real_analog_194`],
+/// [`coarse_distance_analog`]) exercise none of this — everyone has
+/// dozens of acquaintances and degree filters are vacuous — which is
+/// exactly why the suite needs a fringe-shaped workload too.
+pub fn sparse_fringe(days: usize, seed: u64) -> Dataset {
+    const CORE_N: usize = 98;
+    const FAN_COUNT: usize = 24;
+    const FAN_SIZE: usize = 4;
+    let n = CORE_N + FAN_COUNT * FAN_SIZE; // 194, like the paper analog
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+
+    // The core keeps the paper analog's tiered structure at ~half size.
+    let core_cfg = CommunityConfig {
+        n: CORE_N,
+        communities: 4,
+        circle_size: 12,
+        circle_p: 0.90,
+        intra_p: 0.10,
+        inter_p: 0.012,
+    };
+    let core = community_graph(&core_cfg, seed);
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00F2_146E);
+    let mut b = GraphBuilder::new(n);
+    for e in core.edges() {
+        b.add_edge(e.a, e.b, e.weight)
+            .expect("core pairs are valid");
+    }
+    for fan in 0..FAN_COUNT {
+        let base = CORE_N + fan * FAN_SIZE;
+        let anchor = NodeId(rng.gen_range(0..CORE_N) as u32);
+        for i in 0..FAN_SIZE {
+            let v = NodeId((base + i) as u32);
+            // Every fan member hangs off the same core anchor with a
+            // strong tie: the whole fan sits one hop past the anchor
+            // (inside radius-2 feasible graphs of the anchor's friends)
+            // and its members are socially *close* — early in access
+            // order — despite being structurally sparse.
+            b.add_edge(anchor, v, sample_distance(&mut rng, Tie::Strong))
+                .expect("distinct pair");
+            if i > 0 {
+                b.add_edge(
+                    NodeId((base + i - 1) as u32),
+                    v,
+                    sample_distance(&mut rng, Tie::Strong),
+                )
+                .expect("distinct pair");
+            }
+        }
+    }
+    let calendars = archetype_population(&grid, n, seed ^ 0x5fe5);
+    let ds = Dataset {
+        graph: b.build(),
+        calendars,
+        grid,
     };
     debug_assert!(ds.check());
     ds
@@ -138,6 +212,40 @@ mod tests {
             a.graph.edges().collect::<Vec<_>>(),
             b.graph.edges().collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn sparse_fringe_shape_and_degrees() {
+        let ds = sparse_fringe(2, 11);
+        assert!(ds.check());
+        assert_eq!(ds.graph.node_count(), 194);
+        // Fringe members (ids 98..194) have degree 2 (rim ends) or 3
+        // (rim interiors) — the structure the fixpoint peel cascades
+        // through.
+        for v in 98..194u32 {
+            let d = ds.graph.degree(stgq_graph::NodeId(v));
+            assert!(
+                (2..=3).contains(&d),
+                "fringe member {v} has degree {d}, expected 2..=3"
+            );
+        }
+        // The core stays community-dense: mean degree well above the
+        // fringe's.
+        let core_degrees: usize = (0..98u32)
+            .map(|v| ds.graph.degree(stgq_graph::NodeId(v)))
+            .sum();
+        assert!(core_degrees / 98 >= 8, "core must stay dense");
+    }
+
+    #[test]
+    fn sparse_fringe_is_reproducible() {
+        let a = sparse_fringe(1, 3);
+        let b = sparse_fringe(1, 3);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(a.calendars, b.calendars);
     }
 
     #[test]

@@ -283,6 +283,9 @@ impl Executor {
             frames_examined: c.frames_examined.load(Ordering::Relaxed),
             frames_pruned_by_bound: c.frames_pruned_by_bound.load(Ordering::Relaxed),
             pivots_skipped: c.pivots_skipped.load(Ordering::Relaxed),
+            peeled_candidates: c.peeled_candidates.load(Ordering::Relaxed),
+            pivots_refused_by_core: c.pivots_refused_by_core.load(Ordering::Relaxed),
+            frames_pruned_by_match: c.frames_pruned_by_match.load(Ordering::Relaxed),
             workers: self.workers,
             shards: self.shards,
         }

@@ -44,6 +44,14 @@ pub struct ExecMetrics {
     pub frames_pruned_by_bound: u64,
     /// Whole pivots skipped by the pivot-granularity distance bound.
     pub pivots_skipped: u64,
+    /// Candidates removed by fixpoint (p, k)-core peeling before exact
+    /// descent, summed over all exact queries.
+    pub peeled_candidates: u64,
+    /// Pivots refused outright because their peeled core could not seat
+    /// a feasible group.
+    pub pivots_refused_by_core: u64,
+    /// Frames abandoned by the k-plex matching bound.
+    pub frames_pruned_by_match: u64,
     /// Fixed worker-pool size.
     pub workers: usize,
     /// Initiator-shard count (cache partitions = batch groups).
@@ -62,6 +70,9 @@ pub(crate) struct ExecCounters {
     pub(crate) frames_examined: AtomicU64,
     pub(crate) frames_pruned_by_bound: AtomicU64,
     pub(crate) pivots_skipped: AtomicU64,
+    pub(crate) peeled_candidates: AtomicU64,
+    pub(crate) pivots_refused_by_core: AtomicU64,
+    pub(crate) frames_pruned_by_match: AtomicU64,
 }
 
 impl ExecCounters {
@@ -73,6 +84,12 @@ impl ExecCounters {
             .fetch_add(stats.frames_pruned_by_bound(), Ordering::Relaxed);
         self.pivots_skipped
             .fetch_add(stats.pivots_skipped, Ordering::Relaxed);
+        self.peeled_candidates
+            .fetch_add(stats.peeled_candidates, Ordering::Relaxed);
+        self.pivots_refused_by_core
+            .fetch_add(stats.pivots_refused_by_core, Ordering::Relaxed);
+        self.frames_pruned_by_match
+            .fetch_add(stats.frames_pruned_by_match, Ordering::Relaxed);
         if stats.cancelled {
             self.cancelled.fetch_add(1, Ordering::Relaxed);
         }

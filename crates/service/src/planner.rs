@@ -159,6 +159,15 @@ pub struct MetricsSnapshot {
     /// Whole pivots skipped by the pivot-granularity distance bound,
     /// summed over all exact STGQ queries.
     pub pivots_skipped: u64,
+    /// Candidates removed by fixpoint (p, k)-core peeling before exact
+    /// descent, summed over all exact queries.
+    pub peeled_candidates: u64,
+    /// Pivots refused outright because their peeled core could not seat
+    /// a feasible group, summed over all exact STGQ queries.
+    pub pivots_refused_by_core: u64,
+    /// Frames abandoned by the k-plex matching bound, summed over all
+    /// exact queries.
+    pub frames_pruned_by_match: u64,
     /// Entries that went through the batched executor path.
     pub batched_entries: u64,
     /// Batched entries answered by request collapsing (solved once,
@@ -413,6 +422,9 @@ impl Planner {
             frames_examined: e.frames_examined,
             frames_pruned_by_bound: e.frames_pruned_by_bound,
             pivots_skipped: e.pivots_skipped,
+            peeled_candidates: e.peeled_candidates,
+            pivots_refused_by_core: e.pivots_refused_by_core,
+            frames_pruned_by_match: e.frames_pruned_by_match,
             batched_entries: e.batched_entries,
             collapsed_entries: e.collapsed_entries,
             result_cache_hits: e.result_cache_hits,

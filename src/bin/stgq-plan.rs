@@ -268,6 +268,17 @@ fn batch(args: &[String]) -> Result<(), String> {
         metrics.feasible_cache_hits,
         metrics.feasible_cache_misses,
     );
+    println!(
+        "  search:   {} frames examined, {} pruned by bound, {} pruned by match, {} pivots skipped",
+        metrics.frames_examined,
+        metrics.frames_pruned_by_bound,
+        metrics.frames_pruned_by_match,
+        metrics.pivots_skipped,
+    );
+    println!(
+        "  reduce:   {} candidates peeled, {} pivots refused by core",
+        metrics.peeled_candidates, metrics.pivots_refused_by_core,
+    );
     Ok(())
 }
 
@@ -437,9 +448,10 @@ fn query(args: &[String]) -> Result<(), String> {
                 None => println!("SGQ(p={p}, s={s}, k={k}): no feasible group"),
             }
             println!(
-                "  ({} frames, {} pruned)",
+                "  ({} frames, {} pruned, {} candidates peeled)",
                 out.stats.frames,
-                out.stats.total_prunes()
+                out.stats.total_prunes(),
+                out.stats.peeled_candidates
             );
         }
         Some(m) => {
@@ -460,10 +472,12 @@ fn query(args: &[String]) -> Result<(), String> {
                 None => println!("STGQ(p={p}, s={s}, k={k}, m={m}): no feasible plan"),
             }
             println!(
-                "  ({} pivots, {} frames, {} pruned)",
+                "  ({} pivots ({} refused by core), {} frames, {} pruned, {} candidates peeled)",
                 out.stats.pivots_processed,
+                out.stats.pivots_refused_by_core,
                 out.stats.frames,
-                out.stats.total_prunes()
+                out.stats.total_prunes(),
+                out.stats.peeled_candidates
             );
             if compare {
                 match pc_arrange(&ds.graph, q, &ds.calendars, p, s, m).map_err(|e| e.to_string())? {

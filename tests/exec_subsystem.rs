@@ -13,7 +13,7 @@
 
 use std::time::{Duration, Instant};
 
-use stgq::datagen::scenario::coarse_distance_analog;
+use stgq::datagen::scenario::{coarse_distance_analog, sparse_fringe};
 use stgq::datagen::Dataset;
 use stgq::exec::{PlanRequest, QuerySpec};
 use stgq::prelude::*;
@@ -76,6 +76,52 @@ fn batched_execution_is_deterministic_across_worker_counts() {
         let again = batch_objectives(&planner, &batch);
         assert_eq!(got, again, "{workers}-worker batch must be reproducible");
     }
+}
+
+#[test]
+fn batched_execution_is_deterministic_on_the_sparse_fringe_scenario() {
+    // The fringe workload exercises the reduction layer (fans peel away,
+    // pivots get refused) — determinism must hold where those paths
+    // actually fire, not just on dense graphs where they are vacuous.
+    let ds = sparse_fringe(1, 42);
+    let sgq = SgqQuery::new(5, 2, 1).unwrap();
+    let stgq = StgqQuery::new(5, 2, 1, 4).unwrap();
+    let n = ds.graph.node_count() as u32;
+    let mut batch = Vec::new();
+    for i in 0..10u32 {
+        let initiator = stgq::graph::NodeId((i * 19) % n);
+        batch.push(BatchQuery {
+            initiator,
+            spec: QuerySpec::Sgq(sgq),
+            engine: Engine::Exact,
+        });
+        batch.push(BatchQuery {
+            initiator,
+            spec: QuerySpec::Stgq(stgq),
+            engine: Engine::Exact,
+        });
+    }
+
+    let reference_planner = planner_from_dataset(&ds, 1);
+    let expected = sequential_objectives(&reference_planner, &batch);
+    assert!(
+        expected.iter().filter(|o| o.is_some()).count() >= 4,
+        "the workload must be partly feasible to be a meaningful oracle"
+    );
+    for workers in [1usize, 2, 4] {
+        let planner = planner_from_dataset(&ds, workers);
+        let got = batch_objectives(&planner, &batch);
+        assert_eq!(
+            got, expected,
+            "{workers}-worker batch must match sequential objectives on sparse_fringe"
+        );
+    }
+    // The reduction layer really fires on this workload.
+    let m = reference_planner.metrics();
+    assert!(
+        m.peeled_candidates > 0,
+        "fringe fans must be peeled somewhere in the batch"
+    );
 }
 
 #[test]

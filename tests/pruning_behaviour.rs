@@ -18,7 +18,18 @@ fn acquaintance_pruning_kills_star_instances_fast() {
     let g = b.build();
     let query = SgqQuery::new(6, 1, 2).unwrap();
 
-    let with = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+    // With the full default stack the fixpoint peel settles it first:
+    // every stranger has eligible degree 1 < p − 1 − k = 3, so the
+    // whole candidate set is peeled and the query is refused without a
+    // single frame.
+    let default_run = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+    assert!(default_run.solution.is_none());
+    assert_eq!(default_run.stats.peeled_candidates, 39, "everyone peeled");
+    assert_eq!(default_run.stats.frames, 0, "refused before any search");
+
+    // Lemma 3's own behaviour is pinned with the reduction layer off.
+    let base = SelectConfig::default().without_candidate_reduction();
+    let with = solve_sgq(&g, NodeId(0), &query, &base).unwrap();
     assert!(
         with.solution.is_none(),
         "p=6 among strangers with k=2 is infeasible"
@@ -27,7 +38,7 @@ fn acquaintance_pruning_kills_star_instances_fast() {
         &g,
         NodeId(0),
         &query,
-        &SelectConfig::default().with_acquaintance_pruning(false),
+        &base.with_acquaintance_pruning(false),
     )
     .unwrap();
     assert!(without.solution.is_none());
@@ -65,7 +76,20 @@ fn distance_pruning_skips_expensive_subtrees() {
     let g = b.build();
     let query = SgqQuery::new(4, 1, 0).unwrap();
 
-    let with = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+    // With the default stack the k-plex completion floor (the sum of
+    // the `need` cheapest admissible distances, not `need · min`) kills
+    // the far-clique frame even earlier — before any far member is
+    // expanded at all.
+    let default_run = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+    assert_eq!(default_run.solution.unwrap().total_distance, 3);
+    assert!(
+        default_run.stats.distance_prunes + default_run.stats.frames_pruned_by_match > 0,
+        "the far clique must die to a distance-flavoured bound"
+    );
+
+    // Lemma 2's own behaviour is pinned with the reduction layer off.
+    let base = SelectConfig::default().without_candidate_reduction();
+    let with = solve_sgq(&g, NodeId(0), &query, &base).unwrap();
     let sol = with.solution.unwrap();
     assert_eq!(sol.total_distance, 3, "near clique wins");
     assert!(
@@ -73,13 +97,7 @@ fn distance_pruning_skips_expensive_subtrees() {
         "far clique must be distance-pruned"
     );
 
-    let without = solve_sgq(
-        &g,
-        NodeId(0),
-        &query,
-        &SelectConfig::default().with_distance_pruning(false),
-    )
-    .unwrap();
+    let without = solve_sgq(&g, NodeId(0), &query, &base.with_distance_pruning(false)).unwrap();
     assert_eq!(without.solution.unwrap().total_distance, 3);
     assert!(without.stats.frames >= with.stats.frames);
 }
@@ -169,7 +187,20 @@ fn exterior_expansibility_rejects_dead_end_candidates() {
     b.add_edge(NodeId(2), NodeId(3), 1).unwrap();
     let g = b.build();
     let query = SgqQuery::new(3, 1, 0).unwrap();
-    let out = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+
+    // With defaults, v1 never even enters VA: its eligible degree (1,
+    // the initiator alone) is below p − 1 − k = 2, so the fixpoint peel
+    // removes it before the search starts.
+    let default_run = solve_sgq(&g, NodeId(0), &query, &SelectConfig::default()).unwrap();
+    assert_eq!(
+        default_run.solution.as_ref().unwrap().members,
+        vec![NodeId(0), NodeId(2), NodeId(3)]
+    );
+    assert!(default_run.stats.peeled_candidates >= 1, "v1 is peeled");
+
+    // The exterior condition itself is pinned with the peel off.
+    let base = SelectConfig::default().without_candidate_reduction();
+    let out = solve_sgq(&g, NodeId(0), &query, &base).unwrap();
     let sol = out.solution.unwrap();
     assert_eq!(sol.members, vec![NodeId(0), NodeId(2), NodeId(3)]);
     assert!(out.stats.exterior_rejections > 0, "v1 must be A()-rejected");

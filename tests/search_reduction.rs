@@ -73,6 +73,26 @@ fn reduction_grid() -> Vec<SelectConfig> {
     grid
 }
 
+/// Every combination of the candidate-space reduction layer's three
+/// knobs (fixpoint core peel, k-plex matching bound, shared pivot
+/// prep), everything else at defaults.
+fn candidate_reduction_grid() -> Vec<SelectConfig> {
+    let mut grid = Vec::new();
+    for peel in [false, true] {
+        for matching in [false, true] {
+            for prep in [false, true] {
+                grid.push(
+                    SelectConfig::default()
+                        .with_core_peel_fixpoint(peel)
+                        .with_kplex_match_bound(matching)
+                        .with_shared_pivot_prep(prep),
+                );
+            }
+        }
+    }
+    grid
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -103,6 +123,118 @@ proptest! {
                 prop_assert!(validate_stgq(&g, q, &cals, &query, sol).is_ok());
             }
         }
+    }
+
+    /// Sequential STGSelect with every combination of the three
+    /// candidate-reduction knobs returns the reference optimum —
+    /// peeling never removes a member of any optimal group, the
+    /// matching bound never prunes a frame that leads to an improving
+    /// solution, and shared prep changes nothing at all.
+    #[test]
+    fn candidate_reduction_grid_stgq_matches_reference(
+        (g, cals) in arb_graph(11).prop_flat_map(|g| {
+            let n = g.node_count();
+            arb_calendars(n, 24).prop_map(move |cals| (g.clone(), cals))
+        }),
+        p in 2usize..6,
+        k in 0usize..3,
+        m in 1usize..5,
+    ) {
+        let q = NodeId(0);
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        let reference =
+            solve_stgq_reference(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        for cfg in candidate_reduction_grid() {
+            let out = solve_stgq(&g, q, &cals, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                out.solution.as_ref().map(|x| x.total_distance),
+                reference.solution.as_ref().map(|x| x.total_distance),
+                "cfg {:?}", cfg
+            );
+            if let Some(sol) = &out.solution {
+                prop_assert!(validate_stgq(&g, q, &cals, &query, sol).is_ok());
+            }
+        }
+    }
+
+    /// The same grid on the SGQ engine (the peel and the matching bound
+    /// both fire on the SGSelect path too).
+    #[test]
+    fn candidate_reduction_grid_sgq_matches_reference(
+        g in arb_graph(12),
+        p in 2usize..6,
+        k in 0usize..3,
+    ) {
+        let q = NodeId(0);
+        let query = SgqQuery::new(p, 2, k).unwrap();
+        let reference = solve_sgq_reference(&g, q, &query, &SelectConfig::default()).unwrap();
+        for cfg in candidate_reduction_grid() {
+            let out = solve_sgq(&g, q, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                out.solution.as_ref().map(|x| x.total_distance),
+                reference.solution.as_ref().map(|x| x.total_distance),
+                "cfg {:?}", cfg
+            );
+        }
+    }
+
+    /// Shared pivot preprocessing is caching only: outcomes **and
+    /// stats** are bit-identical with the memo on or off, across a
+    /// query stream re-using one arena (the planner's usage pattern).
+    #[test]
+    fn shared_prep_is_bit_identical(
+        (g, cals) in arb_graph(10).prop_flat_map(|g| {
+            let n = g.node_count();
+            arb_calendars(n, 20).prop_map(move |cals| (g.clone(), cals))
+        }),
+        k in 0usize..3,
+    ) {
+        let q = NodeId(0);
+        let mut arena_on = PivotArena::new();
+        let mut arena_off = PivotArena::new();
+        let on_cfg = SelectConfig::default();
+        let off_cfg = SelectConfig::default().with_shared_pivot_prep(false);
+        for (p, m) in [(4usize, 3usize), (3, 1), (5, 4), (4, 2)] {
+            let query = StgqQuery::new(p, 2, k, m).unwrap();
+            let fg = FeasibleGraph::extract(&g, q, query.s());
+            let shared = solve_stgq_pooled(&fg, &cals, &query, &on_cfg, &mut arena_on);
+            let fresh = solve_stgq_pooled(&fg, &cals, &query, &off_cfg, &mut arena_off);
+            prop_assert_eq!(shared.solution, fresh.solution, "p {} m {}", p, m);
+            prop_assert_eq!(shared.stats, fresh.stats, "p {} m {}", p, m);
+        }
+    }
+
+    /// Peeling is *witness*-preserving, not just objective-preserving: a
+    /// peeled vertex belongs to no feasible group, so the returned
+    /// members are identical with the peel on or off (same engine, same
+    /// ordering — only dead candidates disappear).
+    #[test]
+    fn peeling_preserves_the_witness(
+        (g, cals) in arb_graph(10).prop_flat_map(|g| {
+            let n = g.node_count();
+            arb_calendars(n, 20).prop_map(move |cals| (g.clone(), cals))
+        }),
+        p in 2usize..5,
+        k in 0usize..2,
+        m in 1usize..4,
+    ) {
+        let q = NodeId(0);
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        // Seeding off isolates the peel: the first-fit seed sees the
+        // peeled candidate order, which may legitimately pick a
+        // different equal-cost witness.
+        let base = SelectConfig::default().with_seed_restarts(0);
+        let peeled = solve_stgq(&g, q, &cals, &query, &base).unwrap();
+        let unpeeled =
+            solve_stgq(&g, q, &cals, &query, &base.with_core_peel_fixpoint(false)).unwrap();
+        prop_assert_eq!(
+            peeled.solution.as_ref().map(|s| &s.members),
+            unpeeled.solution.as_ref().map(|s| &s.members)
+        );
+        prop_assert_eq!(
+            peeled.solution.as_ref().map(|s| s.period),
+            unpeeled.solution.as_ref().map(|s| s.period)
+        );
     }
 
     /// Seeded sequential SGSelect returns the reference optimum.
