@@ -1,7 +1,70 @@
 //! The cluster façade: one writer (a full [`Planner`] owning the
 //! mutable world and the delta log) plus N serving nodes behind a
 //! [`ShardRouter`], all talking through one [`Transport`].
+//!
+//! # Failure model and the self-healing loop
+//!
+//! The cluster assumes **transient transport faults** (dropped frames,
+//! refused connects, timeouts — retried within
+//! [`ClusterConfig::retry`]'s budgets) and **fail-stop nodes** (crash,
+//! partition — detected and routed around). It heals in three tiers,
+//! each engaging only when the one below was not enough:
+//!
+//! 1. **Retry** — every send retries with bounded exponential backoff
+//!    and deterministic jitter; a blip costs milliseconds and nothing
+//!    else.
+//! 2. **Auto-drain + re-dispatch** — a node that misses
+//!    [`HealthConfig::suspect_after`] consecutive heartbeats (or
+//!    exhausts a data-plane retry budget, which counts as reaching the
+//!    threshold at once) is *suspected* and drained: its shards move to
+//!    the survivors and any in-flight batch entries it failed are
+//!    re-dispatched to the new owners inside the same
+//!    [`execute`](Cluster::execute) call — the caller sees answers, not
+//!    errors. When the node answers heartbeats again it is re-attached
+//!    (full sync) and undrained automatically.
+//! 3. **Writer failover** ([`Cluster::fail_over`]) — when the *writer*
+//!    is lost, the reachable replica with the highest applied sequence
+//!    exports its mirrored world and is promoted. Promotion bumps the
+//!    new writer's version stamps past every epoch any replica ever
+//!    acknowledged (and past the old writer's last issued floor), so
+//!    epochs stay **monotonic fleet-wide**: version-keyed caches never
+//!    alias across the promotion, and every read-your-writes floor
+//!    handed out before the failover is still coverable after it.
+//!
+//! ## Detector tuning
+//!
+//! `suspect_after` trades detection latency against false positives: at
+//! the default 3, one lost heartbeat never drains a node, while a real
+//! crash is detected within three rounds. Raise it on flaky networks;
+//! lower it to 1 only where the transport is reliable (in-process) and
+//! failover speed matters most. Heartbeats deliberately do **not**
+//! retry (their budget is 1): a retried heartbeat would hide exactly
+//! the misses the detector exists to count. Data-plane evidence is
+//! stronger — a query send that exhausted its whole retry budget jumps
+//! suspicion straight to the threshold.
+//!
+//! ## Manual-override runbook
+//!
+//! Self-healing composes with operations rather than replacing them:
+//!
+//! * **Planned maintenance** — [`drain_node`](Cluster::drain_node),
+//!   do the work, [`undrain_node`](Cluster::undrain_node). The detector
+//!   never auto-undrains an operator's drain (it tracks whose drain it
+//!   was), so a node held down on purpose stays down even if it answers
+//!   heartbeats.
+//! * **Disable healing** — set [`HealthConfig::auto_drain`] /
+//!   [`HealthConfig::auto_recover`] to `false` to run the detector in
+//!   observe-only mode: suspicion is tracked and reported in
+//!   [`ClusterMetrics`], actions are yours.
+//! * **Force re-attach** — drain then undrain a node; the next
+//!   replication round full-syncs it if its sequence fell out of the
+//!   delta log.
+//! * **Promote manually** — [`fail_over`](Cluster::fail_over) picks the
+//!   best donor itself; it is safe to call while replicas lag (anything
+//!   unacknowledged everywhere is lost by design — it was never
+//!   durable).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -10,9 +73,11 @@ use stgq_graph::NodeId;
 use stgq_schedule::{Calendar, SlotRange};
 use stgq_service::{BatchQuery, Planner, ServiceError};
 
+use crate::health::{FailureDetector, HealthConfig, Suspicion};
 use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, WireRequest};
 use crate::node::ClusterNode;
 use crate::replication::{Replicator, SyncError};
+use crate::retry::{send_with_retry, MsgClass, RetryPolicy};
 use crate::router::{RouterError, ShardRouter};
 use crate::transport::{InProcessTransport, Transport, TransportError, WireCodec};
 
@@ -34,6 +99,12 @@ pub struct ClusterConfig {
     /// How the in-process transport moves messages (JSON proves
     /// wire-encodability in tests).
     pub codec: WireCodec,
+    /// Retry/backoff schedule applied to every send (replication and
+    /// scatter/gather); [`RetryPolicy::none`] restores single-shot
+    /// sends.
+    pub retry: RetryPolicy,
+    /// Failure-detection and self-healing knobs.
+    pub health: HealthConfig,
 }
 
 impl Default for ClusterConfig {
@@ -44,6 +115,8 @@ impl Default for ClusterConfig {
             node_exec: ExecConfig::default(),
             read_your_writes: true,
             codec: WireCodec::Direct,
+            retry: RetryPolicy::default(),
+            health: HealthConfig::default(),
         }
     }
 }
@@ -72,6 +145,33 @@ impl std::fmt::Display for ClusterError {
 
 impl std::error::Error for ClusterError {}
 
+/// Why a writer failover could not complete. Failover never
+/// half-applies: on any error the old writer state is untouched.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FailoverError {
+    /// No reachable, attached replica exists to promote.
+    NoCandidate,
+    /// The chosen donor could not export its world.
+    Export(TransportError),
+    /// The donor answered outside the protocol.
+    Protocol,
+    /// The exported world failed to restore into a writer.
+    Restore(String),
+}
+
+impl std::fmt::Display for FailoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailoverError::NoCandidate => write!(f, "no reachable attached replica to promote"),
+            FailoverError::Export(e) => write!(f, "donor export failed: {e}"),
+            FailoverError::Protocol => write!(f, "unexpected reply during failover"),
+            FailoverError::Restore(why) => write!(f, "promoted state failed to restore: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for FailoverError {}
+
 /// One node's replication/serving position relative to the writer.
 #[derive(Clone, Debug, PartialEq)]
 pub struct NodeLag {
@@ -89,6 +189,8 @@ pub struct NodeLag {
     pub seq_lag: u64,
     /// Whether the status probe reached the node.
     pub reachable: bool,
+    /// The failure detector's current view of the node.
+    pub suspicion: Suspicion,
 }
 
 /// Point-in-time cluster observability: writer position, per-node lag,
@@ -105,8 +207,22 @@ pub struct ClusterMetrics {
     pub full_syncs: u64,
     /// Incremental delta batches shipped.
     pub delta_batches: u64,
-    /// Replication sends the transport refused or dropped.
+    /// Replication sends the transport refused or dropped (after their
+    /// whole retry budget).
     pub failed_sends: u64,
+    /// Heartbeat probes that went unanswered (includes data-plane
+    /// failures fed to the detector as evidence).
+    pub heartbeats_missed: u64,
+    /// Nodes the failure detector drained.
+    pub auto_drains: u64,
+    /// Nodes the detector re-attached and undrained.
+    pub auto_recoveries: u64,
+    /// Individual send retries performed (replication + data plane).
+    pub retries: u64,
+    /// Writer failovers performed.
+    pub failovers: u64,
+    /// Delta records shipped to nodes recovering from a failed round.
+    pub catch_up_deltas: u64,
 }
 
 /// A multi-node serving cluster. See the crate docs for the architecture
@@ -117,7 +233,13 @@ pub struct Cluster {
     transport: Arc<dyn Transport>,
     router: Mutex<ShardRouter>,
     replicator: Mutex<Replicator>,
+    detector: Mutex<FailureDetector>,
+    retry: RetryPolicy,
     read_your_writes: bool,
+    /// Data-plane (scatter/gather + heartbeat) send retries performed.
+    exec_retries: AtomicU64,
+    /// Writer failovers performed.
+    failovers: AtomicU64,
 }
 
 impl Cluster {
@@ -152,8 +274,12 @@ impl Cluster {
             nodes,
             transport,
             router: Mutex::new(ShardRouter::new(cfg.shards, node_count)),
-            replicator: Mutex::new(Replicator::new(node_count)),
+            replicator: Mutex::new(Replicator::with_retry(node_count, cfg.retry)),
+            detector: Mutex::new(FailureDetector::new(node_count, cfg.health)),
+            retry: cfg.retry,
             read_your_writes: cfg.read_your_writes,
+            exec_retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
         }
     }
 
@@ -264,76 +390,303 @@ impl Cluster {
 
     /// The scatter/gather data plane on explicit wire requests (no
     /// implicit replication, no stamping — what [`plan_batch`] builds
-    /// on).
+    /// on). Self-healing: a node that fails its whole retry budget is
+    /// suspected, auto-drained (when [`HealthConfig::auto_drain`] is
+    /// on), and its entries **re-dispatched** to the shards' new owners
+    /// inside this same call — a mid-batch node loss costs latency, not
+    /// answers.
     ///
     /// [`plan_batch`]: Self::plan_batch
     pub fn execute(&self, requests: Vec<WireRequest>) -> Vec<Result<PlanOutcome, ClusterError>> {
-        let initiators: Vec<NodeId> = requests.iter().map(|r| r.initiator).collect();
-        let plan = self.router.lock().scatter_plan(&initiators);
         let mut slots: Vec<Option<Result<PlanOutcome, ClusterError>>> =
             (0..requests.len()).map(|_| None).collect();
-        // Scatter concurrently — one thread per addressed node, so node
-        // executors genuinely run side by side (this is where multi-node
-        // beats one node on a multi-core host).
-        let replies: Vec<(usize, &Vec<usize>, Result<NodeReply, TransportError>)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = plan
-                    .iter()
-                    .map(|(node, positions)| {
-                        let batch: Vec<WireRequest> =
-                            positions.iter().map(|&p| requests[p]).collect();
-                        let transport = Arc::clone(&self.transport);
-                        let node = *node;
-                        scope.spawn(move || (node, transport.send(node, NodeMsg::Execute(batch))))
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .zip(plan.iter())
-                    .map(|(h, (_, positions))| {
-                        let (node, reply) = h.join().expect("scatter worker never panics");
-                        (node, positions, reply)
-                    })
-                    .collect()
-            });
-        for (_, positions, reply) in replies {
+        // Original-batch positions still unanswered; re-dispatch rounds
+        // shrink this. Each healing round drains at least one node, so
+        // the loop is bounded by the cluster size.
+        let mut pending: Vec<usize> = (0..requests.len()).collect();
+        loop {
+            let initiators: Vec<NodeId> = pending.iter().map(|&p| requests[p].initiator).collect();
+            // Plan positions index into `pending`.
+            let plan = self.router.lock().scatter_plan(&initiators);
+            // Scatter concurrently — one thread per addressed node, so
+            // node executors genuinely run side by side (this is where
+            // multi-node beats one node on a multi-core host).
+            let replies: Vec<(usize, &Vec<usize>, Result<NodeReply, TransportError>)> =
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = plan
+                        .iter()
+                        .map(|(node, positions)| {
+                            let batch: Vec<WireRequest> =
+                                positions.iter().map(|&p| requests[pending[p]]).collect();
+                            let transport = Arc::clone(&self.transport);
+                            let node = *node;
+                            let policy = &self.retry;
+                            let retries = &self.exec_retries;
+                            scope.spawn(move || {
+                                (
+                                    node,
+                                    send_with_retry(
+                                        &*transport,
+                                        node,
+                                        NodeMsg::Execute(batch),
+                                        policy,
+                                        MsgClass::Execute,
+                                        retries,
+                                    ),
+                                )
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .zip(plan.iter())
+                        .map(|(h, (_, positions))| {
+                            let (node, reply) = h.join().expect("scatter worker never panics");
+                            (node, positions, reply)
+                        })
+                        .collect()
+                });
+            let mut failed: Vec<(usize, Vec<usize>, TransportError)> = Vec::new();
+            for (node, positions, reply) in replies {
+                match reply {
+                    Ok(NodeReply::Outcomes(outcomes)) if outcomes.len() == positions.len() => {
+                        for (&p, outcome) in positions.iter().zip(outcomes) {
+                            slots[pending[p]] = Some(outcome.map_err(ClusterError::Exec));
+                        }
+                    }
+                    Ok(_) => {
+                        for &p in positions {
+                            slots[pending[p]] = Some(Err(ClusterError::Protocol));
+                        }
+                    }
+                    Err(e) => failed.push((node, positions.clone(), e)),
+                }
+            }
+            if failed.is_empty() {
+                break;
+            }
+            // An exhausted retry budget is fail-stop evidence: suspect
+            // the node (jumping straight to the threshold), drain it,
+            // and re-dispatch its entries to the shards' new owners.
+            let auto_drain = self.detector.lock().config().auto_drain;
+            let mut healed = false;
+            for (node, _, _) in &failed {
+                self.detector.lock().note_data_failure(*node);
+                if !auto_drain {
+                    continue;
+                }
+                match self.router.lock().drain(*node) {
+                    Ok(()) => {
+                        self.detector.lock().note_auto_drained(*node);
+                        healed = true;
+                    }
+                    // Lost the race with a concurrent drain: the shards
+                    // are already reassigned, so re-dispatch still works.
+                    Err(RouterError::AlreadyDrained { .. }) => healed = true,
+                    // Last active node, or unknown: nothing to heal with.
+                    Err(_) => {}
+                }
+            }
+            if !healed {
+                for (_, positions, e) in failed {
+                    for p in positions {
+                        slots[pending[p]] = Some(Err(ClusterError::Transport(e.clone())));
+                    }
+                }
+                break;
+            }
+            // Re-dispatch in original submission order (per-node batch
+            // order is what within-batch collapsing relies on).
+            let mut next: Vec<usize> = failed
+                .iter()
+                .flat_map(|(_, positions, _)| positions.iter().map(|&p| pending[p]))
+                .collect();
+            next.sort_unstable();
+            pending = next;
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every position answered or failed"))
+            .collect()
+    }
+
+    // -- self-healing --------------------------------------------------
+
+    /// Run one failure-detection round: probe every node slot with a
+    /// status heartbeat (deliberately single-attempt — a retried
+    /// heartbeat would hide the misses the detector counts), accrue
+    /// suspicion on misses, auto-drain newly suspected nodes, and
+    /// re-attach + undrain recovered ones. Returns every node's
+    /// suspicion after the round.
+    ///
+    /// Call this on a timer (or between batches); the cadence times
+    /// `suspect_after` is the detection latency.
+    pub fn heartbeat(&self) -> Vec<(usize, Suspicion)> {
+        let health = self.detector.lock().config();
+        let slots = self.transport.node_count();
+        for node in 0..slots {
+            let reply = send_with_retry(
+                &*self.transport,
+                node,
+                NodeMsg::Status,
+                &self.retry,
+                MsgClass::Status,
+                &self.exec_retries,
+            );
             match reply {
-                Ok(NodeReply::Outcomes(outcomes)) if outcomes.len() == positions.len() => {
-                    for (&pos, outcome) in positions.iter().zip(outcomes) {
-                        slots[pos] = Some(outcome.map_err(ClusterError::Exec));
-                    }
-                }
                 Ok(_) => {
-                    for &pos in positions {
-                        slots[pos] = Some(Err(ClusterError::Protocol));
+                    let recoverable = self.detector.lock().note_alive(node);
+                    if recoverable && health.auto_recover {
+                        self.recover_node(node);
                     }
                 }
-                Err(e) => {
-                    for &pos in positions {
-                        slots[pos] = Some(Err(ClusterError::Transport(e.clone())));
+                Err(_) => {
+                    let newly_suspected = self.detector.lock().note_missed(node);
+                    if newly_suspected && health.auto_drain {
+                        // On Err: the operator got there first (the drain
+                        // stays theirs), or it is the last active node
+                        // (keep serving and surfacing errors rather than
+                        // stopping).
+                        if self.router.lock().drain(node).is_ok() {
+                            self.detector.lock().note_auto_drained(node);
+                        }
                     }
                 }
             }
         }
-        slots
-            .into_iter()
-            .map(|slot| slot.expect("scatter plan covers every position"))
+        (0..slots)
+            .map(|node| (node, self.detector.lock().suspicion(node)))
             .collect()
+    }
+
+    /// Re-attach a recovered node: reset its replication accounting (a
+    /// crashed node's mirror is gone, so force the full-sync path),
+    /// sync it to the writer's state, and undrain it on success. A
+    /// failed sync keeps the auto-drain claim, so the next answered
+    /// heartbeat retries.
+    fn recover_node(&self, node: usize) {
+        let mut replicator = self.replicator.lock();
+        replicator.reset_node(node);
+        if replicator
+            .sync_node(&self.planner, &*self.transport, node)
+            .is_err()
+        {
+            return;
+        }
+        drop(replicator);
+        match self.router.lock().undrain(node) {
+            Ok(()) => self.detector.lock().note_recovered(node),
+            // An operator undrained it meanwhile: the node is serving;
+            // just release our claim.
+            Err(RouterError::NotDrained { .. }) => self.detector.lock().release_claim(node),
+            Err(_) => {}
+        }
+    }
+
+    /// Promote the best surviving replica to writer.
+    ///
+    /// The donor is the reachable, attached node with the highest
+    /// applied delta sequence (lowest index on ties — deterministic).
+    /// Its exported world becomes the new writer state, with the version
+    /// stamps **bumped past** every epoch any replica ever acknowledged
+    /// and past the old writer's last issued floor: epochs stay
+    /// monotonic fleet-wide, version-keyed caches never alias content
+    /// across the promotion, and outstanding read-your-writes floors
+    /// remain coverable. All replication accounting is reset, so every
+    /// replica (even one that was *ahead* of the donor) re-attaches
+    /// through a full sync of the promoted state.
+    ///
+    /// Mutations the old writer never replicated to any acking replica
+    /// are lost — they were never durable. On error nothing changes.
+    /// Returns the promoted donor's index.
+    pub fn fail_over(&mut self) -> Result<usize, FailoverError> {
+        let slots = self.transport.node_count();
+        // Probe with the data-plane budget: failover is worth retries.
+        let mut best: Option<(u64, usize)> = None;
+        for node in 0..slots {
+            let reply = send_with_retry(
+                &*self.transport,
+                node,
+                NodeMsg::Status,
+                &self.retry,
+                MsgClass::Execute,
+                &self.exec_retries,
+            );
+            if let Ok(NodeReply::Status(status)) = reply {
+                if status.attached && best.is_none_or(|(seq, _)| status.seq > seq) {
+                    best = Some((status.seq, node));
+                }
+            }
+        }
+        let (_, donor) = best.ok_or(FailoverError::NoCandidate)?;
+
+        let reply = send_with_retry(
+            &*self.transport,
+            donor,
+            NodeMsg::Export,
+            &self.retry,
+            MsgClass::Execute,
+            &self.exec_retries,
+        )
+        .map_err(FailoverError::Export)?;
+        let NodeReply::State(mut state) = reply else {
+            return Err(FailoverError::Protocol);
+        };
+
+        // Monotonicity bump: past the donor, past every acked epoch
+        // (a one-way-partitioned replica can be ahead of the writer's
+        // accounting), and past the old writer's own floor.
+        let mut graph_max = state.graph_version.max(self.planner.network().version());
+        let mut calendar_max = state
+            .calendar_version
+            .max(self.planner.calendars().version());
+        let mut seq_max = state.seq.max(self.planner.delta_seq());
+        {
+            let replicator = self.replicator.lock();
+            for node in 0..slots {
+                let acked = replicator.acked_epoch(node);
+                graph_max = graph_max.max(acked.graph);
+                calendar_max = calendar_max.max(acked.calendar);
+                if let Some(seq) = replicator.acked_seq(node) {
+                    seq_max = seq_max.max(seq);
+                }
+            }
+        }
+        state.graph_version = graph_max + 1;
+        state.calendar_version = calendar_max + 1;
+        state.seq = seq_max;
+
+        let writer_exec = ExecConfig {
+            workers: 1,
+            ..ExecConfig::default()
+        };
+        self.planner = Planner::restore(&state, writer_exec)
+            .map_err(|e| FailoverError::Restore(e.to_string()))?;
+        self.replicator.lock().reset_all();
+        self.failovers.fetch_add(1, Ordering::Relaxed);
+        Ok(donor)
     }
 
     // -- membership ----------------------------------------------------
 
-    /// Stop routing to `node` and hand its shards to the remaining
-    /// active nodes. The node keeps its state and can be
-    /// [`undrained`](Self::undrain_node) later.
+    /// Operator drain: stop routing to `node` and hand its shards to
+    /// the remaining active nodes. The node keeps its state and can be
+    /// [`undrained`](Self::undrain_node) later. An operator drain is
+    /// never auto-undrained — the failure detector only recovers drains
+    /// *it* performed.
     pub fn drain_node(&self, node: usize) -> Result<(), RouterError> {
         self.router.lock().drain(node)
     }
 
-    /// Return a drained node to the shard map (it catches up through the
-    /// normal replication path on the next round).
+    /// Operator undrain: return a drained node to the shard map (it
+    /// catches up through the normal replication path on the next
+    /// round). Also releases any auto-drain claim the failure detector
+    /// held on the node, so self-healing will not re-run recovery on a
+    /// node the operator already brought back.
     pub fn undrain_node(&self, node: usize) -> Result<(), RouterError> {
-        self.router.lock().undrain(node)
+        self.router.lock().undrain(node)?;
+        self.detector.lock().release_claim(node);
+        Ok(())
     }
 
     /// Indices of the nodes currently taking traffic.
@@ -355,6 +708,7 @@ impl Cluster {
         let writer_seq = self.planner.delta_seq();
         let router = self.router.lock();
         let replicator = self.replicator.lock();
+        let detector = self.detector.lock();
         let nodes = (0..router.node_slots())
             .map(|node| {
                 let (status, reachable) = match self.transport.send(node, NodeMsg::Status) {
@@ -369,6 +723,7 @@ impl Cluster {
                     seq_lag: writer_seq.saturating_sub(status.seq),
                     status,
                     reachable,
+                    suspicion: detector.suspicion(node),
                 }
             })
             .collect();
@@ -379,6 +734,12 @@ impl Cluster {
             full_syncs: replicator.full_syncs,
             delta_batches: replicator.delta_batches,
             failed_sends: replicator.failed_sends,
+            heartbeats_missed: detector.heartbeats_missed,
+            auto_drains: detector.auto_drains,
+            auto_recoveries: detector.auto_recoveries,
+            retries: replicator.retries + self.exec_retries.load(Ordering::Relaxed),
+            failovers: self.failovers.load(Ordering::Relaxed),
+            catch_up_deltas: replicator.catch_up_deltas,
         }
     }
 }

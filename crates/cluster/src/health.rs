@@ -1,0 +1,211 @@
+//! Heartbeat-driven failure detection.
+//!
+//! The cluster probes every node slot with a [`NodeMsg::Status`]
+//! heartbeat on each [`Cluster::heartbeat`] round (and feeds data-plane
+//! send failures in as extra evidence). The detector is a
+//! threshold-style accrual detector: every missed heartbeat raises a
+//! per-node **suspicion level** by one, every answered heartbeat clears
+//! it, and a node whose level reaches
+//! [`suspect_after`](HealthConfig::suspect_after) is **suspected** — the
+//! self-healing layer auto-drains it. An exhausted *data-plane* retry
+//! budget jumps the level straight to the threshold: a node that cannot
+//! answer a query after N retries is stronger evidence than one missed
+//! idle probe.
+//!
+//! Recovery is the same loop in reverse: a suspected node that answers a
+//! heartbeat again is re-attached through the normal full-sync
+//! replication path and undrained. The detector distinguishes drains *it*
+//! performed from operator drains — auto-recovery never undrains a node
+//! an operator took out on purpose.
+//!
+//! [`NodeMsg::Status`]: crate::NodeMsg::Status
+//! [`Cluster::heartbeat`]: crate::Cluster::heartbeat
+
+/// Failure-detection and self-healing knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthConfig {
+    /// Consecutive missed heartbeats before a node is suspected (and, if
+    /// `auto_drain`, drained). Data-plane failures after retries count as
+    /// reaching this threshold immediately.
+    pub suspect_after: u32,
+    /// Drain suspected nodes automatically (their shards reassign to the
+    /// survivors; the last active node is never auto-drained).
+    pub auto_drain: bool,
+    /// When a suspected node answers heartbeats again, re-attach it
+    /// (full sync) and undrain it automatically.
+    pub auto_recover: bool,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            suspect_after: 3,
+            auto_drain: true,
+            auto_recover: true,
+        }
+    }
+}
+
+/// One node's health as the failure detector sees it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Suspicion {
+    /// Answering heartbeats; no evidence against it.
+    #[default]
+    Healthy,
+    /// Missed heartbeats accruing, threshold not reached yet.
+    Accruing {
+        /// Consecutive misses so far.
+        missed: u32,
+    },
+    /// Threshold reached: the node is presumed failed (and auto-drained
+    /// when self-healing is on).
+    Suspected,
+}
+
+/// Per-node detector state.
+#[derive(Clone, Copy, Debug, Default)]
+struct NodeHealth {
+    /// Consecutive missed heartbeats.
+    missed: u32,
+    /// Whether the threshold has been crossed.
+    suspected: bool,
+    /// Whether the *detector* drained this node (operator drains are
+    /// never auto-undrained).
+    auto_drained: bool,
+}
+
+/// Threshold-accrual failure detector over a fixed set of node slots.
+pub(crate) struct FailureDetector {
+    nodes: Vec<NodeHealth>,
+    cfg: HealthConfig,
+    /// Heartbeats that went unanswered, totalled over all nodes.
+    pub(crate) heartbeats_missed: u64,
+    /// Drains this detector performed.
+    pub(crate) auto_drains: u64,
+    /// Recoveries (re-attach + undrain) this detector performed.
+    pub(crate) auto_recoveries: u64,
+}
+
+impl FailureDetector {
+    pub(crate) fn new(nodes: usize, cfg: HealthConfig) -> Self {
+        FailureDetector {
+            nodes: vec![NodeHealth::default(); nodes],
+            cfg,
+            heartbeats_missed: 0,
+            auto_drains: 0,
+            auto_recoveries: 0,
+        }
+    }
+
+    pub(crate) fn config(&self) -> HealthConfig {
+        self.cfg
+    }
+
+    /// Record an answered heartbeat. Returns `true` when the node still
+    /// carries an auto-drain claim — i.e. it is a recovery candidate.
+    /// (The claim outlives the cleared suspicion, so a recovery whose
+    /// re-sync failed is retried on the next answered heartbeat.)
+    pub(crate) fn note_alive(&mut self, node: usize) -> bool {
+        let h = &mut self.nodes[node];
+        h.missed = 0;
+        h.suspected = false;
+        h.auto_drained
+    }
+
+    /// Record a missed heartbeat. Returns `true` when this miss crossed
+    /// the suspicion threshold (the node should be drained now).
+    pub(crate) fn note_missed(&mut self, node: usize) -> bool {
+        self.heartbeats_missed += 1;
+        let threshold = self.cfg.suspect_after.max(1);
+        let h = &mut self.nodes[node];
+        h.missed = h.missed.saturating_add(1);
+        if h.missed >= threshold && !h.suspected {
+            h.suspected = true;
+            return true;
+        }
+        false
+    }
+
+    /// Record a data-plane send that failed after its whole retry
+    /// budget: jumps suspicion straight to the threshold. Returns `true`
+    /// when the node newly became suspected.
+    pub(crate) fn note_data_failure(&mut self, node: usize) -> bool {
+        self.heartbeats_missed += 1;
+        let h = &mut self.nodes[node];
+        h.missed = h.missed.max(self.cfg.suspect_after.max(1));
+        if !h.suspected {
+            h.suspected = true;
+            return true;
+        }
+        false
+    }
+
+    /// Record that the detector drained `node`.
+    pub(crate) fn note_auto_drained(&mut self, node: usize) {
+        self.nodes[node].auto_drained = true;
+        self.auto_drains += 1;
+    }
+
+    /// Record that the detector recovered (re-attached + undrained)
+    /// `node`.
+    pub(crate) fn note_recovered(&mut self, node: usize) {
+        self.nodes[node].auto_drained = false;
+        self.auto_recoveries += 1;
+    }
+
+    /// Forget any auto-drain claim on `node` (an operator took over,
+    /// e.g. by explicitly undraining it).
+    pub(crate) fn release_claim(&mut self, node: usize) {
+        self.nodes[node].auto_drained = false;
+    }
+
+    /// The node's current suspicion state.
+    pub(crate) fn suspicion(&self, node: usize) -> Suspicion {
+        match self.nodes.get(node) {
+            None => Suspicion::Healthy,
+            Some(h) if h.suspected => Suspicion::Suspected,
+            Some(h) if h.missed > 0 => Suspicion::Accruing { missed: h.missed },
+            Some(_) => Suspicion::Healthy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn misses_accrue_to_suspicion_and_success_clears() {
+        let mut d = FailureDetector::new(2, HealthConfig::default());
+        assert!(!d.note_missed(1));
+        assert!(!d.note_missed(1));
+        assert_eq!(d.suspicion(1), Suspicion::Accruing { missed: 2 });
+        assert!(d.note_missed(1), "third consecutive miss crosses");
+        assert_eq!(d.suspicion(1), Suspicion::Suspected);
+        assert!(!d.note_missed(1), "already suspected: no re-trigger");
+        assert_eq!(d.heartbeats_missed, 4);
+        assert_eq!(d.suspicion(0), Suspicion::Healthy, "nodes independent");
+
+        d.note_auto_drained(1);
+        assert!(d.note_alive(1), "answered again while auto-drained");
+        assert_eq!(d.suspicion(1), Suspicion::Healthy);
+    }
+
+    #[test]
+    fn data_failures_jump_the_threshold() {
+        let mut d = FailureDetector::new(1, HealthConfig::default());
+        assert!(d.note_data_failure(0), "one exhausted budget suffices");
+        assert_eq!(d.suspicion(0), Suspicion::Suspected);
+    }
+
+    #[test]
+    fn operator_drains_are_not_recovery_candidates() {
+        let mut d = FailureDetector::new(1, HealthConfig::default());
+        d.note_missed(0);
+        d.note_missed(0);
+        d.note_missed(0);
+        // Suspected but drained by an operator, not the detector: a later
+        // heartbeat answer is not a recovery candidate.
+        assert!(!d.note_alive(0));
+    }
+}

@@ -60,20 +60,59 @@
 //! over the same epochs, so a cluster of any size returns bit-identical
 //! objectives and groups to a single `Executor` — the cluster
 //! determinism suite pins that across 1/2/4 nodes.
+//!
+//! # Self-healing
+//!
+//! The cluster heals itself through four cooperating mechanisms, all
+//! driven by the same failure model: **transient transport faults**
+//! (dropped frames, refused connects, timeouts) and **fail-stop nodes**
+//! (crash, partition). Byzantine behavior is out of scope — nodes are
+//! trusted once they answer.
+//!
+//! * **Retry/backoff** ([`RetryPolicy`]): every send is retried within a
+//!   per-message-class budget with bounded exponential backoff and
+//!   deterministic jitter, so blips never surface as errors.
+//! * **Failure detection** ([`HealthConfig`], [`Suspicion`]): each
+//!   [`Cluster::heartbeat`] round probes every node; consecutive misses
+//!   accrue suspicion, and a suspected node is **auto-drained** — its
+//!   shards reassign to the survivors and any in-flight batch entries it
+//!   failed are re-dispatched to the new owners.
+//! * **Catch-up** ([`Replicator`]): a node answering again after an
+//!   auto-drain is re-attached through the normal delta/full-sync path
+//!   and undrained; the delta log's gap detection decides which.
+//! * **Writer failover** ([`Cluster::fail_over`]): the reachable replica
+//!   with the highest applied sequence exports its mirrored world
+//!   ([`NodeMsg::Export`]) and is promoted to a fresh writer whose
+//!   version stamps are bumped past every epoch any replica ever acked —
+//!   epochs stay monotonic fleet-wide, so version-keyed caches and
+//!   read-your-writes floors stay sound across the promotion.
+//!
+//! The whole loop is exercised by seeded chaos tests: an expanded
+//! [`FaultInjector`] (drops, probabilistic loss, latency, one-way
+//! partitions, crash/restart) with per-node deterministic RNG streams
+//! makes every chaos run replay bit-identically.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 mod cluster;
+mod health;
 mod message;
 mod node;
 mod replication;
+mod retry;
 mod router;
+mod tcp;
 mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterError, ClusterMetrics, NodeLag};
+pub use cluster::{Cluster, ClusterConfig, ClusterError, ClusterMetrics, FailoverError, NodeLag};
+pub use health::{HealthConfig, Suspicion};
 pub use message::{Epoch, NodeMsg, NodeReply, NodeStatus, ReplicationPayload, WireRequest};
 pub use node::ClusterNode;
 pub use replication::{Replicator, SyncError};
+pub use retry::{MsgClass, RetryPolicy};
 pub use router::{RouterError, ShardRouter};
-pub use transport::{FaultInjector, InProcessTransport, Transport, TransportError, WireCodec};
+pub use tcp::{TcpNodeServer, TcpTimeouts, TcpTransport};
+pub use transport::{
+    FaultCounters, FaultInjector, InProcessTransport, Transport, TransportError, WireCodec,
+};

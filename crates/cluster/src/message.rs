@@ -86,8 +86,13 @@ pub enum NodeMsg {
     Replicate(ReplicationPayload),
     /// Data plane: answer this shard batch against the local epoch.
     Execute(Vec<WireRequest>),
-    /// Observability: report sequence, epoch and serving counters.
+    /// Observability: report sequence, epoch and serving counters. Also
+    /// serves as the heartbeat probe — a node that answers *anything* is
+    /// alive.
     Status,
+    /// Failover: export the node's full mirrored world ([`WorldState`]),
+    /// so a surviving replica can be promoted to writer.
+    Export,
 }
 
 /// Point-in-time serving counters of one node, as reported by
@@ -136,6 +141,8 @@ pub enum NodeReply {
     Outcomes(Vec<Result<PlanOutcome, ExecError>>),
     /// Status report.
     Status(NodeStatus),
+    /// The node's full mirrored world, answering [`NodeMsg::Export`].
+    State(WorldState),
 }
 
 // ---- wire encodings --------------------------------------------------
@@ -257,6 +264,7 @@ impl Serialize for NodeMsg {
                 obj(vec![("execute", obj(vec![("requests", reqs.to_value())]))])
             }
             NodeMsg::Status => Value::Str("status".to_string()),
+            NodeMsg::Export => Value::Str("export".to_string()),
         }
     }
 }
@@ -266,6 +274,7 @@ impl Deserialize for NodeMsg {
         if let Value::Str(s) = v {
             return match s.as_str() {
                 "status" => Ok(NodeMsg::Status),
+                "export" => Ok(NodeMsg::Export),
                 other => Err(DeError::new(format!("unknown NodeMsg `{other}`"))),
             };
         }
@@ -347,6 +356,7 @@ impl Serialize for NodeReply {
             NodeReply::Status(status) => {
                 obj(vec![("status", obj(vec![("report", status.to_value())]))])
             }
+            NodeReply::State(state) => obj(vec![("state", obj(vec![("world", state.to_value())]))]),
         }
     }
 }
@@ -393,6 +403,9 @@ impl Deserialize for NodeReply {
             "status" => Ok(NodeReply::Status(NodeStatus::from_value(need(
                 &fields, "report", "status",
             )?)?)),
+            "state" => Ok(NodeReply::State(WorldState::from_value(need(
+                &fields, "world", "state",
+            )?)?)),
             other => Err(DeError::new(format!("unknown NodeReply `{other}`"))),
         }
     }
@@ -417,6 +430,7 @@ mod tests {
         let sgq = SgqQuery::new(3, 1, 0).unwrap();
         let msgs = [
             NodeMsg::Status,
+            NodeMsg::Export,
             NodeMsg::Execute(vec![WireRequest {
                 initiator: NodeId(4),
                 spec: QuerySpec::Sgq(sgq),
@@ -452,6 +466,16 @@ mod tests {
                 delta_batches: 2,
                 queries: 3,
                 result_cache_hits: 4,
+            }),
+            NodeReply::State(WorldState {
+                horizon: 8,
+                labels: vec!["ann".into(), "bob".into()],
+                active: vec![true, true],
+                edges: vec![(0, 1, 1)],
+                calendars: Vec::new(),
+                graph_version: 5,
+                calendar_version: 6,
+                seq: 7,
             }),
         ];
         for reply in replies {

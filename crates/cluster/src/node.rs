@@ -16,6 +16,9 @@ use parking_lot::Mutex;
 use stgq_exec::{ExecConfig, Executor, PlanRequest, WorldSnapshot};
 use stgq_service::{CalendarStore, MutableNetwork};
 
+use stgq_graph::NodeId;
+use stgq_service::WorldState;
+
 use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, ReplicationPayload, WireRequest};
 
 /// The mirrored mutable world behind one node's executor.
@@ -77,7 +80,56 @@ impl ClusterNode {
             NodeMsg::Replicate(payload) => self.apply_replication(payload),
             NodeMsg::Execute(requests) => self.execute(requests),
             NodeMsg::Status => NodeReply::Status(self.status()),
+            NodeMsg::Export => NodeReply::State(self.export_state()),
         }
+    }
+
+    /// Capture the node's full mirrored world — the failover donor path:
+    /// a promoted writer is [`Planner::restore`](stgq_service::Planner::restore)d
+    /// from exactly this state. Field-for-field the same capture the
+    /// writer's `world_state()` performs, so a replica that replayed the
+    /// full log exports a bit-identical state.
+    pub fn export_state(&self) -> WorldState {
+        let world = self.world.lock();
+        let n = world.network.person_count();
+        WorldState {
+            horizon: world.calendars.horizon(),
+            labels: (0..n)
+                .map(|v| {
+                    world
+                        .network
+                        .label(NodeId(v as u32))
+                        .expect("ids below person_count are allocated")
+                        .to_string()
+                })
+                .collect(),
+            active: (0..n)
+                .map(|v| world.network.is_active(NodeId(v as u32)))
+                .collect(),
+            edges: world.network.edge_list(),
+            calendars: world.calendars.calendars().to_vec(),
+            graph_version: world.epoch.graph,
+            calendar_version: world.epoch.calendar,
+            seq: world.seq,
+        }
+    }
+
+    /// Forget everything: fresh unattached world, no published snapshot.
+    /// Models a crash-and-restart — the "rebooted" node refuses queries
+    /// (`NoSnapshot`) and deltas (`Stale`) until its next full sync, just
+    /// like a freshly provisioned node.
+    pub fn reset(&self) {
+        let mut world = self.world.lock();
+        *world = ReplicaWorld {
+            network: MutableNetwork::new(),
+            calendars: CalendarStore::new(0),
+            seq: 0,
+            epoch: Epoch::default(),
+            attached: false,
+            full_syncs: 0,
+            delta_batches: 0,
+        };
+        self.exec.clear_snapshot();
     }
 
     /// The node's current status snapshot.

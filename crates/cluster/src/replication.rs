@@ -15,9 +15,12 @@
 //! *thought* was delivered, e.g. dropped in flight after accounting, or
 //! the node restarted) is repaired with a full sync in the same round.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use stgq_service::Planner;
 
 use crate::message::{Epoch, NodeMsg, NodeReply, ReplicationPayload};
+use crate::retry::{send_with_retry, MsgClass, RetryPolicy};
 use crate::transport::{Transport, TransportError};
 
 /// Why one node's replication round failed (the other nodes proceed).
@@ -53,23 +56,45 @@ pub struct Replicator {
     acked: Vec<Option<u64>>,
     /// Per node: the last epoch it acknowledged.
     epochs: Vec<Epoch>,
+    /// Per node: whether the previous round's send failed — the next
+    /// successful delta batch to such a node is *catch-up* traffic.
+    lagging: Vec<bool>,
+    /// Retry schedule for replication sends ([`MsgClass::Replication`]
+    /// budget); [`RetryPolicy::none`] restores single-shot sends.
+    retry: RetryPolicy,
     /// Full syncs shipped (first attaches + gap/stale repairs).
     pub full_syncs: u64,
     /// Incremental delta batches shipped.
     pub delta_batches: u64,
-    /// Replication sends that the transport refused or dropped.
+    /// Replication sends that the transport refused or dropped (after
+    /// the whole retry budget).
     pub failed_sends: u64,
+    /// Individual send retries performed.
+    pub retries: u64,
+    /// Delta records shipped to nodes recovering from a failed round —
+    /// the "how much healing happened incrementally" counter.
+    pub catch_up_deltas: u64,
 }
 
 impl Replicator {
-    /// A replicator for `nodes` slots, all unattached.
+    /// A replicator for `nodes` slots, all unattached, with single-shot
+    /// sends (no retry).
     pub fn new(nodes: usize) -> Self {
+        Replicator::with_retry(nodes, RetryPolicy::none())
+    }
+
+    /// A replicator whose sends retry per `retry`'s replication budget.
+    pub fn with_retry(nodes: usize, retry: RetryPolicy) -> Self {
         Replicator {
             acked: vec![None; nodes],
             epochs: vec![Epoch::default(); nodes],
+            lagging: vec![false; nodes],
+            retry,
             full_syncs: 0,
             delta_batches: 0,
             failed_sends: 0,
+            retries: 0,
+            catch_up_deltas: 0,
         }
     }
 
@@ -89,6 +114,18 @@ impl Replicator {
     pub fn reset_node(&mut self, node: usize) {
         self.acked[node] = None;
         self.epochs[node] = Epoch::default();
+        self.lagging[node] = false;
+    }
+
+    /// Forget every node's replication state. The writer-failover path:
+    /// after a promotion the new writer's delta log starts at the
+    /// promoted sequence, so *every* replica (including ones ahead of
+    /// the old writer's accounting) must re-attach through a full sync —
+    /// which is exactly what an unattached slot gets on its next round.
+    pub fn reset_all(&mut self) {
+        for node in 0..self.acked.len() {
+            self.reset_node(node);
+        }
     }
 
     /// Bring one node up to the writer's current state, choosing deltas
@@ -120,8 +157,21 @@ impl Replicator {
                 None => (ReplicationPayload::Full(planner.world_state()), true),
             },
         };
+        let shipped_records = match &payload {
+            ReplicationPayload::Deltas { records, .. } => records.len() as u64,
+            ReplicationPayload::Full(_) => 0,
+        };
+        // A delta batch acked by a node whose previous round failed is
+        // catch-up traffic (counted on ack, below — not on attempt).
+        let catching_up = !is_full && self.lagging[node];
         match self.deliver(transport, node, payload)? {
-            NodeReply::Ack { seq, epoch } => Ok(self.note_ack(node, seq, epoch, is_full)),
+            NodeReply::Ack { seq, epoch } => {
+                if catching_up {
+                    self.catch_up_deltas += shipped_records;
+                }
+                self.lagging[node] = false;
+                Ok(self.note_ack(node, seq, epoch, is_full))
+            }
             NodeReply::Stale { .. } => {
                 // The node and the writer disagree about its history
                 // (restart, or an accounted-but-lost batch): repair with
@@ -131,7 +181,10 @@ impl Replicator {
                     node,
                     ReplicationPayload::Full(planner.world_state()),
                 )? {
-                    NodeReply::Ack { seq, epoch } => Ok(self.note_ack(node, seq, epoch, true)),
+                    NodeReply::Ack { seq, epoch } => {
+                        self.lagging[node] = false;
+                        Ok(self.note_ack(node, seq, epoch, true))
+                    }
                     NodeReply::Failed { reason } => Err(SyncError::Node { reason }),
                     _ => Err(SyncError::Protocol),
                 }
@@ -158,11 +211,20 @@ impl Replicator {
         node: usize,
         payload: ReplicationPayload,
     ) -> Result<NodeReply, SyncError> {
-        transport
-            .send(node, NodeMsg::Replicate(payload))
-            .map_err(|e| {
-                self.failed_sends += 1;
-                SyncError::Transport(e)
-            })
+        let retries = AtomicU64::new(0);
+        let result = send_with_retry(
+            transport,
+            node,
+            NodeMsg::Replicate(payload),
+            &self.retry,
+            MsgClass::Replication,
+            &retries,
+        );
+        self.retries += retries.load(Ordering::Relaxed);
+        result.map_err(|e| {
+            self.failed_sends += 1;
+            self.lagging[node] = true;
+            SyncError::Transport(e)
+        })
     }
 }

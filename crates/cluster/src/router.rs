@@ -10,10 +10,36 @@
 //! the map — its caches stay hot, exactly as a shard job keeps one cache
 //! shard hot inside a single executor.
 //!
+//! # Draining: who calls it, and when
+//!
 //! Draining a node reassigns its shards round-robin over the remaining
 //! nodes; the drained node finishes nothing in this design because
 //! scatter/gather is synchronous per batch — after
 //! [`drain`](ShardRouter::drain) returns, no future batch addresses it.
+//! Two callers exist, and they compose:
+//!
+//! * the **failure detector** auto-drains a node whose suspicion crossed
+//!   the threshold (and auto-undrains it once it answers heartbeats and
+//!   re-syncs — see [`HealthConfig`](crate::HealthConfig));
+//! * an **operator** drains for maintenance via
+//!   [`Cluster::drain_node`](crate::Cluster::drain_node). Operator
+//!   drains are never auto-undrained: the detector tracks whose drain it
+//!   was, so taking a node out for maintenance is safe even with
+//!   self-healing on.
+//!
+//! State transitions are strict: draining an already-drained node is
+//! [`RouterError::AlreadyDrained`] and undraining an active one is
+//! [`RouterError::NotDrained`] — a caller that *observed* the wrong
+//! state learns about the race instead of silently double-counting, and
+//! the auto-drain path uses exactly that signal to yield to a
+//! concurrent operator action.
+//!
+//! Reassignment is deterministic: drain hands the drained node's shards
+//! round-robin (in shard order) over the survivors in index order;
+//! undrain recomputes the canonical round-robin layout over the
+//! now-active set. Interleaved drain/undrain sequences therefore always
+//! converge to a layout that depends only on the final active set, never
+//! on the order faults arrived in — which keeps chaos runs replayable.
 
 use stgq_graph::NodeId;
 
@@ -36,6 +62,16 @@ pub enum RouterError {
     },
     /// Draining this node would leave zero active nodes.
     LastNode,
+    /// The node is already drained (a concurrent drain won the race).
+    AlreadyDrained {
+        /// The already-drained node.
+        node: usize,
+    },
+    /// Undrain of a node that is not drained.
+    NotDrained {
+        /// The still-active node.
+        node: usize,
+    },
 }
 
 impl std::fmt::Display for RouterError {
@@ -43,6 +79,12 @@ impl std::fmt::Display for RouterError {
         match self {
             RouterError::UnknownNode { node } => write!(f, "unknown cluster node {node}"),
             RouterError::LastNode => write!(f, "cannot drain the last active node"),
+            RouterError::AlreadyDrained { node } => {
+                write!(f, "node {node} is already drained")
+            }
+            RouterError::NotDrained { node } => {
+                write!(f, "node {node} is active, not drained")
+            }
         }
     }
 }
@@ -92,13 +134,15 @@ impl ShardRouter {
     }
 
     /// Stop routing to `node`, reassigning its shards round-robin over
-    /// the remaining active nodes.
+    /// the remaining active nodes. Draining a node that is already
+    /// drained is [`RouterError::AlreadyDrained`] — the caller raced a
+    /// concurrent drain and must not double-count the action.
     pub fn drain(&mut self, node: usize) -> Result<(), RouterError> {
         if node >= self.active.len() {
             return Err(RouterError::UnknownNode { node });
         }
         if !self.active[node] {
-            return Ok(());
+            return Err(RouterError::AlreadyDrained { node });
         }
         self.active[node] = false;
         let survivors = self.active_nodes();
@@ -116,14 +160,17 @@ impl ShardRouter {
         Ok(())
     }
 
-    /// Return a drained node to service: it takes back every shard it
-    /// would own under the round-robin layout over the now-active set.
+    /// Return a drained node to service: the whole map recomputes to the
+    /// canonical round-robin layout over the now-active set (so the
+    /// final layout depends only on *which* nodes are active, not the
+    /// fault order). Undraining an active node is
+    /// [`RouterError::NotDrained`].
     pub fn undrain(&mut self, node: usize) -> Result<(), RouterError> {
         if node >= self.active.len() {
             return Err(RouterError::UnknownNode { node });
         }
         if self.active[node] {
-            return Ok(());
+            return Err(RouterError::NotDrained { node });
         }
         self.active[node] = true;
         let survivors = self.active_nodes();
@@ -178,6 +225,52 @@ mod tests {
         r.undrain(1).unwrap();
         assert_eq!(r.active_nodes(), [0, 1, 2]);
         assert!(r.assignment.contains(&1));
+    }
+
+    #[test]
+    fn invalid_transitions_are_errors() {
+        let mut r = ShardRouter::new(8, 3);
+        assert_eq!(r.drain(9), Err(RouterError::UnknownNode { node: 9 }));
+        assert_eq!(r.undrain(9), Err(RouterError::UnknownNode { node: 9 }));
+        assert_eq!(
+            r.undrain(1),
+            Err(RouterError::NotDrained { node: 1 }),
+            "undrain of an active node"
+        );
+        r.drain(1).unwrap();
+        assert_eq!(
+            r.drain(1),
+            Err(RouterError::AlreadyDrained { node: 1 }),
+            "double drain"
+        );
+        r.undrain(1).unwrap();
+    }
+
+    #[test]
+    fn interleaved_drain_undrain_reassignment_is_order_pinned() {
+        // Drain 1 then 0: node 1's shards round-robin over {0, 2}; then
+        // node 0's (original plus inherited) all land on 2.
+        let mut r = ShardRouter::new(8, 3);
+        r.drain(1).unwrap();
+        assert_eq!(r.assignment, [0, 0, 2, 0, 2, 2, 0, 0]);
+        r.drain(0).unwrap();
+        assert_eq!(r.assignment, [2; 8]);
+
+        // Undrain recomputes the canonical layout over the active set —
+        // independent of which order the drains happened in.
+        r.undrain(0).unwrap();
+        assert_eq!(r.assignment, [0, 2, 0, 2, 0, 2, 0, 2]);
+        r.undrain(1).unwrap();
+        assert_eq!(r.assignment, [0, 1, 2, 0, 1, 2, 0, 1], "full layout back");
+
+        // The mirrored interleaving converges to the same final layout.
+        let mut r2 = ShardRouter::new(8, 3);
+        r2.drain(0).unwrap();
+        r2.drain(1).unwrap();
+        r2.undrain(1).unwrap();
+        r2.undrain(0).unwrap();
+        assert_eq!(r2.assignment, r.assignment);
+        assert_eq!(r2.active_nodes(), r.active_nodes());
     }
 
     #[test]

@@ -130,6 +130,16 @@ impl Executor {
         }));
     }
 
+    /// Withdraw the published epoch: subsequent solves refuse with
+    /// [`ExecError::NoSnapshot`](crate::ExecError::NoSnapshot) until a
+    /// new epoch is published (in-flight solves finish on the epoch they
+    /// started with). This is how a crashed-and-restarted cluster node
+    /// models its lost memory — it must not serve pre-crash state while
+    /// it re-syncs.
+    pub fn clear_snapshot(&self) {
+        self.snapshot.clear();
+    }
+
     /// The current epoch, if one has been published.
     pub fn snapshot(&self) -> Option<Arc<WorldSnapshot>> {
         self.snapshot.current()

@@ -71,6 +71,13 @@ impl SnapshotCell {
         *self.current.lock() = Some(snapshot);
     }
 
+    /// Drop the published epoch: subsequent solves refuse with
+    /// `NoSnapshot` until a new epoch is published. In-flight solves
+    /// keep the epoch they started with.
+    pub(crate) fn clear(&self) {
+        *self.current.lock() = None;
+    }
+
     /// The `(graph_version, calendar_version)` stamp of the current
     /// epoch.
     pub(crate) fn versions(&self) -> Option<(u64, u64)> {

@@ -39,6 +39,12 @@ impl CalendarStore {
         self.version
     }
 
+    /// Overwrite the version counter (writer failover only — see
+    /// `MutableNetwork::force_version`).
+    pub(crate) fn force_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
     /// Number of calendars held.
     pub fn len(&self) -> usize {
         self.cals.len()

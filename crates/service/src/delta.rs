@@ -153,6 +153,19 @@ impl DeltaLog {
         }
     }
 
+    /// An empty log whose numbering continues after `last_seq` — how a
+    /// promoted writer resumes the cluster's total mutation order after
+    /// failover. Everything at or before `last_seq` is unreachable (a
+    /// replica asking for it sees a gap and full-syncs), which is exactly
+    /// right: the promoted writer only holds the state, not the history.
+    pub fn resume(capacity: usize, last_seq: u64) -> Self {
+        DeltaLog {
+            records: VecDeque::new(),
+            capacity: capacity.max(1),
+            next_seq: last_seq + 1,
+        }
+    }
+
     /// Append a mutation with its resulting version stamps.
     pub(crate) fn record(&mut self, delta: WorldDelta, graph_version: u64, calendar_version: u64) {
         let seq = self.next_seq;

@@ -59,6 +59,14 @@ impl MutableNetwork {
         self.version
     }
 
+    /// Overwrite the version counter. Only writer failover uses this: a
+    /// promoted replica's mirror must keep publishing under the cluster's
+    /// global version numbering, never restart from zero (stamps key
+    /// every result/feasible cache in the fleet).
+    pub(crate) fn force_version(&mut self, version: u64) {
+        self.version = version;
+    }
+
     /// The label given at registration.
     pub fn label(&self, person: NodeId) -> Option<&str> {
         self.labels.get(person.index()).map(String::as_str)

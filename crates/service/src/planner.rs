@@ -240,6 +240,33 @@ impl Planner {
         }
     }
 
+    /// Rebuild a planner from a captured [`WorldState`] **preserving its
+    /// version stamps and delta sequence** — the writer-failover path: a
+    /// promoted replica's mirror becomes the new writer, and every future
+    /// mutation continues the cluster's global version numbering instead
+    /// of restarting from zero (version stamps key result and
+    /// feasible-graph caches across the fleet, so a restart would alias
+    /// old cached answers onto new world content).
+    ///
+    /// The new delta log is empty but numbered after `state.seq`: any
+    /// replica asking for earlier history sees a gap and repairs through
+    /// a full sync, which is correct — the promoted writer holds the
+    /// state, not the mutation history that produced it.
+    pub fn restore(state: &WorldState, cfg: ExecConfig) -> Result<Self, ServiceError> {
+        let (mut network, mut calendars) = state.restore()?;
+        network.force_version(state.graph_version);
+        calendars.force_version(state.calendar_version);
+        Ok(Planner {
+            network,
+            calendars,
+            exec: Executor::new(cfg),
+            publish_lock: Mutex::new(()),
+            deltas: Mutex::new(DeltaLog::resume(DEFAULT_DELTA_LOG_CAPACITY, state.seq)),
+            mutations: AtomicU64::new(0),
+            snapshot_rebuilds: AtomicU64::new(0),
+        })
+    }
+
     /// The engine configuration planning queries run with (the
     /// search-reduction knobs — seeding, pivot ordering, buffer pooling —
     /// are [`SelectConfig`] fields, so they are set at construction via

@@ -285,7 +285,7 @@ fn batch(args: &[String]) -> Result<(), String> {
 /// Serve a repeated-query workload through clusters of growing size and
 /// report scale-out throughput.
 fn cluster(args: &[String]) -> Result<(), String> {
-    use stgq::cluster::{Cluster, ClusterConfig};
+    use stgq::cluster::{Cluster, ClusterConfig, Suspicion};
     use stgq::exec::{ExecConfig, QuerySpec};
     use stgq::service::{BatchQuery, Engine};
 
@@ -401,6 +401,21 @@ fn cluster(args: &[String]) -> Result<(), String> {
             "  {nodes} node(s): {qps:>10.0} queries/sec ({feasible} feasible, {:.2}x vs 1 node; \
              {} full syncs, {} delta batches, max seq lag {max_lag})",
             speedup, metrics.full_syncs, metrics.delta_batches,
+        );
+        let suspected = metrics
+            .nodes
+            .iter()
+            .filter(|l| l.suspicion != Suspicion::Healthy)
+            .count();
+        println!(
+            "             robustness: {} retries, {} heartbeats missed, {} auto-drains, \
+             {} auto-recoveries, {} failovers, {} catch-up deltas, {suspected} suspected",
+            metrics.retries,
+            metrics.heartbeats_missed,
+            metrics.auto_drains,
+            metrics.auto_recoveries,
+            metrics.failovers,
+            metrics.catch_up_deltas,
         );
         nodes *= 2;
     }

@@ -17,9 +17,11 @@
 //!   keeps answering identically.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use stgq::cluster::{
-    Cluster, ClusterConfig, ClusterError, ClusterNode, FaultInjector, InProcessTransport, WireCodec,
+    Cluster, ClusterConfig, ClusterError, ClusterNode, FaultInjector, InProcessTransport,
+    Suspicion, TcpNodeServer, TcpTransport, WireCodec,
 };
 use stgq::datagen::scenario::coarse_distance_analog;
 use stgq::datagen::Dataset;
@@ -145,6 +147,12 @@ fn json_wire_codec_changes_nothing() {
 
 /// A small hand-built world behind a fault-injecting transport.
 fn faulty_cluster(nodes: usize) -> (Cluster, Arc<FaultInjector>, Vec<NodeId>) {
+    seeded_faulty_cluster(nodes, 0)
+}
+
+/// Same, with the injector's per-node RNG streams derived from `seed` —
+/// the handle the chaos tests replay bit-identically.
+fn seeded_faulty_cluster(nodes: usize, seed: u64) -> (Cluster, Arc<FaultInjector>, Vec<NodeId>) {
     let cfg = ClusterConfig {
         nodes,
         shards: 8,
@@ -158,7 +166,7 @@ fn faulty_cluster(nodes: usize) -> (Cluster, Arc<FaultInjector>, Vec<NodeId>) {
         .map(|id| Arc::new(ClusterNode::new(id, cfg.node_exec)))
         .collect();
     let inner = Arc::new(InProcessTransport::new(node_handles.clone()));
-    let injector = Arc::new(FaultInjector::new(inner));
+    let injector = Arc::new(FaultInjector::with_seed(inner, seed));
     let transport: Arc<dyn stgq::cluster::Transport> = injector.clone();
     let mut cluster = Cluster::from_parts(12, cfg, node_handles, transport);
 
@@ -314,4 +322,379 @@ fn drained_node_hands_its_shards_over() {
     cluster.undrain_node(1).unwrap();
     assert_eq!(cluster_objectives(&cluster, &batch), expected);
     assert_eq!(cluster.active_nodes(), vec![0, 1, 2]);
+}
+
+// ---- self-healing ----------------------------------------------------
+
+/// Objectives and groups of one reply set — the bit-identity currency of
+/// the self-healing tests.
+type Answers = Vec<(Option<u64>, Option<Vec<NodeId>>)>;
+
+fn answers(replies: &[Result<stgq::exec::PlanOutcome, ClusterError>]) -> Answers {
+    replies
+        .iter()
+        .map(|r| {
+            let outcome = r.as_ref().expect("entry must be served");
+            (
+                outcome.outcome.objective(),
+                outcome.outcome.members().map(|m| m.to_vec()),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn heartbeat_detection_drains_crashed_node_and_recovery_undrains() {
+    let (cluster, injector, ids) = faulty_cluster(3);
+    let batch = everyone_asks(&ids);
+    let expected = answers(&cluster.plan_batch(&batch));
+
+    // Crash node 1: every message to it now fails.
+    injector.crash(1);
+
+    // Suspicion accrues one missed heartbeat at a time (default
+    // threshold 3) — no premature drain on a single miss.
+    let round = |_n: usize| cluster.heartbeat()[1].1;
+    assert_eq!(round(1), Suspicion::Accruing { missed: 1 });
+    assert_eq!(cluster.active_nodes(), vec![0, 1, 2], "one miss: no drain");
+    assert_eq!(round(2), Suspicion::Accruing { missed: 2 });
+    assert_eq!(round(3), Suspicion::Suspected, "third miss crosses");
+    assert_eq!(
+        cluster.active_nodes(),
+        vec![0, 2],
+        "suspected node auto-drained, zero operator calls"
+    );
+    let m = cluster.metrics();
+    assert_eq!(m.auto_drains, 1);
+    assert!(m.heartbeats_missed >= 3);
+
+    // The cluster answers identically without the crashed node.
+    assert_eq!(answers(&cluster.plan_batch(&batch)), expected);
+
+    // Restart: the injector reconnects the wires, and the node itself
+    // reboots with empty memory (it refuses everything until re-synced).
+    injector.restart(1);
+    cluster.nodes()[1].reset();
+    assert!(!cluster.nodes()[1].status().attached);
+
+    // The next heartbeat sees it alive: full-sync re-attach + undrain,
+    // again with zero operator calls.
+    let after = cluster.heartbeat();
+    assert_eq!(after[1].1, Suspicion::Healthy);
+    assert_eq!(cluster.active_nodes(), vec![0, 1, 2]);
+    let m = cluster.metrics();
+    assert_eq!(m.auto_recoveries, 1);
+    let node1 = cluster.nodes()[1].status();
+    assert!(node1.attached, "re-attached");
+    assert_eq!(node1.full_syncs, 1, "recovery was a full sync after reset");
+
+    // And it genuinely serves again.
+    let queries_before = cluster.nodes()[1].executor().metrics().queries;
+    assert_eq!(answers(&cluster.plan_batch(&batch)), expected);
+    assert!(
+        cluster.nodes()[1].executor().metrics().queries > queries_before,
+        "recovered node answers its shards again"
+    );
+}
+
+#[test]
+fn killed_replica_mid_batch_stream_redispatches_within_the_call() {
+    let (cluster, injector, ids) = faulty_cluster(3);
+    let batch = everyone_asks(&ids);
+    let expected = answers(&cluster.plan_batch(&batch));
+
+    // A stream of batches; the node dies between rounds 1 and 2. The
+    // in-flight round must still answer every entry — the data plane
+    // suspects the dead node on its exhausted retry budget, drains it,
+    // and re-dispatches the failed entries to the shards' new owners.
+    for round in 0..4 {
+        if round == 1 {
+            injector.crash(1);
+        }
+        assert_eq!(
+            answers(&cluster.plan_batch(&batch)),
+            expected,
+            "round {round} must be bit-identical despite the crash"
+        );
+    }
+    let m = cluster.metrics();
+    assert_eq!(m.auto_drains, 1, "data-plane evidence drained the node");
+    assert!(
+        m.retries > 0,
+        "the retry budget was spent before suspecting"
+    );
+    assert_eq!(cluster.active_nodes(), vec![0, 2]);
+    assert_eq!(
+        m.nodes[1].suspicion,
+        Suspicion::Suspected,
+        "exhausted data-plane budget jumps suspicion to the threshold"
+    );
+}
+
+#[test]
+fn writer_failover_mid_write_stream_preserves_epochs_and_answers() {
+    let (mut cluster, injector, ids) = faulty_cluster(3);
+    let batch = everyone_asks(&ids);
+
+    // One-way partition from node 1: replication payloads are APPLIED
+    // but the acks are lost — node 1 ends up ahead of the writer's
+    // accounting, the classic failover hazard.
+    injector.set_partition_from(1, true);
+
+    // Write stream, part 1.
+    cluster.connect(ids[0], ids[3], 1).unwrap();
+    cluster.connect(ids[2], ids[4], 2).unwrap();
+    let replies = cluster.plan_batch(&batch);
+    let expected = answers(&replies);
+    let epoch_before = cluster.writer_epoch();
+    let node1_epoch_before = cluster.nodes()[1].status().epoch;
+
+    // The old writer is lost; promote the best surviving replica.
+    let donor = cluster.fail_over().expect("two replicas are reachable");
+    assert!(donor == 0 || donor == 2, "partitioned node can't donate");
+    let epoch_after = cluster.writer_epoch();
+    assert!(
+        epoch_after.graph > epoch_before.graph && epoch_after.calendar > epoch_before.calendar,
+        "promotion bumps versions past everything ever issued: \
+         {epoch_before:?} -> {epoch_after:?}"
+    );
+    assert_eq!(cluster.metrics().failovers, 1);
+
+    // Read-your-writes across the failover: every entry is served
+    // exactly at (or past) the new writer's epoch, and the answers are
+    // the same world — nothing acked was lost.
+    let replies = cluster.plan_batch(&batch);
+    for r in &replies {
+        assert!(r.as_ref().unwrap().exact, "served exactly, no staleness");
+    }
+    assert_eq!(answers(&replies), expected, "the replicated world survived");
+
+    // Write stream, part 2: the promoted writer keeps accepting writes.
+    cluster.connect(ids[1], ids[5], 1).unwrap();
+    let epoch_stream = cluster.writer_epoch();
+    assert!(epoch_stream.graph > epoch_after.graph, "stream continues");
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+
+    // Heal the partition. Node 1 was auto-drained when its (dropped)
+    // replies exhausted the data-plane retry budget, so healing is a
+    // heartbeat-driven recovery: full sync forward, then undrain. The
+    // node — which was AHEAD of the old writer's accounting — only ever
+    // moves UP to the promoted stamps, never backward.
+    injector.set_partition_from(1, false);
+    cluster.heartbeat();
+    assert_eq!(cluster.active_nodes(), vec![0, 1, 2], "recovered");
+    let node1_epoch_after = cluster.nodes()[1].status().epoch;
+    assert!(
+        node1_epoch_after.covers(node1_epoch_before),
+        "no replica ever serves a snapshot older than one it acked: \
+         {node1_epoch_before:?} -> {node1_epoch_after:?}"
+    );
+    assert!(node1_epoch_after.covers(epoch_stream), "fully caught up");
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+}
+
+/// One full chaos campaign: a deterministic fault schedule (probabilistic
+/// drops, injected latency, a one-way partition, a crash/restart) driven
+/// over a 3-node cluster for 12 rounds. Returns the per-round settled
+/// answers plus the final robustness counters — the replay currency.
+fn chaos_campaign(seed: u64) -> (Vec<Answers>, Vec<u64>) {
+    let (mut cluster, injector, ids) = seeded_faulty_cluster(3, seed);
+    let batch = everyone_asks(&ids);
+
+    // Drive one round to a fully-served answer set. Transient faults can
+    // outlive one plan_batch (a node that lost replication serves
+    // EpochTooOld until the next round's replicate reaches it) — the
+    // healing loop is: heartbeat, re-plan. Bounded, and every decision
+    // inside is deterministic under the injector's seed.
+    let settle = |cluster: &mut Cluster, label: &str| -> Answers {
+        for _ in 0..8 {
+            cluster.heartbeat();
+            let replies = cluster.plan_batch(&batch);
+            if replies.iter().all(|r| r.is_ok()) {
+                return answers(&replies);
+            }
+        }
+        panic!("{label}: cluster failed to settle within 8 healing rounds");
+    };
+
+    let mut trace = Vec::new();
+    for round in 0..12 {
+        match round {
+            1 => injector.set_drop_probability(1, 0.4),
+            3 => {
+                injector.set_drop_probability(1, 0.0);
+                injector.set_delay(2, Duration::from_millis(1));
+            }
+            5 => {
+                injector.set_delay(2, Duration::ZERO);
+                injector.set_partition_from(0, true);
+            }
+            7 => {
+                injector.set_partition_from(0, false);
+                injector.crash(2);
+            }
+            9 => {
+                injector.restart(2);
+                cluster.nodes()[2].reset();
+            }
+            _ => {}
+        }
+        // A mutation per round keeps replication genuinely in play.
+        cluster
+            .set_availability(ids[round % ids.len()], 10, round % 2 == 0)
+            .unwrap();
+        trace.push(settle(&mut cluster, &format!("round {round}")));
+    }
+
+    let m = cluster.metrics();
+    let c = injector.counters();
+    let counters = vec![
+        m.full_syncs,
+        m.delta_batches,
+        m.failed_sends,
+        m.heartbeats_missed,
+        m.auto_drains,
+        m.auto_recoveries,
+        m.retries,
+        m.catch_up_deltas,
+        c.dropped,
+        c.delayed,
+    ];
+    (trace, counters)
+}
+
+#[test]
+fn seeded_chaos_settles_to_fault_free_answers_and_replays_bit_identically() {
+    // The fault-free oracle: same cluster, same schedule of mutations,
+    // no injector activity.
+    let oracle = chaos_campaign_oracle();
+
+    let (trace, counters) = chaos_campaign(0xC0FFEE);
+    assert_eq!(trace.len(), oracle.len());
+    for (round, (got, want)) in trace.iter().zip(&oracle).enumerate() {
+        assert_eq!(
+            got, want,
+            "round {round}: chaos answers must be bit-identical \
+             (objectives AND groups) to the fault-free run"
+        );
+    }
+    // The campaign genuinely exercised the machinery.
+    assert!(counters[8] > 0, "faults actually dropped messages");
+    assert!(counters[9] > 0, "latency was actually injected");
+    assert!(counters[4] >= 1, "at least one auto-drain happened");
+    assert!(counters[5] >= 1, "at least one auto-recovery happened");
+
+    // Same seed, bit-identical replay — answers AND counters.
+    let (trace2, counters2) = chaos_campaign(0xC0FFEE);
+    assert_eq!(trace, trace2, "same seed: same answers every round");
+    assert_eq!(counters, counters2, "same seed: same fault/heal history");
+
+    // A different seed takes a different path through the faults (the
+    // answers still settle to the same oracle — that is the whole
+    // point) but the fault history differs.
+    let (trace3, counters3) = chaos_campaign(0xBEEF);
+    assert_eq!(trace3.len(), oracle.len());
+    for (round, (got, want)) in trace3.iter().zip(&oracle).enumerate() {
+        assert_eq!(got, want, "round {round}: seed 0xBEEF settles too");
+    }
+    assert_ne!(
+        counters2, counters3,
+        "different seed: different deterministic fault history"
+    );
+}
+
+/// The fault-free twin of [`chaos_campaign`]: identical mutation
+/// schedule, no faults — produces the oracle answers.
+fn chaos_campaign_oracle() -> Vec<Answers> {
+    let (mut cluster, _injector, ids) = faulty_cluster(3);
+    let batch = everyone_asks(&ids);
+    let mut trace = Vec::new();
+    for round in 0..12 {
+        cluster
+            .set_availability(ids[round % ids.len()], 10, round % 2 == 0)
+            .unwrap();
+        let replies = cluster.plan_batch(&batch);
+        assert!(replies.iter().all(|r| r.is_ok()), "fault-free never fails");
+        trace.push(answers(&replies));
+    }
+    trace
+}
+
+// ---- loopback TCP ----------------------------------------------------
+
+#[test]
+fn loopback_tcp_serves_identically_to_in_process() {
+    let ds = coarse_distance_analog(1, 42, 3);
+    let batch = mixed_batch(&ds);
+
+    // Oracle: the in-process cluster on the same dataset.
+    let expected = {
+        let cluster = cluster_from_dataset(&ds, 2, 1);
+        answers(&cluster.plan_batch(&batch))
+    };
+
+    // The same cluster with every node behind a real TCP listener: the
+    // full protocol — full-sync payloads, delta batches, scatter/gather,
+    // status probes — crosses length-prefixed loopback frames.
+    let cfg = ClusterConfig {
+        nodes: 2,
+        node_exec: ExecConfig {
+            workers: 1,
+            result_cache_capacity: 0,
+            ..ExecConfig::default()
+        },
+        ..ClusterConfig::default()
+    };
+    let node_handles: Vec<Arc<ClusterNode>> = (0..cfg.nodes)
+        .map(|id| Arc::new(ClusterNode::new(id, cfg.node_exec)))
+        .collect();
+    let servers: Vec<TcpNodeServer> = node_handles
+        .iter()
+        .map(|n| TcpNodeServer::spawn(Arc::clone(n)).expect("bind loopback"))
+        .collect();
+    let transport = Arc::new(TcpTransport::new(
+        servers.iter().map(|s| s.addr()).collect(),
+    ));
+    let mut cluster = Cluster::from_parts(ds.grid.horizon(), cfg, node_handles, transport);
+    for v in 0..ds.graph.node_count() {
+        cluster.add_person(format!("p{v}"));
+    }
+    for e in ds.graph.edges() {
+        cluster.connect(e.a, e.b, e.weight).unwrap();
+    }
+    for (v, cal) in ds.calendars.iter().enumerate() {
+        cluster.set_calendar(NodeId(v as u32), cal.clone()).unwrap();
+    }
+
+    assert_eq!(
+        answers(&cluster.plan_batch(&batch)),
+        expected,
+        "TCP and in-process transports serve bit-identical answers"
+    );
+    // Incremental path over the wire too: mutate, replicate, re-serve.
+    let m = cluster.metrics();
+    assert!(m.nodes.iter().all(|n| n.reachable && n.seq_lag == 0));
+    assert!(m.full_syncs >= 2, "both nodes attached over TCP");
+    let delta_batches_before = m.delta_batches;
+    let mut cluster = cluster; // explicit: mutations continue on the writer
+    cluster.set_availability(NodeId(0), 0, true).unwrap();
+    assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+    assert!(
+        cluster.metrics().delta_batches > delta_batches_before,
+        "catch-up after the mutation shipped deltas, not full states"
+    );
+
+    // Kill one server mid-stream: the cluster self-heals over TCP just
+    // like in-process — exhausted Io retries suspect the node, drain
+    // it, and re-dispatch; answers stay identical with zero operator
+    // calls.
+    let mut servers = servers;
+    drop(servers.remove(1));
+    assert_eq!(
+        answers(&cluster.plan_batch(&batch)),
+        expected,
+        "TCP node loss mid-stream: identical answers"
+    );
+    assert_eq!(cluster.active_nodes(), vec![0]);
+    assert_eq!(cluster.metrics().auto_drains, 1);
 }
