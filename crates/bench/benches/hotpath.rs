@@ -29,7 +29,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use stgq_bench::figures::{sgq_dataset, sparse_fringe_dataset, stgq_dataset};
+use stgq_bench::figures::{
+    calendar_churn_dataset, sgq_dataset, sparse_fringe_dataset, stgq_dataset,
+};
 use stgq_core::reference::{solve_sgq_reference_on, solve_stgq_reference_on};
 use stgq_core::{solve_sgq_on, solve_stgq_on, SelectConfig, SgqQuery, StgqQuery};
 use stgq_graph::FeasibleGraph;
@@ -113,6 +115,46 @@ fn bench_sparse_fringe(c: &mut Criterion) {
     g.finish();
 }
 
+/// The calendar-churn scenario: dense, long-run calendars with
+/// per-person jitter — the workload where pivot preparation dominates
+/// the solve, and the regime the incremental run cache
+/// (`SelectConfig::incremental_prep`) is built for: covered pivots
+/// cost interval arithmetic instead of a word scan per person. Gated
+/// like the fig1f entries once its medians land in `BENCH_core.json`.
+fn bench_calendar_churn(c: &mut Criterion) {
+    let cfg = SelectConfig::default();
+    let mut g = c.benchmark_group("hotpath");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let cases: [(&str, usize, usize, usize); 2] = [("m4-p4", 4, 2, 4), ("m8-p5", 5, 2, 8)];
+
+    for days in [3usize, 7] {
+        let (ds, q) = calendar_churn_dataset(days);
+        for (label, p, k, m) in cases {
+            let query = StgqQuery::new(p, 2, k, m).expect("valid");
+            let fg = FeasibleGraph::extract(&ds.graph, q, query.s());
+            let new_out = solve_stgq_on(&fg, &ds.calendars, &query, &cfg);
+            let ref_out = solve_stgq_reference_on(&fg, &ds.calendars, &query, &cfg);
+            assert_eq!(
+                new_out.solution.as_ref().map(|s| s.total_distance),
+                ref_out.solution.as_ref().map(|s| s.total_distance),
+                "engines must agree before being compared (days={days}, {label})"
+            );
+
+            g.bench_function(format!("stgselect/churn-days{days}-{label}"), |b| {
+                b.iter(|| solve_stgq_on(&fg, &ds.calendars, &query, &cfg))
+            });
+            g.bench_function(
+                format!("reference-stgselect/churn-days{days}-{label}"),
+                |b| b.iter(|| solve_stgq_reference_on(&fg, &ds.calendars, &query, &cfg)),
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_sgselect(c: &mut Criterion) {
     let cfg = SelectConfig::default();
     let mut g = c.benchmark_group("hotpath");
@@ -146,6 +188,7 @@ criterion_group!(
     benches,
     bench_stgselect,
     bench_sparse_fringe,
+    bench_calendar_churn,
     bench_sgselect
 );
 criterion_main!(benches);

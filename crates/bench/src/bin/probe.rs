@@ -4,9 +4,10 @@
 
 use std::time::Instant;
 
-use stgq_bench::figures::stgq_dataset;
+use stgq_bench::figures::{calendar_churn_dataset, stgq_dataset};
 use stgq_core::{solve_stgq, SelectConfig, StgqQuery};
-use stgq_graph::FeasibleGraph;
+use stgq_datagen::Dataset;
+use stgq_graph::{FeasibleGraph, NodeId};
 
 /// Percent reduction of `a` relative to `b` (0 when `b` is 0).
 fn pct(a: u64, b: u64) -> f64 {
@@ -14,6 +15,60 @@ fn pct(a: u64, b: u64) -> f64 {
         0.0
     } else {
         100.0 * (1.0 - a as f64 / b as f64)
+    }
+}
+
+/// The prep-vs-descend scoreboard: for each config, the isolated
+/// wall-clock of preparation phase 1 (`prepare_pivot`) and phase 2
+/// (`finalize_pivot`) from `stgq_core::diag`, next to the whole solve —
+/// descent is (roughly) what's left. The delta/rebuilt counters show
+/// how much of the availability work the incremental run cache
+/// answered by interval arithmetic.
+fn prep_split(what: &str, ds: &Dataset, q: NodeId, query: &StgqQuery) {
+    println!("\n{what}: prep phase split (isolated; every prepared pivot finalized):");
+    let fg = FeasibleGraph::extract(&ds.graph, q, query.s());
+    for (name, cfg) in [
+        ("default   ", SelectConfig::default()),
+        (
+            "no iprep  ",
+            SelectConfig::default().with_incremental_prep(false),
+        ),
+        (
+            "no pbnd   ",
+            SelectConfig::default().with_parent_completion_bound(false),
+        ),
+        (
+            "neither   ",
+            SelectConfig::default()
+                .with_incremental_prep(false)
+                .with_parent_completion_bound(false),
+        ),
+    ] {
+        // Minimum over repeats: phase timings are µs-scale, so take the
+        // least-noisy observation of each quantity.
+        let mut prep_ns = u128::MAX;
+        let mut fin_ns = u128::MAX;
+        let mut solve_ns = u128::MAX;
+        let mut timing = None;
+        for _ in 0..12 {
+            let t = stgq_core::diag::stgq_prep_timing(&fg, &ds.calendars, query, &cfg);
+            prep_ns = prep_ns.min(t.prepare.as_nanos());
+            fin_ns = fin_ns.min(t.finalize.as_nanos());
+            timing = Some(t);
+            let t0 = Instant::now();
+            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, query, &cfg);
+            solve_ns = solve_ns.min(t0.elapsed().as_nanos());
+        }
+        let timing = timing.expect("12 repeats ran");
+        let out = stgq_core::solve_stgq_on(&fg, &ds.calendars, query, &cfg);
+        println!(
+            "    [{name}] prepare {prep_ns:>8} ns  finalize {fin_ns:>8} ns  solve {solve_ns:>8} ns  ({}/{} pivots prepared; words {} delta'd {} rebuilt; {} children parent-pruned)",
+            timing.prepared,
+            timing.pivots,
+            out.stats.prep_words_delta,
+            out.stats.prep_words_rebuilt,
+            out.stats.children_pruned_by_parent_bound,
+        );
     }
 }
 
@@ -172,6 +227,14 @@ fn main() {
                 SelectConfig::default().with_shared_pivot_prep(false),
             ),
             (
+                "no iprep",
+                SelectConfig::default().with_incremental_prep(false),
+            ),
+            (
+                "no pbnd",
+                SelectConfig::default().with_parent_completion_bound(false),
+            ),
+            (
                 "pr4 on ",
                 SelectConfig::default().without_candidate_reduction(),
             ),
@@ -197,7 +260,7 @@ fn main() {
             println!("    p={p} m={m:>2} [{name}]: {ns:>9} ns");
         }
         println!(
-            "p={p} k={k} m={m:>2}: frames {:>5} (was {:>5}, -{:.1}%)  exams {:>6} (was {:>6}, -{:.1}%)  bound-pruned {:>5}  pivots skipped {}/{}",
+            "p={p} k={k} m={m:>2}: frames {:>5} (was {:>5}, -{:.1}%)  exams {:>6} (was {:>6}, -{:.1}%)  bound-pruned {:>5}  parent-pruned {:>4}  pivots skipped {}/{}",
             new.stats.frames_examined(),
             old.stats.frames_examined(),
             pct(new.stats.frames_examined(), old.stats.frames_examined()),
@@ -205,6 +268,7 @@ fn main() {
             old.stats.candidates_examined,
             pct(new.stats.candidates_examined, old.stats.candidates_examined),
             new.stats.frames_pruned_by_bound(),
+            new.stats.children_pruned_by_parent_bound,
             // Skipped pivots are a subset of the prepared (processed) ones.
             new.stats.pivots_skipped,
             new.stats.pivots_processed,
@@ -287,4 +351,29 @@ fn main() {
             new.stats.frames_pruned_by_match,
         );
     }
+
+    // Prep-vs-descend wall-clock split (the incremental-prep release's
+    // scoreboard): fig1f m = 4 — where prep used to dominate — then the
+    // calendar-churn scenario, the regime the run cache is built for
+    // (dense long runs, per-person jitter).
+    let (ds, q) = stgq_dataset(days);
+    prep_split(
+        "fig1f m=4 p=5",
+        &ds,
+        q,
+        &StgqQuery::new(5, 2, 2, 4).expect("valid"),
+    );
+    let (churn, cq) = calendar_churn_dataset(days);
+    prep_split(
+        "calendar_churn m=4 p=5",
+        &churn,
+        cq,
+        &StgqQuery::new(5, 2, 2, 4).expect("valid"),
+    );
+    prep_split(
+        "calendar_churn m=8 p=5",
+        &churn,
+        cq,
+        &StgqQuery::new(5, 2, 2, 8).expect("valid"),
+    );
 }

@@ -20,7 +20,7 @@ pub mod fig1g;
 pub mod fig1h;
 mod quality;
 
-use stgq_datagen::scenario::{real_analog_194, sparse_fringe, synthetic_coauthor};
+use stgq_datagen::scenario::{calendar_churn, real_analog_194, sparse_fringe, synthetic_coauthor};
 use stgq_datagen::{pick_initiator, Dataset};
 use stgq_graph::{NodeId, SocialGraph};
 
@@ -50,6 +50,16 @@ pub fn stgq_dataset(days: usize) -> (Dataset, NodeId) {
 /// (see [`stgq_datagen::scenario::sparse_fringe`]).
 pub fn sparse_fringe_dataset(days: usize) -> (Dataset, NodeId) {
     let ds = sparse_fringe(days, SEED);
+    let q = pick_initiator(&ds.graph, INITIATOR_DEGREE);
+    (ds, q)
+}
+
+/// The calendar-churn STGQ dataset over `days` days: dense long-run
+/// calendars with per-person jitter, the workload where pivot
+/// preparation dominates the solve (see
+/// [`stgq_datagen::scenario::calendar_churn`]).
+pub fn calendar_churn_dataset(days: usize) -> (Dataset, NodeId) {
+    let ds = calendar_churn(days, SEED);
     let q = pick_initiator(&ds.graph, INITIATOR_DEGREE);
     (ds, q)
 }

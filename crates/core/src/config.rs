@@ -154,6 +154,50 @@ pub struct SelectConfig {
     /// strategy: results are bit-identical with it off; the switch
     /// exists for ablation.
     pub shared_pivot_prep: bool,
+    /// **Incremental temporal prep** (STGSelect only): cache each
+    /// candidate's *unclipped* maximal availability run (in
+    /// calendar-absolute slots) across the pivot loop. Adjacent pivots
+    /// in a promise-ordered run cover overlapping intervals, so when a
+    /// later pivot falls inside a cached run, the Definition-4 run at
+    /// that pivot is the cached run intersected with the pivot interval
+    /// — pure arithmetic, no calendar word scan. The flattened
+    /// availability buffer is then materialized **lazily** in
+    /// finalization, only for pivots the incumbent bound did not retire
+    /// and only for post-peel eligible members — a skipped pivot pays
+    /// no word traffic at all. Sound because a calendar's maximal run
+    /// through a slot is pivot-independent: intersecting it with any
+    /// interval containing the slot yields exactly the maximal run
+    /// within that interval, so eligibility, runs, Lemma-5 counters and
+    /// every bound are bit-identical to the from-scratch rebuild
+    /// (property-tested). The cache is invalidated per solve (arenas
+    /// outlive queries). [`SearchStats::prep_words_delta`] /
+    /// [`SearchStats::prep_words_rebuilt`] count the avoided vs paid
+    /// word traffic.
+    ///
+    /// [`SearchStats::prep_words_delta`]: crate::SearchStats::prep_words_delta
+    /// [`SearchStats::prep_words_rebuilt`]: crate::SearchStats::prep_words_rebuilt
+    pub incremental_prep: bool,
+    /// **Parent-side per-candidate completion bound**: before descending
+    /// into a child candidate `u`, charge the child frame's own
+    /// admissible-completion floor — the `p − |VS| − 1` cheapest
+    /// candidates still within their `k` deficiency budget against
+    /// `VS ∪ {u}` (the same admissibility the frame-level
+    /// [`kplex_match_bound`](Self::kplex_match_bound) uses, sharpened
+    /// by `u`'s own adjacency) — against the incumbent at the *parent*
+    /// frame. A child that provably cannot beat the incumbent (or has
+    /// too few admissible partners at all) is never opened: no push, no
+    /// undo-mark, no frame entry
+    /// ([`SearchStats::children_pruned_by_parent_bound`]). Sound for
+    /// the same reason the child's own entry check is: every group in
+    /// the skipped subtree completes `VS ∪ {u}` from the current `VA`,
+    /// whose admissible members only lose admissibility deeper down —
+    /// the floor is a true lower bound, and only subtrees strictly
+    /// worse than the incumbent (or infeasible outright) are skipped.
+    /// The incumbent-relative half fires only when
+    /// [`distance_pruning`](Self::distance_pruning) is on.
+    ///
+    /// [`SearchStats::children_pruned_by_parent_bound`]: crate::SearchStats::children_pruned_by_parent_bound
+    pub parent_completion_bound: bool,
 }
 
 impl SelectConfig {
@@ -175,6 +219,8 @@ impl SelectConfig {
         core_peel_fixpoint: true,
         kplex_match_bound: true,
         shared_pivot_prep: true,
+        incremental_prep: true,
+        parent_completion_bound: true,
     };
 
     /// Ablation preset: the previous release's *sequential* search
@@ -195,6 +241,8 @@ impl SelectConfig {
         core_peel_fixpoint: false,
         kplex_match_bound: false,
         shared_pivot_prep: false,
+        incremental_prep: false,
+        parent_completion_bound: false,
         ..SelectConfig::PAPER_EXAMPLE
     };
 
@@ -324,6 +372,24 @@ impl SelectConfig {
         }
     }
 
+    /// This config with incremental temporal prep (the per-solve run
+    /// cache + lazy availability-buffer materialization) toggled.
+    pub const fn with_incremental_prep(self, on: bool) -> Self {
+        SelectConfig {
+            incremental_prep: on,
+            ..self
+        }
+    }
+
+    /// This config with the parent-side per-candidate completion bound
+    /// toggled.
+    pub const fn with_parent_completion_bound(self, on: bool) -> Self {
+        SelectConfig {
+            parent_completion_bound: on,
+            ..self
+        }
+    }
+
     /// The previous release's all-on behaviour: this config with the
     /// candidate-space reduction layer (fixpoint core peeling, the
     /// k-plex matching bound and shared pivot preprocessing) switched
@@ -407,6 +473,7 @@ mod tests {
         assert!(c.sharp_pivot_floor);
         assert!(c.acq_pivot_floor);
         assert!(c.core_peel_fixpoint && c.kplex_match_bound && c.shared_pivot_prep);
+        assert!(c.incremental_prep && c.parent_completion_bound);
 
         let off = SelectConfig::NO_SEARCH_REDUCTION;
         assert_eq!(off.seed_restarts, 0);
@@ -414,6 +481,7 @@ mod tests {
         assert!(!off.sharp_pivot_floor);
         assert!(!off.acq_pivot_floor);
         assert!(!off.core_peel_fixpoint && !off.kplex_match_bound && !off.shared_pivot_prep);
+        assert!(!off.incremental_prep && !off.parent_completion_bound);
         assert!(
             off.distance_pruning && off.acquaintance_pruning,
             "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
@@ -437,5 +505,14 @@ mod tests {
         assert!(!c.core_peel_fixpoint && !c.kplex_match_bound && !c.shared_pivot_prep);
         assert_eq!(c, SelectConfig::default().without_candidate_reduction());
         assert!(c.sharp_pivot_floor, "the PR-4 pieces stay on");
+
+        let c = SelectConfig::default()
+            .with_incremental_prep(false)
+            .with_parent_completion_bound(false);
+        assert!(!c.incremental_prep && !c.parent_completion_bound);
+        assert!(
+            c.core_peel_fixpoint && c.kplex_match_bound,
+            "the PR-5 pieces stay on"
+        );
     }
 }

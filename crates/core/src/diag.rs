@@ -1,0 +1,80 @@
+//! Out-of-band phase instrumentation for perf tooling (the `probe`
+//! binary in `stgq-bench`) — **not a stable API**, hence `doc(hidden)`.
+//!
+//! The exact engines interleave pivot preparation and descent inside one
+//! loop, so a profiler sees a single hot blob. [`stgq_prep_timing`]
+//! re-runs just the preparation pipeline — phase 1
+//! (`prepare_pivot`: Definition-4 eligibility + access order + plain
+//! floor) and phase 2 (`finalize_pivot`: peel, sharp floor, word
+//! materialization, Lemma-5 counters) — against a wall clock, per phase.
+//! Every prepared pivot is finalized (there is no incumbent here, so
+//! nothing is bound-skipped): the numbers are the *isolated* cost of
+//! each phase, an upper bound on what a real solve pays for phase 2
+//! (which skips most finalizations on hot instances).
+
+use std::time::{Duration, Instant};
+
+use stgq_graph::FeasibleGraph;
+use stgq_schedule::Calendar;
+
+use crate::stgselect::{
+    finalize_pivot, prepare_pivot, promise_ordered_pivots, PivotArena, PivotPrep,
+};
+use crate::{SearchStats, SelectConfig, StgqQuery};
+
+/// Wall-clock split of the STGQ pivot-preparation pipeline under one
+/// config. See the module docs for what is (and is not) measured.
+#[derive(Clone, Debug, Default)]
+pub struct PrepTiming {
+    /// Total wall clock spent in phase 1 (`prepare_pivot`) across every
+    /// pivot slot of the solve.
+    pub prepare: Duration,
+    /// Total wall clock spent in phase 2 (`finalize_pivot`) across every
+    /// *prepared* pivot (isolated cost — a real solve bound-skips most).
+    pub finalize: Duration,
+    /// Pivot slots probed (the initiator's hostable pivots).
+    pub pivots: usize,
+    /// Pivots that survived phase 1 (initiator + enough eligible).
+    pub prepared: usize,
+    /// The preparation counters accumulated over the walk —
+    /// `prep_words_delta` / `prep_words_rebuilt` show the delta-vs-rebuild
+    /// mix under [`SelectConfig::incremental_prep`].
+    pub stats: SearchStats,
+}
+
+/// Time phase 1 and phase 2 of pivot preparation separately for
+/// `query` over the given feasible graph, under `cfg`'s knobs.
+pub fn stgq_prep_timing(
+    fg: &FeasibleGraph,
+    calendars: &[Calendar],
+    query: &StgqQuery,
+    cfg: &SelectConfig,
+) -> PrepTiming {
+    let cfg = cfg.normalized();
+    let mut out = PrepTiming::default();
+    if calendars.is_empty() || query.p() < 2 {
+        return out;
+    }
+    let horizon = calendars[0].horizon();
+    let m = query.m();
+    let q_cal = &calendars[fg.origin(0).index()];
+    let pivots = promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order);
+    let prep = PivotPrep::new(fg, query.p(), query.k(), m, horizon, &cfg);
+    let mut arena = PivotArena::new();
+    arena.pooling = cfg.pool_pivot_buffers;
+    arena.begin_solve();
+    out.pivots = pivots.len();
+    for pivot in pivots {
+        let t0 = Instant::now();
+        let job = prepare_pivot(fg, calendars, &prep, pivot, &mut out.stats, &mut arena);
+        out.prepare += t0.elapsed();
+        let Some(mut job) = job else { continue };
+        out.prepared += 1;
+        let t0 = Instant::now();
+        let ok = finalize_pivot(fg, calendars, &prep, &mut job, &mut out.stats, &mut arena);
+        out.finalize += t0.elapsed();
+        let _ = ok;
+        arena.recycle(job);
+    }
+    out
+}

@@ -224,7 +224,7 @@ fn run_stgq_heuristic(
         };
         // The greedy engine never bounds, so every prepared pivot is
         // finalized (a plain prep cannot refuse).
-        if !finalize_pivot(fg, &prep, &mut job, &mut scratch, &mut arena) {
+        if !finalize_pivot(fg, calendars, &prep, &mut job, &mut scratch, &mut arena) {
             arena.recycle(job);
             continue;
         }

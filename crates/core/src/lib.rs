@@ -109,8 +109,8 @@
 //!   property test).
 //!
 //! A **candidate-space reduction layer** runs between pivot preparation
-//! and exact descent (prepare → peel → floor → descend; the full
-//! pipeline diagram lives in the STGSelect module docs):
+//! and exact descent (prepare → peel → floor → materialize → descend;
+//! the full pipeline diagram lives in the STGSelect module docs):
 //!
 //! * **Fixpoint (p, k)-core peeling**
 //!   ([`SelectConfig::core_peel_fixpoint`]). The eligible-degree
@@ -135,6 +135,25 @@
 //!   they are computed once per signature and shared across the pivot
 //!   loop and across parallel workers instead of being rebuilt per
 //!   pivot.
+//! * **Incremental pivot preparation**
+//!   ([`SelectConfig::incremental_prep`]). Maximal availability runs
+//!   are calendar-absolute, so consecutive (promise-ordered) pivots
+//!   landing in the same run re-derive eligibility and clipping by
+//!   interval arithmetic from a per-solve run cache instead of
+//!   re-scanning calendar words; the flattened availability buffer is
+//!   materialized lazily, only for rows the peel kept.
+//!   [`SearchStats::prep_words_delta`] /
+//!   [`SearchStats::prep_words_rebuilt`] split the words served from
+//!   the cache from those rebuilt from scratch.
+//! * **Parent-side completion bound**
+//!   ([`SelectConfig::parent_completion_bound`]). Before descending
+//!   into a child, the parent charges the child's
+//!   admissible-completion floor — the `need` cheapest candidates
+//!   still k-plex-admissible *after* adopting the child — against the
+//!   incumbent, so losing children are never opened (each skipped
+//!   child saves a push/undo cycle and a full frame entry;
+//!   [`SearchStats::children_pruned_by_parent_bound`]). Fires on the
+//!   SGQ expand path too.
 //!
 //! For serving deployments the engines also stop **cooperatively**: an
 //! optional [`SolveControl`] (cancellation token and/or wall-clock
@@ -183,6 +202,8 @@ mod baseline;
 mod combinations;
 mod config;
 mod control;
+#[doc(hidden)]
+pub mod diag;
 mod error;
 pub mod heuristics;
 mod incumbent;

@@ -431,8 +431,9 @@ pub fn solve_stgq_parallel_controlled_on(
                                 // the sequential engine's ladder.
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                     local.pivots_skipped += 1;
-                                } else if finalize_pivot(fg, prep, &mut job, &mut local, &mut arena)
-                                {
+                                } else if finalize_pivot(
+                                    fg, calendars, prep, &mut job, &mut local, &mut arena,
+                                ) {
                                     if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                         local.pivots_skipped += 1;
                                     } else {
@@ -486,7 +487,9 @@ pub fn solve_stgq_parallel_controlled_on(
                                     local.pivots_skipped += 1;
                                     continue;
                                 }
-                                if !finalize_pivot(fg, prep, &mut job, &mut local, &mut arena) {
+                                if !finalize_pivot(
+                                    fg, calendars, prep, &mut job, &mut local, &mut arena,
+                                ) {
                                     continue;
                                 }
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {

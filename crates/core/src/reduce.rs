@@ -222,6 +222,79 @@ pub(crate) fn kplex_frame_prune(
         && match_bound(fg, vs, cnt_in_s, va_set, va_len, p, k, scratch)
 }
 
+/// The parent-side per-candidate completion bound
+/// ([`SelectConfig::parent_completion_bound`]): decide whether the child
+/// frame for candidate `u` — the frame that *would* be opened by pushing
+/// `u` onto `VS` — is provably not worth opening, **without** pushing.
+///
+/// Any group in that subtree is `VS ∪ {u}` plus `need = p − |VS| − 1`
+/// completions drawn from the current `VA \ {u}`. A completion `v` must
+/// stay within its k-plex deficiency budget against the *child's* member
+/// set: `|VS ∪ {u}| − (|N_v ∩ VS| + [v ∼ u]) ≤ k` — the frame-level
+/// [`kplex_frame_prune`] admissibility sharpened by `u`'s own adjacency
+/// row. Deficits only grow as `VS` grows and `VA` only shrinks, so the
+/// sum of the `need` cheapest admissible distances is a true floor on
+/// the subtree's completion cost. Fires (`true`) when fewer than `need`
+/// candidates are admissible at all (the child's entry check would
+/// return immediately), or — only with `distance_pruning` on — when
+/// `child_td + floor` cannot strictly beat the incumbent.
+///
+/// `pos_set` mirrors `VA` over positions of `order` (distance-ascending)
+/// and still contains `u` itself (the caller has not removed it yet);
+/// `child_vs_len = |VS| + 1` and `child_td` already include `u`. `k` is
+/// clamped to `p − 1` as everywhere.
+///
+/// [`SelectConfig::parent_completion_bound`]: crate::SelectConfig::parent_completion_bound
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn parent_completion_prunes(
+    fg: &FeasibleGraph,
+    u: u32,
+    child_vs_len: usize,
+    cnt_in_s: &[u32],
+    pos_set: &BitSet,
+    order: &[u32],
+    p: usize,
+    k: i64,
+    child_td: Dist,
+    best: Option<Dist>,
+    distance_pruning: bool,
+) -> bool {
+    let vs_len = child_vs_len as i64;
+    let need = p - child_vs_len;
+    let adj_u = fg.adj_words(u);
+    let mut sum: Dist = 0;
+    let mut taken = 0usize;
+    let mut cursor = 0usize;
+    while taken < need {
+        let Some(pos) = pos_set.next_set_at_or_after(cursor) else {
+            break;
+        };
+        cursor = pos + 1;
+        let v = order[pos];
+        if v == u {
+            continue;
+        }
+        let vi = v as usize;
+        let in_child = i64::from(cnt_in_s[vi]) + (adj_u[vi / 64] >> (vi % 64) & 1) as i64;
+        if vs_len - in_child <= k {
+            sum += fg.dist(v);
+            taken += 1;
+        }
+    }
+    if taken < need {
+        return true;
+    }
+    if distance_pruning {
+        if let Some(best) = best {
+            return match best.checked_sub(child_td) {
+                None => true,
+                Some(slack) => slack < sum,
+            };
+        }
+    }
+    false
+}
+
 /// Scratch buffers for [`match_bound`] (one per searcher; reused across
 /// every frame of a search so the bound allocates nothing in steady
 /// state).
@@ -527,5 +600,124 @@ mod tests {
                 "seed {seed}: bound fired but a completion fits the budget (p={p} k={k})"
             );
         }
+    }
+
+    /// Soundness oracle for [`parent_completion_prunes`]: whenever the
+    /// bound fires for a child `u`, brute-force enumeration confirms the
+    /// pruned subtree holds **no** strictly-better solution — no
+    /// size-`need` completion of `VS ∪ {u}` from `VA \ {u}` forms a
+    /// valid k-plex (every member ≤ k misses) whose total distance
+    /// strictly beats the incumbent (or any valid completion at all,
+    /// when the bound fired on the admissible-count floor with no
+    /// incumbent in play).
+    #[test]
+    fn parent_completion_bound_never_prunes_a_better_subtree() {
+        let mut fired_with_best = 0u32;
+        let mut fired_absolute = 0u32;
+        for seed in 0..80u64 {
+            let mut rng = SmallRng::seed_from_u64(0xFACE ^ seed);
+            let fg = random_fg(seed, 10, 0.45);
+            let f = fg.len();
+            if f < 6 {
+                continue;
+            }
+            let order: Vec<u32> = fg.candidate_order().to_vec();
+            let p = rng.gen_range(3..=5.min(f));
+            let k = rng.gen_range(0..p - 1) as i64;
+            // A random partial VS containing the initiator (at least one
+            // seat left beyond the child u), and a random VA over the
+            // rest, mirrored onto access-order positions like the
+            // searchers keep it.
+            let vs_extra = rng.gen_range(0..p - 2);
+            let mut vs = vec![0u32];
+            let mut pool = order.clone();
+            for _ in 0..vs_extra {
+                let i = rng.gen_range(0..pool.len());
+                vs.push(pool.swap_remove(i));
+            }
+            let mut pos_set = BitSet::new(f);
+            for (pos, &c) in order.iter().enumerate() {
+                if pool.contains(&c) && rng.gen_bool(0.8) {
+                    pos_set.insert(pos);
+                }
+            }
+            let va: Vec<u32> = pos_set.iter().map(|pos| order[pos]).collect();
+            let mut cnt_in_s = vec![0u32; f];
+            for &v in &vs {
+                for &nb in fg.neighbors(v) {
+                    cnt_in_s[nb as usize] += 1;
+                }
+            }
+            let td: Dist = vs.iter().map(|&v| fg.dist(v)).sum();
+            for &u in &va {
+                let child_td = td + fg.dist(u);
+                let need = p - vs.len() - 1;
+                // Exercise both firing conditions: no incumbent (only
+                // the absolute admissible-count floor may fire) and a
+                // randomized incumbent around plausible magnitudes.
+                for best in [None, Some(child_td + rng.gen_range(0..60u64))] {
+                    let fires = parent_completion_prunes(
+                        &fg,
+                        u,
+                        vs.len() + 1,
+                        &cnt_in_s,
+                        &pos_set,
+                        &order,
+                        p,
+                        k,
+                        child_td,
+                        best,
+                        true,
+                    );
+                    if !fires {
+                        continue;
+                    }
+                    match best {
+                        Some(_) => fired_with_best += 1,
+                        None => fired_absolute += 1,
+                    }
+                    // Brute-force every completion S ⊆ VA \ {u} with
+                    // |S| = need: none may be a valid k-plex strictly
+                    // under the incumbent.
+                    let others: Vec<u32> = va.iter().copied().filter(|&v| v != u).collect();
+                    for mask in 0u32..(1 << others.len()) {
+                        if mask.count_ones() as usize != need {
+                            continue;
+                        }
+                        let mut group = vs.clone();
+                        group.push(u);
+                        for (i, &v) in others.iter().enumerate() {
+                            if mask >> i & 1 == 1 {
+                                group.push(v);
+                            }
+                        }
+                        let valid = group.iter().all(|&g| {
+                            let misses = group
+                                .iter()
+                                .filter(|&&o| o != g && !fg.adjacent(g, o))
+                                .count() as i64;
+                            misses <= k
+                        });
+                        if !valid {
+                            continue;
+                        }
+                        let dist: Dist = group.iter().map(|&v| fg.dist(v)).sum();
+                        let beats = match best {
+                            None => true,
+                            Some(b) => dist < b,
+                        };
+                        assert!(
+                            !beats,
+                            "seed {seed}: parent bound pruned child {u} but completion \
+                             {group:?} (dist {dist}) survives (p={p} k={k} best={best:?})"
+                        );
+                    }
+                }
+            }
+        }
+        // The oracle is vacuous if the bound never fires — make sure the
+        // instance distribution actually exercises both branches.
+        assert!(fired_with_best > 0, "incumbent-relative branch never fired");
+        assert!(fired_absolute > 0, "absolute branch never fired");
     }
 }

@@ -22,7 +22,7 @@
 use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 
 use crate::incumbent::Incumbent;
-use crate::reduce::{kplex_frame_prune, sgq_peel_preamble, MatchScratch};
+use crate::reduce::{kplex_frame_prune, parent_completion_prunes, sgq_peel_preamble, MatchScratch};
 use crate::{
     QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution, SolveControl,
 };
@@ -754,6 +754,30 @@ impl<'a> Searcher<'a> {
             }
 
             let new_td = td + self.fg.dist(u);
+            // Parent-side completion bound: price the child frame before
+            // opening it. When it fires, the push / undo-mark / frame
+            // entry are all skipped, and u is disposed of exactly as if
+            // its branch had been descended and exhausted.
+            if self.cfg.parent_completion_bound
+                && self.vs.len() + 1 < self.p
+                && parent_completion_prunes(
+                    self.fg,
+                    u,
+                    self.vs.len() + 1,
+                    &self.cnt_in_s,
+                    &va.pos_set,
+                    order,
+                    self.p,
+                    self.k,
+                    new_td,
+                    self.incumbent.dist(),
+                    self.cfg.distance_pruning,
+                )
+            {
+                self.stats.children_pruned_by_parent_bound += 1;
+                self.remove_from_va(va, u);
+                continue;
+            }
             self.push(u);
             if self.vs.len() == self.p {
                 self.record(new_td);

@@ -64,6 +64,32 @@ pub struct SearchStats {
     ///
     /// [`SelectConfig::kplex_match_bound`]: crate::SelectConfig::kplex_match_bound
     pub frames_pruned_by_match: u64,
+    /// Children retired at the **parent** frame by the per-candidate
+    /// admissible-completion bound
+    /// ([`SelectConfig::parent_completion_bound`]): the child's own
+    /// completion floor, computed against `VS ∪ {u}` before pushing
+    /// `u`, already could not beat the incumbent (or left too few
+    /// admissible partners), so the child frame was never opened.
+    ///
+    /// [`SelectConfig::parent_completion_bound`]: crate::SelectConfig::parent_completion_bound
+    pub children_pruned_by_parent_bound: u64,
+    /// Availability-buffer words whose rebuild was **avoided** by the
+    /// incremental prep's per-solve run cache
+    /// ([`SelectConfig::incremental_prep`]): one stride per candidate
+    /// whose Definition-4 run came from the cached calendar run instead
+    /// of a word scan (STGSelect only).
+    ///
+    /// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+    pub prep_words_delta: u64,
+    /// Availability-buffer words actually built from calendar words —
+    /// per eligible candidate per prepared pivot with
+    /// [`incremental_prep`] off, per post-peel eligible candidate per
+    /// *finalized* pivot with it on (skipped pivots pay nothing). The
+    /// ratio against [`prep_words_delta`](Self::prep_words_delta) is
+    /// the incremental path's word-traffic saving.
+    ///
+    /// [`incremental_prep`]: crate::SelectConfig::incremental_prep
+    pub prep_words_rebuilt: u64,
     /// Whether the search stopped at a [`SelectConfig::frame_budget`]
     /// (anytime mode) instead of running to proven optimality. Never set
     /// by cancellation — see [`cancelled`](Self::cancelled).
@@ -99,6 +125,9 @@ impl SearchStats {
         self.peeled_candidates += other.peeled_candidates;
         self.pivots_refused_by_core += other.pivots_refused_by_core;
         self.frames_pruned_by_match += other.frames_pruned_by_match;
+        self.children_pruned_by_parent_bound += other.children_pruned_by_parent_bound;
+        self.prep_words_delta += other.prep_words_delta;
+        self.prep_words_rebuilt += other.prep_words_rebuilt;
         self.truncated |= other.truncated;
         self.cancelled |= other.cancelled;
     }
@@ -153,6 +182,9 @@ mod tests {
             peeled_candidates: 10,
             pivots_refused_by_core: 11,
             frames_pruned_by_match: 12,
+            children_pruned_by_parent_bound: 13,
+            prep_words_delta: 14,
+            prep_words_rebuilt: 15,
             truncated: true,
             cancelled: true,
         };
@@ -166,6 +198,9 @@ mod tests {
         assert_eq!(a.peeled_candidates, 10);
         assert_eq!(a.pivots_refused_by_core, 11);
         assert_eq!(a.frames_pruned_by_match, 12);
+        assert_eq!(a.children_pruned_by_parent_bound, 13);
+        assert_eq!(a.prep_words_delta, 14);
+        assert_eq!(a.prep_words_rebuilt, 15);
         assert!(a.truncated, "truncation is sticky under absorb");
         assert!(a.cancelled, "cancellation is sticky under absorb");
         assert_eq!(a.frames_examined(), a.frames);

@@ -22,15 +22,18 @@
 //! strengthens distance pruning at later pivots without affecting
 //! optimality (Theorem 3).
 //!
-//! # The per-pivot pipeline: prepare → peel → floor → descend
+//! # The per-pivot pipeline: prepare → peel → floor → materialize → descend
 //!
-//! Each pivot flows through four stages, every one able to retire the
+//! Each pivot flows through five stages, every one able to retire the
 //! pivot before the next gets to run (knobs in brackets, counters in
 //! parentheses):
 //!
 //! ```text
-//!  prepare   Definition-4 eligibility from packed calendar words,
-//!     │      runs clipped to the initiator's        (pivots_processed)
+//!  prepare   Definition-4 eligibility — delta'd from the per-solve run
+//!     │      cache when a cached calendar run covers the pivot
+//!     │      [incremental_prep] (prep_words_delta), rebuilt from packed
+//!     │      calendar words otherwise; runs clipped to the
+//!     │      initiator's                             (pivots_processed)
 //!     ▼
 //!   peel     fixpoint (p,k)-core over eligible ∪ {q}   [core_peel_fixpoint]
 //!     │        ├─ sub-core candidates leave VA forever (peeled_candidates)
@@ -41,10 +44,19 @@
 //!     │        compat-window + acq restricted           acq_pivot_floor]
 //!     │        └─ incumbent ≤ floor → skip pivot        (pivots_skipped)
 //!     ▼
+//! materialize  availability words + Lemma-5 counters — under
+//!     │        [incremental_prep] built only now, only for the
+//!     │        post-peel core; skipped pivots never touch a
+//!     │        calendar word                        (prep_words_rebuilt)
+//!     ▼
 //!  descend   exact branch-and-bound frames              (frames)
 //!              ├─ Lemma 2 / 3 / 5 prunes               (distance_prunes, …)
-//!              └─ k-plex matching bound             [kplex_match_bound]
-//!                                              (frames_pruned_by_match)
+//!              ├─ k-plex matching bound             [kplex_match_bound]
+//!              │                               (frames_pruned_by_match)
+//!              └─ parent-side completion bound: children priced
+//!                 against the incumbent *before* being opened
+//!                 [parent_completion_bound]
+//!                                    (children_pruned_by_parent_bound)
 //! ```
 //!
 //! The peel and floor stages are pure functions of `(query, eligible
@@ -52,9 +64,16 @@
 //! candidate-set signature ([`PivotPrep`] for the full-candidate
 //! signature, the [`PivotArena`] memo for the last per-pivot one) and
 //! reused across the pivot loop and across parallel workers
-//! ([`SelectConfig::shared_pivot_prep`]).
+//! ([`SelectConfig::shared_pivot_prep`]). The run cache behind the
+//! prepare stage's delta path is likewise per-solve state in the
+//! [`PivotArena`] — promise-ordered pivots revisit overlapping
+//! intervals, so after the first pivot most candidates' Definition-4
+//! runs are pure arithmetic on the cached calendar-absolute run, with
+//! no pointer chase into the calendars at all
+//! ([`SelectConfig::incremental_prep`]).
 //!
 //! [`SelectConfig::shared_pivot_prep`]: crate::SelectConfig::shared_pivot_prep
+//! [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
 
 // Parallel per-slot counters are clearer with indexed loops.
 #![allow(clippy::needless_range_loop)]
@@ -66,7 +85,8 @@ use stgq_schedule::{Calendar, SlotId, SlotRange};
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::reduce::{
-    initiator_core_ok, kplex_frame_prune, peel_min_deg, peel_to_core, MatchScratch,
+    initiator_core_ok, kplex_frame_prune, parent_completion_prunes, peel_min_deg, peel_to_core,
+    MatchScratch,
 };
 use crate::sgselect::{VaState, VsAggregates};
 use crate::{
@@ -196,7 +216,7 @@ pub fn solve_stgq_controlled(
             arena.recycle(job);
             continue;
         }
-        if !finalize_pivot(fg, &prep, &mut job, &mut stats, arena) {
+        if !finalize_pivot(fg, calendars, &prep, &mut job, &mut stats, arena) {
             arena.recycle(job);
             continue;
         }
@@ -342,6 +362,12 @@ pub(crate) struct PivotPrep {
     ///
     /// [`SelectConfig::availability_ordering`]: crate::SelectConfig::availability_ordering
     pub(crate) tie_blocks: Option<Vec<(u32, u32)>>,
+    /// [`SelectConfig::incremental_prep`]: phase 1 runs off the arena's
+    /// per-solve run cache and the availability words are materialized
+    /// lazily in [`finalize_pivot`].
+    ///
+    /// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+    pub(crate) incremental: bool,
     /// The reduction memo for the full-candidate eligible signature.
     pub(crate) shared_memo: Option<PrepMemo>,
 }
@@ -371,6 +397,7 @@ impl PivotPrep {
             peel_min_deg: peel,
             share: cfg.shared_pivot_prep,
             tie_blocks: cfg.availability_ordering.then(|| dist_tie_blocks(fg)),
+            incremental: cfg.incremental_prep,
             shared_memo: None,
         };
         if prep.share && (prep.peel_min_deg.is_some() || prep.acq_min_deg.is_some()) {
@@ -406,6 +433,7 @@ impl PivotPrep {
             peel_min_deg: None,
             share: false,
             tie_blocks: None,
+            incremental: false,
             shared_memo: None,
         }
     }
@@ -608,6 +636,21 @@ pub struct PivotArena {
     /// [`begin_solve`](Self::begin_solve) — arenas outlive queries, and
     /// a signature match is only meaningful within one `(query, graph)`.
     memo: Option<PrepMemo>,
+    /// Per-solve cache of each compact vertex's **unclipped** maximal
+    /// availability run (calendar-absolute slots) — the incremental
+    /// prep's delta state ([`SelectConfig::incremental_prep`]).
+    /// Promise-ordered pivots cover overlapping intervals, so once a
+    /// vertex's run is cached every later pivot falling inside it gets
+    /// its Definition-4 run by pure interval arithmetic. Only runs that
+    /// actually contain a probed pivot are stored (a vertex unavailable
+    /// at the pivot caches nothing — `run_containing` fails fast
+    /// there), and [`begin_solve`](Self::begin_solve) wipes the cache:
+    /// arenas outlive queries, and runs are only meaningful within one
+    /// `(query, calendars)` pair. Cold-per-solve also keeps pooled and
+    /// fresh arenas bit-identical.
+    ///
+    /// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+    run_cache: Vec<Option<SlotRange>>,
     /// Peel scratch (degree array + cascade queue).
     deg_scratch: Vec<u32>,
     queue_scratch: Vec<u32>,
@@ -629,11 +672,13 @@ impl PivotArena {
         PivotArena::default()
     }
 
-    /// Invalidate cross-query state (the reduction memo); buffers stay.
-    /// Called at the top of every solve — the planner's long-lived
-    /// arenas serve many `(query, graph)` pairs.
+    /// Invalidate cross-query state (the reduction memo and the
+    /// incremental-prep run cache); buffers stay. Called at the top of
+    /// every solve — the planner's long-lived arenas serve many
+    /// `(query, graph)` pairs.
     pub(crate) fn begin_solve(&mut self) {
         self.memo = None;
+        self.run_cache.clear();
     }
 
     /// Hand back a spent job's buffers for the next preparation.
@@ -686,6 +731,20 @@ impl PivotArena {
         );
         memo
     }
+}
+
+/// The calendar-absolute maximal available run through `pivot`, or
+/// `None` when the person is busy at the pivot — the unit the
+/// [`SelectConfig::incremental_prep`] run cache stores. Runs on the
+/// calendar's backing words directly ([`Calendar::words`] keeps bits at
+/// the horizon and beyond zero, so `run_through_bit`'s packed-form
+/// contract holds with no re-basing), which makes a cache miss
+/// O(run-length / 64) word scans rather than a per-slot probe walk.
+///
+/// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+#[inline]
+fn unclipped_run(cal: &Calendar, horizon: usize, pivot: SlotId) -> Option<SlotRange> {
+    run_through_bit(cal.words(), horizon, pivot).map(|(lo, hi)| SlotRange::new(lo, hi))
 }
 
 /// The maximal run of **set** bits containing bit `pos` within the first
@@ -757,12 +816,34 @@ pub(crate) fn prepare_pivot(
     let f = fg.len();
     let PivotPrep { p, m, horizon, .. } = *prep;
     let tie_blocks = prep.tie_blocks.as_deref();
-    let q_cal = &calendars[fg.origin(0).index()];
     let interval = pivot_interval(pivot, m, horizon);
-    // Definition 4 for the initiator: she must support an m-run too.
-    let q_run = q_cal
-        .run_containing(pivot, interval)
-        .filter(|r| r.len() >= m)?;
+    if prep.incremental && arena.run_cache.len() != f {
+        arena.run_cache.clear();
+        arena.run_cache.resize(f, None);
+    }
+    // Definition 4 for the initiator: she must support an m-run too. On
+    // the incremental path her run comes from the per-solve cache: the
+    // maximal run *within* the interval is the calendar-maximal run
+    // through the pivot clipped to it (both contain the pivot), so the
+    // unclipped run serves every pivot it covers.
+    let q_run = if prep.incremental {
+        let full = match arena.run_cache[0] {
+            Some(r) if r.contains(pivot) => Some(r),
+            _ => {
+                let r = unclipped_run(&calendars[fg.origin(0).index()], horizon, pivot);
+                if let Some(r) = r {
+                    arena.run_cache[0] = Some(r);
+                }
+                r
+            }
+        };
+        full.map(|r| SlotRange::new(r.lo.max(interval.lo), r.hi.min(interval.hi)))
+            .filter(|r| r.len() >= m)?
+    } else {
+        calendars[fg.origin(0).index()]
+            .run_containing(pivot, interval)
+            .filter(|r| r.len() >= m)?
+    };
     stats.pivots_processed += 1;
 
     // Per-pivot eligibility (Definition 4) and interval availability.
@@ -783,35 +864,80 @@ pub(crate) fn prepare_pivot(
     job.runs.clear();
     job.runs.resize(f, None);
     job.runs[0] = Some(q_run);
-    job.avail_words.clear();
-    job.avail_words.resize(f * stride, 0);
+    if !prep.incremental {
+        job.avail_words.clear();
+        job.avail_words.resize(f * stride, 0);
+    }
     if job.eligible.capacity() == f {
         job.eligible.clear();
     } else {
         job.eligible = BitSet::new(f);
     }
-    for &c in fg.candidate_order() {
-        let cal = &calendars[fg.origin(c).index()];
-        job.scratch.clear();
-        job.scratch.extend(cal.range_words(interval));
-        if let Some((lo, hi)) =
-            run_through_bit(&job.scratch, ilen, q_off).filter(|&(lo, hi)| hi - lo + 1 >= m)
-        {
-            let run = SlotRange::new(interval.lo + lo, interval.lo + hi);
-            // Every group contains the initiator, so its common run is a
-            // subset of hers — a candidate whose overlap with `q_run` is
-            // under `m` slots can never join any group at this pivot.
-            // Clipping here (instead of letting depth-1 temporal checks
-            // discover it) keeps such candidates out of `VA` entirely:
-            // fewer examinations, smaller Lemma-5 counters, and a tighter
-            // pivot distance bound. Both runs contain the pivot, so the
-            // intersection is never empty.
+    if prep.incremental {
+        // Delta path ([`SelectConfig::incremental_prep`]): Definition-4
+        // runs come from the per-solve cache — a covered pivot costs
+        // interval arithmetic only, no calendar pointer chase and no
+        // word traffic. The flattened availability buffer is not
+        // touched here at all; `finalize_pivot` materializes it for
+        // the pivots that survive the incumbent bound, so a skipped
+        // pivot pays exactly this loop.
+        let cache = &mut arena.run_cache;
+        for &c in fg.candidate_order() {
+            let ci = c as usize;
+            let full = match cache[ci] {
+                Some(r) if r.contains(pivot) => {
+                    stats.prep_words_delta += stride as u64;
+                    Some(r)
+                }
+                _ => {
+                    let r = unclipped_run(&calendars[fg.origin(c).index()], horizon, pivot);
+                    if let Some(r) = r {
+                        cache[ci] = Some(r);
+                    }
+                    r
+                }
+            };
+            let Some(full) = full else {
+                continue;
+            };
+            // Maximal run within the interval = the unclipped run ∩ the
+            // interval (both contain the pivot), then clipped to the
+            // initiator's run exactly as on the rebuild path below.
+            let run = SlotRange::new(full.lo.max(interval.lo), full.hi.min(interval.hi));
+            if run.len() < m {
+                continue;
+            }
             let clipped = SlotRange::new(run.lo.max(q_run.lo), run.hi.min(q_run.hi));
             if clipped.len() >= m {
-                job.runs[c as usize] = Some(clipped);
-                job.eligible.insert(c as usize);
-                let start = c as usize * stride;
-                job.avail_words[start..start + stride].copy_from_slice(&job.scratch);
+                job.runs[ci] = Some(clipped);
+                job.eligible.insert(ci);
+            }
+        }
+    } else {
+        for &c in fg.candidate_order() {
+            let cal = &calendars[fg.origin(c).index()];
+            job.scratch.clear();
+            job.scratch.extend(cal.range_words(interval));
+            if let Some((lo, hi)) =
+                run_through_bit(&job.scratch, ilen, q_off).filter(|&(lo, hi)| hi - lo + 1 >= m)
+            {
+                let run = SlotRange::new(interval.lo + lo, interval.lo + hi);
+                // Every group contains the initiator, so its common run is a
+                // subset of hers — a candidate whose overlap with `q_run` is
+                // under `m` slots can never join any group at this pivot.
+                // Clipping here (instead of letting depth-1 temporal checks
+                // discover it) keeps such candidates out of `VA` entirely:
+                // fewer examinations, smaller Lemma-5 counters, and a tighter
+                // pivot distance bound. Both runs contain the pivot, so the
+                // intersection is never empty.
+                let clipped = SlotRange::new(run.lo.max(q_run.lo), run.hi.min(q_run.hi));
+                if clipped.len() >= m {
+                    job.runs[c as usize] = Some(clipped);
+                    job.eligible.insert(c as usize);
+                    let start = c as usize * stride;
+                    job.avail_words[start..start + stride].copy_from_slice(&job.scratch);
+                    stats.prep_words_rebuilt += stride as u64;
+                }
             }
         }
     }
@@ -865,7 +991,11 @@ pub(crate) fn prepare_pivot(
 
 /// **Phase 2** of pivot preparation, for pivots that survived the
 /// incumbent bound: the candidate-space reduction, the sharp floor, and
-/// the `VA` state with its Lemma-5 counters. Returns `false` when the
+/// the `VA` state with its Lemma-5 counters. Under
+/// [`SelectConfig::incremental_prep`] this is also where the flattened
+/// availability words are materialized (post-peel eligible members
+/// only) — phase 1 left the buffer untouched, so a bound-skipped pivot
+/// never pays for it. Returns `false` when the
 /// pivot is refused outright — its fixpoint-peeled core cannot seat `p`
 /// people ([`SearchStats::pivots_refused_by_core`]), or, with the sharp
 /// floor, no `m`-slot window is covered by `p − 1` candidate runs — in
@@ -886,9 +1016,11 @@ pub(crate) fn prepare_pivot(
 /// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
 /// [`SelectConfig::acq_pivot_floor`]: crate::SelectConfig::acq_pivot_floor
 /// [`SelectConfig::core_peel_fixpoint`]: crate::SelectConfig::core_peel_fixpoint
+/// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
 /// [`SearchStats::pivots_refused_by_core`]: crate::SearchStats::pivots_refused_by_core
 pub(crate) fn finalize_pivot(
     fg: &FeasibleGraph,
+    calendars: &[Calendar],
     prep: &PivotPrep,
     job: &mut PivotJob,
     stats: &mut SearchStats,
@@ -944,6 +1076,31 @@ pub(crate) fn finalize_pivot(
             // all (not an incumbent-relative prune — absolute
             // infeasibility), so refuse it like the candidate-count check.
             None => return false,
+        }
+    }
+
+    // Lazy word materialization ([`SelectConfig::incremental_prep`]):
+    // phase 1 never touched the flattened buffer, so build it here —
+    // only for pivots that reached finalization, and only for the
+    // post-peel eligible members. Everyone else's row stays zero and is
+    // never read: the search, root vetting and subtree splitting all
+    // restrict themselves to `VA` members, which are exactly this set.
+    if prep.incremental {
+        job.avail_words.clear();
+        job.avail_words.resize(fg.len() * stride, 0);
+        let PivotJob {
+            interval,
+            ref eligible,
+            ref mut avail_words,
+            ..
+        } = *job;
+        for v in eligible.iter() {
+            let cal = &calendars[fg.origin(v as u32).index()];
+            let row = &mut avail_words[v * stride..(v + 1) * stride];
+            for (i, w) in cal.range_words(interval).enumerate() {
+                row[i] = w;
+            }
+            stats.prep_words_rebuilt += stride as u64;
         }
     }
 
@@ -1640,6 +1797,30 @@ impl<'a> StSearcher<'a> {
             }
 
             let new_td = td + self.fg.dist(u);
+            // Parent-side completion bound: price the child frame before
+            // opening it. When it fires, the push / undo-mark / frame
+            // entry are all skipped, and u is disposed of exactly as if
+            // its branch had been descended and exhausted.
+            if self.cfg.parent_completion_bound
+                && self.vs.len() + 1 < self.p
+                && parent_completion_prunes(
+                    self.fg,
+                    u,
+                    self.vs.len() + 1,
+                    &self.cnt_in_s,
+                    &va.base.pos_set,
+                    order,
+                    self.p,
+                    self.k,
+                    new_td,
+                    self.incumbent.dist(),
+                    self.cfg.distance_pruning,
+                )
+            {
+                self.stats.children_pruned_by_parent_bound += 1;
+                self.remove_from_va(va, u);
+                continue;
+            }
             self.push(u, new_ts);
             if self.vs.len() == self.p {
                 self.record(new_td, new_ts);
@@ -1676,7 +1857,7 @@ mod tests {
         arena: &mut PivotArena,
     ) -> Option<PivotJob> {
         let mut job = prepare_pivot(fg, calendars, prep, pivot, stats, arena)?;
-        if finalize_pivot(fg, prep, &mut job, stats, arena) {
+        if finalize_pivot(fg, calendars, prep, &mut job, stats, arena) {
             Some(job)
         } else {
             arena.recycle(job);
@@ -2167,6 +2348,124 @@ mod tests {
         let plain = solve_stgq_on(&fg, &cals, &query, &SelectConfig::default());
         assert_eq!(controlled, plain, "a quiet control changes nothing");
         assert!(!controlled.stats.cancelled);
+    }
+
+    /// Delta-built preparation is **bit-identical** to from-scratch:
+    /// across random instances and randomly ordered pivot runs sharing
+    /// one arena (so the run cache is genuinely warm and genuinely
+    /// stale, both), the incremental path must produce the same
+    /// Definition-4 runs, eligible set, availability rows and Lemma-5
+    /// unavailability counters as the full rebuild — only the
+    /// `prep_words_delta` / `prep_words_rebuilt` accounting may differ.
+    #[test]
+    fn incremental_prep_is_bit_identical_to_rebuild() {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        use stgq_graph::GraphBuilder;
+
+        for seed in 0..25u64 {
+            let mut rng = SmallRng::seed_from_u64(0xDE17A ^ seed);
+            let n = 12;
+            let horizon = rng.gen_range(10..90);
+            let m = rng.gen_range(1..=6).min(horizon);
+            let mut b = GraphBuilder::new(n);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.5) {
+                        b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.gen_range(1..30))
+                            .unwrap();
+                    }
+                }
+            }
+            let g = b.build();
+            // Mixed density: some people have long runs (the cache's hit
+            // regime), some fragmented ones (the miss/stale regime).
+            let calendars: Vec<Calendar> = (0..n)
+                .map(|i| {
+                    let p_avail = if i % 2 == 0 { 0.9 } else { 0.5 };
+                    Calendar::from_slots(horizon, (0..horizon).filter(|_| rng.gen_bool(p_avail)))
+                })
+                .collect();
+            let fg = FeasibleGraph::extract(&g, NodeId(0), 2);
+
+            // One shuffled pivot run per instance, one persistent arena
+            // per path — exactly how a solve drives the cache.
+            let mut pivots: Vec<SlotId> = stgq_schedule::pivot::pivot_slots(horizon, m).collect();
+            // Fisher–Yates (the vendored rand has no `seq` module).
+            for i in (1..pivots.len()).rev() {
+                pivots.swap(i, rng.gen_range(0..=i));
+            }
+            let mut arena_inc = PivotArena::new();
+            let mut arena_full = PivotArena::new();
+            arena_inc.begin_solve();
+            arena_full.begin_solve();
+            let mk = |incremental: bool| PivotPrep {
+                incremental,
+                tie_blocks: Some(dist_tie_blocks(&fg)),
+                ..PivotPrep::plain(3, m, horizon)
+            };
+            let base = mk(false);
+            let inc_prep = mk(true);
+            let mut stats_inc = SearchStats::default();
+            let mut stats_full = SearchStats::default();
+            for &pivot in &pivots {
+                let inc = prepare_full(
+                    &fg,
+                    &calendars,
+                    &inc_prep,
+                    pivot,
+                    &mut stats_inc,
+                    &mut arena_inc,
+                );
+                let full = prepare_full(
+                    &fg,
+                    &calendars,
+                    &base,
+                    pivot,
+                    &mut stats_full,
+                    &mut arena_full,
+                );
+                match (inc, full) {
+                    (None, None) => {}
+                    (Some(a), Some(b)) => {
+                        assert_eq!(a.q_run, b.q_run, "seed {seed} pivot {pivot} q_run");
+                        assert_eq!(a.runs, b.runs, "seed {seed} pivot {pivot} runs");
+                        assert_eq!(a.eligible, b.eligible, "seed {seed} pivot {pivot} eligible");
+                        assert_eq!(a.order, b.order, "seed {seed} pivot {pivot} order");
+                        assert_eq!(
+                            a.dist_bound, b.dist_bound,
+                            "seed {seed} pivot {pivot} dist_bound"
+                        );
+                        assert_eq!(
+                            a.va.unavail, b.va.unavail,
+                            "seed {seed} pivot {pivot} Lemma-5 counters"
+                        );
+                        for v in a.eligible.iter() {
+                            assert_eq!(
+                                a.avail(v as u32),
+                                b.avail(v as u32),
+                                "seed {seed} pivot {pivot} avail row of {v}"
+                            );
+                        }
+                        arena_inc.recycle(a);
+                        arena_full.recycle(b);
+                    }
+                    (a, b) => panic!(
+                        "seed {seed} pivot {pivot}: paths disagree on preparability \
+                         (incremental {} vs rebuild {})",
+                        a.is_some(),
+                        b.is_some()
+                    ),
+                }
+            }
+            // Same instance, same pivots: whatever the accounting split,
+            // every non-prep counter must agree.
+            stats_inc.prep_words_delta = 0;
+            stats_inc.prep_words_rebuilt = 0;
+            stats_full.prep_words_delta = 0;
+            stats_full.prep_words_rebuilt = 0;
+            assert_eq!(stats_inc, stats_full, "seed {seed} counters");
+        }
     }
 
     #[test]

@@ -146,6 +146,63 @@ pub fn sparse_fringe(days: usize, seed: u64) -> Dataset {
     ds
 }
 
+/// `calendar_churn`: the paper-shaped community graph with **dense,
+/// long-run calendars under per-person jitter** — the adversarial
+/// workload for pivot preparation itself.
+///
+/// Every person is available for most of every day in one long block
+/// whose start/end are jittered per person per day, punched through by
+/// a few per-person busy "churn" holes. The result: per-pivot maximal
+/// runs are *long* (tens of slots), they overlap heavily across the
+/// population, and neighbouring pivots almost always land inside the
+/// same run — so an engine that recomputes each person's run from the
+/// calendar words at every pivot (`stgq_core`'s `incremental_prep`
+/// knob off) pays the
+/// full word scan `pivots × people` times, while the incremental run
+/// cache answers covered pivots by interval arithmetic and only
+/// recomputes at hole boundaries. The archetype calendars of
+/// [`real_analog_194`] fragment availability into short blocks, which
+/// caps how much prep there is to amortize; this scenario is the
+/// regime where the prep loop dominates the solve.
+pub fn calendar_churn(days: usize, seed: u64) -> Dataset {
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+    let graph = community_graph(&CommunityConfig::paper_194(), seed);
+    let n = graph.node_count();
+    let spd = grid.slots_per_day();
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x00C4_A1C4);
+    let mut calendars = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut cal = stgq_schedule::Calendar::new(grid.horizon());
+        // Per-person jitter bias: some people start late, some leave
+        // early, every day — boundaries disagree across the population.
+        let bias_lo = rng.gen_range(0..4usize);
+        let bias_hi = rng.gen_range(0..4usize);
+        for day in 0..days {
+            let base = day * spd;
+            let lo = base + bias_lo + rng.gen_range(0..3usize);
+            let hi = base + spd - 1 - bias_hi - rng.gen_range(0..3usize);
+            if lo >= hi {
+                continue;
+            }
+            cal.set_range(stgq_schedule::SlotRange::new(lo, hi), true);
+            // Churn holes: 1–3 short busy interruptions split the long
+            // block into a handful of still-long overlapping runs.
+            for _ in 0..rng.gen_range(1..=3usize) {
+                let at = rng.gen_range(lo..=hi);
+                cal.set_available(at, false);
+            }
+        }
+        calendars.push(cal);
+    }
+    let ds = Dataset {
+        graph,
+        calendars,
+        grid,
+    };
+    debug_assert!(ds.check());
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +292,41 @@ mod tests {
             .map(|v| ds.graph.degree(stgq_graph::NodeId(v)))
             .sum();
         assert!(core_degrees / 98 >= 8, "core must stay dense");
+    }
+
+    #[test]
+    fn calendar_churn_is_dense_with_long_runs() {
+        let ds = calendar_churn(3, 7);
+        assert!(ds.check());
+        assert_eq!(ds.graph.node_count(), 194);
+        let spd = ds.grid.slots_per_day();
+        let all = stgq_schedule::SlotRange::new(0, ds.grid.horizon() - 1);
+        let mut dense = 0usize;
+        let mut long_runs = 0usize;
+        for cal in &ds.calendars {
+            // Dense: most of each day available despite jitter + holes.
+            if cal.count_available() * 10 >= ds.grid.horizon() * 6 {
+                dense += 1;
+            }
+            // Long runs: the churn holes split days into runs still far
+            // longer than any fig1f pivot interval (m = 16 ⇒ 31 slots).
+            if cal.max_run_in(all) >= spd / 4 {
+                long_runs += 1;
+            }
+        }
+        assert!(dense >= 150, "only {dense}/194 calendars are dense");
+        assert!(long_runs >= 150, "only {long_runs}/194 have long runs");
+    }
+
+    #[test]
+    fn calendar_churn_is_reproducible() {
+        let a = calendar_churn(2, 5);
+        let b = calendar_churn(2, 5);
+        assert_eq!(a.calendars, b.calendars);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
     }
 
     #[test]

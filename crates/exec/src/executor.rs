@@ -296,6 +296,11 @@ impl Executor {
             peeled_candidates: c.peeled_candidates.load(Ordering::Relaxed),
             pivots_refused_by_core: c.pivots_refused_by_core.load(Ordering::Relaxed),
             frames_pruned_by_match: c.frames_pruned_by_match.load(Ordering::Relaxed),
+            children_pruned_by_parent_bound: c
+                .children_pruned_by_parent_bound
+                .load(Ordering::Relaxed),
+            prep_words_delta: c.prep_words_delta.load(Ordering::Relaxed),
+            prep_words_rebuilt: c.prep_words_rebuilt.load(Ordering::Relaxed),
             workers: self.workers,
             shards: self.shards,
         }

@@ -52,6 +52,15 @@ pub struct ExecMetrics {
     pub pivots_refused_by_core: u64,
     /// Frames abandoned by the k-plex matching bound.
     pub frames_pruned_by_match: u64,
+    /// Children retired at the parent frame by the per-candidate
+    /// completion bound — child frames never opened at all.
+    pub children_pruned_by_parent_bound: u64,
+    /// Availability-buffer words whose rebuild was avoided by the
+    /// incremental-prep run cache (STGQ pivot preparation).
+    pub prep_words_delta: u64,
+    /// Availability-buffer words actually built from calendar words
+    /// during pivot preparation.
+    pub prep_words_rebuilt: u64,
     /// Fixed worker-pool size.
     pub workers: usize,
     /// Initiator-shard count (cache partitions = batch groups).
@@ -73,6 +82,9 @@ pub(crate) struct ExecCounters {
     pub(crate) peeled_candidates: AtomicU64,
     pub(crate) pivots_refused_by_core: AtomicU64,
     pub(crate) frames_pruned_by_match: AtomicU64,
+    pub(crate) children_pruned_by_parent_bound: AtomicU64,
+    pub(crate) prep_words_delta: AtomicU64,
+    pub(crate) prep_words_rebuilt: AtomicU64,
 }
 
 impl ExecCounters {
@@ -90,6 +102,12 @@ impl ExecCounters {
             .fetch_add(stats.pivots_refused_by_core, Ordering::Relaxed);
         self.frames_pruned_by_match
             .fetch_add(stats.frames_pruned_by_match, Ordering::Relaxed);
+        self.children_pruned_by_parent_bound
+            .fetch_add(stats.children_pruned_by_parent_bound, Ordering::Relaxed);
+        self.prep_words_delta
+            .fetch_add(stats.prep_words_delta, Ordering::Relaxed);
+        self.prep_words_rebuilt
+            .fetch_add(stats.prep_words_rebuilt, Ordering::Relaxed);
         if stats.cancelled {
             self.cancelled.fetch_add(1, Ordering::Relaxed);
         }

@@ -168,6 +168,16 @@ pub struct MetricsSnapshot {
     /// Frames abandoned by the k-plex matching bound, summed over all
     /// exact queries.
     pub frames_pruned_by_match: u64,
+    /// Children retired at the parent frame by the per-candidate
+    /// completion bound (child frames never opened), summed over all
+    /// exact queries.
+    pub children_pruned_by_parent_bound: u64,
+    /// Availability-buffer words whose rebuild was avoided by the
+    /// incremental-prep run cache, summed over all exact STGQ queries.
+    pub prep_words_delta: u64,
+    /// Availability-buffer words actually built from calendar words
+    /// during pivot preparation, summed over all exact STGQ queries.
+    pub prep_words_rebuilt: u64,
     /// Entries that went through the batched executor path.
     pub batched_entries: u64,
     /// Batched entries answered by request collapsing (solved once,
@@ -452,6 +462,9 @@ impl Planner {
             peeled_candidates: e.peeled_candidates,
             pivots_refused_by_core: e.pivots_refused_by_core,
             frames_pruned_by_match: e.frames_pruned_by_match,
+            children_pruned_by_parent_bound: e.children_pruned_by_parent_bound,
+            prep_words_delta: e.prep_words_delta,
+            prep_words_rebuilt: e.prep_words_rebuilt,
             batched_entries: e.batched_entries,
             collapsed_entries: e.collapsed_entries,
             result_cache_hits: e.result_cache_hits,

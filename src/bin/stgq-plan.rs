@@ -276,8 +276,14 @@ fn batch(args: &[String]) -> Result<(), String> {
         metrics.pivots_skipped,
     );
     println!(
-        "  reduce:   {} candidates peeled, {} pivots refused by core",
-        metrics.peeled_candidates, metrics.pivots_refused_by_core,
+        "  reduce:   {} candidates peeled, {} pivots refused by core, {} children pruned by parent bound",
+        metrics.peeled_candidates,
+        metrics.pivots_refused_by_core,
+        metrics.children_pruned_by_parent_bound,
+    );
+    println!(
+        "  prep:     {} words delta'd, {} words rebuilt",
+        metrics.prep_words_delta, metrics.prep_words_rebuilt,
     );
     Ok(())
 }
@@ -463,10 +469,11 @@ fn query(args: &[String]) -> Result<(), String> {
                 None => println!("SGQ(p={p}, s={s}, k={k}): no feasible group"),
             }
             println!(
-                "  ({} frames, {} pruned, {} candidates peeled)",
+                "  ({} frames, {} pruned, {} candidates peeled, {} children pruned by parent bound)",
                 out.stats.frames,
                 out.stats.total_prunes(),
-                out.stats.peeled_candidates
+                out.stats.peeled_candidates,
+                out.stats.children_pruned_by_parent_bound
             );
         }
         Some(m) => {
@@ -487,12 +494,17 @@ fn query(args: &[String]) -> Result<(), String> {
                 None => println!("STGQ(p={p}, s={s}, k={k}, m={m}): no feasible plan"),
             }
             println!(
-                "  ({} pivots ({} refused by core), {} frames, {} pruned, {} candidates peeled)",
+                "  ({} pivots ({} refused by core), {} frames, {} pruned, {} candidates peeled, {} children pruned by parent bound)",
                 out.stats.pivots_processed,
                 out.stats.pivots_refused_by_core,
                 out.stats.frames,
                 out.stats.total_prunes(),
-                out.stats.peeled_candidates
+                out.stats.peeled_candidates,
+                out.stats.children_pruned_by_parent_bound
+            );
+            println!(
+                "  (prep words: {} delta'd, {} rebuilt)",
+                out.stats.prep_words_delta, out.stats.prep_words_rebuilt
             );
             if compare {
                 match pc_arrange(&ds.graph, q, &ds.calendars, p, s, m).map_err(|e| e.to_string())? {

@@ -93,6 +93,23 @@ fn candidate_reduction_grid() -> Vec<SelectConfig> {
     grid
 }
 
+/// Every combination of the temporal-prep / descent knobs added by the
+/// incremental-prep release: the per-solve run cache and the
+/// parent-side completion bound, everything else at defaults.
+fn prep_descent_grid() -> Vec<SelectConfig> {
+    let mut grid = Vec::new();
+    for iprep in [false, true] {
+        for pbound in [false, true] {
+            grid.push(
+                SelectConfig::default()
+                    .with_incremental_prep(iprep)
+                    .with_parent_completion_bound(pbound),
+            );
+        }
+    }
+    grid
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -169,6 +186,60 @@ proptest! {
         let query = SgqQuery::new(p, 2, k).unwrap();
         let reference = solve_sgq_reference(&g, q, &query, &SelectConfig::default()).unwrap();
         for cfg in candidate_reduction_grid() {
+            let out = solve_sgq(&g, q, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                out.solution.as_ref().map(|x| x.total_distance),
+                reference.solution.as_ref().map(|x| x.total_distance),
+                "cfg {:?}", cfg
+            );
+        }
+    }
+
+    /// Sequential STGSelect with every combination of the incremental
+    /// run cache and the parent-side completion bound returns the
+    /// reference optimum — delta-built availability buffers change
+    /// nothing semantically, and the parent bound never prunes a child
+    /// whose subtree holds a strictly better group.
+    #[test]
+    fn prep_descent_grid_stgq_matches_reference(
+        (g, cals) in arb_graph(11).prop_flat_map(|g| {
+            let n = g.node_count();
+            arb_calendars(n, 24).prop_map(move |cals| (g.clone(), cals))
+        }),
+        p in 2usize..6,
+        k in 0usize..3,
+        m in 1usize..5,
+    ) {
+        let q = NodeId(0);
+        let query = StgqQuery::new(p, 2, k, m).unwrap();
+        let reference =
+            solve_stgq_reference(&g, q, &cals, &query, &SelectConfig::default()).unwrap();
+        for cfg in prep_descent_grid() {
+            let out = solve_stgq(&g, q, &cals, &query, &cfg).unwrap();
+            prop_assert_eq!(
+                out.solution.as_ref().map(|x| x.total_distance),
+                reference.solution.as_ref().map(|x| x.total_distance),
+                "cfg {:?}", cfg
+            );
+            if let Some(sol) = &out.solution {
+                prop_assert!(validate_stgq(&g, q, &cals, &query, sol).is_ok());
+            }
+        }
+    }
+
+    /// The same grid on the SGQ engine (the parent bound fires on the
+    /// SGSelect expand path too; the run cache is temporal-only but must
+    /// stay inert there).
+    #[test]
+    fn prep_descent_grid_sgq_matches_reference(
+        g in arb_graph(12),
+        p in 2usize..6,
+        k in 0usize..3,
+    ) {
+        let q = NodeId(0);
+        let query = SgqQuery::new(p, 2, k).unwrap();
+        let reference = solve_sgq_reference(&g, q, &query, &SelectConfig::default()).unwrap();
+        for cfg in prep_descent_grid() {
             let out = solve_sgq(&g, q, &query, &cfg).unwrap();
             prop_assert_eq!(
                 out.solution.as_ref().map(|x| x.total_distance),
