@@ -18,6 +18,20 @@ fn pct(a: u64, b: u64) -> f64 {
     }
 }
 
+/// Peak resident set (`VmHWM`) in MiB from `/proc/self/status`; 0.0 when
+/// the file is unavailable (non-Linux hosts).
+fn peak_rss_mib() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kib| kib.parse::<u64>().ok())
+        })
+        .map_or(0.0, |kib| kib as f64 / 1024.0)
+}
+
 /// The prep-vs-descend scoreboard: for each config, the isolated
 /// wall-clock of preparation phase 1 (`prepare_pivot`) and phase 2
 /// (`finalize_pivot`) from `stgq_core::diag`, next to the whole solve —
@@ -375,5 +389,74 @@ fn main() {
         &churn,
         cq,
         &StgqQuery::new(5, 2, 2, 8).expect("valid"),
+    );
+
+    // Scale probe: stand up a 10^5-member metropolis world and walk the
+    // sharded-snapshot lifecycle, with a peak-RSS column so memory cost
+    // at scale is visible next to the wall clock (VmHWM is monotone:
+    // each row shows the high-water mark up to that stage).
+    println!("\nmetropolis 100k scale probe:");
+    println!(
+        "    {:<34} {:>10} {:>14}",
+        "stage", "wall ms", "peak RSS MiB"
+    );
+    let stage = |what: &str, t0: Instant| {
+        println!(
+            "    {what:<34} {:>10.1} {:>14.1}",
+            t0.elapsed().as_secs_f64() * 1e3,
+            peak_rss_mib()
+        );
+    };
+    let t0 = Instant::now();
+    let cfg = stgq_datagen::metropolis::MetropolisConfig::with_members(100_000);
+    let (mds, communities) = stgq_datagen::metropolis::metropolis_with_communities(&cfg, 1, 7);
+    stage("generate (graph + calendars)", t0);
+
+    let t0 = Instant::now();
+    let mut planner = stgq_service::Planner::with_exec_config(
+        mds.grid.horizon(),
+        stgq_exec::ExecConfig {
+            workers: 1,
+            shards: cfg.shards,
+            ..stgq_exec::ExecConfig::default()
+        },
+    );
+    for v in 0..mds.graph.node_count() {
+        planner.add_person(format!("p{v}"));
+    }
+    for e in mds.graph.edges() {
+        planner.connect(e.a, e.b, e.weight).expect("valid edge");
+    }
+    for (v, cal) in mds.calendars.iter().enumerate() {
+        planner
+            .set_calendar(NodeId(v as u32), cal.clone())
+            .expect("valid person");
+    }
+    stage("load mutable world", t0);
+
+    let community = communities
+        .iter()
+        .find(|c| c.len() >= 2)
+        .expect("metropolis communities");
+    let init = NodeId(community[0]);
+    let sq = stgq_core::SgqQuery::new(3, 1, 1).expect("valid");
+    let t0 = Instant::now();
+    let _ = planner
+        .plan_sgq(init, &sq, stgq_service::Engine::Exact)
+        .expect("known initiator");
+    stage("first query (full publish)", t0);
+
+    let t0 = Instant::now();
+    planner
+        .connect(NodeId(community[0]), NodeId(community[1]), 4)
+        .expect("community pair");
+    let _ = planner
+        .plan_sgq(init, &sq, stgq_service::Engine::Exact)
+        .expect("known initiator");
+    stage("delta + query (1-shard republish)", t0);
+    let em = planner.exec_metrics();
+    println!(
+        "    snapshot shards: {} rebuilt / {} reused over {} publishes",
+        em.snapshot_shards_rebuilt, em.snapshot_shards_reused, em.snapshot_publishes
     );
 }

@@ -163,9 +163,19 @@ impl ClusterNode {
                 world.calendars = calendars;
                 world.seq = state.seq;
                 world.epoch = Epoch::new(state.graph_version, state.calendar_version);
+                // Re-stamp the mirror under the writer's global version
+                // numbering: tracking starts now (no per-shard history
+                // survives a full sync), and every stamp floods to the
+                // carried version. Subsequent delta replays bump the
+                // mirror in lockstep with the writer, so mirror-internal
+                // stamps and writer stamps never diverge.
+                world.network.set_shard_count(self.exec.shards());
+                world.calendars.set_shard_count(self.exec.shards());
+                world.network.force_version(state.graph_version);
+                world.calendars.force_version(state.calendar_version);
                 world.attached = true;
                 world.full_syncs += 1;
-                self.publish(&world, true, true);
+                self.publish(&world);
                 NodeReply::Ack {
                     seq: world.seq,
                     epoch: world.epoch,
@@ -201,7 +211,7 @@ impl ClusterNode {
                 }
                 if graph_moved || calendar_moved {
                     world.delta_batches += 1;
-                    self.publish(&world, graph_moved, calendar_moved);
+                    self.publish(&world);
                 }
                 NodeReply::Ack {
                     seq: world.seq,
@@ -212,25 +222,51 @@ impl ClusterNode {
     }
 
     /// Rebuild and epoch-swap the executor's snapshot from the mirror,
-    /// re-deriving only the half that actually moved (a calendar-only
-    /// delta batch reuses the published CSR graph `Arc`, exactly like
-    /// the single-process planner's drift check).
-    fn publish(&self, world: &ReplicaWorld, graph_moved: bool, calendar_moved: bool) {
-        let current = self.exec.snapshot();
-        let graph = match &current {
-            Some(snap) if !graph_moved => Arc::clone(&snap.graph),
-            _ => Arc::new(world.network.snapshot()),
-        };
-        let calendars = match &current {
-            Some(snap) if !calendar_moved => Arc::clone(&snap.calendars),
-            _ => Arc::new(world.calendars.calendars().to_vec()),
-        };
-        self.exec.publish_snapshot(Arc::new(WorldSnapshot::new(
-            graph,
-            calendars,
+    /// re-freezing **only the dirty shards**: a delta batch confined to
+    /// one community re-derives that community's graph segment and/or
+    /// calendar slice and carries every other sub-snapshot over by `Arc`,
+    /// exactly like the single-process planner's drift check. Published
+    /// under the **writer's** epoch stamps.
+    fn publish(&self, world: &ReplicaWorld) {
+        debug_assert_eq!(
+            world.network.version(),
             world.epoch.graph,
-            world.epoch.calendar,
-        )));
+            "mirror replays in lockstep with the writer's stamps"
+        );
+        debug_assert_eq!(world.calendars.version(), world.epoch.calendar);
+        let shards = self.exec.shards();
+        let prev = self.exec.snapshot().filter(|s| s.shard_count() == shards);
+        let mut segments = Vec::with_capacity(shards);
+        let mut graph_stamps = Vec::with_capacity(shards);
+        let mut cal_shards = Vec::with_capacity(shards);
+        let mut cal_stamps = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let g = world.network.shard_version(s);
+            match &prev {
+                Some(p) if p.graph_shard_version(s) == g => {
+                    segments.push(Arc::clone(p.graph_segment(s)));
+                }
+                _ => segments.push(Arc::new(world.network.segment(s, shards))),
+            }
+            graph_stamps.push(g);
+            let c = world.calendars.shard_version(s);
+            match &prev {
+                Some(p) if p.calendar_shard_version(s) == c => {
+                    cal_shards.push(Arc::clone(p.calendar_shard(s)));
+                }
+                _ => cal_shards.push(Arc::new(world.calendars.shard_slice(s, shards))),
+            }
+            cal_stamps.push(c);
+        }
+        self.exec
+            .publish_snapshot(Arc::new(WorldSnapshot::from_parts(
+                segments,
+                graph_stamps,
+                cal_shards,
+                cal_stamps,
+                world.epoch.graph,
+                world.epoch.calendar,
+            )));
     }
 
     fn execute(&self, requests: Vec<WireRequest>) -> NodeReply {

@@ -66,12 +66,26 @@ pub fn stgq_prep_timing(
     out.pivots = pivots.len();
     for pivot in pivots {
         let t0 = Instant::now();
-        let job = prepare_pivot(fg, calendars, &prep, pivot, &mut out.stats, &mut arena);
+        let job = prepare_pivot(
+            fg,
+            calendars.into(),
+            &prep,
+            pivot,
+            &mut out.stats,
+            &mut arena,
+        );
         out.prepare += t0.elapsed();
         let Some(mut job) = job else { continue };
         out.prepared += 1;
         let t0 = Instant::now();
-        let ok = finalize_pivot(fg, calendars, &prep, &mut job, &mut out.stats, &mut arena);
+        let ok = finalize_pivot(
+            fg,
+            calendars.into(),
+            &prep,
+            &mut job,
+            &mut out.stats,
+            &mut arena,
+        );
         out.finalize += t0.elapsed();
         let _ = ok;
         arena.recycle(job);

@@ -28,7 +28,7 @@
 
 use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::pivot::pivot_slots;
-use stgq_schedule::{Calendar, SlotRange};
+use stgq_schedule::{Calendar, Cals, SlotRange};
 
 use crate::inputs::check_temporal_inputs;
 use crate::stgselect::{finalize_pivot, prepare_pivot, PivotArena, PivotJob, PivotPrep};
@@ -154,7 +154,13 @@ pub fn greedy_stgq(
 ) -> Result<HeuristicStgq, QueryError> {
     check_temporal_inputs(graph, initiator, calendars)?;
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
-    Ok(run_stgq_heuristic(&fg, calendars, query, restarts, 0))
+    Ok(run_stgq_heuristic(
+        &fg,
+        calendars.into(),
+        query,
+        restarts,
+        0,
+    ))
 }
 
 /// Greedy + swap descent for STGQ (swaps stay within the winning pivot's
@@ -170,34 +176,40 @@ pub fn local_search_stgq(
     check_temporal_inputs(graph, initiator, calendars)?;
     let fg = FeasibleGraph::extract(graph, initiator, query.s());
     Ok(run_stgq_heuristic(
-        &fg, calendars, query, restarts, max_passes,
+        &fg,
+        calendars.into(),
+        query,
+        restarts,
+        max_passes,
     ))
 }
 
-/// As [`greedy_stgq`] on a pre-extracted feasible graph.
-pub fn greedy_stgq_on(
+/// As [`greedy_stgq`] on a pre-extracted feasible graph. `calendars` is
+/// any [`Cals`] source, indexed by original vertex id.
+pub fn greedy_stgq_on<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     restarts: usize,
 ) -> HeuristicStgq {
-    run_stgq_heuristic(fg, calendars, query, restarts, 0)
+    run_stgq_heuristic(fg, calendars.into(), query, restarts, 0)
 }
 
-/// As [`local_search_stgq`] on a pre-extracted feasible graph.
-pub fn local_search_stgq_on(
+/// As [`local_search_stgq`] on a pre-extracted feasible graph. `calendars`
+/// is any [`Cals`] source, indexed by original vertex id.
+pub fn local_search_stgq_on<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     restarts: usize,
     max_passes: usize,
 ) -> HeuristicStgq {
-    run_stgq_heuristic(fg, calendars, query, restarts, max_passes)
+    run_stgq_heuristic(fg, calendars.into(), query, restarts, max_passes)
 }
 
 fn run_stgq_heuristic(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: Cals<'_>,
     query: &StgqQuery,
     restarts: usize,
     max_passes: usize,

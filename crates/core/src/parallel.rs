@@ -44,7 +44,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use stgq_graph::{BitSet, FeasibleGraph, NodeId, SocialGraph};
-use stgq_schedule::Calendar;
+use stgq_schedule::{Calendar, Cals};
 
 use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
 use crate::incumbent::Incumbent;
@@ -322,9 +322,12 @@ const INTRA_PIVOT_SPLIT_FACTOR: usize = 4;
 const STGQ_PAIR_SPLIT_ROOTS: usize = 8;
 
 /// As [`solve_stgq_parallel`] on a pre-extracted feasible graph.
-pub fn solve_stgq_parallel_on(
+///
+/// `calendars` is any [`Cals`] source — a flat slice or the execution
+/// layer's shard-partitioned storage — indexed by original vertex id.
+pub fn solve_stgq_parallel_on<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
     threads: usize,
@@ -339,14 +342,16 @@ pub fn solve_stgq_parallel_on(
 /// [`SearchStats::cancelled`](crate::SearchStats::cancelled) set
 /// (distinct from budget truncation), exactly like the sequential
 /// [`solve_stgq_controlled`].
-pub fn solve_stgq_parallel_controlled_on(
+pub fn solve_stgq_parallel_controlled_on<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
     threads: usize,
     control: Option<&SolveControl>,
 ) -> StgqOutcome {
+    // `Cals` is `Copy`, so the scoped workers below capture it by value.
+    let calendars: Cals<'a> = calendars.into();
     let control = control.filter(|c| !c.is_noop());
     let threads = effective_threads(threads);
     let p = query.p();
@@ -365,7 +370,7 @@ pub fn solve_stgq_parallel_controlled_on(
     let pivots: Vec<usize> = if horizon == 0 {
         Vec::new()
     } else {
-        let q_cal = &calendars[fg.origin(0).index()];
+        let q_cal = calendars.get(fg.origin(0).index());
         promise_ordered_pivots(q_cal, horizon, m, cfg.pivot_promise_order)
     };
 

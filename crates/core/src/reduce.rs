@@ -295,6 +295,259 @@ pub(crate) fn parent_completion_prunes(
     false
 }
 
+/// Incrementally-maintained admissibility state for the parent-side
+/// completion bound — the sibling-loop replacement for re-running
+/// [`parent_completion_prunes`]'s full `VA` rescan per candidate.
+///
+/// Within one frame, the quantities the bound's admissibility test reads
+/// are sibling-invariant: `child_vs_len = |VS| + 1` is fixed, and
+/// `cnt_in_s` returns to its frame-entry values before every sibling
+/// check (each descend's push is popped first). Only the candidate's own
+/// adjacency row varies. So each `VA` position falls into one of three
+/// frame-stable classes by its deficit `child_vs_len − cnt_in_s[v]`:
+///
+/// * `deficit ≤ k` — admissible for **every** sibling ([`a_pos`]);
+/// * `deficit = k + 1` — admissible exactly for siblings **adjacent**
+///   to it ([`b_pos`]);
+/// * `deficit > k + 1` — admissible for no sibling; dropped at rebuild
+///   and never touched again.
+///
+/// [`rebuild`](Self::rebuild) classifies once per frame entry
+/// (O(|VA|)); [`remove`](Self::remove) clears a position when the frame
+/// permanently discards its candidate (child-descend removals are
+/// rewound by the caller's undo before the next sibling check, so they
+/// need no mirroring); [`prunes`](Self::prunes) then walks the merged
+/// ascending positions of `a_pos ∪ (b_pos ∩ N(u))` — bit-identical to
+/// the rescan's admissible sequence, but skipping the never-admissible
+/// class and replacing deficit arithmetic with bit reads.
+///
+/// [`a_pos`]: Self::a_pos
+/// [`b_pos`]: Self::b_pos
+pub(crate) struct ParentFloor {
+    /// Access-order positions admissible regardless of the sibling.
+    a_pos: BitSet,
+    /// Positions admissible only when adjacent to the sibling.
+    b_pos: BitSet,
+    /// Whether the classes reflect the current frame. Frames that the
+    /// frame-level bounds prune outright never pay the O(|VA|) classify.
+    built: bool,
+    /// Bound consultations since frame entry; the first
+    /// [`RESCAN_BUDGET`](Self::RESCAN_BUDGET) use the plain rescan
+    /// (early-exiting after `need` admissibles), so only frames that
+    /// consult the bound repeatedly amortise a classify.
+    consults: u32,
+}
+
+impl Default for ParentFloor {
+    fn default() -> Self {
+        ParentFloor {
+            a_pos: BitSet::new(0),
+            b_pos: BitSet::new(0),
+            built: false,
+            consults: 0,
+        }
+    }
+}
+
+impl ParentFloor {
+    /// Classify every `VA` position for the frame with member count
+    /// `child_vs_len − 1` (i.e. every child opened from it has
+    /// `child_vs_len` members). `order` maps positions to compact ids;
+    /// `k` is clamped to `p − 1` as everywhere.
+    pub(crate) fn rebuild(
+        &mut self,
+        pos_set: &BitSet,
+        order: &[u32],
+        cnt_in_s: &[u32],
+        child_vs_len: usize,
+        k: i64,
+    ) {
+        let cap = pos_set.capacity();
+        if self.a_pos.capacity() == cap {
+            self.a_pos.clear();
+        } else {
+            self.a_pos = BitSet::new(cap);
+        }
+        if self.b_pos.capacity() == cap {
+            self.b_pos.clear();
+        } else {
+            self.b_pos = BitSet::new(cap);
+        }
+        let vs_len = child_vs_len as i64;
+        for pos in pos_set.iter() {
+            let deficit = vs_len - i64::from(cnt_in_s[order[pos] as usize]);
+            if deficit <= k {
+                self.a_pos.insert(pos);
+            } else if deficit == k + 1 {
+                self.b_pos.insert(pos);
+            }
+        }
+        self.built = true;
+    }
+
+    /// Reset at frame entry: the previous frame's classes are stale, and
+    /// the new frame starts on the rescan budget (a later
+    /// [`consult`](Self::consult) rebuilds lazily from the *current*
+    /// `pos_set`, so removals mirrored in between need no bookkeeping).
+    #[inline]
+    pub(crate) fn invalidate(&mut self) {
+        self.built = false;
+        self.consults = 0;
+    }
+
+    /// Mirror a permanent frame-level `VA` removal (no-op for positions
+    /// that were never admissible, and for frames still on the rescan
+    /// budget — an eventual rebuild reads the already-shrunk `pos_set`).
+    #[inline]
+    pub(crate) fn remove(&mut self, pos: usize) {
+        if !self.built {
+            return;
+        }
+        self.a_pos.remove(pos);
+        self.b_pos.remove(pos);
+    }
+
+    /// How many consultations a frame answers with the plain rescan
+    /// before paying the O(|VA|) classify. Most frames consult the bound
+    /// at most once or twice (the frame-level bounds or the branch caps
+    /// cut them short), and for those the rescan's `need`-admissible
+    /// early exit is cheaper than classifying all of `VA`.
+    const RESCAN_BUDGET: u32 = 2;
+
+    /// The parent-side completion bound for sibling `u` — hybrid entry
+    /// point. Bit-identical to [`parent_completion_prunes`] in every
+    /// case: the rescan *is* that function, and the class walk matches
+    /// it because `cnt_in_s` holds frame-entry values at every
+    /// consultation (each descend's push is popped before the next
+    /// sibling check) while a lazy rebuild reads the current `pos_set`,
+    /// from which permanently-discarded candidates are already absent.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn consult(
+        &mut self,
+        fg: &FeasibleGraph,
+        u: u32,
+        child_vs_len: usize,
+        cnt_in_s: &[u32],
+        pos_set: &BitSet,
+        order: &[u32],
+        p: usize,
+        k: i64,
+        child_td: Dist,
+        best: Option<Dist>,
+        distance_pruning: bool,
+    ) -> bool {
+        if !self.built {
+            if self.consults < Self::RESCAN_BUDGET {
+                self.consults += 1;
+                return parent_completion_prunes(
+                    fg,
+                    u,
+                    child_vs_len,
+                    cnt_in_s,
+                    pos_set,
+                    order,
+                    p,
+                    k,
+                    child_td,
+                    best,
+                    distance_pruning,
+                );
+            }
+            self.rebuild(pos_set, order, cnt_in_s, child_vs_len, k);
+        }
+        self.prunes(
+            fg,
+            u,
+            order,
+            p - child_vs_len,
+            child_td,
+            best,
+            distance_pruning,
+        )
+    }
+
+    /// The next `b_pos` position at or after `from` whose candidate is
+    /// adjacent to the sibling (`adj_u` is the sibling's adjacency row).
+    #[inline]
+    fn next_adjacent(&self, from: usize, order: &[u32], adj_u: &[u64]) -> Option<usize> {
+        let mut cursor = from;
+        while let Some(pos) = self.b_pos.next_set_at_or_after(cursor) {
+            let v = order[pos] as usize;
+            if adj_u[v / 64] >> (v % 64) & 1 == 1 {
+                return Some(pos);
+            }
+            cursor = pos + 1;
+        }
+        None
+    }
+
+    /// [`parent_completion_prunes`] for sibling `u`, from the maintained
+    /// classes: sums the first `need = p − child_vs_len` admissible
+    /// distances in access order (skipping `u` itself — the caller has
+    /// not removed it from `VA` yet) and fires on a short count or,
+    /// under `distance_pruning` with an incumbent, on
+    /// `child_td + floor ≥ best`. Bit-identical to the rescan.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn prunes(
+        &self,
+        fg: &FeasibleGraph,
+        u: u32,
+        order: &[u32],
+        need: usize,
+        child_td: Dist,
+        best: Option<Dist>,
+        distance_pruning: bool,
+    ) -> bool {
+        let adj_u = fg.adj_words(u);
+        let mut sum: Dist = 0;
+        let mut taken = 0usize;
+        let mut next_a = self.a_pos.first();
+        let mut next_b = self.next_adjacent(0, order, adj_u);
+        while taken < need {
+            // `a_pos` and `b_pos` are disjoint, so strict comparison picks
+            // a unique next position of the merged ascending walk.
+            let pos = match (next_a, next_b) {
+                (None, None) => break,
+                (Some(a), None) => {
+                    next_a = self.a_pos.next_set_at_or_after(a + 1);
+                    a
+                }
+                (None, Some(b)) => {
+                    next_b = self.next_adjacent(b + 1, order, adj_u);
+                    b
+                }
+                (Some(a), Some(b)) => {
+                    if a < b {
+                        next_a = self.a_pos.next_set_at_or_after(a + 1);
+                        a
+                    } else {
+                        next_b = self.next_adjacent(b + 1, order, adj_u);
+                        b
+                    }
+                }
+            };
+            let v = order[pos];
+            if v == u {
+                continue;
+            }
+            sum += fg.dist(v);
+            taken += 1;
+        }
+        if taken < need {
+            return true;
+        }
+        if distance_pruning {
+            if let Some(best) = best {
+                return match best.checked_sub(child_td) {
+                    None => true,
+                    Some(slack) => slack < sum,
+                };
+            }
+        }
+        false
+    }
+}
+
 /// Scratch buffers for [`match_bound`] (one per searcher; reused across
 /// every frame of a search so the bound allocates nothing in steady
 /// state).
@@ -719,5 +972,104 @@ mod tests {
         // instance distribution actually exercises both branches.
         assert!(fired_with_best > 0, "incumbent-relative branch never fired");
         assert!(fired_absolute > 0, "absolute branch never fired");
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(96))]
+
+        /// Bit-identity of [`ParentFloor`] against the re-summing rescan
+        /// ([`parent_completion_prunes`]) under the searchers' exact
+        /// access pattern: classes rebuilt once at frame entry, then a
+        /// sibling walk where each examined candidate is checked with
+        /// both paths (against no incumbent and against a randomized
+        /// one) and afterwards permanently removed from `VA` *and* the
+        /// floor — so the maintained classes are exercised at every
+        /// intermediate `VA`, not just the frame-entry one.
+        #[test]
+        fn parent_floor_is_bit_identical_to_the_rescan(
+            seed in 0u64..1 << 48,
+            n in 6usize..14,
+            edge_pct in 15u64..80,
+        ) {
+            let mut rng = SmallRng::seed_from_u64(seed ^ 0xF1007);
+            let fg = random_fg(seed, n, edge_pct as f64 / 100.0);
+            let f = fg.len();
+            if f < 5 {
+                return;
+            }
+            let order: Vec<u32> = fg.candidate_order().to_vec();
+            let p = rng.gen_range(3..=6.min(f));
+            let k = rng.gen_range(0..p) as i64; // includes the vacuous k = p − 1
+            let vs_extra = rng.gen_range(0..(p - 2).max(1));
+            let mut vs = vec![0u32];
+            let mut pool = order.clone();
+            for _ in 0..vs_extra {
+                let i = rng.gen_range(0..pool.len());
+                vs.push(pool.swap_remove(i));
+            }
+            let mut pos_set = BitSet::new(order.len());
+            for (pos, &c) in order.iter().enumerate() {
+                if pool.contains(&c) && rng.gen_bool(0.85) {
+                    pos_set.insert(pos);
+                }
+            }
+            let mut cnt_in_s = vec![0u32; f];
+            for &v in &vs {
+                for &nb in fg.neighbors(v) {
+                    cnt_in_s[nb as usize] += 1;
+                }
+            }
+            let td: Dist = vs.iter().map(|&v| fg.dist(v)).sum();
+            let child_vs_len = vs.len() + 1;
+            if child_vs_len >= p {
+                return;
+            }
+
+            // Frame entry: classify once.
+            let mut floor = ParentFloor::default();
+            floor.rebuild(&pos_set, &order, &cnt_in_s, child_vs_len, k);
+            // The engines' actual entry point: invalidated at frame
+            // entry, rescanning through its budget, then classifying
+            // lazily from the then-current `VA` — its removals before
+            // the rebuild are deliberately dropped (`remove` no-ops
+            // while unbuilt) because the rebuild reads the shrunk
+            // `pos_set` directly.
+            let mut hybrid = ParentFloor::default();
+            hybrid.invalidate();
+
+            // Sibling loop: check u with both paths, then remove it.
+            let siblings: Vec<(usize, u32)> =
+                pos_set.iter().map(|pos| (pos, order[pos])).collect();
+            for (pos, u) in siblings {
+                let child_td = td + fg.dist(u);
+                for best in [None, Some(child_td + rng.gen_range(0..80u64))] {
+                    for distance_pruning in [false, true] {
+                        let rescan = parent_completion_prunes(
+                            &fg, u, child_vs_len, &cnt_in_s, &pos_set, &order,
+                            p, k, child_td, best, distance_pruning,
+                        );
+                        let incremental = floor.prunes(
+                            &fg, u, &order, p - child_vs_len, child_td, best,
+                            distance_pruning,
+                        );
+                        proptest::prop_assert_eq!(
+                            rescan, incremental,
+                            "u={} best={:?} dp={} after removals", u, best, distance_pruning
+                        );
+                        let consulted = hybrid.consult(
+                            &fg, u, child_vs_len, &cnt_in_s, &pos_set, &order,
+                            p, k, child_td, best, distance_pruning,
+                        );
+                        proptest::prop_assert_eq!(
+                            rescan, consulted,
+                            "hybrid: u={} best={:?} dp={}", u, best, distance_pruning
+                        );
+                    }
+                }
+                pos_set.remove(pos);
+                floor.remove(pos);
+                hybrid.remove(pos);
+            }
+        }
     }
 }

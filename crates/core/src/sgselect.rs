@@ -22,7 +22,7 @@
 use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 
 use crate::incumbent::Incumbent;
-use crate::reduce::{kplex_frame_prune, parent_completion_prunes, sgq_peel_preamble, MatchScratch};
+use crate::reduce::{kplex_frame_prune, sgq_peel_preamble, MatchScratch, ParentFloor};
 use crate::{
     QueryError, SearchStats, SelectConfig, SgqOutcome, SgqQuery, SgqSolution, SolveControl,
 };
@@ -483,6 +483,10 @@ pub(crate) struct Searcher<'a> {
     pub(crate) control: Option<&'a SolveControl>,
     /// Scratch for the k-plex matching bound (see [`MatchScratch`]).
     match_scratch: MatchScratch,
+    /// Per-depth parent-bound admissibility state (see [`ParentFloor`]):
+    /// `floors[|VS|]` serves the frame whose member count is `|VS|`,
+    /// rebuilt at that frame's entry and maintained across its siblings.
+    floors: Vec<ParentFloor>,
 }
 
 impl<'a> Searcher<'a> {
@@ -508,6 +512,24 @@ impl<'a> Searcher<'a> {
             stats: SearchStats::default(),
             control: None,
             match_scratch: MatchScratch::default(),
+            floors: Vec::new(),
+        }
+    }
+
+    /// Whether the frame with member count `depth` maintains a
+    /// [`ParentFloor`] (children are opened only while `|VS| + 1 < p`,
+    /// so deeper frames never consult the bound).
+    #[inline]
+    fn floor_active(&self, depth: usize) -> bool {
+        self.cfg.parent_completion_bound && depth + 1 < self.p
+    }
+
+    /// Mirror a permanent frame-level `VA` removal into the frame's
+    /// floor (position of `u` in the frame's access order).
+    #[inline]
+    fn floor_remove(&mut self, depth: usize, va: &VaState, u: u32) {
+        if self.floor_active(depth) {
+            self.floors[depth].remove(va.order_pos[u as usize] as usize);
         }
     }
 
@@ -686,6 +708,18 @@ impl<'a> Searcher<'a> {
         }
         self.stats.frames += 1;
         let order = self.fg.candidate_order();
+        // Invalidate this frame's admissibility classes for the
+        // parent-side completion bound; the first consultations rescan,
+        // repeat consultations classify lazily, and the sibling loop
+        // below keeps the classes current by mirroring its permanent
+        // removals (see [`ParentFloor`]).
+        let depth = self.vs.len();
+        if self.floor_active(depth) {
+            if self.floors.len() <= depth {
+                self.floors.resize_with(depth + 1, ParentFloor::default);
+            }
+            self.floors[depth].invalidate();
+        }
         let mut theta = self.cfg.theta0;
         // Cursor into `order`: positions before it are "visited" in this
         // frame. Reset when θ decays, exactly like the pseudo-code's
@@ -742,6 +776,7 @@ impl<'a> Searcher<'a> {
                 // Lemma 1: VS ∪ {u} is not expansible — u is useless here.
                 self.stats.exterior_rejections += 1;
                 self.remove_from_va(va, u);
+                self.floor_remove(depth, va, u);
                 continue;
             }
             if !self.interior_ok(u_val, theta) {
@@ -749,21 +784,22 @@ impl<'a> Searcher<'a> {
                 if theta == 0 {
                     // U(VS ∪ {u}) > k: u can never join this VS.
                     self.remove_from_va(va, u);
+                    self.floor_remove(depth, va, u);
                 }
                 continue;
             }
 
             let new_td = td + self.fg.dist(u);
             // Parent-side completion bound: price the child frame before
-            // opening it. When it fires, the push / undo-mark / frame
-            // entry are all skipped, and u is disposed of exactly as if
-            // its branch had been descended and exhausted.
-            if self.cfg.parent_completion_bound
-                && self.vs.len() + 1 < self.p
-                && parent_completion_prunes(
+            // opening it, from the frame's (lazily-built) admissibility
+            // classes. When it fires, the push / undo-mark / frame entry
+            // are all skipped, and u is disposed of exactly as if its
+            // branch had been descended and exhausted.
+            if self.floor_active(depth)
+                && self.floors[depth].consult(
                     self.fg,
                     u,
-                    self.vs.len() + 1,
+                    depth + 1,
                     &self.cnt_in_s,
                     &va.pos_set,
                     order,
@@ -776,6 +812,7 @@ impl<'a> Searcher<'a> {
             {
                 self.stats.children_pruned_by_parent_bound += 1;
                 self.remove_from_va(va, u);
+                self.floor_remove(depth, va, u);
                 continue;
             }
             self.push(u);
@@ -794,8 +831,11 @@ impl<'a> Searcher<'a> {
             self.expand(va, new_td);
             va.undo_to(frame_mark, self.fg);
             self.pop(u);
-            // The branch containing u is fully explored.
+            // The branch containing u is fully explored. (The pre-descend
+            // removal above was rewound by the undo, so only this one is
+            // mirrored into the floor.)
             self.remove_from_va(va, u);
+            self.floor_remove(depth, va, u);
         }
     }
 }

@@ -80,13 +80,12 @@
 
 use stgq_graph::{for_each_zero_bit, BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::pivot::{pivot_interval, pivot_of_window, pivot_slots};
-use stgq_schedule::{Calendar, SlotId, SlotRange};
+use stgq_schedule::{Calendar, Cals, SlotId, SlotRange};
 
 use crate::incumbent::Incumbent;
 use crate::inputs::check_temporal_inputs;
 use crate::reduce::{
-    initiator_core_ok, kplex_frame_prune, parent_completion_prunes, peel_min_deg, peel_to_core,
-    MatchScratch,
+    initiator_core_ok, kplex_frame_prune, peel_min_deg, peel_to_core, MatchScratch, ParentFloor,
 };
 use crate::sgselect::{VaState, VsAggregates};
 use crate::{
@@ -111,9 +110,14 @@ pub fn solve_stgq(
 
 /// As [`solve_stgq`] on a pre-extracted feasible graph (radius extraction is
 /// time-independent, so callers sweeping parameters can reuse it).
-pub fn solve_stgq_on(
+///
+/// `calendars` is any [`Cals`] source — a flat `&[Calendar]` slice or the
+/// execution layer's shard-partitioned
+/// [`CalendarShards`](stgq_schedule::CalendarShards) — indexed by
+/// **original** vertex id either way.
+pub fn solve_stgq_on<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
 ) -> StgqOutcome {
@@ -127,9 +131,9 @@ pub fn solve_stgq_on(
 /// and access-order permutations across queries; within one call the same
 /// buffers are already recycled across the pivot loop. Purely an
 /// allocation strategy — results are identical to [`solve_stgq_on`].
-pub fn solve_stgq_pooled(
+pub fn solve_stgq_pooled<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
     arena: &mut PivotArena,
@@ -144,14 +148,15 @@ pub fn solve_stgq_pooled(
 /// [`solve_stgq_pooled`].
 ///
 /// [`SearchStats::cancelled`]: crate::SearchStats::cancelled
-pub fn solve_stgq_controlled(
+pub fn solve_stgq_controlled<'a>(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
     arena: &mut PivotArena,
     control: Option<&SolveControl>,
 ) -> StgqOutcome {
+    let calendars: Cals<'a> = calendars.into();
     let control = control.filter(|c| !c.is_noop());
     let cfg = cfg.normalized();
     let m = query.m();
@@ -169,9 +174,9 @@ pub fn solve_stgq_controlled(
             stats,
         };
     }
-    let horizon = calendars[0].horizon();
+    let horizon = calendars.get(0).horizon();
 
-    let q_cal = &calendars[fg.origin(0).index()];
+    let q_cal = calendars.get(fg.origin(0).index());
     if p == 1 {
         // The initiator alone: earliest window where she is available.
         let solution = q_cal.windows_of(m).next().map(|start| StgqSolution {
@@ -807,7 +812,7 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
 /// pivots are skipped, and skipped pivots now pay only this phase.
 pub(crate) fn prepare_pivot(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: Cals<'_>,
     prep: &PivotPrep,
     pivot: SlotId,
     stats: &mut SearchStats,
@@ -830,7 +835,7 @@ pub(crate) fn prepare_pivot(
         let full = match arena.run_cache[0] {
             Some(r) if r.contains(pivot) => Some(r),
             _ => {
-                let r = unclipped_run(&calendars[fg.origin(0).index()], horizon, pivot);
+                let r = unclipped_run(calendars.get(fg.origin(0).index()), horizon, pivot);
                 if let Some(r) = r {
                     arena.run_cache[0] = Some(r);
                 }
@@ -840,7 +845,8 @@ pub(crate) fn prepare_pivot(
         full.map(|r| SlotRange::new(r.lo.max(interval.lo), r.hi.min(interval.hi)))
             .filter(|r| r.len() >= m)?
     } else {
-        calendars[fg.origin(0).index()]
+        calendars
+            .get(fg.origin(0).index())
             .run_containing(pivot, interval)
             .filter(|r| r.len() >= m)?
     };
@@ -890,7 +896,7 @@ pub(crate) fn prepare_pivot(
                     Some(r)
                 }
                 _ => {
-                    let r = unclipped_run(&calendars[fg.origin(c).index()], horizon, pivot);
+                    let r = unclipped_run(calendars.get(fg.origin(c).index()), horizon, pivot);
                     if let Some(r) = r {
                         cache[ci] = Some(r);
                     }
@@ -915,7 +921,7 @@ pub(crate) fn prepare_pivot(
         }
     } else {
         for &c in fg.candidate_order() {
-            let cal = &calendars[fg.origin(c).index()];
+            let cal = calendars.get(fg.origin(c).index());
             job.scratch.clear();
             job.scratch.extend(cal.range_words(interval));
             if let Some((lo, hi)) =
@@ -1020,7 +1026,7 @@ pub(crate) fn prepare_pivot(
 /// [`SearchStats::pivots_refused_by_core`]: crate::SearchStats::pivots_refused_by_core
 pub(crate) fn finalize_pivot(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: Cals<'_>,
     prep: &PivotPrep,
     job: &mut PivotJob,
     stats: &mut SearchStats,
@@ -1095,7 +1101,7 @@ pub(crate) fn finalize_pivot(
             ..
         } = *job;
         for v in eligible.iter() {
-            let cal = &calendars[fg.origin(v as u32).index()];
+            let cal = calendars.get(fg.origin(v as u32).index());
             let row = &mut avail_words[v * stride..(v + 1) * stride];
             for (i, w) in cal.range_words(interval).enumerate() {
                 row[i] = w;
@@ -1448,6 +1454,10 @@ struct StSearcher<'a> {
     control: Option<&'a SolveControl>,
     /// Scratch for the k-plex matching bound (see [`MatchScratch`]).
     match_scratch: MatchScratch,
+    /// Per-depth parent-bound admissibility state (see [`ParentFloor`]):
+    /// `floors[|VS|]` serves the frame whose member count is `|VS|`,
+    /// rebuilt at that frame's entry and maintained across its siblings.
+    floors: Vec<ParentFloor>,
 }
 
 impl<'a> StSearcher<'a> {
@@ -1487,6 +1497,24 @@ impl<'a> StSearcher<'a> {
             stats,
             control: None,
             match_scratch: MatchScratch::default(),
+            floors: Vec::new(),
+        }
+    }
+
+    /// Whether the frame with member count `depth` maintains a
+    /// [`ParentFloor`] (children are opened only while `|VS| + 1 < p`,
+    /// so deeper frames never consult the bound).
+    #[inline]
+    fn floor_active(&self, depth: usize) -> bool {
+        self.cfg.parent_completion_bound && depth + 1 < self.p
+    }
+
+    /// Mirror a permanent frame-level `VA` removal into the frame's
+    /// floor (position of `u` in the frame's access order).
+    #[inline]
+    fn floor_remove(&mut self, depth: usize, va: &StVaState, u: u32) {
+        if self.floor_active(depth) {
+            self.floors[depth].remove(va.base.order_pos[u as usize] as usize);
         }
     }
 
@@ -1717,6 +1745,18 @@ impl<'a> StSearcher<'a> {
         }
         self.stats.frames += 1;
         let order = self.order;
+        // Invalidate this frame's admissibility classes for the
+        // parent-side completion bound; the first consultations rescan,
+        // repeat consultations classify lazily, and the sibling loop
+        // below keeps the classes current by mirroring its permanent
+        // removals (see [`ParentFloor`]).
+        let depth = self.vs.len();
+        if self.floor_active(depth) {
+            if self.floors.len() <= depth {
+                self.floors.resize_with(depth + 1, ParentFloor::default);
+            }
+            self.floors[depth].invalidate();
+        }
         let mut theta = self.cfg.theta0;
         let mut phi = self.cfg.phi0;
         // Access-order scans run on `pos_set` — word-parallel successor
@@ -1772,12 +1812,14 @@ impl<'a> StSearcher<'a> {
             if a_val < (self.p - self.vs.len() - 1) as i64 {
                 self.stats.exterior_rejections += 1;
                 self.remove_from_va(va, u);
+                self.floor_remove(depth, va, u);
                 continue;
             }
             if !self.interior_ok(u_val, theta) {
                 self.stats.interior_rejections += 1;
                 if theta == 0 {
                     self.remove_from_va(va, u);
+                    self.floor_remove(depth, va, u);
                 }
                 continue;
             }
@@ -1792,21 +1834,22 @@ impl<'a> StSearcher<'a> {
                 if x < 0 {
                     // Adding u can never leave an m-slot common period.
                     self.remove_from_va(va, u);
+                    self.floor_remove(depth, va, u);
                 }
                 continue;
             }
 
             let new_td = td + self.fg.dist(u);
             // Parent-side completion bound: price the child frame before
-            // opening it. When it fires, the push / undo-mark / frame
-            // entry are all skipped, and u is disposed of exactly as if
-            // its branch had been descended and exhausted.
-            if self.cfg.parent_completion_bound
-                && self.vs.len() + 1 < self.p
-                && parent_completion_prunes(
+            // opening it, from the frame's (lazily-built) admissibility
+            // classes. When it fires, the push / undo-mark / frame entry
+            // are all skipped, and u is disposed of exactly as if its
+            // branch had been descended and exhausted.
+            if self.floor_active(depth)
+                && self.floors[depth].consult(
                     self.fg,
                     u,
-                    self.vs.len() + 1,
+                    depth + 1,
                     &self.cnt_in_s,
                     &va.base.pos_set,
                     order,
@@ -1819,6 +1862,7 @@ impl<'a> StSearcher<'a> {
             {
                 self.stats.children_pruned_by_parent_bound += 1;
                 self.remove_from_va(va, u);
+                self.floor_remove(depth, va, u);
                 continue;
             }
             self.push(u, new_ts);
@@ -1836,7 +1880,11 @@ impl<'a> StSearcher<'a> {
             self.expand(va, new_td);
             va.undo_to(frame_mark, self.fg, self.avail_words, self.avail_stride);
             self.pop(u);
+            // The branch containing u is fully explored. (The pre-descend
+            // removal above was rewound by the undo, so only this one is
+            // mirrored into the floor.)
             self.remove_from_va(va, u);
+            self.floor_remove(depth, va, u);
         }
     }
 }
@@ -1856,8 +1904,8 @@ mod tests {
         stats: &mut SearchStats,
         arena: &mut PivotArena,
     ) -> Option<PivotJob> {
-        let mut job = prepare_pivot(fg, calendars, prep, pivot, stats, arena)?;
-        if finalize_pivot(fg, calendars, prep, &mut job, stats, arena) {
+        let mut job = prepare_pivot(fg, calendars.into(), prep, pivot, stats, arena)?;
+        if finalize_pivot(fg, calendars.into(), prep, &mut job, stats, arena) {
             Some(job)
         } else {
             arena.recycle(job);
@@ -1973,7 +2021,7 @@ mod tests {
             StgqQuery::new(1, 1, 0, 2).unwrap(), // p = 1 path
             StgqQuery::new(3, 1, 1, 2).unwrap(), // pivot path
         ] {
-            let out = solve_stgq_on(&fg, &[], &query, &SelectConfig::default());
+            let out = solve_stgq_on(&fg, &[] as &[Calendar], &query, &SelectConfig::default());
             assert!(out.solution.is_none());
             assert_eq!(out.stats.pivots_processed, 0);
         }

@@ -34,6 +34,7 @@ pub mod coauthor;
 pub mod community;
 pub mod er;
 pub mod io;
+pub mod metropolis;
 pub mod scenario;
 pub mod schedules;
 pub mod weights;

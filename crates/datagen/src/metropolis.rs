@@ -1,0 +1,258 @@
+//! `metropolis`: million-member worlds with **shard-aligned
+//! communities** — the scale workload for sharded snapshot publication
+//! and delta-scoped cache invalidation.
+//!
+//! Real metropolitan acquaintance networks are a heavy-tailed mixture of
+//! communities (workplaces, schools, congregations): most are small, a
+//! few are huge, and almost all ties live inside one community. This
+//! generator reproduces that shape at 10^5–10^6 members with build cost
+//! `O(members · intra_degree)` — no quadratic pair scan — so the scale
+//! bench can stand up a world in seconds.
+//!
+//! **Shard alignment.** Every community lives entirely inside one
+//! residue class `v % shards` — the same modulus the executor's caches
+//! and sub-snapshots are partitioned by. A write confined to one
+//! community therefore dirties exactly one shard, which is what makes
+//! the per-shard rebuild/invalidation counters assertable: the
+//! `metropolis` world is the regime the tentpole is *for*, not just a
+//! big random graph. (Set `shards: 1` for an unaligned control.)
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_graph::{GraphBuilder, NodeId};
+use stgq_schedule::TimeGrid;
+
+use crate::schedules::archetype_population;
+use crate::weights::{sample_distance, Tie};
+use crate::Dataset;
+
+/// Parameters of the metropolis model.
+#[derive(Clone, Debug)]
+pub struct MetropolisConfig {
+    /// Total people (the scale axis: 10^5–10^6).
+    pub members: usize,
+    /// Community-to-shard alignment modulus — match the serving
+    /// executor's `ExecConfig::shards` so one community maps to one
+    /// sub-snapshot.
+    pub shards: usize,
+    /// Smallest community (Pareto location parameter).
+    pub min_community: usize,
+    /// Largest community (truncation cap — keeps one giant workplace
+    /// from swallowing a whole shard).
+    pub max_community: usize,
+    /// Pareto tail exponent for community sizes (heavier tail as it
+    /// approaches 1; 2–3 is realistic).
+    pub alpha: f64,
+    /// Random strong ties added per member inside their community, on
+    /// top of the connectivity chain.
+    pub intra_degree: usize,
+    /// Fraction of members carrying one weak tie out of their
+    /// community (commuter bridges).
+    pub bridge_fraction: f64,
+}
+
+impl MetropolisConfig {
+    /// The default metropolis at `members` people: 16-way shard
+    /// alignment, communities of 12–512 with a realistic tail, ~6
+    /// strong ties per member plus 5% commuter bridges.
+    pub fn with_members(members: usize) -> Self {
+        MetropolisConfig {
+            members,
+            shards: 16,
+            min_community: 12,
+            max_community: 512,
+            alpha: 2.2,
+            intra_degree: 6,
+            bridge_fraction: 0.05,
+        }
+    }
+}
+
+/// Draw one community size from the truncated Pareto tail.
+fn sample_size(cfg: &MetropolisConfig, rng: &mut SmallRng) -> usize {
+    let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+    let raw = cfg.min_community as f64 * u.powf(-1.0 / cfg.alpha);
+    (raw as usize).clamp(cfg.min_community, cfg.max_community)
+}
+
+/// Generate the metropolis dataset together with its community member
+/// lists (each list wholly inside one residue class `v % shards`).
+/// Deterministic in `seed`.
+pub fn metropolis_with_communities(
+    cfg: &MetropolisConfig,
+    days: usize,
+    seed: u64,
+) -> (Dataset, Vec<Vec<u32>>) {
+    assert!(cfg.members >= 2, "need at least two people");
+    assert!(cfg.shards >= 1 && cfg.min_community >= 1);
+    assert!(cfg.max_community >= cfg.min_community);
+    assert!(cfg.alpha > 1.0, "the size distribution needs a finite mean");
+    let n = cfg.members;
+    let shards = cfg.shards.min(n);
+    let mut rng = SmallRng::seed_from_u64(seed);
+
+    // Carve each residue class into communities: shard s owns ids
+    // s, s + S, s + 2S, …; community sizes come off the Pareto tail and
+    // the last community of a shard absorbs the remainder, so the
+    // communities partition 0..n exactly.
+    let mut communities: Vec<Vec<u32>> = Vec::new();
+    for s in 0..shards {
+        let rows = n.saturating_sub(s).div_ceil(shards);
+        let mut used = 0usize;
+        while used < rows {
+            let size = sample_size(cfg, &mut rng).min(rows - used);
+            communities.push(
+                (used..used + size)
+                    .map(|r| (s + r * shards) as u32)
+                    .collect(),
+            );
+            used += size;
+        }
+    }
+
+    let mut b = GraphBuilder::new(n);
+    for members in &communities {
+        // Connectivity chain: consecutive members are acquainted, so no
+        // community member is ever isolated.
+        for w in members.windows(2) {
+            let d = sample_distance(&mut rng, Tie::Strong);
+            b.add_edge(NodeId(w[0]), NodeId(w[1]), d)
+                .expect("distinct pair");
+        }
+        // Random strong ties inside the community.
+        if members.len() > 2 {
+            for &v in members {
+                for _ in 0..cfg.intra_degree / 2 {
+                    let u = members[rng.gen_range(0..members.len())];
+                    if u != v && !b.has_edge(NodeId(v), NodeId(u)) {
+                        let d = sample_distance(&mut rng, Tie::Strong);
+                        b.add_edge(NodeId(v), NodeId(u), d).expect("distinct pair");
+                    }
+                }
+            }
+        }
+        // Commuter bridges: weak ties out of the community (singleton
+        // communities always get one, or they would be isolated).
+        let bridges = ((members.len() as f64 * cfg.bridge_fraction) as usize)
+            .max(usize::from(members.len() == 1));
+        for _ in 0..bridges {
+            let v = members[rng.gen_range(0..members.len())];
+            let u = rng.gen_range(0..n as u32);
+            if u != v && !b.has_edge(NodeId(v), NodeId(u)) {
+                let d = sample_distance(&mut rng, Tie::Weak);
+                b.add_edge(NodeId(v), NodeId(u), d).expect("distinct pair");
+            }
+        }
+    }
+
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+    let calendars = archetype_population(&grid, n, seed ^ 0x000E_7205);
+    let ds = Dataset {
+        graph: b.build(),
+        calendars,
+        grid,
+    };
+    debug_assert!(ds.check());
+    (ds, communities)
+}
+
+/// [`metropolis_with_communities`] without the member lists.
+pub fn metropolis(cfg: &MetropolisConfig, days: usize, seed: u64) -> Dataset {
+    metropolis_with_communities(cfg, days, seed).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MetropolisConfig {
+        MetropolisConfig {
+            members: 2_000,
+            shards: 8,
+            ..MetropolisConfig::with_members(2_000)
+        }
+    }
+
+    #[test]
+    fn communities_partition_the_population_shard_aligned() {
+        let cfg = small();
+        let (ds, communities) = metropolis_with_communities(&cfg, 1, 5);
+        assert_eq!(ds.graph.node_count(), cfg.members);
+        assert_eq!(ds.calendars.len(), cfg.members);
+        let mut seen = vec![false; cfg.members];
+        for members in &communities {
+            assert!(!members.is_empty());
+            let shard = members[0] as usize % cfg.shards;
+            for &v in members {
+                assert_eq!(
+                    v as usize % cfg.shards,
+                    shard,
+                    "a community must live inside one residue class"
+                );
+                assert!(!seen[v as usize], "communities must not overlap");
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every person is in a community");
+    }
+
+    #[test]
+    fn nobody_is_isolated_and_ties_stay_communal() {
+        let cfg = small();
+        let (ds, communities) = metropolis_with_communities(&cfg, 1, 9);
+        let mut community_of = vec![0usize; cfg.members];
+        for (c, members) in communities.iter().enumerate() {
+            for &v in members {
+                community_of[v as usize] = c;
+            }
+        }
+        let (mut intra, mut inter) = (0usize, 0usize);
+        for e in ds.graph.edges() {
+            if community_of[e.a.index()] == community_of[e.b.index()] {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        assert!(intra > 4 * inter, "intra={intra} inter={inter}");
+        for v in 0..cfg.members as u32 {
+            assert!(ds.graph.degree(NodeId(v)) >= 1, "{v} is isolated");
+        }
+    }
+
+    #[test]
+    fn community_sizes_are_heavy_tailed() {
+        let cfg = MetropolisConfig {
+            members: 20_000,
+            ..MetropolisConfig::with_members(20_000)
+        };
+        let (_, communities) = metropolis_with_communities(&cfg, 1, 3);
+        let sizes: Vec<usize> = communities.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let mean = sizes.iter().sum::<usize>() / sizes.len();
+        assert!(
+            max >= 3 * mean,
+            "tail missing: max {max} vs mean {mean} over {} communities",
+            sizes.len()
+        );
+        assert!(max <= cfg.max_community, "truncation cap holds");
+    }
+
+    #[test]
+    fn deterministic_in_seed_and_divergent_across_seeds() {
+        let cfg = small();
+        let (a, ca) = metropolis_with_communities(&cfg, 1, 42);
+        let (b, cb) = metropolis_with_communities(&cfg, 1, 42);
+        let (c, _) = metropolis_with_communities(&cfg, 1, 43);
+        assert_eq!(ca, cb);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(a.calendars, b.calendars);
+        assert_ne!(
+            a.graph.edges().collect::<Vec<_>>(),
+            c.graph.edges().collect::<Vec<_>>()
+        );
+    }
+}

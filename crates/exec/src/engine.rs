@@ -9,7 +9,7 @@ use stgq_core::{
     solve_stgq_parallel_controlled_on, PivotArena, SelectConfig, SolveControl, SolveOutcome,
 };
 use stgq_graph::FeasibleGraph;
-use stgq_schedule::Calendar;
+use stgq_schedule::Cals;
 
 use crate::request::QuerySpec;
 
@@ -72,7 +72,7 @@ impl Engine {
 /// engines, the feasibility-evaluation count.
 pub(crate) fn run_spec(
     fg: &FeasibleGraph,
-    calendars: &[Calendar],
+    calendars: Cals<'_>,
     spec: &QuerySpec,
     engine: Engine,
     cfg: &SelectConfig,

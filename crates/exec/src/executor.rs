@@ -105,29 +105,61 @@ impl Executor {
 
     /// Swap in a new world epoch. In-flight solves keep (and finish on)
     /// the epoch they started with; there is nothing to wait for.
+    ///
+    /// Publication cost is tracked per shard: each of the new epoch's
+    /// graph segments and calendar slices counts as *reused* when it is
+    /// the same `Arc` the previous epoch carried and *rebuilt* otherwise
+    /// ([`ExecMetrics::snapshot_shards_reused`] /
+    /// [`ExecMetrics::snapshot_shards_rebuilt`]).
     pub fn publish_snapshot(&self, snapshot: Arc<WorldSnapshot>) {
+        let previous = self.snapshot.current();
+        let mut rebuilt = 0u64;
+        let mut reused = 0u64;
+        match &previous {
+            Some(prev) if prev.shard_count() == snapshot.shard_count() => {
+                for s in 0..snapshot.shard_count() {
+                    if Arc::ptr_eq(prev.graph_segment(s), snapshot.graph_segment(s)) {
+                        reused += 1;
+                    } else {
+                        rebuilt += 1;
+                    }
+                    if Arc::ptr_eq(prev.calendar_shard(s), snapshot.calendar_shard(s)) {
+                        reused += 1;
+                    } else {
+                        rebuilt += 1;
+                    }
+                }
+            }
+            _ => rebuilt = 2 * snapshot.shard_count() as u64,
+        }
         self.snapshot.publish(snapshot);
-        self.shared
-            .counters
-            .snapshot_publishes
-            .fetch_add(1, Ordering::Relaxed);
+        let c = &self.shared.counters;
+        c.snapshot_publishes.fetch_add(1, Ordering::Relaxed);
+        c.snapshot_shards_rebuilt
+            .fetch_add(rebuilt, Ordering::Relaxed);
+        c.snapshot_shards_reused
+            .fetch_add(reused, Ordering::Relaxed);
     }
 
-    /// Convenience [`publish_snapshot`](Self::publish_snapshot) from
-    /// parts.
+    /// Convenience [`publish_snapshot`](Self::publish_snapshot) from a
+    /// flat world: partitions by this executor's shard modulus and
+    /// stamps every shard with the global versions (no dirty tracking —
+    /// each publish rebuilds all shards; incremental writers assemble
+    /// [`WorldSnapshot::from_parts`] themselves).
     pub fn publish(
         &self,
-        graph: Arc<SocialGraph>,
-        calendars: Arc<Vec<Calendar>>,
+        graph: &SocialGraph,
+        calendars: &[Calendar],
         graph_version: u64,
         calendar_version: u64,
     ) {
-        self.publish_snapshot(Arc::new(WorldSnapshot {
+        self.publish_snapshot(Arc::new(WorldSnapshot::from_flat(
             graph,
             calendars,
+            self.shards,
             graph_version,
             calendar_version,
-        }));
+        )));
     }
 
     /// Withdraw the published epoch: subsequent solves refuse with
@@ -276,7 +308,7 @@ impl Executor {
     pub fn metrics(&self) -> ExecMetrics {
         let c = &self.shared.counters;
         let (hits, misses, cached) = self.shared.cache.stats();
-        let (result_hits, result_misses, cached_results) = self.shared.results.stats();
+        let r = self.shared.results.stats();
         ExecMetrics {
             queries: c.queries.load(Ordering::Relaxed),
             shard_jobs: c.shard_jobs.load(Ordering::Relaxed),
@@ -286,10 +318,14 @@ impl Executor {
             feasible_cache_hits: hits,
             feasible_cache_misses: misses,
             cached_feasible_graphs: cached,
-            result_cache_hits: result_hits,
-            result_cache_misses: result_misses,
-            cached_results,
+            result_cache_hits: r.hits,
+            result_cache_misses: r.misses,
+            cached_results: r.len,
+            result_cache_evicted_stale_shard: r.evicted_stale_shard,
+            result_cache_evicted_capacity: r.evicted_capacity,
             snapshot_publishes: c.snapshot_publishes.load(Ordering::Relaxed),
+            snapshot_shards_rebuilt: c.snapshot_shards_rebuilt.load(Ordering::Relaxed),
+            snapshot_shards_reused: c.snapshot_shards_reused.load(Ordering::Relaxed),
             frames_examined: c.frames_examined.load(Ordering::Relaxed),
             frames_pruned_by_bound: c.frames_pruned_by_bound.load(Ordering::Relaxed),
             pivots_skipped: c.pivots_skipped.load(Ordering::Relaxed),
@@ -339,21 +375,30 @@ mod tests {
 
     /// A 6-person world: triangle 0-1-2 close together, 3-4 further out,
     /// 5 isolated; everyone free on slots 2..=9 of a 12-slot horizon.
-    fn world() -> Arc<WorldSnapshot> {
+    fn demo_graph() -> SocialGraph {
         let mut b = GraphBuilder::new(6);
         b.add_edge(NodeId(0), NodeId(1), 2).unwrap();
         b.add_edge(NodeId(0), NodeId(2), 3).unwrap();
         b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
         b.add_edge(NodeId(0), NodeId(3), 8).unwrap();
         b.add_edge(NodeId(3), NodeId(4), 2).unwrap();
+        b.build()
+    }
+
+    fn demo_cals() -> Vec<Calendar> {
         let mut cal = Calendar::new(12);
         cal.set_range(SlotRange::new(2, 9), true);
-        Arc::new(WorldSnapshot {
-            graph: Arc::new(b.build()),
-            calendars: Arc::new(vec![cal; 6]),
-            graph_version: 1,
-            calendar_version: 1,
-        })
+        vec![cal; 6]
+    }
+
+    fn world() -> Arc<WorldSnapshot> {
+        Arc::new(WorldSnapshot::from_flat(
+            &demo_graph(),
+            &demo_cals(),
+            4,
+            1,
+            1,
+        ))
     }
 
     fn executor(workers: usize) -> Executor {
@@ -456,8 +501,7 @@ mod tests {
         b.add_edge(NodeId(1), NodeId(2), 1).unwrap();
         b.add_edge(NodeId(0), NodeId(4), 1).unwrap();
         b.add_edge(NodeId(1), NodeId(4), 1).unwrap();
-        let snap = world();
-        exec.publish(Arc::new(b.build()), Arc::clone(&snap.calendars), 2, 1);
+        exec.publish(&b.build(), &demo_cals(), 2, 1);
         let after = exec
             .execute_one(PlanRequest::new(
                 NodeId(0),
@@ -495,8 +539,7 @@ mod tests {
         assert!(matches!(results[1], Err(ExecError::EpochTooOld { .. })));
 
         // Catching up satisfies the requirement.
-        let snap = world();
-        exec.publish(Arc::clone(&snap.graph), Arc::clone(&snap.calendars), 2, 1);
+        exec.publish(&demo_graph(), &demo_cals(), 2, 1);
         let caught_up =
             PlanRequest::new(NodeId(0), QuerySpec::Sgq(sgq), Engine::Exact).with_min_epoch(2, 1);
         assert!(exec.execute_one(caught_up).is_ok());
@@ -525,13 +568,76 @@ mod tests {
         assert_eq!(m.collapsed_entries, 1);
         assert!(m.cached_results >= 1);
 
-        // A new epoch (either stamp) invalidates the replay.
-        let snap = world();
-        exec.publish(Arc::clone(&snap.graph), Arc::clone(&snap.calendars), 1, 2);
+        // Delta-scoped stamps: an SGQ entry carries no calendar stamps,
+        // so a calendar-only epoch bump cannot invalidate it…
+        exec.publish(&demo_graph(), &demo_cals(), 1, 2);
+        let survived = exec.execute_one(req.clone()).unwrap();
+        assert!(
+            survived.result_cache_hit,
+            "SGQ reads no calendars — a calendar-only bump must not evict it"
+        );
+        // …while an STGQ entry does read calendars, and misses.
+        let stgq = StgqQuery::new(3, 1, 0, 3).unwrap();
+        let treq = PlanRequest::new(NodeId(0), QuerySpec::Stgq(stgq), Engine::Exact);
+        assert!(!exec.execute_one(treq.clone()).unwrap().result_cache_hit);
+        assert!(exec.execute_one(treq.clone()).unwrap().result_cache_hit);
+        exec.publish(&demo_graph(), &demo_cals(), 1, 3);
+        assert!(
+            !exec.execute_one(treq).unwrap().result_cache_hit,
+            "an STGQ entry is stamped with calendar shards and must miss"
+        );
+        // A graph bump moves every stamped graph shard (flat publishes
+        // flood the stamps) and invalidates the SGQ replay too.
+        exec.publish(&demo_graph(), &demo_cals(), 2, 3);
         let fresh = exec.execute_one(req).unwrap();
         assert!(
             !fresh.result_cache_hit,
-            "a calendar-version bump must miss the stamp"
+            "a graph-version bump must miss the stamp"
+        );
+        assert!(exec.metrics().result_cache_evicted_stale_shard >= 2);
+    }
+
+    #[test]
+    fn publish_counts_rebuilt_versus_reused_shards() {
+        let exec = executor(1); // first publish: no previous epoch
+        let m = exec.metrics();
+        assert_eq!(
+            (m.snapshot_shards_rebuilt, m.snapshot_shards_reused),
+            (8, 0)
+        );
+
+        // Next epoch shares every sub-snapshot Arc except graph shard 2,
+        // which is rebuilt (content-identical, but a fresh allocation).
+        let prev = exec.snapshot().unwrap();
+        let segments: Vec<_> = (0..4)
+            .map(|s| {
+                if s == 2 {
+                    let old = prev.graph_segment(2);
+                    Arc::new(stgq_graph::GraphSegment::build((0..old.rows()).map(|r| {
+                        let (nbrs, dists) = old.row(r);
+                        nbrs.iter()
+                            .copied()
+                            .zip(dists.iter().copied())
+                            .collect::<Vec<_>>()
+                    })))
+                } else {
+                    Arc::clone(prev.graph_segment(s))
+                }
+            })
+            .collect();
+        let cal_shards: Vec<_> = (0..4).map(|s| Arc::clone(prev.calendar_shard(s))).collect();
+        exec.publish_snapshot(Arc::new(WorldSnapshot::from_parts(
+            segments,
+            vec![1, 1, 2, 1],
+            cal_shards,
+            vec![1; 4],
+            2,
+            1,
+        )));
+        let m = exec.metrics();
+        assert_eq!(
+            (m.snapshot_shards_rebuilt, m.snapshot_shards_reused),
+            (9, 7)
         );
     }
 

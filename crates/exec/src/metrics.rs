@@ -27,17 +27,31 @@ pub struct ExecMetrics {
     pub feasible_cache_misses: u64,
     /// Feasible graphs currently cached, over every shard.
     pub cached_feasible_graphs: usize,
-    /// Version-stamped result-cache hits: whole outcomes replayed for
-    /// repeat queries across batches (and the inline path) on an
-    /// unchanged world epoch.
+    /// Shard-stamped result-cache hits: whole outcomes replayed for
+    /// repeat queries across batches (and the inline path) whose stamped
+    /// shards are all unmoved.
     pub result_cache_hits: u64,
-    /// Result-cache lookups that missed (fresh query, or the epoch moved
-    /// on either the graph or the calendar axis).
+    /// Result-cache lookups that missed (fresh query, or a stamped shard
+    /// moved on either the graph or the calendar axis).
     pub result_cache_misses: u64,
     /// Outcomes currently held by the result cache, over every shard.
     pub cached_results: usize,
+    /// Result-cache entries evicted at lookup because a shard they were
+    /// stamped with had moved (delta-scoped invalidation: a write
+    /// confined to one community only ever evicts entries that read it).
+    pub result_cache_evicted_stale_shard: u64,
+    /// Result-cache entries evicted to make room at capacity.
+    pub result_cache_evicted_capacity: u64,
     /// World snapshots published into the epoch cell.
     pub snapshot_publishes: u64,
+    /// Per-shard sub-snapshots (graph segments + calendar slices) that
+    /// publication actually rebuilt — for an incremental writer this
+    /// tracks the dirty shards, not the world size.
+    pub snapshot_shards_rebuilt: u64,
+    /// Per-shard sub-snapshots carried over by `Arc` reuse from the
+    /// previous epoch (the complement of
+    /// [`snapshot_shards_rebuilt`](Self::snapshot_shards_rebuilt)).
+    pub snapshot_shards_reused: u64,
     /// Search frames examined by exact engines, summed over all queries.
     pub frames_examined: u64,
     /// Frames abandoned by the incumbent distance bound (Lemma 2).
@@ -76,6 +90,8 @@ pub(crate) struct ExecCounters {
     pub(crate) collapsed_entries: AtomicU64,
     pub(crate) cancelled: AtomicU64,
     pub(crate) snapshot_publishes: AtomicU64,
+    pub(crate) snapshot_shards_rebuilt: AtomicU64,
+    pub(crate) snapshot_shards_reused: AtomicU64,
     pub(crate) frames_examined: AtomicU64,
     pub(crate) frames_pruned_by_bound: AtomicU64,
     pub(crate) pivots_skipped: AtomicU64,

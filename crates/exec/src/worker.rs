@@ -6,7 +6,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use stgq_core::{PivotArena, SelectConfig, SolveControl, StopCause};
-use stgq_schedule::Calendar;
+use stgq_schedule::{Calendar, Cals};
 
 use crate::cache::{ResultCache, ShardedFeasibleCache};
 use crate::engine::run_spec;
@@ -93,7 +93,7 @@ pub(crate) fn run_entry(
     select: &SelectConfig,
     request: &PlanRequest,
 ) -> Result<PlanOutcome, ExecError> {
-    let node_count = snapshot.graph.node_count();
+    let node_count = snapshot.node_count();
     if request.initiator.index() >= node_count {
         return Err(ExecError::InitiatorOutOfRange {
             initiator: request.initiator,
@@ -103,7 +103,7 @@ pub(crate) fn run_entry(
     // Read-your-writes admission: a snapshot older than the request's
     // minimum epoch on either axis must not answer it.
     if let Some(required) = request.min_epoch {
-        let available = (snapshot.graph_version, snapshot.calendar_version);
+        let available = snapshot.versions();
         if available.0 < required.0 || available.1 < required.1 {
             return Err(ExecError::EpochTooOld {
                 required,
@@ -114,24 +114,20 @@ pub(crate) fn run_entry(
     shared.counters.queries.fetch_add(1, Ordering::Relaxed);
     // Cross-batch result cache: deterministic requests (no deadline, no
     // token) repeat across batches and inline calls; an identical query
-    // finished on this exact epoch is simply replayed.
+    // whose stamped shards are all unmoved is simply replayed.
     if request.collapsible() {
-        if let Some(outcome) = shared.results.get(
-            request.initiator,
-            request.spec,
-            request.engine,
-            snapshot.graph_version,
-            snapshot.calendar_version,
-        ) {
+        if let Some(outcome) =
+            shared
+                .results
+                .get(request.initiator, request.spec, request.engine, snapshot)
+        {
             return Ok(outcome);
         }
     }
-    let (fg, feasible_cache_hit) = shared.cache.get_or_extract(
-        &snapshot.graph,
-        request.initiator,
-        request.spec.s(),
-        snapshot.graph_version,
-    );
+    let (fg, feasible_cache_hit) =
+        shared
+            .cache
+            .get_or_extract(snapshot, request.initiator, request.spec.s());
 
     let mut control = SolveControl::new();
     if let Some(deadline) = request.deadline {
@@ -142,9 +138,9 @@ pub(crate) fn run_entry(
     }
     let control = (!control.is_noop()).then_some(&control);
 
-    let calendars: &[Calendar] = match &request.spec {
-        QuerySpec::Stgq(_) => &snapshot.calendars,
-        QuerySpec::Sgq(_) => &[],
+    let calendars: Cals<'_> = match &request.spec {
+        QuerySpec::Stgq(_) => snapshot.calendars().into(),
+        QuerySpec::Sgq(_) => (&[] as &[Calendar]).into(),
     };
     let start = Instant::now();
     let (outcome, evaluations) = run_spec(
@@ -176,12 +172,21 @@ pub(crate) fn run_entry(
         result_cache_hit: false,
     };
     if request.collapsible() {
+        // Stamp the entry with the shards this solve actually read: the
+        // feasible graph's shards on the graph axis, the same shards on
+        // the calendar axis for STGQ — and nothing at all for SGQ, which
+        // no calendar edit can invalidate.
+        let calendar_stamps = match &request.spec {
+            QuerySpec::Stgq(_) => snapshot.calendar_stamps_for(&fg),
+            QuerySpec::Sgq(_) => Vec::new(),
+        };
         shared.results.put(
             request.initiator,
             request.spec,
             request.engine,
-            snapshot.graph_version,
-            snapshot.calendar_version,
+            snapshot.shard_count(),
+            snapshot.graph_stamps_for(&fg),
+            calendar_stamps,
             plan_outcome.clone(),
         );
     }

@@ -1,4 +1,4 @@
-use crate::{Dist, NodeId, SocialGraph};
+use crate::{AdjacencySource, Dist, NodeId, SocialGraph};
 
 /// Compute the *s-edge minimum distances* from `source` (Definition 1).
 ///
@@ -12,15 +12,25 @@ use crate::{Dist, NodeId, SocialGraph};
 /// than `s` edges, and the minimum-*edge* path may not have minimum
 /// distance, so neither plain Dijkstra nor plain BFS is correct here.
 pub fn bounded_distances(graph: &SocialGraph, source: NodeId, s: usize) -> Vec<Option<Dist>> {
+    bounded_distances_from(graph, source, s)
+}
+
+/// As [`bounded_distances`], over any [`AdjacencySource`] — the sharded
+/// snapshot path runs Definition 1 directly on per-shard CSR segments.
+pub fn bounded_distances_from<A: AdjacencySource + ?Sized>(
+    adj: &A,
+    source: NodeId,
+    s: usize,
+) -> Vec<Option<Dist>> {
     let mut out = Vec::new();
-    bounded_distances_into(graph, source, s, &mut out);
+    bounded_distances_into(adj, source, s, &mut out);
     out
 }
 
 /// As [`bounded_distances`], reusing `out` as scratch to avoid allocation in
 /// hot sweeps (the STGQ baseline recomputes distances for many windows).
-pub fn bounded_distances_into(
-    graph: &SocialGraph,
+pub fn bounded_distances_into<A: AdjacencySource + ?Sized>(
+    graph: &A,
     source: NodeId,
     s: usize,
     out: &mut Vec<Option<Dist>>,
@@ -45,13 +55,14 @@ pub fn bounded_distances_into(
             break;
         }
         for &(u, du) in &frontier {
-            for (v, w) in graph.neighbors_weighted(NodeId(u)) {
+            let (nbs, ws) = graph.row_of(NodeId(u));
+            for (&v, &w) in nbs.iter().zip(ws) {
                 let cand = du + w;
-                if out[v.index()].is_none_or(|cur| cand < cur) {
-                    out[v.index()] = Some(cand);
-                    if !in_next[v.index()] {
-                        in_next[v.index()] = true;
-                        next.push(v.0);
+                if out[v as usize].is_none_or(|cur| cand < cur) {
+                    out[v as usize] = Some(cand);
+                    if !in_next[v as usize] {
+                        in_next[v as usize] = true;
+                        next.push(v);
                     }
                 }
             }

@@ -109,6 +109,14 @@ impl SocialGraph {
             .map(|(&u, &w)| (NodeId(u), w))
     }
 
+    /// The raw sorted `(neighbors, weights)` row slices of `v` — the
+    /// [`AdjacencySource`](crate::AdjacencySource) access path.
+    #[inline]
+    pub(crate) fn row_slices(&self, v: NodeId) -> (&[u32], &[Dist]) {
+        let (s, e) = self.row(v);
+        (&self.neighbors[s..e], &self.weights[s..e])
+    }
+
     /// Whether `u` and `v` are directly acquainted (share an edge).
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.neighbors(u).binary_search(&v.0).is_ok()

@@ -36,6 +36,7 @@ mod graph;
 mod id;
 pub mod kplex;
 mod radius;
+mod segment;
 pub mod text;
 
 #[cfg(feature = "serde")]
@@ -43,11 +44,12 @@ mod io;
 
 pub use bitset::{for_each_zero_bit, BitSet, ZeroIter};
 pub use builder::GraphBuilder;
-pub use distance::{bounded_distances, bounded_distances_into};
+pub use distance::{bounded_distances, bounded_distances_from, bounded_distances_into};
 pub use error::GraphError;
 pub use graph::{EdgeRef, SocialGraph};
 pub use id::NodeId;
 pub use radius::FeasibleGraph;
+pub use segment::{AdjacencySource, GraphSegment, ShardedGraph};
 
 #[cfg(feature = "serde")]
 pub use io::GraphData;

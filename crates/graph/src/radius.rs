@@ -1,4 +1,4 @@
-use crate::{bounded_distances, BitSet, Dist, NodeId, SocialGraph};
+use crate::{AdjacencySource, BitSet, Dist, NodeId, SocialGraph};
 
 /// The *feasible graph* `G_F` of §3.2.1, re-indexed compactly.
 ///
@@ -46,7 +46,18 @@ impl FeasibleGraph {
     /// Runs the Definition-1 DP once, keeps the vertices with finite
     /// distance, and induces the subgraph on them.
     pub fn extract(graph: &SocialGraph, initiator: NodeId, s: usize) -> Self {
-        let dists = bounded_distances(graph, initiator, s);
+        FeasibleGraph::extract_from(graph, initiator, s)
+    }
+
+    /// As [`extract`](Self::extract), over any [`AdjacencySource`] — the
+    /// execution layer extracts straight from a sharded snapshot's CSR
+    /// segments, no flat assembly in between.
+    pub fn extract_from<A: AdjacencySource + ?Sized>(
+        graph: &A,
+        initiator: NodeId,
+        s: usize,
+    ) -> Self {
+        let dists = crate::bounded_distances_from(graph, initiator, s);
         let n = graph.node_count();
 
         let mut origin = Vec::new();
@@ -71,9 +82,11 @@ impl FeasibleGraph {
         let mut weights: Vec<Vec<Dist>> = vec![Vec::new(); f];
         let mut adj: Vec<BitSet> = vec![BitSet::new(f); f];
         for (ci, &ov) in origin.iter().enumerate() {
-            let mut row: Vec<(u32, Dist)> = graph
-                .neighbors_weighted(ov)
-                .filter_map(|(u, w)| compact_of[u.index()].map(|cu| (cu, w)))
+            let (nbs, ws) = graph.row_of(ov);
+            let mut row: Vec<(u32, Dist)> = nbs
+                .iter()
+                .zip(ws)
+                .filter_map(|(&u, &w)| compact_of[u as usize].map(|cu| (cu, w)))
                 .collect();
             row.sort_unstable_by_key(|&(u, _)| u);
             for &(cu, w) in &row {

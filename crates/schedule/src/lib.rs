@@ -27,12 +27,14 @@ mod error;
 mod grid;
 pub mod pivot;
 mod render;
+mod shards;
 pub mod text;
 
 pub use calendar::{Calendar, RangeWords};
 pub use error::ScheduleError;
 pub use grid::TimeGrid;
 pub use render::render_schedules;
+pub use shards::{CalendarShards, Cals};
 
 /// Index of a time slot, 0-based.
 pub type SlotId = usize;

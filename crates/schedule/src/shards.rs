@@ -1,0 +1,202 @@
+//! Shard-partitioned calendars and the [`Cals`] access view.
+//!
+//! The sharded world snapshot stores calendars the same way it stores
+//! adjacency: person `v`'s calendar lives in shard `v % S` at local row
+//! `v / S`, each shard an independently-replaceable `Arc<Vec<Calendar>>`.
+//! A calendar edit republishes one shard's vector; the other `S − 1`
+//! are `Arc`-reused.
+//!
+//! The STGQ engines index calendars by **original** vertex id. [`Cals`]
+//! is the zero-cost view they take: either a flat `&[Calendar]` (tests,
+//! oracles, the graph-level entry points) or a `&CalendarShards`
+//! (the execution layer reading a sharded snapshot). Both convert via
+//! `Into`, so existing call sites pass slices unchanged.
+
+use std::sync::Arc;
+
+use crate::Calendar;
+
+/// Shard-partitioned calendar storage: `shards[s]` holds the calendars
+/// of every person `v` with `v % S == s`, in ascending `v`.
+#[derive(Clone, Debug)]
+pub struct CalendarShards {
+    shards: Vec<Arc<Vec<Calendar>>>,
+    len: usize,
+}
+
+impl CalendarShards {
+    /// Assemble from per-shard vectors. The total count is the sum of
+    /// shard lengths (residue classes partition `0..n`).
+    ///
+    /// # Panics
+    /// Panics if `shards` is empty or the per-shard lengths are
+    /// inconsistent with a residue partition.
+    pub fn new(shards: Vec<Arc<Vec<Calendar>>>) -> Self {
+        assert!(!shards.is_empty(), "at least one shard required");
+        let count = shards.len();
+        let len: usize = shards.iter().map(|s| s.len()).sum();
+        for (s, shard) in shards.iter().enumerate() {
+            let expect = len.saturating_sub(s).div_ceil(count);
+            assert_eq!(
+                shard.len(),
+                expect,
+                "calendar shard {s} of {count} over {len} people must hold {expect} rows"
+            );
+        }
+        CalendarShards { shards, len }
+    }
+
+    /// Partition a flat calendar vector into `shards` slices.
+    pub fn from_flat(calendars: &[Calendar], shards: usize) -> Self {
+        let shards = shards.max(1);
+        let vecs = (0..shards)
+            .map(|s| {
+                Arc::new(
+                    (s..calendars.len())
+                        .step_by(shards)
+                        .map(|v| calendars[v].clone())
+                        .collect::<Vec<_>>(),
+                )
+            })
+            .collect();
+        CalendarShards::new(vecs)
+    }
+
+    /// Total number of people covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no people are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's calendar vector.
+    #[inline]
+    pub fn shard(&self, s: usize) -> &Arc<Vec<Calendar>> {
+        &self.shards[s]
+    }
+
+    /// Person `v`'s calendar.
+    #[inline]
+    pub fn get(&self, v: usize) -> &Calendar {
+        let s = self.shards.len();
+        &self.shards[v % s][v / s]
+    }
+}
+
+/// The calendar view the STGQ engines read: flat slice or sharded
+/// storage, one `get(person)` either way. `Copy`, so it threads through
+/// the solvers (including the scoped-thread parallel engine) like the
+/// slice it replaces.
+#[derive(Clone, Copy, Debug)]
+pub enum Cals<'a> {
+    /// A flat per-person vector (index = person id).
+    Flat(&'a [Calendar]),
+    /// Shard-partitioned storage (`person % S` / `person / S`).
+    Sharded(&'a CalendarShards),
+}
+
+impl<'a> Cals<'a> {
+    /// Person `v`'s calendar.
+    #[inline]
+    pub fn get(&self, v: usize) -> &'a Calendar {
+        match self {
+            Cals::Flat(slice) => &slice[v],
+            Cals::Sharded(shards) => {
+                let s = shards.shards.len();
+                &shards.shards[v % s][v / s]
+            }
+        }
+    }
+
+    /// Number of people covered.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            Cals::Flat(slice) => slice.len(),
+            Cals::Sharded(shards) => shards.len,
+        }
+    }
+
+    /// Whether no people are covered.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The first calendar, if any — the engines read the shared horizon
+    /// off it.
+    #[inline]
+    pub fn first(&self) -> Option<&'a Calendar> {
+        (!self.is_empty()).then(|| self.get(0))
+    }
+}
+
+impl<'a> From<&'a [Calendar]> for Cals<'a> {
+    fn from(slice: &'a [Calendar]) -> Self {
+        Cals::Flat(slice)
+    }
+}
+
+impl<'a> From<&'a Vec<Calendar>> for Cals<'a> {
+    fn from(vec: &'a Vec<Calendar>) -> Self {
+        Cals::Flat(vec)
+    }
+}
+
+impl<'a> From<&'a CalendarShards> for Cals<'a> {
+    fn from(shards: &'a CalendarShards) -> Self {
+        Cals::Sharded(shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(n: usize, horizon: usize) -> Vec<Calendar> {
+        (0..n)
+            .map(|v| Calendar::from_slots(horizon, (0..horizon).filter(|t| (t + v) % 3 == 0)))
+            .collect()
+    }
+
+    #[test]
+    fn sharded_view_matches_the_flat_slice() {
+        for shards in [1, 2, 3, 5, 16] {
+            for n in [0usize, 1, 7, 33] {
+                let flat = pool(n, 12);
+                let sharded = CalendarShards::from_flat(&flat, shards);
+                assert_eq!(sharded.len(), n);
+                let view: Cals<'_> = (&sharded).into();
+                let flat_view: Cals<'_> = flat.as_slice().into();
+                assert_eq!(view.len(), flat_view.len());
+                for v in 0..n {
+                    assert_eq!(view.get(v), flat_view.get(v), "shards {shards} person {v}");
+                }
+                assert_eq!(view.first(), flat.first());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_vectors_partition_by_residue() {
+        let flat = pool(10, 6);
+        let sharded = CalendarShards::from_flat(&flat, 4);
+        assert_eq!(sharded.shard_count(), 4);
+        assert_eq!(sharded.shard(0).len(), 3);
+        assert_eq!(sharded.shard(1).len(), 3);
+        assert_eq!(sharded.shard(2).len(), 2);
+        assert_eq!(sharded.shard(3).len(), 2);
+        assert_eq!(sharded.shard(1)[2], flat[9], "person 9 = shard 1 row 2");
+    }
+}

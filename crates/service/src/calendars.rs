@@ -12,11 +12,18 @@ use crate::ServiceError;
 /// system only knows the slots users have shared. Calendar mutations bump
 /// a version of their own so STGQ answers can be cache-stamped, but they
 /// never touch the graph caches.
+/// Like [`MutableNetwork`](crate::MutableNetwork), the store can track
+/// dirty shards (residue classes `person % shards`) once
+/// [`set_shard_count`](Self::set_shard_count) is called, so publication
+/// re-slices only the shards whose calendars actually changed.
 #[derive(Clone, Debug)]
 pub struct CalendarStore {
     cals: Vec<Calendar>,
     horizon: usize,
     version: u64,
+    /// Per-shard last-mutation stamps; empty = untracked (every shard
+    /// reads as [`version`](Self::version)).
+    shard_versions: Vec<u64>,
 }
 
 impl CalendarStore {
@@ -26,6 +33,7 @@ impl CalendarStore {
             cals: Vec::new(),
             horizon,
             version: 0,
+            shard_versions: Vec::new(),
         }
     }
 
@@ -39,10 +47,44 @@ impl CalendarStore {
         self.version
     }
 
-    /// Overwrite the version counter (writer failover only — see
-    /// `MutableNetwork::force_version`).
-    pub(crate) fn force_version(&mut self, version: u64) {
+    /// Overwrite the version counter, flooding every shard stamp
+    /// (replication only — see
+    /// [`MutableNetwork::force_version`](crate::MutableNetwork::force_version)).
+    pub fn force_version(&mut self, version: u64) {
         self.version = version;
+        self.shard_versions.fill(version);
+    }
+
+    /// Start (or re-key) dirty-shard tracking with `count` shards, every
+    /// shard stamped at the current version.
+    pub fn set_shard_count(&mut self, count: usize) {
+        self.shard_versions = vec![self.version; count.max(1)];
+    }
+
+    /// The global version at the last mutation touching shard `shard`;
+    /// untracked stores report [`version`](Self::version) everywhere.
+    pub fn shard_version(&self, shard: usize) -> u64 {
+        self.shard_versions
+            .get(shard)
+            .copied()
+            .unwrap_or(self.version)
+    }
+
+    fn touch(&mut self, person: usize) {
+        if !self.shard_versions.is_empty() {
+            let s = person % self.shard_versions.len();
+            self.shard_versions[s] = self.version;
+        }
+    }
+
+    /// Clone shard `shard` of `count` (calendars of the residue class
+    /// `person % count`, ordered by `person / count`) — the slice a
+    /// sharded snapshot holds for that shard.
+    pub fn shard_slice(&self, shard: usize, count: usize) -> Vec<Calendar> {
+        (shard..self.cals.len())
+            .step_by(count)
+            .map(|p| self.cals[p].clone())
+            .collect()
     }
 
     /// Number of calendars held.
@@ -56,9 +98,18 @@ impl CalendarStore {
     }
 
     /// Grow to `count` calendars (new ones fully unavailable). Never
-    /// shrinks — person ids are stable.
+    /// shrinks — person ids are stable. Growing bumps the version and
+    /// touches each new person's shard: the published calendar slices
+    /// must lengthen even though the new calendars are all-unavailable
+    /// (a snapshot that kept the short slice would index out of range as
+    /// soon as a new person becomes reachable).
     pub fn ensure_people(&mut self, count: usize) {
+        if count <= self.cals.len() {
+            return;
+        }
+        self.version += 1;
         while self.cals.len() < count {
+            self.touch(self.cals.len());
             self.cals.push(Calendar::new(self.horizon));
         }
     }
@@ -84,6 +135,7 @@ impl CalendarStore {
         self.check_slot(slot)?;
         self.cals[person].set_available(slot, available);
         self.version += 1;
+        self.touch(person);
         Ok(())
     }
 
@@ -98,6 +150,7 @@ impl CalendarStore {
         self.check_slot(range.hi)?;
         self.cals[person].set_range(range, available);
         self.version += 1;
+        self.touch(person);
         Ok(())
     }
 
@@ -111,6 +164,7 @@ impl CalendarStore {
         }
         self.cals[person] = calendar;
         self.version += 1;
+        self.touch(person);
         Ok(())
     }
 
@@ -175,6 +229,52 @@ mod tests {
         assert!(store.replace(0, Calendar::all_available(5)).is_ok());
         assert_eq!(store.calendar(0).count_available(), 5);
         assert!(store.replace(0, Calendar::all_available(6)).is_err());
+    }
+
+    #[test]
+    fn ensure_people_bumps_the_version_when_it_grows() {
+        let mut store = CalendarStore::new(5);
+        let v0 = store.version();
+        store.ensure_people(3);
+        assert!(store.version() > v0, "a longer slice is a new epoch");
+        let v1 = store.version();
+        store.ensure_people(3);
+        assert_eq!(store.version(), v1, "a no-op grow is not a mutation");
+    }
+
+    #[test]
+    fn shard_stamps_move_only_for_the_edited_person() {
+        let mut store = CalendarStore::new(8);
+        store.set_shard_count(4);
+        store.ensure_people(8);
+        let base = store.version();
+        let stamps: Vec<u64> = (0..4).map(|s| store.shard_version(s)).collect();
+        store.set_slot(6, 2, true).unwrap(); // shard 2
+        assert_eq!(store.shard_version(2), base + 1);
+        for s in [0, 1, 3] {
+            assert_eq!(store.shard_version(s), stamps[s], "shard {s} untouched");
+        }
+        store.force_version(77);
+        for s in 0..4 {
+            assert_eq!(store.shard_version(s), 77);
+        }
+    }
+
+    #[test]
+    fn shard_slices_partition_the_store_by_residue() {
+        let mut store = CalendarStore::new(6);
+        store.ensure_people(7);
+        for p in 0..7 {
+            store.set_slot(p, p % 6, true).unwrap();
+        }
+        for shards in [1usize, 3] {
+            for s in 0..shards {
+                let slice = store.shard_slice(s, shards);
+                for (r, cal) in slice.iter().enumerate() {
+                    assert_eq!(cal, store.calendar(s + r * shards), "shard {s}/{shards}");
+                }
+            }
+        }
     }
 
     #[test]

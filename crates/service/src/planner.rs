@@ -189,6 +189,17 @@ pub struct MetricsSnapshot {
     pub result_cache_hits: u64,
     /// Result-cache lookups that missed (fresh query or moved epoch).
     pub result_cache_misses: u64,
+    /// Result-cache entries evicted at lookup because a shard they were
+    /// stamped with had moved (delta-scoped invalidation).
+    pub result_cache_evicted_stale_shard: u64,
+    /// Result-cache entries evicted to make room at capacity.
+    pub result_cache_evicted_capacity: u64,
+    /// Per-shard sub-snapshots publication actually rebuilt (dirty
+    /// shards, graph + calendar axes).
+    pub snapshot_shards_rebuilt: u64,
+    /// Per-shard sub-snapshots carried over by `Arc` reuse from the
+    /// previous epoch.
+    pub snapshot_shards_reused: u64,
     /// Solves stopped early by a deadline or cancellation token.
     pub cancelled: u64,
 }
@@ -239,10 +250,17 @@ impl Planner {
     /// Fullest-control constructor: every executor knob (worker count,
     /// shard count, batch threshold) is the caller's.
     pub fn with_exec_config(horizon: usize, cfg: ExecConfig) -> Self {
+        let exec = Executor::new(cfg);
+        let mut network = MutableNetwork::new();
+        let mut calendars = CalendarStore::new(horizon);
+        // Dirty-shard tracking shares the executor's modulus so
+        // publication can map moved stamps directly onto sub-snapshots.
+        network.set_shard_count(exec.shards());
+        calendars.set_shard_count(exec.shards());
         Planner {
-            network: MutableNetwork::new(),
-            calendars: CalendarStore::new(horizon),
-            exec: Executor::new(cfg),
+            network,
+            calendars,
+            exec,
             publish_lock: Mutex::new(()),
             deltas: Mutex::new(DeltaLog::new(DEFAULT_DELTA_LOG_CAPACITY)),
             mutations: AtomicU64::new(0),
@@ -263,13 +281,18 @@ impl Planner {
     /// a full sync, which is correct — the promoted writer holds the
     /// state, not the mutation history that produced it.
     pub fn restore(state: &WorldState, cfg: ExecConfig) -> Result<Self, ServiceError> {
+        let exec = Executor::new(cfg);
         let (mut network, mut calendars) = state.restore()?;
+        // Track, then flood: a restored world has no per-shard history,
+        // so every shard is stamped at the carried global version.
+        network.set_shard_count(exec.shards());
+        calendars.set_shard_count(exec.shards());
         network.force_version(state.graph_version);
         calendars.force_version(state.calendar_version);
         Ok(Planner {
             network,
             calendars,
-            exec: Executor::new(cfg),
+            exec,
             publish_lock: Mutex::new(()),
             deltas: Mutex::new(DeltaLog::resume(DEFAULT_DELTA_LOG_CAPACITY, state.seq)),
             mutations: AtomicU64::new(0),
@@ -469,6 +492,10 @@ impl Planner {
             collapsed_entries: e.collapsed_entries,
             result_cache_hits: e.result_cache_hits,
             result_cache_misses: e.result_cache_misses,
+            result_cache_evicted_stale_shard: e.result_cache_evicted_stale_shard,
+            result_cache_evicted_capacity: e.result_cache_evicted_capacity,
+            snapshot_shards_rebuilt: e.snapshot_shards_rebuilt,
+            snapshot_shards_reused: e.snapshot_shards_reused,
             cancelled: e.cancelled,
         }
     }
@@ -479,20 +506,25 @@ impl Planner {
         self.exec.metrics()
     }
 
-    /// Current CSR snapshot, rebuilt only when the network changed.
+    /// A flat CSR export of the current network — a fresh build on every
+    /// call (the serving path holds sharded snapshots; this flat view
+    /// exists for oracle checks and offline analysis).
     pub fn graph_snapshot(&self) -> Arc<SocialGraph> {
-        Arc::clone(&self.sync_snapshot().graph)
+        Arc::new(self.network.snapshot())
     }
 
     /// Ensure the executor's published epoch matches the mutable state,
-    /// rebuilding only the stale half (graph CSR and calendar vector age
-    /// independently). Returns the fresh epoch.
+    /// rebuilding **only the dirty shards**: each sub-snapshot (graph
+    /// segment / calendar slice) whose stamp still matches the mutable
+    /// store's per-shard version is carried over by `Arc` from the
+    /// previous epoch, so a delta confined to one community re-freezes
+    /// one shard, not the world. Returns the fresh epoch.
     fn sync_snapshot(&self) -> Arc<WorldSnapshot> {
         let graph_version = self.network.version();
         let calendar_version = self.calendars.version();
         let current = self.exec.snapshot();
         if let Some(snap) = &current {
-            if snap.graph_version == graph_version && snap.calendar_version == calendar_version {
+            if snap.versions() == (graph_version, calendar_version) {
                 return Arc::clone(snap);
             }
         }
@@ -500,27 +532,53 @@ impl Planner {
         // Re-check under the lock: a racing reader may have published.
         let current = self.exec.snapshot();
         if let Some(snap) = &current {
-            if snap.graph_version == graph_version && snap.calendar_version == calendar_version {
+            if snap.versions() == (graph_version, calendar_version) {
                 return Arc::clone(snap);
             }
         }
-        let graph = match &current {
-            Some(snap) if snap.graph_version == graph_version => Arc::clone(&snap.graph),
-            _ => {
-                self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
-                Arc::new(self.network.snapshot())
+        let shards = self.exec.shards();
+        let prev = current.filter(|s| s.shard_count() == shards);
+        let mut graph_rebuilt = false;
+        let mut segments = Vec::with_capacity(shards);
+        let mut graph_stamps = Vec::with_capacity(shards);
+        let mut cal_shards = Vec::with_capacity(shards);
+        let mut cal_stamps = Vec::with_capacity(shards);
+        for s in 0..shards {
+            // Equal stamp ⇒ identical shard content: every mutation
+            // touches its people's shards, so an unmoved stamp means the
+            // frozen segment is still exact (growth included — a new
+            // person moves their own shard's stamp on both axes).
+            let g = self.network.shard_version(s);
+            match &prev {
+                Some(p) if p.graph_shard_version(s) == g => {
+                    segments.push(Arc::clone(p.graph_segment(s)));
+                }
+                _ => {
+                    graph_rebuilt = true;
+                    segments.push(Arc::new(self.network.segment(s, shards)));
+                }
             }
-        };
-        let calendars = match &current {
-            Some(snap) if snap.calendar_version == calendar_version => Arc::clone(&snap.calendars),
-            _ => Arc::new(self.calendars.calendars().to_vec()),
-        };
-        let snapshot = Arc::new(WorldSnapshot {
-            graph,
-            calendars,
+            graph_stamps.push(g);
+            let c = self.calendars.shard_version(s);
+            match &prev {
+                Some(p) if p.calendar_shard_version(s) == c => {
+                    cal_shards.push(Arc::clone(p.calendar_shard(s)));
+                }
+                _ => cal_shards.push(Arc::new(self.calendars.shard_slice(s, shards))),
+            }
+            cal_stamps.push(c);
+        }
+        if graph_rebuilt {
+            self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
+        }
+        let snapshot = Arc::new(WorldSnapshot::from_parts(
+            segments,
+            graph_stamps,
+            cal_shards,
+            cal_stamps,
             graph_version,
             calendar_version,
-        });
+        ));
         self.exec.publish_snapshot(Arc::clone(&snapshot));
         snapshot
     }
@@ -884,10 +942,129 @@ mod tests {
         assert_eq!(m.result_cache_hits, 1);
         assert!(m.result_cache_misses >= 1);
 
-        // Any mutation (here: a calendar edit) moves the stamp.
+        // Delta-scoped stamps sharpen the old "any mutation invalidates"
+        // rule: an SGQ reads no calendars, so a calendar edit leaves its
+        // entry replayable…
         p.set_availability(ids[0], 11, true).unwrap();
         let r3 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
-        assert!(!r3.result_cache_hit, "new epoch must re-solve");
+        assert!(
+            r3.result_cache_hit,
+            "a calendar edit cannot stale an SGQ answer"
+        );
+        // …while a graph edit inside the entry's read set re-solves.
+        p.connect(ids[0], ids[4], 4).unwrap();
+        let r4 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(!r4.result_cache_hit, "a touched graph shard must re-solve");
+    }
+
+    #[test]
+    fn a_delta_rebuilds_only_its_own_shards() {
+        // Two residue-class communities under 4 shards: people 0,4,8,…
+        // (shard 0) and 1,5,9,… (shard 1).
+        let mut p = Planner::with_exec_config(
+            8,
+            ExecConfig {
+                workers: 1,
+                shards: 4,
+                ..ExecConfig::default()
+            },
+        );
+        let ids: Vec<NodeId> = (0..12).map(|i| p.add_person(format!("p{i}"))).collect();
+        for c in 0..2u32 {
+            let members: Vec<NodeId> = ids.iter().copied().filter(|v| v.0 % 4 == c).collect();
+            for w in members.windows(2) {
+                p.connect(w[0], w[1], 1).unwrap();
+            }
+            for &m in &members {
+                p.set_availability_range(m, SlotRange::new(0, 7), true)
+                    .unwrap();
+            }
+        }
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        p.plan_sgq(ids[0], &q, Engine::Exact).unwrap(); // first publish
+        let m0 = p.metrics();
+
+        // A graph delta confined to community 0 (shard 0) republished:
+        // exactly one graph segment rebuilds, everything else is reused.
+        p.connect(ids[0], ids[8], 2).unwrap();
+        p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        let m1 = p.metrics();
+        assert_eq!(m1.snapshot_shards_rebuilt - m0.snapshot_shards_rebuilt, 1);
+        assert_eq!(m1.snapshot_shards_reused - m0.snapshot_shards_reused, 7);
+
+        // A calendar delta in community 1 likewise re-slices one shard.
+        p.set_availability(ids[1], 3, false).unwrap();
+        p.plan_sgq(ids[1], &q, Engine::Exact).unwrap();
+        let m2 = p.metrics();
+        assert_eq!(m2.snapshot_shards_rebuilt - m1.snapshot_shards_rebuilt, 1);
+        assert_eq!(m2.snapshot_shards_reused - m1.snapshot_shards_reused, 7);
+        assert_eq!(
+            m2.snapshot_rebuilds, m1.snapshot_rebuilds,
+            "no graph segment moved, so no graph rebuild is counted"
+        );
+
+        // The answers stay correct under all that reuse.
+        let oracle = solve_sgq(
+            &p.network().snapshot(),
+            ids[0],
+            &q,
+            &SelectConfig::default(),
+        )
+        .unwrap()
+        .solution
+        .map(|s| s.total_distance);
+        let served = p
+            .plan_sgq(ids[0], &q, Engine::Exact)
+            .unwrap()
+            .solution
+            .map(|s| s.total_distance);
+        assert_eq!(served, oracle);
+    }
+
+    #[test]
+    fn cache_entries_survive_writes_outside_their_shards() {
+        // Community queries keep replaying while an unrelated community
+        // churns — the delta-scoped half of the tentpole.
+        let mut p = Planner::with_exec_config(
+            8,
+            ExecConfig {
+                workers: 1,
+                shards: 4,
+                ..ExecConfig::default()
+            },
+        );
+        let ids: Vec<NodeId> = (0..12).map(|i| p.add_person(format!("p{i}"))).collect();
+        for c in 0..2u32 {
+            let members: Vec<NodeId> = ids.iter().copied().filter(|v| v.0 % 4 == c).collect();
+            for w in members.windows(2) {
+                p.connect(w[0], w[1], 1).unwrap();
+            }
+        }
+        let q = SgqQuery::new(3, 1, 0).unwrap();
+        assert!(
+            !p.plan_sgq(ids[0], &q, Engine::Exact)
+                .unwrap()
+                .result_cache_hit
+        );
+        assert!(
+            !p.plan_sgq(ids[1], &q, Engine::Exact)
+                .unwrap()
+                .result_cache_hit
+        );
+
+        // Churn community 1 (shard 1): community 0's entry must survive,
+        // community 1's must be evicted as stale — and nothing else.
+        p.connect(ids[1], ids[9], 5).unwrap();
+        let r0 = p.plan_sgq(ids[0], &q, Engine::Exact).unwrap();
+        assert!(
+            r0.result_cache_hit,
+            "shard-0 entry outlives a shard-1 write"
+        );
+        let r1 = p.plan_sgq(ids[1], &q, Engine::Exact).unwrap();
+        assert!(!r1.result_cache_hit, "shard-1 entry is stale");
+        let m = p.metrics();
+        assert_eq!(m.result_cache_evicted_stale_shard, 1);
+        assert_eq!(m.result_cache_evicted_capacity, 0);
     }
 
     #[test]

@@ -285,6 +285,17 @@ fn batch(args: &[String]) -> Result<(), String> {
         "  prep:     {} words delta'd, {} words rebuilt",
         metrics.prep_words_delta, metrics.prep_words_rebuilt,
     );
+    println!(
+        "  snapshot: {} publishes, {} shards rebuilt / {} reused",
+        metrics.snapshot_publishes, metrics.snapshot_shards_rebuilt, metrics.snapshot_shards_reused,
+    );
+    println!(
+        "  replay:   {} result-cache hits / {} misses, {} stale-shard evictions, {} capacity evictions",
+        metrics.result_cache_hits,
+        metrics.result_cache_misses,
+        metrics.result_cache_evicted_stale_shard,
+        metrics.result_cache_evicted_capacity,
+    );
     Ok(())
 }
 
@@ -422,6 +433,15 @@ fn cluster(args: &[String]) -> Result<(), String> {
             metrics.auto_recoveries,
             metrics.failovers,
             metrics.catch_up_deltas,
+        );
+        let (mut rebuilt, mut reused) = (0u64, 0u64);
+        for node in cluster.nodes() {
+            let em = node.executor().metrics();
+            rebuilt += em.snapshot_shards_rebuilt;
+            reused += em.snapshot_shards_reused;
+        }
+        println!(
+            "             snapshots: {rebuilt} shards rebuilt / {reused} reused across {nodes} node(s)"
         );
         nodes *= 2;
     }
