@@ -32,14 +32,16 @@ fn peak_rss_mib() -> f64 {
         .map_or(0.0, |kib| kib as f64 / 1024.0)
 }
 
-/// The prep-vs-descend scoreboard: for each config, the isolated
-/// wall-clock of preparation phase 1 (`prepare_pivot`) and phase 2
-/// (`finalize_pivot`) from `stgq_core::diag`, next to the whole solve —
-/// descent is (roughly) what's left. The delta/rebuilt counters show
-/// how much of the availability work the incremental run cache
-/// answered by interval arithmetic.
+/// The prep-vs-descend scoreboard: for each config, the solve's own
+/// [`StageTimings`] split (detail mode — `prepare_pivot`,
+/// `finalize_pivot` and descent clocked individually) read off the
+/// arena after each solve, next to the whole solve's wall clock. The
+/// delta/rebuilt counters show how much of the availability work the
+/// incremental run cache answered by interval arithmetic.
+///
+/// [`StageTimings`]: stgq_core::StageTimings
 fn prep_split(what: &str, ds: &Dataset, q: NodeId, query: &StgqQuery) {
-    println!("\n{what}: prep phase split (isolated; every prepared pivot finalized):");
+    println!("\n{what}: prep phase split (in-solve, detail mode):");
     let fg = FeasibleGraph::extract(&ds.graph, q, query.s());
     for (name, cfg) in [
         ("default   ", SelectConfig::default()),
@@ -58,27 +60,37 @@ fn prep_split(what: &str, ds: &Dataset, q: NodeId, query: &StgqQuery) {
                 .with_parent_completion_bound(false),
         ),
     ] {
+        let mut arena = stgq_core::PivotArena::new();
+        arena.timing_detail = true;
         // Minimum over repeats: phase timings are µs-scale, so take the
         // least-noisy observation of each quantity.
-        let mut prep_ns = u128::MAX;
-        let mut fin_ns = u128::MAX;
+        let mut prep_ns = u64::MAX;
+        let mut fin_ns = u64::MAX;
+        let mut desc_ns = u64::MAX;
         let mut solve_ns = u128::MAX;
-        let mut timing = None;
+        let mut timing = stgq_core::StageTimings::default();
+        let mut out = None;
         for _ in 0..12 {
-            let t = stgq_core::diag::stgq_prep_timing(&fg, &ds.calendars, query, &cfg);
-            prep_ns = prep_ns.min(t.prepare.as_nanos());
-            fin_ns = fin_ns.min(t.finalize.as_nanos());
-            timing = Some(t);
             let t0 = Instant::now();
-            let _ = stgq_core::solve_stgq_on(&fg, &ds.calendars, query, &cfg);
+            out = Some(stgq_core::solve_stgq_pooled(
+                &fg,
+                &ds.calendars,
+                query,
+                &cfg,
+                &mut arena,
+            ));
             solve_ns = solve_ns.min(t0.elapsed().as_nanos());
+            timing = arena.timings;
+            prep_ns = prep_ns.min(timing.prepare_ns);
+            fin_ns = fin_ns.min(timing.finalize_ns);
+            desc_ns = desc_ns.min(timing.descend_ns);
         }
-        let timing = timing.expect("12 repeats ran");
-        let out = stgq_core::solve_stgq_on(&fg, &ds.calendars, query, &cfg);
+        let out = out.expect("12 repeats ran");
         println!(
-            "    [{name}] prepare {prep_ns:>8} ns  finalize {fin_ns:>8} ns  solve {solve_ns:>8} ns  ({}/{} pivots prepared; words {} delta'd {} rebuilt; {} children parent-pruned)",
+            "    [{name}] prepare {prep_ns:>8} ns  finalize {fin_ns:>8} ns  descend {desc_ns:>8} ns  solve {solve_ns:>8} ns  ({}/{} pivots prepared, {} descended; words {} delta'd {} rebuilt; {} children parent-pruned)",
             timing.prepared,
             timing.pivots,
+            timing.descended,
             out.stats.prep_words_delta,
             out.stats.prep_words_rebuilt,
             out.stats.children_pruned_by_parent_bound,

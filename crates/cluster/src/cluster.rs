@@ -73,9 +73,13 @@ use stgq_graph::NodeId;
 use stgq_schedule::{Calendar, SlotRange};
 use stgq_service::{BatchQuery, Planner, ServiceError};
 
+use stgq_obs::prom::PromText;
+use stgq_obs::HistogramSnapshot;
+
 use crate::health::{FailureDetector, HealthConfig, Suspicion};
-use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, WireRequest};
+use crate::message::{Epoch, NodeMsg, NodeObs, NodeReply, NodeStatus, WireRequest};
 use crate::node::ClusterNode;
+use crate::obs::RpcObs;
 use crate::replication::{Replicator, SyncError};
 use crate::retry::{send_with_retry, MsgClass, RetryPolicy};
 use crate::router::{RouterError, ShardRouter};
@@ -225,6 +229,218 @@ pub struct ClusterMetrics {
     pub catch_up_deltas: u64,
 }
 
+/// The cluster's full latency spectrum: [`ClusterMetrics`] plus every
+/// node's executor histograms, both per node and merged fleet-wide —
+/// what [`Cluster::observability`] gathers with [`NodeMsg::Metrics`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClusterObs {
+    /// Writer position, per-node status/lag/suspicion, replication
+    /// counters (the same report as [`Cluster::metrics`]).
+    pub metrics: ClusterMetrics,
+    /// Each reachable node's deep report, by node index.
+    pub per_node: Vec<(usize, NodeObs)>,
+    /// Fleet-wide histograms: every node's same-named executor
+    /// histograms merged element-wise (log₂ bucket merge is exact).
+    pub merged: Vec<(String, HistogramSnapshot)>,
+    /// Cluster-side RPC round-trip histograms, one per message class
+    /// (retry backoff included).
+    pub rpc: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl ClusterObs {
+    /// Render the fleet's whole spectrum as Prometheus text exposition
+    /// format: writer position and replication/healing counters,
+    /// per-node lag/suspicion/serving gauges (label `node="i"`), the
+    /// fleet-merged histogram families (`stgq_<name>_ns` — same family
+    /// names as the single-process `Planner::prometheus_text`, so
+    /// dashboards work unchanged against either), per-node histograms
+    /// (`stgq_node_<name>_ns{node="i"}` — a separate family so summing
+    /// the merged families never double-counts), and the cluster's RPC
+    /// round-trip histograms.
+    pub fn prometheus_text(&self) -> String {
+        use stgq_service::expose::render_histograms;
+
+        let mut text = PromText::new();
+        let m = &self.metrics;
+        text.gauge(
+            "stgq_writer_graph_version",
+            "The writer's current graph version (epoch, graph axis).",
+            &[],
+            m.writer_epoch.graph as f64,
+        );
+        text.gauge(
+            "stgq_writer_calendar_version",
+            "The writer's current calendar version (epoch, calendar axis).",
+            &[],
+            m.writer_epoch.calendar as f64,
+        );
+        text.gauge(
+            "stgq_writer_seq",
+            "The writer's delta-log sequence.",
+            &[],
+            m.writer_seq as f64,
+        );
+        let cluster_counters: [(&str, &str, u64); 9] = [
+            (
+                "stgq_cluster_full_syncs",
+                "Full syncs shipped (first attaches + gap/stale repairs).",
+                m.full_syncs,
+            ),
+            (
+                "stgq_cluster_delta_batches",
+                "Incremental delta batches shipped.",
+                m.delta_batches,
+            ),
+            (
+                "stgq_cluster_failed_sends",
+                "Replication sends dropped after their whole retry budget.",
+                m.failed_sends,
+            ),
+            (
+                "stgq_cluster_heartbeats_missed",
+                "Unanswered heartbeat probes (incl. data-plane evidence).",
+                m.heartbeats_missed,
+            ),
+            (
+                "stgq_cluster_auto_drains",
+                "Nodes the failure detector drained.",
+                m.auto_drains,
+            ),
+            (
+                "stgq_cluster_auto_recoveries",
+                "Nodes the detector re-attached and undrained.",
+                m.auto_recoveries,
+            ),
+            (
+                "stgq_cluster_retries",
+                "Individual send retries performed (replication + data plane).",
+                m.retries,
+            ),
+            (
+                "stgq_cluster_failovers",
+                "Writer failovers performed.",
+                m.failovers,
+            ),
+            (
+                "stgq_cluster_catch_up_deltas",
+                "Delta records shipped to nodes recovering from a failed round.",
+                m.catch_up_deltas,
+            ),
+        ];
+        for (name, help, value) in cluster_counters {
+            text.counter(name, help, &[], value);
+        }
+        for lag in &m.nodes {
+            let node = lag.node.to_string();
+            let labels: [(&str, &str); 1] = [("node", node.as_str())];
+            let flags: [(&str, &str, bool); 3] = [
+                (
+                    "stgq_node_active",
+                    "Whether the router currently sends this node traffic.",
+                    lag.active,
+                ),
+                (
+                    "stgq_node_reachable",
+                    "Whether the status probe reached this node.",
+                    lag.reachable,
+                ),
+                (
+                    "stgq_node_attached",
+                    "Whether the node has completed its first sync.",
+                    lag.status.attached,
+                ),
+            ];
+            for (name, help, value) in flags {
+                text.gauge(name, help, &labels, if value { 1.0 } else { 0.0 });
+            }
+            let gauges: [(&str, &str, u64); 4] = [
+                (
+                    "stgq_node_seq_lag",
+                    "Writer delta sequence minus the node's (0 = caught up).",
+                    lag.seq_lag,
+                ),
+                (
+                    "stgq_node_graph_lag",
+                    "Writer graph version minus the node's.",
+                    lag.graph_lag,
+                ),
+                (
+                    "stgq_node_calendar_lag",
+                    "Writer calendar version minus the node's.",
+                    lag.calendar_lag,
+                ),
+                (
+                    "stgq_node_seq",
+                    "The last delta sequence the node applied.",
+                    lag.status.seq,
+                ),
+            ];
+            for (name, help, value) in gauges {
+                text.gauge(name, help, &labels, value as f64);
+            }
+            let (suspected, misses) = match lag.suspicion {
+                Suspicion::Healthy => (0.0, 0),
+                Suspicion::Accruing { missed } => (0.0, missed),
+                Suspicion::Suspected => (1.0, 0),
+            };
+            text.gauge(
+                "stgq_node_suspected",
+                "1 while the failure detector suspects this node.",
+                &labels,
+                suspected,
+            );
+            text.gauge(
+                "stgq_node_suspicion_misses",
+                "Consecutive heartbeat misses accrued (0 once healthy or suspected).",
+                &labels,
+                misses as f64,
+            );
+            let counters: [(&str, &str, u64); 4] = [
+                (
+                    "stgq_node_queries",
+                    "Queries answered by the node's executor.",
+                    lag.status.queries,
+                ),
+                (
+                    "stgq_node_result_cache_hits",
+                    "Result-cache hits at the node.",
+                    lag.status.result_cache_hits,
+                ),
+                (
+                    "stgq_node_full_syncs",
+                    "Full syncs this node went through.",
+                    lag.status.full_syncs,
+                ),
+                (
+                    "stgq_node_delta_batches",
+                    "Incremental delta batches this node applied.",
+                    lag.status.delta_batches,
+                ),
+            ];
+            for (name, help, value) in counters {
+                text.counter(name, help, &labels, value);
+            }
+        }
+        render_histograms(&mut text, "stgq", &self.merged, &[]);
+        for (node, obs) in &self.per_node {
+            let node = node.to_string();
+            render_histograms(
+                &mut text,
+                "stgq_node",
+                &obs.histograms,
+                &[("node", node.as_str())],
+            );
+        }
+        let rpc: Vec<(String, HistogramSnapshot)> = self
+            .rpc
+            .iter()
+            .map(|(name, snap)| (name.to_string(), *snap))
+            .collect();
+        render_histograms(&mut text, "stgq", &rpc, &[]);
+        text.finish()
+    }
+}
+
 /// A multi-node serving cluster. See the crate docs for the architecture
 /// (router → transport → replication → node executors).
 pub struct Cluster {
@@ -240,6 +456,9 @@ pub struct Cluster {
     exec_retries: AtomicU64,
     /// Writer failovers performed.
     failovers: AtomicU64,
+    /// Per-message-class RPC round-trip histograms (shared with the
+    /// replicator so both planes record into one spectrum).
+    rpc: Arc<RpcObs>,
 }
 
 impl Cluster {
@@ -269,17 +488,23 @@ impl Cluster {
             ..ExecConfig::default()
         };
         let node_count = nodes.len();
+        let rpc = Arc::new(RpcObs::default());
         Cluster {
             planner: Planner::with_exec_config(horizon, writer_exec),
             nodes,
             transport,
             router: Mutex::new(ShardRouter::new(cfg.shards, node_count)),
-            replicator: Mutex::new(Replicator::with_retry(node_count, cfg.retry)),
+            replicator: Mutex::new(Replicator::with_observer(
+                node_count,
+                cfg.retry,
+                Arc::clone(&rpc),
+            )),
             detector: Mutex::new(FailureDetector::new(node_count, cfg.health)),
             retry: cfg.retry,
             read_your_writes: cfg.read_your_writes,
             exec_retries: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
+            rpc,
         }
     }
 
@@ -422,6 +647,7 @@ impl Cluster {
                             let node = *node;
                             let policy = &self.retry;
                             let retries = &self.exec_retries;
+                            let rpc = &self.rpc;
                             scope.spawn(move || {
                                 (
                                     node,
@@ -432,6 +658,7 @@ impl Cluster {
                                         policy,
                                         MsgClass::Execute,
                                         retries,
+                                        rpc,
                                     ),
                                 )
                             })
@@ -532,6 +759,7 @@ impl Cluster {
                 &self.retry,
                 MsgClass::Status,
                 &self.exec_retries,
+                &self.rpc,
             );
             match reply {
                 Ok(_) => {
@@ -611,6 +839,7 @@ impl Cluster {
                 &self.retry,
                 MsgClass::Execute,
                 &self.exec_retries,
+                &self.rpc,
             );
             if let Ok(NodeReply::Status(status)) = reply {
                 if status.attached && best.is_none_or(|(seq, _)| status.seq > seq) {
@@ -627,6 +856,7 @@ impl Cluster {
             &self.retry,
             MsgClass::Execute,
             &self.exec_retries,
+            &self.rpc,
         )
         .map_err(FailoverError::Export)?;
         let NodeReply::State(mut state) = reply else {
@@ -740,6 +970,46 @@ impl Cluster {
             retries: replicator.retries + self.exec_retries.load(Ordering::Relaxed),
             failovers: self.failovers.load(Ordering::Relaxed),
             catch_up_deltas: replicator.catch_up_deltas,
+        }
+    }
+
+    /// Scatter [`NodeMsg::Metrics`] to every node slot and gather the
+    /// fleet's latency spectrum: per-node executor histograms, their
+    /// fleet-wide merge (same-named histograms added element-wise — the
+    /// log₂ bucket merge is exact, so the merged spectrum equals one
+    /// histogram that had seen every node's samples), and the cluster's
+    /// own per-class RPC round-trip histograms. Unreachable nodes are
+    /// simply absent from `per_node` and the merge.
+    pub fn observability(&self) -> ClusterObs {
+        let slots = self.transport.node_count();
+        let mut per_node = Vec::new();
+        let mut merged: Vec<(String, HistogramSnapshot)> = Vec::new();
+        for node in 0..slots {
+            let reply = send_with_retry(
+                &*self.transport,
+                node,
+                NodeMsg::Metrics,
+                &self.retry,
+                MsgClass::Status,
+                &self.exec_retries,
+                &self.rpc,
+            );
+            let Ok(NodeReply::Metrics(obs)) = reply else {
+                continue;
+            };
+            for (name, snap) in &obs.histograms {
+                match merged.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, acc)) => acc.merge(snap),
+                    None => merged.push((name.clone(), *snap)),
+                }
+            }
+            per_node.push((node, obs));
+        }
+        ClusterObs {
+            metrics: self.metrics(),
+            per_node,
+            merged,
+            rpc: self.rpc.histograms(),
         }
     }
 }

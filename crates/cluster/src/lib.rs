@@ -99,16 +99,22 @@ mod cluster;
 mod health;
 mod message;
 mod node;
+mod obs;
 mod replication;
 mod retry;
 mod router;
 mod tcp;
 mod transport;
 
-pub use cluster::{Cluster, ClusterConfig, ClusterError, ClusterMetrics, FailoverError, NodeLag};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterError, ClusterMetrics, ClusterObs, FailoverError, NodeLag,
+};
 pub use health::{HealthConfig, Suspicion};
-pub use message::{Epoch, NodeMsg, NodeReply, NodeStatus, ReplicationPayload, WireRequest};
+pub use message::{
+    Epoch, NodeMsg, NodeObs, NodeReply, NodeStatus, ReplicationPayload, WireRequest,
+};
 pub use node::ClusterNode;
+pub use obs::{RpcObs, CLUSTER_RPC_HISTOGRAMS};
 pub use replication::{Replicator, SyncError};
 pub use retry::{MsgClass, RetryPolicy};
 pub use router::{RouterError, ShardRouter};

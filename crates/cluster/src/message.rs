@@ -18,6 +18,7 @@ use serde::value::{get, Value};
 use serde::{DeError, Deserialize, Serialize};
 use stgq_exec::{Engine, ExecError, PlanOutcome, QuerySpec};
 use stgq_graph::NodeId;
+use stgq_obs::{HistogramSnapshot, BUCKETS};
 use stgq_service::{DeltaRecord, WorldState};
 
 /// A world version stamp: the `(graph, calendar)` pair identifying one
@@ -90,6 +91,11 @@ pub enum NodeMsg {
     /// serves as the heartbeat probe — a node that answers *anything* is
     /// alive.
     Status,
+    /// Deep observability: report status **plus** the node executor's
+    /// latency histograms ([`NodeObs`]) — what
+    /// [`Cluster::observability`](crate::Cluster::observability)
+    /// scatter/gathers to build the fleet-wide latency spectrum.
+    Metrics,
     /// Failover: export the node's full mirrored world ([`WorldState`]),
     /// so a surviving replica can be promoted to writer.
     Export,
@@ -113,6 +119,19 @@ pub struct NodeStatus {
     pub queries: u64,
     /// Result-cache hits at the node.
     pub result_cache_hits: u64,
+}
+
+/// One node's deep observability report ([`NodeMsg::Metrics`]): its
+/// status plus its executor's named latency histograms
+/// ([`stgq_exec::EXEC_HISTOGRAMS`]). Histograms cross the wire as plain
+/// bucket arrays, so the cluster can merge them fleet-wide — log₂
+/// histograms merge exactly by element-wise addition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeObs {
+    /// The node's serving status (same report as [`NodeMsg::Status`]).
+    pub status: NodeStatus,
+    /// Named histogram snapshots from the node's executor.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
 }
 
 /// A node's answer to one [`NodeMsg`].
@@ -141,6 +160,8 @@ pub enum NodeReply {
     Outcomes(Vec<Result<PlanOutcome, ExecError>>),
     /// Status report.
     Status(NodeStatus),
+    /// Deep observability report, answering [`NodeMsg::Metrics`].
+    Metrics(NodeObs),
     /// The node's full mirrored world, answering [`NodeMsg::Export`].
     State(WorldState),
 }
@@ -264,6 +285,7 @@ impl Serialize for NodeMsg {
                 obj(vec![("execute", obj(vec![("requests", reqs.to_value())]))])
             }
             NodeMsg::Status => Value::Str("status".to_string()),
+            NodeMsg::Metrics => Value::Str("metrics".to_string()),
             NodeMsg::Export => Value::Str("export".to_string()),
         }
     }
@@ -274,6 +296,7 @@ impl Deserialize for NodeMsg {
         if let Value::Str(s) = v {
             return match s.as_str() {
                 "status" => Ok(NodeMsg::Status),
+                "metrics" => Ok(NodeMsg::Metrics),
                 "export" => Ok(NodeMsg::Export),
                 other => Err(DeError::new(format!("unknown NodeMsg `{other}`"))),
             };
@@ -324,6 +347,79 @@ impl Deserialize for NodeStatus {
     }
 }
 
+// `HistogramSnapshot` is foreign to both this crate and the serde shim
+// (and `stgq-obs` is deliberately dependency-free), so its wire form
+// lives here: trailing zero buckets are trimmed on encode and padded
+// back on decode — a mostly-empty 64-bucket spectrum costs a few array
+// elements, not 64.
+fn hist_to_value(name: &str, h: &HistogramSnapshot) -> Value {
+    let used = BUCKETS - h.buckets.iter().rev().take_while(|&&b| b == 0).count();
+    obj(vec![
+        ("name", name.to_value()),
+        ("count", h.count.to_value()),
+        ("sum_ns", h.sum_ns.to_value()),
+        ("buckets", h.buckets[..used].to_vec().to_value()),
+    ])
+}
+
+fn hist_from_value(v: &Value) -> Result<(String, HistogramSnapshot), DeError> {
+    let entries = v
+        .as_object()
+        .ok_or_else(|| DeError::new("expected object for histogram"))?;
+    let raw: Vec<u64> = Vec::from_value(need(entries, "buckets", "histogram")?)?;
+    if raw.len() > BUCKETS {
+        return Err(DeError::new(format!(
+            "histogram has {} buckets, max {BUCKETS}",
+            raw.len()
+        )));
+    }
+    let mut buckets = [0u64; BUCKETS];
+    buckets[..raw.len()].copy_from_slice(&raw);
+    Ok((
+        String::from_value(need(entries, "name", "histogram")?)?,
+        HistogramSnapshot {
+            buckets,
+            count: u64::from_value(need(entries, "count", "histogram")?)?,
+            sum_ns: u64::from_value(need(entries, "sum_ns", "histogram")?)?,
+        },
+    ))
+}
+
+impl Serialize for NodeObs {
+    fn to_value(&self) -> Value {
+        obj(vec![
+            ("status", self.status.to_value()),
+            (
+                "histograms",
+                Value::Array(
+                    self.histograms
+                        .iter()
+                        .map(|(name, h)| hist_to_value(name, h))
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+impl Deserialize for NodeObs {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| DeError::new("expected object for NodeObs"))?;
+        let items = need(entries, "histograms", "NodeObs")?
+            .as_array()
+            .ok_or_else(|| DeError::new("expected array for NodeObs histograms"))?;
+        Ok(NodeObs {
+            status: NodeStatus::from_value(need(entries, "status", "NodeObs")?)?,
+            histograms: items
+                .iter()
+                .map(hist_from_value)
+                .collect::<Result<_, _>>()?,
+        })
+    }
+}
+
 impl Serialize for NodeReply {
     fn to_value(&self) -> Value {
         match self {
@@ -356,6 +452,10 @@ impl Serialize for NodeReply {
             NodeReply::Status(status) => {
                 obj(vec![("status", obj(vec![("report", status.to_value())]))])
             }
+            NodeReply::Metrics(node_obs) => obj(vec![(
+                "metrics",
+                obj(vec![("report", node_obs.to_value())]),
+            )]),
             NodeReply::State(state) => obj(vec![("state", obj(vec![("world", state.to_value())]))]),
         }
     }
@@ -403,6 +503,9 @@ impl Deserialize for NodeReply {
             "status" => Ok(NodeReply::Status(NodeStatus::from_value(need(
                 &fields, "report", "status",
             )?)?)),
+            "metrics" => Ok(NodeReply::Metrics(NodeObs::from_value(need(
+                &fields, "report", "metrics",
+            )?)?)),
             "state" => Ok(NodeReply::State(WorldState::from_value(need(
                 &fields, "world", "state",
             )?)?)),
@@ -430,6 +533,7 @@ mod tests {
         let sgq = SgqQuery::new(3, 1, 0).unwrap();
         let msgs = [
             NodeMsg::Status,
+            NodeMsg::Metrics,
             NodeMsg::Export,
             NodeMsg::Execute(vec![WireRequest {
                 initiator: NodeId(4),
@@ -466,6 +570,15 @@ mod tests {
                 delta_batches: 2,
                 queries: 3,
                 result_cache_hits: 4,
+            }),
+            NodeReply::Metrics(NodeObs {
+                status: NodeStatus::default(),
+                histograms: vec![("end_to_end".to_string(), {
+                    let h = stgq_obs::Histogram::new();
+                    h.record_ns(1); // bucket 0
+                    h.record_ns(u64::MAX); // bucket 63: trimming must keep it
+                    h.snapshot()
+                })],
             }),
             NodeReply::State(WorldState {
                 horizon: 8,

@@ -19,7 +19,9 @@ use stgq_service::{CalendarStore, MutableNetwork};
 use stgq_graph::NodeId;
 use stgq_service::WorldState;
 
-use crate::message::{Epoch, NodeMsg, NodeReply, NodeStatus, ReplicationPayload, WireRequest};
+use crate::message::{
+    Epoch, NodeMsg, NodeObs, NodeReply, NodeStatus, ReplicationPayload, WireRequest,
+};
 
 /// The mirrored mutable world behind one node's executor.
 struct ReplicaWorld {
@@ -80,6 +82,7 @@ impl ClusterNode {
             NodeMsg::Replicate(payload) => self.apply_replication(payload),
             NodeMsg::Execute(requests) => self.execute(requests),
             NodeMsg::Status => NodeReply::Status(self.status()),
+            NodeMsg::Metrics => NodeReply::Metrics(self.observability()),
             NodeMsg::Export => NodeReply::State(self.export_state()),
         }
     }
@@ -144,6 +147,22 @@ impl ClusterNode {
             delta_batches: world.delta_batches,
             queries: m.queries,
             result_cache_hits: m.result_cache_hits,
+        }
+    }
+
+    /// The node's deep observability report: status plus its executor's
+    /// named latency histograms — what crosses the wire for
+    /// [`NodeMsg::Metrics`].
+    pub fn observability(&self) -> NodeObs {
+        NodeObs {
+            status: self.status(),
+            histograms: self
+                .exec
+                .obs()
+                .histograms()
+                .into_iter()
+                .map(|(name, snap)| (name.to_string(), snap))
+                .collect(),
         }
     }
 

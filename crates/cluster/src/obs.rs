@@ -1,0 +1,78 @@
+//! Cluster-side RPC observability: per-message-class round-trip
+//! histograms.
+//!
+//! Every logical send that crosses the transport is timed **around its
+//! whole retry loop** — the recorded round-trip includes backoff sleeps
+//! and failed attempts, so the histogram answers "what did reaching
+//! this node actually cost the caller", not "how fast is one frame".
+//! One histogram per [`MsgClass`] (replication, execute,
+//! status/observability probes), lock-free and mergeable like every
+//! other histogram in the pipeline.
+
+use stgq_obs::{Histogram, HistogramSnapshot};
+
+use crate::retry::MsgClass;
+
+/// The RPC histogram names, in exposition order (matching
+/// [`RpcObs::histograms`]).
+pub const CLUSTER_RPC_HISTOGRAMS: [&str; 3] = ["rpc_replication", "rpc_execute", "rpc_status"];
+
+/// Per-message-class RPC round-trip histograms (retry backoff
+/// included). Owned by the [`Cluster`](crate::Cluster) and shared with
+/// its [`Replicator`](crate::Replicator), so both planes record into
+/// the same spectrum.
+#[derive(Debug, Default)]
+pub struct RpcObs {
+    /// Writer → replica replication sends.
+    pub replication: Histogram,
+    /// Router → node scatter/gather sends.
+    pub execute: Histogram,
+    /// Heartbeat / status / metrics probes.
+    pub status: Histogram,
+}
+
+impl RpcObs {
+    /// The histogram recording `class`'s round-trips.
+    pub fn for_class(&self, class: MsgClass) -> &Histogram {
+        match class {
+            MsgClass::Replication => &self.replication,
+            MsgClass::Execute => &self.execute,
+            MsgClass::Status => &self.status,
+        }
+    }
+
+    /// Named snapshots of all three class histograms, in
+    /// [`CLUSTER_RPC_HISTOGRAMS`] order.
+    pub fn histograms(&self) -> Vec<(&'static str, HistogramSnapshot)> {
+        vec![
+            ("rpc_replication", self.replication.snapshot()),
+            ("rpc_execute", self.execute.snapshot()),
+            ("rpc_status", self.status.snapshot()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn classes_record_into_distinct_histograms() {
+        let rpc = RpcObs::default();
+        rpc.for_class(MsgClass::Execute)
+            .record(Duration::from_micros(5));
+        rpc.for_class(MsgClass::Execute)
+            .record(Duration::from_micros(9));
+        rpc.for_class(MsgClass::Status)
+            .record(Duration::from_nanos(100));
+        let hists = rpc.histograms();
+        assert_eq!(
+            hists.iter().map(|(n, _)| *n).collect::<Vec<_>>(),
+            CLUSTER_RPC_HISTOGRAMS.to_vec()
+        );
+        assert_eq!(hists[0].1.count, 0, "replication untouched");
+        assert_eq!(hists[1].1.count, 2);
+        assert_eq!(hists[2].1.count, 1);
+    }
+}

@@ -16,10 +16,12 @@
 //! the node restarted) is repaired with a full sync in the same round.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use stgq_service::Planner;
 
 use crate::message::{Epoch, NodeMsg, NodeReply, ReplicationPayload};
+use crate::obs::RpcObs;
 use crate::retry::{send_with_retry, MsgClass, RetryPolicy};
 use crate::transport::{Transport, TransportError};
 
@@ -62,6 +64,10 @@ pub struct Replicator {
     /// Retry schedule for replication sends ([`MsgClass::Replication`]
     /// budget); [`RetryPolicy::none`] restores single-shot sends.
     retry: RetryPolicy,
+    /// RPC round-trip histograms — shared with the owning
+    /// [`Cluster`](crate::Cluster) so replication and data-plane sends
+    /// land in one spectrum.
+    rpc: Arc<RpcObs>,
     /// Full syncs shipped (first attaches + gap/stale repairs).
     pub full_syncs: u64,
     /// Incremental delta batches shipped.
@@ -85,11 +91,18 @@ impl Replicator {
 
     /// A replicator whose sends retry per `retry`'s replication budget.
     pub fn with_retry(nodes: usize, retry: RetryPolicy) -> Self {
+        Replicator::with_observer(nodes, retry, Arc::new(RpcObs::default()))
+    }
+
+    /// A replicator recording its send round-trips into a shared
+    /// [`RpcObs`] (the cluster passes its own, so both planes merge).
+    pub fn with_observer(nodes: usize, retry: RetryPolicy, rpc: Arc<RpcObs>) -> Self {
         Replicator {
             acked: vec![None; nodes],
             epochs: vec![Epoch::default(); nodes],
             lagging: vec![false; nodes],
             retry,
+            rpc,
             full_syncs: 0,
             delta_batches: 0,
             failed_sends: 0,
@@ -219,6 +232,7 @@ impl Replicator {
             &self.retry,
             MsgClass::Replication,
             &retries,
+            &self.rpc,
         );
         self.retries += retries.load(Ordering::Relaxed);
         result.map_err(|e| {

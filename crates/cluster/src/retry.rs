@@ -21,9 +21,10 @@
 //! same schedule and replay bit-identically.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::message::{NodeMsg, NodeReply};
+use crate::obs::RpcObs;
 use crate::transport::{Transport, TransportError};
 
 /// Which plane a message belongs to — each has its own retry budget.
@@ -128,8 +129,25 @@ impl RetryPolicy {
 /// Send `msg` to `node`, retrying transport failures within the class
 /// budget (each retry bumps `retries` — the cluster-wide robustness
 /// counter). Protocol-level replies are never retried: a node that
-/// *answered* is alive, whatever it said.
+/// *answered* is alive, whatever it said. The whole call — every
+/// attempt plus every backoff sleep — is recorded as one round-trip in
+/// `rpc`'s class histogram, success or not.
 pub(crate) fn send_with_retry(
+    transport: &dyn Transport,
+    node: usize,
+    msg: NodeMsg,
+    policy: &RetryPolicy,
+    class: MsgClass,
+    retries: &AtomicU64,
+    rpc: &RpcObs,
+) -> Result<NodeReply, TransportError> {
+    let t0 = Instant::now();
+    let result = send_once_budgeted(transport, node, msg, policy, class, retries);
+    rpc.for_class(class).record(t0.elapsed());
+    result
+}
+
+fn send_once_budgeted(
     transport: &dyn Transport,
     node: usize,
     msg: NodeMsg,

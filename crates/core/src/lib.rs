@@ -164,6 +164,14 @@
 //! budget truncation, so [`SolveOutcome::stop_cause`] can report
 //! `FrameBudget` vs `Cancelled` honestly.
 //!
+//! Each sequential STGQ solve also splits its own wall clock —
+//! preparation vs exact descent — into [`StageTimings`] on the
+//! [`PivotArena`] it ran on (two clock reads per descended pivot; see
+//! the [`timings`] module), so the serving layer can histogram the
+//! prep/descend split live. Wall-clock numbers stay out of
+//! [`SearchStats`] and all solve outcomes, which remain deterministic
+//! and bit-comparable.
+//!
 //! The pre-optimization implementations are preserved verbatim in
 //! [`reference`]; cross-engine tests assert identical optima and the
 //! `hotpath` criterion suite in `stgq-bench` tracks the speedup
@@ -202,8 +210,6 @@ mod baseline;
 mod combinations;
 mod config;
 mod control;
-#[doc(hidden)]
-pub mod diag;
 mod error;
 pub mod heuristics;
 mod incumbent;
@@ -219,6 +225,7 @@ mod serde_impls;
 mod sgselect;
 mod stats;
 mod stgselect;
+pub mod timings;
 pub mod validate;
 
 pub use baseline::{
@@ -241,3 +248,4 @@ pub use stats::SearchStats;
 pub use stgselect::{
     solve_stgq, solve_stgq_controlled, solve_stgq_on, solve_stgq_pooled, PivotArena,
 };
+pub use timings::StageTimings;

@@ -78,6 +78,8 @@
 // Parallel per-slot counters are clearer with indexed loops.
 #![allow(clippy::needless_range_loop)]
 
+use std::time::Instant;
+
 use stgq_graph::{for_each_zero_bit, BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::pivot::{pivot_interval, pivot_of_window, pivot_slots};
 use stgq_schedule::{Calendar, Cals, SlotId, SlotRange};
@@ -88,9 +90,17 @@ use crate::reduce::{
     initiator_core_ok, kplex_frame_prune, peel_min_deg, peel_to_core, MatchScratch, ParentFloor,
 };
 use crate::sgselect::{VaState, VsAggregates};
+use crate::timings::StageTimings;
 use crate::{
     QueryError, SearchStats, SelectConfig, SolveControl, StgqOutcome, StgqQuery, StgqSolution,
 };
+
+/// Nanoseconds of a span, saturating (a span can't realistically exceed
+/// `u64::MAX` ns, but the cast must not wrap).
+#[inline]
+fn span_ns(from: Instant, to: Instant) -> u64 {
+    u64::try_from((to - from).as_nanos()).unwrap_or(u64::MAX)
+}
 
 /// Solve an STGQ with STGSelect.
 ///
@@ -163,6 +173,9 @@ pub fn solve_stgq_controlled<'a>(
     let p = query.p();
     let mut stats = SearchStats::default();
     arena.pooling = cfg.pool_pivot_buffers;
+    // A stale split from the previous solve must never be read as this
+    // one's, whichever early return below fires.
+    arena.timings = StageTimings::default();
 
     // No calendars ⇒ nobody (the initiator included) is ever available.
     // `solve_stgq` rejects this earlier with `CalendarCountMismatch`; this
@@ -192,6 +205,19 @@ pub fn solve_stgq_controlled<'a>(
     let prep = PivotPrep::new(fg, p, query.k(), m, horizon, &cfg);
     arena.begin_solve();
 
+    // Stage-timing state (see `crate::timings`). Coarse mode is
+    // mark-based: one mark before the loop, advanced only around exact
+    // descent — a pivot that never descends costs zero clock reads and
+    // folds into the next preparation span. Detail mode clocks each
+    // phase call individually instead.
+    let timing = arena.record_timings;
+    let detail = timing && arena.timing_detail;
+    let mut tm = StageTimings {
+        pivots: pivots.len() as u64,
+        ..StageTimings::default()
+    };
+    let mut mark = if timing { Some(Instant::now()) } else { None };
+
     let incumbent = Incumbent::new();
     for pivot in pivots {
         // Cooperative stop between pivots: a cancelled search frame set
@@ -209,9 +235,15 @@ pub fn solve_stgq_controlled<'a>(
                 break;
             }
         }
-        let Some(mut job) = prepare_pivot(fg, calendars, &prep, pivot, &mut stats, arena) else {
+        let prep_t0 = detail.then(Instant::now);
+        let prepared = prepare_pivot(fg, calendars, &prep, pivot, &mut stats, arena);
+        if let Some(t0) = prep_t0 {
+            tm.prepare_ns += span_ns(t0, Instant::now());
+        }
+        let Some(mut job) = prepared else {
             continue;
         };
+        tm.prepared += 1;
         // Pivot-granularity Lemma 2 against the phase-1 plain bound:
         // every group at this pivot spends at least `dist_bound`, so an
         // incumbent at or below it cannot be strictly beaten here — skip
@@ -221,7 +253,12 @@ pub fn solve_stgq_controlled<'a>(
             arena.recycle(job);
             continue;
         }
-        if !finalize_pivot(fg, calendars, &prep, &mut job, &mut stats, arena) {
+        let fin_t0 = detail.then(Instant::now);
+        let finalized = finalize_pivot(fg, calendars, &prep, &mut job, &mut stats, arena);
+        if let Some(t0) = fin_t0 {
+            tm.finalize_ns += span_ns(t0, Instant::now());
+        }
+        if !finalized {
             arena.recycle(job);
             continue;
         }
@@ -260,8 +297,39 @@ pub fn solve_stgq_controlled<'a>(
                 continue;
             }
         }
+        // Coarse split: everything since the last mark was preparation
+        // (including skipped pivots and seeding); the descent span is
+        // exactly the search call.
+        if timing && !detail {
+            let now = Instant::now();
+            if let Some(m0) = mark {
+                tm.prepare_ns += span_ns(m0, now);
+            }
+            mark = Some(now);
+        }
+        let search_t0 = detail.then(Instant::now);
+        tm.descended += 1;
         search_pivot_controlled(fg, query, &cfg, &mut job, &incumbent, &mut stats, control);
+        if let Some(t0) = search_t0 {
+            tm.descend_ns += span_ns(t0, Instant::now());
+        } else if timing {
+            let now = Instant::now();
+            if let Some(m0) = mark {
+                tm.descend_ns += span_ns(m0, now);
+            }
+            mark = Some(now);
+        }
         arena.recycle(job);
+    }
+    if timing {
+        if !detail {
+            // Tail of the loop after the last descent — pivots prepared
+            // but skipped, or none at all — is preparation time.
+            if let Some(m0) = mark {
+                tm.prepare_ns += span_ns(m0, Instant::now());
+            }
+        }
+        arena.timings = tm;
     }
 
     let solution = incumbent.into_best().map(|(dist, b)| StgqSolution {
@@ -629,9 +697,26 @@ impl PivotJob {
 /// re-initialised by `prepare_pivot`, so results are bit-identical with
 /// pooling disabled ([`SelectConfig::pool_pivot_buffers`]).
 ///
+/// The arena also carries the solve's wall-clock stage split: every
+/// sequential STGQ solve run on it refreshes [`timings`](Self::timings)
+/// (see [`crate::timings`] for the recording modes and their cost).
+///
 /// [`SelectConfig::pool_pivot_buffers`]: crate::SelectConfig::pool_pivot_buffers
-#[derive(Default)]
 pub struct PivotArena {
+    /// Wall-clock stage split of the most recent sequential STGQ solve
+    /// run on this arena (reset at the top of every such solve; stays
+    /// [`StageTimings::default`] when recording is off or the solve
+    /// never entered the pivot loop).
+    pub timings: StageTimings,
+    /// Whether solves record [`timings`](Self::timings) (default on —
+    /// coarse mode costs two clock reads per descended pivot; the
+    /// instrumentation-overhead bench flips this off for its baseline
+    /// arm).
+    pub record_timings: bool,
+    /// Isolate `prepare_pivot` / `finalize_pivot` / descent with
+    /// per-call clocks instead of the coarse span scheme (perf tooling
+    /// only; see [`crate::timings`]).
+    pub timing_detail: bool,
     pub(crate) pooling: bool,
     spare: Option<PivotJob>,
     /// The arena's own one-entry reduction memo: the last distinct
@@ -659,6 +744,23 @@ pub struct PivotArena {
     /// Peel scratch (degree array + cascade queue).
     deg_scratch: Vec<u32>,
     queue_scratch: Vec<u32>,
+}
+
+impl Default for PivotArena {
+    /// Pooling off, timing recording on (coarse mode).
+    fn default() -> Self {
+        PivotArena {
+            timings: StageTimings::default(),
+            record_timings: true,
+            timing_detail: false,
+            pooling: false,
+            spare: None,
+            memo: None,
+            run_cache: Vec::new(),
+            deg_scratch: Vec::new(),
+            queue_scratch: Vec::new(),
+        }
+    }
 }
 
 impl PivotArena {
@@ -1954,6 +2056,51 @@ mod tests {
         assert_eq!(sol.period, SlotRange::new(1, 3));
         assert_eq!(sol.total_distance, 17 + 27 + 23);
         assert_eq!(sol.pivot, 2, "anchored on pivot ts3");
+    }
+
+    #[test]
+    fn stage_timings_track_the_pivot_loop() {
+        let (g, q, cals) = example3_inputs();
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let cfg = SelectConfig::default();
+        let fg = FeasibleGraph::extract(&g, q, query.s());
+
+        // Coarse mode (the default): the solve fills the split and the
+        // spans cover every descended pivot.
+        let mut arena = PivotArena::new();
+        let out = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert!(out.solution.is_some());
+        let coarse = arena.timings;
+        assert_eq!(coarse.pivots, 2, "horizon 7, m=3 → pivot slots {{2, 5}}");
+        assert!(coarse.prepared >= 1);
+        assert!(coarse.descended <= coarse.prepared);
+        assert!(coarse.prepare_ns > 0, "the loop ran, prep time is real");
+        assert_eq!(
+            coarse.finalize_ns, 0,
+            "coarse mode folds finalize into prepare"
+        );
+        if coarse.descended > 0 {
+            assert!(coarse.descend_ns > 0);
+        }
+
+        // Detail mode isolates the phases; counters are identical.
+        arena.timing_detail = true;
+        let detailed_out = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(detailed_out, out, "timing mode never changes the answer");
+        let detail = arena.timings;
+        assert_eq!(
+            (detail.pivots, detail.prepared, detail.descended),
+            (coarse.pivots, coarse.prepared, coarse.descended)
+        );
+        assert!(detail.prepare_ns > 0);
+        assert!(detail.prep_ns() >= detail.prepare_ns);
+
+        // Recording off: the split is wiped, not stale.
+        arena.timing_detail = false;
+        arena.record_timings = false;
+        let off_out = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(off_out, out);
+        assert!(arena.timings.is_empty(), "off leaves no stale timings");
     }
 
     #[test]

@@ -11,6 +11,7 @@ use stgq_schedule::Calendar;
 
 use crate::cache::ShardedFeasibleCache;
 use crate::metrics::{ExecCounters, ExecMetrics};
+use crate::obs::ExecObs;
 use crate::queue::{JobQueue, Ticket, TicketSlot};
 use crate::request::{ExecError, PlanOutcome, PlanRequest};
 use crate::snapshot::{SnapshotCell, WorldSnapshot};
@@ -37,6 +38,17 @@ pub struct ExecConfig {
     /// Engine configuration queries run with (replaceable at runtime via
     /// [`Executor::set_select_config`]).
     pub select: SelectConfig,
+    /// Flight-recorder ring capacity — how many recent
+    /// [`QueryTrace`](stgq_obs::QueryTrace)s are kept (`0` disables the
+    /// ring; the slow-query log still runs).
+    pub trace_ring: usize,
+    /// Slow-query log size: the `N` slowest solves at or over
+    /// [`slow_query_threshold`](Self::slow_query_threshold) are kept
+    /// (`0` disables the log).
+    pub slow_log: usize,
+    /// End-to-end latency at or above which a solve enters the
+    /// slow-query log.
+    pub slow_query_threshold: std::time::Duration,
 }
 
 impl Default for ExecConfig {
@@ -48,6 +60,9 @@ impl Default for ExecConfig {
             cache_capacity: 256,
             result_cache_capacity: 512,
             select: SelectConfig::default(),
+            trace_ring: 256,
+            slow_log: 16,
+            slow_query_threshold: std::time::Duration::from_millis(10),
         }
     }
 }
@@ -85,6 +100,7 @@ impl Executor {
             cache: ShardedFeasibleCache::new(shards, cfg.cache_capacity),
             results: crate::cache::ResultCache::new(shards, cfg.result_cache_capacity),
             counters: ExecCounters::default(),
+            obs: ExecObs::new(cfg.trace_ring, cfg.slow_log, cfg.slow_query_threshold),
             jobs: JobQueue::new(),
         });
         let pool = WorkerPool::spawn(&shared, workers);
@@ -112,6 +128,7 @@ impl Executor {
     /// ([`ExecMetrics::snapshot_shards_reused`] /
     /// [`ExecMetrics::snapshot_shards_rebuilt`]).
     pub fn publish_snapshot(&self, snapshot: Arc<WorldSnapshot>) {
+        let publish_t0 = std::time::Instant::now();
         let previous = self.snapshot.current();
         let mut rebuilt = 0u64;
         let mut reused = 0u64;
@@ -139,6 +156,10 @@ impl Executor {
             .fetch_add(rebuilt, Ordering::Relaxed);
         c.snapshot_shards_reused
             .fetch_add(reused, Ordering::Relaxed);
+        self.shared
+            .obs
+            .snapshot_publish
+            .record(publish_t0.elapsed());
     }
 
     /// Convenience [`publish_snapshot`](Self::publish_snapshot) from a
@@ -219,6 +240,7 @@ impl Executor {
         let pending = Pending {
             request,
             ticket: Arc::clone(&slot),
+            admitted_at: std::time::Instant::now(),
         };
         let drained = {
             let mut admission = self.admission.lock();
@@ -278,7 +300,7 @@ impl Executor {
         let snapshot = self.snapshot.current().ok_or(ExecError::NoSnapshot)?;
         let select = *self.select.lock();
         let mut arena = std::mem::take(&mut *self.inline_arena.lock());
-        let result = run_entry(&self.shared, &mut arena, &snapshot, &select, &request);
+        let result = run_entry(&self.shared, &mut arena, &snapshot, &select, &request, 0);
         *self.inline_arena.lock() = arena;
         result
     }
@@ -303,6 +325,11 @@ impl Executor {
     }
 
     // -- observability ------------------------------------------------
+
+    /// Latency histograms and the per-query flight recorder.
+    pub fn obs(&self) -> &ExecObs {
+        &self.shared.obs
+    }
 
     /// Point-in-time counters.
     pub fn metrics(&self) -> ExecMetrics {
@@ -408,7 +435,7 @@ mod tests {
             max_batch: 64,
             cache_capacity: 32,
             result_cache_capacity: 64,
-            select: SelectConfig::default(),
+            ..ExecConfig::default()
         });
         exec.publish_snapshot(world());
         exec
@@ -709,7 +736,7 @@ mod tests {
             max_batch: 2,
             cache_capacity: 8,
             result_cache_capacity: 8,
-            select: SelectConfig::default(),
+            ..ExecConfig::default()
         });
         exec.publish_snapshot(world());
         let sgq = SgqQuery::new(3, 1, 0).unwrap();

@@ -72,6 +72,7 @@ mod cache;
 mod engine;
 mod executor;
 mod metrics;
+mod obs;
 mod queue;
 mod request;
 #[cfg(feature = "serde")]
@@ -82,6 +83,7 @@ mod worker;
 pub use engine::Engine;
 pub use executor::{ExecConfig, Executor};
 pub use metrics::ExecMetrics;
+pub use obs::{ExecObs, EXEC_HISTOGRAMS};
 pub use queue::Ticket;
 pub use request::{ExecError, PlanOutcome, PlanRequest, QuerySpec};
 pub use snapshot::WorldSnapshot;

@@ -124,7 +124,16 @@ impl ExecCounters {
             .fetch_add(stats.prep_words_delta, Ordering::Relaxed);
         self.prep_words_rebuilt
             .fetch_add(stats.prep_words_rebuilt, Ordering::Relaxed);
-        if stats.cancelled {
+    }
+
+    /// Count an answered query's stop cause. Lives at the *envelope* —
+    /// every answer passes through it exactly once, whether the engine
+    /// ran, the result cache replayed, or a within-batch clone collapsed
+    /// — so `cancelled` cannot drift between the solve and fast paths.
+    /// (`note_search` deliberately does not look at `stats.cancelled`:
+    /// it only runs when an engine did.)
+    pub(crate) fn note_stop(&self, stop: stgq_core::StopCause) {
+        if stop == stgq_core::StopCause::Cancelled {
             self.cancelled.fetch_add(1, Ordering::Relaxed);
         }
     }

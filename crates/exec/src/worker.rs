@@ -5,12 +5,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use stgq_core::{PivotArena, SelectConfig, SolveControl, StopCause};
+use stgq_core::{PivotArena, SelectConfig, SolveControl, StageTimings, StopCause};
+use stgq_obs::{QueryTrace, StageBreakdown};
 use stgq_schedule::{Calendar, Cals};
 
 use crate::cache::{ResultCache, ShardedFeasibleCache};
-use crate::engine::run_spec;
+use crate::engine::{run_spec, Engine};
 use crate::metrics::ExecCounters;
+use crate::obs::ExecObs;
 use crate::queue::{JobQueue, TicketSlot};
 use crate::request::{ExecError, PlanOutcome, PlanRequest, QuerySpec};
 use crate::snapshot::WorldSnapshot;
@@ -19,6 +21,9 @@ use crate::snapshot::WorldSnapshot;
 pub(crate) struct Pending {
     pub(crate) request: PlanRequest,
     pub(crate) ticket: Arc<TicketSlot>,
+    /// When [`Executor::submit`](crate::Executor::submit) accepted the
+    /// request — the start of its admission-queue wait.
+    pub(crate) admitted_at: Instant,
 }
 
 /// One shard's slice of a drained batch: every entry shares the
@@ -35,7 +40,14 @@ pub(crate) struct ExecShared {
     pub(crate) cache: ShardedFeasibleCache,
     pub(crate) results: ResultCache,
     pub(crate) counters: ExecCounters,
+    pub(crate) obs: ExecObs,
     pub(crate) jobs: JobQueue<Job>,
+}
+
+/// Nanoseconds of a duration, saturating at `u64::MAX`.
+#[inline]
+fn ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Execute every entry of one shard job in submission order, fulfilling
@@ -55,6 +67,8 @@ pub(crate) fn run_job(shared: &ExecShared, arena: &mut PivotArena, job: Job) {
     let mut solved: Vec<(PlanRequest, PlanOutcome)> = Vec::new();
     for entry in job.entries {
         let request = entry.request;
+        let queue_wait_ns = ns(entry.admitted_at.elapsed());
+        shared.obs.queue_wait.record_ns(queue_wait_ns);
         if request.collapsible() {
             if let Some((_, prior)) = solved
                 .iter()
@@ -71,11 +85,23 @@ pub(crate) fn run_job(shared: &ExecShared, arena: &mut PivotArena, job: Job) {
                     .collapsed_entries
                     .fetch_add(1, Ordering::Relaxed);
                 shared.counters.queries.fetch_add(1, Ordering::Relaxed);
+                // The envelope sees every answer: a collapsed clone's
+                // end-to-end latency is its queue wait, and its stop
+                // cause is counted exactly like a fresh solve's.
+                shared.counters.note_stop(outcome.stop);
+                shared.obs.end_to_end.record_ns(queue_wait_ns);
                 entry.ticket.fulfill(Ok(outcome));
                 continue;
             }
         }
-        let result = run_entry(shared, arena, &job.snapshot, &job.select, &request);
+        let result = run_entry(
+            shared,
+            arena,
+            &job.snapshot,
+            &job.select,
+            &request,
+            queue_wait_ns,
+        );
         if let Ok(outcome) = &result {
             if request.collapsible() {
                 solved.push((request, outcome.clone()));
@@ -85,14 +111,18 @@ pub(crate) fn run_job(shared: &ExecShared, arena: &mut PivotArena, job: Job) {
     }
 }
 
-/// Solve one request against one snapshot epoch.
+/// Solve one request against one snapshot epoch. `queue_wait_ns` is the
+/// entry's admission-queue wait (0 on the inline path), folded into its
+/// end-to-end latency sample and trace.
 pub(crate) fn run_entry(
     shared: &ExecShared,
     arena: &mut PivotArena,
     snapshot: &WorldSnapshot,
     select: &SelectConfig,
     request: &PlanRequest,
+    queue_wait_ns: u64,
 ) -> Result<PlanOutcome, ExecError> {
+    let envelope_t0 = Instant::now();
     let node_count = snapshot.node_count();
     if request.initiator.index() >= node_count {
         return Err(ExecError::InitiatorOutOfRange {
@@ -121,13 +151,30 @@ pub(crate) fn run_entry(
                 .results
                 .get(request.initiator, request.spec, request.engine, snapshot)
         {
+            // The replay fast path is still an answered query: it
+            // samples end-to-end latency (that is what makes the cache
+            // visible as the distribution's low mode) and counts its
+            // stop cause at the envelope like every other answer.
+            shared.counters.note_stop(outcome.stop);
+            shared
+                .obs
+                .end_to_end
+                .record_ns(queue_wait_ns.saturating_add(ns(envelope_t0.elapsed())));
             return Ok(outcome);
         }
     }
+    let extract_t0 = Instant::now();
     let (fg, feasible_cache_hit) =
         shared
             .cache
             .get_or_extract(snapshot, request.initiator, request.spec.s());
+    let extract_ns = if feasible_cache_hit {
+        0
+    } else {
+        let d = ns(extract_t0.elapsed());
+        shared.obs.feasible_extract.record_ns(d);
+        d
+    };
 
     let mut control = SolveControl::new();
     if let Some(deadline) = request.deadline {
@@ -142,6 +189,10 @@ pub(crate) fn run_entry(
         QuerySpec::Stgq(_) => snapshot.calendars().into(),
         QuerySpec::Sgq(_) => (&[] as &[Calendar]).into(),
     };
+    // The arena may have last served a different engine family (SGQ
+    // solves never touch its timings) — wipe, so the split read below is
+    // this solve's or nothing.
+    arena.timings = StageTimings::default();
     let start = Instant::now();
     let (outcome, evaluations) = run_spec(
         &fg,
@@ -153,9 +204,11 @@ pub(crate) fn run_entry(
         arena,
     );
     let elapsed = start.elapsed();
+    let timings = arena.timings;
 
     shared.counters.note_search(outcome.stats());
     let stop = outcome.stop_cause();
+    shared.counters.note_stop(stop);
     // Consistency by construction: heuristics never claim exactness, and
     // the exact family is exact iff nothing (budget *or* cancellation)
     // stopped the search — `exact` and `stop` cannot disagree.
@@ -190,7 +243,76 @@ pub(crate) fn run_entry(
             plan_outcome.clone(),
         );
     }
+
+    // Latency spectrum + flight record for the actual solve.
+    let total_ns = queue_wait_ns.saturating_add(ns(envelope_t0.elapsed()));
+    let obs = &shared.obs;
+    obs.solve.record(elapsed);
+    obs.end_to_end.record_ns(total_ns);
+    if !timings.is_empty() {
+        obs.prep.record_ns(timings.prep_ns());
+        obs.descend.record_ns(timings.descend_ns);
+    }
+    if obs.recorder.enabled() {
+        let stats = plan_outcome.outcome.stats();
+        obs.recorder.record(QueryTrace {
+            initiator: request.initiator.0,
+            query: query_label(&request.spec, request.engine),
+            stages: StageBreakdown {
+                queue_wait_ns,
+                extract_ns,
+                prepare_ns: timings.prepare_ns,
+                finalize_ns: timings.finalize_ns,
+                descend_ns: timings.descend_ns,
+                solve_ns: ns(elapsed),
+                total_ns,
+            },
+            objective: plan_outcome.outcome.objective(),
+            stop: stop_label(stop),
+            exact: plan_outcome.exact,
+            feasible_cache_hit,
+            frames: stats.frames_examined(),
+            frames_pruned_by_bound: stats.frames_pruned_by_bound(),
+            frames_pruned_by_match: stats.frames_pruned_by_match,
+            pivots_processed: stats.pivots_processed,
+            pivots_skipped: stats.pivots_skipped,
+            peeled_candidates: stats.peeled_candidates,
+            prep_words_delta: stats.prep_words_delta,
+            prep_words_rebuilt: stats.prep_words_rebuilt,
+        });
+    }
     Ok(plan_outcome)
+}
+
+/// Human-readable query + engine label for traces, e.g.
+/// `stgq(p=4,s=2,k=2,m=4)/exact`.
+fn query_label(spec: &QuerySpec, engine: Engine) -> String {
+    let engine = match engine {
+        Engine::Exact => "exact",
+        Engine::ExactParallel { .. } => "exact_parallel",
+        Engine::Anytime { .. } => "anytime",
+        Engine::Greedy { .. } => "greedy",
+        Engine::LocalSearch { .. } => "local_search",
+    };
+    match spec {
+        QuerySpec::Sgq(q) => format!("sgq(p={},s={},k={})/{engine}", q.p(), q.s(), q.k()),
+        QuerySpec::Stgq(q) => format!(
+            "stgq(p={},s={},k={},m={})/{engine}",
+            q.p(),
+            q.s(),
+            q.k(),
+            q.m()
+        ),
+    }
+}
+
+/// Stable string form of a stop cause for traces and reports.
+fn stop_label(stop: StopCause) -> &'static str {
+    match stop {
+        StopCause::Completed => "completed",
+        StopCause::FrameBudget => "frame_budget",
+        StopCause::Cancelled => "cancelled",
+    }
 }
 
 /// The fixed worker pool: `workers` threads blocking on the shared job

@@ -1,0 +1,294 @@
+//! Lock-free log₂-bucket latency histograms.
+//!
+//! A [`Histogram`] is 64 atomic buckets plus an atomic count and sum;
+//! recording a sample is three `Relaxed` `fetch_add`s and a
+//! `leading_zeros` — no locks, no allocation, safe to share behind an
+//! `Arc` across every worker thread. Bucket *i* covers the nanosecond
+//! range `[2^i, 2^(i+1))` (bucket 0 additionally holds 0 ns), so the
+//! whole `u64` range is representable and relative resolution is a
+//! constant factor of two at every scale.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::time::Duration;
+
+/// Number of log₂ buckets — one per possible `u64` magnitude.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a sample of `ns` nanoseconds lands in: `floor(log2(ns))`,
+/// with 0 ns in bucket 0.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    if ns == 0 {
+        0
+    } else {
+        63 - ns.leading_zeros() as usize
+    }
+}
+
+/// The inclusive `[lo, hi]` nanosecond range bucket `i` covers:
+/// `[2^i, 2^(i+1) - 1]`, except bucket 0 which covers `[0, 1]` and
+/// bucket 63 whose upper edge saturates at `u64::MAX`.
+#[inline]
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    assert!(i < BUCKETS, "bucket index {i} out of range");
+    let lo = if i == 0 { 0 } else { 1u64 << i };
+    let hi = if i >= 63 {
+        u64::MAX
+    } else {
+        (1u64 << (i + 1)) - 1
+    };
+    (lo, hi)
+}
+
+/// A lock-free latency histogram with log₂ nanosecond buckets.
+///
+/// Writers call [`record`](Histogram::record) concurrently; readers take
+/// a [`snapshot`](Histogram::snapshot) (a plain-integer copy) to merge,
+/// render or query. Relaxed ordering is deliberate: each sample is an
+/// independent event and snapshots only need eventual per-bucket sums,
+/// not cross-bucket consistency at an instant.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; BUCKETS],
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one sample of `ns` nanoseconds.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.buckets[bucket_index(ns)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum_ns.fetch_add(ns, Relaxed);
+    }
+
+    /// Record one duration sample (saturating at `u64::MAX` ns — ~584
+    /// years, never reached by a real span).
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// A plain-integer copy of the current state, for merging and
+    /// exposition.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(&self.buckets) {
+            *dst = src.load(Relaxed);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Relaxed),
+            sum_ns: self.sum_ns.load(Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`]: plain integers, mergeable,
+/// serializable by callers, and the unit the cluster ships between nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (`buckets[i]` covers
+    /// [`bucket_bounds`]`(i)` nanoseconds).
+    pub buckets: [u64; BUCKETS],
+    /// Total samples.
+    pub count: u64,
+    /// Sum of all samples in nanoseconds (saturating).
+    pub sum_ns: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merge another snapshot into this one: element-wise saturating
+    /// addition. Associative and commutative by construction, so a
+    /// fleet-wide merge is order-independent.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (dst, src) in self.buckets.iter_mut().zip(&other.buckets) {
+            *dst = dst.saturating_add(*src);
+        }
+        self.count = self.count.saturating_add(other.count);
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+    }
+
+    /// Mean sample in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// Bounds on the `q`-quantile (0 < q ≤ 1): the inclusive `[lo, hi]`
+    /// nanosecond range of the bucket holding the order statistic of
+    /// rank `ceil(q · count)`.
+    ///
+    /// **Guarantee:** every recorded sample of that rank lies within the
+    /// returned range — the bucket edges bound the true quantile from
+    /// both sides, with `hi ≤ 2·lo + 1` (a factor-of-two band). Returns
+    /// `(0, 0)` on an empty snapshot.
+    pub fn quantile_bounds(&self, q: f64) -> (u64, u64) {
+        if self.count == 0 {
+            return (0, 0);
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic (1-based), at least the first.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen = seen.saturating_add(n);
+            if seen >= rank {
+                return bucket_bounds(i);
+            }
+        }
+        // Unreachable when count equals the bucket total; defensively
+        // return the widest upper bucket.
+        bucket_bounds(BUCKETS - 1)
+    }
+
+    /// Total samples at or below bucket `i` (the cumulative count
+    /// Prometheus `le` buckets expose).
+    pub fn cumulative(&self, i: usize) -> u64 {
+        self.buckets[..=i.min(BUCKETS - 1)]
+            .iter()
+            .fold(0u64, |acc, &n| acc.saturating_add(n))
+    }
+
+    /// Index of the highest non-empty bucket, if any.
+    pub fn max_bucket(&self) -> Option<usize> {
+        self.buckets.iter().rposition(|&n| n > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(u64::MAX), 63);
+        for i in 0..BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= hi);
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            if i > 0 {
+                let (_, prev_hi) = bucket_bounds(i - 1);
+                assert_eq!(lo, prev_hi + 1, "buckets tile with no gap");
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot_agree() {
+        let h = Histogram::new();
+        h.record_ns(0);
+        h.record_ns(1);
+        h.record_ns(1000);
+        h.record(Duration::from_micros(3));
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 1 + 1000 + 3000);
+        assert_eq!(s.buckets[0], 2);
+        assert_eq!(s.buckets[bucket_index(1000)], 1);
+        assert_eq!(s.buckets[bucket_index(3000)], 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_order_statistic() {
+        let h = Histogram::new();
+        for ns in [10u64, 20, 30, 40, 1000] {
+            h.record_ns(ns);
+        }
+        let s = h.snapshot();
+        // Median (rank 3) is 30 ns → bucket [16, 31].
+        let (lo, hi) = s.quantile_bounds(0.5);
+        assert!(lo <= 30 && 30 <= hi, "median 30 within [{lo}, {hi}]");
+        // p100 (rank 5) is 1000 ns → bucket [512, 1023].
+        let (lo, hi) = s.quantile_bounds(1.0);
+        assert!(lo <= 1000 && 1000 <= hi);
+        assert_eq!(s.quantile_bounds(0.0), s.quantile_bounds(1e-9));
+        assert_eq!(HistogramSnapshot::empty().quantile_bounds(0.5), (0, 0));
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.record_ns(5);
+        a.record_ns(100);
+        b.record_ns(100);
+        b.record_ns(70_000);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 4);
+        assert_eq!(m.sum_ns, 5 + 100 + 100 + 70_000);
+        assert_eq!(m.buckets[bucket_index(100)], 2);
+        assert_eq!(m.cumulative(BUCKETS - 1), 4);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = std::sync::Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        h.record_ns(t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.snapshot().cumulative(BUCKETS - 1), 4000);
+    }
+}

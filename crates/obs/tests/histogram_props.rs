@@ -1,0 +1,109 @@
+//! Property tests for the log₂ histogram: merge algebra, bucket
+//! boundary exactness, and the quantile-bound guarantee, each checked
+//! against a sorted-vector reference.
+
+use proptest::prelude::*;
+use stgq_obs::{bucket_bounds, bucket_index, Histogram, HistogramSnapshot, BUCKETS};
+
+/// Build a snapshot holding exactly `samples`.
+fn snap(samples: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &ns in samples {
+        h.record_ns(ns);
+    }
+    h.snapshot()
+}
+
+/// Nanosecond samples spanning every magnitude (uniform over the bit
+/// width first, then over the value, so small buckets are exercised as
+/// often as huge ones).
+fn sample_ns(shift: u32, raw: u64) -> u64 {
+    raw >> (shift % 64)
+}
+
+proptest! {
+    /// Merge is associative and commutative: any grouping/order of a
+    /// fleet-wide merge yields the identical snapshot.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec((0u32..64, 0u64..u64::MAX), 0..40),
+        b in proptest::collection::vec((0u32..64, 0u64..u64::MAX), 0..40),
+        c in proptest::collection::vec((0u32..64, 0u64..u64::MAX), 0..40),
+    ) {
+        let to_snap = |v: &Vec<(u32, u64)>| {
+            snap(&v.iter().map(|&(s, r)| sample_ns(s, r)).collect::<Vec<_>>())
+        };
+        let (sa, sb, sc) = (to_snap(&a), to_snap(&b), to_snap(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa;
+        left.merge(&sb);
+        left.merge(&sc);
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb;
+        bc.merge(&sc);
+        let mut right = sa;
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+
+        // a ⊕ b == b ⊕ a
+        let mut ab = sa;
+        ab.merge(&sb);
+        let mut ba = sb;
+        ba.merge(&sa);
+        prop_assert_eq!(ab, ba);
+
+        // Identity: merging an empty snapshot changes nothing.
+        let mut with_empty = sa;
+        with_empty.merge(&HistogramSnapshot::empty());
+        prop_assert_eq!(with_empty, sa);
+    }
+
+    /// Every sample lands in exactly the bucket whose `[lo, hi]` bounds
+    /// contain it, and the bucket edges tile the whole `u64` range.
+    #[test]
+    fn bucket_boundaries_are_exact(shift in 0u32..64, raw in 0u64..u64::MAX) {
+        let ns = sample_ns(shift, raw);
+        let i = bucket_index(ns);
+        let (lo, hi) = bucket_bounds(i);
+        prop_assert!(lo <= ns && ns <= hi, "{ns} outside bucket {i} = [{lo}, {hi}]");
+        // The edges themselves classify into the same bucket (no
+        // off-by-one at a boundary) and adjacent buckets leave no gap.
+        prop_assert_eq!(bucket_index(lo), i);
+        prop_assert_eq!(bucket_index(hi), i);
+        if i + 1 < BUCKETS {
+            prop_assert_eq!(bucket_index(hi + 1), i + 1);
+        }
+        let s = snap(&[ns]);
+        prop_assert_eq!(s.buckets[i], 1);
+        prop_assert_eq!(s.cumulative(i), 1);
+        if i > 0 {
+            prop_assert_eq!(s.cumulative(i - 1), 0);
+        }
+    }
+
+    /// `quantile_bounds(q)` brackets the true order statistic of rank
+    /// `ceil(q·count)` from both sides, within a factor-of-two band.
+    #[test]
+    fn quantile_bounds_bracket_the_true_order_statistic(
+        samples in proptest::collection::vec((0u32..64, 0u64..u64::MAX), 1..60),
+        q_millis in 1u32..=1000,
+    ) {
+        let ns: Vec<u64> = samples.iter().map(|&(s, r)| sample_ns(s, r)).collect();
+        let s = snap(&ns);
+        let q = q_millis as f64 / 1000.0;
+        let (lo, hi) = s.quantile_bounds(q);
+
+        let mut sorted = ns.clone();
+        sorted.sort_unstable();
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        let truth = sorted[rank - 1];
+        prop_assert!(
+            lo <= truth && truth <= hi,
+            "q={q}: rank-{rank} statistic {truth} outside [{lo}, {hi}]"
+        );
+        // The proven band: upper bound within a factor of two (+1 for
+        // the integer edge) of the lower.
+        prop_assert!(hi <= lo.saturating_mul(2).saturating_add(1));
+    }
+}

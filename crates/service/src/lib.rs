@@ -55,6 +55,7 @@
 mod calendars;
 mod delta;
 mod error;
+pub mod expose;
 mod network;
 mod planner;
 mod shared;

@@ -27,6 +27,7 @@ fn main() -> ExitCode {
         Some("query") => query(&args[1..]),
         Some("batch") => batch(&args[1..]),
         Some("cluster") => cluster(&args[1..]),
+        Some("metrics") => metrics(&args[1..]),
         Some("--help") | Some("-h") | None => {
             eprint!("{USAGE}");
             return ExitCode::SUCCESS;
@@ -52,6 +53,9 @@ usage:
                   [--workers N] [--chunk N]
   stgq-plan cluster --data FILE -p N [-s N] [-k N] [-m N] [--queries N]
                     [--max-nodes N]
+  stgq-plan metrics [--data FILE | --members N] [--seed N] [-p N] [-s N]
+                    [-k N] [-m N] [--queries N] [--nodes N] [--slow-log]
+                    [--slow-threshold-us N]
 
 generate  writes a JSON dataset snapshot (194-person community analog by
           default; --coauthor N switches to the coauthorship model).
@@ -64,6 +68,41 @@ cluster   drives the same workload through stgq-cluster at 1, 2, ...,
           --max-nodes in-process nodes (shard router -> transport ->
           replicated epoch snapshots) and reports scale-out throughput
           plus replication metrics.
+metrics   drives the hot workload against a shard-aligned metropolis
+          world of --members people (default 2000; --data serves a
+          snapshot instead), then prints the full latency spectrum in
+          Prometheus text format: end-to-end, queue-wait, solve, prep,
+          descend, feasible-extract and snapshot-publish histograms —
+          fleet-merged and per node at --nodes >= 1 (default 2), plus
+          per-message-class RPC round-trips, per-node lag/suspicion and
+          every pipeline counter. --nodes 0 exposes one in-process
+          planner instead. --slow-log dumps the flight recorder's
+          slowest-N query traces as JSON instead of the exposition.
+
+slow-query triage, worked example:
+  1. capture: lower the slow threshold until the suspects land in the log
+       stgq-plan metrics --members 4000 -p 6 --slow-threshold-us 200 \\
+                         --nodes 0 --slow-log
+  2. each trace breaks one solve into its stage spans (ns):
+       {\"initiator\":931,\"query\":\"stgq(p=6,s=2,k=5,m=4)\",
+        \"queue_wait_ns\":2901,\"extract_ns\":102,\"prepare_ns\":312876,
+        \"descend_ns\":501234,\"total_ns\":841303,
+        \"frames\":184223,\"frames_pruned_by_bound\":1742,
+        \"prep_words_delta\":0,\"prep_words_rebuilt\":96320,...}
+  3. read the dominant span against its counters:
+       descend_ns dominating, frames_pruned_by_bound low
+         -> the distance bounds are not biting: suspect a query shape
+            the incumbent cannot tighten (large p, loose k) or a cold
+            incumbent right after a write burst.
+       prepare_ns dominating, prep_words_rebuilt >> prep_words_delta
+         -> calendar churn invalidated the incremental-prep run cache:
+            batch mutations between query waves.
+       extract_ns large on repeat initiators
+         -> feasible-graph cache evictions: raise the cache capacity
+            above the distinct-initiator count.
+       queue_wait_ns dominating while solve_ns is modest
+         -> admission backlog: add workers (or nodes) rather than
+            tuning the engine.
 ";
 
 /// Pull `--flag value` (or `-f value`) out of an argument list.
@@ -444,6 +483,156 @@ fn cluster(args: &[String]) -> Result<(), String> {
             "             snapshots: {rebuilt} shards rebuilt / {reused} reused across {nodes} node(s)"
         );
         nodes *= 2;
+    }
+    Ok(())
+}
+
+/// Drive the hot workload against a metropolis world (or a snapshot)
+/// and print the latency spectrum as Prometheus text — or, with
+/// `--slow-log`, the flight recorder's slowest-N traces as JSON.
+fn metrics(args: &[String]) -> Result<(), String> {
+    use stgq::cluster::{Cluster, ClusterConfig};
+    use stgq::datagen::metropolis::{metropolis, MetropolisConfig};
+    use stgq::exec::{ExecConfig, QuerySpec};
+    use stgq::service::{BatchQuery, Engine, Planner};
+
+    let p: usize = match take_value(args, &["-p"])? {
+        Some(v) => parse(&v, "-p")?,
+        None => 4,
+    };
+    let s: usize = match take_value(args, &["-s"])? {
+        Some(v) => parse(&v, "-s")?,
+        None => 2,
+    };
+    let k: usize = match take_value(args, &["-k"])? {
+        Some(v) => parse(&v, "-k")?,
+        None => p.saturating_sub(1),
+    };
+    let m: usize = match take_value(args, &["-m"])? {
+        Some(v) => parse(&v, "-m")?,
+        None => 4,
+    };
+    let queries: usize = match take_value(args, &["--queries"])? {
+        Some(v) => parse(&v, "--queries")?,
+        None => 48,
+    };
+    let nodes: usize = match take_value(args, &["--nodes"])? {
+        Some(v) => parse(&v, "--nodes")?,
+        None => 2,
+    };
+    let seed: u64 = match take_value(args, &["--seed"])? {
+        Some(v) => parse(&v, "--seed")?,
+        None => 42,
+    };
+    let members: usize = match take_value(args, &["--members"])? {
+        Some(v) => parse(&v, "--members")?,
+        None => 2_000,
+    };
+    let slow_log = args.iter().any(|a| a == "--slow-log");
+    let slow_query_threshold = match take_value(args, &["--slow-threshold-us"])? {
+        Some(v) => std::time::Duration::from_micros(parse(&v, "--slow-threshold-us")?),
+        None => ExecConfig::default().slow_query_threshold,
+    };
+
+    let ds = match take_value(args, &["--data", "-d"])? {
+        Some(f) => load_dataset(&PathBuf::from(&f)).map_err(|e| e.to_string())?,
+        None => metropolis(&MetropolisConfig::with_members(members), 2, seed),
+    };
+    let exec = ExecConfig {
+        slow_query_threshold,
+        ..ExecConfig::default()
+    };
+
+    // The same hot workload shape as `batch`/`cluster`: queries repeat
+    // across a small pool of popular initiators, so the spectrum shows
+    // both the solve mode and the replay/collapse fast path.
+    let sgq = SgqQuery::new(p, s, k).map_err(|e| e.to_string())?;
+    let stgq = StgqQuery::new(p, s, k, m).map_err(|e| e.to_string())?;
+    let n = ds.graph.node_count() as u32;
+    let distinct = (queries / 3).max(1) as u32;
+    let workload: Vec<BatchQuery> = (0..queries as u32)
+        .map(|i| {
+            let d = (i * 13 + i / 7) % distinct;
+            BatchQuery {
+                initiator: NodeId((d * 29 + 7) % n),
+                spec: if d.is_multiple_of(2) {
+                    QuerySpec::Stgq(stgq)
+                } else {
+                    QuerySpec::Sgq(sgq)
+                },
+                engine: Engine::Exact,
+            }
+        })
+        .collect();
+
+    if nodes == 0 {
+        // One in-process planner: the single-process spectrum.
+        let mut planner = Planner::with_exec_config(ds.grid.horizon(), exec);
+        for v in 0..ds.graph.node_count() {
+            planner.add_person(format!("p{v}"));
+        }
+        for e in ds.graph.edges() {
+            planner
+                .connect(e.a, e.b, e.weight)
+                .map_err(|e| e.to_string())?;
+        }
+        for (v, cal) in ds.calendars.iter().enumerate() {
+            planner
+                .set_calendar(NodeId(v as u32), cal.clone())
+                .map_err(|e| e.to_string())?;
+        }
+        // Two passes: the first solves, the second replays — both modes
+        // of the end-to-end distribution get samples.
+        for _ in 0..2 {
+            for reply in planner.plan_batch(&workload) {
+                reply.map_err(|e| e.to_string())?;
+            }
+        }
+        if slow_log {
+            println!("{}", planner.executor().obs().recorder.slow_queries_json());
+        } else {
+            print!("{}", planner.prometheus_text());
+        }
+        return Ok(());
+    }
+
+    let cfg = ClusterConfig {
+        nodes,
+        node_exec: ExecConfig { workers: 1, ..exec },
+        ..ClusterConfig::default()
+    };
+    let mut cluster = Cluster::new(ds.grid.horizon(), cfg);
+    for v in 0..ds.graph.node_count() {
+        cluster.add_person(format!("p{v}"));
+    }
+    for e in ds.graph.edges() {
+        cluster
+            .connect(e.a, e.b, e.weight)
+            .map_err(|e| e.to_string())?;
+    }
+    for (v, cal) in ds.calendars.iter().enumerate() {
+        cluster
+            .set_calendar(NodeId(v as u32), cal.clone())
+            .map_err(|e| e.to_string())?;
+    }
+    for _ in 0..2 {
+        for reply in cluster.plan_batch(&workload) {
+            reply.map_err(|e| e.to_string())?;
+        }
+    }
+    // One detection round so suspicion/reachability gauges are live.
+    cluster.heartbeat();
+    if slow_log {
+        // One JSON object per line, keyed by node.
+        for node in cluster.nodes() {
+            println!(
+                "{{\"node\":{},\"slow_queries\":{}}}",
+                node.id(),
+                node.executor().obs().recorder.slow_queries_json()
+            );
+        }
+    } else {
+        print!("{}", cluster.observability().prometheus_text());
     }
     Ok(())
 }

@@ -52,7 +52,45 @@
 //!   snapshots: a shard router scatters batches across per-node
 //!   executors, a single writer ships version-stamped deltas (full sync
 //!   on attach or gap) through a pluggable transport, and read-your-writes
-//!   is enforced via minimum-epoch requirements on requests.
+//!   is enforced via minimum-epoch requirements on requests;
+//! * [`obs`] — dependency-free observability primitives: lock-free log₂
+//!   latency histograms, the per-query flight recorder, and the
+//!   Prometheus text renderer/parser.
+//!
+//! # Observability
+//!
+//! Every serving layer records into the same spectrum — lock-free log₂
+//! histograms ([`obs::Histogram`]) and a per-query flight recorder
+//! ([`obs::FlightRecorder`]) — exposed as Prometheus text by
+//! `service::Planner::prometheus_text` (one process) and
+//! `cluster::ClusterObs::prometheus_text` (fleet-merged plus per-node),
+//! and from the command line by `stgq-plan metrics`. Instrumentation is
+//! always compiled in; the only in-solve cost is two clock reads per
+//! descended pivot (`query::StageTimings`), gated by the `obs-overhead`
+//! bench at ≤ 2%.
+//!
+//! The counters and histograms map onto the serving pipeline like this
+//! (histogram families carry the `_ns` suffix in the exposition):
+//!
+//! | Pipeline stage | Histograms | Counters (`MetricsSnapshot`) |
+//! |---|---|---|
+//! | **admission** — submit → a worker picks the entry up | `queue_wait` | `batched_entries` |
+//! | **shard batch** — group by initiator shard, collapse repeats | — | `collapsed_entries` (and `queries`) |
+//! | **cache** — version-stamped result replay, feasible-graph lookup | `end_to_end` low mode | `result_cache_hits`/`misses`, `result_cache_evicted_*`, `feasible_cache_hits`/`misses` |
+//! | **prepare** — feasible extraction + pivot availability buffers | `feasible_extract`, `prep` | `prep_words_delta`, `prep_words_rebuilt` |
+//! | **peel** — fixpoint (p, k)-core reduction before descent | inside `solve` | `peeled_candidates`, `pivots_refused_by_core` |
+//! | **floor** — pivot-granularity distance bound skipping whole pivots | inside `solve` | `pivots_skipped` |
+//! | **descend** — the exact branch & bound itself | `descend`, `solve` | `frames_examined`, `frames_pruned_by_bound`, `frames_pruned_by_match`, `children_pruned_by_parent_bound`, `cancelled` |
+//! | **publish** — epoch-swapped snapshot rebuild after mutations | `snapshot_publish` | `snapshot_rebuilds`, `snapshot_shards_rebuilt`/`reused`, `mutations` |
+//!
+//! End-to-end latency (`end_to_end`) spans the whole row set: queue wait
+//! plus the answer envelope, sampled for every answer including replays.
+//! The cluster adds per-message-class RPC round-trip histograms
+//! (`rpc_replication`, `rpc_execute`, `rpc_status` — retry backoff
+//! included) and per-node lag/suspicion gauges. Solves slower than
+//! `exec::ExecConfig::slow_query_threshold` land in the slow-query log
+//! with their full stage breakdown (`stgq-plan metrics --slow-log`; the
+//! `stgq-plan --help` text walks through a triage).
 //!
 //! ```
 //! use stgq::prelude::*;
@@ -82,6 +120,7 @@ pub use stgq_graph as graph;
 pub use stgq_ip as ip;
 pub use stgq_kplex as kplex;
 pub use stgq_mip as mip;
+pub use stgq_obs as obs;
 pub use stgq_schedule as schedule;
 pub use stgq_service as service;
 

@@ -493,6 +493,76 @@ fn writer_failover_mid_write_stream_preserves_epochs_and_answers() {
     assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
 }
 
+/// ROADMAP 3(c): the per-shard version stamps must keep the replicas'
+/// result caches serving replays *across a writer failover* — epochs
+/// are bumped past everything ever acked, so caches re-key (one miss
+/// round at the promoted epoch) and then replay at no worse a rate
+/// than before the failover.
+#[test]
+fn failover_restores_result_cache_replay_hit_rates() {
+    let (mut cluster, _injector, ids) = faulty_cluster(3);
+    let batch = everyone_asks(&ids);
+
+    let counts = |cluster: &Cluster| -> Vec<(u64, u64)> {
+        cluster
+            .nodes()
+            .iter()
+            .map(|n| {
+                let s = n.status();
+                (s.result_cache_hits, s.queries)
+            })
+            .collect()
+    };
+    // Per-node replay hit rate over a window of the repeated stream.
+    let window_rates = |cluster: &mut Cluster, batch: &[BatchQuery]| -> Vec<f64> {
+        let before = counts(cluster);
+        for _ in 0..3 {
+            assert!(cluster.plan_batch(batch).iter().all(|r| r.is_ok()));
+        }
+        let after = counts(cluster);
+        before
+            .iter()
+            .zip(&after)
+            .map(|(&(h0, q0), &(h1, q1))| {
+                assert!(q1 > q0, "every node serves part of the stream");
+                (h1 - h0) as f64 / (q1 - q0) as f64
+            })
+            .collect()
+    };
+
+    // Attach + cold solves, then one warm round: each node's cache now
+    // holds every entry of the stream at the current epoch.
+    for _ in 0..2 {
+        assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+    }
+    let pre = window_rates(&mut cluster, &batch);
+    assert!(
+        pre.iter().all(|&r| r > 0.0),
+        "the repeated stream must replay before the failover: {pre:?}"
+    );
+
+    // Writer lost; the best replica's mirror is promoted. Version
+    // stamps jump past every acked epoch, so the first round re-solves
+    // (old-epoch cache entries can never alias) and the second warms
+    // the caches at the promoted stamps.
+    let donor = cluster.fail_over().expect("replicas are reachable");
+    assert!(donor < 3);
+    for _ in 0..2 {
+        assert!(cluster.plan_batch(&batch).iter().all(|r| r.is_ok()));
+    }
+
+    // The promoted node and both other replicas replay at least as
+    // well as before the failover.
+    let post = window_rates(&mut cluster, &batch);
+    for (node, (&before, &after)) in pre.iter().zip(&post).enumerate() {
+        assert!(
+            after >= before,
+            "node {node} replay rate degraded across failover: \
+             {before:.3} -> {after:.3} (donor {donor})"
+        );
+    }
+}
+
 /// One full chaos campaign: a deterministic fault schedule (probabilistic
 /// drops, injected latency, a one-way partition, a crash/restart) driven
 /// over a 3-node cluster for 12 rounds. Returns the per-round settled
