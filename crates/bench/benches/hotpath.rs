@@ -30,11 +30,11 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use stgq_bench::figures::{
-    calendar_churn_dataset, sgq_dataset, sparse_fringe_dataset, stgq_dataset,
+    calendar_churn_dataset, plaza_dataset, sgq_dataset, sparse_fringe_dataset, stgq_dataset,
 };
 use stgq_core::reference::{solve_sgq_reference_on, solve_stgq_reference_on};
 use stgq_core::{solve_sgq_on, solve_stgq_on, SelectConfig, SgqQuery, StgqQuery};
-use stgq_graph::FeasibleGraph;
+use stgq_graph::{CandidateTopology, FeasibleGraph, FeasibleView, ShardedGraph};
 
 fn bench_stgselect(c: &mut Criterion) {
     let cfg = SelectConfig::default();
@@ -155,6 +155,75 @@ fn bench_calendar_churn(c: &mut Criterion) {
     g.finish();
 }
 
+/// Per-query candidate-space extraction: the zero-copy `FeasibleView`
+/// against materializing a `FeasibleGraph` from the same sharded CSR
+/// snapshot. Two worlds bracket the regime: fig1f (a ~120-candidate
+/// community set, the common case) and plaza (a 1200-candidate
+/// world-sized set with heavy rows — extraction-bound serving). Both
+/// sides are asserted index-identical before timing, and the plaza pair
+/// enforces the acceptance floor — the view must extract at least 2×
+/// faster than the materialized path (observed ~5–7×).
+fn bench_extract(c: &mut Criterion) {
+    let mut g = c.benchmark_group("extract");
+    g.sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300));
+
+    let (fig_ds, fig_q) = stgq_dataset(7);
+    let (plaza_ds, plaza_q) = plaza_dataset(1);
+    let cases = [
+        ("fig1f-days7", &fig_ds, fig_q, 2usize),
+        ("plaza", &plaza_ds, plaza_q, 1usize),
+    ];
+    for (label, ds, q, s) in cases {
+        let sharded = ShardedGraph::from_flat(&ds.graph, 16);
+        let fg = FeasibleGraph::extract_from(&sharded, q, s);
+        let view = FeasibleView::extract(&sharded, q, s);
+        assert_eq!(CandidateTopology::len(&view), fg.len());
+        assert_eq!(view.candidate_order(), fg.candidate_order());
+        for i in 0..fg.len() as u32 {
+            assert_eq!(view.adj_words(i), fg.adj_words(i), "{label} row {i}");
+        }
+
+        g.bench_function(format!("{label}-view"), |b| {
+            b.iter(|| FeasibleView::extract(&sharded, q, s))
+        });
+        g.bench_function(format!("{label}-materialized"), |b| {
+            b.iter(|| FeasibleGraph::extract_from(&sharded, q, s))
+        });
+
+        if label == "plaza" {
+            // The acceptance floor, measured as a median over repeats so
+            // a single descheduled iteration cannot fail the run.
+            let median = |f: &dyn Fn() -> u128| {
+                let mut xs: Vec<u128> = (0..21).map(|_| f()).collect();
+                xs.sort_unstable();
+                xs[xs.len() / 2]
+            };
+            let view_ns = median(&|| {
+                let t0 = std::time::Instant::now();
+                let _ = FeasibleView::extract(&sharded, q, s);
+                t0.elapsed().as_nanos()
+            });
+            let mat_ns = median(&|| {
+                let t0 = std::time::Instant::now();
+                let _ = FeasibleGraph::extract_from(&sharded, q, s);
+                t0.elapsed().as_nanos()
+            });
+            println!(
+                "extract/plaza: view {view_ns} ns vs materialized {mat_ns} ns ({:.2}x)",
+                mat_ns as f64 / view_ns as f64
+            );
+            assert!(
+                view_ns * 2 <= mat_ns,
+                "zero-copy extraction must be >= 2x the materialized path \
+                 (view {view_ns} ns, materialized {mat_ns} ns)"
+            );
+        }
+    }
+    g.finish();
+}
+
 fn bench_sgselect(c: &mut Criterion) {
     let cfg = SelectConfig::default();
     let mut g = c.benchmark_group("hotpath");
@@ -189,6 +258,7 @@ criterion_group!(
     bench_stgselect,
     bench_sparse_fringe,
     bench_calendar_churn,
-    bench_sgselect
+    bench_sgselect,
+    bench_extract
 );
 criterion_main!(benches);

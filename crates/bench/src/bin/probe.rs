@@ -7,7 +7,7 @@ use std::time::Instant;
 use stgq_bench::figures::{calendar_churn_dataset, stgq_dataset};
 use stgq_core::{solve_stgq, SelectConfig, StgqQuery};
 use stgq_datagen::Dataset;
-use stgq_graph::{FeasibleGraph, NodeId};
+use stgq_graph::{FeasibleGraph, FeasibleView, NodeId, ShardedGraph};
 
 /// Percent reduction of `a` relative to `b` (0 when `b` is 0).
 fn pct(a: u64, b: u64) -> f64 {
@@ -117,6 +117,24 @@ fn main() {
     println!(
         "feasible graph: {} vertices, extract {extract_ns} ns",
         fg.len()
+    );
+
+    // The zero-copy counterpart: same Definition-1 DP, but adjacency
+    // words are generated over the snapshot's CSR segments instead of
+    // copied into a per-query matrix.
+    let sharded = ShardedGraph::from_flat(&ds.graph, 4);
+    let t0 = Instant::now();
+    let mut view = None;
+    for _ in 0..100 {
+        view = Some(FeasibleView::extract(&sharded, q, query.s()));
+    }
+    let view_ns = t0.elapsed().as_nanos() / 100;
+    let view = view.unwrap();
+    println!(
+        "feasible view:  {} vertices, extract {view_ns} ns ({:.2}x vs materialized, {} words generated)",
+        stgq_graph::CandidateTopology::len(&view),
+        extract_ns as f64 / view_ns as f64,
+        view.words_generated(),
     );
 
     let t0 = Instant::now();
@@ -259,6 +277,10 @@ fn main() {
             (
                 "no pbnd",
                 SelectConfig::default().with_parent_completion_bound(false),
+            ),
+            (
+                "no mot ",
+                SelectConfig::default().with_materialize_on_touch(false),
             ),
             (
                 "pr4 on ",

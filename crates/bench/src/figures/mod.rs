@@ -20,7 +20,9 @@ pub mod fig1g;
 pub mod fig1h;
 mod quality;
 
-use stgq_datagen::scenario::{calendar_churn, real_analog_194, sparse_fringe, synthetic_coauthor};
+use stgq_datagen::scenario::{
+    calendar_churn, plaza, real_analog_194, sparse_fringe, synthetic_coauthor,
+};
 use stgq_datagen::{pick_initiator, Dataset};
 use stgq_graph::{NodeId, SocialGraph};
 
@@ -62,6 +64,15 @@ pub fn calendar_churn_dataset(days: usize) -> (Dataset, NodeId) {
     let ds = calendar_churn(days, SEED);
     let q = pick_initiator(&ds.graph, INITIATOR_DEGREE);
     (ds, q)
+}
+
+/// The plaza dataset over `days` days: one hub acquainted with all 1200
+/// people on the square, heavy CSR rows, shallow descent — the
+/// extraction-bound workload (see [`stgq_datagen::scenario::plaza`]).
+/// The initiator is the hub itself, not a degree-20 pick: the whole
+/// point is the world-sized radius-1 eligible set.
+pub fn plaza_dataset(days: usize) -> (Dataset, NodeId) {
+    (plaza(days, SEED), NodeId(0))
 }
 
 /// The Figure-1(d) coauthorship dataset at size `n`.

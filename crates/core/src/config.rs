@@ -198,6 +198,21 @@ pub struct SelectConfig {
     ///
     /// [`SearchStats::children_pruned_by_parent_bound`]: crate::SearchStats::children_pruned_by_parent_bound
     pub parent_completion_bound: bool,
+    /// **Materialize availability rows on first frame touch**: defer a
+    /// pivot's availability-word build and Lemma-5 unavailability
+    /// counters out of finalization and into the moment the search
+    /// actually opens the pivot's first frame. Pivots retired between
+    /// finalization and descent — by the post-finalize distance floor or
+    /// by an incumbent found while seeding — then pay *zero*
+    /// availability word traffic instead of a full per-candidate
+    /// calendar materialization. Answers and pruning behaviour are
+    /// unchanged: the same buffers hold the same bits, just built later
+    /// (or never, for pivots that provably cannot win). Counted through
+    /// [`SearchStats::prep_words_rebuilt`], which drops by exactly the
+    /// skipped pivots' share (STGSelect only).
+    ///
+    /// [`SearchStats::prep_words_rebuilt`]: crate::SearchStats::prep_words_rebuilt
+    pub materialize_on_touch: bool,
 }
 
 impl SelectConfig {
@@ -221,6 +236,7 @@ impl SelectConfig {
         shared_pivot_prep: true,
         incremental_prep: true,
         parent_completion_bound: true,
+        materialize_on_touch: true,
     };
 
     /// Ablation preset: the previous release's *sequential* search
@@ -243,6 +259,7 @@ impl SelectConfig {
         shared_pivot_prep: false,
         incremental_prep: false,
         parent_completion_bound: false,
+        materialize_on_touch: false,
         ..SelectConfig::PAPER_EXAMPLE
     };
 
@@ -390,6 +407,15 @@ impl SelectConfig {
         }
     }
 
+    /// This config with first-frame-touch availability materialization
+    /// toggled.
+    pub const fn with_materialize_on_touch(self, on: bool) -> Self {
+        SelectConfig {
+            materialize_on_touch: on,
+            ..self
+        }
+    }
+
     /// The previous release's all-on behaviour: this config with the
     /// candidate-space reduction layer (fixpoint core peeling, the
     /// k-plex matching bound and shared pivot preprocessing) switched
@@ -474,6 +500,7 @@ mod tests {
         assert!(c.acq_pivot_floor);
         assert!(c.core_peel_fixpoint && c.kplex_match_bound && c.shared_pivot_prep);
         assert!(c.incremental_prep && c.parent_completion_bound);
+        assert!(c.materialize_on_touch);
 
         let off = SelectConfig::NO_SEARCH_REDUCTION;
         assert_eq!(off.seed_restarts, 0);
@@ -482,6 +509,7 @@ mod tests {
         assert!(!off.acq_pivot_floor);
         assert!(!off.core_peel_fixpoint && !off.kplex_match_bound && !off.shared_pivot_prep);
         assert!(!off.incremental_prep && !off.parent_completion_bound);
+        assert!(!off.materialize_on_touch);
         assert!(
             off.distance_pruning && off.acquaintance_pruning,
             "the baseline keeps the paper's pruning; only the PR-2 pieces are off"
@@ -508,8 +536,9 @@ mod tests {
 
         let c = SelectConfig::default()
             .with_incremental_prep(false)
-            .with_parent_completion_bound(false);
-        assert!(!c.incremental_prep && !c.parent_completion_bound);
+            .with_parent_completion_bound(false)
+            .with_materialize_on_touch(false);
+        assert!(!c.incremental_prep && !c.parent_completion_bound && !c.materialize_on_touch);
         assert!(
             c.core_peel_fixpoint && c.kplex_match_bound,
             "the PR-5 pieces stay on"

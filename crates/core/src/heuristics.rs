@@ -26,7 +26,7 @@
 //! PCArrange (§5.1) stays in [`crate::pc_arrange`]: it is the paper's
 //! model of *manual* coordination, not a quality-seeking heuristic.
 
-use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_graph::{BitSet, CandidateTopology, Dist, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::pivot::pivot_slots;
 use stgq_schedule::{Calendar, Cals, SlotRange};
 
@@ -80,8 +80,8 @@ pub fn greedy_sgq(
 
 /// As [`greedy_sgq`] on a pre-extracted feasible graph with an optional
 /// candidate mask (compact indices).
-pub fn greedy_sgq_on(
-    fg: &FeasibleGraph,
+pub fn greedy_sgq_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     mask: Option<&BitSet>,
     restarts: usize,
@@ -117,8 +117,8 @@ pub fn local_search_sgq(
 }
 
 /// As [`local_search_sgq`] on a pre-extracted feasible graph.
-pub fn local_search_sgq_on(
-    fg: &FeasibleGraph,
+pub fn local_search_sgq_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     mask: Option<&BitSet>,
     restarts: usize,
@@ -186,8 +186,8 @@ pub fn local_search_stgq(
 
 /// As [`greedy_stgq`] on a pre-extracted feasible graph. `calendars` is
 /// any [`Cals`] source, indexed by original vertex id.
-pub fn greedy_stgq_on<'a>(
-    fg: &FeasibleGraph,
+pub fn greedy_stgq_on<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     restarts: usize,
@@ -197,8 +197,8 @@ pub fn greedy_stgq_on<'a>(
 
 /// As [`local_search_stgq`] on a pre-extracted feasible graph. `calendars`
 /// is any [`Cals`] source, indexed by original vertex id.
-pub fn local_search_stgq_on<'a>(
-    fg: &FeasibleGraph,
+pub fn local_search_stgq_on<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     restarts: usize,
@@ -207,8 +207,8 @@ pub fn local_search_stgq_on<'a>(
     run_stgq_heuristic(fg, calendars.into(), query, restarts, max_passes)
 }
 
-fn run_stgq_heuristic(
-    fg: &FeasibleGraph,
+fn run_stgq_heuristic<G: CandidateTopology>(
+    fg: &G,
     calendars: Cals<'_>,
     query: &StgqQuery,
     restarts: usize,
@@ -275,8 +275,8 @@ fn run_stgq_heuristic(
 /// preparation) and returns the compact member set (initiator included),
 /// its total distance, and the members' common run through the pivot.
 /// `None` means the greedy failed here, not that the pivot is infeasible.
-pub(crate) fn greedy_seed_for_pivot(
-    fg: &FeasibleGraph,
+pub(crate) fn greedy_seed_for_pivot<G: CandidateTopology>(
+    fg: &G,
     p: usize,
     k: usize,
     m: usize,
@@ -305,7 +305,7 @@ pub(crate) fn greedy_seed_for_pivot(
 /// total distance when it passes the full feasibility check (hard
 /// acquaintance constraint, and the `m`-run requirement when `ctx`
 /// carries a pivot job); one O(p²) evaluation, no descent.
-fn first_fit_group(ctx: &mut GreedyCtx<'_>) -> Option<(Vec<u32>, Dist)> {
+fn first_fit_group<G: CandidateTopology>(ctx: &mut GreedyCtx<'_, G>) -> Option<(Vec<u32>, Dist)> {
     if ctx.p < 2 || ctx.order.len() < ctx.p - 1 {
         return None;
     }
@@ -322,8 +322,8 @@ fn first_fit_group(ctx: &mut GreedyCtx<'_>) -> Option<(Vec<u32>, Dist)> {
 /// The SGQ engines' first-fit incumbent seed (see [`first_fit_group`]):
 /// the sequential searcher finds its own first completion within ~`p`
 /// frames, so only this near-free probe is worth running ahead of it.
-pub(crate) fn first_fit_sgq_seed(
-    fg: &FeasibleGraph,
+pub(crate) fn first_fit_sgq_seed<G: CandidateTopology>(
+    fg: &G,
     p: usize,
     k: usize,
     mask: Option<&BitSet>,
@@ -338,8 +338,8 @@ pub(crate) fn first_fit_sgq_seed(
 
 /// Greedy/local-search working state over one feasible graph (and, for
 /// STGQ, one pivot's temporal context).
-struct GreedyCtx<'a> {
-    fg: &'a FeasibleGraph,
+struct GreedyCtx<'a, G> {
+    fg: &'a G,
     p: usize,
     k: i64,
     /// Candidates allowed at all (mask ∩ pivot eligibility), as compact ids
@@ -351,13 +351,13 @@ struct GreedyCtx<'a> {
     evaluations: u64,
 }
 
-impl<'a> GreedyCtx<'a> {
+impl<'a, G: CandidateTopology> GreedyCtx<'a, G> {
     /// `m` is the required activity length; pass 0 (with `job = None`)
     /// for SGQ. It must be supplied explicitly — it cannot be recovered
     /// from the pivot interval, whose nominal `2m − 1` span is clamped at
     /// the horizon edges.
     fn new(
-        fg: &'a FeasibleGraph,
+        fg: &'a G,
         p: usize,
         k: usize,
         mask: Option<&BitSet>,

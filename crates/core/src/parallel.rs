@@ -43,7 +43,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use stgq_graph::{BitSet, FeasibleGraph, NodeId, SocialGraph};
+use stgq_graph::{BitSet, CandidateTopology, FeasibleGraph, NodeId, SocialGraph};
 use stgq_schedule::{Calendar, Cals};
 
 use crate::heuristics::{greedy_sgq_on, greedy_stgq_on};
@@ -52,7 +52,7 @@ use crate::inputs::check_temporal_inputs;
 use crate::reduce::sgq_peel_preamble;
 use crate::sgselect::{Searcher, VaState};
 use crate::stgselect::{
-    finalize_pivot, pivot_bound_skips, prepare_pivot, promise_ordered_pivots,
+    finalize_pivot, materialize_pivot, pivot_bound_skips, prepare_pivot, promise_ordered_pivots,
     search_pivot_controlled, search_pivot_subtree, vet_pivot_roots, PivotArena, PivotJob,
     PivotPrep, StBest,
 };
@@ -109,8 +109,8 @@ pub fn solve_sgq_parallel(
 
 /// As [`solve_sgq_parallel`] on a pre-extracted feasible graph, with an
 /// optional candidate mask (see [`crate::solve_sgq_on`]).
-pub fn solve_sgq_parallel_on(
-    fg: &FeasibleGraph,
+pub fn solve_sgq_parallel_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     cfg: &SelectConfig,
     candidate_mask: Option<&BitSet>,
@@ -126,8 +126,8 @@ pub fn solve_sgq_parallel_on(
 /// frame boundary on every thread; the result carries
 /// [`SearchStats::cancelled`](crate::SearchStats::cancelled) — never
 /// `truncated`, which stays reserved for frame-budget exhaustion.
-pub fn solve_sgq_parallel_controlled_on(
-    fg: &FeasibleGraph,
+pub fn solve_sgq_parallel_controlled_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     cfg: &SelectConfig,
     candidate_mask: Option<&BitSet>,
@@ -325,8 +325,8 @@ const STGQ_PAIR_SPLIT_ROOTS: usize = 8;
 ///
 /// `calendars` is any [`Cals`] source — a flat slice or the execution
 /// layer's shard-partitioned storage — indexed by original vertex id.
-pub fn solve_stgq_parallel_on<'a>(
-    fg: &FeasibleGraph,
+pub fn solve_stgq_parallel_on<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
@@ -342,8 +342,8 @@ pub fn solve_stgq_parallel_on<'a>(
 /// [`SearchStats::cancelled`](crate::SearchStats::cancelled) set
 /// (distinct from budget truncation), exactly like the sequential
 /// [`solve_stgq_controlled`].
-pub fn solve_stgq_parallel_controlled_on<'a>(
-    fg: &FeasibleGraph,
+pub fn solve_stgq_parallel_controlled_on<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
@@ -442,6 +442,15 @@ pub fn solve_stgq_parallel_controlled_on<'a>(
                                     if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                         local.pivots_skipped += 1;
                                     } else {
+                                        // First frame touch — as in the
+                                        // sequential loop, a bound-retired
+                                        // pivot above never built its
+                                        // availability rows.
+                                        if prep.materialize_on_touch {
+                                            materialize_pivot(
+                                                fg, calendars, prep, &mut job, &mut local,
+                                            );
+                                        }
                                         search_pivot_controlled(
                                             fg, query, &cfg, &mut job, &incumbent, &mut local,
                                             control,
@@ -500,6 +509,14 @@ pub fn solve_stgq_parallel_controlled_on<'a>(
                                 if pivot_bound_skips(&cfg, &incumbent, job.dist_bound) {
                                     local.pivots_skipped += 1;
                                     continue;
+                                }
+                                // Root vetting and the shared subtree
+                                // searches below read `job.va` and the
+                                // availability rows, so a job that made
+                                // the task list is materialized here —
+                                // its first frame touch.
+                                if prep.materialize_on_touch {
+                                    materialize_pivot(fg, calendars, prep, &mut job, &mut local);
                                 }
                                 let ok = vet_pivot_roots(fg, query, &cfg, &job, &incumbent);
                                 found.push((job, ok));

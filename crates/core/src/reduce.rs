@@ -28,7 +28,7 @@
 //! reference oracle equivalence is property-tested in
 //! `tests/search_reduction.rs`).
 
-use stgq_graph::{BitSet, Dist, FeasibleGraph};
+use stgq_graph::{BitSet, CandidateTopology, Dist};
 
 use crate::{SearchStats, SelectConfig, SgqOutcome};
 
@@ -52,8 +52,8 @@ pub(crate) fn peel_min_deg(enabled: bool, p: usize, k: usize) -> Option<usize> {
 /// set — and once it is gone, the same argument applies to the shrunken
 /// set, so iterating to the fixpoint removes only provably impossible
 /// members (the classic k-core argument).
-pub(crate) fn peel_to_core(
-    fg: &FeasibleGraph,
+pub(crate) fn peel_to_core<G: CandidateTopology>(
+    fg: &G,
     set: &mut BitSet,
     min_deg: usize,
     deg: &mut Vec<u32>,
@@ -67,8 +67,8 @@ pub(crate) fn peel_to_core(
     // Initial eligible degrees: one word-parallel popcount per member
     // against the membership words, plus the initiator adjacency bit.
     for c in set.iter() {
-        let adj = fg.adj(c as u32);
-        deg[c] = (adj.intersection_len(set) + usize::from(adj.contains(0))) as u32;
+        deg[c] =
+            (fg.row_intersection_len(c as u32, set) + usize::from(fg.adjacent(c as u32, 0))) as u32;
         if deg[c] < min_deg {
             queue.push(c as u32);
         }
@@ -83,7 +83,7 @@ pub(crate) fn peel_to_core(
     while head < queue.len() {
         let u = queue[head];
         head += 1;
-        for &nb in fg.neighbors(u) {
+        fg.for_each_neighbor(u, |nb| {
             if set.contains(nb as usize) {
                 deg[nb as usize] -= 1;
                 if deg[nb as usize] < min_deg {
@@ -91,7 +91,7 @@ pub(crate) fn peel_to_core(
                     queue.push(nb);
                 }
             }
-        }
+        });
     }
     queue.len() as u64
 }
@@ -99,8 +99,12 @@ pub(crate) fn peel_to_core(
 /// Whether the initiator herself survives against the peeled `core`: she
 /// is in every group, so she too needs `min_deg = p − 1 − k`
 /// acquaintances among the only people who may join her.
-pub(crate) fn initiator_core_ok(fg: &FeasibleGraph, core: &BitSet, min_deg: usize) -> bool {
-    fg.adj(0).intersection_len(core) >= min_deg
+pub(crate) fn initiator_core_ok<G: CandidateTopology>(
+    fg: &G,
+    core: &BitSet,
+    min_deg: usize,
+) -> bool {
+    fg.row_intersection_len(0, core) >= min_deg
 }
 
 /// The SGQ engines' once-per-solve peel preamble: reduce the candidate
@@ -112,8 +116,8 @@ pub(crate) fn initiator_core_ok(fg: &FeasibleGraph, core: &BitSet, min_deg: usiz
 /// leaves the initiator short of `p − 1 − k` acquaintances), carrying
 /// the complete infeasible outcome for the caller to return. Shared by
 /// the sequential and parallel SGQ solvers so the two cannot diverge.
-pub(crate) fn sgq_peel_preamble(
-    fg: &FeasibleGraph,
+pub(crate) fn sgq_peel_preamble<G: CandidateTopology>(
+    fg: &G,
     cfg: &SelectConfig,
     p: usize,
     k: usize,
@@ -171,8 +175,8 @@ pub(crate) fn sgq_peel_preamble(
 /// (distance-ascending), `best` is the incumbent objective, and `k` is
 /// already clamped to `p − 1`.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn kplex_frame_prune(
-    fg: &FeasibleGraph,
+pub(crate) fn kplex_frame_prune<G: CandidateTopology>(
+    fg: &G,
     vs: &[u32],
     cnt_in_s: &[u32],
     pos_set: &BitSet,
@@ -246,8 +250,8 @@ pub(crate) fn kplex_frame_prune(
 ///
 /// [`SelectConfig::parent_completion_bound`]: crate::SelectConfig::parent_completion_bound
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn parent_completion_prunes(
-    fg: &FeasibleGraph,
+pub(crate) fn parent_completion_prunes<G: CandidateTopology>(
+    fg: &G,
     u: u32,
     child_vs_len: usize,
     cnt_in_s: &[u32],
@@ -422,9 +426,9 @@ impl ParentFloor {
     /// sibling check) while a lazy rebuild reads the current `pos_set`,
     /// from which permanently-discarded candidates are already absent.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn consult(
+    pub(crate) fn consult<G: CandidateTopology>(
         &mut self,
-        fg: &FeasibleGraph,
+        fg: &G,
         u: u32,
         child_vs_len: usize,
         cnt_in_s: &[u32],
@@ -488,9 +492,9 @@ impl ParentFloor {
     /// under `distance_pruning` with an incumbent, on
     /// `child_td + floor ≥ best`. Bit-identical to the rescan.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn prunes(
+    pub(crate) fn prunes<G: CandidateTopology>(
         &self,
-        fg: &FeasibleGraph,
+        fg: &G,
         u: u32,
         order: &[u32],
         need: usize,
@@ -586,8 +590,8 @@ pub(crate) struct MatchScratch {
 /// caller skips the call entirely when the budget is vacuous
 /// (`k ≥ p − 1`).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn match_bound(
-    fg: &FeasibleGraph,
+pub(crate) fn match_bound<G: CandidateTopology>(
+    fg: &G,
     vs: &[u32],
     cnt_in_s: &[u32],
     va_set: &BitSet,
@@ -677,7 +681,7 @@ mod tests {
     use super::*;
     use rand::rngs::SmallRng;
     use rand::{Rng, SeedableRng};
-    use stgq_graph::{GraphBuilder, NodeId};
+    use stgq_graph::{FeasibleGraph, GraphBuilder, NodeId};
 
     fn random_fg(seed: u64, n: usize, edge_prob: f64) -> FeasibleGraph {
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -19,7 +19,7 @@
 //! current `(VS, VA)` — each bounds *every* completion of `VS` from `VA`,
 //! so abandoning the frame is sound and Theorem 2's optimality holds.
 
-use stgq_graph::{BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_graph::{BitSet, CandidateTopology, Dist, FeasibleGraph, NodeId, SocialGraph};
 
 use crate::incumbent::Incumbent;
 use crate::reduce::{kplex_frame_prune, sgq_peel_preamble, MatchScratch, ParentFloor};
@@ -45,14 +45,16 @@ pub fn solve_sgq(
     Ok(solve_sgq_on(&fg, query, cfg, None))
 }
 
-/// Solve an SGQ on an already-extracted feasible graph.
+/// Solve an SGQ on an already-extracted candidate space (a materialized
+/// [`FeasibleGraph`] or a zero-copy
+/// [`FeasibleView`](stgq_graph::FeasibleView) — any [`CandidateTopology`]).
 ///
 /// `candidate_mask`, when given, restricts `VA` to the compact indices it
 /// contains (the initiator's membership is implied). This is the hook the
 /// STGQ engines use: per activity period, only the attendees available
 /// throughout the period are candidates.
-pub fn solve_sgq_on(
-    fg: &FeasibleGraph,
+pub fn solve_sgq_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     cfg: &SelectConfig,
     candidate_mask: Option<&BitSet>,
@@ -67,8 +69,8 @@ pub fn solve_sgq_on(
 /// [`solve_sgq_on`].
 ///
 /// [`SearchStats::cancelled`]: crate::SearchStats::cancelled
-pub fn solve_sgq_controlled_on(
-    fg: &FeasibleGraph,
+pub fn solve_sgq_controlled_on<G: CandidateTopology>(
+    fg: &G,
     query: &SgqQuery,
     cfg: &SelectConfig,
     candidate_mask: Option<&BitSet>,
@@ -172,7 +174,7 @@ pub(crate) struct VaState {
 impl VaState {
     /// `VA = V_F − {q}`, optionally intersected with `mask`, over the
     /// graph's global access order.
-    pub(crate) fn init(fg: &FeasibleGraph, mask: Option<&BitSet>) -> Self {
+    pub(crate) fn init<G: CandidateTopology>(fg: &G, mask: Option<&BitSet>) -> Self {
         let mut s = VaState::init_empty();
         s.fill(fg, mask, fg.candidate_order());
         s
@@ -196,7 +198,12 @@ impl VaState {
     /// (a permutation of `fg.candidate_order()`): membership = `mask`
     /// (or all candidates), counters rebuilt, undo log cleared. Reuses
     /// every buffer whose capacity still fits — the pivot-arena hook.
-    pub(crate) fn fill(&mut self, fg: &FeasibleGraph, mask: Option<&BitSet>, order: &[u32]) {
+    pub(crate) fn fill<G: CandidateTopology>(
+        &mut self,
+        fg: &G,
+        mask: Option<&BitSet>,
+        order: &[u32],
+    ) {
         let f = fg.len();
         if self.set.capacity() == f {
             self.set.clear();
@@ -241,14 +248,15 @@ impl VaState {
     }
 
     /// Remove `u` from `VA`, maintaining all counters; logged for undo.
-    pub(crate) fn remove(&mut self, u: u32, fg: &FeasibleGraph) {
+    pub(crate) fn remove<G: CandidateTopology>(&mut self, u: u32, fg: &G) {
         debug_assert!(self.set.contains(u as usize));
         self.total_inner -= 2 * u64::from(self.cnt_in_a[u as usize]);
         self.set.remove(u as usize);
         self.pos_set.remove(self.order_pos[u as usize] as usize);
-        for &nb in fg.neighbors(u) {
-            self.cnt_in_a[nb as usize] -= 1;
-        }
+        let cnt_in_a = &mut self.cnt_in_a;
+        fg.for_each_neighbor(u, |nb| {
+            cnt_in_a[nb as usize] -= 1;
+        });
         self.log.push(u);
         self.version += 1;
     }
@@ -260,18 +268,19 @@ impl VaState {
     }
 
     /// Rewind every removal after `mark` (LIFO).
-    pub(crate) fn undo_to(&mut self, mark: usize, fg: &FeasibleGraph) {
+    pub(crate) fn undo_to<G: CandidateTopology>(&mut self, mark: usize, fg: &G) {
         while self.log.len() > mark {
             self.undo_last(fg);
         }
     }
 
     /// Rewind exactly one removal, returning the re-inserted vertex.
-    pub(crate) fn undo_last(&mut self, fg: &FeasibleGraph) -> u32 {
+    pub(crate) fn undo_last<G: CandidateTopology>(&mut self, fg: &G) -> u32 {
         let u = self.log.pop().expect("undo_last requires a logged removal");
-        for &nb in fg.neighbors(u) {
-            self.cnt_in_a[nb as usize] += 1;
-        }
+        let cnt_in_a = &mut self.cnt_in_a;
+        fg.for_each_neighbor(u, |nb| {
+            cnt_in_a[nb as usize] += 1;
+        });
         self.set.insert(u as usize);
         self.pos_set.insert(self.order_pos[u as usize] as usize);
         // cnt_in_a[u] is already back to its pre-removal value: every
@@ -390,9 +399,9 @@ impl VsAggregates {
     /// intersection, usually empty or tiny) avoids the O(|VS|) rescan.
     ///
     /// [`key`]: Self::key
-    pub(crate) fn note_va_removal(
+    pub(crate) fn note_va_removal<G: CandidateTopology>(
         &mut self,
-        fg: &FeasibleGraph,
+        fg: &G,
         u: u32,
         cnt_in_s: &[u32],
         va: &VaState,
@@ -415,9 +424,9 @@ impl VsAggregates {
 
     /// `U(VS ∪ {u})` and `A(VS ∪ {u})` from the aggregates (see the type
     /// docs for the derivation).
-    pub(crate) fn u_and_a(
+    pub(crate) fn u_and_a<G: CandidateTopology>(
         &mut self,
-        fg: &FeasibleGraph,
+        fg: &G,
         u: u32,
         k: i64,
         vs: &[u32],
@@ -466,8 +475,8 @@ impl VsAggregates {
 
 /// Shared state of one SGSelect run (or of one worker's subtree in the
 /// parallel solver — the incumbent reference is what they share).
-pub(crate) struct Searcher<'a> {
-    fg: &'a FeasibleGraph,
+pub(crate) struct Searcher<'a, G> {
+    fg: &'a G,
     p: usize,
     k: i64,
     cfg: SelectConfig,
@@ -489,9 +498,9 @@ pub(crate) struct Searcher<'a> {
     floors: Vec<ParentFloor>,
 }
 
-impl<'a> Searcher<'a> {
+impl<'a, G: CandidateTopology> Searcher<'a, G> {
     pub(crate) fn new(
-        fg: &'a FeasibleGraph,
+        fg: &'a G,
         p: usize,
         k: usize,
         cfg: &SelectConfig,
@@ -534,9 +543,10 @@ impl<'a> Searcher<'a> {
     }
 
     pub(crate) fn push(&mut self, u: u32) {
-        for &nb in self.fg.neighbors(u) {
-            self.cnt_in_s[nb as usize] += 1;
-        }
+        let cnt_in_s = &mut self.cnt_in_s;
+        self.fg.for_each_neighbor(u, |nb| {
+            cnt_in_s[nb as usize] += 1;
+        });
         self.vs.push(u);
         self.agg.on_push(u, &self.vs, &self.cnt_in_s);
     }
@@ -544,9 +554,10 @@ impl<'a> Searcher<'a> {
     fn pop(&mut self, u: u32) {
         let popped = self.vs.pop();
         debug_assert_eq!(popped, Some(u));
-        for &nb in self.fg.neighbors(u) {
-            self.cnt_in_s[nb as usize] -= 1;
-        }
+        let cnt_in_s = &mut self.cnt_in_s;
+        self.fg.for_each_neighbor(u, |nb| {
+            cnt_in_s[nb as usize] -= 1;
+        });
         self.agg.on_pop(u, &self.vs, &self.cnt_in_s);
     }
 

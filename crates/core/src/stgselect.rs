@@ -22,17 +22,29 @@
 //! strengthens distance pruning at later pivots without affecting
 //! optimality (Theorem 3).
 //!
-//! # The per-pivot pipeline: prepare → peel → floor → materialize → descend
+//! # The query pipeline: extract-index → prepare → peel → floor → materialize-on-touch → descend
 //!
-//! Each pivot flows through five stages, every one able to retire the
-//! pivot before the next gets to run (knobs in brackets, counters in
-//! parentheses):
+//! A query flows through six stages — the first once per query, the
+//! rest per pivot, every one able to retire its input before the next
+//! gets to run (knobs in brackets, counters in parentheses):
 //!
 //! ```text
-//!  prepare   Definition-4 eligibility — delta'd from the per-solve run
-//!     │      cache when a cached calendar run covers the pivot
-//!     │      [incremental_prep] (prep_words_delta), rebuilt from packed
-//!     │      calendar words otherwise; runs clipped to the
+//! extract-index  radius-s candidate space over the world — on the
+//!     │          serving path a borrowed zero-copy `FeasibleView`
+//!     │          (compact index + one masked word matrix generated
+//!     │          segment-wise over the snapshot's CSR rows; nothing
+//!     │          copied), with the materialized `FeasibleGraph` kept
+//!     │          as the A/B oracle. Engines see either through
+//!     │          `CandidateTopology`, bit-identically.
+//!     │          [ExecConfig::extraction]    (extract_words_borrowed,
+//!     │                                       extract_words_copied)
+//!     ▼
+//!  prepare   Definition-4 eligibility — delta'd from the run cache when
+//!     │      a cached calendar run covers the pivot [incremental_prep]
+//!     │      (prep_words_delta), rebuilt from packed calendar words
+//!     │      otherwise; the cache persists *across* solves in the
+//!     │      worker's arena under the world-version handshake
+//!     │      (run_cache_cross_solve_hits); runs clipped to the
 //!     │      initiator's                             (pivots_processed)
 //!     ▼
 //!   peel     fixpoint (p,k)-core over eligible ∪ {q}   [core_peel_fixpoint]
@@ -44,9 +56,12 @@
 //!     │        compat-window + acq restricted           acq_pivot_floor]
 //!     │        └─ incumbent ≤ floor → skip pivot        (pivots_skipped)
 //!     ▼
-//! materialize  availability words + Lemma-5 counters — under
-//!     │        [incremental_prep] built only now, only for the
-//!     │        post-peel core; skipped pivots never touch a
+//! materialize-on-touch  availability words + Lemma-5 counters — under
+//!     │        [incremental_prep] built only for the post-peel core,
+//!     │        and under [materialize_on_touch] deferred further: a
+//!     │        row is built the first time a descent frame actually
+//!     │        touches it, so frames pruned at the parent never pay
+//!     │        for their rows; skipped pivots never touch a
 //!     │        calendar word                        (prep_words_rebuilt)
 //!     ▼
 //!  descend   exact branch-and-bound frames              (frames)
@@ -78,9 +93,12 @@
 // Parallel per-slot counters are clearer with indexed loops.
 #![allow(clippy::needless_range_loop)]
 
+use std::collections::HashMap;
 use std::time::Instant;
 
-use stgq_graph::{for_each_zero_bit, BitSet, Dist, FeasibleGraph, NodeId, SocialGraph};
+use stgq_graph::{
+    for_each_zero_bit, BitSet, CandidateTopology, Dist, FeasibleGraph, NodeId, SocialGraph,
+};
 use stgq_schedule::pivot::{pivot_interval, pivot_of_window, pivot_slots};
 use stgq_schedule::{Calendar, Cals, SlotId, SlotRange};
 
@@ -125,8 +143,13 @@ pub fn solve_stgq(
 /// execution layer's shard-partitioned
 /// [`CalendarShards`](stgq_schedule::CalendarShards) — indexed by
 /// **original** vertex id either way.
-pub fn solve_stgq_on<'a>(
-    fg: &FeasibleGraph,
+///
+/// `fg` is any [`CandidateTopology`] carrier: the materialized
+/// [`FeasibleGraph`] (reference/compat path) or the zero-copy
+/// [`FeasibleView`](stgq_graph::FeasibleView) borrowed from a snapshot —
+/// the search is bit-identical on both.
+pub fn solve_stgq_on<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
@@ -141,8 +164,8 @@ pub fn solve_stgq_on<'a>(
 /// and access-order permutations across queries; within one call the same
 /// buffers are already recycled across the pivot loop. Purely an
 /// allocation strategy — results are identical to [`solve_stgq_on`].
-pub fn solve_stgq_pooled<'a>(
-    fg: &FeasibleGraph,
+pub fn solve_stgq_pooled<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
@@ -158,8 +181,8 @@ pub fn solve_stgq_pooled<'a>(
 /// [`solve_stgq_pooled`].
 ///
 /// [`SearchStats::cancelled`]: crate::SearchStats::cancelled
-pub fn solve_stgq_controlled<'a>(
-    fg: &FeasibleGraph,
+pub fn solve_stgq_controlled<'a, G: CandidateTopology>(
+    fg: &G,
     calendars: impl Into<Cals<'a>>,
     query: &StgqQuery,
     cfg: &SelectConfig,
@@ -297,6 +320,17 @@ pub fn solve_stgq_controlled<'a>(
                 continue;
             }
         }
+        // First frame touch ([`SelectConfig::materialize_on_touch`]):
+        // the pivot has survived every bound it will face before exact
+        // descent, so build its availability rows and Lemma-5 counters
+        // now — the skips above paid zero availability word traffic.
+        if prep.materialize_on_touch {
+            let mat_t0 = detail.then(Instant::now);
+            materialize_pivot(fg, calendars, &prep, &mut job, &mut stats);
+            if let Some(t0) = mat_t0 {
+                tm.finalize_ns += span_ns(t0, Instant::now());
+            }
+        }
         // Coarse split: everything since the last mark was preparation
         // (including skipped pivots and seeding); the descent span is
         // exactly the search call.
@@ -375,7 +409,7 @@ pub(crate) fn promise_ordered_pivots(
 /// `fg.candidate_order()` with more than one member — the only stretches
 /// availability ordering may permute. Distances are time-independent, so
 /// one scan serves every pivot of a solve.
-pub(crate) fn dist_tie_blocks(fg: &FeasibleGraph) -> Vec<(u32, u32)> {
+pub(crate) fn dist_tie_blocks<G: CandidateTopology>(fg: &G) -> Vec<(u32, u32)> {
     let order = fg.candidate_order();
     let mut blocks = Vec::new();
     let mut i = 0usize;
@@ -441,14 +475,22 @@ pub(crate) struct PivotPrep {
     ///
     /// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
     pub(crate) incremental: bool,
+    /// [`SelectConfig::materialize_on_touch`]: [`finalize_pivot`] leaves
+    /// the availability rows and Lemma-5 counters unbuilt; callers
+    /// invoke [`materialize_pivot`] themselves right before the first
+    /// frame touch (exact descent or root vetting), after every
+    /// pre-descent bound has had its chance to retire the pivot.
+    ///
+    /// [`SelectConfig::materialize_on_touch`]: crate::SelectConfig::materialize_on_touch
+    pub(crate) materialize_on_touch: bool,
     /// The reduction memo for the full-candidate eligible signature.
     pub(crate) shared_memo: Option<PrepMemo>,
 }
 
 impl PivotPrep {
     /// Preprocessing for one solve of `(p, k, m)` over `fg`.
-    pub(crate) fn new(
-        fg: &FeasibleGraph,
+    pub(crate) fn new<G: CandidateTopology>(
+        fg: &G,
         p: usize,
         k: usize,
         m: usize,
@@ -471,6 +513,7 @@ impl PivotPrep {
             share: cfg.shared_pivot_prep,
             tie_blocks: cfg.availability_ordering.then(|| dist_tie_blocks(fg)),
             incremental: cfg.incremental_prep,
+            materialize_on_touch: cfg.materialize_on_touch,
             shared_memo: None,
         };
         if prep.share && (prep.peel_min_deg.is_some() || prep.acq_min_deg.is_some()) {
@@ -507,6 +550,7 @@ impl PivotPrep {
             share: false,
             tie_blocks: None,
             incremental: false,
+            materialize_on_touch: false,
             shared_memo: None,
         }
     }
@@ -557,9 +601,9 @@ impl PrepMemo {
     /// Recompute this memo for `eligible` in place; `deg` and `queue`
     /// are peel scratch.
     #[allow(clippy::too_many_arguments)]
-    fn recompute(
+    fn recompute<G: CandidateTopology>(
         &mut self,
-        fg: &FeasibleGraph,
+        fg: &G,
         eligible: &BitSet,
         p: usize,
         peel_deg: Option<usize>,
@@ -583,8 +627,8 @@ impl PrepMemo {
             // member). One word-parallel popcount per candidate.
             self.floor_ok.resize(fg.len(), false);
             for c in eligible.iter() {
-                let adj = fg.adj(c as u32);
-                let d = adj.intersection_len(eligible) + usize::from(adj.contains(0));
+                let d = fg.row_intersection_len(c as u32, eligible)
+                    + usize::from(fg.adjacent(c as u32, 0));
                 self.floor_ok[c] = d >= md;
             }
         }
@@ -741,6 +785,26 @@ pub struct PivotArena {
     ///
     /// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
     run_cache: Vec<Option<SlotRange>>,
+    /// **Cross-solve** run cache: unclipped maximal runs that survived a
+    /// previous solve on this arena, keyed by *global* person id and
+    /// stamped with the calendar-shard version they were read under.
+    /// Inert until the executor's world-version handshake
+    /// ([`install_world_versions`](Self::install_world_versions)) — a
+    /// plain solve neither reads nor writes it, so library callers see
+    /// exactly the per-solve semantics above. With the handshake active,
+    /// [`prepare_pivot`] consults it on per-solve cache misses: an entry
+    /// whose stamp still matches the person's current shard version is a
+    /// run over provably unchanged calendar words, so it seeds the
+    /// per-solve cache without touching the calendar
+    /// ([`SearchStats::run_cache_cross_solve_hits`]). Stale entries are
+    /// simply skipped and overwritten by the fresh scan's result.
+    ///
+    /// [`SearchStats::run_cache_cross_solve_hits`]: crate::SearchStats::run_cache_cross_solve_hits
+    cross_runs: HashMap<u32, (u64, SlotRange)>,
+    /// The calendar shard versions the next solve runs under (person
+    /// `g`'s shard is `g % len`), or `None` when no handshake happened —
+    /// the cross-solve cache is then disabled entirely.
+    world_versions: Option<Vec<u64>>,
     /// Peel scratch (degree array + cascade queue).
     deg_scratch: Vec<u32>,
     queue_scratch: Vec<u32>,
@@ -757,6 +821,8 @@ impl Default for PivotArena {
             spare: None,
             memo: None,
             run_cache: Vec::new(),
+            cross_runs: HashMap::new(),
+            world_versions: None,
             deg_scratch: Vec::new(),
             queue_scratch: Vec::new(),
         }
@@ -788,6 +854,48 @@ impl PivotArena {
         self.run_cache.clear();
     }
 
+    /// The **world-version handshake**: declare the calendar shard
+    /// versions the next solves run under (person `g` lives on shard
+    /// `g % versions.len()`), activating the cross-solve run cache.
+    ///
+    /// The caller vouches that a shard's version changes whenever *any*
+    /// calendar on it changes in any way (the executor derives these
+    /// from its snapshot's calendar shard stamps, which PR 8's
+    /// delta-scoped invalidation already maintains with exactly that
+    /// contract). Under that invariant a cached run whose stamp matches
+    /// is byte-for-byte what a fresh calendar scan would return, so
+    /// answers and pruning are unchanged — only
+    /// [`SearchStats::run_cache_cross_solve_hits`] moves. Runs found
+    /// under the installed versions are remembered **across**
+    /// [`begin_solve`](Self::begin_solve) boundaries and served to later
+    /// solves on this arena while their shard version holds.
+    ///
+    /// Without this call (or with an empty `versions`) the cross-solve
+    /// cache is fully inert: plain solves behave exactly as before,
+    /// bit-identical counters included.
+    ///
+    /// [`SearchStats::run_cache_cross_solve_hits`]: crate::SearchStats::run_cache_cross_solve_hits
+    pub fn install_world_versions(&mut self, versions: &[u64]) {
+        if versions.is_empty() {
+            self.world_versions = None;
+            self.cross_runs.clear();
+            return;
+        }
+        match &mut self.world_versions {
+            Some(v) => {
+                // A shard-modulus change re-homes people (`g % len`
+                // moves), so stamps taken under the old partition must
+                // not validate against the new vector.
+                if v.len() != versions.len() {
+                    self.cross_runs.clear();
+                }
+                v.clear();
+                v.extend_from_slice(versions);
+            }
+            None => self.world_versions = Some(versions.to_vec()),
+        }
+    }
+
     /// Hand back a spent job's buffers for the next preparation.
     pub(crate) fn recycle(&mut self, job: PivotJob) {
         if self.pooling {
@@ -804,9 +912,9 @@ impl PivotArena {
     /// arena's last entry, else computed fresh (and cached here when
     /// sharing is on — with it off every pivot recomputes, the
     /// ablation baseline).
-    fn reduction<'a>(
+    fn reduction<'a, G: CandidateTopology>(
         &'a mut self,
-        fg: &FeasibleGraph,
+        fg: &G,
         prep: &'a PivotPrep,
         eligible: &BitSet,
     ) -> &'a PrepMemo {
@@ -852,6 +960,36 @@ impl PivotArena {
 #[inline]
 fn unclipped_run(cal: &Calendar, horizon: usize, pivot: SlotId) -> Option<SlotRange> {
     run_through_bit(cal.words(), horizon, pivot).map(|(lo, hi)| SlotRange::new(lo, hi))
+}
+
+/// Consult the cross-solve run cache for global person `global`: the
+/// stored run, provided the handshake is active, the entry's shard-version
+/// stamp still holds, and the run covers `pivot` (a maximal run is maximal
+/// through every slot it contains, so any covered pivot may reuse it).
+#[inline]
+fn cross_solve_run(
+    cross: &HashMap<u32, (u64, SlotRange)>,
+    versions: Option<&[u64]>,
+    global: u32,
+    pivot: SlotId,
+) -> Option<SlotRange> {
+    let versions = versions?;
+    let &(stamp, run) = cross.get(&global)?;
+    (stamp == versions[global as usize % versions.len()] && run.contains(pivot)).then_some(run)
+}
+
+/// Remember a freshly scanned unclipped run for later solves, stamped
+/// with its owner's current shard version. No-op without the handshake.
+#[inline]
+fn store_cross_run(
+    cross: &mut HashMap<u32, (u64, SlotRange)>,
+    versions: Option<&[u64]>,
+    global: u32,
+    run: SlotRange,
+) {
+    if let Some(versions) = versions {
+        cross.insert(global, (versions[global as usize % versions.len()], run));
+    }
 }
 
 /// The maximal run of **set** bits containing bit `pos` within the first
@@ -912,8 +1050,8 @@ fn run_through_bit(words: &[u64], len: usize, pos: usize) -> Option<(usize, usiz
 /// [`finalize_pivot`], which callers invoke only for pivots the
 /// incumbent bound did **not** retire. On hot dense workloads most
 /// pivots are skipped, and skipped pivots now pay only this phase.
-pub(crate) fn prepare_pivot(
-    fg: &FeasibleGraph,
+pub(crate) fn prepare_pivot<G: CandidateTopology>(
+    fg: &G,
     calendars: Cals<'_>,
     prep: &PivotPrep,
     pivot: SlotId,
@@ -937,11 +1075,23 @@ pub(crate) fn prepare_pivot(
         let full = match arena.run_cache[0] {
             Some(r) if r.contains(pivot) => Some(r),
             _ => {
-                let r = unclipped_run(calendars.get(fg.origin(0).index()), horizon, pivot);
-                if let Some(r) = r {
-                    arena.run_cache[0] = Some(r);
+                let g = fg.origin(0).index() as u32;
+                let versions = arena.world_versions.as_deref();
+                match cross_solve_run(&arena.cross_runs, versions, g, pivot) {
+                    Some(r) => {
+                        stats.run_cache_cross_solve_hits += 1;
+                        arena.run_cache[0] = Some(r);
+                        Some(r)
+                    }
+                    None => {
+                        let r = unclipped_run(calendars.get(g as usize), horizon, pivot);
+                        if let Some(r) = r {
+                            arena.run_cache[0] = Some(r);
+                            store_cross_run(&mut arena.cross_runs, versions, g, r);
+                        }
+                        r
+                    }
                 }
-                r
             }
         };
         full.map(|r| SlotRange::new(r.lo.max(interval.lo), r.hi.min(interval.hi)))
@@ -989,7 +1139,13 @@ pub(crate) fn prepare_pivot(
         // touched here at all; `finalize_pivot` materializes it for
         // the pivots that survive the incumbent bound, so a skipped
         // pivot pays exactly this loop.
-        let cache = &mut arena.run_cache;
+        let PivotArena {
+            run_cache: cache,
+            cross_runs,
+            world_versions,
+            ..
+        } = &mut *arena;
+        let versions = world_versions.as_deref();
         for &c in fg.candidate_order() {
             let ci = c as usize;
             let full = match cache[ci] {
@@ -998,11 +1154,22 @@ pub(crate) fn prepare_pivot(
                     Some(r)
                 }
                 _ => {
-                    let r = unclipped_run(calendars.get(fg.origin(c).index()), horizon, pivot);
-                    if let Some(r) = r {
-                        cache[ci] = Some(r);
+                    let g = fg.origin(c).index() as u32;
+                    match cross_solve_run(cross_runs, versions, g, pivot) {
+                        Some(r) => {
+                            stats.run_cache_cross_solve_hits += 1;
+                            cache[ci] = Some(r);
+                            Some(r)
+                        }
+                        None => {
+                            let r = unclipped_run(calendars.get(g as usize), horizon, pivot);
+                            if let Some(r) = r {
+                                cache[ci] = Some(r);
+                                store_cross_run(cross_runs, versions, g, r);
+                            }
+                            r
+                        }
                     }
-                    r
                 }
             };
             let Some(full) = full else {
@@ -1098,12 +1265,12 @@ pub(crate) fn prepare_pivot(
 }
 
 /// **Phase 2** of pivot preparation, for pivots that survived the
-/// incumbent bound: the candidate-space reduction, the sharp floor, and
-/// the `VA` state with its Lemma-5 counters. Under
-/// [`SelectConfig::incremental_prep`] this is also where the flattened
-/// availability words are materialized (post-peel eligible members
-/// only) — phase 1 left the buffer untouched, so a bound-skipped pivot
-/// never pays for it. Returns `false` when the
+/// incumbent bound: the candidate-space reduction and the sharp floor.
+/// The availability rows and the `VA` state with its Lemma-5 counters
+/// ([`materialize_pivot`]) are built at the end here in classic mode,
+/// or left to the caller's first frame touch under
+/// [`SelectConfig::materialize_on_touch`] — a pivot the *finalized*
+/// bound retires then pays for neither. Returns `false` when the
 /// pivot is refused outright — its fixpoint-peeled core cannot seat `p`
 /// people ([`SearchStats::pivots_refused_by_core`]), or, with the sharp
 /// floor, no `m`-slot window is covered by `p − 1` candidate runs — in
@@ -1124,10 +1291,10 @@ pub(crate) fn prepare_pivot(
 /// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
 /// [`SelectConfig::acq_pivot_floor`]: crate::SelectConfig::acq_pivot_floor
 /// [`SelectConfig::core_peel_fixpoint`]: crate::SelectConfig::core_peel_fixpoint
-/// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+/// [`SelectConfig::materialize_on_touch`]: crate::SelectConfig::materialize_on_touch
 /// [`SearchStats::pivots_refused_by_core`]: crate::SearchStats::pivots_refused_by_core
-pub(crate) fn finalize_pivot(
-    fg: &FeasibleGraph,
+pub(crate) fn finalize_pivot<G: CandidateTopology>(
+    fg: &G,
     calendars: Cals<'_>,
     prep: &PivotPrep,
     job: &mut PivotJob,
@@ -1135,8 +1302,6 @@ pub(crate) fn finalize_pivot(
     arena: &mut PivotArena,
 ) -> bool {
     let PivotPrep { p, m, .. } = *prep;
-    let stride = job.avail_stride;
-    let ilen = job.interval.len();
 
     // Candidate-space reduction (memoized per eligible-set signature —
     // on dense instances most pivots share the full-candidate signature
@@ -1187,9 +1352,52 @@ pub(crate) fn finalize_pivot(
         }
     }
 
+    // Availability-row materialization and Lemma-5 counters: built here
+    // immediately in the classic mode, or deferred to the caller's
+    // first frame touch ([`SelectConfig::materialize_on_touch`]) so the
+    // post-finalize incumbent checks and seeding can still retire the
+    // pivot for free.
+    if !prep.materialize_on_touch {
+        materialize_pivot(fg, calendars, prep, job, stats);
+    }
+    true
+}
+
+/// **Phase 3** of pivot preparation — the *first frame touch*: the
+/// flattened availability rows (post-peel eligible members only, under
+/// [`SelectConfig::incremental_prep`]; phase 1 already copied them
+/// otherwise) and the `VA` state with its Lemma-5 per-slot
+/// unavailability counters. This is the word-traffic-heavy part of
+/// preparation — one calendar row per eligible candidate — and nothing
+/// before exact descent reads any of it, so under
+/// [`SelectConfig::materialize_on_touch`] callers run it only once a
+/// pivot has survived **every** pre-descent bound (the finalized sharp
+/// floor and the seeded incumbent). A pivot retired between
+/// finalization and descent then pays zero availability words.
+///
+/// Must be called exactly once per searched pivot, after
+/// [`finalize_pivot`] returned `true` and before
+/// [`search_pivot_controlled`] / [`vet_pivot_roots`] /
+/// [`search_pivot_subtree`] read `job.va` or the availability rows.
+/// With `materialize_on_touch` off, [`finalize_pivot`] calls it itself
+/// (the classic per-pivot behaviour — same buffers, same bits, built
+/// unconditionally).
+///
+/// [`SelectConfig::incremental_prep`]: crate::SelectConfig::incremental_prep
+/// [`SelectConfig::materialize_on_touch`]: crate::SelectConfig::materialize_on_touch
+pub(crate) fn materialize_pivot<G: CandidateTopology>(
+    fg: &G,
+    calendars: Cals<'_>,
+    prep: &PivotPrep,
+    job: &mut PivotJob,
+    stats: &mut SearchStats,
+) {
+    let stride = job.avail_stride;
+    let ilen = job.interval.len();
+
     // Lazy word materialization ([`SelectConfig::incremental_prep`]):
     // phase 1 never touched the flattened buffer, so build it here —
-    // only for pivots that reached finalization, and only for the
+    // only for pivots that reached this point, and only for the
     // post-peel eligible members. Everyone else's row stays zero and is
     // never read: the search, root vetting and subtree splitting all
     // restrict themselves to `VA` members, which are exactly this set.
@@ -1229,7 +1437,6 @@ pub(crate) fn finalize_pivot(
         );
     }
     job.va.max_unavail_ub = unavail.iter().copied().max().unwrap_or(0);
-    true
 }
 
 /// The compatibility-restricted per-pivot distance floor
@@ -1259,7 +1466,12 @@ pub(crate) fn finalize_pivot(
 /// computation is a vanishing fraction of one search frame.
 ///
 /// [`SelectConfig::sharp_pivot_floor`]: crate::SelectConfig::sharp_pivot_floor
-fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> Option<Dist> {
+fn compat_dist_floor<G: CandidateTopology>(
+    fg: &G,
+    job: &PivotJob,
+    p: usize,
+    m: usize,
+) -> Option<Dist> {
     debug_assert!(p >= 2, "p = 1 never reaches pivot preparation");
     debug_assert!(job.q_run.len() >= m);
     let acq_ok = (!job.floor_ok.is_empty()).then_some(job.floor_ok.as_slice());
@@ -1296,8 +1508,8 @@ fn compat_dist_floor(fg: &FeasibleGraph, job: &PivotJob, p: usize, m: usize) -> 
 /// (if any) at every frame entry. The job's `VA` state is consumed in
 /// place (the caller recycles the buffers through the arena afterwards).
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn search_pivot_controlled(
-    fg: &FeasibleGraph,
+pub(crate) fn search_pivot_controlled<G: CandidateTopology>(
+    fg: &G,
     query: &StgqQuery,
     cfg: &SelectConfig,
     job: &mut PivotJob,
@@ -1341,8 +1553,8 @@ pub(crate) fn search_pivot_controlled(
 ///
 /// Mirrors the SGQ parallel solver's root vetting: sound to skip on,
 /// because a deeper forced prefix only shrinks the effective `VA`.
-pub(crate) fn vet_pivot_roots(
-    fg: &FeasibleGraph,
+pub(crate) fn vet_pivot_roots<G: CandidateTopology>(
+    fg: &G,
     query: &StgqQuery,
     cfg: &SelectConfig,
     job: &PivotJob,
@@ -1386,8 +1598,8 @@ pub(crate) fn vet_pivot_roots(
 /// partitions the pivot's search space, so running them concurrently
 /// against a shared incumbent preserves the sequential optimum.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn search_pivot_subtree(
-    fg: &FeasibleGraph,
+pub(crate) fn search_pivot_subtree<G: CandidateTopology>(
+    fg: &G,
     query: &StgqQuery,
     cfg: &SelectConfig,
     job: &PivotJob,
@@ -1496,7 +1708,7 @@ impl StVaState {
         self.base.version
     }
 
-    fn remove(&mut self, u: u32, fg: &FeasibleGraph, avail_u: &[u64]) {
+    fn remove<G: CandidateTopology>(&mut self, u: u32, fg: &G, avail_u: &[u64]) {
         self.base.remove(u, fg);
         let len = self.unavail.len();
         for_each_zero_bit(avail_u, len, |off| self.unavail[off] -= 1);
@@ -1511,7 +1723,13 @@ impl StVaState {
 
     /// Rewind every removal after `mark`, restoring the Lemma-5 counters
     /// from each re-inserted member's availability words.
-    fn undo_to(&mut self, mark: usize, fg: &FeasibleGraph, avail_words: &[u64], stride: usize) {
+    fn undo_to<G: CandidateTopology>(
+        &mut self,
+        mark: usize,
+        fg: &G,
+        avail_words: &[u64],
+        stride: usize,
+    ) {
         let mut max_ub = self.max_unavail_ub;
         while self.base.log.len() > mark {
             let u = self.base.undo_last(fg) as usize;
@@ -1528,8 +1746,8 @@ impl StVaState {
 
 /// One pivot's search state (shares the incumbent across pivots — and, in
 /// the parallel solver, across worker threads).
-struct StSearcher<'a> {
-    fg: &'a FeasibleGraph,
+struct StSearcher<'a, G> {
+    fg: &'a G,
     p: usize,
     k: i64,
     m: usize,
@@ -1562,10 +1780,10 @@ struct StSearcher<'a> {
     floors: Vec<ParentFloor>,
 }
 
-impl<'a> StSearcher<'a> {
+impl<'a, G: CandidateTopology> StSearcher<'a, G> {
     #[allow(clippy::too_many_arguments)]
     fn new(
-        fg: &'a FeasibleGraph,
+        fg: &'a G,
         query: &StgqQuery,
         cfg: &SelectConfig,
         pivot: SlotId,
@@ -1635,9 +1853,10 @@ impl<'a> StSearcher<'a> {
     }
 
     fn push(&mut self, u: u32, ts: SlotRange) {
-        for &nb in self.fg.neighbors(u) {
-            self.cnt_in_s[nb as usize] += 1;
-        }
+        let cnt_in_s = &mut self.cnt_in_s;
+        self.fg.for_each_neighbor(u, |nb| {
+            cnt_in_s[nb as usize] += 1;
+        });
         self.vs.push(u);
         self.ts_stack.push(ts);
         self.agg.on_push(u, &self.vs, &self.cnt_in_s);
@@ -1647,9 +1866,10 @@ impl<'a> StSearcher<'a> {
         let popped = self.vs.pop();
         debug_assert_eq!(popped, Some(u));
         self.ts_stack.pop();
-        for &nb in self.fg.neighbors(u) {
-            self.cnt_in_s[nb as usize] -= 1;
-        }
+        let cnt_in_s = &mut self.cnt_in_s;
+        self.fg.for_each_neighbor(u, |nb| {
+            cnt_in_s[nb as usize] -= 1;
+        });
         self.agg.on_pop(u, &self.vs, &self.cnt_in_s);
     }
 
@@ -2008,6 +2228,9 @@ mod tests {
     ) -> Option<PivotJob> {
         let mut job = prepare_pivot(fg, calendars.into(), prep, pivot, stats, arena)?;
         if finalize_pivot(fg, calendars.into(), prep, &mut job, stats, arena) {
+            if prep.materialize_on_touch {
+                materialize_pivot(fg, calendars.into(), prep, &mut job, stats);
+            }
             Some(job)
         } else {
             arena.recycle(job);
@@ -2661,6 +2884,90 @@ mod tests {
             stats_full.prep_words_rebuilt = 0;
             assert_eq!(stats_inc, stats_full, "seed {seed} counters");
         }
+    }
+
+    /// First-frame-touch materialization changes no answer and no
+    /// search counter — the same availability bits are built, just
+    /// after the last pre-descent bound instead of inside finalization
+    /// — and it never rebuilds *more* words than the classic order.
+    #[test]
+    fn materialize_on_touch_is_bit_identical_and_no_costlier() {
+        let (g, q, cals) = example3_inputs();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        for (p, k, m) in [(4usize, 1usize, 3usize), (3, 1, 2), (2, 2, 4)] {
+            let query = StgqQuery::new(p, 1, k, m).unwrap();
+            let on = solve_stgq_on(&fg, &cals, &query, &SelectConfig::default());
+            let off = solve_stgq_on(
+                &fg,
+                &cals,
+                &query,
+                &SelectConfig::default().with_materialize_on_touch(false),
+            );
+            assert_eq!(on.solution, off.solution, "p={p} k={k} m={m}");
+            assert!(
+                on.stats.prep_words_rebuilt <= off.stats.prep_words_rebuilt,
+                "p={p} k={k} m={m}: deferral must never add word traffic"
+            );
+            let mut a = on.stats;
+            let mut b = off.stats;
+            a.prep_words_rebuilt = 0;
+            b.prep_words_rebuilt = 0;
+            assert_eq!(a, b, "p={p} k={k} m={m}: only the word accounting may move");
+        }
+    }
+
+    /// The cross-solve run cache serves version-fresh Definition-4 runs
+    /// across `begin_solve` boundaries once the world-version handshake
+    /// activates it — same answers, hits counted — and stays fully
+    /// inert on un-handshaken arenas.
+    #[test]
+    fn cross_solve_run_cache_hits_under_handshake_only() {
+        let (g, q, cals) = example3_inputs();
+        let fg = FeasibleGraph::extract(&g, q, 1);
+        let query = StgqQuery::new(4, 1, 1, 3).unwrap();
+        let cfg = SelectConfig::default();
+
+        // Plain pooled arena: repeat solves never consult the cache.
+        let mut plain = PivotArena::new();
+        let first_plain = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut plain);
+        let second_plain = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut plain);
+        assert_eq!(first_plain, second_plain, "pooled repeat solves agree");
+        assert_eq!(second_plain.stats.run_cache_cross_solve_hits, 0);
+
+        // Handshaken arena: the second solve re-derives runs from the
+        // first solve's cross entries instead of scanning calendars.
+        let mut arena = PivotArena::new();
+        arena.install_world_versions(&[7, 7]);
+        let first = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(first.solution, first_plain.solution);
+        assert_eq!(
+            first.stats.run_cache_cross_solve_hits, 0,
+            "nothing to hit on a cold cross cache"
+        );
+        let second = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(second.solution, first_plain.solution);
+        assert!(
+            second.stats.run_cache_cross_solve_hits > 0,
+            "warm cross cache must serve runs across solves"
+        );
+        // Every other counter is untouched: a served run is exactly
+        // what the fresh calendar scan would have produced.
+        let mut a = second.stats;
+        let mut b = second_plain.stats;
+        a.run_cache_cross_solve_hits = 0;
+        b.run_cache_cross_solve_hits = 0;
+        assert_eq!(a, b, "the cache may only move its own counter");
+
+        // Bumping a shard version invalidates its entries — answers
+        // hold, the stale shard is rescanned and restamped.
+        arena.install_world_versions(&[8, 7]);
+        let third = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(third.solution, first_plain.solution);
+
+        // Dropping the handshake deactivates and empties the cache.
+        arena.install_world_versions(&[]);
+        let fourth = solve_stgq_pooled(&fg, &cals[..], &query, &cfg, &mut arena);
+        assert_eq!(fourth, second_plain, "inert again after the reset");
     }
 
     #[test]

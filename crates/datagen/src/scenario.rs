@@ -203,6 +203,93 @@ pub fn calendar_churn(days: usize, seed: u64) -> Dataset {
     ds
 }
 
+/// `plaza`: one very-high-degree initiator in front of a large, flat,
+/// densely-connected eligible set — the **extraction-bound** workload.
+///
+/// A "plaza" is the regime where the per-query candidate space is huge
+/// but the search itself is shallow: think of the organiser of a street
+/// festival who is acquainted with everyone on the square. The hub
+/// (vertex 0) is directly tied to all other `1200` people, so a radius-1
+/// query's eligible set is the whole world; every person additionally
+/// carries ~40 random acquaintances, so the CSR rows the extractor must
+/// traverse are *heavy*. Descent stays shallow by construction: the
+/// hub's 16-person inner circle is a distance-1 clique with the same
+/// wide-open calendars as everyone else, so exact engines seat an
+/// optimal group within the first few frames and the incumbent bound
+/// retires the remaining ~1180 candidates wholesale.
+///
+/// The result: solve time is dominated by what extraction *costs*, not
+/// by search — the scenario that separates the zero-copy
+/// `FeasibleView` (one masked word matrix) from materializing a
+/// `FeasibleGraph` (per-row neighbor/weight vectors, per-row bitsets,
+/// a sort per row) and the reason both serving benches carry plaza
+/// entries. The community scenarios above never enter this regime:
+/// their eligible sets are a few dozen people, so extraction is noise.
+pub fn plaza(days: usize, seed: u64) -> Dataset {
+    const N: usize = 1200;
+    const INNER: u32 = 16;
+    const EXTRA_DEGREE: usize = 40;
+    let grid = TimeGrid::half_hour(days).expect("days >= 1");
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0071_A2A0);
+
+    // Per-pair deterministic crowd weight: random draws may propose the
+    // same pair twice, and `GraphBuilder` rejects *conflicting* repeats
+    // but accepts identical ones.
+    let crowd_weight = |u: u32, v: u32| -> Dist {
+        let (a, b) = (u.min(v) as u64, u.max(v) as u64);
+        4 + (a.wrapping_mul(31).wrapping_add(b)) % 6
+    };
+
+    let mut b = GraphBuilder::new(N);
+    let hub = NodeId(0);
+    // The star: everyone on the square knows the organiser. The inner
+    // circle is socially close (distance 1), the crowd further out —
+    // candidate order therefore leads with the clique.
+    for v in 1..N as u32 {
+        let w = if v <= INNER { 1 } else { crowd_weight(0, v) };
+        b.add_edge(hub, NodeId(v), w).expect("distinct pair");
+    }
+    // The inner circle: a strong clique, so a p-group seats immediately.
+    for i in 1..=INNER {
+        for j in (i + 1)..=INNER {
+            b.add_edge(NodeId(i), NodeId(j), 1).expect("distinct pair");
+        }
+    }
+    // The crowd: ~EXTRA_DEGREE acquaintances each, so every CSR row the
+    // extractor walks is long.
+    for v in 1..N as u32 {
+        for _ in 0..EXTRA_DEGREE / 2 {
+            let u = rng.gen_range(1..N as u32);
+            // Skip inner-circle pairs: those already carry the clique's
+            // distance-1 ties.
+            if u != v && (u > INNER || v > INNER) {
+                b.add_edge(NodeId(u.min(v)), NodeId(u.max(v)), crowd_weight(u, v))
+                    .expect("crowd weights are per-pair deterministic");
+            }
+        }
+    }
+
+    // Wide-open calendars (one jittered busy slot per day per person):
+    // temporal feasibility never deepens the search.
+    let mut calendars = Vec::with_capacity(N);
+    for _ in 0..N {
+        let mut cal = stgq_schedule::Calendar::new(grid.horizon());
+        cal.set_range(stgq_schedule::SlotRange::new(0, grid.horizon() - 1), true);
+        for day in 0..days {
+            let at = day * grid.slots_per_day() + rng.gen_range(0..grid.slots_per_day());
+            cal.set_available(at, false);
+        }
+        calendars.push(cal);
+    }
+    let ds = Dataset {
+        graph: b.build(),
+        calendars,
+        grid,
+    };
+    debug_assert!(ds.check());
+    ds
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +420,40 @@ mod tests {
     fn sparse_fringe_is_reproducible() {
         let a = sparse_fringe(1, 3);
         let b = sparse_fringe(1, 3);
+        assert_eq!(
+            a.graph.edges().collect::<Vec<_>>(),
+            b.graph.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(a.calendars, b.calendars);
+    }
+
+    #[test]
+    fn plaza_hub_sees_the_whole_square() {
+        let ds = plaza(2, 13);
+        assert!(ds.check());
+        let n = ds.graph.node_count();
+        assert_eq!(n, 1200);
+        // The hub knows everyone: a radius-1 feasible set is the world.
+        assert_eq!(ds.graph.degree(stgq_graph::NodeId(0)), n - 1);
+        // Crowd rows are heavy — that's what makes extraction the cost.
+        let mean_degree: usize = (1..n as u32)
+            .map(|v| ds.graph.degree(stgq_graph::NodeId(v)))
+            .sum::<usize>()
+            / (n - 1);
+        assert!(
+            mean_degree >= 20,
+            "crowd mean degree {mean_degree} too light"
+        );
+        // Calendars are near-full: descent stays shallow.
+        for cal in &ds.calendars {
+            assert!(cal.count_available() * 10 >= ds.grid.horizon() * 9);
+        }
+    }
+
+    #[test]
+    fn plaza_is_reproducible() {
+        let a = plaza(1, 4);
+        let b = plaza(1, 4);
         assert_eq!(
             a.graph.edges().collect::<Vec<_>>(),
             b.graph.edges().collect::<Vec<_>>()

@@ -39,11 +39,73 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use stgq_graph::{FeasibleGraph, NodeId};
+use stgq_graph::{CandidateTopology, FeasibleGraph, FeasibleView, NodeId};
 
 use crate::engine::Engine;
 use crate::request::{PlanOutcome, QuerySpec};
 use crate::snapshot::WorldSnapshot;
+
+/// How the executor turns a cache miss into a candidate topology.
+///
+/// Both carriers implement
+/// [`CandidateTopology`](stgq_graph::CandidateTopology) and the engines
+/// are generic over it, so the two modes produce **bit-identical**
+/// answers and search statistics — the difference is purely what the
+/// extraction pays for.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExtractionMode {
+    /// Zero-copy: build a [`FeasibleView`] — a compact candidate index
+    /// whose adjacency words are generated shard-segment-wise from the
+    /// snapshot's borrowed CSR segments and masked against the
+    /// candidate bitmap. No per-query adjacency matrix is copied; the
+    /// per-query cost is the index build
+    /// ([`ExecMetrics::extract_words_borrowed`](crate::ExecMetrics::extract_words_borrowed)).
+    #[default]
+    View,
+    /// Materialize a per-query [`FeasibleGraph`] (the pre-view
+    /// reference path, kept as the bit-identity oracle and for A/B
+    /// benchmarking —
+    /// [`ExecMetrics::extract_words_copied`](crate::ExecMetrics::extract_words_copied)).
+    Materialized,
+}
+
+/// A cached extraction — one of the two [`ExtractionMode`] carriers.
+#[derive(Clone, Debug)]
+pub(crate) enum Extracted {
+    /// Materialized per-query graph (owned adjacency matrix).
+    Graph(Arc<FeasibleGraph>),
+    /// Zero-copy view over the snapshot's CSR segments.
+    View(Arc<FeasibleView>),
+}
+
+impl Extracted {
+    /// Adjacency words this extraction generated: copied into the owned
+    /// matrix (graph) or masked in place over borrowed segments (view).
+    /// Identical for the same `(initiator, s)` on the same world — the
+    /// counters separate the two paths, not the amounts.
+    pub(crate) fn words(&self) -> u64 {
+        match self {
+            Extracted::Graph(fg) => (fg.len() * fg.word_stride()) as u64,
+            Extracted::View(view) => view.words_generated(),
+        }
+    }
+
+    /// Graph-axis read-set stamps for this extraction on `snapshot`.
+    pub(crate) fn graph_stamps(&self, snapshot: &WorldSnapshot) -> Vec<(u32, u64)> {
+        match self {
+            Extracted::Graph(fg) => snapshot.graph_stamps_for(fg.as_ref()),
+            Extracted::View(view) => snapshot.graph_stamps_for(view.as_ref()),
+        }
+    }
+
+    /// Calendar-axis read-set stamps over the same shards.
+    pub(crate) fn calendar_stamps(&self, snapshot: &WorldSnapshot) -> Vec<(u32, u64)> {
+        match self {
+            Extracted::Graph(fg) => snapshot.calendar_stamps_for(fg.as_ref()),
+            Extracted::View(view) => snapshot.calendar_stamps_for(view.as_ref()),
+        }
+    }
+}
 
 /// Whether an entry's recorded read set is still current: the shard
 /// modulus must match (stamps are meaningless across different
@@ -71,7 +133,7 @@ struct Entry {
     shards: usize,
     /// `(shard, graph_shard_version)` for every shard the extraction read.
     stamps: Vec<(u32, u64)>,
-    fg: Arc<FeasibleGraph>,
+    fg: Extracted,
 }
 
 impl FeasibleCache {
@@ -88,17 +150,12 @@ impl FeasibleCache {
     /// Look up `(initiator, s)` against the current graph-axis shard
     /// versions; an entry with a moved stamp is evicted on the spot and
     /// the lookup misses.
-    pub(crate) fn get(
-        &mut self,
-        initiator: u32,
-        s: usize,
-        current: &[u64],
-    ) -> Option<Arc<FeasibleGraph>> {
+    pub(crate) fn get(&mut self, initiator: u32, s: usize, current: &[u64]) -> Option<Extracted> {
         let key = (initiator, s);
         match self.entries.get(&key) {
             Some(e) if stamps_fresh(e.shards, &e.stamps, current) => {
                 self.hits += 1;
-                Some(Arc::clone(&e.fg))
+                Some(e.fg.clone())
             }
             Some(_) => {
                 self.entries.remove(&key);
@@ -113,7 +170,7 @@ impl FeasibleCache {
         }
     }
 
-    /// Insert a freshly-built graph with its read-set stamps, evicting
+    /// Insert a fresh extraction with its read-set stamps, evicting
     /// the oldest entry at capacity.
     pub(crate) fn put(
         &mut self,
@@ -121,7 +178,7 @@ impl FeasibleCache {
         s: usize,
         shards: usize,
         stamps: Vec<(u32, u64)>,
-        fg: Arc<FeasibleGraph>,
+        fg: Extracted,
     ) {
         let key = (initiator, s);
         let entry = Entry { shards, stamps, fg };
@@ -163,16 +220,17 @@ impl ShardedFeasibleCache {
         initiator.0 as usize % self.shards.len()
     }
 
-    /// The feasible graph for `(initiator, s)` on `snapshot`, extracting
-    /// (and caching, stamped with the shards the extraction read) on
-    /// miss. Returns the graph and whether it was a hit. Extraction
-    /// happens outside the shard lock.
+    /// The candidate topology for `(initiator, s)` on `snapshot`,
+    /// extracting per `mode` (and caching, stamped with the shards the
+    /// extraction read) on miss. Returns the extraction and whether it
+    /// was a hit. Extraction happens outside the shard lock.
     pub(crate) fn get_or_extract(
         &self,
         snapshot: &WorldSnapshot,
         initiator: NodeId,
         s: usize,
-    ) -> (Arc<FeasibleGraph>, bool) {
+        mode: ExtractionMode,
+    ) -> (Extracted, bool) {
         let shard = &self.shards[self.shard_of(initiator)];
         if let Some(fg) = shard
             .lock()
@@ -180,15 +238,20 @@ impl ShardedFeasibleCache {
         {
             return (fg, true);
         }
-        let fg = Arc::new(FeasibleGraph::extract_from(snapshot.graph(), initiator, s));
-        let stamps = snapshot.graph_stamps_for(&fg);
-        shard.lock().put(
-            initiator.0,
-            s,
-            snapshot.shard_count(),
-            stamps,
-            Arc::clone(&fg),
-        );
+        let fg = match mode {
+            ExtractionMode::View => Extracted::View(Arc::new(FeasibleView::extract(
+                snapshot.graph(),
+                initiator,
+                s,
+            ))),
+            ExtractionMode::Materialized => Extracted::Graph(Arc::new(
+                FeasibleGraph::extract_from(snapshot.graph(), initiator, s),
+            )),
+        };
+        let stamps = fg.graph_stamps(snapshot);
+        shard
+            .lock()
+            .put(initiator.0, s, snapshot.shard_count(), stamps, fg.clone());
         (fg, false)
     }
 
@@ -384,10 +447,10 @@ mod tests {
     use super::*;
     use stgq_graph::GraphBuilder;
 
-    fn fg() -> Arc<FeasibleGraph> {
+    fn fg() -> Extracted {
         let mut b = GraphBuilder::new(2);
         b.add_edge(NodeId(0), NodeId(1), 1).unwrap();
-        Arc::new(FeasibleGraph::extract(&b.build(), NodeId(0), 1))
+        Extracted::Graph(Arc::new(FeasibleGraph::extract(&b.build(), NodeId(0), 1)))
     }
 
     /// An entry stamped as having read shard 0 of 2 at version `v`.
@@ -474,11 +537,11 @@ mod tests {
         assert_ne!(cache.shard_of(NodeId(0)), cache.shard_of(NodeId(1)));
 
         let s3 = snap(3);
-        let (_, hit) = cache.get_or_extract(&s3, NodeId(0), 1);
+        let (_, hit) = cache.get_or_extract(&s3, NodeId(0), 1, ExtractionMode::View);
         assert!(!hit);
-        let (_, hit) = cache.get_or_extract(&s3, NodeId(0), 1);
+        let (_, hit) = cache.get_or_extract(&s3, NodeId(0), 1, ExtractionMode::View);
         assert!(hit);
-        let (_, hit) = cache.get_or_extract(&snap(4), NodeId(0), 1);
+        let (_, hit) = cache.get_or_extract(&snap(4), NodeId(0), 1, ExtractionMode::View);
         assert!(!hit, "a flooded version bump misses");
         let (hits, misses, len) = cache.stats();
         assert_eq!((hits, misses), (1, 2));

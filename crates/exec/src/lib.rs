@@ -80,6 +80,7 @@ mod serde_impls;
 mod snapshot;
 mod worker;
 
+pub use cache::ExtractionMode;
 pub use engine::Engine;
 pub use executor::{ExecConfig, Executor};
 pub use metrics::ExecMetrics;

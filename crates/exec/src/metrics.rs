@@ -75,6 +75,21 @@ pub struct ExecMetrics {
     /// Availability-buffer words actually built from calendar words
     /// during pivot preparation.
     pub prep_words_rebuilt: u64,
+    /// Definition-4 runs served by the cross-solve run cache: the
+    /// worker's arena kept a candidate's run from an earlier solve and
+    /// the snapshot's calendar-shard versions vouched it was still
+    /// current (see `stgq_core::PivotArena::install_world_versions`).
+    pub run_cache_cross_solve_hits: u64,
+    /// Adjacency words **copied** into per-query `FeasibleGraph`
+    /// matrices on feasible-cache misses — the materialized extraction
+    /// path's word traffic. Zero when the executor runs the zero-copy
+    /// view path.
+    pub extract_words_copied: u64,
+    /// Adjacency words generated in place by zero-copy
+    /// [`FeasibleView`](stgq_graph::FeasibleView) extraction on
+    /// feasible-cache misses: candidate rows masked directly against
+    /// the snapshot's CSR segments, no per-query graph materialized.
+    pub extract_words_borrowed: u64,
     /// Fixed worker-pool size.
     pub workers: usize,
     /// Initiator-shard count (cache partitions = batch groups).
@@ -101,6 +116,9 @@ pub(crate) struct ExecCounters {
     pub(crate) children_pruned_by_parent_bound: AtomicU64,
     pub(crate) prep_words_delta: AtomicU64,
     pub(crate) prep_words_rebuilt: AtomicU64,
+    pub(crate) run_cache_cross_solve_hits: AtomicU64,
+    pub(crate) extract_words_copied: AtomicU64,
+    pub(crate) extract_words_borrowed: AtomicU64,
 }
 
 impl ExecCounters {
@@ -124,6 +142,8 @@ impl ExecCounters {
             .fetch_add(stats.prep_words_delta, Ordering::Relaxed);
         self.prep_words_rebuilt
             .fetch_add(stats.prep_words_rebuilt, Ordering::Relaxed);
+        self.run_cache_cross_solve_hits
+            .fetch_add(stats.run_cache_cross_solve_hits, Ordering::Relaxed);
     }
 
     /// Count an answered query's stop cause. Lives at the *envelope* —

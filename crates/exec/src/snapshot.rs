@@ -48,7 +48,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use stgq_graph::{AdjacencySource, FeasibleGraph, GraphSegment, ShardedGraph, SocialGraph};
+use stgq_graph::{AdjacencySource, CandidateTopology, GraphSegment, ShardedGraph, SocialGraph};
 use stgq_schedule::{Calendar, CalendarShards};
 
 /// One immutable epoch of the world: shard-partitioned graph segments
@@ -195,7 +195,7 @@ impl WorldSnapshot {
     /// graph (an edge with both endpoints outside can neither bring a
     /// vertex within distance `s` nor touch fg-internal adjacency), and
     /// every mutation touches its endpoints' shards.
-    fn read_shards(&self, fg: &FeasibleGraph) -> Vec<u32> {
+    fn read_shards<G: CandidateTopology>(&self, fg: &G) -> Vec<u32> {
         let shards = self.shard_count();
         let mut seen = vec![false; shards];
         for c in 0..fg.len() as u32 {
@@ -206,7 +206,7 @@ impl WorldSnapshot {
 
     /// Graph-axis stamps for a cache entry built from `fg`: the
     /// `(shard, version)` pairs of every shard the extraction read.
-    pub(crate) fn graph_stamps_for(&self, fg: &FeasibleGraph) -> Vec<(u32, u64)> {
+    pub(crate) fn graph_stamps_for<G: CandidateTopology>(&self, fg: &G) -> Vec<(u32, u64)> {
         self.read_shards(fg)
             .into_iter()
             .map(|s| (s, self.graph_shard_versions[s as usize]))
@@ -216,7 +216,7 @@ impl WorldSnapshot {
     /// Calendar-axis stamps for a cache entry built from `fg`: an STGQ
     /// solve reads exactly its feasible graph's calendars, so only those
     /// shards' calendar versions pin the answer.
-    pub(crate) fn calendar_stamps_for(&self, fg: &FeasibleGraph) -> Vec<(u32, u64)> {
+    pub(crate) fn calendar_stamps_for<G: CandidateTopology>(&self, fg: &G) -> Vec<(u32, u64)> {
         self.read_shards(fg)
             .into_iter()
             .map(|s| (s, self.calendar_shard_versions[s as usize]))
@@ -260,7 +260,7 @@ impl SnapshotCell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stgq_graph::{GraphBuilder, NodeId};
+    use stgq_graph::{FeasibleGraph, GraphBuilder, NodeId};
 
     fn snap(gv: u64, cv: u64) -> Arc<WorldSnapshot> {
         let mut b = GraphBuilder::new(2);

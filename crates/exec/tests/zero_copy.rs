@@ -1,0 +1,363 @@
+//! Exec-layer equivalence suite for the zero-copy query path.
+//!
+//! The executor can extract per-query candidate spaces two ways — the
+//! materialized `FeasibleGraph` (the original reference path) and the
+//! borrowed `FeasibleView` over the snapshot's CSR segments (the
+//! default). These tests pin the properties the swap must preserve:
+//!
+//! 1. **Bit-identity**: for every engine and every search-reduction
+//!    knob combination, the view path returns the same members, the
+//!    same objectives *and the same `SearchStats`* as the materialized
+//!    path — the view changes what extraction costs, never what the
+//!    search does.
+//! 2. **Determinism across worker counts**: a batch of exact queries
+//!    yields identical outcomes (stats included) on 1, 2 and 4 workers.
+//! 3. **Stamped-cache equivalence**: under arbitrary interleavings of
+//!    writes (republished epochs) and queries, the long-lived executor
+//!    with all caches warm agrees with a cacheless fresh-executor
+//!    oracle solving the same world from scratch.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stgq_core::{SelectConfig, SgqQuery, SolveOutcome, StgqQuery};
+use stgq_exec::{Engine, ExecConfig, Executor, ExtractionMode, PlanRequest, QuerySpec};
+use stgq_graph::{Dist, GraphBuilder, NodeId, SocialGraph};
+use stgq_schedule::Calendar;
+
+const HORIZON: usize = 16;
+
+/// An outcome with cache-*effect* counters zeroed. A warm arena
+/// legitimately reports cross-solve run-cache hits (and avoided prep
+/// words) that a fresh oracle cannot; those counters describe where the
+/// work came from, not what the search did. Everything else — members,
+/// objectives, and every search counter — must still match exactly.
+fn sans_cache_effects(mut o: SolveOutcome) -> SolveOutcome {
+    let stats = match &mut o {
+        SolveOutcome::Sgq(x) => &mut x.stats,
+        SolveOutcome::Stgq(x) => &mut x.stats,
+    };
+    stats.run_cache_cross_solve_hits = 0;
+    stats.prep_words_delta = 0;
+    stats.prep_words_rebuilt = 0;
+    o
+}
+
+/// A random world: `n` people, ~`edge_pct` of pairs connected with
+/// small weights, each person free on ~70% of slots.
+fn random_world(seed: u64, n: usize, edge_pct: f64) -> (SocialGraph, Vec<Calendar>) {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x0EC0_11EC);
+    let mut b = GraphBuilder::new(n);
+    for a in 0..n as u32 {
+        for c in (a + 1)..n as u32 {
+            if rng.gen_bool(edge_pct) {
+                b.add_edge(NodeId(a), NodeId(c), rng.gen_range(1..10) as Dist)
+                    .unwrap();
+            }
+        }
+    }
+    let calendars = (0..n)
+        .map(|_| {
+            let mut cal = Calendar::new(HORIZON);
+            for slot in 0..HORIZON {
+                if rng.gen_bool(0.7) {
+                    cal.set_available(slot, true);
+                }
+            }
+            cal
+        })
+        .collect();
+    (b.build(), calendars)
+}
+
+fn executor_on(
+    mode: ExtractionMode,
+    workers: usize,
+    select: SelectConfig,
+    graph: &SocialGraph,
+    calendars: &[Calendar],
+) -> Executor {
+    let exec = Executor::new(ExecConfig {
+        workers,
+        shards: 4,
+        select,
+        extraction: mode,
+        // Replays would mask a divergence after the first solve; the
+        // equivalence tests want every query to hit the engine.
+        result_cache_capacity: 0,
+        ..ExecConfig::default()
+    });
+    exec.publish(graph, calendars, 1, 1);
+    exec
+}
+
+/// Representative corners of the search-reduction knob grid: everything
+/// on (default), everything off, and each family toggled individually.
+fn config_grid() -> Vec<SelectConfig> {
+    vec![
+        SelectConfig::default(),
+        SelectConfig::NO_SEARCH_REDUCTION,
+        SelectConfig::default().with_materialize_on_touch(false),
+        SelectConfig::default().with_incremental_prep(false),
+        SelectConfig::default().with_shared_pivot_prep(false),
+        SelectConfig::default()
+            .with_core_peel_fixpoint(false)
+            .with_kplex_match_bound(false),
+        SelectConfig::default()
+            .with_sharp_pivot_floor(false)
+            .with_acq_pivot_floor(false),
+        SelectConfig::default()
+            .with_parent_completion_bound(false)
+            .with_pivot_promise_order(false),
+        SelectConfig::default()
+            .with_seed_restarts(0)
+            .with_availability_ordering(false),
+        SelectConfig::default().with_pool_pivot_buffers(false),
+    ]
+}
+
+/// A small mixed SGQ/STGQ workload across engines that report stats
+/// (plus one heuristic for objective-level agreement).
+fn workload(rng: &mut SmallRng, n: usize) -> Vec<PlanRequest> {
+    let mut reqs = Vec::new();
+    for _ in 0..4 {
+        let initiator = NodeId(rng.gen_range(0..n as u32));
+        let p = rng.gen_range(2..5usize);
+        let s = rng.gen_range(1..4usize);
+        let k = rng.gen_range(0..p.min(3));
+        let m = rng.gen_range(1..4usize);
+        let spec = if rng.gen_bool(0.5) {
+            QuerySpec::Sgq(SgqQuery::new(p, s, k).unwrap())
+        } else {
+            QuerySpec::Stgq(StgqQuery::new(p, s, k, m).unwrap())
+        };
+        let engine = match rng.gen_range(0..4u8) {
+            0 => Engine::Exact,
+            1 => Engine::Anytime { frame_budget: 8 },
+            2 => Engine::Greedy { restarts: 2 },
+            _ => Engine::Exact,
+        };
+        reqs.push(PlanRequest::new(initiator, spec, engine));
+    }
+    reqs
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(24))]
+
+    /// The tentpole invariant: across random worlds, queries, engines
+    /// and the whole knob grid, the zero-copy view path is
+    /// **bit-identical** to the materialized path — same solutions,
+    /// same objectives, same `SearchStats` (the `outcome` comparison
+    /// covers all three), same exactness claims.
+    #[test]
+    fn view_path_is_bit_identical_to_materialized(seed in 0u64..1 << 48) {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xB17_1DE7);
+        let n = rng.gen_range(6..14usize);
+        let (graph, calendars) = random_world(seed, n, 0.35);
+        for cfg in config_grid() {
+            let view = executor_on(ExtractionMode::View, 1, cfg, &graph, &calendars);
+            let mat = executor_on(ExtractionMode::Materialized, 1, cfg, &graph, &calendars);
+            for req in workload(&mut rng, n) {
+                let a = view.execute_one(req.clone());
+                let b = mat.execute_one(req.clone());
+                match (a, b) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(
+                            a.outcome, b.outcome,
+                            "solution/stats divergence on {req:?}"
+                        );
+                        assert_eq!(a.exact, b.exact);
+                        assert_eq!(a.evaluations, b.evaluations);
+                    }
+                    (a, b) => assert_eq!(a, b, "error divergence"),
+                }
+            }
+            // The word counters must land on the carrier that paid.
+            let (vm, mm) = (view.metrics(), mat.metrics());
+            assert!(vm.extract_words_borrowed > 0);
+            assert_eq!(vm.extract_words_copied, 0);
+            assert!(mm.extract_words_copied > 0);
+            assert_eq!(mm.extract_words_borrowed, 0);
+            // Same worlds, same misses — the traffic *amounts* agree,
+            // only the path differs.
+            assert_eq!(vm.extract_words_borrowed, mm.extract_words_copied);
+        }
+    }
+}
+
+#[test]
+fn executor_is_deterministic_across_worker_counts() {
+    let mut rng = SmallRng::seed_from_u64(0x00D1_7EC7);
+    let n = 14;
+    let (graph, calendars) = random_world(0xD1CE, n, 0.3);
+    // Exact engines only: determinism must hold stats-for-stats.
+    let mut reqs = Vec::new();
+    for i in 0..12u32 {
+        let initiator = NodeId(i % n as u32);
+        let p = rng.gen_range(2..5usize);
+        let s = rng.gen_range(1..4usize);
+        let spec = if i % 2 == 0 {
+            QuerySpec::Sgq(SgqQuery::new(p, s, 1.min(p - 1)).unwrap())
+        } else {
+            QuerySpec::Stgq(StgqQuery::new(p, s, 1.min(p - 1), 2).unwrap())
+        };
+        reqs.push(PlanRequest::new(initiator, spec, Engine::Exact));
+    }
+    let mut baseline = None;
+    for workers in [1usize, 2, 4] {
+        let exec = executor_on(
+            ExtractionMode::View,
+            workers,
+            SelectConfig::default(),
+            &graph,
+            &calendars,
+        );
+        let outcomes: Vec<_> = exec
+            .execute_batch(reqs.clone())
+            .into_iter()
+            .map(|r| r.expect("valid initiators").outcome)
+            .collect();
+        match &baseline {
+            None => baseline = Some(outcomes),
+            Some(b) => assert_eq!(&outcomes, b, "divergence at {workers} workers"),
+        }
+    }
+}
+
+#[test]
+fn stamped_caches_agree_with_fresh_solves_across_interleavings() {
+    let mut rng = SmallRng::seed_from_u64(0x5_7A3B);
+    let n = 10usize;
+    // Mutable world the "writer" side evolves.
+    let mut edges: Vec<(u32, u32, Dist)> = Vec::new();
+    for a in 0..n as u32 {
+        for b in (a + 1)..n as u32 {
+            if rng.gen_bool(0.3) {
+                edges.push((a, b, rng.gen_range(1..8) as Dist));
+            }
+        }
+    }
+    let mut calendars: Vec<Calendar> = (0..n)
+        .map(|_| {
+            let mut cal = Calendar::new(HORIZON);
+            for slot in 0..HORIZON {
+                if rng.gen_bool(0.6) {
+                    cal.set_available(slot, true);
+                }
+            }
+            cal
+        })
+        .collect();
+    let build = |edges: &[(u32, u32, Dist)]| {
+        let mut b = GraphBuilder::new(n);
+        for &(x, y, d) in edges {
+            b.add_edge(NodeId(x), NodeId(y), d).unwrap();
+        }
+        b.build()
+    };
+    let (mut gv, mut cv) = (1u64, 1u64);
+    // Long-lived executor with every cache enabled.
+    let long = Executor::new(ExecConfig {
+        workers: 1,
+        shards: 4,
+        ..ExecConfig::default()
+    });
+    long.publish(&build(&edges), &calendars, gv, cv);
+
+    for step in 0..40 {
+        match rng.gen_range(0..3u8) {
+            // Graph write: re-weight or add an edge, bump the epoch.
+            0 => {
+                let a = rng.gen_range(0..n as u32 - 1);
+                let b = rng.gen_range(a + 1..n as u32);
+                let d = rng.gen_range(1..8) as Dist;
+                if let Some(e) = edges.iter_mut().find(|e| e.0 == a && e.1 == b) {
+                    e.2 = d;
+                } else {
+                    edges.push((a, b, d));
+                }
+                gv += 1;
+                long.publish(&build(&edges), &calendars, gv, cv);
+            }
+            // Calendar write: flip one slot, bump the epoch.
+            1 => {
+                let person = rng.gen_range(0..n);
+                let slot = rng.gen_range(0..HORIZON);
+                let now = calendars[person].is_available(slot);
+                calendars[person].set_available(slot, !now);
+                cv += 1;
+                long.publish(&build(&edges), &calendars, gv, cv);
+            }
+            // Query: the warm stamped caches must agree with a fresh
+            // executor solving the current world from scratch.
+            _ => {
+                let initiator = NodeId(rng.gen_range(0..n as u32));
+                let p = rng.gen_range(2..4usize);
+                let s = rng.gen_range(1..3usize);
+                let spec = if rng.gen_bool(0.5) {
+                    QuerySpec::Sgq(SgqQuery::new(p, s, 1).unwrap())
+                } else {
+                    QuerySpec::Stgq(StgqQuery::new(p, s, 1, 2).unwrap())
+                };
+                let req = PlanRequest::new(initiator, spec, Engine::Exact);
+                let cached = long.execute_one(req.clone()).unwrap();
+                let oracle = executor_on(
+                    ExtractionMode::View,
+                    1,
+                    SelectConfig::default(),
+                    &build(&edges),
+                    &calendars,
+                )
+                .execute_one(req)
+                .unwrap();
+                assert_eq!(
+                    sans_cache_effects(cached.outcome),
+                    sans_cache_effects(oracle.outcome),
+                    "step {step}: stamped caches served a stale answer"
+                );
+            }
+        }
+    }
+    // The interleaving must have actually exercised the fast paths.
+    let m = long.metrics();
+    assert!(
+        m.feasible_cache_hits + m.result_cache_hits > 0,
+        "interleaving never hit a cache — the test lost its point"
+    );
+}
+
+#[test]
+fn cross_solve_run_cache_hits_surface_in_exec_metrics() {
+    let (graph, calendars) = random_world(0xCA1, 8, 0.5);
+    // Result cache off: the repeat must re-solve, and its pivot prep
+    // should then be fed by the arena's cross-solve run cache under the
+    // snapshot handshake.
+    let exec = executor_on(
+        ExtractionMode::View,
+        1,
+        SelectConfig::default(),
+        &graph,
+        &calendars,
+    );
+    let req = PlanRequest::new(
+        NodeId(0),
+        QuerySpec::Stgq(StgqQuery::new(3, 2, 1, 2).unwrap()),
+        Engine::Exact,
+    );
+    let first = exec.execute_one(req.clone()).unwrap();
+    let after_first = exec.metrics().run_cache_cross_solve_hits;
+    let second = exec.execute_one(req).unwrap();
+    let after_second = exec.metrics().run_cache_cross_solve_hits;
+    // Same epoch, same arena: every Definition-4 run the second solve
+    // needs was remembered from the first.
+    assert!(
+        after_second > after_first,
+        "repeat solve on an unchanged epoch must hit the cross-solve cache \
+         (first={after_first}, second={after_second})"
+    );
+    assert_eq!(
+        sans_cache_effects(first.outcome),
+        sans_cache_effects(second.outcome),
+        "hits must not change answers"
+    );
+}

@@ -14,6 +14,12 @@
 //!   subgraph of vertices reachable from the initiator within `s` edges,
 //!   re-indexed densely with the initiator at index 0, plus neighbor bitsets
 //!   and a distance-sorted access order — the exact inputs SGSelect needs.
+//! * [`CandidateTopology`] — the trait seam the query kernels descend
+//!   over, implemented by both `FeasibleGraph` (materialized
+//!   reference/compat path) and [`FeasibleView`] (zero-copy hot path).
+//! * [`FeasibleView`] — the borrowed form of the candidate space: a compact
+//!   index plus a masked adjacency word matrix generated shard-segment-wise
+//!   over the snapshot's CSR [`GraphSegment`]s, no per-row copies.
 //! * [`BitSet`] — a small dense bitset used pervasively for `VS`/`VA` and
 //!   neighborhood operations.
 //! * [`kplex`] — acquaintance-constraint predicates (a feasible group is a
@@ -38,6 +44,8 @@ pub mod kplex;
 mod radius;
 mod segment;
 pub mod text;
+mod topology;
+mod view;
 
 #[cfg(feature = "serde")]
 mod io;
@@ -50,6 +58,8 @@ pub use graph::{EdgeRef, SocialGraph};
 pub use id::NodeId;
 pub use radius::FeasibleGraph;
 pub use segment::{AdjacencySource, GraphSegment, ShardedGraph};
+pub use topology::CandidateTopology;
+pub use view::FeasibleView;
 
 #[cfg(feature = "serde")]
 pub use io::GraphData;

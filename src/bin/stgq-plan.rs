@@ -321,8 +321,12 @@ fn batch(args: &[String]) -> Result<(), String> {
         metrics.children_pruned_by_parent_bound,
     );
     println!(
-        "  prep:     {} words delta'd, {} words rebuilt",
-        metrics.prep_words_delta, metrics.prep_words_rebuilt,
+        "  prep:     {} words delta'd, {} words rebuilt, {} cross-solve run-cache hits",
+        metrics.prep_words_delta, metrics.prep_words_rebuilt, metrics.run_cache_cross_solve_hits,
+    );
+    println!(
+        "  extract:  {} words borrowed (zero-copy view), {} words copied (materialized)",
+        metrics.extract_words_borrowed, metrics.extract_words_copied,
     );
     println!(
         "  snapshot: {} publishes, {} shards rebuilt / {} reused",

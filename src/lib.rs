@@ -19,7 +19,15 @@
 //! whole-`u64`-words at a time, search frames share one undo-logged `VA`
 //! state instead of cloning per descent, and the `U`/`A` feasibility
 //! conditions are evaluated from incrementally-maintained aggregates (see
-//! the `stgq_core` crate docs, "Hot-path architecture"). The
+//! the `stgq_core` crate docs, "Hot-path architecture"). The serving path
+//! is **zero-copy end to end**: per query the executor extracts a
+//! borrowed `FeasibleView` — a compact candidate index plus one masked
+//! adjacency word matrix generated straight over the snapshot's sharded
+//! CSR segments — instead of materializing a `FeasibleGraph` (per-row
+//! neighbor/weight vectors and bitsets), and the engines consume either
+//! carrier through the `CandidateTopology` trait with bit-identical
+//! results (the materialized path stays available as an A/B oracle via
+//! `exec::ExtractionMode`). The
 //! pre-optimization engines are kept in `stgq::query::reference` and the
 //! `hotpath` criterion suite (`cargo bench -p stgq-bench --bench hotpath`)
 //! measures one against the other; the committed `BENCH_core.json`
@@ -77,7 +85,8 @@
 //! | **admission** — submit → a worker picks the entry up | `queue_wait` | `batched_entries` |
 //! | **shard batch** — group by initiator shard, collapse repeats | — | `collapsed_entries` (and `queries`) |
 //! | **cache** — version-stamped result replay, feasible-graph lookup | `end_to_end` low mode | `result_cache_hits`/`misses`, `result_cache_evicted_*`, `feasible_cache_hits`/`misses` |
-//! | **prepare** — feasible extraction + pivot availability buffers | `feasible_extract`, `prep` | `prep_words_delta`, `prep_words_rebuilt` |
+//! | **extract** — zero-copy candidate view over the snapshot's CSR segments (the materialized graph kept as the A/B oracle, `exec::ExtractionMode`) | `feasible_extract` | `extract_words_borrowed`, `extract_words_copied` |
+//! | **prepare** — pivot availability buffers, run cache shared across solves | `prep` | `prep_words_delta`, `prep_words_rebuilt`, `run_cache_cross_solve_hits` |
 //! | **peel** — fixpoint (p, k)-core reduction before descent | inside `solve` | `peeled_candidates`, `pivots_refused_by_core` |
 //! | **floor** — pivot-granularity distance bound skipping whole pivots | inside `solve` | `pivots_skipped` |
 //! | **descend** — the exact branch & bound itself | `descend`, `solve` | `frames_examined`, `frames_pruned_by_bound`, `frames_pruned_by_match`, `children_pruned_by_parent_bound`, `cancelled` |
